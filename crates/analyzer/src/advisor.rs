@@ -1,0 +1,271 @@
+//! The index advisor.
+//!
+//! Implements the paper's what-if loop: candidate indexes derived from the
+//! recorded attribute references are registered as *virtual* indexes, and the
+//! engine's own optimizer decides whether a plan would use them — "this fact
+//! allows us to feed the Ingres optimizer with a number of hypothetical, or
+//! virtual indexes, exploiting its decision about which indexes will
+//! actually be used to find an optimal index set for the workload". Greedy
+//! selection keeps the candidate with the largest frequency-weighted
+//! estimated saving until no candidate clears the benefit threshold.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ingot_common::{Result, TableId};
+use ingot_core::Engine;
+
+use crate::rules::Recommendation;
+use crate::view::WorkloadView;
+
+/// Advisor settings.
+#[derive(Debug, Clone)]
+pub struct AdvisorConfig {
+    /// Maximum indexes to recommend.
+    pub max_indexes: usize,
+    /// Minimum frequency-weighted benefit (total cost units) a candidate
+    /// must deliver to be recommended.
+    pub min_benefit: f64,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            max_indexes: 16,
+            min_benefit: 500.0,
+        }
+    }
+}
+
+/// A candidate (or chosen) index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexCandidate {
+    /// Target table.
+    pub table: TableId,
+    /// Target table name.
+    pub table_name: String,
+    /// Column names (advisor currently proposes single-column indexes, like
+    /// the paper's prototype).
+    pub column_names: Vec<String>,
+}
+
+/// Advisor result: recommendations plus the raw chosen candidates (the
+/// report layer re-registers them to draw Fig 6's third bar).
+#[derive(Debug, Clone, Default)]
+pub struct AdvisorOutput {
+    /// `CreateIndex` recommendations.
+    pub recommendations: Vec<Recommendation>,
+    /// The chosen candidates.
+    pub chosen_candidates: Vec<IndexCandidate>,
+}
+
+/// Run the advisor over the recorded workload.
+pub fn recommend_indexes(
+    config: &AdvisorConfig,
+    engine: &Arc<Engine>,
+    view: &WorkloadView,
+) -> Result<AdvisorOutput> {
+    engine.clear_virtual_indexes();
+
+    // Queries with their execution weights.
+    let queries: Vec<(&str, u64)> = view
+        .statements
+        .iter()
+        .filter(|s| s.is_query())
+        .map(|s| (s.text.as_str(), s.executions))
+        .collect();
+    if queries.is_empty() {
+        return Ok(AdvisorOutput::default());
+    }
+
+    // Candidate generation from referenced attributes.
+    let mut candidates = generate_candidates(engine, view);
+
+    // Baseline cost of each query with only the real indexes.
+    let mut current_cost: HashMap<&str, f64> = HashMap::with_capacity(queries.len());
+    for (text, _) in &queries {
+        if let Ok(est) = engine.estimate(text, false) {
+            current_cost.insert(text, est.est.total());
+        }
+    }
+
+    let mut chosen: Vec<IndexCandidate> = Vec::new();
+    let mut recommendations = Vec::new();
+
+    while chosen.len() < config.max_indexes && !candidates.is_empty() {
+        let mut best: Option<(usize, f64, usize)> = None; // (cand idx, benefit, helped)
+        for (ci, cand) in candidates.iter().enumerate() {
+            // Register chosen set + this candidate.
+            engine.clear_virtual_indexes();
+            for c in &chosen {
+                register(engine, c)?;
+            }
+            let cand_id = register(engine, cand)?;
+            let mut benefit = 0.0;
+            let mut helped = 0usize;
+            for (text, weight) in &queries {
+                let Some(&base) = current_cost.get(text) else { continue };
+                let Ok(est) = engine.estimate(text, true) else { continue };
+                // Only count queries whose chosen plan actually uses the
+                // candidate — the optimizer's decision, not ours.
+                if est.used_indexes.contains(&cand_id) {
+                    let saving = (base - est.est.total()).max(0.0);
+                    if saving > 0.0 {
+                        benefit += saving * *weight as f64;
+                        helped += 1;
+                    }
+                }
+            }
+            if best.is_none_or(|(_, b, _)| benefit > b) {
+                best = Some((ci, benefit, helped));
+            }
+        }
+        let Some((ci, benefit, helped)) = best else { break };
+        if benefit < config.min_benefit {
+            break;
+        }
+        let cand = candidates.remove(ci);
+        recommendations.push(Recommendation::CreateIndex {
+            table: cand.table_name.clone(),
+            columns: cand.column_names.clone(),
+            benefit,
+            statements_helped: helped,
+        });
+        chosen.push(cand);
+        // Re-baseline costs with the chosen set registered, so the next
+        // round measures *marginal* benefit.
+        engine.clear_virtual_indexes();
+        for c in &chosen {
+            register(engine, c)?;
+        }
+        for (text, _) in &queries {
+            if let Ok(est) = engine.estimate(text, true) {
+                current_cost.insert(text, est.est.total());
+            }
+        }
+    }
+
+    engine.clear_virtual_indexes();
+    Ok(AdvisorOutput {
+        recommendations,
+        chosen_candidates: chosen,
+    })
+}
+
+/// Register a candidate as a virtual index.
+pub fn register(engine: &Arc<Engine>, cand: &IndexCandidate) -> Result<ingot_common::IndexId> {
+    let cols: Vec<&str> = cand.column_names.iter().map(String::as_str).collect();
+    engine.add_virtual_index(&cand.table_name, &cols)
+}
+
+fn generate_candidates(engine: &Arc<Engine>, view: &WorkloadView) -> Vec<IndexCandidate> {
+    let catalog = engine.catalog().read();
+    let mut out = Vec::new();
+    for attr in &view.attributes {
+        let Ok(entry) = catalog.table(attr.table) else { continue };
+        // Skip the clustered key of a BTree table — keyed access exists.
+        if entry.meta.storage == ingot_catalog::StorageStructure::BTree
+            && entry.meta.primary_key == [attr.column]
+        {
+            continue;
+        }
+        // Skip columns already leading an existing real index.
+        let covered = catalog.indexes_of(attr.table).iter().any(|idx| {
+            !idx.meta.is_virtual && idx.meta.columns.first() == Some(&attr.column)
+        });
+        if covered {
+            continue;
+        }
+        let cand = IndexCandidate {
+            table: attr.table,
+            table_name: entry.meta.name.clone(),
+            column_names: vec![attr.name.clone()],
+        };
+        if !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::WorkloadView;
+    use ingot_common::EngineConfig;
+
+    #[test]
+    fn advisor_recommends_selective_index_and_skips_useless_one() {
+        let engine = Engine::new(EngineConfig::monitoring());
+        let s = engine.open_session();
+        s.execute("create table protein (nref_id int not null, name text, grp int)")
+            .unwrap();
+        for i in 0..4000 {
+            s.execute(&format!(
+                "insert into protein values ({i}, 'p{i}', {})",
+                i % 2
+            ))
+            .unwrap();
+        }
+        s.execute("create statistics on protein").unwrap();
+        // Selective predicate on nref_id (4000 distinct) — index-worthy.
+        for i in 0..10 {
+            s.execute(&format!("select name from protein where nref_id = {i}"))
+                .unwrap();
+        }
+        // Unselective predicate on grp (2 distinct) — not index-worthy.
+        s.execute("select name from protein where grp = 1").unwrap();
+
+        let view = WorkloadView::from_monitor(engine.monitor().unwrap());
+        let out = recommend_indexes(&AdvisorConfig::default(), &engine, &view).unwrap();
+        assert_eq!(out.chosen_candidates.len(), 1, "{:?}", out.recommendations);
+        assert_eq!(out.chosen_candidates[0].column_names, vec!["nref_id"]);
+        let Recommendation::CreateIndex { statements_helped, benefit, .. } =
+            &out.recommendations[0]
+        else {
+            panic!()
+        };
+        assert_eq!(*statements_helped, 10);
+        assert!(*benefit > 0.0);
+        // No virtual debris left behind.
+        assert_eq!(
+            engine
+                .catalog()
+                .read()
+                .indexes()
+                .filter(|i| i.meta.is_virtual)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn advisor_skips_already_indexed_columns() {
+        let engine = Engine::new(EngineConfig::monitoring());
+        let s = engine.open_session();
+        s.execute("create table t (a int not null, b int)").unwrap();
+        for i in 0..3000 {
+            s.execute(&format!("insert into t values ({i}, {i})")).unwrap();
+        }
+        s.execute("create statistics on t").unwrap();
+        s.execute("create index t_a on t (a)").unwrap();
+        for i in 0..5 {
+            s.execute(&format!("select b from t where a = {i}")).unwrap();
+        }
+        let view = WorkloadView::from_monitor(engine.monitor().unwrap());
+        let out = recommend_indexes(&AdvisorConfig::default(), &engine, &view).unwrap();
+        assert!(
+            out.chosen_candidates.iter().all(|c| c.column_names != vec!["a"]),
+            "existing index must not be re-recommended: {:?}",
+            out.recommendations
+        );
+    }
+
+    #[test]
+    fn empty_workload_yields_nothing() {
+        let engine = Engine::new(EngineConfig::monitoring());
+        let view = WorkloadView::default();
+        let out = recommend_indexes(&AdvisorConfig::default(), &engine, &view).unwrap();
+        assert!(out.recommendations.is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Trend analysis — the paper's third analysis level: "interpret its
+//! meaning, to identify trends and patterns and to start predicting
+//! potential problems in advance" (§IV-C).
+//!
+//! A least-squares linear fit over a time series (simulated seconds on the
+//! x-axis) yields a slope, a fit quality, and — given a threshold — the
+//! predicted crossing time. The daemon's long-term workload DB supplies the
+//! series (e.g. `wl_statistics.locks_held`, table row counts from
+//! `wl_tables`, or the workload DB's own growth).
+
+use ingot_common::Result;
+use ingot_daemon::WorkloadDb;
+
+/// A least-squares linear fit `value ≈ slope · t + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trend {
+    /// Change per simulated second.
+    pub slope: f64,
+    /// Value at t = 0.
+    pub intercept: f64,
+    /// Coefficient of determination (R²) in [0, 1]; low values mean the
+    /// linear model explains little and predictions are unreliable.
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub points: usize,
+}
+
+impl Trend {
+    /// Fit a series of `(t_secs, value)` points. Returns `None` with fewer
+    /// than two distinct x positions.
+    pub fn fit(series: &[(u64, f64)]) -> Option<Trend> {
+        let n = series.len();
+        if n < 2 {
+            return None;
+        }
+        let xs: Vec<f64> = series.iter().map(|(t, _)| *t as f64).collect();
+        let ys: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+        let mean_x = xs.iter().sum::<f64>() / n as f64;
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+        if sxx == 0.0 {
+            return None; // vertical: all samples at one instant
+        }
+        let sxy: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+            .sum();
+        let r_squared = if ss_tot == 0.0 {
+            1.0 // constant series: perfectly explained
+        } else {
+            (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+        };
+        Some(Trend {
+            slope,
+            intercept,
+            r_squared,
+            points: n,
+        })
+    }
+
+    /// Predicted value at simulated second `t`.
+    pub fn predict(&self, t_secs: u64) -> f64 {
+        self.slope * t_secs as f64 + self.intercept
+    }
+
+    /// Predicted simulated second at which the fitted line reaches
+    /// `threshold`, or `None` when the trend never reaches it (flat or
+    /// moving away).
+    pub fn crossing_time(&self, threshold: f64) -> Option<u64> {
+        if self.slope.abs() < 1e-12 {
+            return None;
+        }
+        let t = (threshold - self.intercept) / self.slope;
+        if t.is_finite() && t >= 0.0 {
+            Some(t as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// A predicted problem: a monitored metric is heading for its limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The metric name.
+    pub metric: String,
+    /// The fitted trend.
+    pub trend: Trend,
+    /// The configured limit.
+    pub threshold: f64,
+    /// Predicted crossing time (simulated seconds), when the trend heads
+    /// towards the threshold.
+    pub crosses_at_secs: Option<u64>,
+}
+
+impl Prediction {
+    /// One-line rendering in the report style.
+    pub fn describe(&self, now_secs: u64) -> String {
+        match self.crosses_at_secs {
+            Some(t) if t > now_secs => format!(
+                "'{}' grows by {:.3}/s (R²={:.2}); predicted to reach {} in {} h",
+                self.metric,
+                self.trend.slope,
+                self.trend.r_squared,
+                self.threshold,
+                (t - now_secs) / 3600
+            ),
+            Some(_) => format!(
+                "'{}' has already reached its limit {} (trend R²={:.2})",
+                self.metric, self.threshold, self.trend.r_squared
+            ),
+            None => format!(
+                "'{}' shows no trend towards {} (slope {:.4}/s)",
+                self.metric, self.threshold, self.trend.slope
+            ),
+        }
+    }
+}
+
+/// Fit a metric column of `wl_statistics` over time and predict when it
+/// reaches `threshold`. `metric` must be a column of the statistics table
+/// (`locks_held`, `lock_waits_total`, `sessions`, `physical_reads`, …).
+pub fn predict_statistics_metric(
+    db: &WorkloadDb,
+    metric: &str,
+    threshold: f64,
+) -> Result<Option<Prediction>> {
+    // The metric name is interpolated into SQL: restrict it to identifier
+    // characters so a caller cannot smuggle syntax in.
+    if !metric
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(ingot_common::Error::monitor(format!(
+            "invalid metric name '{metric}'"
+        )));
+    }
+    let rows = db.query(&format!(
+        "select at_secs, {metric} from wl_statistics order by at_secs"
+    ))?;
+    let series: Vec<(u64, f64)> = rows
+        .iter()
+        .filter_map(|r| {
+            Some((
+                r.get(0).as_int()? as u64,
+                r.get(1).as_f64()?,
+            ))
+        })
+        .collect();
+    Ok(Trend::fit(&series).map(|trend| Prediction {
+        metric: metric.to_owned(),
+        crosses_at_secs: trend.crossing_time(threshold),
+        trend,
+        threshold,
+    }))
+}
+
+/// Fit the row count of a table recorded in `wl_tables` (capacity planning:
+/// "when will this table hit N rows?").
+pub fn predict_table_growth(
+    db: &WorkloadDb,
+    table_name: &str,
+    threshold_rows: f64,
+) -> Result<Option<Prediction>> {
+    let escaped = table_name.replace('\'', "''");
+    let rows = db.query(&format!(
+        "select ts, row_count from wl_tables where table_name = '{escaped}' order by ts"
+    ))?;
+    let series: Vec<(u64, f64)> = rows
+        .iter()
+        .filter_map(|r| Some((r.get(0).as_int()? as u64, r.get(1).as_f64()?)))
+        .collect();
+    Ok(Trend::fit(&series).map(|trend| Prediction {
+        metric: format!("row_count({table_name})"),
+        crosses_at_secs: trend.crossing_time(threshold_rows),
+        trend,
+        threshold: threshold_rows,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_fit() {
+        let series: Vec<(u64, f64)> = (0..10).map(|t| (t * 60, 5.0 + 2.0 * (t * 60) as f64)).collect();
+        let t = Trend::fit(&series).unwrap();
+        assert!((t.slope - 2.0).abs() < 1e-9);
+        assert!((t.intercept - 5.0).abs() < 1e-6);
+        assert!((t.r_squared - 1.0).abs() < 1e-9);
+        assert_eq!(t.crossing_time(5.0 + 2.0 * 1200.0), Some(1200));
+        assert!((t.predict(600) - 1205.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_series_never_crosses() {
+        let series: Vec<(u64, f64)> = (0..5).map(|t| (t * 10, 7.0)).collect();
+        let t = Trend::fit(&series).unwrap();
+        assert_eq!(t.slope, 0.0);
+        assert_eq!(t.r_squared, 1.0);
+        assert_eq!(t.crossing_time(100.0), None);
+    }
+
+    #[test]
+    fn noisy_series_has_lower_r2() {
+        let series = vec![
+            (0, 0.0),
+            (10, 25.0),
+            (20, 10.0),
+            (30, 45.0),
+            (40, 30.0),
+        ];
+        let t = Trend::fit(&series).unwrap();
+        assert!(t.slope > 0.0);
+        assert!(t.r_squared < 0.95, "noise must lower R², got {}", t.r_squared);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Trend::fit(&[]).is_none());
+        assert!(Trend::fit(&[(5, 1.0)]).is_none());
+        assert!(Trend::fit(&[(5, 1.0), (5, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn downward_trend_crossing() {
+        let series: Vec<(u64, f64)> = (0..5).map(|t| (t, 100.0 - 10.0 * t as f64)).collect();
+        let t = Trend::fit(&series).unwrap();
+        assert_eq!(t.crossing_time(50.0), Some(5));
+        // Upward threshold is behind us (t would be negative).
+        assert_eq!(t.crossing_time(200.0), None);
+    }
+
+    #[test]
+    fn prediction_describe() {
+        let trend = Trend {
+            slope: 1.0,
+            intercept: 0.0,
+            r_squared: 0.9,
+            points: 10,
+        };
+        let p = Prediction {
+            metric: "locks_held".into(),
+            trend,
+            threshold: 7200.0,
+            crosses_at_secs: trend.crossing_time(7200.0),
+        };
+        let s = p.describe(0);
+        assert!(s.contains("locks_held") && s.contains("2 h"), "{s}");
+    }
+}

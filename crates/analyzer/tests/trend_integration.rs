@@ -1,0 +1,65 @@
+//! Integration: trend prediction over real daemon-collected series — the
+//! paper's "to a certain degree, the prediction of future problems".
+
+use std::sync::Arc;
+
+use ingot_analyzer::{predict_statistics_metric, predict_table_growth};
+use ingot_common::EngineConfig;
+use ingot_core::Engine;
+use ingot_daemon::{DaemonConfig, StorageDaemon, WorkloadDb};
+
+#[test]
+fn predicts_table_growth_from_workload_db() {
+    let engine = Engine::new(EngineConfig::monitoring());
+    let s = engine.open_session();
+    s.execute("create table events (id int)").unwrap();
+    let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
+    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+
+    // Steady growth: 100 rows per simulated hour, sampled by the daemon.
+    let mut next_id = 0;
+    for _hour in 0..6 {
+        for _ in 0..100 {
+            s.execute(&format!("insert into events values ({next_id})")).unwrap();
+            next_id += 1;
+        }
+        // A statement touching the table refreshes the monitor's row count.
+        s.execute("select count(*) from events").unwrap();
+        daemon.poll_once().unwrap();
+        engine.sim_clock().advance_secs(3600);
+    }
+
+    let p = predict_table_growth(&wldb, "events", 1200.0)
+        .unwrap()
+        .expect("enough samples");
+    assert!(p.trend.slope > 0.0);
+    assert!(p.trend.r_squared > 0.99, "steady growth fits a line: {:?}", p.trend);
+    let crossing = p.crosses_at_secs.expect("upward trend crosses");
+    // 100 rows/h from ~t0 ⇒ 1200 rows at ~12 h; allow generous slack.
+    let hours = crossing / 3600;
+    assert!((10..=14).contains(&hours), "predicted {hours} h");
+}
+
+#[test]
+fn predicts_statistics_metric() {
+    let engine = Engine::new(EngineConfig::monitoring());
+    let s = engine.open_session();
+    s.execute("create table t (a int)").unwrap();
+    let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
+    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+    for i in 0..5 {
+        // statements_executed grows monotonically with the workload.
+        for j in 0..(10 * (i + 1)) {
+            s.execute(&format!("select a from t where a = {j}")).unwrap();
+        }
+        daemon.poll_once().unwrap();
+        engine.sim_clock().advance_secs(60);
+    }
+    let p = predict_statistics_metric(&wldb, "statements_executed", 1e9)
+        .unwrap()
+        .expect("series fitted");
+    assert!(p.trend.slope > 0.0);
+    assert!(p.crosses_at_secs.is_some());
+    // Metric names are sanitised against SQL injection.
+    assert!(predict_statistics_metric(&wldb, "x; drop table t", 1.0).is_err());
+}

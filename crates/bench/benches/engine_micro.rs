@@ -1,0 +1,69 @@
+//! Engine-stage micro-benchmarks: where does a statement's time go?
+//! (Parse, bind+optimize, execute — the three stages the sensors bracket.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ingot_common::EngineConfig;
+use ingot_core::Engine;
+use ingot_planner::{optimize, Binder, OptimizerOptions};
+use ingot_sql::parse_statement;
+
+const POINT: &str = "select name from protein where nref_id = 42";
+const JOIN: &str = "select p.name, o.taxon_id from protein p \
+                    join organism o on p.nref_id = o.nref_id where o.taxon_id = 3";
+
+fn engine() -> std::sync::Arc<Engine> {
+    let engine = Engine::new(EngineConfig::original());
+    let s = engine.open_session();
+    s.execute("create table protein (nref_id int not null primary key, name text, len int)")
+        .unwrap();
+    s.execute("create table organism (nref_id int not null, taxon_id int)")
+        .unwrap();
+    for i in 0..2000 {
+        s.execute(&format!("insert into protein values ({i}, 'p{i}', {})", i % 50))
+            .unwrap();
+        s.execute(&format!("insert into organism values ({i}, {})", i % 20))
+            .unwrap();
+    }
+    s.execute("create statistics on protein").unwrap();
+    s.execute("create statistics on organism").unwrap();
+    engine
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_point_select", |b| {
+        b.iter(|| parse_statement(black_box(POINT)).unwrap())
+    });
+    c.bench_function("parse_join", |b| {
+        b.iter(|| parse_statement(black_box(JOIN)).unwrap())
+    });
+}
+
+fn bench_bind_optimize(c: &mut Criterion) {
+    let engine = engine();
+    let stmt = parse_statement(JOIN).unwrap();
+    c.bench_function("bind_and_optimize_join", |b| {
+        b.iter(|| {
+            let catalog = engine.catalog().read();
+            let (bound, _) = Binder::new(&catalog).bind(black_box(&stmt)).unwrap();
+            black_box(optimize(&catalog, &bound, OptimizerOptions::default()).unwrap());
+        })
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let engine = engine();
+    let session = engine.open_session();
+    c.bench_function("execute_point_select_seqscan", |b| {
+        b.iter(|| black_box(session.execute(POINT).unwrap()))
+    });
+    session.execute("modify protein to btree").unwrap();
+    c.bench_function("execute_point_select_pklookup", |b| {
+        b.iter(|| black_box(session.execute(POINT).unwrap()))
+    });
+    c.bench_function("execute_join_grouped", |b| {
+        b.iter(|| black_box(session.execute(JOIN).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_bind_optimize, bench_execute);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! The Fig 4 comparison as a criterion micro-benchmark: per-statement cost
+//! of a sub-millisecond point select on the Original vs Monitoring setups.
+//! The absolute difference is the per-statement monitoring overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ingot_common::EngineConfig;
+use ingot_core::Engine;
+use std::sync::Arc;
+
+fn prepared_engine(monitoring: bool) -> Arc<Engine> {
+    let config = if monitoring {
+        EngineConfig::monitoring()
+    } else {
+        EngineConfig::original()
+    };
+    let engine = Engine::new(config);
+    let s = engine.open_session();
+    s.execute("create table protein (nref_id int not null primary key, name text)")
+        .unwrap();
+    for i in 0..1000 {
+        s.execute(&format!("insert into protein values ({i}, 'p{i}')"))
+            .unwrap();
+    }
+    s.execute("create statistics on protein").unwrap();
+    s.execute("modify protein to btree").unwrap();
+    engine
+}
+
+fn bench_point_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_select");
+    for monitoring in [false, true] {
+        let engine = prepared_engine(monitoring);
+        let session = engine.open_session();
+        let label = if monitoring { "monitoring" } else { "original" };
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                i += 1;
+                let sql = format!("select name from protein where nref_id = {}", i % 1000);
+                black_box(session.execute(&sql).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    for monitoring in [false, true] {
+        let engine = prepared_engine(monitoring);
+        let session = engine.open_session();
+        let label = if monitoring { "monitoring" } else { "original" };
+        let mut i = 10_000u64;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                i += 1;
+                let sql = format!("insert into protein values ({i}, 'x')");
+                black_box(session.execute(&sql).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_select, bench_insert);
+criterion_main!(benches);

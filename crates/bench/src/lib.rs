@@ -1,0 +1,230 @@
+//! Shared harness for the experiment binaries (`fig4` … `fig8`) that
+//! regenerate every figure of the paper's evaluation (§V).
+//!
+//! Scale is controlled by the `INGOT_SCALE` environment variable:
+//! `small` (default; seconds per figure), `medium`, or `large` (closest to
+//! the paper's regime, minutes per figure). Absolute numbers differ from the
+//! paper's 2009 hardware — EXPERIMENTS.md records both and compares shapes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ingot_common::{EngineConfig, SimClock};
+use ingot_core::{Engine, Session};
+use ingot_daemon::{DaemonConfig, StorageDaemon, WorkloadDb};
+use ingot_workload::{load_nref, NrefConfig};
+
+/// Experiment sizing.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Label printed in reports.
+    pub name: &'static str,
+    /// NREF scale.
+    pub nref: NrefConfig,
+    /// Statement count of the "50k" simple-join test.
+    pub n_simple: u64,
+    /// Statement count of the "1m" point-select test.
+    pub n_point: u64,
+    /// Buffer-pool pages (kept below the data size, as in the paper).
+    pub buffer_pages: usize,
+    /// Repetitions per measurement ("all tests were repeated three times").
+    pub repeats: u32,
+}
+
+impl Scale {
+    /// Resolve from `INGOT_SCALE` (small | medium | large), with
+    /// `INGOT_REPEATS` optionally overriding the repeat count.
+    pub fn from_env() -> Scale {
+        let mut scale = Self::from_scale_name();
+        if let Ok(r) = std::env::var("INGOT_REPEATS") {
+            if let Ok(r) = r.parse::<u32>() {
+                scale.repeats = r.max(1);
+            }
+        }
+        scale
+    }
+
+    fn from_scale_name() -> Scale {
+        match std::env::var("INGOT_SCALE").as_deref() {
+            Ok("large") => Scale {
+                name: "large",
+                nref: NrefConfig::scaled(10.0), // 100 k proteins
+                n_simple: 50_000,
+                n_point: 1_000_000,
+                buffer_pages: 4096,
+                repeats: 3,
+            },
+            Ok("medium") => Scale {
+                name: "medium",
+                nref: NrefConfig::scaled(2.0), // 20 k proteins
+                n_simple: 20_000,
+                n_point: 200_000,
+                buffer_pages: 2048,
+                repeats: 3,
+            },
+            _ => Scale {
+                name: "small",
+                nref: NrefConfig::scaled(0.5), // 5 k proteins
+                n_simple: 5_000,
+                n_point: 50_000,
+                buffer_pages: 1024,
+                repeats: 2,
+            },
+        }
+    }
+}
+
+/// The three instances of the paper's §V-A evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// Untouched engine, no sensors compiled in.
+    Original,
+    /// Sensors active, no daemon.
+    Monitoring,
+    /// Sensors active + storage daemon writing the workload DB.
+    Daemon,
+}
+
+impl Setup {
+    /// All three, in paper order.
+    pub const ALL: [Setup; 3] = [Setup::Original, Setup::Monitoring, Setup::Daemon];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Setup::Original => "Original",
+            Setup::Monitoring => "Monitoring",
+            Setup::Daemon => "Daemon",
+        }
+    }
+}
+
+/// A prepared instance: engine with NREF loaded, plus the daemon when the
+/// setup demands one.
+pub struct Instance {
+    /// The engine.
+    pub engine: Arc<Engine>,
+    /// Running daemon (Daemon setup only). Held for its lifetime.
+    pub daemon: Option<ingot_daemon::DaemonHandle>,
+    /// Temp dir of the workload DB (removed on drop).
+    workdir: Option<std::path::PathBuf>,
+}
+
+impl Drop for Instance {
+    fn drop(&mut self) {
+        self.daemon.take(); // stop before removing files
+        if let Some(dir) = self.workdir.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// Build an instance of `setup` at `scale` with the NREF data loaded and
+/// keyed primary structures (BTREE) on all six tables — the paper's §V-A
+/// monitoring testbed is "created and filled … using only primary keys and
+/// no other indexes", and its sub-second point selects require keyed access.
+pub fn build_instance(setup: Setup, scale: &Scale) -> Instance {
+    build_instance_with(setup, scale, true)
+}
+
+/// Build an instance, choosing whether tables get keyed (BTREE) primary
+/// structures or stay on default heap (the §V-B tuning experiments start
+/// from "the default storage structure heap").
+pub fn build_instance_with(setup: Setup, scale: &Scale, keyed: bool) -> Instance {
+    let config = match setup {
+        Setup::Original => EngineConfig::original(),
+        _ => EngineConfig::monitoring(),
+    }
+    .with_buffer_pool_pages(scale.buffer_pages);
+    let clock = SimClock::new();
+    let engine = Engine::with_clock(config, clock.clone());
+    load_nref(&engine, &scale.nref).expect("NREF load");
+    if keyed {
+        // The §V-A monitoring testbed is a *tuned* database (keyed primary
+        // structures, statistics collected): those experiments measure
+        // sensor overhead on fast statements, not planning quality. The
+        // §V-B tuning experiments (fig6/fig7) pass `keyed = false` and
+        // start from the untuned default-heap state instead.
+        let session = engine.open_session();
+        for ddl in ingot_workload::nref_schema_ddl() {
+            let table = ddl.split_whitespace().nth(2).expect("table name");
+            session
+                .execute(&format!("create statistics on {table}"))
+                .expect("create statistics");
+            session
+                .execute(&format!("modify {table} to btree"))
+                .expect("modify to btree");
+        }
+    }
+
+    let (daemon, workdir) = if setup == Setup::Daemon {
+        let dir = std::env::temp_dir().join(format!(
+            "ingot-bench-{}-{}",
+            std::process::id(),
+            engine.wall_clock().now_nanos()
+        ));
+        let wldb = Arc::new(WorkloadDb::file_backed(&dir, clock).expect("workload DB"));
+        let daemon = StorageDaemon::new(
+            Arc::clone(&engine),
+            wldb,
+            DaemonConfig {
+                // The paper polls every 30 s during minutes-long runs;
+                // scaled to our seconds-long runs so every test overlaps
+                // several polls and the daemon's cost amortizes instead of
+                // hitting one repetition as a spike.
+                interval: Duration::from_millis(500),
+                ..Default::default()
+            },
+        );
+        (Some(daemon.spawn()), Some(dir))
+    } else {
+        (None, None)
+    };
+    Instance {
+        engine,
+        daemon,
+        workdir,
+    }
+}
+
+/// Run a set of statements, returning the wall-clock duration.
+pub fn run_statements<I, S>(session: &Session, statements: I) -> Duration
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let t0 = Instant::now();
+    for stmt in statements {
+        session
+            .execute(stmt.as_ref())
+            .unwrap_or_else(|e| panic!("statement failed: {e}: {}", stmt.as_ref()));
+    }
+    t0.elapsed()
+}
+
+/// Best-of-`repeats` wall time of `f` ("repeated three times to minimize
+/// local anomalies").
+pub fn best_of<F: FnMut() -> Duration>(repeats: u32, mut f: F) -> Duration {
+    (0..repeats.max(1)).map(|_| f()).min().expect("≥1 repeat")
+}
+
+/// Pages → mebibytes.
+pub fn pages_to_mib(pages: u64) -> f64 {
+    pages as f64 * ingot_storage::PAGE_SIZE as f64 / (1024.0 * 1024.0)
+}
+
+/// Print a standard experiment header.
+pub fn header(fig: &str, title: &str, scale: &Scale) {
+    println!("==========================================================");
+    println!("{fig}: {title}");
+    println!(
+        "scale={} (proteins={}, simple={}, point={}, buffer={}p, repeats={})",
+        scale.name,
+        scale.nref.proteins,
+        scale.n_simple,
+        scale.n_point,
+        scale.buffer_pages,
+        scale.repeats
+    );
+    println!("==========================================================");
+}

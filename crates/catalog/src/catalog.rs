@@ -1,0 +1,797 @@
+//! The catalog: object registry plus the central row-mutation path that
+//! keeps heap, clustered tree and every secondary index consistent.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ingot_common::{Error, IndexId, Result, Row, Schema, TableId, Value};
+use ingot_storage::{BTreeFile, BufferPool, HeapFile, RowId};
+
+use crate::histogram::{Histogram, DEFAULT_BUCKETS};
+use crate::stats::{ColumnStats, TableStatistics};
+use crate::table::{IndexEntry, IndexMeta, StorageStructure, TableEntry, TableMeta};
+
+/// The catalog of one database.
+///
+/// The engine wraps the catalog in a lock; methods here take `&self` for
+/// reads and `&mut self` for anything that changes metadata or data files.
+pub struct Catalog {
+    pool: Arc<BufferPool>,
+    heap_main_pages: usize,
+    tables: HashMap<TableId, TableEntry>,
+    table_names: HashMap<String, TableId>,
+    indexes: HashMap<IndexId, IndexEntry>,
+    index_names: HashMap<String, IndexId>,
+    virtual_tables: HashMap<TableId, VirtualTableDef>,
+    virtual_names: HashMap<String, TableId>,
+    next_table: u32,
+    next_index: u32,
+}
+
+/// Supplies the rows of a virtual table on demand.
+pub type VirtualProvider = std::sync::Arc<dyn Fn() -> Vec<Row> + Send + Sync>;
+
+/// A virtual (provider-backed, memory-only) table — the mechanism behind the
+/// IMA interface: in-memory monitor structures registered as tables and
+/// queried over standard SQL, with no disk access involved.
+#[derive(Clone)]
+pub struct VirtualTableDef {
+    /// Stable id (shares the table-id space).
+    pub id: TableId,
+    /// Lower-cased name (conventionally `ima$…`).
+    pub name: String,
+    /// Row shape.
+    pub schema: Schema,
+    /// Row source.
+    pub provider: VirtualProvider,
+}
+
+/// Either kind of relation a name can resolve to.
+pub enum Relation<'a> {
+    /// A base table.
+    Base(&'a TableEntry),
+    /// A virtual (provider-backed) table.
+    Virtual(&'a VirtualTableDef),
+}
+
+impl Catalog {
+    /// An empty catalog over `pool`. `heap_main_pages` is the fixed main
+    /// extent newly created heap tables receive.
+    pub fn new(pool: Arc<BufferPool>, heap_main_pages: usize) -> Self {
+        Catalog {
+            pool,
+            heap_main_pages,
+            tables: HashMap::new(),
+            table_names: HashMap::new(),
+            indexes: HashMap::new(),
+            index_names: HashMap::new(),
+            virtual_tables: HashMap::new(),
+            virtual_names: HashMap::new(),
+            next_table: 1,
+            next_index: 1,
+        }
+    }
+
+    /// The buffer pool backing this catalog's files.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    // ---- table DDL -----------------------------------------------------------
+
+    /// Create a table (HEAP structure, like Ingres' default).
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        primary_key: Vec<usize>,
+    ) -> Result<TableId> {
+        let name = name.to_ascii_lowercase();
+        if self.table_names.contains_key(&name) || self.virtual_names.contains_key(&name) {
+            return Err(Error::catalog(format!("table '{name}' already exists")));
+        }
+        for &pk in &primary_key {
+            if pk >= schema.len() {
+                return Err(Error::catalog(format!(
+                    "primary key column {pk} out of range"
+                )));
+            }
+        }
+        let id = TableId(self.next_table);
+        self.next_table += 1;
+        let heap = Arc::new(HeapFile::create(
+            Arc::clone(&self.pool),
+            self.heap_main_pages,
+        )?);
+        let entry = TableEntry {
+            meta: TableMeta {
+                id,
+                name: name.clone(),
+                schema,
+                primary_key,
+                storage: StorageStructure::Heap,
+            },
+            heap,
+            primary: None,
+            stats: None,
+        };
+        self.tables.insert(id, entry);
+        self.table_names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Drop a table and all its indexes. (File space is not reclaimed from
+    /// the backend — like a real system, space returns on rebuild.)
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let id = self.resolve_table(name)?;
+        let index_ids: Vec<IndexId> = self
+            .indexes
+            .values()
+            .filter(|e| e.meta.table == id)
+            .map(|e| e.meta.id)
+            .collect();
+        for iid in index_ids {
+            if let Some(e) = self.indexes.remove(&iid) {
+                self.index_names.remove(&e.meta.name);
+            }
+        }
+        let entry = self.tables.remove(&id).expect("resolved table");
+        self.table_names.remove(&entry.meta.name);
+        Ok(())
+    }
+
+    /// Look up a table id by name.
+    pub fn resolve_table(&self, name: &str) -> Result<TableId> {
+        self.table_names
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| Error::binder(format!("unknown table '{name}'")))
+    }
+
+    /// Register a virtual table (IMA object). The provider is called at
+    /// execution time; rows never touch the buffer pool.
+    pub fn register_virtual_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        provider: VirtualProvider,
+    ) -> Result<TableId> {
+        let name = name.to_ascii_lowercase();
+        if self.table_names.contains_key(&name) || self.virtual_names.contains_key(&name) {
+            return Err(Error::catalog(format!("table '{name}' already exists")));
+        }
+        let id = TableId(self.next_table);
+        self.next_table += 1;
+        self.virtual_tables.insert(
+            id,
+            VirtualTableDef {
+                id,
+                name: name.clone(),
+                schema,
+                provider,
+            },
+        );
+        self.virtual_names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Resolve a name to a base or virtual relation.
+    pub fn resolve_relation(&self, name: &str) -> Result<Relation<'_>> {
+        let lower = name.to_ascii_lowercase();
+        if let Some(id) = self.table_names.get(&lower) {
+            return Ok(Relation::Base(self.table(*id)?));
+        }
+        if let Some(id) = self.virtual_names.get(&lower) {
+            return Ok(Relation::Virtual(&self.virtual_tables[id]));
+        }
+        Err(Error::binder(format!("unknown table '{name}'")))
+    }
+
+    /// The virtual-table definition behind `id`, if any.
+    pub fn virtual_table(&self, id: TableId) -> Option<&VirtualTableDef> {
+        self.virtual_tables.get(&id)
+    }
+
+    /// Iterate over registered virtual tables.
+    pub fn virtual_tables(&self) -> impl Iterator<Item = &VirtualTableDef> {
+        self.virtual_tables.values()
+    }
+
+    /// The entry of a table by id.
+    pub fn table(&self, id: TableId) -> Result<&TableEntry> {
+        self.tables
+            .get(&id)
+            .ok_or_else(|| Error::catalog(format!("no table with id {id}")))
+    }
+
+    /// The entry of a table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&TableEntry> {
+        self.table(self.resolve_table(name)?)
+    }
+
+    /// Mutable entry of a table by id.
+    pub fn table_mut(&mut self, id: TableId) -> Result<&mut TableEntry> {
+        self.tables
+            .get_mut(&id)
+            .ok_or_else(|| Error::catalog(format!("no table with id {id}")))
+    }
+
+    /// Iterate over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &TableEntry> {
+        self.tables.values()
+    }
+
+    // ---- index DDL -----------------------------------------------------------
+
+    /// Create a secondary index and populate it from the table's rows.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: TableId,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> Result<IndexId> {
+        let name = name.to_ascii_lowercase();
+        if self.index_names.contains_key(&name) {
+            return Err(Error::catalog(format!("index '{name}' already exists")));
+        }
+        let entry = self.table(table)?;
+        for &c in &columns {
+            if c >= entry.meta.schema.len() {
+                return Err(Error::catalog(format!("index column {c} out of range")));
+            }
+        }
+        if columns.is_empty() {
+            return Err(Error::catalog("index needs at least one column"));
+        }
+        let tree = BTreeFile::create(Arc::clone(&self.pool))?;
+        // Populate from the heap.
+        let heap = Arc::clone(&entry.heap);
+        let mut seen_keys: Option<std::collections::HashSet<Vec<u8>>> =
+            unique.then(std::collections::HashSet::new);
+        for item in heap.scan() {
+            let (rid, row) = item?;
+            let vals: Vec<Value> = columns.iter().map(|&c| row.get(c).clone()).collect();
+            if let Some(seen) = &mut seen_keys {
+                let bare = ingot_storage::encode_key(&vals);
+                if !seen.insert(bare) {
+                    return Err(Error::constraint(format!(
+                        "duplicate key in unique index '{name}'"
+                    )));
+                }
+            }
+            let key = IndexEntry::stored_key(&vals, rid);
+            tree.insert(&key, &rid.pack().to_le_bytes())?;
+        }
+        let id = IndexId(self.next_index);
+        self.next_index += 1;
+        let idx = IndexEntry {
+            meta: IndexMeta {
+                id,
+                name: name.clone(),
+                table,
+                columns,
+                unique,
+                is_virtual: false,
+            },
+            tree: Some(Arc::new(tree)),
+        };
+        self.indexes.insert(id, idx);
+        self.index_names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Register a *virtual* (hypothetical) index: visible to the optimizer's
+    /// what-if mode, never materialised, free to create and drop.
+    pub fn add_virtual_index(&mut self, table: TableId, columns: Vec<usize>) -> Result<IndexId> {
+        let entry = self.table(table)?;
+        for &c in &columns {
+            if c >= entry.meta.schema.len() {
+                return Err(Error::catalog(format!("index column {c} out of range")));
+            }
+        }
+        let table_name = entry.meta.name.clone();
+        let id = IndexId(self.next_index);
+        self.next_index += 1;
+        let name = format!("$virtual_{}_{}", table_name, id.raw());
+        let idx = IndexEntry {
+            meta: IndexMeta {
+                id,
+                name: name.clone(),
+                table,
+                columns,
+                unique: false,
+                is_virtual: true,
+            },
+            tree: None,
+        };
+        self.indexes.insert(id, idx);
+        self.index_names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Remove every virtual index (end of a what-if session).
+    pub fn clear_virtual_indexes(&mut self) {
+        let ids: Vec<IndexId> = self
+            .indexes
+            .values()
+            .filter(|e| e.meta.is_virtual)
+            .map(|e| e.meta.id)
+            .collect();
+        for id in ids {
+            if let Some(e) = self.indexes.remove(&id) {
+                self.index_names.remove(&e.meta.name);
+            }
+        }
+    }
+
+    /// Drop an index by name.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let id = self
+            .index_names
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::catalog(format!("unknown index '{name}'")))?;
+        self.indexes.remove(&id);
+        Ok(())
+    }
+
+    /// The entry of an index by id.
+    pub fn index(&self, id: IndexId) -> Result<&IndexEntry> {
+        self.indexes
+            .get(&id)
+            .ok_or_else(|| Error::catalog(format!("no index with id {id}")))
+    }
+
+    /// The entry of an index by name.
+    pub fn index_by_name(&self, name: &str) -> Result<&IndexEntry> {
+        let id = self
+            .index_names
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::catalog(format!("unknown index '{name}'")))?;
+        self.index(*id)
+    }
+
+    /// All indexes (including virtual ones) on `table`.
+    pub fn indexes_of(&self, table: TableId) -> Vec<&IndexEntry> {
+        let mut v: Vec<&IndexEntry> = self
+            .indexes
+            .values()
+            .filter(|e| e.meta.table == table)
+            .collect();
+        v.sort_by_key(|e| e.meta.id);
+        v
+    }
+
+    /// All indexes in the catalog.
+    pub fn indexes(&self) -> impl Iterator<Item = &IndexEntry> {
+        self.indexes.values()
+    }
+
+    // ---- row mutation (index-maintaining) -------------------------------------
+
+    /// Insert a row into `table`, maintaining the clustered tree and all
+    /// secondary indexes. Enforces primary-key uniqueness when a clustered
+    /// tree exists and unique-index constraints always.
+    pub fn insert_row(&mut self, table: TableId, row: &Row) -> Result<RowId> {
+        let entry = self.table(table)?;
+        let row = entry.meta.schema.check_row(row)?;
+        // Constraint checks before touching storage.
+        if let Some(primary) = &entry.primary {
+            let pk = entry.pk_values(&row);
+            if primary.get(&ingot_storage::encode_key(&pk))?.is_some() {
+                return Err(Error::constraint(format!(
+                    "duplicate primary key in '{}'",
+                    entry.meta.name
+                )));
+            }
+        }
+        for idx in self.indexes_of(table) {
+            if idx.meta.unique && !idx.meta.is_virtual {
+                let vals: Vec<Value> =
+                    idx.meta.columns.iter().map(|&c| row.get(c).clone()).collect();
+                if !idx.probe_eq(&vals)?.is_empty() {
+                    return Err(Error::constraint(format!(
+                        "duplicate key in unique index '{}'",
+                        idx.meta.name
+                    )));
+                }
+            }
+        }
+        let entry = self.table(table)?;
+        let rid = entry.heap.insert(&row)?;
+        if let Some(primary) = &entry.primary {
+            let pk = entry.pk_values(&row);
+            primary.insert(&ingot_storage::encode_key(&pk), &rid.pack().to_le_bytes())?;
+        }
+        for idx in self.indexes_of(table) {
+            if idx.meta.is_virtual {
+                continue;
+            }
+            let vals: Vec<Value> =
+                idx.meta.columns.iter().map(|&c| row.get(c).clone()).collect();
+            let key = IndexEntry::stored_key(&vals, rid);
+            idx.tree
+                .as_ref()
+                .expect("materialised index")
+                .insert(&key, &rid.pack().to_le_bytes())?;
+        }
+        Ok(rid)
+    }
+
+    /// Delete the row at `rid` from `table`, maintaining indexes.
+    pub fn delete_row(&mut self, table: TableId, rid: RowId) -> Result<()> {
+        let entry = self.table(table)?;
+        let row = entry.heap.get(rid)?;
+        if let Some(primary) = &entry.primary {
+            let pk = entry.pk_values(&row);
+            primary.delete(&ingot_storage::encode_key(&pk))?;
+        }
+        for idx in self.indexes_of(table) {
+            if idx.meta.is_virtual {
+                continue;
+            }
+            let vals: Vec<Value> =
+                idx.meta.columns.iter().map(|&c| row.get(c).clone()).collect();
+            let key = IndexEntry::stored_key(&vals, rid);
+            idx.tree.as_ref().expect("materialised index").delete(&key)?;
+        }
+        entry.heap.delete(rid)
+    }
+
+    /// Replace the row at `rid` with `new_row`, maintaining indexes.
+    /// Returns the (possibly moved) row id.
+    pub fn update_row(&mut self, table: TableId, rid: RowId, new_row: &Row) -> Result<RowId> {
+        let entry = self.table(table)?;
+        let new_row = entry.meta.schema.check_row(new_row)?;
+        let old_row = entry.heap.get(rid)?;
+        let new_rid = entry.heap.update(rid, &new_row)?;
+        let entry = self.table(table)?;
+        if let Some(primary) = &entry.primary {
+            let old_pk = entry.pk_values(&old_row);
+            let new_pk = entry.pk_values(&new_row);
+            if old_pk != new_pk || new_rid != rid {
+                primary.delete(&ingot_storage::encode_key(&old_pk))?;
+                primary.insert(
+                    &ingot_storage::encode_key(&new_pk),
+                    &new_rid.pack().to_le_bytes(),
+                )?;
+            }
+        }
+        for idx in self.indexes_of(table) {
+            if idx.meta.is_virtual {
+                continue;
+            }
+            let old_vals: Vec<Value> = idx
+                .meta
+                .columns
+                .iter()
+                .map(|&c| old_row.get(c).clone())
+                .collect();
+            let new_vals: Vec<Value> = idx
+                .meta
+                .columns
+                .iter()
+                .map(|&c| new_row.get(c).clone())
+                .collect();
+            if old_vals != new_vals || new_rid != rid {
+                let tree = idx.tree.as_ref().expect("materialised index");
+                tree.delete(&IndexEntry::stored_key(&old_vals, rid))?;
+                tree.insert(
+                    &IndexEntry::stored_key(&new_vals, new_rid),
+                    &new_rid.pack().to_le_bytes(),
+                )?;
+            }
+        }
+        Ok(new_rid)
+    }
+
+    // ---- MODIFY (storage-structure rebuild) -----------------------------------
+
+    /// `MODIFY table TO structure`: rebuild the table compactly in the new
+    /// structure and rebuild all its secondary indexes (row ids change).
+    pub fn modify_storage(&mut self, table: TableId, to: StorageStructure) -> Result<()> {
+        let entry = self.table(table)?;
+        let rows: Vec<Row> = entry
+            .heap
+            .scan()
+            .map(|r| r.map(|(_, row)| row))
+            .collect::<Result<_>>()?;
+        // Size the new main extent to hold all rows without overflow. Each
+        // record also costs a 4-byte slot entry; ~2 % slack absorbs the
+        // per-page fragmentation so the rebuild stays compact (a rebuild
+        // that *grew* the table would penalise every scan).
+        let bytes: usize = rows.iter().map(Row::byte_size).sum::<usize>() + rows.len() * 4;
+        let pages_needed = (bytes + bytes / 50) / (ingot_storage::PAGE_SIZE - 64) + 1;
+        let new_heap = Arc::new(HeapFile::create(Arc::clone(&self.pool), pages_needed)?);
+        let mut rids = Vec::with_capacity(rows.len());
+        for row in &rows {
+            rids.push(new_heap.insert(row)?);
+        }
+        let primary = if to == StorageStructure::BTree {
+            let entry = self.table(table)?;
+            if entry.meta.primary_key.is_empty() {
+                return Err(Error::catalog(format!(
+                    "cannot modify '{}' to BTREE: no primary key",
+                    entry.meta.name
+                )));
+            }
+            let tree = BTreeFile::create(Arc::clone(&self.pool))?;
+            let pk_cols = entry.meta.primary_key.clone();
+            for (row, rid) in rows.iter().zip(&rids) {
+                let pk: Vec<Value> = pk_cols.iter().map(|&c| row.get(c).clone()).collect();
+                let key = ingot_storage::encode_key(&pk);
+                if tree.insert(&key, &rid.pack().to_le_bytes())?.is_some() {
+                    return Err(Error::constraint(format!(
+                        "duplicate primary key while rebuilding '{}'",
+                        self.table(table)?.meta.name
+                    )));
+                }
+            }
+            Some(Arc::new(tree))
+        } else {
+            None
+        };
+        // Rebuild secondary indexes against the new row ids.
+        let index_ids: Vec<IndexId> = self
+            .indexes_of(table)
+            .iter()
+            .filter(|e| !e.meta.is_virtual)
+            .map(|e| e.meta.id)
+            .collect();
+        for iid in index_ids {
+            let columns = self.indexes[&iid].meta.columns.clone();
+            let tree = BTreeFile::create(Arc::clone(&self.pool))?;
+            for (row, rid) in rows.iter().zip(&rids) {
+                let vals: Vec<Value> = columns.iter().map(|&c| row.get(c).clone()).collect();
+                tree.insert(
+                    &IndexEntry::stored_key(&vals, *rid),
+                    &rid.pack().to_le_bytes(),
+                )?;
+            }
+            self.indexes.get_mut(&iid).expect("index present").tree = Some(Arc::new(tree));
+        }
+        let entry = self.table_mut(table)?;
+        entry.heap = new_heap;
+        entry.primary = primary;
+        entry.meta.storage = to;
+        Ok(())
+    }
+
+    // ---- statistics ------------------------------------------------------------
+
+    /// `CREATE STATISTICS`: build histograms for the given columns (all
+    /// columns when `columns` is empty) by scanning the table.
+    pub fn collect_statistics(
+        &mut self,
+        table: TableId,
+        columns: &[usize],
+        now_secs: u64,
+    ) -> Result<()> {
+        let entry = self.table(table)?;
+        let cols: Vec<usize> = if columns.is_empty() {
+            (0..entry.meta.schema.len()).collect()
+        } else {
+            columns.to_vec()
+        };
+        let mut per_col: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
+        let mut rows = 0u64;
+        for item in entry.heap.scan() {
+            let (_, row) = item?;
+            rows += 1;
+            for (slot, &c) in cols.iter().enumerate() {
+                per_col[slot].push(row.get(c).clone());
+            }
+        }
+        let heap_stats = entry.heap.stats();
+        let mut stats = match &entry.stats {
+            Some(existing) => existing.clone(),
+            None => TableStatistics::default(),
+        };
+        stats.row_count = rows;
+        stats.pages = heap_stats.total_pages();
+        stats.collected_at_secs = now_secs;
+        for (slot, &c) in cols.iter().enumerate() {
+            stats.columns.insert(
+                c,
+                ColumnStats {
+                    histogram: Histogram::build(&per_col[slot], DEFAULT_BUCKETS),
+                },
+            );
+        }
+        self.table_mut(table)?.stats = Some(stats);
+        Ok(())
+    }
+
+    /// Total pages across all tables and materialised indexes — the "size of
+    /// the database" number Fig 7 compares.
+    pub fn total_data_pages(&self) -> u64 {
+        let tables: u64 = self.tables.values().map(TableEntry::data_pages).sum();
+        let indexes: u64 = self.indexes.values().map(IndexEntry::pages).sum();
+        tables + indexes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingot_common::{Column, DataType, EngineConfig, SimClock};
+    use ingot_storage::StorageEngine;
+
+    fn catalog() -> Catalog {
+        let cfg = EngineConfig::default();
+        let storage = StorageEngine::in_memory(&cfg, SimClock::new());
+        Catalog::new(Arc::clone(storage.pool()), 2)
+    }
+
+    fn people_schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::new("age", DataType::Int),
+        ])
+    }
+
+    fn sample_row(i: i64) -> Row {
+        Row::new(vec![
+            Value::Int(i),
+            Value::Str(format!("p{i}")),
+            Value::Int(i % 50),
+        ])
+    }
+
+    #[test]
+    fn create_and_resolve_table() {
+        let mut c = catalog();
+        let id = c.create_table("People", people_schema(), vec![0]).unwrap();
+        assert_eq!(c.resolve_table("people").unwrap(), id);
+        assert_eq!(c.resolve_table("PEOPLE").unwrap(), id);
+        assert!(c.create_table("people", people_schema(), vec![0]).is_err());
+        assert!(c.resolve_table("ghosts").is_err());
+    }
+
+    #[test]
+    fn insert_and_index_probe() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        for i in 0..200 {
+            c.insert_row(t, &sample_row(i)).unwrap();
+        }
+        let idx = c.create_index("people_age", t, vec![2], false).unwrap();
+        let rids = c.index(idx).unwrap().probe_eq(&[Value::Int(7)]).unwrap();
+        assert_eq!(rids.len(), 4); // 7, 57, 107, 157
+        for rid in rids {
+            let row = c.table(t).unwrap().heap.get(rid).unwrap();
+            assert_eq!(row.get(2), &Value::Int(7));
+        }
+    }
+
+    #[test]
+    fn index_is_maintained_by_later_inserts_and_deletes() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        let idx = c.create_index("people_age", t, vec![2], false).unwrap();
+        let rid = c.insert_row(t, &sample_row(1)).unwrap();
+        assert_eq!(
+            c.index(idx).unwrap().probe_eq(&[Value::Int(1)]).unwrap(),
+            vec![rid]
+        );
+        c.delete_row(t, rid).unwrap();
+        assert!(c.index(idx).unwrap().probe_eq(&[Value::Int(1)]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        c.create_index("people_id", t, vec![0], true).unwrap();
+        c.insert_row(t, &sample_row(1)).unwrap();
+        let err = c.insert_row(t, &sample_row(1)).unwrap_err();
+        assert!(matches!(err, Error::Constraint(_)));
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        let idx = c.create_index("people_age", t, vec![2], false).unwrap();
+        let rid = c.insert_row(t, &sample_row(1)).unwrap();
+        let mut row = sample_row(1);
+        row.set(2, Value::Int(99));
+        let new_rid = c.update_row(t, rid, &row).unwrap();
+        assert!(c.index(idx).unwrap().probe_eq(&[Value::Int(1)]).unwrap().is_empty());
+        assert_eq!(
+            c.index(idx).unwrap().probe_eq(&[Value::Int(99)]).unwrap(),
+            vec![new_rid]
+        );
+    }
+
+    #[test]
+    fn modify_to_btree_removes_overflow_and_enables_pk_lookup() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        for i in 0..2000 {
+            c.insert_row(t, &sample_row(i)).unwrap();
+        }
+        assert!(c.table(t).unwrap().heap.stats().overflow_ratio() > 0.1);
+        c.modify_storage(t, StorageStructure::BTree).unwrap();
+        let entry = c.table(t).unwrap();
+        assert_eq!(entry.meta.storage, StorageStructure::BTree);
+        assert!(entry.heap.stats().overflow_pages == 0);
+        assert_eq!(entry.heap.row_count(), 2000);
+        let rid = entry.pk_lookup(&[Value::Int(1234)]).unwrap().unwrap();
+        assert_eq!(entry.heap.get(rid).unwrap(), sample_row(1234));
+        assert!(entry.pk_lookup(&[Value::Int(99999)]).unwrap().is_none());
+    }
+
+    #[test]
+    fn modify_rebuilds_secondary_indexes() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        for i in 0..1000 {
+            c.insert_row(t, &sample_row(i)).unwrap();
+        }
+        let idx = c.create_index("people_age", t, vec![2], false).unwrap();
+        c.modify_storage(t, StorageStructure::BTree).unwrap();
+        let rids = c.index(idx).unwrap().probe_eq(&[Value::Int(3)]).unwrap();
+        assert_eq!(rids.len(), 20);
+        for rid in rids {
+            let row = c.table(t).unwrap().heap.get(rid).unwrap();
+            assert_eq!(row.get(2), &Value::Int(3));
+        }
+    }
+
+    #[test]
+    fn virtual_indexes_are_metadata_only() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        c.insert_row(t, &sample_row(1)).unwrap();
+        let v = c.add_virtual_index(t, vec![2]).unwrap();
+        assert!(c.index(v).unwrap().meta.is_virtual);
+        assert_eq!(c.index(v).unwrap().pages(), 0);
+        assert!(c.index(v).unwrap().probe_eq(&[Value::Int(1)]).is_err());
+        assert_eq!(c.indexes_of(t).len(), 1);
+        c.clear_virtual_indexes();
+        assert_eq!(c.indexes_of(t).len(), 0);
+    }
+
+    #[test]
+    fn collect_statistics_builds_histograms() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        for i in 0..500 {
+            c.insert_row(t, &sample_row(i)).unwrap();
+        }
+        c.collect_statistics(t, &[], 42).unwrap();
+        let stats = c.table(t).unwrap().stats.as_ref().unwrap();
+        assert_eq!(stats.row_count, 500);
+        assert_eq!(stats.collected_at_secs, 42);
+        assert!(stats.has_histogram(0) && stats.has_histogram(2));
+        assert_eq!(stats.distinct_count(2), Some(50));
+    }
+
+    #[test]
+    fn range_probe() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        for i in 0..100 {
+            c.insert_row(t, &sample_row(i)).unwrap();
+        }
+        let idx = c.create_index("people_id_idx", t, vec![0], false).unwrap();
+        let rids = c
+            .index(idx)
+            .unwrap()
+            .probe_range(Some(&Value::Int(10)), Some(&Value::Int(19)))
+            .unwrap();
+        assert_eq!(rids.len(), 10);
+    }
+
+    #[test]
+    fn drop_table_removes_indexes() {
+        let mut c = catalog();
+        let t = c.create_table("people", people_schema(), vec![0]).unwrap();
+        c.create_index("people_age", t, vec![2], false).unwrap();
+        c.drop_table("people").unwrap();
+        assert!(c.resolve_table("people").is_err());
+        assert!(c.index_by_name("people_age").is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Equi-depth histograms for selectivity estimation.
+//!
+//! Built by `CREATE STATISTICS` (the analogue of Ingres' `optimizedb`), read
+//! by the optimizer. When a column has no histogram the optimizer falls back
+//! to magic default selectivities — the mis-estimation regime the paper's
+//! Fig 6 shows for Q2/Q4/Q7 and that triggers the "collect statistics" rule.
+
+use ingot_common::Value;
+
+/// One bucket: values with `lo < key ≤ hi` (the first bucket includes `lo`).
+#[derive(Debug, Clone, PartialEq)]
+struct Bucket {
+    hi: f64,
+    count: u64,
+    distinct: u64,
+}
+
+/// An equi-depth histogram over one column.
+///
+/// Values are mapped to the f64 line by [`Value::numeric_key`]; strings map
+/// through their 6-byte prefix, which preserves enough order for the NREF id
+/// patterns the evaluation uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    buckets: Vec<Bucket>,
+    /// Non-null values the histogram was built over.
+    total: u64,
+    /// NULLs seen during construction.
+    nulls: u64,
+    /// Exact number of distinct non-null values (counted over the values
+    /// themselves, not their numeric keys).
+    ndv: u64,
+    /// True when the numeric-key projection collapsed many distinct values
+    /// onto few keys (long strings sharing a prefix): bucket-level distinct
+    /// counts are then unusable for equality selectivity and the histogram
+    /// falls back to the uniform 1/ndv estimate.
+    collapsed: bool,
+}
+
+/// Number of buckets built by default.
+pub const DEFAULT_BUCKETS: usize = 32;
+
+impl Histogram {
+    /// Build an equi-depth histogram from a column's values.
+    pub fn build(values: &[Value], bucket_target: usize) -> Histogram {
+        let mut keys: Vec<f64> = Vec::with_capacity(values.len());
+        let mut nulls = 0u64;
+        let mut distinct_values: std::collections::HashSet<&Value> =
+            std::collections::HashSet::with_capacity(values.len().min(1 << 16));
+        for v in values {
+            if v.is_null() {
+                nulls += 1;
+            } else {
+                keys.push(v.numeric_key());
+                distinct_values.insert(v);
+            }
+        }
+        let exact_ndv = distinct_values.len() as u64;
+        drop(distinct_values);
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let total = keys.len() as u64;
+        if keys.is_empty() {
+            return Histogram {
+                min: 0.0,
+                buckets: Vec::new(),
+                total: 0,
+                nulls,
+                ndv: 0,
+                collapsed: false,
+            };
+        }
+        let bucket_target = bucket_target.max(1);
+        let depth = (keys.len() / bucket_target).max(1);
+        let min = keys[0];
+        let mut buckets = Vec::with_capacity(bucket_target + 1);
+        let mut ndv = 0u64;
+        let mut i = 0usize;
+        while i < keys.len() {
+            let mut end = (i + depth).min(keys.len());
+            // Equal keys must never straddle a boundary. If the value at the
+            // tentative boundary starts a long run, close the bucket *before*
+            // the run so the heavy value gets a bucket of its own (end-biased
+            // equi-depth); if the run starts the bucket, swallow it fully.
+            if end < keys.len() && keys[end] == keys[end - 1] {
+                let run_value = keys[end - 1];
+                let run_start = i + keys[i..end].partition_point(|&k| k < run_value);
+                if run_start > i {
+                    end = run_start;
+                } else {
+                    while end < keys.len() && keys[end] == run_value {
+                        end += 1;
+                    }
+                }
+            }
+            let slice = &keys[i..end];
+            let mut distinct = 1u64;
+            for w in slice.windows(2) {
+                if w[0] != w[1] {
+                    distinct += 1;
+                }
+            }
+            ndv += distinct;
+            // Boundary continuity: consecutive buckets share a distinct
+            // value when the first key of this bucket equals the previous
+            // bucket's hi — prevented by the straddle loop above.
+            buckets.push(Bucket {
+                hi: slice[slice.len() - 1],
+                count: slice.len() as u64,
+                distinct,
+            });
+            i = end;
+        }
+        // `ndv` here is the number of distinct *numeric keys*; when the
+        // key projection lost information (long shared-prefix strings), use
+        // the exact value-level count and flag the collapse.
+        let collapsed = exact_ndv > ndv.saturating_mul(2);
+        Histogram {
+            min,
+            buckets,
+            total,
+            nulls,
+            ndv: exact_ndv,
+            collapsed,
+        }
+    }
+
+    /// Rows the histogram describes (non-null).
+    pub fn row_count(&self) -> u64 {
+        self.total
+    }
+
+    /// NULL count observed at build time.
+    pub fn null_count(&self) -> u64 {
+        self.nulls
+    }
+
+    /// Estimated number of distinct values.
+    pub fn distinct_count(&self) -> u64 {
+        self.ndv
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Smallest key.
+    pub fn min_key(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest key.
+    pub fn max_key(&self) -> f64 {
+        self.buckets.last().map_or(self.min, |b| b.hi)
+    }
+
+    fn grand_total(&self) -> f64 {
+        (self.total + self.nulls).max(1) as f64
+    }
+
+    /// Selectivity of `col = value` among all rows (NULLs never match).
+    pub fn selectivity_eq(&self, value: &Value) -> f64 {
+        if value.is_null() || self.total == 0 {
+            return 0.0;
+        }
+        let key = value.numeric_key();
+        if key < self.min || key > self.max_key() {
+            return 0.0;
+        }
+        if self.collapsed {
+            // Key collisions hide the per-bucket distribution: uniform
+            // assumption over the exact distinct count.
+            return (self.total as f64 / self.ndv.max(1) as f64) / self.grand_total();
+        }
+        let mut lo = self.min;
+        for b in &self.buckets {
+            if key <= b.hi {
+                // Within this bucket: assume uniform spread over distinct values.
+                let _ = lo;
+                return (b.count as f64 / b.distinct.max(1) as f64) / self.grand_total();
+            }
+            lo = b.hi;
+        }
+        0.0
+    }
+
+    /// Selectivity of `col <= value` (NULLs never match).
+    pub fn selectivity_le(&self, value: &Value) -> f64 {
+        if value.is_null() || self.total == 0 {
+            return 0.0;
+        }
+        let key = value.numeric_key();
+        if key < self.min {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        let mut lo = self.min;
+        for b in &self.buckets {
+            if key >= b.hi {
+                acc += b.count;
+                lo = b.hi;
+                continue;
+            }
+            // Partially covered bucket: linear interpolation.
+            let width = (b.hi - lo).max(f64::EPSILON);
+            let frac = ((key - lo) / width).clamp(0.0, 1.0);
+            return (acc as f64 + frac * b.count as f64) / self.grand_total();
+        }
+        self.total as f64 / self.grand_total()
+    }
+
+    /// Selectivity of `col < value`.
+    pub fn selectivity_lt(&self, value: &Value) -> f64 {
+        (self.selectivity_le(value) - self.selectivity_eq(value)).max(0.0)
+    }
+
+    /// Selectivity of `lo ≤ col ≤ hi`.
+    pub fn selectivity_between(&self, lo: &Value, hi: &Value) -> f64 {
+        (self.selectivity_le(hi) - self.selectivity_lt(lo)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: impl IntoIterator<Item = i64>) -> Vec<Value> {
+        vals.into_iter().map(Value::Int).collect()
+    }
+
+    #[test]
+    fn uniform_eq_selectivity() {
+        // 1000 distinct values 0..1000: eq selectivity ≈ 1/1000.
+        let h = Histogram::build(&ints(0..1000), DEFAULT_BUCKETS);
+        let s = h.selectivity_eq(&Value::Int(500));
+        assert!((s - 0.001).abs() < 0.0005, "sel {s}");
+        assert_eq!(h.distinct_count(), 1000);
+        assert_eq!(h.row_count(), 1000);
+    }
+
+    #[test]
+    fn le_selectivity_is_monotone_and_bounded() {
+        let h = Histogram::build(&ints(0..1000), DEFAULT_BUCKETS);
+        let mut prev = 0.0;
+        for v in [0, 100, 250, 500, 900, 999] {
+            let s = h.selectivity_le(&Value::Int(v));
+            assert!(s >= prev - 1e-12, "non-monotone at {v}");
+            assert!((0.0..=1.0).contains(&s));
+            prev = s;
+        }
+        assert!((h.selectivity_le(&Value::Int(499)) - 0.5).abs() < 0.05);
+        assert!(h.selectivity_le(&Value::Int(-1)) == 0.0);
+        assert!((h.selectivity_le(&Value::Int(2000)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_data_heavy_value() {
+        // 900 copies of 7, plus 0..100.
+        let mut vals = ints(std::iter::repeat_n(7, 900));
+        vals.extend(ints(0..100));
+        let h = Histogram::build(&vals, 16);
+        let s7 = h.selectivity_eq(&Value::Int(7));
+        let s50 = h.selectivity_eq(&Value::Int(50));
+        assert!(s7 > 0.3, "heavy value must dominate, got {s7}");
+        assert!(s50 < 0.05, "light value must stay small, got {s50}");
+    }
+
+    #[test]
+    fn nulls_reduce_selectivity() {
+        let mut vals = ints(0..100);
+        vals.extend(std::iter::repeat_n(Value::Null, 100));
+        let h = Histogram::build(&vals, 8);
+        assert_eq!(h.null_count(), 100);
+        // col <= max matches only half the rows.
+        assert!((h.selectivity_le(&Value::Int(99)) - 0.5).abs() < 0.01);
+        assert_eq!(h.selectivity_eq(&Value::Null), 0.0);
+    }
+
+    #[test]
+    fn between_matches_range_fraction() {
+        let h = Histogram::build(&ints(0..1000), DEFAULT_BUCKETS);
+        let s = h.selectivity_between(&Value::Int(200), &Value::Int(399));
+        assert!((s - 0.2).abs() < 0.05, "got {s}");
+    }
+
+    #[test]
+    fn empty_and_constant_columns() {
+        let h = Histogram::build(&[], 8);
+        assert_eq!(h.selectivity_eq(&Value::Int(1)), 0.0);
+        let h = Histogram::build(&ints(std::iter::repeat_n(5, 100)), 8);
+        assert!((h.selectivity_eq(&Value::Int(5)) - 1.0).abs() < 1e-9);
+        assert_eq!(h.distinct_count(), 1);
+    }
+
+    #[test]
+    fn string_histogram_orders_ids() {
+        let vals: Vec<Value> = (0..1000)
+            .map(|i| Value::Str(format!("NF{i:04}")))
+            .collect();
+        let h = Histogram::build(&vals, DEFAULT_BUCKETS);
+        let s = h.selectivity_le(&Value::Str("NF0499".into()));
+        assert!((s - 0.5).abs() < 0.1, "got {s}");
+    }
+}

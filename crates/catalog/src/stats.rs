@@ -1,0 +1,68 @@
+//! Optimizer statistics: per-table and per-column.
+
+use std::collections::HashMap;
+
+use crate::histogram::Histogram;
+
+/// Statistics of one column, as collected by `CREATE STATISTICS`.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// The histogram over the column's values.
+    pub histogram: Histogram,
+}
+
+/// Statistics of one table at a collection instant.
+///
+/// The monitor's `tables` IMA object reports page/overflow counts live from
+/// the heap; this struct is the *optimizer's* snapshot, which can go stale —
+/// exactly the failure mode the paper's first analyzer rule detects.
+#[derive(Debug, Clone, Default)]
+pub struct TableStatistics {
+    /// Row count at collection time.
+    pub row_count: u64,
+    /// Data pages at collection time.
+    pub pages: u64,
+    /// Per-column statistics, keyed by column position.
+    pub columns: HashMap<usize, ColumnStats>,
+    /// Simulated-clock second at which the statistics were collected.
+    pub collected_at_secs: u64,
+}
+
+impl TableStatistics {
+    /// True when column `col` has a histogram.
+    pub fn has_histogram(&self, col: usize) -> bool {
+        self.columns.contains_key(&col)
+    }
+
+    /// The histogram of column `col`, if collected.
+    pub fn histogram(&self, col: usize) -> Option<&Histogram> {
+        self.columns.get(&col).map(|c| &c.histogram)
+    }
+
+    /// Estimated distinct count of column `col`, if known.
+    pub fn distinct_count(&self, col: usize) -> Option<u64> {
+        self.histogram(col).map(Histogram::distinct_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingot_common::Value;
+
+    #[test]
+    fn lookup_by_column_position() {
+        let mut s = TableStatistics::default();
+        let vals: Vec<Value> = (0..10).map(Value::Int).collect();
+        s.columns.insert(
+            2,
+            ColumnStats {
+                histogram: Histogram::build(&vals, 4),
+            },
+        );
+        assert!(s.has_histogram(2));
+        assert!(!s.has_histogram(0));
+        assert_eq!(s.distinct_count(2), Some(10));
+        assert_eq!(s.distinct_count(1), None);
+    }
+}

@@ -1,0 +1,242 @@
+//! Table and index entries: metadata plus live storage handles.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use ingot_common::{Error, IndexId, Result, Row, Schema, TableId, Value};
+use ingot_storage::{BTreeFile, HeapFile, RowId};
+
+use crate::stats::TableStatistics;
+
+/// The storage structure of a table, per Ingres' `MODIFY … TO` command.
+///
+/// `Heap` is the default: a fixed main-page extent plus overflow chains, no
+/// keyed access. `BTree` stores a clustered B-Tree over the primary key and a
+/// compacted, overflow-free heap, enabling keyed lookups — the structure the
+/// analyzer's 10 %-overflow rule recommends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageStructure {
+    /// Main pages + overflow chain, scan-only access.
+    Heap,
+    /// Clustered primary-key B-Tree over a compacted heap.
+    BTree,
+}
+
+impl fmt::Display for StorageStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageStructure::Heap => write!(f, "HEAP"),
+            StorageStructure::BTree => write!(f, "BTREE"),
+        }
+    }
+}
+
+impl FromStr for StorageStructure {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "HEAP" => Ok(StorageStructure::Heap),
+            "BTREE" | "B-TREE" => Ok(StorageStructure::BTree),
+            other => Err(Error::parse(format!("unknown storage structure '{other}'"))),
+        }
+    }
+}
+
+/// Metadata of a base table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// Stable id.
+    pub id: TableId,
+    /// Lower-cased name.
+    pub name: String,
+    /// Column definitions.
+    pub schema: Schema,
+    /// Positions of the primary-key columns (may be empty).
+    pub primary_key: Vec<usize>,
+    /// Current storage structure.
+    pub storage: StorageStructure,
+}
+
+/// A table: metadata, storage handles and optimizer statistics.
+pub struct TableEntry {
+    /// Metadata.
+    pub meta: TableMeta,
+    /// The row store (always present; compacted on `MODIFY`).
+    pub heap: Arc<HeapFile>,
+    /// Clustered primary-key tree, present when `storage == BTree` and the
+    /// table declares a primary key.
+    pub primary: Option<Arc<BTreeFile>>,
+    /// Optimizer statistics; `None` until `CREATE STATISTICS` runs.
+    pub stats: Option<TableStatistics>,
+}
+
+impl TableEntry {
+    /// Extract the primary-key values of `row`.
+    pub fn pk_values(&self, row: &Row) -> Vec<Value> {
+        self.meta
+            .primary_key
+            .iter()
+            .map(|&i| row.get(i).clone())
+            .collect()
+    }
+
+    /// Point lookup through the clustered primary tree (BTree storage only).
+    pub fn pk_lookup(&self, key: &[Value]) -> Result<Option<RowId>> {
+        let Some(primary) = &self.primary else {
+            return Err(Error::storage(format!(
+                "table '{}' has no primary structure",
+                self.meta.name
+            )));
+        };
+        let encoded = ingot_storage::encode_key(key);
+        Ok(primary
+            .get(&encoded)?
+            .map(|v| RowId::unpack(u64::from_le_bytes(v.try_into().unwrap()))))
+    }
+
+    /// All row ids whose primary key starts with `prefix` (clustered-tree
+    /// prefix probe; `prefix` may cover only the leading key columns).
+    pub fn pk_prefix_probe(&self, prefix: &[Value]) -> Result<Vec<RowId>> {
+        let Some(primary) = &self.primary else {
+            return Err(Error::storage(format!(
+                "table '{}' has no primary structure",
+                self.meta.name
+            )));
+        };
+        let lo = ingot_storage::encode_key(prefix);
+        let hi = prefix_upper_bound(&lo);
+        let mut out = Vec::new();
+        primary.for_each_in_range(Some(&lo), Some(&hi), |_, v| {
+            out.push(RowId::unpack(u64::from_le_bytes(v.try_into().unwrap())));
+        })?;
+        Ok(out)
+    }
+
+    /// Pages currently used by the table (heap + primary tree).
+    pub fn data_pages(&self) -> u64 {
+        let heap = self.heap.stats().total_pages();
+        heap + self.primary.as_ref().map_or(0, |p| p.pages())
+    }
+}
+
+/// Inclusive upper bound covering every key that extends `prefix`: encoded
+/// value bytes never start with 0xFF, so nine 0xFF bytes outrank any suffix.
+fn prefix_upper_bound(prefix: &[u8]) -> Vec<u8> {
+    let mut hi = Vec::with_capacity(prefix.len() + 9);
+    hi.extend_from_slice(prefix);
+    hi.extend_from_slice(&[0xFF; 9]);
+    hi
+}
+
+/// Metadata of a secondary index.
+#[derive(Debug, Clone)]
+pub struct IndexMeta {
+    /// Stable id.
+    pub id: IndexId,
+    /// Lower-cased name.
+    pub name: String,
+    /// The indexed table.
+    pub table: TableId,
+    /// Positions of the indexed columns within the table schema.
+    pub columns: Vec<usize>,
+    /// Whether duplicate keys are rejected.
+    pub unique: bool,
+    /// Hypothetical ("virtual") index: visible to the optimizer's what-if
+    /// mode only, never materialised — after AutoAdmin's what-if indexes.
+    pub is_virtual: bool,
+}
+
+/// A secondary index: metadata plus the B-Tree (absent for virtual indexes).
+pub struct IndexEntry {
+    /// Metadata.
+    pub meta: IndexMeta,
+    /// The backing tree; `None` for virtual indexes.
+    pub tree: Option<Arc<BTreeFile>>,
+}
+
+impl IndexEntry {
+    /// Compose the stored key: memcomparable column values + packed row id
+    /// (the row id makes non-unique keys distinct in the tree).
+    pub fn stored_key(values: &[Value], rid: RowId) -> Vec<u8> {
+        let mut k = ingot_storage::encode_key(values);
+        k.extend_from_slice(&rid.pack().to_be_bytes());
+        k
+    }
+
+    /// All row ids whose indexed columns equal `values`.
+    pub fn probe_eq(&self, values: &[Value]) -> Result<Vec<RowId>> {
+        let tree = self
+            .tree
+            .as_ref()
+            .ok_or_else(|| Error::catalog(format!("index '{}' is virtual", self.meta.name)))?;
+        let lo = ingot_storage::encode_key(values);
+        let hi = prefix_upper_bound(&lo);
+        let mut out = Vec::new();
+        tree.for_each_in_range(Some(&lo), Some(&hi), |_, v| {
+            out.push(RowId::unpack(u64::from_le_bytes(v.try_into().unwrap())));
+        })?;
+        Ok(out)
+    }
+
+    /// All row ids whose first indexed column lies in `[lo, hi]` (either
+    /// bound optional).
+    pub fn probe_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Result<Vec<RowId>> {
+        let tree = self
+            .tree
+            .as_ref()
+            .ok_or_else(|| Error::catalog(format!("index '{}' is virtual", self.meta.name)))?;
+        let lo_key = lo.map(|v| ingot_storage::encode_key(std::slice::from_ref(v)));
+        let hi_key = hi.map(|v| {
+            let mut k = ingot_storage::encode_key(std::slice::from_ref(v));
+            // Include every entry sharing the bound prefix (composite keys
+            // and the row-id suffix extend beyond it).
+            k.extend_from_slice(&[0xFF; 9]);
+            k
+        });
+        let mut out = Vec::new();
+        tree.for_each_in_range(lo_key.as_deref(), hi_key.as_deref(), |_, v| {
+            out.push(RowId::unpack(u64::from_le_bytes(v.try_into().unwrap())));
+        })?;
+        Ok(out)
+    }
+
+    /// Pages used by the index (0 for virtual).
+    pub fn pages(&self) -> u64 {
+        self.tree.as_ref().map_or(0, |t| t.pages())
+    }
+
+    /// Entries in the index (0 for virtual).
+    pub fn entry_count(&self) -> u64 {
+        self.tree.as_ref().map_or(0, |t| t.entry_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_structure_parse_display() {
+        assert_eq!(
+            "btree".parse::<StorageStructure>().unwrap(),
+            StorageStructure::BTree
+        );
+        assert_eq!(
+            "HEAP".parse::<StorageStructure>().unwrap(),
+            StorageStructure::Heap
+        );
+        assert!("isam".parse::<StorageStructure>().is_err());
+        assert_eq!(StorageStructure::BTree.to_string(), "BTREE");
+    }
+
+    #[test]
+    fn stored_key_disambiguates_duplicates() {
+        let vals = [Value::Int(7)];
+        let a = IndexEntry::stored_key(&vals, RowId::new(1, 0));
+        let b = IndexEntry::stored_key(&vals, RowId::new(1, 1));
+        assert_ne!(a, b);
+        let prefix = ingot_storage::encode_key(&vals);
+        assert!(a.starts_with(&prefix) && b.starts_with(&prefix));
+    }
+}

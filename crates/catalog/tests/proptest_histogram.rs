@@ -1,0 +1,101 @@
+//! Property-based tests of histogram invariants — the selectivity numbers
+//! the whole cost model rests on.
+
+use ingot_catalog::Histogram;
+use ingot_common::Value;
+use proptest::prelude::*;
+
+fn arb_ints() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-10_000i64..10_000, 1..800)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn selectivities_are_probabilities(values in arb_ints(), probe in -12_000i64..12_000) {
+        let vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        let h = Histogram::build(&vals, 16);
+        let p = Value::Int(probe);
+        for s in [
+            h.selectivity_eq(&p),
+            h.selectivity_le(&p),
+            h.selectivity_lt(&p),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "selectivity {s}");
+        }
+    }
+
+    #[test]
+    fn le_is_monotone(values in arb_ints(), a in -12_000i64..12_000, b in -12_000i64..12_000) {
+        let vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        let h = Histogram::build(&vals, 16);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            h.selectivity_le(&Value::Int(lo)) <= h.selectivity_le(&Value::Int(hi)) + 1e-9
+        );
+    }
+
+    #[test]
+    fn eq_estimate_tracks_truth_for_point_probes(values in arb_ints(), idx in any::<prop::sample::Index>()) {
+        // Probe a value that definitely exists; the estimate must be within
+        // a generous factor of the true frequency (equi-depth guarantee).
+        let probe = values[idx.index(values.len())];
+        let vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        let h = Histogram::build(&vals, 32);
+        let truth = values.iter().filter(|&&v| v == probe).count() as f64 / values.len() as f64;
+        let est = h.selectivity_eq(&Value::Int(probe));
+        prop_assert!(est > 0.0, "existing value must have non-zero selectivity");
+        // Within one bucket of slack either way.
+        let slack = 1.0 / 16.0 + truth;
+        prop_assert!(est <= truth + slack, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn between_covers_full_range(values in arb_ints()) {
+        let vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        let h = Histogram::build(&vals, 16);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let s = h.selectivity_between(&Value::Int(min), &Value::Int(max));
+        prop_assert!(s > 0.9, "full range must cover ~everything, got {s}");
+    }
+
+    #[test]
+    fn ndv_is_exact(values in arb_ints()) {
+        let vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        let h = Histogram::build(&vals, 16);
+        let truth: std::collections::HashSet<i64> = values.iter().copied().collect();
+        prop_assert_eq!(h.distinct_count(), truth.len() as u64);
+        prop_assert_eq!(h.row_count(), values.len() as u64);
+    }
+
+    #[test]
+    fn string_histograms_behave(ids in prop::collection::vec(0u64..100_000, 1..500)) {
+        // NREF-style shared-prefix ids: the collapse detection must keep eq
+        // selectivity near uniform.
+        let vals: Vec<Value> = ids.iter().map(|i| Value::Str(format!("NF{i:08}"))).collect();
+        let h = Histogram::build(&vals, 32);
+        let truth: std::collections::HashSet<&u64> = ids.iter().collect();
+        prop_assert_eq!(h.distinct_count(), truth.len() as u64);
+        let s = h.selectivity_eq(&Value::Str(format!("NF{:08}", ids[0])));
+        prop_assert!(s > 0.0 && s <= 1.0);
+        // Roughly uniform: within 10x of 1/ndv scaled by duplicates.
+        let uniform = 1.0 / truth.len() as f64;
+        prop_assert!(s <= uniform * 20.0, "s {s} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn nulls_never_match(values in arb_ints(), null_count in 0usize..100) {
+        let mut vals: Vec<Value> = values.iter().copied().map(Value::Int).collect();
+        vals.extend(std::iter::repeat_n(Value::Null, null_count));
+        let h = Histogram::build(&vals, 16);
+        prop_assert_eq!(h.selectivity_eq(&Value::Null), 0.0);
+        prop_assert_eq!(h.null_count(), null_count as u64);
+        // col <= max misses exactly the NULLs.
+        let max = *values.iter().max().unwrap();
+        let expected = values.len() as f64 / (values.len() + null_count) as f64;
+        let got = h.selectivity_le(&Value::Int(max));
+        prop_assert!((got - expected).abs() < 0.02, "got {got} expected {expected}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Cost units.
+//!
+//! The Ingres optimizer (and therefore the paper's Fig 3 `workload` table)
+//! expresses cost as two components: CPU and disk I/O. We keep the same
+//! decomposition and use it uniformly for *estimated* costs (optimizer units)
+//! and *actual* costs (measured tuples processed / pages touched), so that
+//! the analyzer can compare the two directly, as the paper's first rule does
+//! ("actual and estimated costs of a statement differ significantly").
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A two-component cost: CPU work and disk I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// CPU component. For estimates: abstract optimizer units (≈ tuples
+    /// processed). For actuals: tuples actually processed.
+    pub cpu: f64,
+    /// I/O component. For estimates: predicted page reads. For actuals:
+    /// physical page reads + writes observed at the buffer pool.
+    pub io: f64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost { cpu: 0.0, io: 0.0 };
+
+    /// Build a cost from components.
+    pub fn new(cpu: f64, io: f64) -> Self {
+        Cost { cpu, io }
+    }
+
+    /// A CPU-only cost.
+    pub fn cpu(cpu: f64) -> Self {
+        Cost { cpu, io: 0.0 }
+    }
+
+    /// An I/O-only cost.
+    pub fn io(io: f64) -> Self {
+        Cost { cpu: 0.0, io }
+    }
+
+    /// Collapse to a single comparable number. The weight mirrors the
+    /// classic assumption that one page I/O costs as much as processing a
+    /// few thousand tuples in memory.
+    pub fn total(&self) -> f64 {
+        self.cpu + self.io * Self::IO_WEIGHT
+    }
+
+    /// Relative weight of one I/O versus one CPU unit in [`Cost::total`].
+    pub const IO_WEIGHT: f64 = 4000.0;
+
+    /// True if `self.total()` is strictly less than `other.total()`.
+    pub fn cheaper_than(&self, other: &Cost) -> bool {
+        self.total() < other.total()
+    }
+
+    /// Relative deviation between an estimate and an actual, used by the
+    /// analyzer's statistics rule: |est − act| / max(act, 1).
+    pub fn relative_error(estimate: &Cost, actual: &Cost) -> f64 {
+        let e = estimate.total();
+        let a = actual.total();
+        (e - a).abs() / a.max(1.0)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            cpu: self.cpu + rhs.cpu,
+            io: self.io + rhs.io,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.cpu += rhs.cpu;
+        self.io += rhs.io;
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu={:.1} io={:.1}", self.cpu, self.io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_weights_io() {
+        let c = Cost::new(10.0, 1.0);
+        assert!(c.total() > 10.0);
+        assert!(Cost::cpu(1.0).cheaper_than(&Cost::io(1.0)));
+    }
+
+    #[test]
+    fn addition() {
+        let mut a = Cost::new(1.0, 2.0);
+        a += Cost::new(3.0, 4.0);
+        assert_eq!(a, Cost::new(4.0, 6.0));
+        assert_eq!(a + Cost::ZERO, a);
+    }
+
+    #[test]
+    fn relative_error_symmetric_in_magnitude() {
+        let act = Cost::new(100.0, 0.0);
+        assert!((Cost::relative_error(&Cost::new(200.0, 0.0), &act) - 1.0).abs() < 1e-9);
+        assert!(Cost::relative_error(&act, &act) < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! The unified error type shared by every Ingot subsystem.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All failure modes of the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexing / parsing failure, with position information where available.
+    Parse(String),
+    /// Name resolution failure (unknown table, column, index, database…).
+    Binder(String),
+    /// Type mismatch during binding or execution.
+    Type(String),
+    /// Catalog-level failure (duplicate object, missing object…).
+    Catalog(String),
+    /// Storage-level failure (page full, invalid row id, I/O…).
+    Storage(String),
+    /// Planner could not produce a plan.
+    Plan(String),
+    /// Executor runtime failure.
+    Execution(String),
+    /// Lock manager: the transaction was chosen as a deadlock victim.
+    Deadlock {
+        /// The transaction that was aborted.
+        victim: u64,
+    },
+    /// Lock manager: lock wait exceeded the configured timeout.
+    LockTimeout(String),
+    /// Constraint violation (duplicate primary key etc.).
+    Constraint(String),
+    /// Monitoring / IMA failure (unknown virtual table etc.).
+    Monitor(String),
+    /// Daemon failure (workload DB unreachable etc.).
+    Daemon(String),
+    /// Operating-system I/O error, stringified (std::io::Error is not Clone).
+    Io(String),
+    /// Feature parsed but not supported by this engine build.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::Parse`].
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Binder`].
+    pub fn binder(msg: impl Into<String>) -> Self {
+        Error::Binder(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Type`].
+    pub fn type_error(msg: impl Into<String>) -> Self {
+        Error::Type(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Catalog`].
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        Error::Catalog(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Storage`].
+    pub fn storage(msg: impl Into<String>) -> Self {
+        Error::Storage(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Plan`].
+    pub fn plan(msg: impl Into<String>) -> Self {
+        Error::Plan(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Execution`].
+    pub fn execution(msg: impl Into<String>) -> Self {
+        Error::Execution(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Constraint`].
+    pub fn constraint(msg: impl Into<String>) -> Self {
+        Error::Constraint(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Monitor`].
+    pub fn monitor(msg: impl Into<String>) -> Self {
+        Error::Monitor(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Daemon`].
+    pub fn daemon(msg: impl Into<String>) -> Self {
+        Error::Daemon(msg.into())
+    }
+    /// Shorthand constructor for [`Error::Unsupported`].
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        Error::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Binder(m) => write!(f, "binder error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Deadlock { victim } => {
+                write!(f, "deadlock detected; transaction {victim} aborted")
+            }
+            Error::LockTimeout(m) => write!(f, "lock timeout: {m}"),
+            Error::Constraint(m) => write!(f, "constraint violation: {m}"),
+            Error::Monitor(m) => write!(f, "monitor error: {m}"),
+            Error::Daemon(m) => write!(f, "daemon error: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert!(Error::parse("x").to_string().starts_with("parse error"));
+        assert!(Error::Deadlock { victim: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let e: Error = std::io::Error::other("boom").into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

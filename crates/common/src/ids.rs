@@ -1,0 +1,100 @@
+//! Newtype identifiers for catalog and storage objects.
+//!
+//! Using distinct types (rather than bare `u32`/`u64`) prevents the classic
+//! bug of passing a table id where an index id is expected — a pattern the
+//! Rust design-patterns guide calls the *newtype* idiom.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw integer behind the id.
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a base table within a database.
+    TableId,
+    u32
+);
+id_newtype!(
+    /// Identifies a secondary index. Indexes are stored as tables in the
+    /// Ingres tradition, but carry their own id space in the catalog.
+    IndexId,
+    u32
+);
+id_newtype!(
+    /// Identifies an attribute (column) within its table.
+    AttrId,
+    u32
+);
+id_newtype!(
+    /// Identifies a database (namespace of tables).
+    DatabaseId,
+    u32
+);
+id_newtype!(
+    /// Identifies a page within a storage file.
+    PageId,
+    u64
+);
+id_newtype!(
+    /// Identifies an engine session (connection).
+    SessionId,
+    u64
+);
+id_newtype!(
+    /// Identifies a transaction.
+    TxnId,
+    u64
+);
+
+impl PageId {
+    /// Sentinel for "no page" (e.g. end of an overflow chain).
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    /// True unless this is the [`PageId::INVALID`] sentinel.
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        let t = TableId(1);
+        let i = IndexId(1);
+        assert_eq!(t.raw(), i.raw());
+        assert_eq!(t.to_string(), "1");
+    }
+
+    #[test]
+    fn invalid_page_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+    }
+}

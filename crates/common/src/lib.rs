@@ -1,0 +1,30 @@
+//! Shared foundation types for the Ingot DBMS.
+//!
+//! This crate contains the vocabulary used by every other subsystem: SQL
+//! [`Value`]s and their [`DataType`]s, [`Row`]s and [`Schema`]s, object
+//! identifiers, the unified [`Error`] type, cost units, statement hashing and
+//! clock utilities.
+//!
+//! The engine reproduces the system described in *An Integrated Approach to
+//! Performance Monitoring for Autonomous Tuning* (Thiem & Sattler, ICDE 2009);
+//! these types are deliberately simple so that the monitoring sensors added in
+//! `ingot-core` can log them "right at their source" without any extra
+//! catalog or disk access, as the paper requires.
+
+pub mod clock;
+pub mod config;
+pub mod cost;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod row;
+pub mod value;
+
+pub use clock::{MonotonicClock, SimClock};
+pub use config::EngineConfig;
+pub use cost::Cost;
+pub use error::{Error, Result};
+pub use hash::{fnv1a64, StmtHash};
+pub use ids::{AttrId, DatabaseId, IndexId, PageId, SessionId, TableId, TxnId};
+pub use row::{Column, Row, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,245 @@
+//! Rows and schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// A column definition: name, type and nullability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lower-cased by the binder).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Whether NULLs are accepted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A nullable column of the given name and type.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+            nullable: true,
+        }
+    }
+
+    /// A NOT NULL column of the given name and type.
+    pub fn not_null(name: impl Into<String>, ty: DataType) -> Self {
+        Column {
+            nullable: false,
+            ..Column::new(name, ty)
+        }
+    }
+}
+
+/// An ordered list of columns describing a row shape.
+///
+/// Schemas are cheaply cloneable (`Arc` inside) because every operator in a
+/// plan carries one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Arc<Vec<Column>>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema {
+            columns: Arc::new(columns),
+        }
+    }
+
+    /// The empty schema (used by DDL results).
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// A schema concatenating `self`'s columns with `other`'s (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut cols = Vec::with_capacity(self.len() + other.len());
+        cols.extend_from_slice(self.columns());
+        cols.extend_from_slice(other.columns());
+        Schema::new(cols)
+    }
+
+    /// Validate that `row` matches this schema in arity, type and
+    /// nullability; coerces values where [`Value::coerce_to`] allows it.
+    pub fn check_row(&self, row: &Row) -> Result<Row> {
+        if row.len() != self.len() {
+            return Err(Error::type_error(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (v, c) in row.values().iter().zip(self.columns().iter()) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(Error::constraint(format!(
+                        "column '{}' is NOT NULL",
+                        c.name
+                    )));
+                }
+                out.push(Value::Null);
+            } else {
+                out.push(v.coerce_to(c.ty)?);
+            }
+        }
+        Ok(Row::new(out))
+    }
+}
+
+/// A tuple of values. The engine passes rows by value between operators; the
+/// inner `Vec` is reused where possible to limit allocation in hot paths.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// All values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for the zero-column row.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Consume the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Mutable access (used by UPDATE).
+    pub fn set(&mut self, idx: usize, v: Value) {
+        self.values[idx] = v;
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(self.values());
+        v.extend_from_slice(other.values());
+        Row::new(v)
+    }
+
+    /// Project the row onto the given positions.
+    pub fn project(&self, positions: &[usize]) -> Row {
+        Row::new(positions.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Approximate byte size (storage + growth accounting).
+    pub fn byte_size(&self) -> usize {
+        2 + self.values.iter().map(Value::byte_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn check_row_coerces_and_rejects() {
+        let s = schema();
+        let ok = s
+            .check_row(&Row::new(vec![Value::Str("3".into()), Value::Null]))
+            .unwrap();
+        assert_eq!(ok.get(0), &Value::Int(3));
+        assert!(s
+            .check_row(&Row::new(vec![Value::Null, Value::Null]))
+            .is_err());
+        assert!(s.check_row(&Row::new(vec![Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn join_concat_project() {
+        let s = schema().join(&schema());
+        assert_eq!(s.len(), 4);
+        let r = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        let j = r.concat(&Row::new(vec![Value::Int(3)]));
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.project(&[2, 0]).values(), &[Value::Int(3), Value::Int(1)]);
+    }
+}

@@ -1,0 +1,325 @@
+//! SQL values and data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// The column data types supported by the engine.
+///
+/// The set mirrors what the NREF evaluation schema of the paper needs:
+/// integers, floats and variable-length strings, all nullable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// Variable-length UTF-8 string.
+    Str,
+    /// Boolean (produced by predicates; storable as well).
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "VARCHAR"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// A single SQL value.
+///
+/// `Null` compares less than every non-null value so that sort orders are
+/// total; SQL three-valued logic is applied in predicate evaluation, not in
+/// [`Ord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. NaN is normalised to NULL on construction paths that
+    /// can produce it (e.g. AVG over zero rows).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            // Cross-type comparisons between incompatible types order by a
+            // fixed type rank so sorting heterogeneous columns is total.
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                // Hash floats through their bit pattern; equal ints/floats
+                // that compare equal may hash differently, so hash joins
+                // normalise int-vs-float keys before hashing (see executor).
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                4u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl Value {
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // ints and floats are mutually comparable
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// The data type of this value, or `None` for NULL (which is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// True if this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric content widened to `f64`, for `Int` and `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Coerce this value to `ty`, used when binding INSERT literals to a
+    /// column type. Int→Float widening and numeric↔string parsing are
+    /// allowed; anything else is a type error.
+    pub fn coerce_to(&self, ty: DataType) -> Result<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(_), DataType::Int)
+            | (Value::Float(_), DataType::Float)
+            | (Value::Str(_), DataType::Str)
+            | (Value::Bool(_), DataType::Bool) => Ok(self.clone()),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Float(f), DataType::Int) => Ok(Value::Int(*f as i64)),
+            (Value::Int(i), DataType::Str) => Ok(Value::Str(i.to_string())),
+            (Value::Float(f), DataType::Str) => Ok(Value::Str(f.to_string())),
+            (Value::Str(s), DataType::Int) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::type_error(format!("cannot cast '{s}' to INT"))),
+            (Value::Str(s), DataType::Float) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::type_error(format!("cannot cast '{s}' to FLOAT"))),
+            (v, ty) => Err(Error::type_error(format!("cannot cast {v} to {ty}"))),
+        }
+    }
+
+    /// A stable mapping of the value onto the f64 number line, used by
+    /// histogram construction. Strings map through their first six bytes
+    /// (48 bits, exactly representable in an f64 mantissa) so that
+    /// lexicographic order is approximately preserved.
+    pub fn numeric_key(&self) -> f64 {
+        match self {
+            Value::Null => f64::NEG_INFINITY,
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => *f,
+            Value::Bool(b) => *b as u8 as f64,
+            Value::Str(s) => {
+                let mut buf = [0u8; 8];
+                let bytes = s.as_bytes();
+                let n = bytes.len().min(6);
+                buf[2..2 + n].copy_from_slice(&bytes[..n]);
+                u64::from_be_bytes(buf) as f64
+            }
+        }
+    }
+
+    /// Approximate heap size of the value in bytes, used for page budgeting
+    /// and the workload-DB growth accounting of §V-A.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 9,
+            Value::Float(_) => 9,
+            Value::Bool(_) => 2,
+            Value::Str(s) => 5 + s.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(-1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(-1));
+    }
+
+    #[test]
+    fn int_float_cross_compare() {
+        assert_eq!(Value::Int(2).cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(3.5) > Value::Int(3));
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(
+            Value::Int(7).coerce_to(DataType::Float).unwrap(),
+            Value::Float(7.0)
+        );
+        assert_eq!(
+            Value::Str("42".into()).coerce_to(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert!(Value::Str("abc".into()).coerce_to(DataType::Int).is_err());
+        assert_eq!(Value::Null.coerce_to(DataType::Str).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn numeric_key_preserves_string_order() {
+        let a = Value::Str("NF0001".into()).numeric_key();
+        let b = Value::Str("NF0002".into()).numeric_key();
+        assert!(a < b);
+        // Differences beyond the 6-byte prefix are invisible (documented).
+        let c = Value::Str("NF00000001".into()).numeric_key();
+        let d = Value::Str("NF00000002".into()).numeric_key();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn byte_size_accounts_for_strings() {
+        assert_eq!(Value::Str("abcd".into()).byte_size(), 9);
+        assert_eq!(Value::Int(0).byte_size(), 9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::Str("x".into()).to_string(), "x");
+    }
+}

@@ -1,0 +1,935 @@
+//! The engine facade: sessions, the sensor-instrumented statement path, and
+//! the administration surface used by the daemon and analyzer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ingot_catalog::{Catalog, StorageStructure};
+use ingot_common::{
+    Column, Cost, EngineConfig, Error, IndexId, MonotonicClock, Result, Row, Schema, SessionId,
+    SimClock, TableId, TxnId, Value,
+};
+use ingot_executor::{execute_plan, execute_statement};
+use ingot_planner::{optimize, Binder, BindArtifacts, OptimizerOptions, PlannedStatement};
+use ingot_sql::{parse_statement, ColumnDef, Statement};
+use ingot_storage::{BufferStats, IoStats, StorageEngine};
+use ingot_txn::{LockManager, LockMode, Resource, TxnManager};
+use parking_lot::{Mutex, RwLock};
+
+use crate::ima::register_ima_tables;
+use crate::monitor::{
+    AttributeDetail, IndexDetail, Monitor, StatSample, StatementSensor, TableDetail,
+};
+
+/// Concurrent-session counters ("Current sessions, Maximum sessions" in the
+/// Fig 3 statistics table).
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    current: AtomicU64,
+    peak: AtomicU64,
+    next_id: AtomicU64,
+}
+
+impl SessionCounters {
+    fn open(&self) -> SessionId {
+        let cur = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(cur, Ordering::Relaxed);
+        SessionId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    fn close(&self) {
+        self.current.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Currently open sessions.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Peak concurrent sessions.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, Default)]
+pub struct StatementResult {
+    /// Result rows (queries / EXPLAIN).
+    pub rows: Vec<Row>,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows affected (DML).
+    pub affected: u64,
+    /// The optimizer's estimated cost.
+    pub est_cost: Cost,
+    /// Actual cost: CPU = tuples processed, IO = physical page accesses.
+    pub actual_cost: Cost,
+    /// Wall-clock of the whole statement, nanoseconds.
+    pub wallclock_ns: u64,
+}
+
+/// Result of a what-if estimation (no execution, no monitoring).
+#[derive(Debug, Clone)]
+pub struct EstimateResult {
+    /// Estimated cost of the chosen plan.
+    pub est: Cost,
+    /// Indexes the chosen plan would use.
+    pub used_indexes: Vec<IndexId>,
+    /// True when a virtual index was chosen.
+    pub uses_virtual: bool,
+    /// Rendered plan tree.
+    pub plan: String,
+}
+
+/// An Ingot engine instance: one database, one buffer pool, optional
+/// integrated monitoring.
+pub struct Engine {
+    config: EngineConfig,
+    sim_clock: SimClock,
+    wall: MonotonicClock,
+    storage: StorageEngine,
+    catalog: RwLock<Catalog>,
+    monitor: Option<Arc<Monitor>>,
+    locks: Arc<LockManager>,
+    txns: Arc<TxnManager>,
+    sessions: Arc<SessionCounters>,
+    statements_executed: AtomicU64,
+}
+
+impl Engine {
+    /// Create an engine with a fresh simulated clock.
+    pub fn new(config: EngineConfig) -> Arc<Engine> {
+        Self::with_clock(config, SimClock::new())
+    }
+
+    /// Create an engine sharing an external simulated clock (benchmarks
+    /// coordinate the main engine and the workload DB through one clock).
+    pub fn with_clock(config: EngineConfig, sim_clock: SimClock) -> Arc<Engine> {
+        let storage = StorageEngine::in_memory(&config, sim_clock.clone());
+        Self::with_storage(config, sim_clock, storage)
+    }
+
+    /// Create an engine whose pages live in real files under `dir` — used
+    /// for the workload database, so the storage daemon's periodic appends
+    /// genuinely hit the disk (the paper's "Daemon" setup).
+    pub fn file_backed(
+        config: EngineConfig,
+        sim_clock: SimClock,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<Arc<Engine>> {
+        let storage = StorageEngine::file_backed(dir, &config, sim_clock.clone())?;
+        Ok(Self::with_storage(config, sim_clock, storage))
+    }
+
+    fn with_storage(
+        config: EngineConfig,
+        sim_clock: SimClock,
+        storage: StorageEngine,
+    ) -> Arc<Engine> {
+        let wall = MonotonicClock::new();
+        let mut catalog = Catalog::new(Arc::clone(storage.pool()), config.heap_main_pages);
+        let monitor = config
+            .monitor_enabled
+            .then(|| Arc::new(Monitor::new(&config, wall)));
+        if let Some(m) = &monitor {
+            register_ima_tables(&mut catalog, m).expect("fresh catalog accepts IMA tables");
+        }
+        Arc::new(Engine {
+            locks: Arc::new(LockManager::new(Duration::from_millis(config.lock_timeout_ms))),
+            txns: Arc::new(TxnManager::new()),
+            sessions: Arc::new(SessionCounters::default()),
+            statements_executed: AtomicU64::new(0),
+            sim_clock,
+            wall,
+            storage,
+            catalog: RwLock::new(catalog),
+            monitor,
+            config,
+        })
+    }
+
+    /// Open a session.
+    pub fn open_session(self: &Arc<Self>) -> Session {
+        Session {
+            id: self.sessions.open(),
+            engine: Arc::clone(self),
+            txn: Mutex::new(None),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The monitor, when this instance was built with monitoring.
+    pub fn monitor(&self) -> Option<&Arc<Monitor>> {
+        self.monitor.as_ref()
+    }
+
+    /// The shared simulated clock.
+    pub fn sim_clock(&self) -> &SimClock {
+        &self.sim_clock
+    }
+
+    /// The engine's wall clock.
+    pub fn wall_clock(&self) -> &MonotonicClock {
+        &self.wall
+    }
+
+    /// The catalog lock (advanced use: analyzer, workload loaders).
+    pub fn catalog(&self) -> &RwLock<Catalog> {
+        &self.catalog
+    }
+
+    /// The lock manager (statistics sensor input).
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// The transaction manager.
+    pub fn txns(&self) -> &Arc<TxnManager> {
+        &self.txns
+    }
+
+    /// Session counters.
+    pub fn sessions(&self) -> &Arc<SessionCounters> {
+        &self.sessions
+    }
+
+    /// Cumulative physical I/O of this instance.
+    pub fn io_stats(&self) -> IoStats {
+        self.storage.io_stats()
+    }
+
+    /// Buffer-pool counters.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.storage.buffer_stats()
+    }
+
+    /// Statements executed over the engine's lifetime.
+    pub fn statements_executed(&self) -> u64 {
+        self.statements_executed.load(Ordering::Relaxed)
+    }
+
+    /// Flush all dirty pages to the storage backend.
+    pub fn flush(&self) -> Result<()> {
+        self.storage.flush()
+    }
+
+    /// Total data pages (tables + indexes) — the Fig 7 size metric.
+    pub fn total_data_pages(&self) -> u64 {
+        self.catalog.read().total_data_pages()
+    }
+
+    /// Record one system-wide statistics sample (statistics sensor). Called
+    /// by the storage daemon on its poll interval and by the engine itself
+    /// every few statements.
+    pub fn sample_statistics(&self) {
+        let Some(monitor) = &self.monitor else { return };
+        let locks = self.locks.stats();
+        let buf = self.buffer_stats();
+        let io = self.io_stats();
+        monitor.record_statistics(StatSample {
+            at_ns: self.wall.now_nanos(),
+            at_sim_secs: self.sim_clock.now_secs(),
+            sessions: self.sessions.current(),
+            max_sessions: self.sessions.peak(),
+            locks_held: locks.held,
+            lock_waiting: locks.waiting,
+            lock_waits_total: locks.waits_total,
+            deadlocks_total: locks.deadlocks_total,
+            active_txns: self.txns.active_count(),
+            cache_hits: buf.hits,
+            cache_misses: buf.misses,
+            physical_reads: io.reads(),
+            physical_writes: io.writes,
+            statements_executed: self.statements_executed(),
+        });
+    }
+
+    // ---- what-if interface (used by the analyzer) ----------------------------
+
+    /// Register a virtual (hypothetical) index on `table(columns…)`.
+    pub fn add_virtual_index(&self, table: &str, columns: &[&str]) -> Result<IndexId> {
+        let mut catalog = self.catalog.write();
+        let id = catalog.resolve_table(table)?;
+        let schema = catalog.table(id)?.meta.schema.clone();
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                schema
+                    .index_of(c)
+                    .ok_or_else(|| Error::binder(format!("unknown column '{c}'")))
+            })
+            .collect::<Result<_>>()?;
+        catalog.add_virtual_index(id, cols)
+    }
+
+    /// Drop all virtual indexes (end of a what-if session).
+    pub fn clear_virtual_indexes(&self) {
+        self.catalog.write().clear_virtual_indexes();
+    }
+
+    /// Estimate a statement without executing it, optionally letting virtual
+    /// indexes compete (`include_virtual`). Not recorded by the monitor.
+    pub fn estimate(&self, sql: &str, include_virtual: bool) -> Result<EstimateResult> {
+        let stmt = parse_statement(sql)?;
+        let catalog = self.catalog.read();
+        let (bound, _) = Binder::new(&catalog).bind(&stmt)?;
+        let planned = optimize(&catalog, &bound, OptimizerOptions { include_virtual })?;
+        let (plan, uses_virtual) = match &planned {
+            PlannedStatement::Query(q) => (q.root.to_string(), q.uses_virtual),
+            other => (format!("{other:?}"), false),
+        };
+        Ok(EstimateResult {
+            est: planned.estimated_cost(),
+            used_indexes: planned.used_indexes().to_vec(),
+            uses_virtual,
+            plan,
+        })
+    }
+}
+
+/// A connection to the engine. Statements auto-commit unless an explicit
+/// transaction is open via [`Session::begin`].
+pub struct Session {
+    engine: Arc<Engine>,
+    id: SessionId,
+    txn: Mutex<Option<TxnId>>,
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(txn) = self.txn.lock().take() {
+            self.engine.locks.release_all(txn);
+            self.engine.txns.abort(txn);
+        }
+        self.engine.sessions.close();
+    }
+}
+
+impl Session {
+    /// This session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The engine behind the session.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Open an explicit transaction (locks held until commit/rollback).
+    pub fn begin(&self) -> Result<()> {
+        let mut txn = self.txn.lock();
+        if txn.is_some() {
+            return Err(Error::execution("transaction already open"));
+        }
+        *txn = Some(self.engine.txns.begin());
+        Ok(())
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&self) -> Result<()> {
+        let txn = self
+            .txn
+            .lock()
+            .take()
+            .ok_or_else(|| Error::execution("no open transaction"))?;
+        self.engine.locks.release_all(txn);
+        self.engine.txns.commit(txn);
+        Ok(())
+    }
+
+    /// Roll back the open transaction. (Locks release; data changes are NOT
+    /// undone — like the paper's prototype, the engine is not a full ARIES
+    /// implementation. Documented in DESIGN.md.)
+    pub fn rollback(&self) -> Result<()> {
+        let txn = self
+            .txn
+            .lock()
+            .take()
+            .ok_or_else(|| Error::execution("no open transaction"))?;
+        self.engine.locks.release_all(txn);
+        self.engine.txns.abort(txn);
+        Ok(())
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<StatementResult> {
+        let engine = &*self.engine;
+        // Query-interface sensor: wall-clock start + text hash.
+        let mut sensor = engine.monitor.as_ref().map(|m| m.begin_statement(sql));
+        let start_ns = engine.wall.now_nanos();
+        let io_before = engine.io_stats();
+
+        let outcome = self.execute_inner(sql, &mut sensor);
+        engine.statements_executed.fetch_add(1, Ordering::Relaxed);
+
+        match outcome {
+            Ok(mut result) => {
+                let io_after = engine.io_stats();
+                let io_delta = io_after.delta_since(&io_before);
+                result.actual_cost.io = io_delta.total() as f64;
+                result.wallclock_ns = engine.wall.now_nanos() - start_ns;
+                if let (Some(monitor), Some(mut s)) = (&engine.monitor, sensor.take()) {
+                    monitor.executed(&mut s, result.actual_cost.cpu as u64, io_delta.total());
+                    monitor.record(s, engine.sim_clock.now_secs());
+                    // Periodic statistics sampling from within the engine.
+                    if engine.statements_executed().is_multiple_of(64) {
+                        engine.sample_statistics();
+                    }
+                }
+                Ok(result)
+            }
+            Err(e) => {
+                // Failed statements are not recorded (the paper logs executed
+                // statements); a deadlock victim's transaction is aborted.
+                if matches!(e, Error::Deadlock { .. }) {
+                    if let Some(txn) = self.txn.lock().take() {
+                        self.engine.locks.release_all(txn);
+                        self.engine.txns.abort(txn);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn execute_inner(
+        &self,
+        sql: &str,
+        sensor: &mut Option<StatementSensor>,
+    ) -> Result<StatementResult> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Explain(inner) => self.run_explain(&inner),
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => self.run_create_table(&name, &columns, &primary_key),
+            Statement::DropTable { name } => {
+                self.with_table_xlock_by_name(&name, |eng| {
+                    eng.catalog.write().drop_table(&name)?;
+                    Ok(StatementResult::default())
+                })
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            } => self.run_create_index(&name, &table, &columns, unique),
+            Statement::DropIndex { name } => {
+                self.engine.catalog.write().drop_index(&name)?;
+                Ok(StatementResult::default())
+            }
+            Statement::Modify { table, to } => {
+                let to: StorageStructure = to.parse()?;
+                self.with_table_xlock_by_name(&table, |eng| {
+                    let mut catalog = eng.catalog.write();
+                    let id = catalog.resolve_table(&table)?;
+                    catalog.modify_storage(id, to)?;
+                    Ok(StatementResult::default())
+                })
+            }
+            Statement::CreateStatistics { table, columns } => {
+                let now_secs = self.engine.sim_clock.now_secs();
+                let mut catalog = self.engine.catalog.write();
+                let id = catalog.resolve_table(&table)?;
+                let schema = catalog.table(id)?.meta.schema.clone();
+                let cols: Vec<usize> = columns
+                    .iter()
+                    .map(|c| {
+                        schema
+                            .index_of(c)
+                            .ok_or_else(|| Error::binder(format!("unknown column '{c}'")))
+                    })
+                    .collect::<Result<_>>()?;
+                catalog.collect_statistics(id, &cols, now_secs)?;
+                Ok(StatementResult::default())
+            }
+            Statement::Set { .. } => Ok(StatementResult::default()),
+            dml => self.run_dml(&dml, sensor),
+        }
+    }
+
+    fn run_explain(&self, inner: &Statement) -> Result<StatementResult> {
+        let engine = &*self.engine;
+        let catalog = engine.catalog.read();
+        let (bound, _) = Binder::new(&catalog).bind(inner)?;
+        let planned = optimize(&catalog, &bound, OptimizerOptions::default())?;
+        let text = match &planned {
+            PlannedStatement::Query(q) => q.root.to_string(),
+            PlannedStatement::Insert { table, rows, est } => {
+                let name = catalog.table(*table).map(|e| e.meta.name.clone())?;
+                format!("Insert into {name}  ({} row(s), est {est})
+", rows.len())
+            }
+            PlannedStatement::Update {
+                table, sets, filter, est,
+            } => {
+                let name = catalog.table(*table).map(|e| e.meta.name.clone())?;
+                format!(
+                    "Update {name} [{} column(s){}]  (est {est})
+",
+                    sets.len(),
+                    if filter.is_some() { ", filtered" } else { "" }
+                )
+            }
+            PlannedStatement::Delete { table, filter, est } => {
+                let name = catalog.table(*table).map(|e| e.meta.name.clone())?;
+                format!(
+                    "Delete from {name}{}  (est {est})
+",
+                    if filter.is_some() { " [filtered]" } else { "" }
+                )
+            }
+        };
+        Ok(StatementResult {
+            rows: text
+                .lines()
+                .map(|l| Row::new(vec![Value::Str(l.to_owned())]))
+                .collect(),
+            columns: vec!["query plan".to_owned()],
+            est_cost: planned.estimated_cost(),
+            ..Default::default()
+        })
+    }
+
+    fn run_create_table(
+        &self,
+        name: &str,
+        columns: &[ColumnDef],
+        primary_key: &[String],
+    ) -> Result<StatementResult> {
+        let cols: Vec<Column> = columns
+            .iter()
+            .map(|c| {
+                if c.not_null {
+                    Column::not_null(c.name.clone(), c.ty)
+                } else {
+                    Column::new(c.name.clone(), c.ty)
+                }
+            })
+            .collect();
+        let schema = Schema::new(cols);
+        let pk: Vec<usize> = primary_key
+            .iter()
+            .map(|c| {
+                schema
+                    .index_of(c)
+                    .ok_or_else(|| Error::binder(format!("unknown primary key column '{c}'")))
+            })
+            .collect::<Result<_>>()?;
+        self.engine.catalog.write().create_table(name, schema, pk)?;
+        Ok(StatementResult::default())
+    }
+
+    fn run_create_index(
+        &self,
+        name: &str,
+        table: &str,
+        columns: &[String],
+        unique: bool,
+    ) -> Result<StatementResult> {
+        self.with_table_xlock_by_name(table, |eng| {
+            let mut catalog = eng.catalog.write();
+            let id = catalog.resolve_table(table)?;
+            let schema = catalog.table(id)?.meta.schema.clone();
+            let cols: Vec<usize> = columns
+                .iter()
+                .map(|c| {
+                    schema
+                        .index_of(c)
+                        .ok_or_else(|| Error::binder(format!("unknown column '{c}'")))
+                })
+                .collect::<Result<_>>()?;
+            catalog.create_index(name, id, cols, unique)?;
+            Ok(StatementResult::default())
+        })
+    }
+
+    /// Run a closure holding an X lock on `table` (auto-commit scope).
+    fn with_table_xlock_by_name<F>(&self, table: &str, f: F) -> Result<StatementResult>
+    where
+        F: FnOnce(&Engine) -> Result<StatementResult>,
+    {
+        let id = {
+            let catalog = self.engine.catalog.read();
+            // A yet-unknown table (CREATE) needs no lock.
+            catalog.resolve_table(table).ok()
+        };
+        let (txn, auto) = self.current_txn();
+        if let Some(id) = id {
+            self.engine
+                .locks
+                .lock(txn, Resource::Table(id), LockMode::Exclusive)?;
+        }
+        let out = f(&self.engine);
+        if auto {
+            self.finish_auto_txn(txn, out.is_ok());
+        }
+        out
+    }
+
+    fn current_txn(&self) -> (TxnId, bool) {
+        match *self.txn.lock() {
+            Some(t) => (t, false),
+            None => (self.engine.txns.begin(), true),
+        }
+    }
+
+    fn finish_auto_txn(&self, txn: TxnId, ok: bool) {
+        self.engine.locks.release_all(txn);
+        if ok {
+            self.engine.txns.commit(txn);
+        } else {
+            self.engine.txns.abort(txn);
+        }
+    }
+
+    fn run_dml(
+        &self,
+        stmt: &Statement,
+        sensor: &mut Option<StatementSensor>,
+    ) -> Result<StatementResult> {
+        let engine = &*self.engine;
+
+        // ---- bind + parse-stage sensors (catalog read lock) ----
+        let (bound, planned, output_names) = {
+            let catalog = engine.catalog.read();
+            let (bound, artifacts) = Binder::new(&catalog).bind(stmt)?;
+            if let (Some(monitor), Some(s)) = (&engine.monitor, sensor.as_mut()) {
+                let t0 = engine.wall.now_nanos();
+                let (tables, attributes) = snapshot_details(&catalog, &artifacts);
+                s.add_self_time(engine.wall.now_nanos() - t0);
+                monitor.parsed(s, tables, attributes);
+            }
+            // ---- optimize + optimizer sensor ----
+            let t0 = engine.wall.now_nanos();
+            let planned = optimize(&catalog, &bound, OptimizerOptions::default())?;
+            let opt_ns = engine.wall.now_nanos() - t0;
+            let output_names = match &planned {
+                PlannedStatement::Query(q) => q.output_names.clone(),
+                _ => Vec::new(),
+            };
+            if let (Some(monitor), Some(s)) = (&engine.monitor, sensor.as_mut()) {
+                let used = planned
+                    .used_indexes()
+                    .iter()
+                    .filter_map(|id| {
+                        catalog.index(*id).ok().map(|e| IndexDetail {
+                            id: *id,
+                            name: e.meta.name.clone(),
+                            table: e.meta.table,
+                            pages: e.pages(),
+                        })
+                    })
+                    .collect();
+                monitor.optimized(s, planned.estimated_cost(), used, opt_ns);
+            }
+            (bound, planned, output_names)
+        };
+
+        // ---- lock acquisition ----
+        let (txn, auto) = self.current_txn();
+        let lock_result = self.acquire_locks(txn, &bound);
+        if let Err(e) = lock_result {
+            if auto {
+                self.finish_auto_txn(txn, false);
+            }
+            return Err(e);
+        }
+
+        // ---- execute + execution sensor ----
+        let exec_result = match &planned {
+            PlannedStatement::Query(q) => {
+                let catalog = engine.catalog.read();
+                execute_plan(&catalog, &q.root).map(|r| StatementResult {
+                    columns: output_names,
+                    est_cost: q.est,
+                    actual_cost: Cost::cpu(r.tuples as f64),
+                    rows: r.rows,
+                    ..Default::default()
+                })
+            }
+            dml => {
+                let mut catalog = engine.catalog.write();
+                execute_statement(&mut catalog, dml).map(|o| StatementResult {
+                    rows: o.rows,
+                    columns: Vec::new(),
+                    affected: o.affected,
+                    est_cost: planned.estimated_cost(),
+                    actual_cost: Cost::cpu(o.tuples as f64),
+                    ..Default::default()
+                })
+            }
+        };
+        if auto {
+            self.finish_auto_txn(txn, exec_result.is_ok());
+        }
+        exec_result
+    }
+
+    fn acquire_locks(
+        &self,
+        txn: TxnId,
+        bound: &ingot_planner::BoundStatement,
+    ) -> Result<()> {
+        use ingot_planner::BoundStatement as B;
+        let mut wanted: Vec<(TableId, LockMode)> = match bound {
+            B::Select(s) => s
+                .tables
+                .iter()
+                .filter(|t| !t.is_virtual)
+                .map(|t| (t.table, LockMode::Shared))
+                .collect(),
+            B::Insert { table, .. } | B::Update { table, .. } | B::Delete { table, .. } => {
+                vec![(*table, LockMode::Exclusive)]
+            }
+        };
+        // Deterministic order prevents intra-statement lock-order cycles.
+        wanted.sort_by_key(|(t, _)| *t);
+        wanted.dedup_by_key(|(t, _)| *t);
+        for (table, mode) in wanted {
+            self.engine.locks.lock(txn, Resource::Table(table), mode)?;
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot the bind artifacts into monitor detail records. All data comes
+/// from the already-held catalog guard ("no further access to the catalogs
+/// is required for the monitoring").
+fn snapshot_details(
+    catalog: &Catalog,
+    artifacts: &BindArtifacts,
+) -> (Vec<TableDetail>, Vec<AttributeDetail>) {
+    let mut tables = Vec::with_capacity(artifacts.tables.len());
+    for (id, name) in &artifacts.tables {
+        if let Ok(entry) = catalog.table(*id) {
+            let hs = entry.heap.stats();
+            tables.push(TableDetail {
+                id: *id,
+                name: name.clone(),
+                storage: entry.meta.storage.to_string(),
+                data_pages: hs.main_pages,
+                overflow_pages: hs.overflow_pages,
+                rows: hs.rows,
+            });
+        }
+    }
+    let mut attributes = Vec::with_capacity(artifacts.attributes.len());
+    for (table, col, name) in &artifacts.attributes {
+        attributes.push(AttributeDetail {
+            table: *table,
+            column: *col,
+            name: name.clone(),
+            has_histogram: artifacts.histograms.contains(&(*table, *col)),
+        });
+    }
+    (tables, attributes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Arc<Engine> {
+        Engine::new(EngineConfig::monitoring())
+    }
+
+    fn load_demo(s: &Session) {
+        s.execute("create table protein (nref_id int not null primary key, name text, len int)")
+            .unwrap();
+        for i in 0..200 {
+            s.execute(&format!(
+                "insert into protein values ({i}, 'p{i}', {})",
+                i % 10
+            ))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn end_to_end_statement_path() {
+        let e = engine();
+        let s = e.open_session();
+        load_demo(&s);
+        let r = s
+            .execute("select name from protein where nref_id = 42")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(0), &Value::Str("p42".into()));
+        assert!(r.wallclock_ns > 0);
+        assert!(r.actual_cost.cpu > 0.0);
+        assert!(r.est_cost.total() > 0.0);
+    }
+
+    #[test]
+    fn monitor_records_the_workload() {
+        let e = engine();
+        let s = e.open_session();
+        load_demo(&s);
+        s.execute("select name from protein where nref_id = 1").unwrap();
+        s.execute("select name from protein where nref_id = 1").unwrap();
+        let m = e.monitor().unwrap();
+        let stmts = m.statements();
+        // 1 create + 200 inserts + 1 select (dedup) = 202 unique.
+        assert_eq!(stmts.len(), 202);
+        let sel = stmts
+            .iter()
+            .find(|s| s.text.starts_with("select"))
+            .unwrap();
+        assert_eq!(sel.frequency, 2);
+        assert!(m.workload().len() >= 200);
+        assert_eq!(m.tables().len(), 1);
+        assert_eq!(m.tables()[0].name, "protein");
+    }
+
+    #[test]
+    fn original_instance_has_no_monitor() {
+        let e = Engine::new(EngineConfig::original());
+        let s = e.open_session();
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert into t values (1)").unwrap();
+        assert!(e.monitor().is_none());
+        let r = s.execute("select * from t").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn ima_tables_are_queryable_via_sql() {
+        let e = engine();
+        let s = e.open_session();
+        load_demo(&s);
+        s.execute("select name from protein where nref_id = 7").unwrap();
+        let r = s
+            .execute(
+                "select query_text, frequency from ima$statements \
+                 where query_text like 'select name%' order by frequency desc",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Workload join back to statements via hash.
+        let r = s
+            .execute(
+                "select count(*) from ima$workload w \
+                 join ima$statements s on w.hash = s.hash",
+            )
+            .unwrap();
+        let n = r.rows[0].get(0).as_int().unwrap();
+        assert!(n > 200, "workload x statements join should match, got {n}");
+    }
+
+    #[test]
+    fn explain_returns_plan() {
+        let e = engine();
+        let s = e.open_session();
+        load_demo(&s);
+        let r = s
+            .execute("explain select name from protein where nref_id = 3")
+            .unwrap();
+        assert!(!r.rows.is_empty());
+        let text: String = r
+            .rows
+            .iter()
+            .map(|row| row.get(0).as_str().unwrap().to_owned())
+            .collect();
+        assert!(text.contains("SeqScan"), "{text}");
+    }
+
+    #[test]
+    fn ddl_modify_and_statistics_pipeline() {
+        let e = engine();
+        let s = e.open_session();
+        load_demo(&s);
+        // Grow the table so keyed access beats a (now multi-page) scan.
+        for i in 200..5000 {
+            s.execute(&format!("insert into protein values ({i}, 'p{i}', {})", i % 10))
+                .unwrap();
+        }
+        s.execute("create statistics on protein").unwrap();
+        s.execute("modify protein to btree").unwrap();
+        // Now the same point query should use the clustered structure.
+        let r = s
+            .execute("explain select name from protein where nref_id = 3")
+            .unwrap();
+        let text: String = r
+            .rows
+            .iter()
+            .map(|row| row.get(0).as_str().unwrap().to_owned())
+            .collect();
+        assert!(text.contains("PkLookup"), "{text}");
+        // Statistics exist now.
+        let catalog = e.catalog().read();
+        let t = catalog.resolve_table("protein").unwrap();
+        assert!(catalog.table(t).unwrap().stats.is_some());
+    }
+
+    #[test]
+    fn whatif_estimation_with_virtual_index() {
+        let e = engine();
+        let s = e.open_session();
+        load_demo(&s);
+        s.execute("create statistics on protein").unwrap();
+        let before = e
+            .estimate("select name from protein where len = 3", true)
+            .unwrap();
+        assert!(!before.uses_virtual);
+        e.add_virtual_index("protein", &["len"]).unwrap();
+        let with_virtual = e
+            .estimate("select name from protein where len = 3", true)
+            .unwrap();
+        // Normal execution still works and ignores the virtual index.
+        let r = s.execute("select name from protein where len = 3").unwrap();
+        assert_eq!(r.rows.len(), 20);
+        e.clear_virtual_indexes();
+        let _ = with_virtual;
+    }
+
+    #[test]
+    fn sessions_and_statistics_sampling() {
+        let e = engine();
+        let s1 = e.open_session();
+        {
+            let _s2 = e.open_session();
+            assert_eq!(e.sessions().current(), 2);
+            e.sample_statistics();
+        }
+        assert_eq!(e.sessions().current(), 1);
+        assert_eq!(e.sessions().peak(), 2);
+        let m = e.monitor().unwrap();
+        assert_eq!(m.statistics().len(), 1);
+        assert_eq!(m.statistics()[0].sessions, 2);
+        drop(s1);
+    }
+
+    #[test]
+    fn explicit_transactions_hold_locks() {
+        let e = engine();
+        let s1 = e.open_session();
+        s1.execute("create table t (a int)").unwrap();
+        s1.execute("insert into t values (1)").unwrap();
+        s1.begin().unwrap();
+        s1.execute("update t set a = 2").unwrap();
+        assert!(e.locks().stats().held > 0);
+        s1.commit().unwrap();
+        assert_eq!(e.locks().stats().held, 0);
+    }
+
+    #[test]
+    fn errors_do_not_leak_locks() {
+        let e = engine();
+        let s = e.open_session();
+        s.execute("create table t (a int not null)").unwrap();
+        assert!(s.execute("insert into t values (null)").is_err());
+        assert_eq!(e.locks().stats().held, 0);
+        assert_eq!(e.txns().active_count(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The IMA layer: monitor ring buffers registered as virtual SQL tables.
+//!
+//! "Each class of IMA objects can be registered as a virtual table in an
+//! Ingres database which then offers the data over any supported SQL
+//! interface. Because IMA objects reside only in main memory, there is no
+//! disk access required to store or read the data." (§IV-A)
+//!
+//! The providers below capture an `Arc<Monitor>`; scanning `ima$workload`
+//! etc. therefore costs one mutex snapshot and zero I/O.
+
+use std::sync::Arc;
+
+use ingot_catalog::Catalog;
+use ingot_common::{Column, DataType, Result, Row, Schema, Value};
+
+use crate::monitor::Monitor;
+
+fn v_int(v: u64) -> Value {
+    Value::Int(v as i64)
+}
+
+/// Register all `ima$…` virtual tables for `monitor` into `catalog`.
+pub fn register_ima_tables(catalog: &mut Catalog, monitor: &Arc<Monitor>) -> Result<()> {
+    // ima$statements
+    let m = Arc::clone(monitor);
+    catalog.register_virtual_table(
+        "ima$statements",
+        Schema::new(vec![
+            Column::not_null("hash", DataType::Str),
+            Column::new("query_text", DataType::Str),
+            Column::new("frequency", DataType::Int),
+            Column::new("first_seen_ns", DataType::Int),
+            Column::new("last_seen_ns", DataType::Int),
+        ]),
+        Arc::new(move || {
+            m.statements()
+                .into_iter()
+                .map(|s| {
+                    Row::new(vec![
+                        Value::Str(s.hash.to_string()),
+                        Value::Str(s.text),
+                        v_int(s.frequency),
+                        v_int(s.first_seen_ns),
+                        v_int(s.last_seen_ns),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    // ima$workload
+    let m = Arc::clone(monitor);
+    catalog.register_virtual_table(
+        "ima$workload",
+        Schema::new(vec![
+            Column::not_null("hash", DataType::Str),
+            Column::new("seq", DataType::Int),
+            Column::new("opt_cpu_ns", DataType::Int),
+            Column::new("opt_dio", DataType::Int),
+            Column::new("exec_cpu", DataType::Int),
+            Column::new("exec_dio", DataType::Int),
+            Column::new("est_cpu", DataType::Float),
+            Column::new("est_dio", DataType::Float),
+            Column::new("wallclock_ns", DataType::Int),
+            Column::new("monitor_ns", DataType::Int),
+            Column::new("at_ns", DataType::Int),
+            Column::new("at_secs", DataType::Int),
+        ]),
+        Arc::new(move || {
+            m.workload()
+                .into_iter()
+                .map(|w| {
+                    Row::new(vec![
+                        Value::Str(w.hash.to_string()),
+                        v_int(w.seq),
+                        v_int(w.opt_time_ns),
+                        v_int(w.opt_io),
+                        v_int(w.exec_cpu),
+                        v_int(w.exec_io),
+                        Value::Float(w.est.cpu),
+                        Value::Float(w.est.io),
+                        v_int(w.wallclock_ns),
+                        v_int(w.monitor_ns),
+                        v_int(w.at_ns),
+                        v_int(w.at_sim_secs),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    // ima$references
+    let m = Arc::clone(monitor);
+    catalog.register_virtual_table(
+        "ima$references",
+        Schema::new(vec![
+            Column::not_null("hash", DataType::Str),
+            Column::new("object_type", DataType::Str),
+            Column::new("object_id", DataType::Int),
+            Column::new("table_id", DataType::Int),
+        ]),
+        Arc::new(move || {
+            m.references()
+                .into_iter()
+                .map(|r| {
+                    Row::new(vec![
+                        Value::Str(r.hash.to_string()),
+                        Value::Str(r.object.tag().to_owned()),
+                        v_int(r.object_id),
+                        v_int(u64::from(r.table.raw())),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    // ima$tables
+    let m = Arc::clone(monitor);
+    catalog.register_virtual_table(
+        "ima$tables",
+        Schema::new(vec![
+            Column::not_null("table_id", DataType::Int),
+            Column::new("table_name", DataType::Str),
+            Column::new("frequency", DataType::Int),
+            Column::new("storage", DataType::Str),
+            Column::new("data_pages", DataType::Int),
+            Column::new("overflow_pages", DataType::Int),
+            Column::new("row_count", DataType::Int),
+        ]),
+        Arc::new(move || {
+            m.tables()
+                .into_iter()
+                .map(|t| {
+                    Row::new(vec![
+                        v_int(u64::from(t.id.raw())),
+                        Value::Str(t.name),
+                        v_int(t.frequency),
+                        Value::Str(t.storage),
+                        v_int(t.data_pages),
+                        v_int(t.overflow_pages),
+                        v_int(t.rows),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    // ima$indexes
+    let m = Arc::clone(monitor);
+    catalog.register_virtual_table(
+        "ima$indexes",
+        Schema::new(vec![
+            Column::not_null("index_id", DataType::Int),
+            Column::new("index_name", DataType::Str),
+            Column::new("table_id", DataType::Int),
+            Column::new("frequency", DataType::Int),
+            Column::new("pages", DataType::Int),
+        ]),
+        Arc::new(move || {
+            m.indexes()
+                .into_iter()
+                .map(|i| {
+                    Row::new(vec![
+                        v_int(u64::from(i.id.raw())),
+                        Value::Str(i.name),
+                        v_int(u64::from(i.table.raw())),
+                        v_int(i.frequency),
+                        v_int(i.pages),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    // ima$attributes
+    let m = Arc::clone(monitor);
+    catalog.register_virtual_table(
+        "ima$attributes",
+        Schema::new(vec![
+            Column::not_null("table_id", DataType::Int),
+            Column::new("attr_id", DataType::Int),
+            Column::new("attr_name", DataType::Str),
+            Column::new("frequency", DataType::Int),
+            Column::new("has_histogram", DataType::Bool),
+        ]),
+        Arc::new(move || {
+            m.attributes()
+                .into_iter()
+                .map(|a| {
+                    Row::new(vec![
+                        v_int(u64::from(a.table.raw())),
+                        v_int(a.column as u64),
+                        Value::Str(a.name),
+                        v_int(a.frequency),
+                        Value::Bool(a.has_histogram),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    // ima$statistics
+    let m = Arc::clone(monitor);
+    catalog.register_virtual_table(
+        "ima$statistics",
+        Schema::new(vec![
+            Column::not_null("at_ns", DataType::Int),
+            Column::new("at_secs", DataType::Int),
+            Column::new("sessions", DataType::Int),
+            Column::new("max_sessions", DataType::Int),
+            Column::new("locks_held", DataType::Int),
+            Column::new("lock_waiting", DataType::Int),
+            Column::new("lock_waits_total", DataType::Int),
+            Column::new("deadlocks_total", DataType::Int),
+            Column::new("active_txns", DataType::Int),
+            Column::new("cache_hits", DataType::Int),
+            Column::new("cache_misses", DataType::Int),
+            Column::new("physical_reads", DataType::Int),
+            Column::new("physical_writes", DataType::Int),
+            Column::new("statements_executed", DataType::Int),
+        ]),
+        Arc::new(move || {
+            m.statistics()
+                .into_iter()
+                .map(|s| {
+                    Row::new(vec![
+                        v_int(s.at_ns),
+                        v_int(s.at_sim_secs),
+                        v_int(s.sessions),
+                        v_int(s.max_sessions),
+                        v_int(s.locks_held),
+                        v_int(s.lock_waiting),
+                        v_int(s.lock_waits_total),
+                        v_int(s.deadlocks_total),
+                        v_int(s.active_txns),
+                        v_int(s.cache_hits),
+                        v_int(s.cache_misses),
+                        v_int(s.physical_reads),
+                        v_int(s.physical_writes),
+                        v_int(s.statements_executed),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    Ok(())
+}
+
+/// The names of all IMA virtual tables, in registration order.
+pub const IMA_TABLE_NAMES: &[&str] = &[
+    "ima$statements",
+    "ima$workload",
+    "ima$references",
+    "ima$tables",
+    "ima$indexes",
+    "ima$attributes",
+    "ima$statistics",
+];

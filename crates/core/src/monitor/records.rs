@@ -1,0 +1,164 @@
+//! The records held in the monitor's ring buffers — the Fig 3 schema.
+
+use ingot_common::{Cost, IndexId, StmtHash, TableId};
+
+/// One unique statement (`statements` table of Fig 3).
+#[derive(Debug, Clone)]
+pub struct StatementInfo {
+    /// Hash of the statement text — the key referencing all other tables.
+    pub hash: StmtHash,
+    /// The statement text.
+    pub text: String,
+    /// Times this statement executed since it entered the buffer.
+    pub frequency: u64,
+    /// Monotonic nanos of first execution.
+    pub first_seen_ns: u64,
+    /// Monotonic nanos of latest execution.
+    pub last_seen_ns: u64,
+}
+
+/// One execution (`workload` table of Fig 3).
+#[derive(Debug, Clone)]
+pub struct WorkloadRecord {
+    /// Statement key.
+    pub hash: StmtHash,
+    /// Global execution sequence number.
+    pub seq: u64,
+    /// Optimiser CPU time (nanoseconds spent planning).
+    pub opt_time_ns: u64,
+    /// Optimiser disk I/O (always 0 here: our catalogs are memory-resident,
+    /// kept for schema fidelity).
+    pub opt_io: u64,
+    /// Execution CPU: tuples processed.
+    pub exec_cpu: u64,
+    /// Execution disk I/O: physical page reads + writes.
+    pub exec_io: u64,
+    /// Estimated cost from the optimizer.
+    pub est: Cost,
+    /// Wall-clock to execute, nanoseconds.
+    pub wallclock_ns: u64,
+    /// Nanoseconds spent inside monitoring code for this statement (the
+    /// monitor's self-timing, which produces Fig 5 without a profiler).
+    pub monitor_ns: u64,
+    /// Monotonic timestamp (nanos) of statement start.
+    pub at_ns: u64,
+    /// Simulated-clock seconds of statement start.
+    pub at_sim_secs: u64,
+}
+
+/// What kind of object a `references` row points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefObject {
+    /// A base table.
+    Table,
+    /// An attribute (column), `object_id` = column position.
+    Attribute,
+    /// An index.
+    Index,
+}
+
+impl RefObject {
+    /// Stable textual tag used in the IMA relation.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RefObject::Table => "table",
+            RefObject::Attribute => "attribute",
+            RefObject::Index => "index",
+        }
+    }
+}
+
+/// One object reference of a statement (`references` table of Fig 3).
+#[derive(Debug, Clone)]
+pub struct ReferenceRecord {
+    /// Statement key.
+    pub hash: StmtHash,
+    /// Object kind.
+    pub object: RefObject,
+    /// Object id (table id raw / column position / index id raw).
+    pub object_id: u64,
+    /// Owning table.
+    pub table: TableId,
+}
+
+/// Frequency and storage info of a referenced table (`tables` of Fig 3).
+#[derive(Debug, Clone)]
+pub struct TableUsage {
+    /// Table id.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Statements that referenced the table.
+    pub frequency: u64,
+    /// Storage structure at last reference ("HEAP"/"BTREE").
+    pub storage: String,
+    /// Main data pages at last reference.
+    pub data_pages: u64,
+    /// Overflow pages at last reference.
+    pub overflow_pages: u64,
+    /// Live rows at last reference.
+    pub rows: u64,
+}
+
+/// Frequency info of a referenced index (`indexes` of Fig 3).
+#[derive(Debug, Clone)]
+pub struct IndexUsage {
+    /// Index id.
+    pub id: IndexId,
+    /// Index name.
+    pub name: String,
+    /// Owning table.
+    pub table: TableId,
+    /// Times the optimizer *used* this index in a chosen plan.
+    pub frequency: u64,
+    /// Pages at last reference.
+    pub pages: u64,
+}
+
+/// Frequency info of a referenced attribute (`attributes` of Fig 3).
+#[derive(Debug, Clone)]
+pub struct AttributeUsage {
+    /// Owning table.
+    pub table: TableId,
+    /// Column position.
+    pub column: usize,
+    /// Column name.
+    pub name: String,
+    /// Statements that referenced the attribute.
+    pub frequency: u64,
+    /// Whether a histogram existed at last reference.
+    pub has_histogram: bool,
+}
+
+/// One system-wide statistics sample (`statistics` of Fig 3).
+#[derive(Debug, Clone, Default)]
+pub struct StatSample {
+    /// Monotonic nanos of the sample.
+    pub at_ns: u64,
+    /// Simulated-clock seconds of the sample.
+    pub at_sim_secs: u64,
+    /// Open sessions.
+    pub sessions: u64,
+    /// Peak concurrent sessions ("maximum sessions").
+    pub max_sessions: u64,
+    /// Locks currently granted.
+    pub locks_held: u64,
+    /// Transactions currently blocked on a lock.
+    pub lock_waiting: u64,
+    /// Cumulative lock waits.
+    pub lock_waits_total: u64,
+    /// Cumulative deadlocks.
+    pub deadlocks_total: u64,
+    /// Active transactions.
+    pub active_txns: u64,
+    /// Buffer-cache hits (cumulative).
+    pub cache_hits: u64,
+    /// Buffer-cache misses (cumulative).
+    pub cache_misses: u64,
+    /// Physical page reads (cumulative).
+    pub physical_reads: u64,
+    /// Physical page writes (cumulative).
+    pub physical_writes: u64,
+    /// Statements executed so far.
+    pub statements_executed: u64,
+}

@@ -1,0 +1,105 @@
+//! Bounded ring buffers.
+//!
+//! "To limit the overall memory requirements for the monitoring, all data
+//! structures were implemented as ring buffers that contain a moving window
+//! of data with a configurable size." (§IV-A)
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that drops its oldest entry when full.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// Entries ever pushed (including dropped ones).
+    total: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// A ring of the given capacity (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Append, evicting the oldest entry when at capacity. Returns the
+    /// evicted entry, if any.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        self.total += 1;
+        let evicted = if self.items.len() == self.capacity {
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(item);
+        evicted
+    }
+
+    /// Entries currently held (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries ever pushed, including those that wrapped out.
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_keeping_most_recent() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        let held: Vec<i32> = r.iter().copied().collect();
+        assert_eq!(held, vec![2, 3, 4]);
+        assert_eq!(r.total_pushed(), 5);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn eviction_returns_oldest() {
+        let mut r = RingBuffer::new(2);
+        assert_eq!(r.push(1), None);
+        assert_eq!(r.push(2), None);
+        assert_eq!(r.push(3), Some(1));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = RingBuffer::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(*r.iter().next().unwrap(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! IMA boundary semantics: virtual tables are read-only relations that can
+//! join with base tables but never accept DML or DDL.
+
+use ingot_common::EngineConfig;
+use ingot_core::Engine;
+
+fn engine() -> std::sync::Arc<Engine> {
+    let e = Engine::new(EngineConfig::monitoring());
+    let s = e.open_session();
+    s.execute("create table t (a int)").unwrap();
+    s.execute("insert into t values (1)").unwrap();
+    drop(s);
+    e
+}
+
+#[test]
+fn ima_tables_reject_dml() {
+    let e = engine();
+    let s = e.open_session();
+    assert!(s
+        .execute("insert into ima$statements values ('x', 'y', 1, 0, 0)")
+        .is_err());
+    assert!(s.execute("update ima$statements set frequency = 0").is_err());
+    assert!(s.execute("delete from ima$workload").is_err());
+    assert!(s.execute("drop table ima$workload").is_err());
+    assert!(s.execute("modify ima$workload to btree").is_err());
+    assert!(s.execute("create index bad on ima$workload (seq)").is_err());
+    assert!(s.execute("create statistics on ima$workload").is_err());
+}
+
+#[test]
+fn ima_name_collisions_are_rejected() {
+    let e = engine();
+    let s = e.open_session();
+    let err = s.execute("create table ima$workload (a int)").unwrap_err();
+    assert!(err.to_string().contains("already exists"), "{err}");
+}
+
+#[test]
+fn ima_joins_with_base_tables() {
+    let e = engine();
+    let s = e.open_session();
+    // Self-referential observability: count workload rows per table name by
+    // joining ima$references with ima$tables.
+    let r = s
+        .execute(
+            "select tt.table_name, count(*) from ima$references r \
+             join ima$tables tt on r.table_id = tt.table_id \
+             group by tt.table_name order by tt.table_name",
+        )
+        .unwrap();
+    assert!(!r.rows.is_empty());
+    assert_eq!(r.rows[0].get(0).as_str(), Some("t"));
+}
+
+#[test]
+fn ima_aggregation_and_ordering() {
+    let e = engine();
+    let s = e.open_session();
+    for i in 0..20 {
+        s.execute(&format!("select a from t where a = {}", i % 4)).unwrap();
+    }
+    let r = s
+        .execute(
+            "select max(frequency), min(frequency), count(*) from ima$statements \
+             where query_text like 'select a%'",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0].get(0).as_int(), Some(5));
+    assert_eq!(r.rows[0].get(1).as_int(), Some(5));
+    assert_eq!(r.rows[0].get(2).as_int(), Some(4));
+}
+
+#[test]
+fn explain_on_ima_shows_virtual_scan() {
+    let e = engine();
+    let s = e.open_session();
+    let r = s.execute("explain select * from ima$workload").unwrap();
+    let text: String = r
+        .rows
+        .iter()
+        .map(|row| row.get(0).as_str().unwrap().to_owned())
+        .collect();
+    assert!(text.contains("VirtualScan"), "{text}");
+}
+
+#[test]
+fn ima_reads_cost_no_physical_io() {
+    let e = engine();
+    let s = e.open_session();
+    // Warm up so catalog pages are resident, then check an IMA-only query.
+    s.execute("select count(*) from ima$workload").unwrap();
+    let before = e.io_stats();
+    let r = s.execute("select count(*) from ima$statements").unwrap();
+    assert!(r.rows[0].get(0).as_int().unwrap() > 0);
+    let delta = e.io_stats().delta_since(&before);
+    assert_eq!(delta.total(), 0, "IMA reads must not touch the disk layer");
+}

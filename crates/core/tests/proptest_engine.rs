@@ -1,0 +1,176 @@
+//! Property-based end-to-end tests: the planned-and-executed result of a
+//! query must equal a naive in-memory evaluation of the same predicate, for
+//! every storage structure and index configuration.
+
+use ingot_common::EngineConfig;
+use ingot_core::Engine;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Pred {
+    col: &'static str,
+    op: &'static str,
+    v: i64,
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    (
+        prop_oneof![Just("a"), Just("b")],
+        prop_oneof![Just("="), Just("<"), Just("<="), Just(">"), Just(">="), Just("<>")],
+        -50i64..150,
+    )
+        .prop_map(|(col, op, v)| Pred { col, op, v })
+}
+
+fn matches(p: &Pred, a: i64, b: i64) -> bool {
+    let x = if p.col == "a" { a } else { b };
+    match p.op {
+        "=" => x == p.v,
+        "<" => x < p.v,
+        "<=" => x <= p.v,
+        ">" => x > p.v,
+        ">=" => x >= p.v,
+        _ => x != p.v,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Filtered scans agree with a naive model across heap/btree/indexed
+    /// configurations of the same data.
+    #[test]
+    fn query_results_match_model(
+        rows in prop::collection::vec((0i64..100, 0i64..100), 1..120),
+        preds in prop::collection::vec(arb_pred(), 1..3),
+        to_btree in any::<bool>(),
+        with_index in any::<bool>(),
+    ) {
+        let engine = Engine::new(EngineConfig::monitoring());
+        let s = engine.open_session();
+        s.execute("create table t (id int not null primary key, a int, b int)").unwrap();
+        for (i, (a, b)) in rows.iter().enumerate() {
+            s.execute(&format!("insert into t values ({i}, {a}, {b})")).unwrap();
+        }
+        if with_index {
+            s.execute("create index t_a on t (a)").unwrap();
+            s.execute("create statistics on t").unwrap();
+        }
+        if to_btree {
+            s.execute("modify t to btree").unwrap();
+        }
+        let where_clause = preds
+            .iter()
+            .map(|p| format!("{} {} {}", p.col, p.op, p.v))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        let r = s
+            .execute(&format!("select id from t where {where_clause} order by id"))
+            .unwrap();
+        let got: Vec<i64> = r.rows.iter().map(|row| row.get(0).as_int().unwrap()).collect();
+        let expected: Vec<i64> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, b))| preds.iter().all(|p| matches(p, *a, *b)))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Aggregates agree with the model.
+    #[test]
+    fn aggregates_match_model(rows in prop::collection::vec((0i64..8, -100i64..100), 1..150)) {
+        let engine = Engine::new(EngineConfig::monitoring());
+        let s = engine.open_session();
+        s.execute("create table t (g int, v int)").unwrap();
+        for (g, v) in &rows {
+            s.execute(&format!("insert into t values ({g}, {v})")).unwrap();
+        }
+        let r = s
+            .execute("select g, count(*), sum(v), min(v), max(v) from t group by g order by g")
+            .unwrap();
+        use std::collections::BTreeMap;
+        let mut model: BTreeMap<i64, (i64, i64, i64, i64)> = BTreeMap::new();
+        for &(g, v) in &rows {
+            let e = model.entry(g).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 += 1;
+            e.1 += v;
+            e.2 = e.2.min(v);
+            e.3 = e.3.max(v);
+        }
+        prop_assert_eq!(r.rows.len(), model.len());
+        for (row, (g, (n, sum, min, max))) in r.rows.iter().zip(model) {
+            prop_assert_eq!(row.get(0).as_int().unwrap(), g);
+            prop_assert_eq!(row.get(1).as_int().unwrap(), n);
+            prop_assert_eq!(row.get(2).as_int().unwrap(), sum);
+            prop_assert_eq!(row.get(3).as_int().unwrap(), min);
+            prop_assert_eq!(row.get(4).as_int().unwrap(), max);
+        }
+    }
+
+    /// Join output matches the model under every physical configuration the
+    /// optimizer can pick (hash join, probe join via pk, probe join via
+    /// secondary index).
+    #[test]
+    fn joins_match_model(
+        left in prop::collection::vec(0i64..30, 1..60),
+        right_keys in prop::collection::vec(0i64..30, 1..60),
+        keyed in any::<bool>(),
+    ) {
+        let engine = Engine::new(EngineConfig::monitoring());
+        let s = engine.open_session();
+        s.execute("create table l (k int, lv int)").unwrap();
+        s.execute("create table r (id int not null primary key, k int)").unwrap();
+        for (i, k) in left.iter().enumerate() {
+            s.execute(&format!("insert into l values ({k}, {i})")).unwrap();
+        }
+        for (i, k) in right_keys.iter().enumerate() {
+            s.execute(&format!("insert into r values ({i}, {k})")).unwrap();
+        }
+        if keyed {
+            s.execute("create index r_k on r (k)").unwrap();
+            s.execute("create statistics on l").unwrap();
+            s.execute("create statistics on r").unwrap();
+        }
+        let res = s
+            .execute("select l.lv, r.id from l join r on l.k = r.k order by l.lv, r.id")
+            .unwrap();
+        let mut expected = Vec::new();
+        for (li, lk) in left.iter().enumerate() {
+            for (ri, rk) in right_keys.iter().enumerate() {
+                if lk == rk {
+                    expected.push((li as i64, ri as i64));
+                }
+            }
+        }
+        expected.sort();
+        let got: Vec<(i64, i64)> = res
+            .rows
+            .iter()
+            .map(|r| (r.get(0).as_int().unwrap(), r.get(1).as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The monitor records exactly one workload entry per executed
+    /// statement, whatever the statement mix.
+    #[test]
+    fn monitor_accounting_is_exact(n_selects in 1u64..40, n_inserts in 1u64..40) {
+        let engine = Engine::new(
+            EngineConfig::monitoring().with_statement_capacity(10_000),
+        );
+        let s = engine.open_session();
+        s.execute("create table t (a int)").unwrap();
+        for i in 0..n_inserts {
+            s.execute(&format!("insert into t values ({i})")).unwrap();
+        }
+        for i in 0..n_selects {
+            s.execute(&format!("select a from t where a = {}", i % 7)).unwrap();
+        }
+        let m = engine.monitor().unwrap();
+        prop_assert_eq!(m.statements_recorded(), 1 + n_inserts + n_selects);
+        prop_assert_eq!(m.workload().len() as u64, 1 + n_inserts + n_selects);
+        let freq: u64 = m.statements().iter().map(|st| st.frequency).sum();
+        prop_assert_eq!(freq, 1 + n_inserts + n_selects);
+    }
+}

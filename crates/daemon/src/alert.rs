@@ -1,0 +1,208 @@
+//! Active alerting.
+//!
+//! "The daemon provides an active alerting mechanism that informs the DBA in
+//! case of a defined database event such as reaching the maximum number of
+//! users on the system. The DBA can easily set up his own alerts by creating
+//! more triggers." Rules here are predicates over the latest statistics
+//! sample; each rule fires once per threshold crossing (edge-triggered, like
+//! a trigger that re-arms when the condition clears).
+
+use std::sync::Arc;
+
+use ingot_core::monitor::StatSample;
+use parking_lot::Mutex;
+
+/// A fired alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// The rule that fired.
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Simulated-clock seconds at which it fired.
+    pub at_secs: u64,
+}
+
+type Predicate = Arc<dyn Fn(&StatSample) -> Option<String> + Send + Sync>;
+
+/// A DBA-defined alerting rule.
+#[derive(Clone)]
+pub struct AlertRule {
+    /// Rule name (shown in alerts).
+    pub name: String,
+    predicate: Predicate,
+}
+
+impl AlertRule {
+    /// A rule from an arbitrary predicate: return `Some(message)` to fire.
+    pub fn custom(
+        name: impl Into<String>,
+        predicate: impl Fn(&StatSample) -> Option<String> + Send + Sync + 'static,
+    ) -> Self {
+        AlertRule {
+            name: name.into(),
+            predicate: Arc::new(predicate),
+        }
+    }
+
+    /// Fires when concurrent sessions exceed `limit` (the paper's example:
+    /// "reaching the maximum number of users on the system").
+    pub fn max_sessions(limit: u64) -> Self {
+        Self::custom("max_sessions", move |s| {
+            (s.sessions > limit).then(|| {
+                format!("sessions {} exceeded the configured limit {limit}", s.sessions)
+            })
+        })
+    }
+
+    /// Fires when any deadlock has been detected since the rule last cleared.
+    pub fn deadlocks() -> Self {
+        let last_seen = Mutex::new(0u64);
+        Self::custom("deadlocks", move |s| {
+            let mut last = last_seen.lock();
+            if s.deadlocks_total > *last {
+                *last = s.deadlocks_total;
+                Some(format!("{} deadlock(s) detected in total", s.deadlocks_total))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Fires while more than `limit` transactions are blocked on locks.
+    pub fn lock_waiting_above(limit: u64) -> Self {
+        Self::custom("lock_waiting", move |s| {
+            (s.lock_waiting > limit).then(|| {
+                format!(
+                    "{} transactions blocked on locks (limit {limit})",
+                    s.lock_waiting
+                )
+            })
+        })
+    }
+
+    /// Fires when the buffer-cache hit ratio drops below `ratio` (0..1).
+    pub fn cache_hit_ratio_below(ratio: f64) -> Self {
+        Self::custom("cache_hit_ratio", move |s| {
+            let total = s.cache_hits + s.cache_misses;
+            if total < 100 {
+                return None; // not enough traffic to judge
+            }
+            let r = s.cache_hits as f64 / total as f64;
+            (r < ratio).then(|| format!("cache hit ratio {r:.2} below {ratio:.2}"))
+        })
+    }
+}
+
+struct ArmedRule {
+    rule: AlertRule,
+    /// Edge triggering: true while the condition holds.
+    firing: bool,
+}
+
+/// Rule registry + fired-alert queue.
+#[derive(Default)]
+pub struct AlertState {
+    rules: Mutex<Vec<ArmedRule>>,
+    queue: Mutex<Vec<Alert>>,
+}
+
+impl AlertState {
+    /// Register a rule.
+    pub fn add_rule(&self, rule: AlertRule) {
+        self.rules.lock().push(ArmedRule {
+            rule,
+            firing: false,
+        });
+    }
+
+    /// Evaluate all rules against `sample`.
+    pub fn evaluate(&self, sample: &StatSample, now_secs: u64) {
+        let mut fired = Vec::new();
+        {
+            let mut rules = self.rules.lock();
+            for armed in rules.iter_mut() {
+                match (armed.rule.predicate)(sample) {
+                    Some(message) if !armed.firing => {
+                        armed.firing = true;
+                        fired.push(Alert {
+                            rule: armed.rule.name.clone(),
+                            message,
+                            at_secs: now_secs,
+                        });
+                    }
+                    Some(_) => {} // still firing: no duplicate alert
+                    None => armed.firing = false,
+                }
+            }
+        }
+        if !fired.is_empty() {
+            self.queue.lock().extend(fired);
+        }
+    }
+
+    /// Drain the alert queue.
+    pub fn take(&self) -> Vec<Alert> {
+        std::mem::take(&mut self.queue.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(sessions: u64, deadlocks: u64) -> StatSample {
+        StatSample {
+            sessions,
+            deadlocks_total: deadlocks,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn edge_triggered_firing() {
+        let st = AlertState::default();
+        st.add_rule(AlertRule::max_sessions(2));
+        st.evaluate(&sample(3, 0), 10);
+        st.evaluate(&sample(4, 0), 20); // still above: no re-fire
+        assert_eq!(st.take().len(), 1);
+        st.evaluate(&sample(1, 0), 30); // clears
+        st.evaluate(&sample(5, 0), 40); // re-fires
+        let alerts = st.take();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].at_secs, 40);
+    }
+
+    #[test]
+    fn deadlock_rule_fires_per_increase() {
+        let st = AlertState::default();
+        st.add_rule(AlertRule::deadlocks());
+        st.evaluate(&sample(0, 0), 0);
+        assert!(st.take().is_empty());
+        st.evaluate(&sample(0, 1), 1);
+        assert_eq!(st.take().len(), 1);
+        // Unchanged count: the inner predicate returns None, the rule clears,
+        // and a later increase fires again.
+        st.evaluate(&sample(0, 1), 2);
+        assert!(st.take().is_empty());
+        st.evaluate(&sample(0, 3), 3);
+        assert_eq!(st.take().len(), 1);
+    }
+
+    #[test]
+    fn cache_ratio_needs_traffic() {
+        let st = AlertState::default();
+        st.add_rule(AlertRule::cache_hit_ratio_below(0.9));
+        let mut s = StatSample {
+            cache_hits: 10,
+            cache_misses: 40,
+            ..Default::default()
+        };
+        st.evaluate(&s, 0); // only 50 accesses: below the traffic floor
+        assert!(st.take().is_empty());
+        s.cache_hits = 50;
+        s.cache_misses = 200;
+        st.evaluate(&s, 1);
+        assert_eq!(st.take().len(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Workload-DB growth accounting.
+//!
+//! §V-A: "At its highest throughput of logging 33 statements per second …
+//! the workload DB grows at a rate of about 28 megabytes per hour. This data
+//! is kept for seven days by default, so that the size of the workload DB is
+//! limited in total to about 4.7 gigabytes." The counters here regenerate
+//! that analysis for any measured run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative append counters with rate derivation.
+#[derive(Debug, Default)]
+pub struct GrowthStats {
+    rows: AtomicU64,
+    bytes: AtomicU64,
+    first_secs: AtomicU64,
+    last_secs: AtomicU64,
+    started: AtomicU64,
+}
+
+impl GrowthStats {
+    /// Record an append of `rows` rows totalling `bytes` at simulated time
+    /// `now_secs`.
+    pub fn record_append(&self, rows: u64, bytes: u64, now_secs: u64) {
+        self.rows.fetch_add(rows, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if self.started.swap(1, Ordering::Relaxed) == 0 {
+            self.first_secs.store(now_secs, Ordering::Relaxed);
+        }
+        self.last_secs.fetch_max(now_secs, Ordering::Relaxed);
+    }
+
+    /// Rows appended so far.
+    pub fn rows_appended(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes appended so far.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Observed span of appends in simulated seconds.
+    pub fn span_secs(&self) -> u64 {
+        self.last_secs
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.first_secs.load(Ordering::Relaxed))
+    }
+
+    /// Growth rate in bytes per (simulated) hour; `None` before a span of at
+    /// least one second exists.
+    pub fn bytes_per_hour(&self) -> Option<f64> {
+        let span = self.span_secs();
+        if span == 0 {
+            return None;
+        }
+        Some(self.bytes_appended() as f64 * 3600.0 / span as f64)
+    }
+
+    /// Projected steady-state size under a retention window, in bytes
+    /// (rate × window) — the paper's "limited in total to about 4.7 GB".
+    pub fn projected_size(&self, retention_secs: u64) -> Option<f64> {
+        self.bytes_per_hour()
+            .map(|bph| bph * retention_secs as f64 / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_derivation() {
+        let g = GrowthStats::default();
+        assert!(g.bytes_per_hour().is_none());
+        g.record_append(10, 1000, 100);
+        g.record_append(10, 1000, 460); // 360 s span, 2000 bytes
+        assert_eq!(g.rows_appended(), 20);
+        let rate = g.bytes_per_hour().unwrap();
+        assert!((rate - 20_000.0).abs() < 1.0, "rate {rate}");
+        // Seven-day projection = rate × 168 h.
+        let proj = g.projected_size(7 * 24 * 3600).unwrap();
+        assert!((proj - 20_000.0 * 168.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn first_append_anchors_span() {
+        let g = GrowthStats::default();
+        g.record_append(1, 1, 50);
+        assert_eq!(g.span_secs(), 0);
+        g.record_append(1, 1, 80);
+        assert_eq!(g.span_secs(), 30);
+    }
+}

@@ -1,0 +1,396 @@
+//! The workload database: persistent, timestamped copies of the IMA data.
+//!
+//! "The workload database is a native Ingres database that contains the same
+//! table schema as the one used in IMA. Updates on tables are appended and
+//! provided with a timestamp to allow trend analysis over a longer timespan.
+//! … Because the workload DB is in fact a user database, handling the
+//! collected data is most simple and can be done with standard SQL."
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use ingot_common::{EngineConfig, Error, Result, Row, SimClock, StmtHash, Value};
+use ingot_core::{Engine, Monitor, Session};
+use parking_lot::Mutex;
+
+use crate::growth::GrowthStats;
+
+/// DDL creating the workload-DB schema (Fig 3 + `ts` snapshot columns).
+const SCHEMA: &str = "
+create table wl_statements (hash text not null, query_text text, frequency int,
+    first_seen_ns int, last_seen_ns int, ts int);
+create table wl_workload (hash text not null, seq int, opt_cpu_ns int, opt_dio int,
+    exec_cpu int, exec_dio int, est_cpu float, est_dio float, wallclock_ns int,
+    monitor_ns int, at_ns int, at_secs int, ts int);
+create table wl_references (hash text not null, object_type text, object_id int,
+    table_id int, ts int);
+create table wl_tables (table_id int not null, table_name text, frequency int,
+    storage text, data_pages int, overflow_pages int, row_count int, ts int);
+create table wl_indexes (index_id int not null, index_name text, table_id int,
+    frequency int, pages int, ts int);
+create table wl_attributes (table_id int not null, attr_id int, attr_name text,
+    frequency int, has_histogram bool, ts int);
+create table wl_statistics (at_ns int not null, at_secs int, sessions int,
+    max_sessions int, locks_held int, lock_waiting int, lock_waits_total int,
+    deadlocks_total int, active_txns int, cache_hits int, cache_misses int,
+    physical_reads int, physical_writes int, statements_executed int, ts int);
+";
+
+/// All workload-DB table names.
+pub const WL_TABLES: &[&str] = &[
+    "wl_statements",
+    "wl_workload",
+    "wl_references",
+    "wl_tables",
+    "wl_indexes",
+    "wl_attributes",
+    "wl_statistics",
+];
+
+/// Append cursor: what has already been copied out of the monitor.
+#[derive(Default)]
+struct AppendState {
+    last_workload_seq: Option<u64>,
+    /// Last appended frequency per statement hash.
+    stmt_freq: HashMap<StmtHash, u64>,
+    refs_seen: HashSet<(StmtHash, &'static str, u64)>,
+    last_stat_ns: u64,
+}
+
+/// The workload database. Wraps a dedicated (non-monitored) engine instance.
+pub struct WorkloadDb {
+    engine: Arc<Engine>,
+    state: Mutex<AppendState>,
+    growth: GrowthStats,
+}
+
+impl WorkloadDb {
+    /// In-memory workload DB (unit tests, simulation-only experiments).
+    pub fn in_memory(clock: SimClock) -> Result<Self> {
+        let engine = Engine::with_clock(Self::db_config(), clock);
+        Self::init(engine)
+    }
+
+    /// File-backed workload DB under `dir` — the production shape: daemon
+    /// appends are real disk writes.
+    pub fn file_backed(dir: impl Into<std::path::PathBuf>, clock: SimClock) -> Result<Self> {
+        let engine = Engine::file_backed(Self::db_config(), clock, dir)?;
+        Self::init(engine)
+    }
+
+    fn db_config() -> EngineConfig {
+        // The workload DB is not itself monitored, and it gets a modest
+        // cache so appends spill to the backend regularly.
+        EngineConfig {
+            monitor_enabled: false,
+            buffer_pool_pages: 256,
+            heap_main_pages: 4,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn init(engine: Arc<Engine>) -> Result<Self> {
+        {
+            let session = engine.open_session();
+            for stmt in SCHEMA.split(';') {
+                let stmt = stmt.trim();
+                if !stmt.is_empty() {
+                    session.execute(stmt)?;
+                }
+            }
+        }
+        Ok(WorkloadDb {
+            engine,
+            state: Mutex::new(AppendState::default()),
+            growth: GrowthStats::default(),
+        })
+    }
+
+    /// The engine holding the workload DB (SQL access for analyzers:
+    /// `wldb.session().execute("select … from wl_workload …")`).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Open a SQL session on the workload DB.
+    pub fn session(&self) -> Session {
+        self.engine.open_session()
+    }
+
+    /// Growth accounting (reproduces the §V-A "28 MB per hour" analysis).
+    pub fn growth(&self) -> &GrowthStats {
+        &self.growth
+    }
+
+    fn insert(&self, table: &str, row: Row) -> Result<()> {
+        let bytes = row.byte_size() as u64;
+        let mut catalog = self.engine.catalog().write();
+        let id = catalog.resolve_table(table)?;
+        catalog.insert_row(id, &row)?;
+        drop(catalog);
+        self.growth
+            .record_append(1, bytes, self.engine.sim_clock().now_secs());
+        Ok(())
+    }
+
+    /// Copy everything new in `monitor` into the workload DB, stamping rows
+    /// with `now_secs` (simulated seconds).
+    pub fn append_from(&self, monitor: &Monitor, now_secs: u64) -> Result<()> {
+        let ts = Value::Int(now_secs as i64);
+        let mut state = self.state.lock();
+
+        // Statements whose frequency changed since the last poll.
+        for s in monitor.statements() {
+            let prev = state.stmt_freq.get(&s.hash).copied().unwrap_or(0);
+            if s.frequency != prev {
+                state.stmt_freq.insert(s.hash, s.frequency);
+                self.insert(
+                    "wl_statements",
+                    Row::new(vec![
+                        Value::Str(s.hash.to_string()),
+                        Value::Str(s.text.clone()),
+                        Value::Int(s.frequency as i64),
+                        Value::Int(s.first_seen_ns as i64),
+                        Value::Int(s.last_seen_ns as i64),
+                        ts.clone(),
+                    ]),
+                )?;
+            }
+        }
+
+        // Workload executions beyond the last copied sequence number.
+        for w in monitor.workload() {
+            if state.last_workload_seq.is_some_and(|last| w.seq <= last) {
+                continue;
+            }
+            state.last_workload_seq = Some(w.seq);
+            self.insert(
+                "wl_workload",
+                Row::new(vec![
+                    Value::Str(w.hash.to_string()),
+                    Value::Int(w.seq as i64),
+                    Value::Int(w.opt_time_ns as i64),
+                    Value::Int(w.opt_io as i64),
+                    Value::Int(w.exec_cpu as i64),
+                    Value::Int(w.exec_io as i64),
+                    Value::Float(w.est.cpu),
+                    Value::Float(w.est.io),
+                    Value::Int(w.wallclock_ns as i64),
+                    Value::Int(w.monitor_ns as i64),
+                    Value::Int(w.at_ns as i64),
+                    Value::Int(w.at_sim_secs as i64),
+                    ts.clone(),
+                ]),
+            )?;
+        }
+
+        // New object references.
+        for r in monitor.references() {
+            let key = (r.hash, r.object.tag(), r.object_id);
+            if !state.refs_seen.insert(key) {
+                continue;
+            }
+            self.insert(
+                "wl_references",
+                Row::new(vec![
+                    Value::Str(r.hash.to_string()),
+                    Value::Str(r.object.tag().to_owned()),
+                    Value::Int(r.object_id as i64),
+                    Value::Int(i64::from(r.table.raw())),
+                    ts.clone(),
+                ]),
+            )?;
+        }
+
+        // Object-usage snapshots: appended every poll for trend analysis.
+        for t in monitor.tables() {
+            self.insert(
+                "wl_tables",
+                Row::new(vec![
+                    Value::Int(i64::from(t.id.raw())),
+                    Value::Str(t.name.clone()),
+                    Value::Int(t.frequency as i64),
+                    Value::Str(t.storage.clone()),
+                    Value::Int(t.data_pages as i64),
+                    Value::Int(t.overflow_pages as i64),
+                    Value::Int(t.rows as i64),
+                    ts.clone(),
+                ]),
+            )?;
+        }
+        for i in monitor.indexes() {
+            self.insert(
+                "wl_indexes",
+                Row::new(vec![
+                    Value::Int(i64::from(i.id.raw())),
+                    Value::Str(i.name.clone()),
+                    Value::Int(i64::from(i.table.raw())),
+                    Value::Int(i.frequency as i64),
+                    Value::Int(i.pages as i64),
+                    ts.clone(),
+                ]),
+            )?;
+        }
+        for a in monitor.attributes() {
+            self.insert(
+                "wl_attributes",
+                Row::new(vec![
+                    Value::Int(i64::from(a.table.raw())),
+                    Value::Int(a.column as i64),
+                    Value::Str(a.name.clone()),
+                    Value::Int(a.frequency as i64),
+                    Value::Bool(a.has_histogram),
+                    ts.clone(),
+                ]),
+            )?;
+        }
+
+        // New statistics samples.
+        for s in monitor.statistics() {
+            if s.at_ns <= state.last_stat_ns {
+                continue;
+            }
+            state.last_stat_ns = s.at_ns;
+            self.insert(
+                "wl_statistics",
+                Row::new(vec![
+                    Value::Int(s.at_ns as i64),
+                    Value::Int(s.at_sim_secs as i64),
+                    Value::Int(s.sessions as i64),
+                    Value::Int(s.max_sessions as i64),
+                    Value::Int(s.locks_held as i64),
+                    Value::Int(s.lock_waiting as i64),
+                    Value::Int(s.lock_waits_total as i64),
+                    Value::Int(s.deadlocks_total as i64),
+                    Value::Int(s.active_txns as i64),
+                    Value::Int(s.cache_hits as i64),
+                    Value::Int(s.cache_misses as i64),
+                    Value::Int(s.physical_reads as i64),
+                    Value::Int(s.physical_writes as i64),
+                    Value::Int(s.statements_executed as i64),
+                    ts.clone(),
+                ]),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Delete rows older than `cutoff_secs` from every workload table (the
+    /// retention window; paper default seven days).
+    pub fn purge_older_than(&self, cutoff_secs: u64) -> Result<()> {
+        if cutoff_secs == 0 {
+            return Ok(());
+        }
+        let session = self.session();
+        for table in WL_TABLES {
+            session.execute(&format!("delete from {table} where ts < {cutoff_secs}"))?;
+        }
+        Ok(())
+    }
+
+    /// Row count of one workload table.
+    pub fn row_count(&self, table: &str) -> Result<u64> {
+        let session = self.session();
+        let r = session.execute(&format!("select count(*) from {table}"))?;
+        r.rows[0]
+            .get(0)
+            .as_int()
+            .map(|n| n as u64)
+            .ok_or_else(|| Error::daemon("count(*) returned non-integer"))
+    }
+
+    /// Run a query against the workload DB and return its rows.
+    pub fn query(&self, sql: &str) -> Result<Vec<Row>> {
+        Ok(self.session().execute(sql)?.rows)
+    }
+
+    /// Flush dirty pages to the backend (the daemon's periodic disk write).
+    pub fn flush(&self) -> Result<()> {
+        self.engine.flush()
+    }
+
+    /// Total pages of the workload DB (its on-disk size).
+    pub fn total_pages(&self) -> u64 {
+        self.engine.total_data_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingot_common::EngineConfig;
+
+    #[test]
+    fn schema_is_created() {
+        let db = WorkloadDb::in_memory(SimClock::new()).unwrap();
+        for t in WL_TABLES {
+            assert_eq!(db.row_count(t).unwrap(), 0, "{t}");
+        }
+    }
+
+    #[test]
+    fn append_is_incremental() {
+        let engine = Engine::new(EngineConfig::monitoring());
+        let s = engine.open_session();
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert into t values (1)").unwrap();
+        let db = WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap();
+        db.append_from(engine.monitor().unwrap(), 100).unwrap();
+        assert_eq!(db.row_count("wl_workload").unwrap(), 2);
+        // Same statement again: one new workload row, statement frequency row.
+        s.execute("insert into t values (1)").unwrap();
+        db.append_from(engine.monitor().unwrap(), 130).unwrap();
+        assert_eq!(db.row_count("wl_workload").unwrap(), 3);
+        let rows = db
+            .query("select frequency from wl_statements where query_text like 'insert%' order by ts desc limit 1")
+            .unwrap();
+        assert_eq!(rows[0].get(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn purge_respects_cutoff() {
+        let engine = Engine::new(EngineConfig::monitoring());
+        let s = engine.open_session();
+        s.execute("create table t (a int)").unwrap();
+        let db = WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap();
+        db.append_from(engine.monitor().unwrap(), 100).unwrap();
+        s.execute("insert into t values (1)").unwrap();
+        db.append_from(engine.monitor().unwrap(), 900).unwrap();
+        db.purge_older_than(500).unwrap();
+        let rows = db.query("select ts from wl_workload").unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.get(0).as_int().unwrap() >= 500));
+    }
+
+    #[test]
+    fn growth_accounting_tracks_bytes() {
+        let engine = Engine::new(EngineConfig::monitoring());
+        let s = engine.open_session();
+        s.execute("create table t (a int)").unwrap();
+        for i in 0..50 {
+            s.execute(&format!("insert into t values ({i})")).unwrap();
+        }
+        let db = WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap();
+        db.append_from(engine.monitor().unwrap(), 0).unwrap();
+        let g = db.growth();
+        assert!(g.rows_appended() > 50);
+        assert!(g.bytes_appended() > 1000);
+    }
+
+    #[test]
+    fn file_backed_db_writes_real_files() {
+        let dir = std::env::temp_dir().join(format!("ingot-wldb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let engine = Engine::new(EngineConfig::monitoring());
+            let s = engine.open_session();
+            s.execute("create table t (a int)").unwrap();
+            let db = WorkloadDb::file_backed(&dir, engine.sim_clock().clone()).unwrap();
+            db.append_from(engine.monitor().unwrap(), 0).unwrap();
+            db.flush().unwrap();
+        }
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(!files.is_empty(), "expected data files in {dir:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,336 @@
+//! Hash aggregation.
+
+use std::collections::{HashMap, HashSet};
+
+use ingot_common::{Error, Result, Row, Value};
+use ingot_planner::{AggFunc, AggSpec, PhysExpr};
+
+use crate::exec::normalize_key;
+
+/// Accumulator for one aggregate in one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum { int: i64, float: f64, any_float: bool, seen: bool },
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                int: 0,
+                float: 0.0,
+                any_float: false,
+                seen: false,
+            },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) gets None (count every row); COUNT(e) skips NULL.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            AggState::Sum {
+                int,
+                float,
+                any_float,
+                seen,
+            } => {
+                if let Some(val) = v {
+                    match val {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            *int += i;
+                            *float += *i as f64;
+                            *seen = true;
+                        }
+                        Value::Float(f) => {
+                            *float += f;
+                            *any_float = true;
+                            *seen = true;
+                        }
+                        other => {
+                            return Err(Error::type_error(format!("SUM of non-number {other}")))
+                        }
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if let Some(f) = val.as_f64() {
+                        *sum += f;
+                        *n += 1;
+                    } else if !val.is_null() {
+                        return Err(Error::type_error(format!("AVG of non-number {val}")));
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() && cur.as_ref().is_none_or(|c| val < c) {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() && cur.as_ref().is_none_or(|c| val > c) {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::Sum {
+                int,
+                float,
+                any_float,
+                seen,
+            } => {
+                if !seen {
+                    Value::Null
+                } else if any_float {
+                    Value::Float(float)
+                } else {
+                    Value::Int(int)
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+struct Group {
+    states: Vec<AggState>,
+    distinct_seen: Vec<Option<HashSet<Value>>>,
+}
+
+/// Run hash aggregation. Output rows: `[group keys ‖ aggregate values]`,
+/// filtered by HAVING (which is bound over that output layout).
+pub fn run_aggregate(
+    rows: &[Row],
+    group_by: &[PhysExpr],
+    aggs: &[AggSpec],
+    having: Option<&PhysExpr>,
+) -> Result<Vec<Row>> {
+    let mut groups: HashMap<Vec<Value>, Group> = HashMap::new();
+    // A global aggregate (no GROUP BY) over zero rows must still produce one
+    // output group.
+    if group_by.is_empty() {
+        groups.insert(Vec::new(), new_group(aggs));
+    }
+    for row in rows {
+        let key: Vec<Value> = group_by
+            .iter()
+            .map(|e| e.eval(row).map(|v| normalize_key(&v)))
+            .collect::<Result<_>>()?;
+        let group = groups.entry(key).or_insert_with(|| new_group(aggs));
+        for (i, spec) in aggs.iter().enumerate() {
+            let input = spec.input.as_ref().map(|e| e.eval(row)).transpose()?;
+            if spec.distinct {
+                if let Some(v) = &input {
+                    if v.is_null() {
+                        continue;
+                    }
+                    let seen = group.distinct_seen[i]
+                        .as_mut()
+                        .expect("distinct set allocated");
+                    if !seen.insert(normalize_key(v)) {
+                        continue;
+                    }
+                }
+            }
+            group.states[i].update(input.as_ref())?;
+        }
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, group) in groups {
+        let mut vals = key;
+        for st in group.states {
+            vals.push(st.finish());
+        }
+        let row = Row::new(vals);
+        if let Some(h) = having {
+            if !h.eval_predicate(&row)? {
+                continue;
+            }
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn new_group(aggs: &[AggSpec]) -> Group {
+    Group {
+        states: aggs.iter().map(|a| AggState::new(a.func)).collect(),
+        distinct_seen: aggs
+            .iter()
+            .map(|a| a.distinct.then(HashSet::new))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        // (grp, val)
+        [(1, 10), (1, 20), (2, 5), (2, 5), (2, 30)]
+            .into_iter()
+            .map(|(g, v)| Row::new(vec![Value::Int(g), Value::Int(v)]))
+            .collect()
+    }
+
+    fn spec(func: AggFunc, col: Option<usize>, distinct: bool) -> AggSpec {
+        AggSpec {
+            func,
+            input: col.map(PhysExpr::Col),
+            distinct,
+        }
+    }
+
+    fn by_group(mut out: Vec<Row>) -> Vec<Row> {
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn grouped_count_sum_avg() {
+        let out = by_group(
+            run_aggregate(
+                &rows(),
+                &[PhysExpr::Col(0)],
+                &[
+                    spec(AggFunc::Count, None, false),
+                    spec(AggFunc::Sum, Some(1), false),
+                    spec(AggFunc::Avg, Some(1), false),
+                ],
+                None,
+            )
+            .unwrap(),
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].values()[..3], [Value::Int(1), Value::Int(2), Value::Int(30)]);
+        assert_eq!(out[1].get(2), &Value::Int(40));
+        assert_eq!(out[1].get(3), &Value::Float(40.0 / 3.0));
+    }
+
+    #[test]
+    fn min_max_and_distinct_count() {
+        let out = by_group(
+            run_aggregate(
+                &rows(),
+                &[PhysExpr::Col(0)],
+                &[
+                    spec(AggFunc::Min, Some(1), false),
+                    spec(AggFunc::Max, Some(1), false),
+                    spec(AggFunc::Count, Some(1), true),
+                ],
+                None,
+            )
+            .unwrap(),
+        );
+        // Group 2: min 5, max 30, distinct {5, 30} → 2.
+        assert_eq!(out[1].get(1), &Value::Int(5));
+        assert_eq!(out[1].get(2), &Value::Int(30));
+        assert_eq!(out[1].get(3), &Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let out = run_aggregate(
+            &[],
+            &[],
+            &[
+                spec(AggFunc::Count, None, false),
+                spec(AggFunc::Sum, Some(0), false),
+                spec(AggFunc::Avg, Some(0), false),
+                spec(AggFunc::Min, Some(0), false),
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0), &Value::Int(0));
+        assert_eq!(out[0].get(1), &Value::Null);
+        assert_eq!(out[0].get(2), &Value::Null);
+        assert_eq!(out[0].get(3), &Value::Null);
+    }
+
+    #[test]
+    fn nulls_are_skipped_by_aggregates() {
+        let data = vec![
+            Row::new(vec![Value::Int(1), Value::Null]),
+            Row::new(vec![Value::Int(1), Value::Int(7)]),
+        ];
+        let out = run_aggregate(
+            &data,
+            &[PhysExpr::Col(0)],
+            &[
+                spec(AggFunc::Count, Some(1), false),
+                spec(AggFunc::Count, None, false),
+                spec(AggFunc::Avg, Some(1), false),
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(out[0].get(1), &Value::Int(1)); // count(val) skips null
+        assert_eq!(out[0].get(2), &Value::Int(2)); // count(*) does not
+        assert_eq!(out[0].get(3), &Value::Float(7.0));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        // HAVING count(*) > 2 keeps only group 2.
+        let having = PhysExpr::Binary {
+            op: ingot_sql::BinOp::Gt,
+            left: Box::new(PhysExpr::Col(1)),
+            right: Box::new(PhysExpr::Literal(Value::Int(2))),
+        };
+        let out = run_aggregate(
+            &rows(),
+            &[PhysExpr::Col(0)],
+            &[spec(AggFunc::Count, None, false)],
+            Some(&having),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn sum_promotes_to_float() {
+        let data = vec![
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Float(2.5)]),
+        ];
+        let out = run_aggregate(&data, &[], &[spec(AggFunc::Sum, Some(0), false)], None).unwrap();
+        assert_eq!(out[0].get(0), &Value::Float(3.5));
+    }
+}

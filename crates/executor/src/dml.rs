@@ -1,0 +1,272 @@
+//! DML execution: INSERT, UPDATE, DELETE, plus the top-level statement
+//! dispatcher.
+//!
+//! UPDATE/DELETE resolve their target rows through the cheapest access path
+//! available — clustered primary-key lookup, a secondary-index probe, or a
+//! full scan — mirroring how the optimizer chooses paths for queries.
+
+use ingot_catalog::Catalog;
+use ingot_common::{Result, Row, TableId, Value};
+use ingot_planner::{PhysExpr, PlannedStatement};
+use ingot_sql::BinOp;
+use ingot_storage::RowId;
+
+use crate::exec::{execute_plan, QueryResult};
+
+/// The outcome of executing any statement.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutcome {
+    /// Result rows (queries only).
+    pub rows: Vec<Row>,
+    /// Rows inserted/updated/deleted (DML only).
+    pub affected: u64,
+    /// Tuples processed (actual CPU cost proxy).
+    pub tuples: u64,
+}
+
+/// Execute a planned statement. Queries borrow the catalog; DML mutates it.
+pub fn execute_statement(
+    catalog: &mut Catalog,
+    planned: &PlannedStatement,
+) -> Result<ExecOutcome> {
+    match planned {
+        PlannedStatement::Query(q) => {
+            let QueryResult { rows, tuples } = execute_plan(catalog, &q.root)?;
+            Ok(ExecOutcome {
+                affected: 0,
+                tuples: tuples + rows.len() as u64,
+                rows,
+            })
+        }
+        PlannedStatement::Insert { table, rows, .. } => {
+            for row in rows {
+                catalog.insert_row(*table, row)?;
+            }
+            Ok(ExecOutcome {
+                rows: Vec::new(),
+                affected: rows.len() as u64,
+                tuples: rows.len() as u64,
+            })
+        }
+        PlannedStatement::Update {
+            table,
+            sets,
+            filter,
+            ..
+        } => {
+            let (targets, scanned) = target_rows(catalog, *table, filter.as_ref())?;
+            let n = targets.len() as u64;
+            for (rid, row) in targets {
+                let mut new_row = row.clone();
+                for (col, expr) in sets {
+                    new_row.set(*col, expr.eval(&row)?);
+                }
+                catalog.update_row(*table, rid, &new_row)?;
+            }
+            Ok(ExecOutcome {
+                rows: Vec::new(),
+                affected: n,
+                tuples: scanned,
+            })
+        }
+        PlannedStatement::Delete { table, filter, .. } => {
+            let (targets, scanned) = target_rows(catalog, *table, filter.as_ref())?;
+            let n = targets.len() as u64;
+            for (rid, _) in targets {
+                catalog.delete_row(*table, rid)?;
+            }
+            Ok(ExecOutcome {
+                rows: Vec::new(),
+                affected: n,
+                tuples: scanned,
+            })
+        }
+    }
+}
+
+/// Resolve the `(RowId, Row)` targets of an UPDATE/DELETE, returning also
+/// the number of tuples inspected.
+fn target_rows(
+    catalog: &Catalog,
+    table: TableId,
+    filter: Option<&PhysExpr>,
+) -> Result<(Vec<(RowId, Row)>, u64)> {
+    let entry = catalog.table(table)?;
+    let mut scanned = 0u64;
+
+    if let Some(f) = filter {
+        let eqs = equalities(f);
+        // Path 1: full primary key on a BTree table.
+        if entry.primary.is_some() && !entry.meta.primary_key.is_empty() {
+            let key: Vec<Value> = entry
+                .meta
+                .primary_key
+                .iter()
+                .filter_map(|c| eqs.iter().find(|(col, _)| col == c).map(|(_, v)| v.clone()))
+                .collect();
+            if key.len() == entry.meta.primary_key.len() {
+                let mut out = Vec::new();
+                if let Some(rid) = entry.pk_lookup(&key)? {
+                    let row = entry.heap.get(rid)?;
+                    scanned += 1;
+                    if f.eval_predicate(&row)? {
+                        out.push((rid, row));
+                    }
+                }
+                return Ok((out, scanned));
+            }
+        }
+        // Path 2: secondary index with a leading-column equality.
+        for idx in catalog.indexes_of(table) {
+            if idx.meta.is_virtual {
+                continue;
+            }
+            if let Some((_, v)) = eqs.iter().find(|(c, _)| *c == idx.meta.columns[0]) {
+                let rids = idx.probe_eq(std::slice::from_ref(v))?;
+                let mut out = Vec::new();
+                for rid in rids {
+                    let row = entry.heap.get(rid)?;
+                    scanned += 1;
+                    if f.eval_predicate(&row)? {
+                        out.push((rid, row));
+                    }
+                }
+                return Ok((out, scanned));
+            }
+        }
+    }
+
+    // Path 3: full scan.
+    let mut out = Vec::new();
+    for item in entry.heap.scan() {
+        let (rid, row) = item?;
+        scanned += 1;
+        let keep = match filter {
+            Some(f) => f.eval_predicate(&row)?,
+            None => true,
+        };
+        if keep {
+            out.push((rid, row));
+        }
+    }
+    Ok((out, scanned))
+}
+
+/// Extract `(column, literal)` equality pairs from a conjunctive filter.
+fn equalities(f: &PhysExpr) -> Vec<(usize, Value)> {
+    let mut out = Vec::new();
+    fn walk(e: &PhysExpr, out: &mut Vec<(usize, Value)>) {
+        match e {
+            PhysExpr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            PhysExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => match (&**left, &**right) {
+                (PhysExpr::Col(c), PhysExpr::Literal(v))
+                | (PhysExpr::Literal(v), PhysExpr::Col(c)) => out.push((*c, v.clone())),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    walk(f, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingot_catalog::StorageStructure;
+    use ingot_common::{Column, DataType, EngineConfig, Schema, SimClock};
+    use ingot_planner::{optimize, Binder, OptimizerOptions};
+    use ingot_sql::parse_statement;
+    use ingot_storage::StorageEngine;
+    use std::sync::Arc;
+
+    fn setup() -> Catalog {
+        let cfg = EngineConfig::default();
+        let storage = StorageEngine::in_memory(&cfg, SimClock::new());
+        let mut c = Catalog::new(Arc::clone(storage.pool()), 4);
+        c.create_table(
+            "t",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("v", DataType::Int),
+            ]),
+            vec![0],
+        )
+        .unwrap();
+        c
+    }
+
+    fn exec(c: &mut Catalog, sql: &str) -> ExecOutcome {
+        let (bound, _) = Binder::new(c).bind(&parse_statement(sql).unwrap()).unwrap();
+        let planned = optimize(c, &bound, OptimizerOptions::default()).unwrap();
+        execute_statement(c, &planned).unwrap()
+    }
+
+    #[test]
+    fn insert_update_delete_roundtrip() {
+        let mut c = setup();
+        let out = exec(&mut c, "insert into t values (1, 10), (2, 20), (3, 30)");
+        assert_eq!(out.affected, 3);
+        let out = exec(&mut c, "update t set v = v + 5 where id = 2");
+        assert_eq!(out.affected, 1);
+        let r = exec(&mut c, "select v from t where id = 2");
+        assert_eq!(r.rows[0].get(0), &Value::Int(25));
+        let out = exec(&mut c, "delete from t where v > 20");
+        assert_eq!(out.affected, 2); // 25 and 30
+        let r = exec(&mut c, "select count(*) from t");
+        assert_eq!(r.rows[0].get(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn update_via_pk_lookup_scans_one_row() {
+        let mut c = setup();
+        for i in 0..500 {
+            exec(&mut c, &format!("insert into t values ({i}, {})", i * 2));
+        }
+        let t = c.resolve_table("t").unwrap();
+        c.modify_storage(t, StorageStructure::BTree).unwrap();
+        let out = exec(&mut c, "update t set v = 0 where id = 250");
+        assert_eq!(out.affected, 1);
+        assert_eq!(out.tuples, 1, "pk path must not scan the table");
+    }
+
+    #[test]
+    fn delete_via_secondary_index() {
+        let mut c = setup();
+        for i in 0..100 {
+            exec(&mut c, &format!("insert into t values ({i}, {})", i % 10));
+        }
+        let t = c.resolve_table("t").unwrap();
+        c.create_index("t_v", t, vec![1], false).unwrap();
+        let out = exec(&mut c, "delete from t where v = 3");
+        assert_eq!(out.affected, 10);
+        assert!(out.tuples <= 10, "index path must not scan the table");
+        let r = exec(&mut c, "select count(*) from t where v = 3");
+        assert_eq!(r.rows[0].get(0), &Value::Int(0));
+    }
+
+    #[test]
+    fn update_that_moves_pk() {
+        let mut c = setup();
+        exec(&mut c, "insert into t values (1, 10)");
+        let t = c.resolve_table("t").unwrap();
+        c.modify_storage(t, StorageStructure::BTree).unwrap();
+        let out = exec(&mut c, "update t set id = 99 where id = 1");
+        assert_eq!(out.affected, 1);
+        let r = exec(&mut c, "select v from t where id = 99");
+        assert_eq!(r.rows.len(), 1);
+        let r = exec(&mut c, "select v from t where id = 1");
+        assert!(r.rows.is_empty());
+    }
+}

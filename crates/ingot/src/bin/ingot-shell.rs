@@ -1,0 +1,202 @@
+//! `ingot-shell` — a minimal interactive SQL shell over an in-memory Ingot
+//! engine with integrated monitoring.
+//!
+//! ```text
+//! cargo run -p ingot --bin ingot-shell
+//! ingot> create table t (a int);
+//! ingot> insert into t values (1), (2);
+//! ingot> select * from t;
+//! ingot> \monitor      -- summary of what the sensors recorded
+//! ingot> \report       -- run the analyzer on the recorded workload
+//! ingot> \nref 0.2     -- load a scaled NREF-like demo database
+//! ingot> \q
+//! ```
+
+use std::io::{BufRead, Write};
+
+use ingot::analyzer::{Analyzer, WorkloadView};
+use ingot::executor::exec::format_rows;
+use ingot::prelude::*;
+use ingot::workload::NrefConfig;
+
+fn main() {
+    let engine = Engine::new(EngineConfig::monitoring());
+    let session = engine.open_session();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+
+    println!("Ingot shell — integrated performance monitoring for autonomous tuning");
+    println!("type SQL terminated by ';', or \\help");
+
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("ingot> ");
+        } else {
+            print!("   ... ");
+        }
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match run_meta(trimmed, &engine, &session) {
+                MetaOutcome::Quit => break,
+                MetaOutcome::Continue => continue,
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        for stmt in split_statements(&sql) {
+            match session.execute(&stmt) {
+                Ok(r) => print_result(&stmt, &r),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+    }
+}
+
+enum MetaOutcome {
+    Quit,
+    Continue,
+}
+
+fn run_meta(cmd: &str, engine: &std::sync::Arc<Engine>, session: &Session) -> MetaOutcome {
+    let mut parts = cmd.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "\\q" | "\\quit" | "\\exit" => return MetaOutcome::Quit,
+        "\\help" | "\\h" => {
+            println!("  SQL statements end with ';'");
+            println!("  \\monitor        monitor summary (statements, workload, self-time)");
+            println!("  \\report         analyze the recorded workload and print the report");
+            println!("  \\apply          analyze and apply the recommendations");
+            println!("  \\nref [scale]   load the NREF-like demo database (default 0.1)");
+            println!("  \\q              quit");
+        }
+        "\\monitor" => match engine.monitor() {
+            Some(m) => {
+                println!(
+                    "statements recorded: {} ({} distinct in buffer)",
+                    m.statements_recorded(),
+                    m.statements().len()
+                );
+                println!(
+                    "sensor calls: {}, total monitoring time: {:.2} ms",
+                    m.sensor_calls(),
+                    m.self_time_ns() as f64 / 1e6
+                );
+                let buf = engine.buffer_stats();
+                println!(
+                    "buffer: {} hits / {} misses (ratio {:.2})",
+                    buf.hits,
+                    buf.misses,
+                    buf.hit_ratio()
+                );
+                let locks = engine.locks().stats();
+                println!(
+                    "locks: {} granted total, {} waits, {} deadlocks",
+                    locks.granted_total, locks.waits_total, locks.deadlocks_total
+                );
+            }
+            None => println!("monitoring is disabled on this instance"),
+        },
+        "\\report" | "\\apply" => {
+            let Some(monitor) = engine.monitor() else {
+                println!("monitoring is disabled on this instance");
+                return MetaOutcome::Continue;
+            };
+            let view = WorkloadView::from_monitor(monitor);
+            let analyzer = Analyzer::default();
+            match analyzer.analyze(engine, &view) {
+                Ok(report) => {
+                    println!("{}", report.render());
+                    if cmd.starts_with("\\apply") {
+                        match analyzer.apply(session, &report.recommendations) {
+                            Ok(executed) => {
+                                for sql in executed {
+                                    println!("applied: {sql}");
+                                }
+                            }
+                            Err(e) => eprintln!("apply failed: {e}"),
+                        }
+                    }
+                }
+                Err(e) => eprintln!("analysis failed: {e}"),
+            }
+        }
+        "\\nref" => {
+            let scale: f64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+            let cfg = NrefConfig::scaled(scale);
+            println!("loading NREF-like database ({} proteins)…", cfg.proteins);
+            match load_nref(engine, &cfg) {
+                Ok(stats) => println!("loaded {} rows across six tables", stats.total()),
+                Err(e) => eprintln!("load failed: {e}"),
+            }
+        }
+        other => eprintln!("unknown command {other}; try \\help"),
+    }
+    MetaOutcome::Continue
+}
+
+fn print_result(stmt: &str, r: &StatementResult) {
+    if !r.rows.is_empty() {
+        let names = if r.columns.is_empty() {
+            (0..r.rows[0].len()).map(|i| format!("c{i}")).collect()
+        } else {
+            r.columns.clone()
+        };
+        print!("{}", format_rows(&names, &r.rows));
+    }
+    let verb = stmt.split_whitespace().next().unwrap_or("").to_lowercase();
+    println!(
+        "({} rows{}; {:.2} ms; est {}, actual {})",
+        r.rows.len(),
+        if r.affected > 0 {
+            format!(", {} affected", r.affected)
+        } else {
+            String::new()
+        },
+        r.wallclock_ns as f64 / 1e6,
+        r.est_cost,
+        r.actual_cost
+    );
+    let _ = verb;
+}
+
+/// Split a buffer on top-level semicolons (quotes respected).
+fn split_statements(input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in input.chars() {
+        match ch {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ';' if !in_str => {
+                let stmt = cur.trim().to_owned();
+                if !stmt.is_empty() {
+                    out.push(stmt);
+                }
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    let tail = cur.trim();
+    if !tail.is_empty() {
+        out.push(tail.to_owned());
+    }
+    out
+}

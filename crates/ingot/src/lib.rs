@@ -1,0 +1,42 @@
+//! # Ingot — integrated performance monitoring for autonomous tuning
+//!
+//! Umbrella crate re-exporting the whole system: a from-scratch relational
+//! engine (storage, catalog, SQL, optimizer, executor, locking) whose core
+//! carries the integrated monitoring of Thiem & Sattler's ICDE 2009 paper,
+//! plus the storage daemon, the analyzer, and the NREF-like evaluation
+//! workload.
+//!
+//! ```
+//! use ingot::prelude::*;
+//!
+//! let engine = Engine::new(EngineConfig::monitoring());
+//! let session = engine.open_session();
+//! session.execute("create table t (id int not null primary key, v int)").unwrap();
+//! session.execute("insert into t values (1, 10), (2, 20)").unwrap();
+//! let r = session.execute("select v from t where id = 2").unwrap();
+//! assert_eq!(r.rows[0].get(0).as_int(), Some(20));
+//! // Every statement was recorded by the integrated monitor:
+//! let recorded = session.execute("select count(*) from ima$workload").unwrap();
+//! assert!(recorded.rows[0].get(0).as_int().unwrap() >= 3);
+//! ```
+
+pub use ingot_analyzer as analyzer;
+pub use ingot_catalog as catalog;
+pub use ingot_common as common;
+pub use ingot_core as core;
+pub use ingot_daemon as daemon;
+pub use ingot_executor as executor;
+pub use ingot_planner as planner;
+pub use ingot_sql as sql;
+pub use ingot_storage as storage;
+pub use ingot_txn as txn;
+pub use ingot_workload as workload;
+
+/// The types most applications need.
+pub mod prelude {
+    pub use ingot_analyzer::{Analyzer, AnalyzerConfig, Recommendation, WorkloadView};
+    pub use ingot_common::{Cost, EngineConfig, Error, Result, Row, SimClock, Value};
+    pub use ingot_core::{Engine, Monitor, Session, StatementResult};
+    pub use ingot_daemon::{Alert, AlertRule, DaemonConfig, StorageDaemon, WorkloadDb};
+    pub use ingot_workload::{analytic_queries, load_nref, NrefConfig};
+}

@@ -1,0 +1,440 @@
+//! Physical plans.
+
+use std::fmt;
+
+use ingot_common::{Cost, IndexId, TableId, Value};
+
+use crate::expr::{AggSpec, PhysExpr};
+
+/// How an index scan locates its entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeSpec {
+    /// Equality on a prefix of the index columns.
+    Eq(Vec<Value>),
+    /// Range on the first index column (inclusive bounds).
+    Range {
+        /// Lower bound.
+        lo: Option<Value>,
+        /// Upper bound.
+        hi: Option<Value>,
+    },
+}
+
+/// How a [`PhysPlan::ProbeJoin`] reaches the inner table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeSource {
+    /// Clustered primary tree, key prefix = the join column.
+    PrimaryTree,
+    /// A secondary index whose leading column is the join column.
+    Index(IndexId, String),
+}
+
+/// A plan operator with its children.
+#[derive(Debug, Clone)]
+pub enum PhysPlan {
+    /// One empty row (`SELECT` without `FROM`).
+    DualScan,
+    /// Provider-backed (IMA) virtual-table scan: rows come from memory.
+    VirtualScan {
+        /// The virtual table.
+        table: TableId,
+        /// For display.
+        table_name: String,
+        /// Row width.
+        width: usize,
+        /// Pushed-down predicate.
+        filter: Option<PhysExpr>,
+    },
+    /// Full table scan (sequential I/O over main + overflow pages).
+    SeqScan {
+        /// Scanned table.
+        table: TableId,
+        /// For display.
+        table_name: String,
+        /// Width of the emitted rows.
+        width: usize,
+        /// Pushed-down predicate over the table's own layout.
+        filter: Option<PhysExpr>,
+    },
+    /// Secondary-index probe followed by heap fetches.
+    IndexScan {
+        /// Base table.
+        table: TableId,
+        /// For display.
+        table_name: String,
+        /// The probing index.
+        index: IndexId,
+        /// For display.
+        index_name: String,
+        /// Row width.
+        width: usize,
+        /// Probe specification.
+        probe: ProbeSpec,
+        /// Residual predicate over the table's own layout.
+        filter: Option<PhysExpr>,
+    },
+    /// Clustered primary-key lookup (BTree storage structure).
+    PkLookup {
+        /// Base table.
+        table: TableId,
+        /// For display.
+        table_name: String,
+        /// Row width.
+        width: usize,
+        /// Primary-key values: the full key (unique lookup) or a leading
+        /// prefix of it (clustered range probe).
+        key: Vec<Value>,
+        /// Residual predicate.
+        filter: Option<PhysExpr>,
+    },
+    /// Index nested-loop join: for each outer row, probe the inner table
+    /// through its clustered primary tree or a secondary index on the join
+    /// column — Ingres' "indexes added to the list of joining tables".
+    ProbeJoin {
+        /// Outer input.
+        left: Box<PlanNode>,
+        /// Inner table.
+        table: TableId,
+        /// For display.
+        table_name: String,
+        /// Inner row width.
+        width: usize,
+        /// Offset of the join key in the outer row.
+        left_key: usize,
+        /// The probe structure.
+        source: ProbeSource,
+        /// Residual predicate over the concatenated layout (outer ‖ inner).
+        filter: Option<PhysExpr>,
+    },
+    /// Nested-loop join (inner side re-scanned per outer row).
+    NestedLoopJoin {
+        /// Outer input.
+        left: Box<PlanNode>,
+        /// Inner input.
+        right: Box<PlanNode>,
+        /// Join predicate over the concatenated layout.
+        on: Option<PhysExpr>,
+    },
+    /// Hash join on equi-key columns.
+    HashJoin {
+        /// Build side.
+        left: Box<PlanNode>,
+        /// Probe side.
+        right: Box<PlanNode>,
+        /// Key offsets into the left row.
+        left_keys: Vec<usize>,
+        /// Key offsets into the right row.
+        right_keys: Vec<usize>,
+        /// Residual predicate over the concatenated layout.
+        filter: Option<PhysExpr>,
+    },
+    /// Standalone filter.
+    Filter {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Predicate.
+        pred: PhysExpr,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Output expressions over the input layout.
+        exprs: Vec<PhysExpr>,
+    },
+    /// Hash aggregation. Output layout: group keys then aggregate values.
+    Aggregate {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Group keys over the input layout.
+        group_by: Vec<PhysExpr>,
+        /// Aggregates over the input layout.
+        aggs: Vec<AggSpec>,
+        /// HAVING over the output layout.
+        having: Option<PhysExpr>,
+    },
+    /// Full sort.
+    Sort {
+        /// Input.
+        input: Box<PlanNode>,
+        /// `(input offset, descending)` keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Order-preserving duplicate elimination over whole rows.
+    Distinct {
+        /// Input.
+        input: Box<PlanNode>,
+    },
+    /// LIMIT/OFFSET.
+    Limit {
+        /// Input.
+        input: Box<PlanNode>,
+        /// Maximum rows (`None` = unlimited, used for pure OFFSET).
+        limit: Option<u64>,
+        /// Rows to skip.
+        offset: u64,
+    },
+}
+
+/// A plan node annotated with the optimizer's estimates.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// The operator.
+    pub op: PhysPlan,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated cumulative cost (this operator + children).
+    pub est_cost: Cost,
+}
+
+impl PlanNode {
+    /// Number of columns this node emits.
+    pub fn width(&self) -> usize {
+        match &self.op {
+            PhysPlan::DualScan => 0,
+            PhysPlan::SeqScan { width, .. }
+            | PhysPlan::VirtualScan { width, .. }
+            | PhysPlan::IndexScan { width, .. }
+            | PhysPlan::PkLookup { width, .. } => *width,
+            PhysPlan::NestedLoopJoin { left, right, .. }
+            | PhysPlan::HashJoin { left, right, .. } => left.width() + right.width(),
+            PhysPlan::ProbeJoin { left, width, .. } => left.width() + width,
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::Distinct { input }
+            | PhysPlan::Limit { input, .. } => input.width(),
+            PhysPlan::Project { exprs, .. } => exprs.len(),
+            PhysPlan::Aggregate { group_by, aggs, .. } => group_by.len() + aggs.len(),
+        }
+    }
+
+    fn fmt_rec(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        let describe = |f: &mut fmt::Formatter<'_>, name: &str, extra: &str| {
+            writeln!(
+                f,
+                "{pad}{name}{extra}  (rows≈{:.0}, {})",
+                self.est_rows, self.est_cost
+            )
+        };
+        match &self.op {
+            PhysPlan::DualScan => describe(f, "Dual", "")?,
+            PhysPlan::VirtualScan { table_name, .. } => {
+                describe(f, "VirtualScan", &format!(" on {table_name}"))?;
+            }
+            PhysPlan::SeqScan {
+                table_name, filter, ..
+            } => {
+                let extra = format!(
+                    " on {table_name}{}",
+                    if filter.is_some() { " [filtered]" } else { "" }
+                );
+                describe(f, "SeqScan", &extra)?;
+            }
+            PhysPlan::IndexScan {
+                table_name,
+                index_name,
+                probe,
+                ..
+            } => {
+                let p = match probe {
+                    ProbeSpec::Eq(v) => format!("eq({})", v.len()),
+                    ProbeSpec::Range { .. } => "range".to_owned(),
+                };
+                describe(f, "IndexScan", &format!(" on {table_name} via {index_name} {p}"))?;
+            }
+            PhysPlan::PkLookup { table_name, .. } => {
+                describe(f, "PkLookup", &format!(" on {table_name}"))?;
+            }
+            PhysPlan::ProbeJoin {
+                left,
+                table_name,
+                source,
+                ..
+            } => {
+                let via = match source {
+                    ProbeSource::PrimaryTree => "primary tree".to_owned(),
+                    ProbeSource::Index(_, name) => format!("index {name}"),
+                };
+                describe(f, "ProbeJoin", &format!(" into {table_name} via {via}"))?;
+                left.fmt_rec(f, indent + 1)?;
+            }
+            PhysPlan::NestedLoopJoin { left, right, .. } => {
+                describe(f, "NestedLoopJoin", "")?;
+                left.fmt_rec(f, indent + 1)?;
+                right.fmt_rec(f, indent + 1)?;
+            }
+            PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                ..
+            } => {
+                describe(f, "HashJoin", &format!(" on {} key(s)", left_keys.len()))?;
+                left.fmt_rec(f, indent + 1)?;
+                right.fmt_rec(f, indent + 1)?;
+            }
+            PhysPlan::Filter { input, .. } => {
+                describe(f, "Filter", "")?;
+                input.fmt_rec(f, indent + 1)?;
+            }
+            PhysPlan::Project { input, exprs } => {
+                describe(f, "Project", &format!(" [{} col(s)]", exprs.len()))?;
+                input.fmt_rec(f, indent + 1)?;
+            }
+            PhysPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                describe(
+                    f,
+                    "Aggregate",
+                    &format!(" [{} key(s), {} agg(s)]", group_by.len(), aggs.len()),
+                )?;
+                input.fmt_rec(f, indent + 1)?;
+            }
+            PhysPlan::Sort { input, keys } => {
+                describe(f, "Sort", &format!(" [{} key(s)]", keys.len()))?;
+                input.fmt_rec(f, indent + 1)?;
+            }
+            PhysPlan::Distinct { input } => {
+                describe(f, "Distinct", "")?;
+                input.fmt_rec(f, indent + 1)?;
+            }
+            PhysPlan::Limit { input, limit, offset } => {
+                describe(f, "Limit", &format!(" [{limit:?} offset {offset}]"))?;
+                input.fmt_rec(f, indent + 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect the indexes the plan uses (for the optimizer sensor).
+    pub fn collect_indexes(&self, out: &mut Vec<IndexId>) {
+        match &self.op {
+            PhysPlan::IndexScan { index, .. }
+                if !out.contains(index) => {
+                    out.push(*index);
+                }
+            PhysPlan::NestedLoopJoin { left, right, .. }
+            | PhysPlan::HashJoin { left, right, .. } => {
+                left.collect_indexes(out);
+                right.collect_indexes(out);
+            }
+            PhysPlan::ProbeJoin { left, source, .. } => {
+                if let ProbeSource::Index(id, _) = source {
+                    if !out.contains(id) {
+                        out.push(*id);
+                    }
+                }
+                left.collect_indexes(out);
+            }
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Aggregate { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::Distinct { input }
+            | PhysPlan::Limit { input, .. } => input.collect_indexes(out),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_rec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf() -> PlanNode {
+        PlanNode {
+            op: PhysPlan::SeqScan {
+                table: TableId(1),
+                table_name: "protein".into(),
+                width: 3,
+                filter: None,
+            },
+            est_rows: 100.0,
+            est_cost: Cost::new(100.0, 10.0),
+        }
+    }
+
+    #[test]
+    fn width_computation() {
+        let l = leaf();
+        assert_eq!(l.width(), 3);
+        let join = PlanNode {
+            op: PhysPlan::HashJoin {
+                left: Box::new(leaf()),
+                right: Box::new(leaf()),
+                left_keys: vec![0],
+                right_keys: vec![0],
+                filter: None,
+            },
+            est_rows: 100.0,
+            est_cost: Cost::ZERO,
+        };
+        assert_eq!(join.width(), 6);
+        let proj = PlanNode {
+            op: PhysPlan::Project {
+                input: Box::new(join),
+                exprs: vec![PhysExpr::Col(0), PhysExpr::Col(5)],
+            },
+            est_rows: 100.0,
+            est_cost: Cost::ZERO,
+        };
+        assert_eq!(proj.width(), 2);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let join = PlanNode {
+            op: PhysPlan::NestedLoopJoin {
+                left: Box::new(leaf()),
+                right: Box::new(leaf()),
+                on: None,
+            },
+            est_rows: 10000.0,
+            est_cost: Cost::new(1.0, 2.0),
+        };
+        let s = join.to_string();
+        assert!(s.contains("NestedLoopJoin"));
+        assert!(s.contains("SeqScan on protein"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn collect_indexes_dedups() {
+        let scan = PlanNode {
+            op: PhysPlan::IndexScan {
+                table: TableId(1),
+                table_name: "t".into(),
+                index: IndexId(7),
+                index_name: "i".into(),
+                width: 1,
+                probe: ProbeSpec::Eq(vec![Value::Int(1)]),
+                filter: None,
+            },
+            est_rows: 1.0,
+            est_cost: Cost::ZERO,
+        };
+        let join = PlanNode {
+            op: PhysPlan::NestedLoopJoin {
+                left: Box::new(scan.clone()),
+                right: Box::new(scan),
+                on: None,
+            },
+            est_rows: 1.0,
+            est_cost: Cost::ZERO,
+        };
+        let mut out = Vec::new();
+        join.collect_indexes(&mut out);
+        assert_eq!(out, vec![IndexId(7)]);
+    }
+}

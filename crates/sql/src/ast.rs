@@ -1,0 +1,386 @@
+//! The abstract syntax tree produced by the parser.
+
+use ingot_common::{DataType, Value};
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT …`
+    Select(SelectStmt),
+    /// `INSERT INTO t [(cols)] VALUES (…), (…)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, if given.
+        columns: Option<Vec<String>>,
+        /// One expression list per row.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE t SET c = e, … [WHERE p]`
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments in order.
+        sets: Vec<(String, Expr)>,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE p]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// `CREATE TABLE t (…)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+        /// Primary-key column names (from inline `PRIMARY KEY` or a trailing
+        /// `PRIMARY KEY (…)` clause).
+        primary_key: Vec<String>,
+    },
+    /// `DROP TABLE t`
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `CREATE [UNIQUE] INDEX name ON t (cols)`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column names.
+        columns: Vec<String>,
+        /// Uniqueness constraint.
+        unique: bool,
+    },
+    /// `DROP INDEX name`
+    DropIndex {
+        /// Index name.
+        name: String,
+    },
+    /// Ingres `MODIFY t TO BTREE|HEAP`
+    Modify {
+        /// Table name.
+        table: String,
+        /// Target structure keyword (validated by the binder).
+        to: String,
+    },
+    /// `CREATE STATISTICS ON t [(cols)]` — the `optimizedb` analogue.
+    CreateStatistics {
+        /// Table name.
+        table: String,
+        /// Columns to build histograms for; empty = all.
+        columns: Vec<String>,
+    },
+    /// `EXPLAIN <statement>`
+    Explain(Box<Statement>),
+    /// `SET name = literal` (engine knobs).
+    Set {
+        /// Parameter name.
+        name: String,
+        /// New value.
+        value: Value,
+    },
+}
+
+/// One column in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+    /// Inline `PRIMARY KEY` marker.
+    pub primary_key: bool,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` clause: comma-separated table references, each with its own
+    /// `JOIN` chain.
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub filter: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT`.
+    pub limit: Option<u64>,
+    /// `OFFSET`.
+    pub offset: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A base table in `FROM`, with its joined tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+    /// `JOIN … ON …` chain hanging off this table.
+    pub joins: Vec<Join>,
+}
+
+/// One `JOIN` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table name.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+    /// The `ON` predicate.
+    pub on: Expr,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Descending order.
+    pub desc: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinOp {
+    /// True for `= <> < <= > >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical `NOT`.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference, optionally qualified.
+    Column {
+        /// Table or alias qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v, …)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'` (`%` and `_` wildcards).
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The pattern literal.
+        pattern: String,
+        /// `NOT LIKE`.
+        negated: bool,
+    },
+    /// A function call — aggregates (`COUNT/SUM/AVG/MIN/MAX`) and scalar
+    /// functions (`ABS`, `LENGTH`, …).
+    Call {
+        /// Function name, lower-cased.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `COUNT(DISTINCT x)` etc.
+        distinct: bool,
+    },
+    /// `COUNT(*)`
+    CountStar,
+}
+
+impl Expr {
+    /// Convenience: column reference without qualifier.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Convenience: integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    /// Convenience: binary expression.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    /// Split a conjunctive predicate into its AND-ed factors.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Binary {
+                    op: BinOp::And,
+                    left,
+                    right,
+                } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Recombine factors with AND (inverse of [`Expr::conjuncts`]).
+    pub fn conjoin(mut factors: Vec<Expr>) -> Option<Expr> {
+        let first = if factors.is_empty() {
+            return None;
+        } else {
+            factors.remove(0)
+        };
+        Some(
+            factors
+                .into_iter()
+                .fold(first, |acc, f| Expr::bin(BinOp::And, acc, f)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::And, Expr::col("a"), Expr::col("b")),
+            Expr::bin(BinOp::Or, Expr::col("c"), Expr::col("d")),
+        );
+        let c = e.conjuncts();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], &Expr::col("a"));
+        // OR factor stays intact.
+        assert!(matches!(c[2], Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn conjoin_roundtrip() {
+        let parts = vec![Expr::col("a"), Expr::col("b"), Expr::col("c")];
+        let joined = Expr::conjoin(parts).unwrap();
+        assert_eq!(joined.conjuncts().len(), 3);
+        assert!(Expr::conjoin(vec![]).is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! SQL front end: lexer, abstract syntax tree and recursive-descent parser.
+//!
+//! The dialect covers what the paper's evaluation workloads need — multi-way
+//! joins, aggregates, grouping and ordering for the NREF2J/NREF3J analytic
+//! queries; parameterised point selects for the 50k/1m tests — plus the
+//! Ingres-flavoured administration statements the monitoring/tuning loop
+//! relies on: `MODIFY t TO BTREE`, `CREATE STATISTICS`, `CREATE [UNIQUE]
+//! INDEX` and `EXPLAIN`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    BinOp, ColumnDef, Expr, Join, OrderItem, SelectItem, SelectStmt, Statement, TableRef, UnOp,
+};
+pub use lexer::{Lexer, Token};
+pub use parser::{parse_statement, parse_statements, Parser};

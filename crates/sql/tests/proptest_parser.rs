@@ -1,0 +1,119 @@
+//! Property-based tests of the SQL front end: total safety on arbitrary
+//! input and round-trip structure on generated statements.
+
+use ingot_sql::{parse_statement, BinOp, Expr, SelectItem, Statement};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser must never panic, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_statement(&input);
+    }
+
+    /// Nor on inputs biased towards SQL-looking fragments.
+    #[test]
+    fn parser_never_panics_on_sqlish(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("select".to_owned()),
+                Just("from".to_owned()),
+                Just("where".to_owned()),
+                Just("and".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just(",".to_owned()),
+                Just("'txt'".to_owned()),
+                Just("42".to_owned()),
+                Just("*".to_owned()),
+                Just("=".to_owned()),
+                ident(),
+            ],
+            0..24,
+        )
+    ) {
+        let _ = parse_statement(&parts.join(" "));
+    }
+
+    /// Generated point selects parse into exactly the expected tree.
+    #[test]
+    fn point_select_roundtrip(table in ident(), col in ident(), v in any::<i32>()) {
+        let sql = format!("select {col} from {table} where {col} = {v}");
+        let Statement::Select(s) = parse_statement(&sql).unwrap() else {
+            return Err(TestCaseError::fail("not a select"));
+        };
+        prop_assert_eq!(&s.from[0].name, &table);
+        prop_assert_eq!(s.items.len(), 1);
+        let SelectItem::Expr { expr: Expr::Column { name, .. }, .. } = &s.items[0] else {
+            return Err(TestCaseError::fail("not a column"));
+        };
+        prop_assert_eq!(name, &col);
+        let Some(Expr::Binary { op: BinOp::Eq, right, .. }) = s.filter else {
+            return Err(TestCaseError::fail("no eq filter"));
+        };
+        prop_assert_eq!(
+            *right,
+            Expr::Literal(ingot_common::Value::Int(i64::from(v)))
+        );
+    }
+
+    /// String literals with embedded quotes survive lexing.
+    #[test]
+    fn string_literal_roundtrip(content in "[a-zA-Z0-9 ]{0,20}", quotes in 0usize..3) {
+        let mut text = content.clone();
+        for _ in 0..quotes {
+            text.push('\'');
+        }
+        let escaped = text.replace('\'', "''");
+        let sql = format!("select '{escaped}'");
+        let Statement::Select(s) = parse_statement(&sql).unwrap() else {
+            return Err(TestCaseError::fail("not a select"));
+        };
+        let SelectItem::Expr { expr: Expr::Literal(ingot_common::Value::Str(got)), .. } =
+            &s.items[0]
+        else {
+            return Err(TestCaseError::fail("not a string literal"));
+        };
+        prop_assert_eq!(got, &text);
+    }
+
+    /// Integer literals round-trip exactly (including negatives).
+    #[test]
+    fn integer_literal_roundtrip(v in any::<i64>()) {
+        let sql = format!("select {v}");
+        let Statement::Select(s) = parse_statement(&sql).unwrap() else {
+            return Err(TestCaseError::fail("not a select"));
+        };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            return Err(TestCaseError::fail("no expr"));
+        };
+        prop_assert_eq!(expr, &Expr::Literal(ingot_common::Value::Int(v)));
+    }
+
+    /// Conjunct splitting and re-joining is lossless.
+    #[test]
+    fn conjuncts_roundtrip(n in 1usize..6) {
+        let cols: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+        let pred = cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c} = {i}"))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        let sql = format!("select 1 from t where {pred}");
+        let Statement::Select(s) = parse_statement(&sql).unwrap() else {
+            return Err(TestCaseError::fail("not a select"));
+        };
+        let filter = s.filter.unwrap();
+        let parts = filter.conjuncts();
+        prop_assert_eq!(parts.len(), n);
+        let rejoined = Expr::conjoin(parts.into_iter().cloned().collect()).unwrap();
+        prop_assert_eq!(rejoined.conjuncts().len(), n);
+    }
+}

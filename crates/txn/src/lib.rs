@@ -1,0 +1,86 @@
+//! Transactions and locking.
+//!
+//! The paper's Fig 8 ("Locks Diagram") visualises "the number of used locks
+//! together with indicators for lock waits and deadlocks" sampled by the
+//! statistics sensor. This crate provides the substrate: a two-mode (S/X)
+//! lock manager over table- and row-granular resources with wait-for-graph
+//! deadlock detection, exporting exactly the counters the sensor reads.
+
+pub mod lock;
+
+pub use lock::{LockManager, LockMode, LockStats, Resource};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ingot_common::TxnId;
+
+/// Allocates transaction ids.
+#[derive(Debug, Default)]
+pub struct TxnManager {
+    next: AtomicU64,
+    active: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+}
+
+impl TxnManager {
+    /// A fresh manager.
+    pub fn new() -> Self {
+        TxnManager {
+            next: AtomicU64::new(1),
+            ..Default::default()
+        }
+    }
+
+    /// Start a transaction.
+    pub fn begin(&self) -> TxnId {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        TxnId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Record a commit.
+    pub fn commit(&self, _txn: TxnId) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an abort (deadlock victim or user rollback).
+    pub fn abort(&self, _txn: TxnId) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Currently active transactions.
+    pub fn active_count(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Transactions committed so far.
+    pub fn committed_count(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Transactions aborted so far.
+    pub fn aborted_count(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_lifecycle_counts() {
+        let m = TxnManager::new();
+        let a = m.begin();
+        let b = m.begin();
+        assert_ne!(a, b);
+        assert_eq!(m.active_count(), 2);
+        m.commit(a);
+        m.abort(b);
+        assert_eq!(m.active_count(), 0);
+        assert_eq!(m.committed_count(), 1);
+        assert_eq!(m.aborted_count(), 1);
+    }
+}

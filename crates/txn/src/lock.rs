@@ -1,0 +1,377 @@
+//! The lock manager.
+//!
+//! Two modes (shared / exclusive), two granularities (table / row), FIFO-ish
+//! granting, wait-for-graph deadlock detection with the *requester* chosen as
+//! victim, and a wait timeout as a backstop. All counters feed the monitor's
+//! statistics sensor (Fig 8: locks in use, lock waits, deadlocks).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use ingot_common::{Error, Result, TableId, TxnId};
+use parking_lot::{Condvar, Mutex};
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (readers).
+    Shared,
+    /// Exclusive (writers).
+    Exclusive,
+}
+
+impl LockMode {
+    fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+/// A lockable resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// A whole table.
+    Table(TableId),
+    /// One row, identified by its packed [`RowId`](ingot_common::PageId).
+    Row(TableId, u64),
+}
+
+/// Counters exported to the statistics sensor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Locks currently granted.
+    pub held: u64,
+    /// Transactions currently blocked waiting for a lock.
+    pub waiting: u64,
+    /// Total lock requests that had to wait.
+    pub waits_total: u64,
+    /// Total deadlocks detected.
+    pub deadlocks_total: u64,
+    /// Total locks granted over the manager's lifetime.
+    pub granted_total: u64,
+}
+
+#[derive(Debug)]
+struct LockState {
+    granted: Vec<(TxnId, LockMode)>,
+    /// Waiting requests in arrival order.
+    queue: VecDeque<(TxnId, LockMode)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    locks: HashMap<Resource, LockState>,
+    /// Resources held per transaction (for release-all).
+    by_txn: HashMap<TxnId, Vec<Resource>>,
+    /// waiter → resource it is blocked on.
+    waiting_on: HashMap<TxnId, Resource>,
+}
+
+/// The lock manager.
+pub struct LockManager {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    timeout: Duration,
+    waits_total: AtomicU64,
+    deadlocks_total: AtomicU64,
+    granted_total: AtomicU64,
+}
+
+impl LockManager {
+    /// A manager with the given wait timeout.
+    pub fn new(timeout: Duration) -> Self {
+        LockManager {
+            inner: Mutex::new(Inner::default()),
+            cond: Condvar::new(),
+            timeout,
+            waits_total: AtomicU64::new(0),
+            deadlocks_total: AtomicU64::new(0),
+            granted_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquire `mode` on `res` for `txn`, blocking until granted.
+    ///
+    /// Errors with [`Error::Deadlock`] when granting would close a cycle in
+    /// the wait-for graph (the requester is the victim and must release its
+    /// locks and retry), or [`Error::LockTimeout`] after the configured
+    /// timeout.
+    pub fn lock(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<()> {
+        let mut inner = self.inner.lock();
+
+        // Re-entrancy / upgrade handling.
+        if let Some(state) = inner.locks.get_mut(&res) {
+            if let Some(pos) = state.granted.iter().position(|(t, _)| *t == txn) {
+                let held = state.granted[pos].1;
+                if held == LockMode::Exclusive || mode == LockMode::Shared {
+                    return Ok(()); // already sufficient
+                }
+                // Upgrade S → X: immediate when sole holder.
+                if state.granted.len() == 1 {
+                    state.granted[0].1 = LockMode::Exclusive;
+                    return Ok(());
+                }
+                // Otherwise fall through to waiting (the S lock stays held;
+                // upgrade completes when other holders leave).
+            }
+        }
+
+        loop {
+            let grantable = {
+                let state = inner.locks.entry(res).or_insert_with(|| LockState {
+                    granted: Vec::new(),
+                    queue: VecDeque::new(),
+                });
+                let others_compatible = state
+                    .granted
+                    .iter()
+                    .filter(|(t, _)| *t != txn)
+                    .all(|(_, m)| m.compatible(mode));
+                // FIFO fairness: a request is grantable only when no other
+                // waiter is ahead of it in the queue.
+                let no_earlier_waiter = match state.queue.iter().position(|(t, _)| *t == txn) {
+                    Some(pos) => pos == 0,
+                    None => state.queue.is_empty(),
+                };
+                others_compatible && no_earlier_waiter
+            };
+            if grantable {
+                let state = inner.locks.get_mut(&res).expect("state exists");
+                state.queue.retain(|(t, _)| *t != txn);
+                if let Some(pos) = state.granted.iter().position(|(t, _)| *t == txn) {
+                    state.granted[pos].1 = LockMode::Exclusive; // completed upgrade
+                } else {
+                    state.granted.push((txn, mode));
+                    inner.by_txn.entry(txn).or_default().push(res);
+                }
+                inner.waiting_on.remove(&txn);
+                self.granted_total.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+
+            // Must wait: enqueue (once) and check for deadlock.
+            {
+                let state = inner.locks.get_mut(&res).expect("state exists");
+                if !state.queue.iter().any(|(t, _)| *t == txn) {
+                    state.queue.push_back((txn, mode));
+                    self.waits_total.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            inner.waiting_on.insert(txn, res);
+            if self.closes_cycle(&inner, txn) {
+                // The requester is the victim: remove it from the queue and
+                // report the deadlock.
+                if let Some(state) = inner.locks.get_mut(&res) {
+                    state.queue.retain(|(t, _)| *t != txn);
+                }
+                inner.waiting_on.remove(&txn);
+                self.deadlocks_total.fetch_add(1, Ordering::Relaxed);
+                self.cond.notify_all();
+                return Err(Error::Deadlock { victim: txn.raw() });
+            }
+
+            let timed_out = self
+                .cond
+                .wait_for(&mut inner, self.timeout)
+                .timed_out();
+            if timed_out {
+                if let Some(state) = inner.locks.get_mut(&res) {
+                    state.queue.retain(|(t, _)| *t != txn);
+                }
+                inner.waiting_on.remove(&txn);
+                return Err(Error::LockTimeout(format!(
+                    "txn {txn} gave up on {res:?} after {:?}",
+                    self.timeout
+                )));
+            }
+        }
+    }
+
+    /// Does `txn`'s wait close a cycle in the wait-for graph?
+    fn closes_cycle(&self, inner: &Inner, txn: TxnId) -> bool {
+        // Edges: waiter → every holder of the resource it waits on (and
+        // earlier waiters, which also precede it).
+        let mut visited: HashSet<TxnId> = HashSet::new();
+        let mut stack: Vec<TxnId> = vec![txn];
+        let mut first = true;
+        while let Some(cur) = stack.pop() {
+            if !first && cur == txn {
+                return true;
+            }
+            first = false;
+            if !visited.insert(cur) {
+                continue;
+            }
+            if let Some(res) = inner.waiting_on.get(&cur) {
+                if let Some(state) = inner.locks.get(res) {
+                    for (holder, _) in &state.granted {
+                        if *holder != cur {
+                            stack.push(*holder);
+                        }
+                    }
+                    // FIFO: only waiters *ahead* of `cur` in the queue block it.
+                    for (waiter, _) in &state.queue {
+                        if *waiter == cur {
+                            break;
+                        }
+                        stack.push(*waiter);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Release every lock held by `txn` (commit/abort) and wake waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut inner = self.inner.lock();
+        if let Some(resources) = inner.by_txn.remove(&txn) {
+            for res in resources {
+                if let Some(state) = inner.locks.get_mut(&res) {
+                    state.granted.retain(|(t, _)| *t != txn);
+                    if state.granted.is_empty() && state.queue.is_empty() {
+                        inner.locks.remove(&res);
+                    }
+                }
+            }
+        }
+        inner.waiting_on.remove(&txn);
+        self.cond.notify_all();
+    }
+
+    /// Current counters for the statistics sensor.
+    pub fn stats(&self) -> LockStats {
+        let inner = self.inner.lock();
+        let held = inner
+            .locks
+            .values()
+            .map(|s| s.granted.len() as u64)
+            .sum::<u64>();
+        LockStats {
+            held,
+            waiting: inner.waiting_on.len() as u64,
+            waits_total: self.waits_total.load(Ordering::Relaxed),
+            deadlocks_total: self.deadlocks_total.load(Ordering::Relaxed),
+            granted_total: self.granted_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new(Duration::from_secs(5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn mgr() -> Arc<LockManager> {
+        Arc::new(LockManager::new(Duration::from_millis(500)))
+    }
+
+    const T: Resource = Resource::Table(TableId(1));
+
+    #[test]
+    fn shared_locks_coexist() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        m.lock(TxnId(2), T, LockMode::Shared).unwrap();
+        assert_eq!(m.stats().held, 2);
+        m.release_all(TxnId(1));
+        m.release_all(TxnId(2));
+        assert_eq!(m.stats().held, 0);
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        m.lock(TxnId(1), T, LockMode::Exclusive).unwrap(); // sole-holder upgrade
+        assert_eq!(m.stats().held, 1);
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap(); // X covers S
+        m.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn exclusive_blocks_and_wakes() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Exclusive).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.lock(TxnId(2), T, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(m.stats().waiting, 1);
+        m.release_all(TxnId(1));
+        h.join().unwrap().unwrap();
+        assert!(m.stats().waits_total >= 1);
+        m.release_all(TxnId(2));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let m = Arc::new(LockManager::new(Duration::from_millis(50)));
+        m.lock(TxnId(1), T, LockMode::Exclusive).unwrap();
+        let err = m.lock(TxnId(2), T, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, Error::LockTimeout(_)));
+        m.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let m = mgr();
+        let r1 = Resource::Row(TableId(1), 1);
+        let r2 = Resource::Row(TableId(1), 2);
+        m.lock(TxnId(1), r1, LockMode::Exclusive).unwrap();
+        m.lock(TxnId(2), r2, LockMode::Exclusive).unwrap();
+        let m2 = Arc::clone(&m);
+        // Txn 1 waits for r2 (held by 2) in a thread.
+        let h = std::thread::spawn(move || m2.lock(TxnId(1), r2, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        // Txn 2 requesting r1 closes the cycle: it becomes the victim.
+        let err = m.lock(TxnId(2), r1, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, Error::Deadlock { victim: 2 }));
+        assert_eq!(m.stats().deadlocks_total, 1);
+        // The victim aborts; txn 1 then acquires r2.
+        m.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        m.release_all(TxnId(1));
+        assert_eq!(m.stats().held, 0);
+    }
+
+    #[test]
+    fn fifo_s_does_not_starve_x() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        // X waiter queues.
+        let m2 = Arc::clone(&m);
+        let hx = std::thread::spawn(move || m2.lock(TxnId(2), T, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        // A later S request must not jump the X waiter.
+        let m3 = Arc::clone(&m);
+        let hs = std::thread::spawn(move || m3.lock(TxnId(3), T, LockMode::Shared));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(m.stats().waiting, 2);
+        m.release_all(TxnId(1));
+        hx.join().unwrap().unwrap();
+        m.release_all(TxnId(2));
+        hs.join().unwrap().unwrap();
+        m.release_all(TxnId(3));
+    }
+
+    #[test]
+    fn row_locks_are_independent() {
+        let m = mgr();
+        m.lock(TxnId(1), Resource::Row(TableId(1), 1), LockMode::Exclusive)
+            .unwrap();
+        // Different row: no conflict.
+        m.lock(TxnId(2), Resource::Row(TableId(1), 2), LockMode::Exclusive)
+            .unwrap();
+        assert_eq!(m.stats().held, 2);
+        m.release_all(TxnId(1));
+        m.release_all(TxnId(2));
+    }
+}

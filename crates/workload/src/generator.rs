@@ -1,0 +1,317 @@
+//! Deterministic NREF-like data generation and bulk loading.
+
+use std::sync::Arc;
+
+use ingot_common::{Result, Row, Value};
+use ingot_core::Engine;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct NrefConfig {
+    /// Number of proteins (drives all other table sizes).
+    pub proteins: u64,
+    /// Number of distinct taxa.
+    pub taxa: u64,
+    /// RNG seed (fixed default for reproducibility).
+    pub seed: u64,
+    /// Mean synthetic sequence length in characters.
+    pub sequence_len: usize,
+}
+
+impl Default for NrefConfig {
+    fn default() -> Self {
+        NrefConfig {
+            proteins: 10_000,
+            taxa: 200,
+            seed: 0x19e5_2009,
+            sequence_len: 48,
+        }
+    }
+}
+
+impl NrefConfig {
+    /// A config sized by a scale factor (1.0 → 10 k proteins).
+    pub fn scaled(scale: f64) -> Self {
+        let base = Self::default();
+        NrefConfig {
+            proteins: ((base.proteins as f64 * scale) as u64).max(100),
+            taxa: ((base.taxa as f64 * scale.sqrt()) as u64).max(10),
+            ..base
+        }
+    }
+
+    /// The canonical NREF id of protein `i`.
+    pub fn nref_id(i: u64) -> String {
+        format!("NF{i:08}")
+    }
+}
+
+/// Row counts produced by a load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NrefStats {
+    /// Rows in `protein`.
+    pub proteins: u64,
+    /// Rows in `organism`.
+    pub organisms: u64,
+    /// Rows in `taxonomy`.
+    pub taxa: u64,
+    /// Rows in `source`.
+    pub sources: u64,
+    /// Rows in `neighboring_seq`.
+    pub neighbors: u64,
+    /// Rows in `seq_feature`.
+    pub features: u64,
+}
+
+impl NrefStats {
+    /// Total rows across the six tables.
+    pub fn total(&self) -> u64 {
+        self.proteins + self.organisms + self.taxa + self.sources + self.neighbors + self.features
+    }
+}
+
+/// DDL for the six NREF-like tables (all default HEAP, primary keys
+/// declared but unenforced until `MODIFY … TO BTREE`, like Ingres).
+pub fn nref_schema_ddl() -> Vec<&'static str> {
+    vec![
+        "create table protein (nref_id text not null primary key, name text, len int, \
+         mol_weight float, sequence text)",
+        "create table organism (nref_id text not null, taxon_id int, ordinal int, \
+         organism_name text, primary key (nref_id, taxon_id))",
+        "create table taxonomy (taxon_id int not null primary key, scientific_name text, \
+         lineage text, rank_level int)",
+        "create table source (nref_id text not null, source_db text, accession text, \
+         entry_name text, primary key (nref_id, accession))",
+        "create table neighboring_seq (nref_id text not null, neighbor_id text, \
+         score float, method text, primary key (nref_id, neighbor_id))",
+        "create table seq_feature (nref_id text not null, feature text, position int, \
+         flength int, primary key (nref_id, position))",
+    ]
+}
+
+const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+const SOURCE_DBS: &[&str] = &["swissprot", "trembl", "pir", "pdb", "genpept"];
+const METHODS: &[&str] = &["blastp", "psiblast", "fasta"];
+const FEATURES: &[&str] = &["helix", "strand", "turn", "domain", "binding", "signal"];
+const RANKS: &[&str] = &[
+    "species", "genus", "family", "order", "class", "phylum", "kingdom",
+];
+
+fn sequence(rng: &mut SmallRng, mean_len: usize) -> String {
+    let len = rng.gen_range(mean_len / 2..=mean_len * 3 / 2).max(4);
+    (0..len)
+        .map(|_| AMINO[rng.gen_range(0..AMINO.len())] as char)
+        .collect()
+}
+
+fn lineage(rng: &mut SmallRng, taxon: u64) -> String {
+    let kingdoms = ["Bacteria", "Archaea", "Eukaryota", "Viruses"];
+    format!(
+        "{};clade{};family{};genus{}",
+        kingdoms[(taxon % 4) as usize],
+        rng.gen_range(0..40),
+        taxon / 10,
+        taxon
+    )
+}
+
+/// Load the NREF-like database into `engine` through the bulk path (direct
+/// catalog inserts — the analogue of Ingres' `copy`, bypassing the SQL layer
+/// so the *measured* workloads stay the statements of §V, not the load).
+pub fn load_nref(engine: &Arc<Engine>, config: &NrefConfig) -> Result<NrefStats> {
+    // Schema via SQL (cheap, and keeps DDL on the monitored path like a real
+    // setup would).
+    {
+        let session = engine.open_session();
+        for ddl in nref_schema_ddl() {
+            session.execute(ddl)?;
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut stats = NrefStats::default();
+    let mut catalog = engine.catalog().write();
+    let t_protein = catalog.resolve_table("protein")?;
+    let t_organism = catalog.resolve_table("organism")?;
+    let t_taxonomy = catalog.resolve_table("taxonomy")?;
+    let t_source = catalog.resolve_table("source")?;
+    let t_neighbor = catalog.resolve_table("neighboring_seq")?;
+    let t_feature = catalog.resolve_table("seq_feature")?;
+
+    // taxonomy
+    for taxon in 0..config.taxa {
+        let lin = lineage(&mut rng, taxon);
+        catalog.insert_row(
+            t_taxonomy,
+            &Row::new(vec![
+                Value::Int(taxon as i64),
+                Value::Str(format!("Taxon {taxon}")),
+                Value::Str(lin),
+                Value::Int(RANKS.len() as i64 - 1 - (taxon % RANKS.len() as u64) as i64),
+            ]),
+        )?;
+        stats.taxa += 1;
+    }
+
+    for i in 0..config.proteins {
+        let id = NrefConfig::nref_id(i);
+        let seq = sequence(&mut rng, config.sequence_len);
+        // Skewed length distribution (Zipf-ish) so histograms matter.
+        let len = seq.len() as i64;
+        catalog.insert_row(
+            t_protein,
+            &Row::new(vec![
+                Value::Str(id.clone()),
+                Value::Str(format!("protein {i} ({})", FEATURES[(i % 6) as usize])),
+                Value::Int(len),
+                Value::Float(len as f64 * 110.4 + rng.gen_range(-50.0..50.0)),
+                Value::Str(seq),
+            ]),
+        )?;
+        stats.proteins += 1;
+
+        // organism: every protein has one primary taxon; ~20 % have a second.
+        // Taxon choice is skewed: low taxon ids are far more common.
+        let n_orgs = 1 + u64::from(rng.gen_bool(0.2));
+        let mut prev_taxon = u64::MAX;
+        for ord in 0..n_orgs {
+            let r: f64 = rng.gen::<f64>();
+            let taxon = ((r * r) * config.taxa as f64) as u64 % config.taxa;
+            if taxon == prev_taxon {
+                continue;
+            }
+            prev_taxon = taxon;
+            catalog.insert_row(
+                t_organism,
+                &Row::new(vec![
+                    Value::Str(id.clone()),
+                    Value::Int(taxon as i64),
+                    Value::Int(ord as i64),
+                    Value::Str(format!("Taxon {taxon}")),
+                ]),
+            )?;
+            stats.organisms += 1;
+        }
+
+        // source: 1–2 accessions.
+        let n_src = 1 + u64::from(rng.gen_bool(0.5));
+        for s in 0..n_src {
+            catalog.insert_row(
+                t_source,
+                &Row::new(vec![
+                    Value::Str(id.clone()),
+                    Value::Str(SOURCE_DBS[rng.gen_range(0..SOURCE_DBS.len())].to_owned()),
+                    Value::Str(format!("ACC{i:07}{s}")),
+                    Value::Str(format!("ENTRY_{i}_{s}")),
+                ]),
+            )?;
+            stats.sources += 1;
+        }
+
+        // neighboring_seq: two similarity edges to nearby proteins. Heap
+        // tables do not enforce the declared key at insert time (like Ingres
+        // heaps), so duplicates are weeded out here to keep a later
+        // `MODIFY … TO BTREE` rebuild valid.
+        let mut neighbors: [u64; 2] = [u64::MAX; 2];
+        for slot in 0..2usize {
+            let span = config.proteins.clamp(2, 1000);
+            let neighbor = (i + rng.gen_range(1..span)) % config.proteins;
+            if neighbor == i || neighbors[..slot].contains(&neighbor) {
+                continue;
+            }
+            neighbors[slot] = neighbor;
+            catalog.insert_row(
+                t_neighbor,
+                &Row::new(vec![
+                    Value::Str(id.clone()),
+                    Value::Str(NrefConfig::nref_id(neighbor)),
+                    Value::Float(rng.gen_range(20.0..100.0)),
+                    Value::Str(METHODS[rng.gen_range(0..METHODS.len())].to_owned()),
+                ]),
+            )?;
+            stats.neighbors += 1;
+        }
+
+        // seq_feature: one annotated region.
+        catalog.insert_row(
+            t_feature,
+            &Row::new(vec![
+                Value::Str(id.clone()),
+                Value::Str(FEATURES[rng.gen_range(0..FEATURES.len())].to_owned()),
+                Value::Int(rng.gen_range(0..len.max(1))),
+                Value::Int(rng.gen_range(1..=len.max(1))),
+            ]),
+        )?;
+        stats.features += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingot_common::EngineConfig;
+
+    #[test]
+    fn load_is_deterministic_and_shaped() {
+        let cfg = NrefConfig {
+            proteins: 500,
+            taxa: 20,
+            ..Default::default()
+        };
+        let e1 = Engine::new(EngineConfig::original());
+        let s1 = load_nref(&e1, &cfg).unwrap();
+        let e2 = Engine::new(EngineConfig::original());
+        let s2 = load_nref(&e2, &cfg).unwrap();
+        assert_eq!(s1, s2, "same seed ⇒ same data");
+        assert_eq!(s1.proteins, 500);
+        assert_eq!(s1.taxa, 20);
+        assert!(s1.organisms >= 500);
+        assert!(s1.total() > 2500);
+        // Spot-check through SQL.
+        let session = e1.open_session();
+        let r = session
+            .execute("select count(*) from protein")
+            .unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(500));
+        let r = session
+            .execute("select len from protein where nref_id = 'NF00000042'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn organism_taxa_are_skewed() {
+        let cfg = NrefConfig {
+            proteins: 2000,
+            taxa: 100,
+            ..Default::default()
+        };
+        let e = Engine::new(EngineConfig::original());
+        load_nref(&e, &cfg).unwrap();
+        let session = e.open_session();
+        let r = session
+            .execute(
+                "select count(*) from organism where taxon_id < 20",
+            )
+            .unwrap();
+        let low = r.rows[0].get(0).as_int().unwrap();
+        let r = session
+            .execute(
+                "select count(*) from organism where taxon_id >= 80",
+            )
+            .unwrap();
+        let high = r.rows[0].get(0).as_int().unwrap();
+        assert!(
+            low > high * 2,
+            "low taxa should dominate (low={low}, high={high})"
+        );
+    }
+
+    #[test]
+    fn ids_are_sortable_and_unique() {
+        assert_eq!(NrefConfig::nref_id(1), "NF00000001");
+        assert!(NrefConfig::nref_id(9) < NrefConfig::nref_id(10));
+    }
+}

@@ -1,0 +1,39 @@
+//! The evaluation workload: an NREF-like protein database and the three
+//! statement sets of the paper's §V.
+//!
+//! The paper evaluates against the Non-Redundant Reference Protein (NREF)
+//! database "consisting of six tables filled with a total of 100 millions of
+//! rows of real, non-synthetic data" (per Consens et al. \[17\]). We regenerate
+//! the same *shape* synthetically and deterministically at a configurable
+//! scale factor:
+//!
+//! | table            | rows (×scale)     | role |
+//! |------------------|-------------------|------|
+//! | `protein`        | 1 × proteins      | id, name, length, weight, sequence |
+//! | `organism`       | ~1.2 × proteins   | protein → taxon mapping |
+//! | `taxonomy`       | distinct taxa     | lineage strings |
+//! | `source`         | ~1.5 × proteins   | external accessions |
+//! | `neighboring_seq`| 2 × proteins      | similarity edges |
+//! | `seq_feature`    | 1 × proteins      | annotated subsequences |
+//!
+//! The three test workloads of §V-A:
+//! * [`analytic_queries`] — the NREF2J/NREF3J-style set: 50 expensive
+//!   multi-join/aggregate statements ("stress the database with expensive
+//!   joins and many full table scans");
+//! * [`simple_join_statements`] — `select p.nref_id, sequence, ordinal from
+//!   protein p join organism o … where p.nref_id = ?` cycling distinct ids
+//!   (the 50k test);
+//! * [`point_select_statements`] — `select nref_id from protein where
+//!   nref_id = ?` (the 1m test).
+//!
+//! [`reference_indexes`] is the analogue of the paper's "set of 33 reference
+//! indexes recommended by \[17\]" used as the manual-optimization baseline.
+
+pub mod generator;
+pub mod queries;
+
+pub use generator::{load_nref, nref_schema_ddl, NrefConfig, NrefStats};
+pub use queries::{
+    analytic_queries, point_select_statement, point_select_statements, reference_indexes,
+    simple_join_statement, simple_join_statements,
+};

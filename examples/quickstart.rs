@@ -1,0 +1,63 @@
+//! Quickstart: create an engine with integrated monitoring, run SQL, and
+//! look at what the monitor recorded — all through standard SQL on the
+//! `ima$…` virtual tables.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ingot::prelude::*;
+
+fn main() -> Result<()> {
+    // An engine with the monitoring sensors compiled in (the paper's
+    // "Monitoring" setup; use EngineConfig::original() for the bare engine).
+    let engine = Engine::new(EngineConfig::monitoring());
+    let session = engine.open_session();
+
+    // Ordinary SQL.
+    session.execute(
+        "create table protein (nref_id text not null primary key, name text, len int)",
+    )?;
+    session.execute(
+        "insert into protein values \
+         ('NF00000001', 'insulin', 51), \
+         ('NF00000002', 'hemoglobin beta', 147), \
+         ('NF00000003', 'myoglobin', 154)",
+    )?;
+    let r = session.execute("select name, len from protein where len > 100 order by len desc")?;
+    println!("proteins longer than 100 residues:");
+    for row in &r.rows {
+        println!("  {} ({} aa)", row.get(0), row.get(1));
+    }
+
+    // Every statement passed through the sensors of Fig 2: wall-clock,
+    // estimated cost, actual cost.
+    println!("\nlast statement: est {} | actual {} | {} µs wall",
+        r.est_cost, r.actual_cost, r.wallclock_ns / 1000);
+
+    // The monitor's ring buffers are queryable as virtual tables (IMA).
+    let stmts = session.execute(
+        "select frequency, query_text from ima$statements order by frequency desc limit 5",
+    )?;
+    println!("\nima$statements (top 5 by frequency):");
+    for row in &stmts.rows {
+        println!("  {}x  {}", row.get(0), row.get(1));
+    }
+
+    let workload = session.execute(
+        "select count(*), sum(exec_cpu), sum(wallclock_ns) from ima$workload",
+    )?;
+    let row = &workload.rows[0];
+    println!(
+        "\nima$workload: {} executions, {} tuples processed, {} µs total",
+        row.get(0),
+        row.get(1),
+        row.get(2).as_int().unwrap_or(0) / 1000
+    );
+
+    // EXPLAIN shows the optimizer's plan with its estimates.
+    let plan = session.execute("explain select name from protein where nref_id = 'NF00000002'")?;
+    println!("\nquery plan:");
+    for row in &plan.rows {
+        println!("  {}", row.get(0));
+    }
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Integration tests of the evaluation workload itself: the three §V-A test
+//! sets run end-to-end under monitoring and behave like the paper describes.
+
+use ingot::prelude::*;
+use ingot::workload::{
+    analytic_queries, point_select_statements, simple_join_statements,
+};
+
+fn setup(proteins: u64) -> (std::sync::Arc<Engine>, NrefConfig) {
+    let engine = Engine::new(EngineConfig::monitoring().with_statement_capacity(1000));
+    let nref = NrefConfig {
+        proteins,
+        taxa: 30,
+        ..NrefConfig::default()
+    };
+    load_nref(&engine, &nref).unwrap();
+    // Keyed primary structures, like the paper's testbed.
+    let s = engine.open_session();
+    for t in [
+        "protein",
+        "organism",
+        "taxonomy",
+        "source",
+        "neighboring_seq",
+        "seq_feature",
+    ] {
+        s.execute(&format!("modify {t} to btree")).unwrap();
+    }
+    (engine, nref)
+}
+
+#[test]
+fn analytic_set_runs_and_is_fully_recorded() {
+    let (engine, nref) = setup(800);
+    let session = engine.open_session();
+    let queries = analytic_queries(&nref);
+    let mut non_empty = 0;
+    for q in &queries {
+        let r = session.execute(q).unwrap();
+        if !r.rows.is_empty() {
+            non_empty += 1;
+        }
+    }
+    assert!(
+        non_empty > 35,
+        "most analytic queries should return rows, got {non_empty}/50"
+    );
+    // Every query text is in the statements buffer.
+    let m = engine.monitor().unwrap();
+    let stmts = m.statements();
+    for q in &queries {
+        assert!(
+            stmts.iter().any(|s| s.text == *q),
+            "statement missing from monitor: {q}"
+        );
+    }
+}
+
+#[test]
+fn simple_join_set_cycles_ids_and_overflows_the_statement_ring() {
+    // The paper's 50k test deliberately exceeds the 1000-statement buffer:
+    // "the where clause cycling through 50,000 different nref ids, forcing
+    // the monitor to log each statement as a new one".
+    let (engine, nref) = setup(3000);
+    let session = engine.open_session();
+    for q in simple_join_statements(&nref, 2500) {
+        let r = session.execute(&q).unwrap();
+        assert!(!r.rows.is_empty());
+        assert_eq!(r.rows[0].len(), 3); // nref_id, sequence, ordinal
+    }
+    let m = engine.monitor().unwrap();
+    assert_eq!(
+        m.statements().len(),
+        1000,
+        "ring must cap at the configured 1000 distinct statements"
+    );
+    assert!(m.statements_recorded() >= 2500);
+}
+
+#[test]
+fn point_selects_hit_keyed_access() {
+    let (engine, nref) = setup(2000);
+    let session = engine.open_session();
+    for q in point_select_statements(&nref, 200) {
+        let r = session.execute(&q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert!(
+            r.actual_cost.cpu <= 2.0,
+            "point select must not scan: {} tuples for {q}",
+            r.actual_cost.cpu
+        );
+    }
+}
+
+#[test]
+fn first_point_select_is_slowest_then_caching_kicks_in() {
+    // The Fig 5 narrative: "for the very first statement, the DBMS needs to
+    // initialize its caches … the second statement already shows the impact
+    // of caching".
+    let (engine, nref) = setup(2000);
+    // Force cold start for the probe path by dropping buffered pages.
+    engine.catalog().read().pool().clear().unwrap();
+    let session = engine.open_session();
+    let mut ios = Vec::new();
+    for q in point_select_statements(&nref, 5) {
+        let r = session.execute(&q).unwrap();
+        ios.push(r.actual_cost.io);
+    }
+    assert!(
+        ios[0] > ios[4],
+        "first statement faults pages in, later ones are cached: {ios:?}"
+    );
+}
+
+#[test]
+fn workload_is_deterministic_across_engines() {
+    let (e1, nref) = setup(500);
+    let (e2, _) = setup(500);
+    let s1 = e1.open_session();
+    let s2 = e2.open_session();
+    for q in analytic_queries(&nref).iter().take(10) {
+        let mut r1 = s1.execute(q).unwrap().rows;
+        let mut r2 = s2.execute(q).unwrap().rows;
+        r1.sort();
+        r2.sort();
+        assert_eq!(r1, r2, "divergent results for {q}");
+    }
+}
