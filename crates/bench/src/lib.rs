@@ -176,7 +176,7 @@ pub fn build_instance_with(setup: Setup, scale: &Scale, keyed: bool) -> Instance
                 ..Default::default()
             },
         );
-        (Some(daemon.spawn()), Some(dir))
+        (Some(daemon.spawn().expect("spawn daemon thread")), Some(dir))
     } else {
         (None, None)
     };

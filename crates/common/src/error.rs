@@ -37,6 +37,9 @@ pub enum Error {
     Daemon(String),
     /// Operating-system I/O error, stringified (std::io::Error is not Clone).
     Io(String),
+    /// A *transient* I/O failure: the operation is expected to succeed if
+    /// retried (fault injection, EAGAIN-style conditions, brief outages).
+    TransientIo(String),
     /// Feature parsed but not supported by this engine build.
     Unsupported(String),
 }
@@ -82,9 +85,25 @@ impl Error {
     pub fn daemon(msg: impl Into<String>) -> Self {
         Error::Daemon(msg.into())
     }
+    /// Shorthand constructor for [`Error::TransientIo`].
+    pub fn transient_io(msg: impl Into<String>) -> Self {
+        Error::TransientIo(msg.into())
+    }
     /// Shorthand constructor for [`Error::Unsupported`].
     pub fn unsupported(msg: impl Into<String>) -> Self {
         Error::Unsupported(msg.into())
+    }
+
+    /// Retryability classification: `true` for failures that a capped
+    /// backoff-and-retry loop is expected to clear (brief I/O outages, lock
+    /// timeouts, deadlock victims), `false` for deterministic failures
+    /// (parse/bind/type errors, permanent I/O faults) where retrying only
+    /// repeats the failure.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::TransientIo(_) | Error::LockTimeout(_) | Error::Deadlock { .. }
+        )
     }
 }
 
@@ -106,6 +125,7 @@ impl fmt::Display for Error {
             Error::Monitor(m) => write!(f, "monitor error: {m}"),
             Error::Daemon(m) => write!(f, "daemon error: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
+            Error::TransientIo(m) => write!(f, "transient io error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
@@ -133,5 +153,15 @@ mod tests {
     fn io_conversion() {
         let e: Error = std::io::Error::other("boom").into();
         assert!(matches!(e, Error::Io(_)));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(Error::transient_io("blip").is_transient());
+        assert!(Error::LockTimeout("t".into()).is_transient());
+        assert!(Error::Deadlock { victim: 1 }.is_transient());
+        assert!(!Error::Io("disk gone".into()).is_transient());
+        assert!(!Error::storage("bad page").is_transient());
+        assert!(!Error::parse("syntax").is_transient());
     }
 }

@@ -17,6 +17,7 @@ pub mod cost;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod retry;
 pub mod row;
 pub mod value;
 
@@ -26,5 +27,6 @@ pub use cost::Cost;
 pub use error::{Error, Result};
 pub use hash::{fnv1a64, StmtHash};
 pub use ids::{AttrId, DatabaseId, IndexId, PageId, SessionId, TableId, TxnId};
+pub use retry::{RetryPolicy, SplitMix64};
 pub use row::{Column, Row, Schema};
 pub use value::{DataType, Value};

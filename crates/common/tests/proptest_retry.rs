@@ -1,0 +1,55 @@
+//! Property tests for the retry/backoff schedule (ISSUE 1, satellite 3):
+//! for any policy the schedule must be deterministic for a fixed seed,
+//! always capped at `max_delay`, and exactly `max_attempts - 1` long.
+
+use std::time::Duration;
+
+use ingot_common::retry::RetryPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_deterministic_for_fixed_seed(
+        max_attempts in 1u32..16,
+        base_ms in 1u64..1_000,
+        cap_ms in 1u64..5_000,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_millis(base_ms),
+            max_delay: Duration::from_millis(cap_ms),
+            seed,
+        };
+        let a = policy.schedule();
+        let b = policy.clone().schedule();
+        prop_assert_eq!(&a, &b, "same policy + seed must yield the same schedule");
+        prop_assert_eq!(a.len(), (max_attempts - 1) as usize);
+    }
+
+    #[test]
+    fn schedule_always_capped_and_positive(
+        max_attempts in 2u32..16,
+        base_ms in 1u64..1_000,
+        cap_ms in 1u64..5_000,
+        seed in any::<u64>(),
+    ) {
+        let cap = Duration::from_millis(cap_ms);
+        let policy = RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_millis(base_ms),
+            max_delay: cap,
+            seed,
+        };
+        for (k, d) in policy.schedule().into_iter().enumerate() {
+            prop_assert!(d <= cap, "delay #{} ({:?}) exceeds cap {:?}", k, d, cap);
+            // Jitter floor: a delay never drops below half the un-jittered value.
+            let exp = Duration::from_millis(base_ms)
+                .saturating_mul(1u32.checked_shl(k as u32).unwrap_or(u32::MAX))
+                .min(cap);
+            prop_assert!(d >= exp / 2, "delay #{} ({:?}) below jitter floor", k, d);
+        }
+    }
+}

@@ -123,6 +123,17 @@ impl Engine {
         Ok(Self::with_storage(config, sim_clock, storage))
     }
 
+    /// Create an engine over an arbitrary disk backend — fault-injection
+    /// wrappers in robustness tests, custom stores.
+    pub fn with_backend(
+        config: EngineConfig,
+        sim_clock: SimClock,
+        backend: Box<dyn ingot_storage::DiskBackend>,
+    ) -> Arc<Engine> {
+        let storage = StorageEngine::with_backend(backend, &config, sim_clock.clone());
+        Self::with_storage(config, sim_clock, storage)
+    }
+
     fn with_storage(
         config: EngineConfig,
         sim_clock: SimClock,
@@ -217,6 +228,13 @@ impl Engine {
     /// Flush all dirty pages to the storage backend.
     pub fn flush(&self) -> Result<()> {
         self.storage.flush()
+    }
+
+    /// Flush every dirty page, then durably checkpoint the backend (fsync +
+    /// recovery manifest for file-backed engines). Returns the checkpoint
+    /// epoch (0 for backends without checkpoints).
+    pub fn checkpoint(&self) -> Result<u64> {
+        self.storage.checkpoint()
     }
 
     /// Total data pages (tables + indexes) — the Fig 7 size metric.

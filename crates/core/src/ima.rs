@@ -247,6 +247,46 @@ pub fn register_ima_tables(catalog: &mut Catalog, monitor: &Arc<Monitor>) -> Res
     Ok(())
 }
 
+/// Name of the storage-daemon health table (registered only while a daemon
+/// is attached to the engine — see [`register_daemon_health_table`]).
+pub const IMA_DAEMON_HEALTH: &str = "ima$daemon_health";
+
+/// Register `ima$daemon_health` backed by `provider` (one row per snapshot
+/// of the daemon's health-state machine). The schema is defined here so all
+/// IMA shapes live in one place; the storage daemon supplies the provider
+/// because the counters are its own. Provider rows must match:
+/// `state` (text), `polls`, `failed_polls`, `consecutive_failures`,
+/// `retries`, `buffered_snapshots`, `recovered_snapshots`,
+/// `dropped_snapshots` (int), `degraded_since_secs` (int, -1 when healthy)
+/// and `last_error` (text).
+pub fn register_daemon_health_table(
+    catalog: &mut Catalog,
+    provider: ingot_catalog::VirtualProvider,
+) -> Result<()> {
+    catalog.register_virtual_table(
+        IMA_DAEMON_HEALTH,
+        daemon_health_schema(),
+        provider,
+    )?;
+    Ok(())
+}
+
+/// The `ima$daemon_health` row shape.
+pub fn daemon_health_schema() -> Schema {
+    Schema::new(vec![
+        Column::not_null("state", DataType::Str),
+        Column::new("polls", DataType::Int),
+        Column::new("failed_polls", DataType::Int),
+        Column::new("consecutive_failures", DataType::Int),
+        Column::new("retries", DataType::Int),
+        Column::new("buffered_snapshots", DataType::Int),
+        Column::new("recovered_snapshots", DataType::Int),
+        Column::new("dropped_snapshots", DataType::Int),
+        Column::new("degraded_since_secs", DataType::Int),
+        Column::new("last_error", DataType::Str),
+    ])
+}
+
 /// The names of all IMA virtual tables, in registration order.
 pub const IMA_TABLE_NAMES: &[&str] = &[
     "ima$statements",

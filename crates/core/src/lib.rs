@@ -28,4 +28,5 @@ pub mod ima;
 pub mod monitor;
 
 pub use engine::{Engine, Session, StatementResult};
+pub use ima::{daemon_health_schema, register_daemon_health_table, IMA_DAEMON_HEALTH};
 pub use monitor::{Monitor, StatementSensor};

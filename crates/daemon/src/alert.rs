@@ -141,6 +141,17 @@ impl AlertState {
         }
     }
 
+    /// Push an alert directly, bypassing rule evaluation. Used by the
+    /// daemon's health-state machine to report its own degradation and
+    /// recovery through the same channel DBA rules use.
+    pub fn raise(&self, rule: impl Into<String>, message: impl Into<String>, at_secs: u64) {
+        self.queue.lock().push(Alert {
+            rule: rule.into(),
+            message: message.into(),
+            at_secs,
+        });
+    }
+
     /// Drain the alert queue.
     pub fn take(&self) -> Vec<Alert> {
         std::mem::take(&mut self.queue.lock())

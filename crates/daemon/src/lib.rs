@@ -15,22 +15,31 @@
 //! * An active alerting mechanism evaluates DBA-defined rules on every poll
 //!   ("informs the DBA in case of a defined database event such as reaching
 //!   the maximum number of users on the system").
+//! * The daemon is **self-healing**: workload-DB failures run through a
+//!   `Healthy → Degraded → Quarantined` state machine ([`health`]) with
+//!   retry/backoff, a bounded catch-up buffer for missed snapshots, and
+//!   self-alerts through the same [`alert::AlertState`] DBA rules use. Its
+//!   counters are queryable as the `ima$daemon_health` virtual table.
 
 pub mod alert;
 pub mod growth;
+pub mod health;
 pub mod wldb;
 
 pub use alert::{Alert, AlertRule};
 pub use growth::GrowthStats;
+pub use health::{DaemonHealth, HealthState};
 pub use wldb::WorkloadDb;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ingot_common::Result;
-use ingot_core::Engine;
+use ingot_common::{Error, Result, RetryPolicy};
+use ingot_core::{Engine, Monitor};
+use parking_lot::Mutex;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +51,16 @@ pub struct DaemonConfig {
     /// Flush the workload DB to disk after every poll (the paper's "writes
     /// to disk every few minutes" corresponds to flushing every N polls).
     pub polls_per_flush: u32,
+    /// Backoff policy for transient workload-DB failures within one poll
+    /// (waits advance the simulated clock, not the wall clock).
+    pub retry: RetryPolicy,
+    /// How many missed snapshots the daemon buffers while Degraded. When
+    /// the buffer overflows the *oldest* timestamp is dropped (and counted
+    /// in `ima$daemon_health.dropped_snapshots`).
+    pub catchup_window: usize,
+    /// Consecutive failed polls before the daemon quarantines itself.
+    /// Permanent (non-transient) errors quarantine immediately.
+    pub quarantine_after: u32,
 }
 
 impl Default for DaemonConfig {
@@ -50,9 +69,15 @@ impl Default for DaemonConfig {
             interval: Duration::from_secs(30),
             retention_secs: 7 * 24 * 3600,
             polls_per_flush: 4,
+            retry: RetryPolicy::default(),
+            catchup_window: 16,
+            quarantine_after: 8,
         }
     }
 }
+
+/// Rule name under which the daemon raises alerts about itself.
+pub const DAEMON_HEALTH_RULE: &str = "daemon_health";
 
 /// The storage daemon: owns the workload DB and polls a monitored engine.
 pub struct StorageDaemon {
@@ -60,21 +85,43 @@ pub struct StorageDaemon {
     wldb: Arc<WorkloadDb>,
     config: DaemonConfig,
     alerts: Arc<alert::AlertState>,
-    polls: std::sync::atomic::AtomicU64,
-    last_purge_secs: std::sync::atomic::AtomicU64,
+    health: Arc<DaemonHealth>,
+    /// Timestamps of snapshots that failed to append, oldest first,
+    /// replayed in order once the workload DB heals.
+    pending: Mutex<VecDeque<u64>>,
+    last_purge_secs: AtomicU64,
 }
 
 impl StorageDaemon {
-    /// Create a daemon for `engine`, writing into `wldb`.
+    /// Create a daemon for `engine`, writing into `wldb`. Registers the
+    /// `ima$daemon_health` virtual table on `engine`'s catalog so the
+    /// daemon's own health is queryable over SQL like any other IMA data.
     pub fn new(engine: Arc<Engine>, wldb: Arc<WorkloadDb>, config: DaemonConfig) -> Self {
+        let health = Arc::new(DaemonHealth::default());
+        {
+            // A second daemon on the same engine would collide on the table
+            // name; keep the first registration rather than failing.
+            let h = Arc::clone(&health);
+            let mut catalog = engine.catalog().write();
+            let _ = ingot_core::register_daemon_health_table(
+                &mut catalog,
+                Arc::new(move || vec![h.snapshot_row()]),
+            );
+        }
         StorageDaemon {
             engine,
             wldb,
             config,
             alerts: Arc::new(alert::AlertState::default()),
-            polls: std::sync::atomic::AtomicU64::new(0),
-            last_purge_secs: std::sync::atomic::AtomicU64::new(0),
+            health,
+            pending: Mutex::new(VecDeque::new()),
+            last_purge_secs: AtomicU64::new(0),
         }
+    }
+
+    /// The daemon's health counters (also exposed as `ima$daemon_health`).
+    pub fn health(&self) -> &Arc<DaemonHealth> {
+        &self.health
     }
 
     /// The workload database.
@@ -95,7 +142,7 @@ impl StorageDaemon {
 
     /// Number of polls performed.
     pub fn poll_count(&self) -> u64 {
-        self.polls.load(Ordering::Relaxed)
+        self.health.polls()
     }
 
     /// One synchronous poll: sample statistics, pull new monitor data into
@@ -103,37 +150,157 @@ impl StorageDaemon {
     /// (periodically) flush to disk. Deterministic — tests and experiment
     /// harnesses call this directly; [`StorageDaemon::spawn`] calls it on a
     /// timer.
+    ///
+    /// Failures run through the health-state machine: transient errors are
+    /// retried with backoff inside the poll, then (still failing) degrade
+    /// the daemon and buffer the snapshot timestamp for catch-up; permanent
+    /// errors — or [`DaemonConfig::quarantine_after`] consecutive failures —
+    /// quarantine it. Alert rules are evaluated on *every* poll regardless,
+    /// so monitoring degrades gracefully instead of stopping.
     pub fn poll_once(&self) -> Result<()> {
-        let polls = self.polls.fetch_add(1, Ordering::Relaxed) + 1;
+        let polls = self.health.record_poll();
         // Statistics sensor fires on the daemon's schedule.
         self.engine.sample_statistics();
         let Some(monitor) = self.engine.monitor() else {
             return Ok(());
         };
         let now_secs = self.engine.sim_clock().now_secs();
-        self.wldb.append_from(monitor, now_secs)?;
-        // Retention runs on a coarser cadence than the appends: purging
-        // scans the workload tables, and the window moves slowly anyway —
-        // at most once per simulated hour.
+
+        let quarantined = self.health.state() == HealthState::Quarantined;
+        let mut outcome = if quarantined {
+            self.health.record_dropped(1);
+            Err(Error::daemon("storage daemon quarantined; snapshot dropped"))
+        } else {
+            self.try_append(monitor, now_secs)
+        };
+
+        match &outcome {
+            Ok(()) => {
+                if let Err(e) = self.housekeep(polls, now_secs) {
+                    self.note_failure(&e, now_secs);
+                    outcome = Err(e);
+                }
+            }
+            Err(e) => {
+                if !quarantined {
+                    // The current snapshot did not land; queue it so the
+                    // next successful poll replays it.
+                    self.buffer_snapshot(now_secs);
+                }
+                self.note_failure(e, now_secs);
+            }
+        }
+
+        // Active alerting keeps working even while storage is down.
+        if let Some(sample) = monitor.statistics().last() {
+            self.alerts.evaluate(sample, now_secs);
+        }
+        outcome
+    }
+
+    /// Replay buffered snapshots oldest-first, then append the current one,
+    /// each wrapped in the retry/backoff policy. On success the daemon is
+    /// healthy again (with a recovery self-alert if it wasn't).
+    fn try_append(&self, monitor: &Monitor, now_secs: u64) -> Result<()> {
+        loop {
+            let Some(ts) = self.pending.lock().front().copied() else {
+                break;
+            };
+            self.append_with_retry(monitor, ts)?;
+            self.pending.lock().pop_front();
+            self.health.record_recovered(1);
+            self.health.set_buffered(self.pending.lock().len() as u64);
+        }
+        self.append_with_retry(monitor, now_secs)?;
+        if self.health.state() != HealthState::Healthy {
+            self.health.set_state(HealthState::Healthy, now_secs);
+            self.alerts.raise(
+                DAEMON_HEALTH_RULE,
+                "storage daemon recovered; buffered snapshots replayed",
+                now_secs,
+            );
+        }
+        Ok(())
+    }
+
+    fn append_with_retry(&self, monitor: &Monitor, ts: u64) -> Result<()> {
+        let mut attempts = 0u64;
+        let result = self.config.retry.run_sim(self.engine.sim_clock(), |attempt| {
+            attempts = u64::from(attempt);
+            self.wldb.append_from(monitor, ts)
+        });
+        self.health.record_retries(attempts.saturating_sub(1));
+        result
+    }
+
+    /// Retention purge (at most once per simulated hour) and the periodic
+    /// durable flush — run only after a successful append.
+    fn housekeep(&self, polls: u64, now_secs: u64) -> Result<()> {
         let last = self.last_purge_secs.load(Ordering::Relaxed);
         if now_secs.saturating_sub(last) >= 3600 {
             self.last_purge_secs.store(now_secs, Ordering::Relaxed);
             self.wldb
                 .purge_older_than(now_secs.saturating_sub(self.config.retention_secs))?;
         }
-
-        if let Some(sample) = monitor.statistics().last() {
-            self.alerts.evaluate(sample, now_secs);
-        }
         if polls.is_multiple_of(u64::from(self.config.polls_per_flush.max(1))) {
-            self.wldb.flush()?;
+            let mut attempts = 0u64;
+            let result = self.config.retry.run_sim(self.engine.sim_clock(), |attempt| {
+                attempts = u64::from(attempt);
+                self.wldb.flush()
+            });
+            self.health.record_retries(attempts.saturating_sub(1));
+            result?;
         }
         Ok(())
     }
 
+    /// Queue a missed snapshot timestamp, dropping the oldest entries past
+    /// the catch-up window.
+    fn buffer_snapshot(&self, ts: u64) {
+        let mut pending = self.pending.lock();
+        if pending.back().copied() != Some(ts) {
+            pending.push_back(ts);
+        }
+        let window = self.config.catchup_window.max(1);
+        while pending.len() > window {
+            pending.pop_front();
+            self.health.record_dropped(1);
+        }
+        self.health.set_buffered(pending.len() as u64);
+    }
+
+    /// Record a failed poll and drive the state machine: permanent errors
+    /// quarantine immediately, transient ones degrade and eventually
+    /// quarantine after `quarantine_after` consecutive failures. Each
+    /// transition raises a self-alert on the DBA alert channel.
+    fn note_failure(&self, error: &Error, now_secs: u64) {
+        let consecutive = self.health.record_failure(error);
+        let threshold = u64::from(self.config.quarantine_after.max(1));
+        if !error.is_transient() || consecutive >= threshold {
+            if self.health.state() != HealthState::Quarantined {
+                self.health.set_state(HealthState::Quarantined, now_secs);
+                self.alerts.raise(
+                    DAEMON_HEALTH_RULE,
+                    format!(
+                        "storage daemon quarantined after {consecutive} consecutive failure(s): {error}"
+                    ),
+                    now_secs,
+                );
+            }
+        } else if self.health.state() == HealthState::Healthy {
+            self.health.set_state(HealthState::Degraded, now_secs);
+            self.alerts.raise(
+                DAEMON_HEALTH_RULE,
+                format!("storage daemon degraded (buffering snapshots): {error}"),
+                now_secs,
+            );
+        }
+    }
+
     /// Start the background thread. Returns a handle that stops and joins
-    /// the daemon on drop (or via [`DaemonHandle::stop`]).
-    pub fn spawn(self) -> DaemonHandle {
+    /// the daemon on drop (or via [`DaemonHandle::stop`]); errs if the OS
+    /// refuses to spawn the thread.
+    pub fn spawn(self) -> Result<DaemonHandle> {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let interval = self.config.interval;
@@ -143,11 +310,10 @@ impl StorageDaemon {
             .name("ingot-daemon".into())
             .spawn(move || {
                 while !stop2.load(Ordering::Relaxed) {
-                    if let Err(e) = daemon2.poll_once() {
-                        // A failed poll must not kill the daemon; the next
-                        // interval retries.
-                        eprintln!("ingot-daemon: poll failed: {e}");
-                    }
+                    // A failed poll must not kill the daemon: the health
+                    // machine has recorded it (and alerted); the next
+                    // interval retries or stays quarantined.
+                    let _ = daemon2.poll_once();
                     // Sleep in small slices so stop() is responsive.
                     let mut remaining = interval;
                     let slice = Duration::from_millis(10);
@@ -158,12 +324,12 @@ impl StorageDaemon {
                     }
                 }
             })
-            .expect("spawn daemon thread");
-        DaemonHandle {
+            .map_err(|e| Error::daemon(format!("failed to spawn daemon thread: {e}")))?;
+        Ok(DaemonHandle {
             daemon,
             stop,
             handle: Some(handle),
-        }
+        })
     }
 }
 
@@ -240,7 +406,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let handle = daemon.spawn();
+        let handle = daemon.spawn().unwrap();
         std::thread::sleep(Duration::from_millis(120));
         let polls = handle.daemon().poll_count();
         assert!(polls >= 3, "expected several polls, got {polls}");

@@ -48,6 +48,11 @@ pub const WL_TABLES: &[&str] = &[
 ];
 
 /// Append cursor: what has already been copied out of the monitor.
+///
+/// Every cursor advances only *after* the corresponding insert succeeds, so
+/// a mid-batch failure (I/O fault, crash of the workload DB) never skips
+/// rows: the daemon's retry re-enters [`WorkloadDb::append_from`] and picks
+/// up exactly where the failed batch stopped.
 #[derive(Default)]
 struct AppendState {
     last_workload_seq: Option<u64>,
@@ -55,6 +60,13 @@ struct AppendState {
     stmt_freq: HashMap<StmtHash, u64>,
     refs_seen: HashSet<(StmtHash, &'static str, u64)>,
     last_stat_ns: u64,
+    /// Mid-batch progress through the object-snapshot section (tables,
+    /// indexes, attributes — appended unconditionally each poll): the
+    /// timestamp being appended and how many snapshot rows already landed.
+    /// Present only while an `append_from` for that timestamp failed
+    /// partway; cleared when the batch completes so the next poll appends
+    /// a full snapshot again.
+    objects_done: Option<(u64, usize)>,
 }
 
 /// The workload database. Wraps a dedicated (non-monitored) engine instance.
@@ -76,6 +88,37 @@ impl WorkloadDb {
     pub fn file_backed(dir: impl Into<std::path::PathBuf>, clock: SimClock) -> Result<Self> {
         let engine = Engine::file_backed(Self::db_config(), clock, dir)?;
         Self::init(engine)
+    }
+
+    /// Workload DB over an arbitrary disk backend — how the fault-injection
+    /// tests wrap the store in an `ingot_storage::FaultInjectingBackend`.
+    pub fn with_backend(
+        backend: Box<dyn ingot_storage::DiskBackend>,
+        clock: SimClock,
+    ) -> Result<Self> {
+        let engine = Engine::with_backend(Self::db_config(), clock, backend);
+        Self::init(engine)
+    }
+
+    /// Workload DB inside a caller-built engine (custom configs: tiny
+    /// buffer pools, single-page heap extents). The engine should not be
+    /// monitored — the workload DB is the *store*, not a workload source.
+    pub fn with_engine(engine: Arc<Engine>) -> Result<Self> {
+        Self::init(engine)
+    }
+
+    /// The engine configuration the standard constructors use.
+    pub fn default_config() -> EngineConfig {
+        Self::db_config()
+    }
+
+    /// Inspect and repair a file-backed workload DB directory after a
+    /// crash: pages past the last durable checkpoint whose checksums do not
+    /// match (torn writes) are truncated away, and partial trailing pages
+    /// are dropped. Run this *before* [`WorkloadDb::file_backed`] reopens
+    /// the directory; the returned report says how many rows survived.
+    pub fn recover(dir: impl AsRef<std::path::Path>) -> Result<ingot_storage::RecoveryReport> {
+        ingot_storage::recover(dir.as_ref())
     }
 
     fn db_config() -> EngineConfig {
@@ -139,11 +182,12 @@ impl WorkloadDb {
         let ts = Value::Int(now_secs as i64);
         let mut state = self.state.lock();
 
-        // Statements whose frequency changed since the last poll.
+        // Statements whose frequency changed since the last poll. The
+        // cursor moves only once the row is in: a failed insert leaves the
+        // old frequency recorded, so the retry re-appends this statement.
         for s in monitor.statements() {
             let prev = state.stmt_freq.get(&s.hash).copied().unwrap_or(0);
             if s.frequency != prev {
-                state.stmt_freq.insert(s.hash, s.frequency);
                 self.insert(
                     "wl_statements",
                     Row::new(vec![
@@ -155,6 +199,7 @@ impl WorkloadDb {
                         ts.clone(),
                     ]),
                 )?;
+                state.stmt_freq.insert(s.hash, s.frequency);
             }
         }
 
@@ -163,7 +208,6 @@ impl WorkloadDb {
             if state.last_workload_seq.is_some_and(|last| w.seq <= last) {
                 continue;
             }
-            state.last_workload_seq = Some(w.seq);
             self.insert(
                 "wl_workload",
                 Row::new(vec![
@@ -182,12 +226,13 @@ impl WorkloadDb {
                     ts.clone(),
                 ]),
             )?;
+            state.last_workload_seq = Some(w.seq);
         }
 
         // New object references.
         for r in monitor.references() {
             let key = (r.hash, r.object.tag(), r.object_id);
-            if !state.refs_seen.insert(key) {
+            if state.refs_seen.contains(&key) {
                 continue;
             }
             self.insert(
@@ -200,49 +245,74 @@ impl WorkloadDb {
                     ts.clone(),
                 ]),
             )?;
+            state.refs_seen.insert(key);
         }
 
         // Object-usage snapshots: appended every poll for trend analysis.
+        // There is no natural cursor here (every poll appends a full
+        // snapshot), so a positional one tracks mid-batch progress: the
+        // monitor's iteration order is deterministic (tables, then indexes,
+        // then attributes, each sorted), and `objects_done` counts how many
+        // rows of *this* timestamp's snapshot already landed. A retry after
+        // a fault appends only the missing suffix — no duplicates, no gaps.
+        let done = match state.objects_done {
+            Some((t, n)) if t == now_secs => n,
+            _ => 0,
+        };
+        state.objects_done = Some((now_secs, done));
+        let mut idx = 0usize;
         for t in monitor.tables() {
-            self.insert(
-                "wl_tables",
-                Row::new(vec![
-                    Value::Int(i64::from(t.id.raw())),
-                    Value::Str(t.name.clone()),
-                    Value::Int(t.frequency as i64),
-                    Value::Str(t.storage.clone()),
-                    Value::Int(t.data_pages as i64),
-                    Value::Int(t.overflow_pages as i64),
-                    Value::Int(t.rows as i64),
-                    ts.clone(),
-                ]),
-            )?;
+            if idx >= done {
+                self.insert(
+                    "wl_tables",
+                    Row::new(vec![
+                        Value::Int(i64::from(t.id.raw())),
+                        Value::Str(t.name.clone()),
+                        Value::Int(t.frequency as i64),
+                        Value::Str(t.storage.clone()),
+                        Value::Int(t.data_pages as i64),
+                        Value::Int(t.overflow_pages as i64),
+                        Value::Int(t.rows as i64),
+                        ts.clone(),
+                    ]),
+                )?;
+                state.objects_done = Some((now_secs, idx + 1));
+            }
+            idx += 1;
         }
         for i in monitor.indexes() {
-            self.insert(
-                "wl_indexes",
-                Row::new(vec![
-                    Value::Int(i64::from(i.id.raw())),
-                    Value::Str(i.name.clone()),
-                    Value::Int(i64::from(i.table.raw())),
-                    Value::Int(i.frequency as i64),
-                    Value::Int(i.pages as i64),
-                    ts.clone(),
-                ]),
-            )?;
+            if idx >= done {
+                self.insert(
+                    "wl_indexes",
+                    Row::new(vec![
+                        Value::Int(i64::from(i.id.raw())),
+                        Value::Str(i.name.clone()),
+                        Value::Int(i64::from(i.table.raw())),
+                        Value::Int(i.frequency as i64),
+                        Value::Int(i.pages as i64),
+                        ts.clone(),
+                    ]),
+                )?;
+                state.objects_done = Some((now_secs, idx + 1));
+            }
+            idx += 1;
         }
         for a in monitor.attributes() {
-            self.insert(
-                "wl_attributes",
-                Row::new(vec![
-                    Value::Int(i64::from(a.table.raw())),
-                    Value::Int(a.column as i64),
-                    Value::Str(a.name.clone()),
-                    Value::Int(a.frequency as i64),
-                    Value::Bool(a.has_histogram),
-                    ts.clone(),
-                ]),
-            )?;
+            if idx >= done {
+                self.insert(
+                    "wl_attributes",
+                    Row::new(vec![
+                        Value::Int(i64::from(a.table.raw())),
+                        Value::Int(a.column as i64),
+                        Value::Str(a.name.clone()),
+                        Value::Int(a.frequency as i64),
+                        Value::Bool(a.has_histogram),
+                        ts.clone(),
+                    ]),
+                )?;
+                state.objects_done = Some((now_secs, idx + 1));
+            }
+            idx += 1;
         }
 
         // New statistics samples.
@@ -250,7 +320,6 @@ impl WorkloadDb {
             if s.at_ns <= state.last_stat_ns {
                 continue;
             }
-            state.last_stat_ns = s.at_ns;
             self.insert(
                 "wl_statistics",
                 Row::new(vec![
@@ -271,7 +340,11 @@ impl WorkloadDb {
                     ts.clone(),
                 ]),
             )?;
+            state.last_stat_ns = s.at_ns;
         }
+
+        // The whole batch landed: the next poll appends a fresh snapshot.
+        state.objects_done = None;
         Ok(())
     }
 
@@ -304,9 +377,12 @@ impl WorkloadDb {
         Ok(self.session().execute(sql)?.rows)
     }
 
-    /// Flush dirty pages to the backend (the daemon's periodic disk write).
+    /// Flush dirty pages and durably checkpoint the workload DB — fsync of
+    /// every data file plus the recovery manifest (page checksums + epoch).
+    /// An acknowledged flush therefore survives a crash: `recover` restores
+    /// exactly this state, truncating any later torn writes.
     pub fn flush(&self) -> Result<()> {
-        self.engine.flush()
+        self.engine.checkpoint().map(|_| ())
     }
 
     /// Total pages of the workload DB (its on-disk size).

@@ -35,8 +35,11 @@ pub use ingot_workload as workload;
 /// The types most applications need.
 pub mod prelude {
     pub use ingot_analyzer::{Analyzer, AnalyzerConfig, Recommendation, WorkloadView};
-    pub use ingot_common::{Cost, EngineConfig, Error, Result, Row, SimClock, Value};
+    pub use ingot_common::{Cost, EngineConfig, Error, Result, RetryPolicy, Row, SimClock, Value};
     pub use ingot_core::{Engine, Monitor, Session, StatementResult};
-    pub use ingot_daemon::{Alert, AlertRule, DaemonConfig, StorageDaemon, WorkloadDb};
+    pub use ingot_daemon::{
+        Alert, AlertRule, DaemonConfig, DaemonHealth, HealthState, StorageDaemon, WorkloadDb,
+    };
+    pub use ingot_storage::{FaultInjectingBackend, FaultPlan, MemoryBackend, RecoveryReport};
     pub use ingot_workload::{analytic_queries, load_nref, NrefConfig};
 }

@@ -30,6 +30,9 @@ pub struct BufferStats {
     pub misses: u64,
     /// Pages evicted to make room.
     pub evictions: u64,
+    /// Backend write failures observed while evicting or flushing (the
+    /// affected pages stay resident and dirty — nothing is lost).
+    pub write_failures: u64,
     /// Pages currently resident.
     pub resident: u64,
     /// Configured capacity in pages.
@@ -72,6 +75,7 @@ pub struct BufferPool {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    write_failures: AtomicU64,
 }
 
 impl BufferPool {
@@ -89,6 +93,7 @@ impl BufferPool {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
         }
     }
 
@@ -142,8 +147,21 @@ impl BufferPool {
                 }
                 let frame = inner.frames.remove(&key).expect("frame present");
                 if frame.dirty {
-                    let page = frame.page.read();
-                    self.backend.write_page(key.0, key.1, &page)?;
+                    let write = {
+                        let page = frame.page.read();
+                        self.backend.write_page(key.0, key.1, &page)
+                    };
+                    if write.is_err() {
+                        // The page must not be lost: put the (still dirty)
+                        // frame back and stop evicting. The pool runs over
+                        // capacity until the backend heals; the error itself
+                        // surfaces through the next flush, which callers
+                        // (the storage daemon) retry with backoff.
+                        self.write_failures.fetch_add(1, Ordering::Relaxed);
+                        inner.frames.insert(key, frame);
+                        Self::touch(inner, key);
+                        return Ok(());
+                    }
                     self.model.record_write();
                 }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -228,12 +246,29 @@ impl BufferPool {
             let frame = inner.frames.get_mut(&key).expect("frame present");
             {
                 let page = frame.page.read();
-                self.backend.write_page(key.0, key.1, &page)?;
+                if let Err(e) = self.backend.write_page(key.0, key.1, &page) {
+                    // Dirty flag stays set, so a later flush retries the page.
+                    self.write_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
             }
             self.model.record_write();
             frame.dirty = false;
         }
         Ok(())
+    }
+
+    /// Fsync the backend (no-op for in-memory backends). Flushing makes
+    /// pages *visible* to the backend; syncing makes them *durable*.
+    pub fn sync(&self) -> Result<()> {
+        self.backend.sync()
+    }
+
+    /// Flush-independent durable checkpoint of the backend (see
+    /// [`DiskBackend::checkpoint`]); callers normally run
+    /// [`BufferPool::flush_all`] first.
+    pub fn checkpoint(&self) -> Result<u64> {
+        self.backend.checkpoint()
     }
 
     /// Drop every cached page (writing dirty ones back first). Used by tests
@@ -253,6 +288,7 @@ impl BufferPool {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
             resident,
             capacity: self.capacity as u64,
         }
@@ -357,6 +393,45 @@ mod tests {
         let again = p.fetch(f, no0).unwrap();
         assert_eq!(p.stats().misses, before);
         assert!(Arc::ptr_eq(&pinned, &again));
+    }
+
+    #[test]
+    fn eviction_write_failure_keeps_dirty_pages() {
+        use crate::fault::{FaultInjectingBackend, FaultPlan};
+        let cfg = EngineConfig::default();
+        let fb = Arc::new(
+            FaultInjectingBackend::from_script(
+                Box::new(MemoryBackend::new()),
+                "write#*=transient",
+            )
+            .unwrap(),
+        );
+        let p = BufferPool::new(
+            Box::new(Arc::clone(&fb)),
+            DiskModel::new(&cfg, SimClock::new()),
+            8,
+        );
+        let f = p.create_file().unwrap();
+        let (no0, page0) = p.allocate(f).unwrap();
+        page0.write().insert_record(b"precious").unwrap();
+        p.mark_dirty(f, no0);
+        drop(page0);
+        // Every eviction's write-back fails; the pool must keep the dirty
+        // pages resident (over capacity) rather than lose them.
+        for _ in 0..32 {
+            let (_, pg) = p.allocate(f).unwrap();
+            drop(pg);
+        }
+        let s = p.stats();
+        assert!(s.write_failures > 0);
+        assert!(s.resident > s.capacity, "pool should run over capacity");
+        assert!(p.flush_all().is_err(), "flush surfaces the backend fault");
+        // Heal the backend: a retried flush lands everything.
+        fb.set_plan(FaultPlan::new());
+        p.flush_all().unwrap();
+        p.clear().unwrap();
+        let back = p.fetch(f, no0).unwrap();
+        assert_eq!(back.read().record(0).unwrap(), b"precious");
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! Deterministic fault injection for disk backends.
+//!
+//! [`FaultInjectingBackend`] wraps any [`DiskBackend`] and injects failures
+//! according to a scriptable, seeded [`FaultPlan`]: transient or permanent
+//! I/O errors, torn (partial) page writes and read corruption, each targeted
+//! at the *n*-th operation of a kind. Plans are fully deterministic — the
+//! same plan over the same operation sequence injects the same faults — so
+//! robustness tests (daemon retry/backoff, workload-DB recovery) are exact
+//! and replayable.
+//!
+//! ## Fault-plan grammar
+//!
+//! A plan is a `;`-separated list of rules:
+//!
+//! ```text
+//! rule   := op '#' range '=' effect
+//! op     := read | write | alloc | sync
+//! range  := N | N..M | N.. | '*'          (1-based op index, inclusive)
+//! effect := transient | permanent | torn[:BYTES] | corrupt
+//! ```
+//!
+//! Example: `write#3..5=transient; write#9=torn:512; read#2=corrupt` fails
+//! the 3rd–5th writes with retryable errors, silently truncates the 9th
+//! write to its first 512 bytes (the rest becomes seeded garbage, like a
+//! power cut mid-sector), and corrupts the 2nd read.
+//!
+//! `torn` is meaningful for writes and `corrupt` for reads; either effect on
+//! another operation kind degrades to a transient error so a malformed plan
+//! still fails loudly rather than silently passing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ingot_common::retry::SplitMix64;
+use ingot_common::{Error, Result};
+use parking_lot::Mutex;
+
+use crate::disk::{DiskBackend, FileId};
+use crate::page::{Page, PAGE_SIZE};
+
+/// The operation kinds a fault rule can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// `read_page`.
+    Read,
+    /// `write_page`.
+    Write,
+    /// `allocate_page`.
+    Alloc,
+    /// `sync` / `checkpoint`.
+    Sync,
+}
+
+impl FaultOp {
+    fn parse(s: &str) -> Result<Self> {
+        match s {
+            "read" => Ok(FaultOp::Read),
+            "write" => Ok(FaultOp::Write),
+            "alloc" => Ok(FaultOp::Alloc),
+            "sync" => Ok(FaultOp::Sync),
+            other => Err(Error::storage(format!("fault plan: unknown op {other:?}"))),
+        }
+    }
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// Retryable failure ([`Error::TransientIo`]); the operation is not
+    /// performed but a later retry will succeed (unless covered by a rule).
+    Transient,
+    /// Permanent failure ([`Error::Io`]); retrying is expected to keep
+    /// failing, so callers should quarantine.
+    Permanent,
+    /// A torn write: only the first `N` bytes reach the backend, the rest of
+    /// the page becomes deterministic garbage — and the call reports
+    /// *success*, like a real power-cut write. Detected only by recovery.
+    Torn(usize),
+    /// Read corruption: the page is returned with seeded bit flips.
+    Corrupt,
+}
+
+/// One rule: inject `effect` on operations `from..=to` (1-based) of kind `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Operation kind the rule targets.
+    pub op: FaultOp,
+    /// First 1-based operation index the rule covers.
+    pub from: u64,
+    /// Last covered index (inclusive); `u64::MAX` for open-ended ranges.
+    pub to: u64,
+    /// Injected effect.
+    pub effect: FaultEffect,
+}
+
+/// A scriptable fault plan: an ordered rule list plus the seed for torn/
+/// corrupt garbage bytes. The first matching rule wins.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    /// Seed for deterministic garbage generation.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse the fault-plan grammar (see module docs).
+    pub fn parse(plan: &str) -> Result<Self> {
+        let mut out = FaultPlan::new();
+        for rule in plan.split(';') {
+            let rule = rule.trim();
+            if rule.is_empty() {
+                continue;
+            }
+            let (lhs, effect) = rule
+                .split_once('=')
+                .ok_or_else(|| Error::storage(format!("fault plan: missing '=' in {rule:?}")))?;
+            let (op, range) = lhs
+                .trim()
+                .split_once('#')
+                .ok_or_else(|| Error::storage(format!("fault plan: missing '#' in {rule:?}")))?;
+            let op = FaultOp::parse(op.trim())?;
+            let (from, to) = Self::parse_range(range.trim())?;
+            let effect = Self::parse_effect(effect.trim())?;
+            out.rules.push(FaultRule {
+                op,
+                from,
+                to,
+                effect,
+            });
+        }
+        Ok(out)
+    }
+
+    fn parse_range(range: &str) -> Result<(u64, u64)> {
+        if range == "*" {
+            return Ok((1, u64::MAX));
+        }
+        let bad = || Error::storage(format!("fault plan: bad range {range:?}"));
+        if let Some((a, b)) = range.split_once("..") {
+            let from: u64 = a.trim().parse().map_err(|_| bad())?;
+            let to = if b.trim().is_empty() {
+                u64::MAX
+            } else {
+                b.trim().parse().map_err(|_| bad())?
+            };
+            if from == 0 || to < from {
+                return Err(bad());
+            }
+            Ok((from, to))
+        } else {
+            let n: u64 = range.parse().map_err(|_| bad())?;
+            if n == 0 {
+                return Err(bad());
+            }
+            Ok((n, n))
+        }
+    }
+
+    fn parse_effect(effect: &str) -> Result<FaultEffect> {
+        match effect {
+            "transient" => Ok(FaultEffect::Transient),
+            "permanent" => Ok(FaultEffect::Permanent),
+            "corrupt" => Ok(FaultEffect::Corrupt),
+            "torn" => Ok(FaultEffect::Torn(PAGE_SIZE / 2)),
+            other => {
+                if let Some(bytes) = other.strip_prefix("torn:") {
+                    let n: usize = bytes.trim().parse().map_err(|_| {
+                        Error::storage(format!("fault plan: bad torn byte count {bytes:?}"))
+                    })?;
+                    Ok(FaultEffect::Torn(n.min(PAGE_SIZE)))
+                } else {
+                    Err(Error::storage(format!(
+                        "fault plan: unknown effect {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Add a rule (builder form, for tests that prefer code over strings).
+    pub fn with_rule(mut self, op: FaultOp, from: u64, to: u64, effect: FaultEffect) -> Self {
+        self.rules.push(FaultRule {
+            op,
+            from,
+            to,
+            effect,
+        });
+        self
+    }
+
+    /// Set the garbage seed (builder form).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The effect covering the `n`-th (1-based) operation of kind `op`.
+    pub fn effect_for(&self, op: FaultOp, n: u64) -> Option<FaultEffect> {
+        self.rules
+            .iter()
+            .find(|r| r.op == op && r.from <= n && n <= r.to)
+            .map(|r| r.effect)
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+}
+
+/// Injection counters, for test assertions and overhead accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Total reads observed (faulted or not).
+    pub reads: u64,
+    /// Total writes observed.
+    pub writes: u64,
+    /// Total page allocations observed.
+    pub allocs: u64,
+    /// Total sync/checkpoint calls observed.
+    pub syncs: u64,
+    /// Transient errors injected.
+    pub injected_transient: u64,
+    /// Permanent errors injected.
+    pub injected_permanent: u64,
+    /// Torn writes injected.
+    pub injected_torn: u64,
+    /// Corrupted reads injected.
+    pub injected_corrupt: u64,
+}
+
+impl FaultStats {
+    /// Total injections of any kind.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_transient + self.injected_permanent + self.injected_torn
+            + self.injected_corrupt
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocs: AtomicU64,
+    syncs: AtomicU64,
+    injected_transient: AtomicU64,
+    injected_permanent: AtomicU64,
+    injected_torn: AtomicU64,
+    injected_corrupt: AtomicU64,
+}
+
+/// A [`DiskBackend`] decorator injecting faults per a [`FaultPlan`].
+///
+/// Op indices are global per operation kind (not per file), 1-based, and
+/// only advance for operations the plan could observe — making "fail the
+/// 3rd write" well-defined regardless of which file it lands in.
+pub struct FaultInjectingBackend {
+    inner: Box<dyn DiskBackend>,
+    plan: Mutex<FaultPlan>,
+    counters: Counters,
+}
+
+impl FaultInjectingBackend {
+    /// Wrap `inner` with `plan`.
+    pub fn new(inner: Box<dyn DiskBackend>, plan: FaultPlan) -> Self {
+        FaultInjectingBackend {
+            inner,
+            plan: Mutex::new(plan),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Wrap `inner` with a plan parsed from the grammar.
+    pub fn from_script(inner: Box<dyn DiskBackend>, script: &str) -> Result<Self> {
+        Ok(Self::new(inner, FaultPlan::parse(script)?))
+    }
+
+    /// Replace the active plan (e.g. to heal a backend mid-test).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
+    }
+
+    /// Snapshot of operation / injection counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            reads: self.counters.reads.load(Ordering::Relaxed),
+            writes: self.counters.writes.load(Ordering::Relaxed),
+            allocs: self.counters.allocs.load(Ordering::Relaxed),
+            syncs: self.counters.syncs.load(Ordering::Relaxed),
+            injected_transient: self.counters.injected_transient.load(Ordering::Relaxed),
+            injected_permanent: self.counters.injected_permanent.load(Ordering::Relaxed),
+            injected_torn: self.counters.injected_torn.load(Ordering::Relaxed),
+            injected_corrupt: self.counters.injected_corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count one `op`, returning its 1-based index and the effect (if any).
+    fn observe(&self, op: FaultOp) -> (u64, Option<FaultEffect>) {
+        let counter = match op {
+            FaultOp::Read => &self.counters.reads,
+            FaultOp::Write => &self.counters.writes,
+            FaultOp::Alloc => &self.counters.allocs,
+            FaultOp::Sync => &self.counters.syncs,
+        };
+        let n = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let effect = self.plan.lock().effect_for(op, n);
+        if let Some(e) = effect {
+            let injected = match e {
+                FaultEffect::Transient => &self.counters.injected_transient,
+                FaultEffect::Permanent => &self.counters.injected_permanent,
+                FaultEffect::Torn(_) => &self.counters.injected_torn,
+                FaultEffect::Corrupt => &self.counters.injected_corrupt,
+            };
+            injected.fetch_add(1, Ordering::Relaxed);
+        }
+        (n, effect)
+    }
+
+    fn garbage(&self, n: u64, buf: &mut [u8]) {
+        let seed = self.plan.lock().seed;
+        let mut rng = SplitMix64::new(seed ^ n.rotate_left(17));
+        for chunk in buf.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn transient(op: &str, n: u64) -> Error {
+        Error::transient_io(format!("injected transient fault on {op} #{n}"))
+    }
+
+    fn permanent(op: &str, n: u64) -> Error {
+        Error::Io(format!("injected permanent fault on {op} #{n}"))
+    }
+}
+
+impl DiskBackend for FaultInjectingBackend {
+    fn create_file(&self) -> Result<FileId> {
+        self.inner.create_file()
+    }
+
+    fn read_page(&self, file: FileId, page_no: u64) -> Result<Page> {
+        let (n, effect) = self.observe(FaultOp::Read);
+        match effect {
+            None => self.inner.read_page(file, page_no),
+            Some(FaultEffect::Transient) | Some(FaultEffect::Torn(_)) => {
+                Err(Self::transient("read", n))
+            }
+            Some(FaultEffect::Permanent) => Err(Self::permanent("read", n)),
+            Some(FaultEffect::Corrupt) => {
+                let mut page = self.inner.read_page(file, page_no)?;
+                // Scramble the back half so headers *and* data are suspect.
+                let bytes = page.bytes_mut();
+                let mut garbage = [0u8; PAGE_SIZE / 2];
+                self.garbage(n, &mut garbage);
+                bytes[PAGE_SIZE / 2..].copy_from_slice(&garbage);
+                Ok(page)
+            }
+        }
+    }
+
+    fn write_page(&self, file: FileId, page_no: u64, page: &Page) -> Result<()> {
+        let (n, effect) = self.observe(FaultOp::Write);
+        match effect {
+            None => self.inner.write_page(file, page_no, page),
+            Some(FaultEffect::Transient) | Some(FaultEffect::Corrupt) => {
+                Err(Self::transient("write", n))
+            }
+            Some(FaultEffect::Permanent) => Err(Self::permanent("write", n)),
+            Some(FaultEffect::Torn(valid)) => {
+                let valid = valid.min(PAGE_SIZE);
+                let mut torn = Page::from_bytes(*page.bytes());
+                self.garbage(n, &mut torn.bytes_mut()[valid..]);
+                // Reports success: torn writes are only caught by recovery.
+                self.inner.write_page(file, page_no, &torn)
+            }
+        }
+    }
+
+    fn allocate_page(&self, file: FileId) -> Result<u64> {
+        let (n, effect) = self.observe(FaultOp::Alloc);
+        match effect {
+            None => self.inner.allocate_page(file),
+            Some(FaultEffect::Permanent) => Err(Self::permanent("alloc", n)),
+            Some(_) => Err(Self::transient("alloc", n)),
+        }
+    }
+
+    fn file_pages(&self, file: FileId) -> u64 {
+        self.inner.file_pages(file)
+    }
+
+    fn file_count(&self) -> u32 {
+        self.inner.file_count()
+    }
+
+    fn sync(&self) -> Result<()> {
+        let (n, effect) = self.observe(FaultOp::Sync);
+        match effect {
+            None => self.inner.sync(),
+            Some(FaultEffect::Permanent) => Err(Self::permanent("sync", n)),
+            Some(_) => Err(Self::transient("sync", n)),
+        }
+    }
+
+    fn checkpoint(&self) -> Result<u64> {
+        let (n, effect) = self.observe(FaultOp::Sync);
+        match effect {
+            None => self.inner.checkpoint(),
+            Some(FaultEffect::Permanent) => Err(Self::permanent("checkpoint", n)),
+            Some(_) => Err(Self::transient("checkpoint", n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemoryBackend;
+
+    fn wrapped(script: &str) -> FaultInjectingBackend {
+        FaultInjectingBackend::from_script(Box::new(MemoryBackend::new()), script).unwrap()
+    }
+
+    #[test]
+    fn plan_grammar_roundtrip() {
+        let p = FaultPlan::parse("write#3..5=transient; write#9=torn:512; read#2=corrupt").unwrap();
+        assert_eq!(p.rules().len(), 3);
+        assert_eq!(p.effect_for(FaultOp::Write, 3), Some(FaultEffect::Transient));
+        assert_eq!(p.effect_for(FaultOp::Write, 5), Some(FaultEffect::Transient));
+        assert_eq!(p.effect_for(FaultOp::Write, 6), None);
+        assert_eq!(p.effect_for(FaultOp::Write, 9), Some(FaultEffect::Torn(512)));
+        assert_eq!(p.effect_for(FaultOp::Read, 2), Some(FaultEffect::Corrupt));
+        assert_eq!(p.effect_for(FaultOp::Read, 1), None);
+
+        assert!(FaultPlan::parse("write#0=transient").is_err());
+        assert!(FaultPlan::parse("write#5..3=transient").is_err());
+        assert!(FaultPlan::parse("scribble#1=transient").is_err());
+        assert!(FaultPlan::parse("write#1=explode").is_err());
+        let open = FaultPlan::parse("sync#4..=permanent; alloc#*=transient").unwrap();
+        assert_eq!(open.effect_for(FaultOp::Sync, 1 << 40), Some(FaultEffect::Permanent));
+        assert_eq!(open.effect_for(FaultOp::Alloc, 1), Some(FaultEffect::Transient));
+    }
+
+    #[test]
+    fn nth_write_fails_transiently_then_heals() {
+        let b = wrapped("write#2=transient");
+        let f = b.create_file().unwrap();
+        let p0 = b.allocate_page(f).unwrap();
+        let page = Page::new();
+        b.write_page(f, p0, &page).unwrap(); // write #1: ok
+        let err = b.write_page(f, p0, &page).unwrap_err(); // write #2: injected
+        assert!(err.is_transient());
+        b.write_page(f, p0, &page).unwrap(); // write #3: healed
+        let s = b.stats();
+        assert_eq!((s.writes, s.injected_transient), (3, 1));
+    }
+
+    #[test]
+    fn permanent_faults_are_not_transient() {
+        let b = wrapped("write#*=permanent");
+        let f = b.create_file().unwrap();
+        let p0 = b.allocate_page(f).unwrap();
+        let err = b.write_page(f, p0, &Page::new()).unwrap_err();
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn torn_write_reports_success_but_scrambles_tail() {
+        let b = wrapped("write#1=torn:32");
+        let f = b.create_file().unwrap();
+        let p0 = b.allocate_page(f).unwrap();
+        let mut page = Page::new();
+        page.insert_record(b"will-be-lost").unwrap();
+        b.write_page(f, p0, &page).unwrap(); // lies about success
+        let back = b.read_page(f, p0).unwrap();
+        assert_eq!(&back.bytes()[..32], &page.bytes()[..32]);
+        assert_ne!(&back.bytes()[32..], &page.bytes()[32..]);
+        assert_eq!(b.stats().injected_torn, 1);
+    }
+
+    #[test]
+    fn corrupt_read_is_deterministic() {
+        let run = || {
+            let b = wrapped("read#1..=corrupt");
+            let f = b.create_file().unwrap();
+            let p0 = b.allocate_page(f).unwrap();
+            b.write_page(f, p0, &Page::new()).unwrap();
+            *b.read_page(f, p0).unwrap().bytes()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a[..], b[..], "same plan + same ops must corrupt identically");
+        assert_ne!(a[PAGE_SIZE / 2..], Page::new().bytes()[PAGE_SIZE / 2..]);
+    }
+
+    #[test]
+    fn healing_via_set_plan() {
+        let b = wrapped("write#*=transient");
+        let f = b.create_file().unwrap();
+        let p0 = b.allocate_page(f).unwrap();
+        assert!(b.write_page(f, p0, &Page::new()).is_err());
+        b.set_plan(FaultPlan::new());
+        assert!(b.write_page(f, p0, &Page::new()).is_ok());
+    }
+}

@@ -15,17 +15,21 @@ pub mod btree;
 pub mod buffer;
 pub mod codec;
 pub mod disk;
+pub mod fault;
 pub mod heap;
 pub mod model;
 pub mod page;
+pub mod recovery;
 
 pub use btree::BTreeFile;
 pub use buffer::{BufferPool, BufferStats};
 pub use codec::{decode_row, encode_key, encode_row};
 pub use disk::{DiskBackend, FileBackend, FileId, MemoryBackend};
+pub use fault::{FaultEffect, FaultInjectingBackend, FaultOp, FaultPlan, FaultRule, FaultStats};
 pub use heap::{HeapFile, HeapStats, RowId};
 pub use model::{DiskModel, IoStats};
 pub use page::{Page, PAGE_SIZE};
+pub use recovery::{recover, RecoveryReport};
 
 use std::sync::Arc;
 
@@ -59,11 +63,21 @@ impl StorageEngine {
         config: &EngineConfig,
         clock: SimClock,
     ) -> Result<Self> {
-        let model = DiskModel::new(config, clock);
         let backend: Box<dyn DiskBackend> = Box::new(FileBackend::open(dir.into())?);
-        Ok(StorageEngine {
+        Ok(Self::with_backend(backend, config, clock))
+    }
+
+    /// Create a storage engine over an arbitrary backend (fault-injection
+    /// wrappers, custom stores).
+    pub fn with_backend(
+        backend: Box<dyn DiskBackend>,
+        config: &EngineConfig,
+        clock: SimClock,
+    ) -> Self {
+        let model = DiskModel::new(config, clock);
+        StorageEngine {
             pool: Arc::new(BufferPool::new(backend, model, config.buffer_pool_pages)),
-        })
+        }
     }
 
     /// The shared buffer pool.
@@ -89,6 +103,18 @@ impl StorageEngine {
     /// Flush all dirty pages to the backend.
     pub fn flush(&self) -> Result<()> {
         self.pool.flush_all()
+    }
+
+    /// Fsync the backend's files (no-op in memory).
+    pub fn sync(&self) -> Result<()> {
+        self.pool.sync()
+    }
+
+    /// Flush every dirty page, then durably checkpoint the backend.
+    /// Returns the new checkpoint epoch (0 for backends without one).
+    pub fn checkpoint(&self) -> Result<u64> {
+        self.pool.flush_all()?;
+        self.pool.checkpoint()
     }
 
     /// Total pages allocated across all files (on-disk size in pages).

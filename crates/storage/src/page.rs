@@ -7,9 +7,9 @@ use ingot_common::{Error, PageId, Result};
 pub const PAGE_SIZE: usize = 8192;
 
 /// Byte offset where slot entries begin.
-const HEADER_SIZE: usize = 16;
+pub(crate) const HEADER_SIZE: usize = 16;
 /// Bytes per slot entry: offset (u16) + length (u16).
-const SLOT_SIZE: usize = 4;
+pub(crate) const SLOT_SIZE: usize = 4;
 
 // Header layout:
 //   [0..2)   slot_count   u16

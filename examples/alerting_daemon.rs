@@ -29,7 +29,7 @@ fn main() -> Result<()> {
     daemon.add_rule(AlertRule::max_sessions(2));
     daemon.add_rule(AlertRule::deadlocks());
     daemon.add_rule(AlertRule::cache_hit_ratio_below(0.5));
-    let handle = daemon.spawn();
+    let handle = daemon.spawn()?;
 
     // Generate load; open extra sessions to trip the alert rule.
     println!("generating load with extra sessions…");

@@ -133,7 +133,7 @@ fn background_daemon_with_alerts() {
         },
     );
     daemon.add_rule(AlertRule::max_sessions(0));
-    let handle = daemon.spawn();
+    let handle = daemon.spawn().unwrap();
     let _busy = engine.open_session();
     std::thread::sleep(Duration::from_millis(100));
     let alerts = handle.daemon().take_alerts();
