@@ -39,7 +39,7 @@ fn bench_inline_sensors(c: &mut Criterion) {
         b.iter(|| {
             let mut s = monitor.begin_statement(black_box(TEXT));
             monitor.parsed(&mut s, vec![table_detail()], vec![]);
-            monitor.optimized(&mut s, Cost::new(100.0, 3.0), vec![], 1_000);
+            monitor.optimized(&mut s, Cost::new(100.0, 3.0), vec![], 1_000, 3);
             monitor.executed(&mut s, 1, 0);
             monitor.record(s, 0);
         })

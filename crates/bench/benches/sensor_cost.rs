@@ -3,9 +3,9 @@
 //! and adds 30–70 µs per statement. These benches measure our equivalents.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ingot_common::TableId;
 use ingot_common::{fnv1a64, Cost, EngineConfig, MonotonicClock, StmtHash};
 use ingot_core::monitor::{Monitor, RingBuffer, TableDetail};
-use ingot_common::TableId;
 
 fn bench_hashing(c: &mut Criterion) {
     let text = "select p.nref_id, sequence, ordinal from protein p \
@@ -45,7 +45,7 @@ fn bench_sensor_pipeline(c: &mut Criterion) {
                 }],
                 vec![],
             );
-            monitor.optimized(&mut s, Cost::new(100.0, 3.0), vec![], 1_000);
+            monitor.optimized(&mut s, Cost::new(100.0, 3.0), vec![], 1_000, 3);
             monitor.executed(&mut s, 1, 0);
             monitor.record(s, 0);
         })

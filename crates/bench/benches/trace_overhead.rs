@@ -1,0 +1,54 @@
+//! Cost of the structured tracing layer, measured the same way Fig 4
+//! measures the monitor: per-statement wall time of a sub-millisecond point
+//! select under three setups — monitoring only (tracing compiled in but
+//! disabled at runtime, i.e. one relaxed atomic load per statement),
+//! tracing enabled (stage + operator spans, histogram, ring buffer), and a
+//! full `EXPLAIN ANALYZE` of the same statement.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ingot_common::EngineConfig;
+use ingot_core::Engine;
+use std::sync::Arc;
+
+fn prepared_engine(config: EngineConfig) -> Arc<Engine> {
+    let engine = Engine::new(config);
+    let s = engine.open_session();
+    s.execute("create table protein (nref_id int not null primary key, name text)")
+        .unwrap();
+    for i in 0..1000 {
+        s.execute(&format!("insert into protein values ({i}, 'p{i}')"))
+            .unwrap();
+    }
+    s.execute("create statistics on protein").unwrap();
+    s.execute("modify protein to btree").unwrap();
+    engine
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    let cases = [
+        ("tracing_off", EngineConfig::monitoring(), false),
+        ("tracing_on", EngineConfig::tracing(), false),
+        ("explain_analyze", EngineConfig::tracing(), true),
+    ];
+    for (label, config, explain) in cases {
+        let engine = prepared_engine(config);
+        let session = engine.open_session();
+        let prefix = if explain { "explain analyze " } else { "" };
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                i += 1;
+                let sql = format!(
+                    "{prefix}select name from protein where nref_id = {}",
+                    i % 1000
+                );
+                black_box(session.execute(&sql).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -24,6 +24,17 @@ pub struct EngineConfig {
     pub monitor_statistics_capacity: usize,
     /// Ring-buffer capacity of the `references` IMA table.
     pub monitor_reference_capacity: usize,
+    /// Whether the structured tracing layer (stage + per-operator spans,
+    /// latency histograms) starts enabled. Tracing requires monitoring; the
+    /// flag can also be flipped at runtime (`SET trace = true` or
+    /// `Engine::set_tracing`). Off by default so the statement path costs
+    /// exactly what the "Monitoring" setup costs.
+    pub trace_enabled: bool,
+    /// Distinct statement hashes the tracer keeps aggregated operator stats
+    /// and latency histograms for (oldest hash evicted beyond this).
+    pub trace_statement_capacity: usize,
+    /// Ring-buffer capacity of recent per-statement traces.
+    pub trace_ring_capacity: usize,
     /// Main-page extent initially allocated to a HEAP table; inserts beyond
     /// its capacity go to overflow pages (the paper's ">10 % overflow pages"
     /// rule keys off this).
@@ -51,6 +62,9 @@ impl Default for EngineConfig {
             monitor_workload_capacity: 4096,
             monitor_statistics_capacity: 4096,
             monitor_reference_capacity: 8192,
+            trace_enabled: false,
+            trace_statement_capacity: 512,
+            trace_ring_capacity: 1024,
             heap_main_pages: 8,
             lock_timeout_ms: 5_000,
             // Calibrated to a 2009-era server disk subsystem with command
@@ -80,6 +94,15 @@ impl EngineConfig {
         Self::default()
     }
 
+    /// The "Monitoring" setup with the structured tracing layer enabled
+    /// from the start (stage spans, per-operator spans, latency histograms).
+    pub fn tracing() -> Self {
+        EngineConfig {
+            trace_enabled: true,
+            ..Self::default()
+        }
+    }
+
     /// Builder-style override of the buffer-pool size.
     pub fn with_buffer_pool_pages(mut self, pages: usize) -> Self {
         self.buffer_pool_pages = pages;
@@ -95,6 +118,12 @@ impl EngineConfig {
     /// Builder-style override of heap main-page extent.
     pub fn with_heap_main_pages(mut self, pages: usize) -> Self {
         self.heap_main_pages = pages;
+        self
+    }
+
+    /// Builder-style override of the runtime tracing flag.
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.trace_enabled = enabled;
         self
     }
 }

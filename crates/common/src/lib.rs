@@ -18,6 +18,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod retry;
+pub mod ring;
 pub mod row;
 pub mod value;
 
@@ -28,5 +29,6 @@ pub use error::{Error, Result};
 pub use hash::{fnv1a64, StmtHash};
 pub use ids::{AttrId, DatabaseId, IndexId, PageId, SessionId, TableId, TxnId};
 pub use retry::{RetryPolicy, SplitMix64};
+pub use ring::RingBuffer;
 pub use row::{Column, Row, Schema};
 pub use value::{DataType, Value};

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use ingot_catalog::Catalog;
 use ingot_common::{Column, DataType, Result, Row, Schema, Value};
+use ingot_trace::Tracer;
 
 use crate::monitor::Monitor;
 
@@ -247,6 +248,134 @@ pub fn register_ima_tables(catalog: &mut Catalog, monitor: &Arc<Monitor>) -> Res
     Ok(())
 }
 
+/// Register `ima$monitor_health`: a single-row self-observation of the
+/// monitor itself (the "who watches the watchers" table, mirroring
+/// `ima$daemon_health` for the in-process side).
+pub fn register_monitor_health_table(catalog: &mut Catalog, monitor: &Arc<Monitor>) -> Result<()> {
+    let m = Arc::clone(monitor);
+    catalog.register_virtual_table(
+        "ima$monitor_health",
+        Schema::new(vec![
+            Column::not_null("self_time_ns", DataType::Int),
+            Column::new("sensor_calls", DataType::Int),
+            Column::new("statements_recorded", DataType::Int),
+            Column::new("statements_len", DataType::Int),
+            Column::new("statements_capacity", DataType::Int),
+            Column::new("statement_evictions", DataType::Int),
+            Column::new("workload_len", DataType::Int),
+            Column::new("workload_capacity", DataType::Int),
+            Column::new("workload_wrapped", DataType::Int),
+            Column::new("references_len", DataType::Int),
+            Column::new("references_capacity", DataType::Int),
+            Column::new("references_wrapped", DataType::Int),
+            Column::new("statistics_len", DataType::Int),
+            Column::new("statistics_capacity", DataType::Int),
+            Column::new("statistics_wrapped", DataType::Int),
+        ]),
+        Arc::new(move || {
+            let h = m.health();
+            vec![Row::new(vec![
+                v_int(h.self_time_ns),
+                v_int(h.sensor_calls),
+                v_int(h.statements_recorded),
+                v_int(h.statements_len as u64),
+                v_int(h.statements_capacity as u64),
+                v_int(h.statement_evictions),
+                v_int(h.workload_len as u64),
+                v_int(h.workload_capacity as u64),
+                v_int(h.workload_total.saturating_sub(h.workload_len as u64)),
+                v_int(h.references_len as u64),
+                v_int(h.references_capacity as u64),
+                v_int(h.references_total.saturating_sub(h.references_len as u64)),
+                v_int(h.statistics_len as u64),
+                v_int(h.statistics_capacity as u64),
+                v_int(h.statistics_total.saturating_sub(h.statistics_len as u64)),
+            ])]
+        }),
+    )?;
+    Ok(())
+}
+
+/// Register the tracing exports: `ima$operator_stats` (per-statement,
+/// per-plan-operator aggregates from the span layer) and
+/// `ima$latency_histograms` (log2-bucketed wall-clock latency per statement
+/// hash, with cumulative counts so quantiles are derivable in SQL).
+pub fn register_trace_tables(catalog: &mut Catalog, tracer: &Arc<Tracer>) -> Result<()> {
+    let t = Arc::clone(tracer);
+    catalog.register_virtual_table(
+        "ima$operator_stats",
+        Schema::new(vec![
+            Column::not_null("hash", DataType::Str),
+            Column::new("op_id", DataType::Int),
+            Column::new("parent_id", DataType::Int),
+            Column::new("depth", DataType::Int),
+            Column::new("op", DataType::Str),
+            Column::new("detail", DataType::Str),
+            Column::new("executions", DataType::Int),
+            Column::new("rows_in", DataType::Int),
+            Column::new("rows_out", DataType::Int),
+            Column::new("tuples", DataType::Int),
+            Column::new("pages", DataType::Int),
+            Column::new("elapsed_ns", DataType::Int),
+            Column::new("est_rows", DataType::Float),
+            Column::new("est_cost", DataType::Float),
+        ]),
+        Arc::new(move || {
+            t.operator_stats()
+                .into_iter()
+                .map(|(hash, o)| {
+                    Row::new(vec![
+                        Value::Str(hash.to_string()),
+                        v_int(u64::from(o.op_id)),
+                        Value::Int(o.parent.map_or(-1, i64::from)),
+                        v_int(u64::from(o.depth)),
+                        Value::Str(o.op),
+                        Value::Str(o.detail),
+                        v_int(o.executions),
+                        v_int(o.rows_in),
+                        v_int(o.rows_out),
+                        v_int(o.tuples),
+                        v_int(o.pages),
+                        v_int(o.elapsed_ns),
+                        Value::Float(o.est_rows),
+                        Value::Float(o.est_cost),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    let t = Arc::clone(tracer);
+    catalog.register_virtual_table(
+        "ima$latency_histograms",
+        Schema::new(vec![
+            Column::not_null("hash", DataType::Str),
+            Column::new("bucket", DataType::Int),
+            Column::new("lo_ns", DataType::Int),
+            Column::new("hi_ns", DataType::Int),
+            Column::new("count", DataType::Int),
+            Column::new("cum_count", DataType::Int),
+        ]),
+        Arc::new(move || {
+            let mut rows = Vec::new();
+            for (hash, hist) in t.histograms() {
+                for (bucket, lo, hi, count, cum) in hist.rows() {
+                    rows.push(Row::new(vec![
+                        Value::Str(hash.to_string()),
+                        v_int(bucket as u64),
+                        v_int(lo),
+                        v_int(hi),
+                        v_int(count),
+                        v_int(cum),
+                    ]));
+                }
+            }
+            rows
+        }),
+    )?;
+    Ok(())
+}
+
 /// Name of the storage-daemon health table (registered only while a daemon
 /// is attached to the engine — see [`register_daemon_health_table`]).
 pub const IMA_DAEMON_HEALTH: &str = "ima$daemon_health";
@@ -263,11 +392,7 @@ pub fn register_daemon_health_table(
     catalog: &mut Catalog,
     provider: ingot_catalog::VirtualProvider,
 ) -> Result<()> {
-    catalog.register_virtual_table(
-        IMA_DAEMON_HEALTH,
-        daemon_health_schema(),
-        provider,
-    )?;
+    catalog.register_virtual_table(IMA_DAEMON_HEALTH, daemon_health_schema(), provider)?;
     Ok(())
 }
 
@@ -296,4 +421,7 @@ pub const IMA_TABLE_NAMES: &[&str] = &[
     "ima$indexes",
     "ima$attributes",
     "ima$statistics",
+    "ima$monitor_health",
+    "ima$operator_stats",
+    "ima$latency_histograms",
 ];

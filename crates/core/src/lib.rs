@@ -28,5 +28,9 @@ pub mod ima;
 pub mod monitor;
 
 pub use engine::{Engine, Session, StatementResult};
-pub use ima::{daemon_health_schema, register_daemon_health_table, IMA_DAEMON_HEALTH};
-pub use monitor::{Monitor, StatementSensor};
+pub use ima::{
+    daemon_health_schema, register_daemon_health_table, register_monitor_health_table,
+    register_trace_tables, IMA_DAEMON_HEALTH,
+};
+pub use ingot_trace::{MetricsSnapshot, Tracer};
+pub use monitor::{Monitor, MonitorHealth, StatementSensor};

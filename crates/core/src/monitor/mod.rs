@@ -12,7 +12,6 @@
 //! without external profiling.
 
 pub mod records;
-pub mod ring;
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,11 +19,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ingot_common::{Cost, EngineConfig, IndexId, MonotonicClock, StmtHash, TableId};
 use parking_lot::Mutex;
 
+pub use ingot_common::RingBuffer;
 pub use records::{
-    AttributeUsage, IndexUsage, RefObject, ReferenceRecord, StatSample, StatementInfo,
-    TableUsage, WorkloadRecord,
+    AttributeUsage, IndexUsage, RefObject, ReferenceRecord, StatSample, StatementInfo, TableUsage,
+    WorkloadRecord,
 };
-pub use ring::RingBuffer;
 
 /// Per-table detail the engine snapshots at bind time (it holds the catalog
 /// lock anyway — "this data is logged right at its source").
@@ -81,6 +80,7 @@ pub struct StatementSensor {
     used_indexes: Vec<IndexDetail>,
     est: Cost,
     opt_time_ns: u64,
+    opt_io: u64,
     exec_cpu: u64,
     exec_io: u64,
     /// Nanoseconds spent inside sensor code so far.
@@ -109,6 +109,36 @@ struct MonitorState {
     indexes: HashMap<IndexId, IndexUsage>,
     attributes: HashMap<(TableId, usize), AttributeUsage>,
     statistics: RingBuffer<StatSample>,
+    /// Statement hashes evicted because the statement ring reached capacity.
+    statement_evictions: u64,
+}
+
+/// Point-in-time health snapshot of the monitor itself: self-cost counters
+/// plus ring-buffer fill and wrap state, exported via `ima$monitor_health`.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorHealth {
+    /// Total nanoseconds spent in monitoring code.
+    pub self_time_ns: u64,
+    /// Total sensor calls.
+    pub sensor_calls: u64,
+    /// Statements recorded over the monitor's lifetime.
+    pub statements_recorded: u64,
+    /// Distinct statements currently held / capacity / evicted so far.
+    pub statements_len: usize,
+    pub statements_capacity: usize,
+    pub statement_evictions: u64,
+    /// Workload ring: held / capacity / total ever pushed.
+    pub workload_len: usize,
+    pub workload_capacity: usize,
+    pub workload_total: u64,
+    /// References ring: held / capacity / total ever pushed.
+    pub references_len: usize,
+    pub references_capacity: usize,
+    pub references_total: u64,
+    /// Statistics ring: held / capacity / total ever pushed.
+    pub statistics_len: usize,
+    pub statistics_capacity: usize,
+    pub statistics_total: u64,
 }
 
 /// The monitor. One per engine instance (when enabled).
@@ -139,6 +169,7 @@ impl Monitor {
                 indexes: HashMap::new(),
                 attributes: HashMap::new(),
                 statistics: RingBuffer::new(config.monitor_statistics_capacity),
+                statement_evictions: 0,
             }),
             self_time_ns: AtomicU64::new(0),
             sensor_calls: AtomicU64::new(0),
@@ -167,6 +198,7 @@ impl Monitor {
             used_indexes: Vec::new(),
             est: Cost::ZERO,
             opt_time_ns: 0,
+            opt_io: 0,
             exec_cpu: 0,
             exec_io: 0,
             self_ns: 0,
@@ -193,7 +225,9 @@ impl Monitor {
         sensor.self_ns += self.clock.now_nanos() - t0;
     }
 
-    /// Optimiser sensor: estimated costs, used indexes, planning time.
+    /// Optimiser sensor: estimated costs, used indexes, planning time, and
+    /// pages read on the optimizer's behalf (catalog statistics, virtual
+    /// what-if probes).
     #[inline]
     pub fn optimized(
         &self,
@@ -201,11 +235,13 @@ impl Monitor {
         est: Cost,
         used_indexes: Vec<IndexDetail>,
         opt_time_ns: u64,
+        opt_io: u64,
     ) {
         let t0 = self.clock.now_nanos();
         sensor.est = est;
         sensor.used_indexes = used_indexes;
         sensor.opt_time_ns = opt_time_ns;
+        sensor.opt_io = opt_io;
         self.sensor_calls.fetch_add(1, Ordering::Relaxed);
         sensor.self_ns += self.clock.now_nanos() - t0;
     }
@@ -235,6 +271,7 @@ impl Monitor {
             if state.statement_order.len() == self.statement_capacity {
                 if let Some(evict) = state.statement_order.pop_front() {
                     state.statements.remove(&evict);
+                    state.statement_evictions += 1;
                 }
             }
             state.statement_order.push_back(sensor.hash);
@@ -328,7 +365,7 @@ impl Monitor {
             hash: sensor.hash,
             seq,
             opt_time_ns: sensor.opt_time_ns,
-            opt_io: 0,
+            opt_io: sensor.opt_io,
             exec_cpu: sensor.exec_cpu,
             exec_io: sensor.exec_io,
             est: sensor.est,
@@ -411,6 +448,29 @@ impl Monitor {
     pub fn statements_recorded(&self) -> u64 {
         self.statements_recorded.load(Ordering::Relaxed)
     }
+
+    /// Snapshot the monitor's own health: self-cost counters and ring-buffer
+    /// fill/wrap state (the `ima$monitor_health` provider).
+    pub fn health(&self) -> MonitorHealth {
+        let st = self.state.lock();
+        MonitorHealth {
+            self_time_ns: self.self_time_ns.load(Ordering::Relaxed),
+            sensor_calls: self.sensor_calls.load(Ordering::Relaxed),
+            statements_recorded: self.statements_recorded.load(Ordering::Relaxed),
+            statements_len: st.statement_order.len(),
+            statements_capacity: self.statement_capacity,
+            statement_evictions: st.statement_evictions,
+            workload_len: st.workload.len(),
+            workload_capacity: st.workload.capacity(),
+            workload_total: st.workload.total_pushed(),
+            references_len: st.references.len(),
+            references_capacity: st.references.capacity(),
+            references_total: st.references.total_pushed(),
+            statistics_len: st.statistics.len(),
+            statistics_capacity: st.statistics.capacity(),
+            statistics_total: st.statistics.total_pushed(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -441,7 +501,7 @@ mod tests {
                 has_histogram: false,
             }],
         );
-        m.optimized(&mut s, Cost::new(10.0, 2.0), vec![], 1000);
+        m.optimized(&mut s, Cost::new(10.0, 2.0), vec![], 1000, 3);
         m.executed(&mut s, 100, 5);
         m.record(s, 0);
     }
@@ -471,6 +531,12 @@ mod tests {
         assert_eq!(stmts.len(), 5);
         assert!(stmts[0].text.contains('3'), "oldest kept must be #3");
         assert!(stmts[4].text.contains('7'));
+        let h = m.health();
+        assert_eq!(h.statements_len, 5);
+        assert_eq!(h.statements_capacity, 5);
+        assert_eq!(h.statement_evictions, 3);
+        assert_eq!(h.workload_total, 8);
+        assert_eq!(h.references_len, h.references_total as usize);
     }
 
     #[test]
@@ -482,6 +548,7 @@ mod tests {
         assert_eq!(w.exec_io, 5);
         assert_eq!(w.est, Cost::new(10.0, 2.0));
         assert_eq!(w.opt_time_ns, 1000);
+        assert_eq!(w.opt_io, 3);
         assert!(w.monitor_ns > 0);
         assert!(w.wallclock_ns >= w.monitor_ns);
     }

@@ -50,7 +50,10 @@ impl AlertRule {
     pub fn max_sessions(limit: u64) -> Self {
         Self::custom("max_sessions", move |s| {
             (s.sessions > limit).then(|| {
-                format!("sessions {} exceeded the configured limit {limit}", s.sessions)
+                format!(
+                    "sessions {} exceeded the configured limit {limit}",
+                    s.sessions
+                )
             })
         })
     }
@@ -62,7 +65,10 @@ impl AlertRule {
             let mut last = last_seen.lock();
             if s.deadlocks_total > *last {
                 *last = s.deadlocks_total;
-                Some(format!("{} deadlock(s) detected in total", s.deadlocks_total))
+                Some(format!(
+                    "{} deadlock(s) detected in total",
+                    s.deadlocks_total
+                ))
             } else {
                 None
             }

@@ -169,7 +169,9 @@ impl StorageDaemon {
         let quarantined = self.health.state() == HealthState::Quarantined;
         let mut outcome = if quarantined {
             self.health.record_dropped(1);
-            Err(Error::daemon("storage daemon quarantined; snapshot dropped"))
+            Err(Error::daemon(
+                "storage daemon quarantined; snapshot dropped",
+            ))
         } else {
             self.try_append(monitor, now_secs)
         };
@@ -225,17 +227,25 @@ impl StorageDaemon {
 
     fn append_with_retry(&self, monitor: &Monitor, ts: u64) -> Result<()> {
         let mut attempts = 0u64;
-        let result = self.config.retry.run_sim(self.engine.sim_clock(), |attempt| {
-            attempts = u64::from(attempt);
-            self.wldb.append_from(monitor, ts)
-        });
+        let result = self
+            .config
+            .retry
+            .run_sim(self.engine.sim_clock(), |attempt| {
+                attempts = u64::from(attempt);
+                self.wldb.append_from(monitor, ts)
+            });
         self.health.record_retries(attempts.saturating_sub(1));
         result
     }
 
-    /// Retention purge (at most once per simulated hour) and the periodic
-    /// durable flush — run only after a successful append.
+    /// Retention purge (at most once per simulated hour), the engine-level
+    /// metrics snapshot, and the periodic durable flush — run only after a
+    /// successful append.
     fn housekeep(&self, polls: u64, now_secs: u64) -> Result<()> {
+        // Engine gauges/counters/histograms land next to the Fig 3 rows so
+        // time-series queries can correlate them with the workload.
+        self.wldb
+            .append_metrics(&self.engine.metrics_snapshot(), now_secs)?;
         let last = self.last_purge_secs.load(Ordering::Relaxed);
         if now_secs.saturating_sub(last) >= 3600 {
             self.last_purge_secs.store(now_secs, Ordering::Relaxed);
@@ -244,10 +254,13 @@ impl StorageDaemon {
         }
         if polls.is_multiple_of(u64::from(self.config.polls_per_flush.max(1))) {
             let mut attempts = 0u64;
-            let result = self.config.retry.run_sim(self.engine.sim_clock(), |attempt| {
-                attempts = u64::from(attempt);
-                self.wldb.flush()
-            });
+            let result = self
+                .config
+                .retry
+                .run_sim(self.engine.sim_clock(), |attempt| {
+                    attempts = u64::from(attempt);
+                    self.wldb.flush()
+                });
             self.health.record_retries(attempts.saturating_sub(1));
             result?;
         }
@@ -383,7 +396,11 @@ mod tests {
         s.execute("create table t (a int)").unwrap();
         s.execute("insert into t values (1)").unwrap();
         s.execute("select * from t").unwrap();
-        let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+        let daemon = StorageDaemon::new(
+            Arc::clone(&engine),
+            Arc::clone(&wldb),
+            DaemonConfig::default(),
+        );
         daemon.poll_once().unwrap();
         assert_eq!(wldb.row_count("wl_statements").unwrap(), 3);
         assert_eq!(wldb.row_count("wl_workload").unwrap(), 3);
@@ -434,6 +451,30 @@ mod tests {
         engine.sim_clock().advance_secs(9 * 24 * 3600);
         daemon.poll_once().unwrap();
         assert_eq!(wldb.row_count("wl_workload").unwrap(), 0);
+    }
+
+    #[test]
+    fn poll_appends_metrics_snapshots() {
+        let (engine, wldb) = setup();
+        let s = engine.open_session();
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert into t values (1)").unwrap();
+        let daemon = StorageDaemon::new(
+            Arc::clone(&engine),
+            Arc::clone(&wldb),
+            DaemonConfig::default(),
+        );
+        daemon.poll_once().unwrap();
+        let n = wldb.row_count("wl_metrics").unwrap();
+        assert!(n > 0, "expected metrics rows after a poll");
+        let rows = wldb
+            .query("select value from wl_metrics where name = 'ingot_statements_executed_total'")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].get(0).as_f64().unwrap() >= 2.0);
+        // Each poll appends a fresh snapshot (time series, not upsert).
+        daemon.poll_once().unwrap();
+        assert!(wldb.row_count("wl_metrics").unwrap() > n);
     }
 
     #[test]

@@ -34,6 +34,7 @@ create table wl_statistics (at_ns int not null, at_secs int, sessions int,
     max_sessions int, locks_held int, lock_waiting int, lock_waits_total int,
     deadlocks_total int, active_txns int, cache_hits int, cache_misses int,
     physical_reads int, physical_writes int, statements_executed int, ts int);
+create table wl_metrics (name text not null, labels text, value float, ts int);
 ";
 
 /// All workload-DB table names.
@@ -45,6 +46,7 @@ pub const WL_TABLES: &[&str] = &[
     "wl_indexes",
     "wl_attributes",
     "wl_statistics",
+    "wl_metrics",
 ];
 
 /// Append cursor: what has already been copied out of the monitor.
@@ -345,6 +347,32 @@ impl WorkloadDb {
 
         // The whole batch landed: the next poll appends a fresh snapshot.
         state.objects_done = None;
+        Ok(())
+    }
+
+    /// Append a flattened [`MetricsSnapshot`] — every sample becomes one
+    /// `wl_metrics` row, so engine-level time series (buffer hit rates,
+    /// latency histogram buckets, …) are queryable alongside the Fig 3
+    /// workload tables.
+    ///
+    /// [`MetricsSnapshot`]: ingot_core::MetricsSnapshot
+    pub fn append_metrics(
+        &self,
+        snapshot: &ingot_core::MetricsSnapshot,
+        now_secs: u64,
+    ) -> Result<()> {
+        let ts = Value::Int(now_secs as i64);
+        for (name, labels, value) in snapshot.flatten() {
+            self.insert(
+                "wl_metrics",
+                Row::new(vec![
+                    Value::Str(name),
+                    Value::Str(labels),
+                    Value::Float(value),
+                    ts.clone(),
+                ]),
+            )?;
+        }
         Ok(())
     }
 

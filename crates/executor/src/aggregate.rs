@@ -11,8 +11,16 @@ use crate::exec::normalize_key;
 #[derive(Debug, Clone)]
 enum AggState {
     Count(i64),
-    Sum { int: i64, float: f64, any_float: bool, seen: bool },
-    Avg { sum: f64, n: i64 },
+    Sum {
+        int: i64,
+        float: f64,
+        any_float: bool,
+        seen: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -188,10 +196,7 @@ pub fn run_aggregate(
 fn new_group(aggs: &[AggSpec]) -> Group {
     Group {
         states: aggs.iter().map(|a| AggState::new(a.func)).collect(),
-        distinct_seen: aggs
-            .iter()
-            .map(|a| a.distinct.then(HashSet::new))
-            .collect(),
+        distinct_seen: aggs.iter().map(|a| a.distinct.then(HashSet::new)).collect(),
     }
 }
 
@@ -236,7 +241,10 @@ mod tests {
             .unwrap(),
         );
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0].values()[..3], [Value::Int(1), Value::Int(2), Value::Int(30)]);
+        assert_eq!(
+            out[0].values()[..3],
+            [Value::Int(1), Value::Int(2), Value::Int(30)]
+        );
         assert_eq!(out[1].get(2), &Value::Int(40));
         assert_eq!(out[1].get(3), &Value::Float(40.0 / 3.0));
     }

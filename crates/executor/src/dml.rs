@@ -6,12 +6,13 @@
 //! full scan — mirroring how the optimizer chooses paths for queries.
 
 use ingot_catalog::Catalog;
-use ingot_common::{Result, Row, TableId, Value};
+use ingot_common::{MonotonicClock, Result, Row, TableId, Value};
 use ingot_planner::{PhysExpr, PlannedStatement};
 use ingot_sql::BinOp;
 use ingot_storage::RowId;
+use ingot_trace::OperatorSpan;
 
-use crate::exec::{execute_plan, QueryResult};
+use crate::exec::{execute_plan, execute_plan_traced, QueryResult};
 
 /// The outcome of executing any statement.
 #[derive(Debug, Clone, Default)]
@@ -25,10 +26,7 @@ pub struct ExecOutcome {
 }
 
 /// Execute a planned statement. Queries borrow the catalog; DML mutates it.
-pub fn execute_statement(
-    catalog: &mut Catalog,
-    planned: &PlannedStatement,
-) -> Result<ExecOutcome> {
+pub fn execute_statement(catalog: &mut Catalog, planned: &PlannedStatement) -> Result<ExecOutcome> {
     match planned {
         PlannedStatement::Query(q) => {
             let QueryResult { rows, tuples } = execute_plan(catalog, &q.root)?;
@@ -82,6 +80,58 @@ pub fn execute_statement(
             })
         }
     }
+}
+
+/// Execute a planned statement with span collection. Queries get a full
+/// per-operator span tree; writing DML gets one synthetic span covering the
+/// whole statement (the write paths have no operator tree to decompose).
+pub fn execute_statement_traced(
+    catalog: &mut Catalog,
+    planned: &PlannedStatement,
+    clock: MonotonicClock,
+) -> Result<(ExecOutcome, Vec<OperatorSpan>)> {
+    if let PlannedStatement::Query(q) = planned {
+        let (QueryResult { rows, tuples }, spans) = execute_plan_traced(catalog, &q.root, clock)?;
+        return Ok((
+            ExecOutcome {
+                affected: 0,
+                tuples: tuples + rows.len() as u64,
+                rows,
+            },
+            spans,
+        ));
+    }
+    let (op, table) = match planned {
+        PlannedStatement::Query(_) => unreachable!(),
+        PlannedStatement::Insert { table, .. } => ("Insert", *table),
+        PlannedStatement::Update { table, .. } => ("Update", *table),
+        PlannedStatement::Delete { table, .. } => ("Delete", *table),
+    };
+    let detail = match catalog.table(table) {
+        Ok(entry) => format!(" on {}", entry.meta.name),
+        Err(_) => String::new(),
+    };
+    let est = planned.estimated_cost();
+    let io_before = catalog.pool().io_stats().total();
+    let start_ns = clock.now_nanos();
+    let outcome = execute_statement(catalog, planned)?;
+    let elapsed_ns = clock.now_nanos().saturating_sub(start_ns);
+    let pages = catalog.pool().io_stats().total().saturating_sub(io_before);
+    let span = OperatorSpan {
+        op_id: 0,
+        parent: None,
+        depth: 0,
+        op: op.to_string(),
+        detail,
+        est_rows: est.cpu,
+        est_cost: est.total(),
+        rows_in: 0,
+        rows_out: outcome.affected,
+        tuples: outcome.tuples,
+        pages,
+        elapsed_ns,
+    };
+    Ok((outcome, vec![span]))
 }
 
 /// Resolve the `(RowId, Row)` targets of an UPDATE/DELETE, returning also

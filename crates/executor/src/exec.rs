@@ -9,8 +9,9 @@
 use std::collections::HashMap;
 
 use ingot_catalog::Catalog;
-use ingot_common::{Error, Result, Row, Value};
+use ingot_common::{Error, MonotonicClock, Result, Row, Value};
 use ingot_planner::{PhysPlan, PlanNode, ProbeSource, ProbeSpec};
+use ingot_trace::{OperatorSpan, SpanCollector};
 
 use crate::aggregate::run_aggregate;
 
@@ -26,8 +27,22 @@ pub struct QueryResult {
 /// Execute a query plan against the catalog.
 pub fn execute_plan(catalog: &Catalog, plan: &PlanNode) -> Result<QueryResult> {
     let mut tuples = 0u64;
-    let rows = run(catalog, plan, &mut tuples)?;
+    let rows = run(catalog, plan, &mut tuples, None)?;
     Ok(QueryResult { rows, tuples })
+}
+
+/// Execute a query plan with per-operator span collection: every plan node
+/// gets an [`OperatorSpan`] carrying rows-out, tuple work, pages touched and
+/// elapsed time next to the optimizer's estimates for the same node.
+pub fn execute_plan_traced(
+    catalog: &Catalog,
+    plan: &PlanNode,
+    clock: MonotonicClock,
+) -> Result<(QueryResult, Vec<OperatorSpan>)> {
+    let mut collector = SpanCollector::new(clock);
+    let mut tuples = 0u64;
+    let rows = run(catalog, plan, &mut tuples, Some(&mut collector))?;
+    Ok((QueryResult { rows, tuples }, collector.finish()))
 }
 
 /// Normalise a hash/group key so values that compare equal hash equally
@@ -39,7 +54,40 @@ pub fn normalize_key(v: &Value) -> Value {
     }
 }
 
-fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>> {
+/// Run one node, opening/closing a span around it when tracing. The span's
+/// tuple and page counts are measured inclusively (subtree totals);
+/// `SpanCollector::finish` converts tuples to exclusive self-work.
+fn run(
+    catalog: &Catalog,
+    node: &PlanNode,
+    tuples: &mut u64,
+    trace: Option<&mut SpanCollector>,
+) -> Result<Vec<Row>> {
+    match trace {
+        None => run_node(catalog, node, tuples, None),
+        Some(collector) => {
+            let io_before = catalog.pool().io_stats().total();
+            let tuples_before = *tuples;
+            let frame = collector.enter(
+                node.op_name(),
+                node.op_detail(),
+                node.est_rows,
+                node.est_cost.total(),
+            );
+            let rows = run_node(catalog, node, tuples, Some(collector))?;
+            let pages = catalog.pool().io_stats().total().saturating_sub(io_before);
+            collector.exit(frame, rows.len() as u64, *tuples - tuples_before, pages);
+            Ok(rows)
+        }
+    }
+}
+
+fn run_node(
+    catalog: &Catalog,
+    node: &PlanNode,
+    tuples: &mut u64,
+    mut trace: Option<&mut SpanCollector>,
+) -> Result<Vec<Row>> {
     match &node.op {
         PhysPlan::DualScan => Ok(vec![Row::default()]),
 
@@ -122,7 +170,7 @@ fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>>
             filter,
             ..
         } => {
-            let outer = run(catalog, left, tuples)?;
+            let outer = run(catalog, left, tuples, trace.as_deref_mut())?;
             let entry = catalog.table(*table)?;
             let mut out = Vec::new();
             for lrow in &outer {
@@ -151,8 +199,8 @@ fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>>
         }
 
         PhysPlan::NestedLoopJoin { left, right, on } => {
-            let l = run(catalog, left, tuples)?;
-            let r = run(catalog, right, tuples)?;
+            let l = run(catalog, left, tuples, trace.as_deref_mut())?;
+            let r = run(catalog, right, tuples, trace.as_deref_mut())?;
             let mut out = Vec::new();
             for lr in &l {
                 for rr in &r {
@@ -173,13 +221,16 @@ fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>>
             right_keys,
             filter,
         } => {
-            let l = run(catalog, left, tuples)?;
-            let r = run(catalog, right, tuples)?;
+            let l = run(catalog, left, tuples, trace.as_deref_mut())?;
+            let r = run(catalog, right, tuples, trace.as_deref_mut())?;
             // Build on the left, probe with the right.
             let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(l.len());
             for row in &l {
                 *tuples += 1;
-                let key: Vec<Value> = left_keys.iter().map(|&k| normalize_key(row.get(k))).collect();
+                let key: Vec<Value> = left_keys
+                    .iter()
+                    .map(|&k| normalize_key(row.get(k)))
+                    .collect();
                 if key.iter().any(Value::is_null) {
                     continue; // NULL keys never join
                 }
@@ -188,8 +239,10 @@ fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>>
             let mut out = Vec::new();
             for rr in &r {
                 *tuples += 1;
-                let key: Vec<Value> =
-                    right_keys.iter().map(|&k| normalize_key(rr.get(k))).collect();
+                let key: Vec<Value> = right_keys
+                    .iter()
+                    .map(|&k| normalize_key(rr.get(k)))
+                    .collect();
                 if key.iter().any(Value::is_null) {
                     continue;
                 }
@@ -207,7 +260,7 @@ fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>>
         }
 
         PhysPlan::Filter { input, pred } => {
-            let rows = run(catalog, input, tuples)?;
+            let rows = run(catalog, input, tuples, trace.as_deref_mut())?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 *tuples += 1;
@@ -219,7 +272,7 @@ fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>>
         }
 
         PhysPlan::Project { input, exprs } => {
-            let rows = run(catalog, input, tuples)?;
+            let rows = run(catalog, input, tuples, trace.as_deref_mut())?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 *tuples += 1;
@@ -238,13 +291,13 @@ fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>>
             aggs,
             having,
         } => {
-            let rows = run(catalog, input, tuples)?;
+            let rows = run(catalog, input, tuples, trace.as_deref_mut())?;
             *tuples += rows.len() as u64;
             run_aggregate(&rows, group_by, aggs, having.as_ref())
         }
 
         PhysPlan::Sort { input, keys } => {
-            let mut rows = run(catalog, input, tuples)?;
+            let mut rows = run(catalog, input, tuples, trace.as_deref_mut())?;
             *tuples += rows.len() as u64;
             rows.sort_by(|a, b| {
                 for &(k, desc) in keys {
@@ -262,7 +315,7 @@ fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>>
         }
 
         PhysPlan::Distinct { input } => {
-            let rows = run(catalog, input, tuples)?;
+            let rows = run(catalog, input, tuples, trace.as_deref_mut())?;
             let mut seen = std::collections::HashSet::with_capacity(rows.len());
             let mut out = Vec::new();
             for row in rows {
@@ -280,7 +333,7 @@ fn run(catalog: &Catalog, node: &PlanNode, tuples: &mut u64) -> Result<Vec<Row>>
             limit,
             offset,
         } => {
-            let rows = run(catalog, input, tuples)?;
+            let rows = run(catalog, input, tuples, trace)?;
             let start = (*offset as usize).min(rows.len());
             let end = match limit {
                 Some(l) => (start + *l as usize).min(rows.len()),
@@ -384,18 +437,17 @@ mod tests {
                 ]),
             )
             .unwrap();
-            c.insert_row(
-                organism,
-                &Row::new(vec![Value::Int(i), Value::Int(i % 5)]),
-            )
-            .unwrap();
+            c.insert_row(organism, &Row::new(vec![Value::Int(i), Value::Int(i % 5)]))
+                .unwrap();
         }
         c
     }
 
     fn query(c: &Catalog, sql: &str) -> QueryResult {
         let (bound, _) = Binder::new(c).bind(&parse_statement(sql).unwrap()).unwrap();
-        let BoundStatement::Select(_) = &bound else { panic!() };
+        let BoundStatement::Select(_) = &bound else {
+            panic!()
+        };
         let PlannedStatement::Query(q) = optimize(c, &bound, OptimizerOptions::default()).unwrap()
         else {
             panic!()
@@ -444,7 +496,10 @@ mod tests {
     #[test]
     fn order_by_hidden_column_is_stripped() {
         let c = setup();
-        let r = query(&c, "select name from protein order by len desc, nref_id limit 3");
+        let r = query(
+            &c,
+            "select name from protein order by len desc, nref_id limit 3",
+        );
         assert_eq!(r.rows.len(), 3);
         assert_eq!(r.rows[0].len(), 1, "hidden sort column must be stripped");
         // len=9 group, smallest ids: 9, 19, 29.
@@ -455,7 +510,10 @@ mod tests {
     #[test]
     fn distinct_and_limit_offset() {
         let c = setup();
-        let r = query(&c, "select distinct taxon_id from organism order by taxon_id");
+        let r = query(
+            &c,
+            "select distinct taxon_id from organism order by taxon_id",
+        );
         assert_eq!(r.rows.len(), 5);
         let r = query(
             &c,
@@ -471,7 +529,8 @@ mod tests {
         let sql = "select name from protein where len = 3 order by name";
         let seq = query(&c, sql);
         let t = c.resolve_table("protein").unwrap();
-        c.create_index("protein_len_idx", t, vec![2], false).unwrap();
+        c.create_index("protein_len_idx", t, vec![2], false)
+            .unwrap();
         c.collect_statistics(t, &[], 0).unwrap();
         let via_index = query(&c, sql);
         assert_eq!(seq.rows, via_index.rows);

@@ -10,5 +10,5 @@ pub mod aggregate;
 pub mod dml;
 pub mod exec;
 
-pub use dml::{execute_statement, ExecOutcome};
-pub use exec::{execute_plan, QueryResult};
+pub use dml::{execute_statement, execute_statement_traced, ExecOutcome};
+pub use exec::{execute_plan, execute_plan_traced, QueryResult};

@@ -78,6 +78,8 @@ fn run_meta(cmd: &str, engine: &std::sync::Arc<Engine>, session: &Session) -> Me
         "\\help" | "\\h" => {
             println!("  SQL statements end with ';'");
             println!("  \\monitor        monitor summary (statements, workload, self-time)");
+            println!("  \\metrics        dump engine metrics in Prometheus text format");
+            println!("  \\trace [on|off] toggle structured statement tracing");
             println!("  \\report         analyze the recorded workload and print the report");
             println!("  \\apply          analyze and apply the recommendations");
             println!("  \\nref [scale]   load the NREF-like demo database (default 0.1)");
@@ -109,6 +111,20 @@ fn run_meta(cmd: &str, engine: &std::sync::Arc<Engine>, session: &Session) -> Me
                 );
             }
             None => println!("monitoring is disabled on this instance"),
+        },
+        "\\metrics" => {
+            print!("{}", engine.metrics_snapshot().render_prometheus());
+        }
+        "\\trace" => match parts.next() {
+            Some("on") | None => {
+                engine.set_tracing(true);
+                println!("tracing enabled (EXPLAIN ANALYZE and ima$operator_stats fill up)");
+            }
+            Some("off") => {
+                engine.set_tracing(false);
+                println!("tracing disabled");
+            }
+            Some(other) => eprintln!("expected on/off, got {other}"),
         },
         "\\report" | "\\apply" => {
             let Some(monitor) = engine.monitor() else {

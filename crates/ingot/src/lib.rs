@@ -29,6 +29,7 @@ pub use ingot_executor as executor;
 pub use ingot_planner as planner;
 pub use ingot_sql as sql;
 pub use ingot_storage as storage;
+pub use ingot_trace as trace;
 pub use ingot_txn as txn;
 pub use ingot_workload as workload;
 
@@ -36,7 +37,7 @@ pub use ingot_workload as workload;
 pub mod prelude {
     pub use ingot_analyzer::{Analyzer, AnalyzerConfig, Recommendation, WorkloadView};
     pub use ingot_common::{Cost, EngineConfig, Error, Result, RetryPolicy, Row, SimClock, Value};
-    pub use ingot_core::{Engine, Monitor, Session, StatementResult};
+    pub use ingot_core::{Engine, MetricsSnapshot, Monitor, Session, StatementResult, Tracer};
     pub use ingot_daemon::{
         Alert, AlertRule, DaemonConfig, DaemonHealth, HealthState, StorageDaemon, WorkloadDb,
     };

@@ -208,29 +208,43 @@ impl PlanNode {
         }
     }
 
-    fn fmt_rec(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
-        let pad = "  ".repeat(indent);
-        let describe = |f: &mut fmt::Formatter<'_>, name: &str, extra: &str| {
-            writeln!(
-                f,
-                "{pad}{name}{extra}  (rows≈{:.0}, {})",
-                self.est_rows, self.est_cost
-            )
-        };
+    /// Stable operator name, e.g. `"HashJoin"` — the identity tracing spans
+    /// and `EXPLAIN ANALYZE` label plan nodes with.
+    pub fn op_name(&self) -> &'static str {
         match &self.op {
-            PhysPlan::DualScan => describe(f, "Dual", "")?,
-            PhysPlan::VirtualScan { table_name, .. } => {
-                describe(f, "VirtualScan", &format!(" on {table_name}"))?;
-            }
+            PhysPlan::DualScan => "Dual",
+            PhysPlan::VirtualScan { .. } => "VirtualScan",
+            PhysPlan::SeqScan { .. } => "SeqScan",
+            PhysPlan::IndexScan { .. } => "IndexScan",
+            PhysPlan::PkLookup { .. } => "PkLookup",
+            PhysPlan::ProbeJoin { .. } => "ProbeJoin",
+            PhysPlan::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PhysPlan::HashJoin { .. } => "HashJoin",
+            PhysPlan::Filter { .. } => "Filter",
+            PhysPlan::Project { .. } => "Project",
+            PhysPlan::Aggregate { .. } => "Aggregate",
+            PhysPlan::Sort { .. } => "Sort",
+            PhysPlan::Distinct { .. } => "Distinct",
+            PhysPlan::Limit { .. } => "Limit",
+        }
+    }
+
+    /// Operator-specific detail suffix (leading space included when
+    /// non-empty), e.g. `" on protein via protein_pk eq(1)"`. Shared by the
+    /// `EXPLAIN` renderer and the tracing span labels.
+    pub fn op_detail(&self) -> String {
+        match &self.op {
+            PhysPlan::DualScan
+            | PhysPlan::NestedLoopJoin { .. }
+            | PhysPlan::Filter { .. }
+            | PhysPlan::Distinct { .. } => String::new(),
+            PhysPlan::VirtualScan { table_name, .. } => format!(" on {table_name}"),
             PhysPlan::SeqScan {
                 table_name, filter, ..
-            } => {
-                let extra = format!(
-                    " on {table_name}{}",
-                    if filter.is_some() { " [filtered]" } else { "" }
-                );
-                describe(f, "SeqScan", &extra)?;
-            }
+            } => format!(
+                " on {table_name}{}",
+                if filter.is_some() { " [filtered]" } else { "" }
+            ),
             PhysPlan::IndexScan {
                 table_name,
                 index_name,
@@ -241,70 +255,58 @@ impl PlanNode {
                     ProbeSpec::Eq(v) => format!("eq({})", v.len()),
                     ProbeSpec::Range { .. } => "range".to_owned(),
                 };
-                describe(f, "IndexScan", &format!(" on {table_name} via {index_name} {p}"))?;
+                format!(" on {table_name} via {index_name} {p}")
             }
-            PhysPlan::PkLookup { table_name, .. } => {
-                describe(f, "PkLookup", &format!(" on {table_name}"))?;
-            }
+            PhysPlan::PkLookup { table_name, .. } => format!(" on {table_name}"),
             PhysPlan::ProbeJoin {
-                left,
-                table_name,
-                source,
-                ..
+                table_name, source, ..
             } => {
                 let via = match source {
                     ProbeSource::PrimaryTree => "primary tree".to_owned(),
                     ProbeSource::Index(_, name) => format!("index {name}"),
                 };
-                describe(f, "ProbeJoin", &format!(" into {table_name} via {via}"))?;
+                format!(" into {table_name} via {via}")
+            }
+            PhysPlan::HashJoin { left_keys, .. } => format!(" on {} key(s)", left_keys.len()),
+            PhysPlan::Project { exprs, .. } => format!(" [{} col(s)]", exprs.len()),
+            PhysPlan::Aggregate { group_by, aggs, .. } => {
+                format!(" [{} key(s), {} agg(s)]", group_by.len(), aggs.len())
+            }
+            PhysPlan::Sort { keys, .. } => format!(" [{} key(s)]", keys.len()),
+            PhysPlan::Limit { limit, offset, .. } => format!(" [{limit:?} offset {offset}]"),
+        }
+    }
+
+    fn fmt_rec(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        writeln!(
+            f,
+            "{pad}{}{}  (rows≈{:.0}, {})",
+            self.op_name(),
+            self.op_detail(),
+            self.est_rows,
+            self.est_cost
+        )?;
+        match &self.op {
+            PhysPlan::DualScan
+            | PhysPlan::VirtualScan { .. }
+            | PhysPlan::SeqScan { .. }
+            | PhysPlan::IndexScan { .. }
+            | PhysPlan::PkLookup { .. } => {}
+            PhysPlan::ProbeJoin { left, .. } => {
                 left.fmt_rec(f, indent + 1)?;
             }
-            PhysPlan::NestedLoopJoin { left, right, .. } => {
-                describe(f, "NestedLoopJoin", "")?;
+            PhysPlan::NestedLoopJoin { left, right, .. }
+            | PhysPlan::HashJoin { left, right, .. } => {
                 left.fmt_rec(f, indent + 1)?;
                 right.fmt_rec(f, indent + 1)?;
             }
-            PhysPlan::HashJoin {
-                left,
-                right,
-                left_keys,
-                ..
-            } => {
-                describe(f, "HashJoin", &format!(" on {} key(s)", left_keys.len()))?;
-                left.fmt_rec(f, indent + 1)?;
-                right.fmt_rec(f, indent + 1)?;
-            }
-            PhysPlan::Filter { input, .. } => {
-                describe(f, "Filter", "")?;
-                input.fmt_rec(f, indent + 1)?;
-            }
-            PhysPlan::Project { input, exprs } => {
-                describe(f, "Project", &format!(" [{} col(s)]", exprs.len()))?;
-                input.fmt_rec(f, indent + 1)?;
-            }
-            PhysPlan::Aggregate {
-                input,
-                group_by,
-                aggs,
-                ..
-            } => {
-                describe(
-                    f,
-                    "Aggregate",
-                    &format!(" [{} key(s), {} agg(s)]", group_by.len(), aggs.len()),
-                )?;
-                input.fmt_rec(f, indent + 1)?;
-            }
-            PhysPlan::Sort { input, keys } => {
-                describe(f, "Sort", &format!(" [{} key(s)]", keys.len()))?;
-                input.fmt_rec(f, indent + 1)?;
-            }
-            PhysPlan::Distinct { input } => {
-                describe(f, "Distinct", "")?;
-                input.fmt_rec(f, indent + 1)?;
-            }
-            PhysPlan::Limit { input, limit, offset } => {
-                describe(f, "Limit", &format!(" [{limit:?} offset {offset}]"))?;
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Aggregate { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::Distinct { input }
+            | PhysPlan::Limit { input, .. } => {
                 input.fmt_rec(f, indent + 1)?;
             }
         }
@@ -314,10 +316,9 @@ impl PlanNode {
     /// Collect the indexes the plan uses (for the optimizer sensor).
     pub fn collect_indexes(&self, out: &mut Vec<IndexId>) {
         match &self.op {
-            PhysPlan::IndexScan { index, .. }
-                if !out.contains(index) => {
-                    out.push(*index);
-                }
+            PhysPlan::IndexScan { index, .. } if !out.contains(index) => {
+                out.push(*index);
+            }
             PhysPlan::NestedLoopJoin { left, right, .. }
             | PhysPlan::HashJoin { left, right, .. } => {
                 left.collect_indexes(out);

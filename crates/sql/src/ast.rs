@@ -77,8 +77,14 @@ pub enum Statement {
         /// Columns to build histograms for; empty = all.
         columns: Vec<String>,
     },
-    /// `EXPLAIN <statement>`
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <statement>`
+    Explain {
+        /// `EXPLAIN ANALYZE`: actually execute the plan instrumented and
+        /// render estimates alongside actuals.
+        analyze: bool,
+        /// The explained statement.
+        inner: Box<Statement>,
+    },
     /// `SET name = literal` (engine knobs).
     Set {
         /// Parameter name.

@@ -58,10 +58,49 @@ pub enum Token {
 
 /// All reserved words. Everything else lexes as [`Token::Ident`].
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "AS", "JOIN", "INNER", "ON", "GROUP", "BY",
-    "HAVING", "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "INSERT", "INTO", "VALUES", "UPDATE",
-    "SET", "DELETE", "CREATE", "TABLE", "DROP", "INDEX", "UNIQUE", "PRIMARY", "KEY", "MODIFY",
-    "TO", "STATISTICS", "EXPLAIN", "NULL", "TRUE", "FALSE", "IS", "IN", "BETWEEN", "LIKE",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "JOIN",
+    "INNER",
+    "ON",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "DROP",
+    "INDEX",
+    "UNIQUE",
+    "PRIMARY",
+    "KEY",
+    "MODIFY",
+    "TO",
+    "STATISTICS",
+    "EXPLAIN",
+    "ANALYZE",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "IS",
+    "IN",
+    "BETWEEN",
+    "LIKE",
     "DISTINCT",
 ];
 
@@ -268,8 +307,7 @@ impl<'a> Lexer<'a> {
                 }
             }
             c if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
-                while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'$')
-                {
+                while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'$') {
                     self.pos += 1;
                 }
                 let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
@@ -319,10 +357,7 @@ mod tests {
         assert_eq!(lex("1e3")[0], Token::Float(1000.0));
         assert_eq!(lex("2.5e-1")[0], Token::Float(0.25));
         // A bare `1e` is an int followed by an ident.
-        assert_eq!(
-            lex("1e")[..2],
-            [Token::Int(1), Token::Ident("e".into())]
-        );
+        assert_eq!(lex("1e")[..2], [Token::Int(1), Token::Ident("e".into())]);
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(Error::parse(format!("expected {t:?}, found {:?}", self.peek())))
+            Err(Error::parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -117,11 +120,16 @@ impl Parser {
             // keyword where an identifier is required except the statement
             // starters.
             Token::Keyword(k)
-                if !matches!(k, "SELECT" | "FROM" | "WHERE" | "GROUP" | "ORDER" | "AND" | "OR") =>
+                if !matches!(
+                    k,
+                    "SELECT" | "FROM" | "WHERE" | "GROUP" | "ORDER" | "AND" | "OR"
+                ) =>
             {
                 Ok(k.to_ascii_lowercase())
             }
-            other => Err(Error::parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -137,7 +145,11 @@ impl Parser {
             Token::Keyword("MODIFY") => self.parse_modify(),
             Token::Keyword("EXPLAIN") => {
                 self.bump();
-                Ok(Statement::Explain(Box::new(self.parse_stmt()?)))
+                let analyze = self.eat_kw("ANALYZE");
+                Ok(Statement::Explain {
+                    analyze,
+                    inner: Box::new(self.parse_stmt()?),
+                })
             }
             Token::Keyword("SET") => self.parse_set(),
             other => Err(Error::parse(format!("unexpected token {other:?}"))),
@@ -497,10 +509,14 @@ impl Parser {
     fn parse_drop(&mut self) -> Result<Statement> {
         self.expect_kw("DROP")?;
         if self.eat_kw("TABLE") {
-            return Ok(Statement::DropTable { name: self.ident()? });
+            return Ok(Statement::DropTable {
+                name: self.ident()?,
+            });
         }
         if self.eat_kw("INDEX") {
-            return Ok(Statement::DropIndex { name: self.ident()? });
+            return Ok(Statement::DropIndex {
+                name: self.ident()?,
+            });
         }
         Err(Error::parse(format!(
             "expected TABLE or INDEX after DROP, found {:?}",
@@ -771,10 +787,8 @@ mod tests {
     #[test]
     fn paper_join_query() {
         // The paper's 50k-test statement shape.
-        let s = sel(
-            "select p.nref_id, sequence, ordinal from protein p \
-             join organism o on p.nref_id = o.nref_id where p.nref_id = 'NF001'",
-        );
+        let s = sel("select p.nref_id, sequence, ordinal from protein p \
+             join organism o on p.nref_id = o.nref_id where p.nref_id = 'NF001'");
         assert_eq!(s.items.len(), 3);
         assert_eq!(s.from[0].joins.len(), 1);
         assert_eq!(s.from[0].joins[0].name, "organism");
@@ -786,10 +800,8 @@ mod tests {
 
     #[test]
     fn group_order_limit() {
-        let s = sel(
-            "select taxon_id, count(*) as n, avg(len) from protein \
-             group by taxon_id having count(*) > 10 order by n desc, taxon_id limit 5 offset 2",
-        );
+        let s = sel("select taxon_id, count(*) as n, avg(len) from protein \
+             group by taxon_id having count(*) > 10 order by n desc, taxon_id limit 5 offset 2");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
         assert_eq!(s.order_by.len(), 2);
@@ -806,10 +818,7 @@ mod tests {
             panic!()
         };
         assert_eq!(op, BinOp::Or);
-        assert!(matches!(
-            *left,
-            Expr::Binary { op: BinOp::And, .. }
-        ));
+        assert!(matches!(*left, Expr::Binary { op: BinOp::And, .. }));
     }
 
     #[test]
@@ -818,17 +827,17 @@ mod tests {
         let SelectItem::Expr { expr, .. } = &s.items[0] else {
             panic!()
         };
-        let Expr::Binary { op, right, .. } = expr else { panic!() };
+        let Expr::Binary { op, right, .. } = expr else {
+            panic!()
+        };
         assert_eq!(*op, BinOp::Add);
         assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]
     fn between_in_like_is_null() {
-        let s = sel(
-            "select 1 from t where a between 1 and 5 and b in (1, 2) \
-             and c like 'NF%' and d is not null and e not in (3)",
-        );
+        let s = sel("select 1 from t where a between 1 and 5 and b in (1, 2) \
+             and c like 'NF%' and d is not null and e not in (3)");
         let conj = s.filter.as_ref().unwrap().conjuncts().len();
         assert_eq!(conj, 5);
     }
@@ -839,7 +848,12 @@ mod tests {
             "insert into protein (nref_id, name) values ('NF1', 'a'), ('NF2', 'b')",
         )
         .unwrap();
-        let Statement::Insert { table, columns, rows } = st else {
+        let Statement::Insert {
+            table,
+            columns,
+            rows,
+        } = st
+        else {
             panic!()
         };
         assert_eq!(table, "protein");
@@ -866,17 +880,19 @@ mod tests {
              name text, len int, score float)",
         )
         .unwrap();
-        let Statement::CreateTable { columns, primary_key, .. } = st else {
+        let Statement::CreateTable {
+            columns,
+            primary_key,
+            ..
+        } = st
+        else {
             panic!()
         };
         assert_eq!(columns.len(), 4);
         assert_eq!(primary_key, vec!["nref_id"]);
         assert!(columns[0].not_null);
 
-        let st = parse_statement(
-            "create table m (a int, b int, primary key (a, b))",
-        )
-        .unwrap();
+        let st = parse_statement("create table m (a int, b int, primary key (a, b))").unwrap();
         let Statement::CreateTable { primary_key, .. } = st else {
             panic!()
         };
@@ -905,16 +921,21 @@ mod tests {
         ));
         assert!(matches!(
             parse_statement("explain select 1 from t").unwrap(),
-            Statement::Explain(_)
+            Statement::Explain { analyze: false, .. }
         ));
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE select 1 from t").unwrap(),
+            Statement::Explain { analyze: true, .. }
+        ));
+        // ANALYZE only has meaning directly after EXPLAIN.
+        assert!(parse_statement("analyze select 1 from t").is_err());
     }
 
     #[test]
     fn script_parsing() {
-        let stmts = parse_statements(
-            "create table t (a int); insert into t values (1); select * from t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("create table t (a int); insert into t values (1); select * from t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
         assert!(parse_statements("").unwrap().is_empty());
         assert!(parse_statements(";;").unwrap().is_empty());
@@ -953,9 +974,16 @@ mod tests {
         assert_eq!(s.items.len(), 3);
         assert!(matches!(
             s.items[0],
-            SelectItem::Expr { expr: Expr::CountStar, .. }
+            SelectItem::Expr {
+                expr: Expr::CountStar,
+                ..
+            }
         ));
-        let SelectItem::Expr { expr: Expr::Call { distinct, .. }, .. } = &s.items[1] else {
+        let SelectItem::Expr {
+            expr: Expr::Call { distinct, .. },
+            ..
+        } = &s.items[1]
+        else {
             panic!()
         };
         assert!(distinct);

@@ -1,0 +1,178 @@
+//! Log₂-bucketed latency histogram.
+//!
+//! Bucket `b` counts observations in `[2^b, 2^(b+1) - 1]` nanoseconds (zero
+//! lands in bucket 0). 64 buckets cover the full `u64` range, so recording is
+//! a single increment with no dynamic allocation — cheap enough to run inside
+//! the statement path. Quantiles (p50/p95/p99) are derivable from the bucket
+//! counts, either via [`LatencyHistogram::quantile_upper_bound`] or in SQL
+//! over `ima$latency_histograms`.
+
+/// Fixed-size log₂ histogram of nanosecond latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; 64],
+    total: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the log₂ bucket covering `ns`.
+pub fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        63 - ns.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` nanosecond range of bucket `b`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    let lo = if b == 0 { 0 } else { 1u64 << b };
+    let hi = if b >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (b + 1)) - 1
+    };
+    (lo, hi)
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; 64],
+            total: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one latency observation.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.total += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Per-bucket counts (index = log₂ bucket).
+    pub fn counts(&self) -> &[u64; 64] {
+        &self.counts
+    }
+
+    /// Non-empty buckets as `(bucket, lo_ns, hi_ns, count, cum_count)` rows —
+    /// the shape `ima$latency_histograms` exposes.
+    pub fn rows(&self) -> Vec<(usize, u64, u64, u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (b, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            cum += count;
+            let (lo, hi) = bucket_bounds(b);
+            out.push((b, lo, hi, count, cum));
+        }
+        out
+    }
+
+    /// Upper bound (inclusive bucket boundary) of the `q`-quantile, `q` in
+    /// `[0, 1]`. Resolution is one log₂ bucket; returns 0 when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (b, &count) in self.counts.iter().enumerate() {
+            cum += count;
+            if cum >= rank {
+                return bucket_bounds(b).1;
+            }
+        }
+        self.max_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_bounds(0), (0, 1));
+        assert_eq!(bucket_bounds(10), (1024, 2047));
+        assert_eq!(bucket_bounds(63), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn record_and_rows() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100, 150, 1_500, 1_600, 1_700, 2_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.min_ns(), 100);
+        assert_eq!(h.max_ns(), 2_000_000);
+        let rows = h.rows();
+        // Buckets: 6 (64-127: 100), 7 (128-255: 150), 10 (1024-2047: three),
+        // 20 (~1M-2M: one).
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], (6, 64, 127, 1, 1));
+        assert_eq!(rows[1], (7, 128, 255, 1, 2));
+        assert_eq!(rows[2].3, 3);
+        assert_eq!(rows[2].4, 5);
+        assert_eq!(rows[3].4, 6);
+        // Cumulative counts end at total.
+        assert_eq!(rows.last().unwrap().4, h.total());
+    }
+
+    #[test]
+    fn quantiles_track_buckets() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(1_000); // bucket 9: [512, 1023]
+        }
+        h.record(1_000_000); // bucket 19
+        assert_eq!(h.quantile_upper_bound(0.5), 1023);
+        assert_eq!(h.quantile_upper_bound(0.95), 1023);
+        assert_eq!(h.quantile_upper_bound(1.0), bucket_bounds(19).1);
+        assert_eq!(LatencyHistogram::new().quantile_upper_bound(0.5), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Span model: pipeline stages and per-operator execution spans.
+//!
+//! A statement moving through the engine produces one [`StageSpan`] per
+//! pipeline stage (parse → bind → optimize → execute → result) and, while the
+//! executor runs, one [`OperatorSpan`] per physical plan node. Spans carry the
+//! evidence the paper's statement-level monitor cannot: *where inside the
+//! plan* rows, pages and time went.
+
+use ingot_common::{MonotonicClock, StmtHash};
+
+/// Pipeline stage a statement passes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// SQL text → AST.
+    Parse,
+    /// AST → bound statement (catalog resolution).
+    Bind,
+    /// Bound statement → physical plan.
+    Optimize,
+    /// Plan execution (operators run inside this stage).
+    Execute,
+    /// Everything after execution: result materialisation, sensor
+    /// bookkeeping, lock release — the wall-clock remainder.
+    Result,
+}
+
+impl Stage {
+    /// Stable lowercase name used in rendered output and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Bind => "bind",
+            Stage::Optimize => "optimize",
+            Stage::Execute => "execute",
+            Stage::Result => "result",
+        }
+    }
+}
+
+/// Elapsed time of one pipeline stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageSpan {
+    pub stage: Stage,
+    pub elapsed_ns: u64,
+}
+
+/// One executed physical operator, with actuals alongside the optimizer's
+/// estimates for the same node.
+#[derive(Debug, Clone)]
+pub struct OperatorSpan {
+    /// Pre-order position in the plan tree (root = 0); stable across
+    /// executions of the same plan, so aggregation can key on it.
+    pub op_id: u32,
+    /// `op_id` of the parent operator, `None` for the root.
+    pub parent: Option<u32>,
+    /// Tree depth (root = 0), for indented rendering.
+    pub depth: u32,
+    /// Operator name, e.g. `"HashJoin"`.
+    pub op: String,
+    /// Operator-specific detail, e.g. `" on protein via protein_pk eq(1)"`.
+    pub detail: String,
+    /// Optimizer-estimated output rows for this node.
+    pub est_rows: f64,
+    /// Optimizer-estimated total cost (CPU + I/O units) for this subtree.
+    pub est_cost: f64,
+    /// Sum of the direct children's `rows_out` (0 for leaves).
+    pub rows_in: u64,
+    /// Rows this operator produced.
+    pub rows_out: u64,
+    /// Tuple-processing work charged to this operator *exclusively* (children
+    /// excluded). Summing over a plan's spans reproduces the statement-level
+    /// `exec_cpu` the monitor records.
+    pub tuples: u64,
+    /// Pages read/written while this subtree ran (inclusive of children).
+    pub pages: u64,
+    /// Wall-clock time of this subtree (inclusive of children).
+    pub elapsed_ns: u64,
+}
+
+/// Complete trace of one statement execution.
+#[derive(Debug, Clone)]
+pub struct StatementTrace {
+    pub hash: StmtHash,
+    pub wallclock_ns: u64,
+    pub stages: Vec<StageSpan>,
+    pub ops: Vec<OperatorSpan>,
+}
+
+/// Render a span list as an indented operator tree, one line per operator,
+/// annotated with estimates and actuals — the body of `EXPLAIN ANALYZE`.
+pub fn render_operator_tree(ops: &[OperatorSpan]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        let pad = "  ".repeat(op.depth as usize);
+        out.push_str(&format!(
+            "{pad}{}{}  (est rows={:.0}, act rows={}, tuples={}, pages={}, time={:.3} ms)\n",
+            op.op,
+            op.detail,
+            op.est_rows,
+            op.rows_out,
+            op.tuples,
+            op.pages,
+            op.elapsed_ns as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+/// Open frame returned by [`SpanCollector::enter`]; hand it back to
+/// [`SpanCollector::exit`] when the operator finishes.
+#[derive(Debug)]
+pub struct SpanFrame {
+    idx: usize,
+    saved_parent: Option<u32>,
+    start_ns: u64,
+}
+
+/// Builds the operator-span list for one plan execution.
+///
+/// The executor calls [`enter`](Self::enter) before recursing into a node and
+/// [`exit`](Self::exit) after; [`finish`](Self::finish) post-processes the
+/// raw inclusive measurements into the `rows_in` / exclusive-`tuples` form of
+/// [`OperatorSpan`].
+pub struct SpanCollector {
+    clock: MonotonicClock,
+    spans: Vec<OperatorSpan>,
+    current_parent: Option<u32>,
+}
+
+impl SpanCollector {
+    pub fn new(clock: MonotonicClock) -> Self {
+        SpanCollector {
+            clock,
+            spans: Vec::new(),
+            current_parent: None,
+        }
+    }
+
+    /// Open a span for one operator. Assigns the next pre-order id and makes
+    /// it the parent of any span opened before the matching [`exit`].
+    ///
+    /// [`exit`]: Self::exit
+    pub fn enter(&mut self, op: &str, detail: String, est_rows: f64, est_cost: f64) -> SpanFrame {
+        let id = self.spans.len() as u32;
+        let parent = self.current_parent;
+        let depth = parent
+            .map(|p| self.spans[p as usize].depth + 1)
+            .unwrap_or(0);
+        self.spans.push(OperatorSpan {
+            op_id: id,
+            parent,
+            depth,
+            op: op.to_string(),
+            detail,
+            est_rows,
+            est_cost,
+            rows_in: 0,
+            rows_out: 0,
+            tuples: 0,
+            pages: 0,
+            elapsed_ns: 0,
+        });
+        let saved_parent = self.current_parent;
+        self.current_parent = Some(id);
+        SpanFrame {
+            idx: id as usize,
+            saved_parent,
+            start_ns: self.clock.now_nanos(),
+        }
+    }
+
+    /// Close the span opened by `frame`. `tuples_incl` and `pages_incl` are
+    /// measured inclusively (subtree totals); [`finish`](Self::finish) turns
+    /// tuples into exclusive self-work.
+    pub fn exit(&mut self, frame: SpanFrame, rows_out: u64, tuples_incl: u64, pages_incl: u64) {
+        let elapsed = self.clock.now_nanos().saturating_sub(frame.start_ns);
+        let span = &mut self.spans[frame.idx];
+        span.rows_out = rows_out;
+        span.tuples = tuples_incl;
+        span.pages = pages_incl;
+        span.elapsed_ns = elapsed;
+        self.current_parent = frame.saved_parent;
+    }
+
+    /// Finalise: compute `rows_in` from children and convert inclusive tuple
+    /// counts to exclusive self-work. The exclusive counts sum to the root's
+    /// inclusive count, i.e. to the statement's `exec_cpu`.
+    pub fn finish(mut self) -> Vec<OperatorSpan> {
+        let n = self.spans.len();
+        let mut child_rows = vec![0u64; n];
+        let mut child_tuples = vec![0u64; n];
+        for i in 0..n {
+            if let Some(p) = self.spans[i].parent {
+                child_rows[p as usize] += self.spans[i].rows_out;
+                child_tuples[p as usize] += self.spans[i].tuples;
+            }
+        }
+        for i in 0..n {
+            self.spans[i].rows_in = child_rows[i];
+            self.spans[i].tuples = self.spans[i].tuples.saturating_sub(child_tuples[i]);
+        }
+        self.spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_builds_preorder_tree_with_exclusive_tuples() {
+        let clock = MonotonicClock::new();
+        let mut c = SpanCollector::new(clock);
+        // Root with two children; inclusive tuples 100, children 30 + 20.
+        let root = c.enter("HashJoin", String::new(), 50.0, 123.0);
+        let left = c.enter("SeqScan", " on a".into(), 40.0, 60.0);
+        c.exit(left, 40, 30, 4);
+        let right = c.enter("SeqScan", " on b".into(), 10.0, 20.0);
+        c.exit(right, 10, 20, 2);
+        c.exit(root, 25, 100, 6);
+        let spans = c.finish();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].op_id, 0);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+        assert_eq!(spans[1].depth, 1);
+        // rows_in of root = children rows_out.
+        assert_eq!(spans[0].rows_in, 50);
+        // Exclusive tuples: 100 - (30 + 20) = 50; children keep their own.
+        assert_eq!(spans[0].tuples, 50);
+        assert_eq!(spans[1].tuples, 30);
+        assert_eq!(spans[2].tuples, 20);
+        // Exclusive sum equals root inclusive.
+        let sum: u64 = spans.iter().map(|s| s.tuples).sum();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let clock = MonotonicClock::new();
+        let mut c = SpanCollector::new(clock);
+        let root = c.enter("Filter", String::new(), 1.0, 1.0);
+        let child = c.enter("SeqScan", " on t".into(), 2.0, 2.0);
+        c.exit(child, 2, 2, 1);
+        c.exit(root, 1, 3, 1);
+        let text = render_operator_tree(&c.finish());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("Filter"));
+        assert!(lines[1].starts_with("  SeqScan on t"));
+        assert!(lines[1].contains("act rows=2"));
+        assert!(lines[1].contains("pages=1"));
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(Stage::Parse.name(), "parse");
+        assert_eq!(Stage::Result.name(), "result");
+    }
+}

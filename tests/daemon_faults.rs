@@ -123,8 +123,15 @@ fn run_scenario(outage: bool) -> BTreeMap<&'static str, u64> {
 
 #[test]
 fn transient_outage_loses_no_snapshots() {
-    let healthy = run_scenario(false);
-    let faulted = run_scenario(true);
+    let mut healthy = run_scenario(false);
+    let mut faulted = run_scenario(true);
+    // wl_metrics is a per-successful-poll time series of engine gauges, not
+    // cursor-driven snapshot data: the outage run performs fewer successful
+    // polls, so it holds fewer (but still some) metrics samples.
+    let healthy_metrics = healthy.remove("wl_metrics").unwrap();
+    let faulted_metrics = faulted.remove("wl_metrics").unwrap();
+    assert!(healthy_metrics > 0 && faulted_metrics > 0);
+    assert!(faulted_metrics <= healthy_metrics);
     assert_eq!(
         healthy, faulted,
         "after healing, every table must hold exactly the no-fault row counts"
@@ -179,7 +186,8 @@ fn torn_flush_recovery_truncates_only_the_tail() {
     {
         let engine = Engine::new(EngineConfig::monitoring());
         let s = engine.open_session();
-        s.execute("create table t (a int not null, b text)").unwrap();
+        s.execute("create table t (a int not null, b text)")
+            .unwrap();
         for i in 0..200 {
             s.execute(&format!("insert into t values ({i}, 'persisted row {i}')"))
                 .unwrap();
@@ -201,7 +209,10 @@ fn torn_flush_recovery_truncates_only_the_tail() {
     let clean_len = std::fs::metadata(&victim).unwrap().len();
     {
         use std::io::Write;
-        let mut f = std::fs::OpenOptions::new().append(true).open(&victim).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&victim)
+            .unwrap();
         f.write_all(&vec![0xAB; PAGE_SIZE + PAGE_SIZE / 2]).unwrap();
     }
 
@@ -227,7 +238,11 @@ fn torn_flush_recovery_truncates_only_the_tail() {
     let s = engine.open_session();
     s.execute("create table fresh (a int)").unwrap();
     let wldb = Arc::new(WorkloadDb::file_backed(&dir, engine.sim_clock().clone()).unwrap());
-    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+    let daemon = StorageDaemon::new(
+        Arc::clone(&engine),
+        Arc::clone(&wldb),
+        DaemonConfig::default(),
+    );
     daemon.poll_once().unwrap();
     assert_eq!(daemon.health().state(), HealthState::Healthy);
     assert!(wldb.row_count("wl_workload").unwrap() > 0);

@@ -1,0 +1,47 @@
+//! Property test: the per-operator span decomposition is *exact* — the
+//! exclusive tuple counts across a query's operator spans sum to the
+//! statement-level actual CPU cost (`exec_cpu`) that the monitor records,
+//! for arbitrary table contents and access paths.
+
+use ingot::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn span_tuples_sum_to_statement_exec_cpu(
+        rows in 1usize..120,
+        modulo in 1i64..12,
+        probe in 0i64..140,
+    ) {
+        let e = Engine::new(EngineConfig::tracing());
+        let s = e.open_session();
+        s.execute("create table t (id int not null primary key, v int)").unwrap();
+        for i in 0..rows {
+            s.execute(&format!("insert into t values ({i}, {})", i as i64 % modulo)).unwrap();
+        }
+        for sql in [
+            format!("select v from t where id = {probe}"),
+            format!("select count(*) from t where v = {}", probe % modulo),
+            "select id, v from t order by v limit 5".to_string(),
+        ] {
+            s.execute(&sql).unwrap();
+            let rec = e.monitor().unwrap().workload().last().unwrap().clone();
+            let trace = e.tracer().unwrap().recent_traces().last().unwrap().clone();
+            prop_assert_eq!(trace.hash, rec.hash, "trace and record describe the same stmt");
+            let sum: u64 = trace.ops.iter().map(|o| o.tuples).sum();
+            prop_assert_eq!(sum, rec.exec_cpu, "spans must decompose exec_cpu for {}", sql);
+            // rows_out of the root operator equals the result cardinality
+            // recorded in the trace's span tree (consistency of the tree).
+            for op in &trace.ops {
+                let child_out: u64 = trace
+                    .ops
+                    .iter()
+                    .filter(|c| c.parent == Some(op.op_id))
+                    .map(|c| c.rows_out)
+                    .sum();
+                prop_assert_eq!(op.rows_in, child_out, "rows_in is the children's rows_out");
+            }
+        }
+    }
+}
