@@ -104,8 +104,12 @@ pub fn recommend_indexes(
             let mut benefit = 0.0;
             let mut helped = 0usize;
             for (text, weight) in &queries {
-                let Some(&base) = current_cost.get(text) else { continue };
-                let Ok(est) = engine.estimate(text, true) else { continue };
+                let Some(&base) = current_cost.get(text) else {
+                    continue;
+                };
+                let Ok(est) = engine.estimate(text, true) else {
+                    continue;
+                };
                 // Only count queries whose chosen plan actually uses the
                 // candidate — the optimizer's decision, not ours.
                 if est.used_indexes.contains(&cand_id) {
@@ -120,7 +124,9 @@ pub fn recommend_indexes(
                 best = Some((ci, benefit, helped));
             }
         }
-        let Some((ci, benefit, helped)) = best else { break };
+        let Some((ci, benefit, helped)) = best else {
+            break;
+        };
         if benefit < config.min_benefit {
             break;
         }
@@ -162,7 +168,9 @@ fn generate_candidates(engine: &Arc<Engine>, view: &WorkloadView) -> Vec<IndexCa
     let catalog = engine.catalog().read();
     let mut out = Vec::new();
     for attr in &view.attributes {
-        let Ok(entry) = catalog.table(attr.table) else { continue };
+        let Ok(entry) = catalog.table(attr.table) else {
+            continue;
+        };
         // Skip the clustered key of a BTree table — keyed access exists.
         if entry.meta.storage == ingot_catalog::StorageStructure::BTree
             && entry.meta.primary_key == [attr.column]
@@ -170,9 +178,10 @@ fn generate_candidates(engine: &Arc<Engine>, view: &WorkloadView) -> Vec<IndexCa
             continue;
         }
         // Skip columns already leading an existing real index.
-        let covered = catalog.indexes_of(attr.table).iter().any(|idx| {
-            !idx.meta.is_virtual && idx.meta.columns.first() == Some(&attr.column)
-        });
+        let covered = catalog
+            .indexes_of(attr.table)
+            .iter()
+            .any(|idx| !idx.meta.is_virtual && idx.meta.columns.first() == Some(&attr.column));
         if covered {
             continue;
         }
@@ -220,8 +229,11 @@ mod tests {
         let out = recommend_indexes(&AdvisorConfig::default(), &engine, &view).unwrap();
         assert_eq!(out.chosen_candidates.len(), 1, "{:?}", out.recommendations);
         assert_eq!(out.chosen_candidates[0].column_names, vec!["nref_id"]);
-        let Recommendation::CreateIndex { statements_helped, benefit, .. } =
-            &out.recommendations[0]
+        let Recommendation::CreateIndex {
+            statements_helped,
+            benefit,
+            ..
+        } = &out.recommendations[0]
         else {
             panic!()
         };
@@ -245,17 +257,21 @@ mod tests {
         let s = engine.open_session();
         s.execute("create table t (a int not null, b int)").unwrap();
         for i in 0..3000 {
-            s.execute(&format!("insert into t values ({i}, {i})")).unwrap();
+            s.execute(&format!("insert into t values ({i}, {i})"))
+                .unwrap();
         }
         s.execute("create statistics on t").unwrap();
         s.execute("create index t_a on t (a)").unwrap();
         for i in 0..5 {
-            s.execute(&format!("select b from t where a = {i}")).unwrap();
+            s.execute(&format!("select b from t where a = {i}"))
+                .unwrap();
         }
         let view = WorkloadView::from_monitor(engine.monitor().unwrap());
         let out = recommend_indexes(&AdvisorConfig::default(), &engine, &view).unwrap();
         assert!(
-            out.chosen_candidates.iter().all(|c| c.column_names != vec!["a"]),
+            out.chosen_candidates
+                .iter()
+                .all(|c| c.column_names != vec!["a"]),
             "existing index must not be re-recommended: {:?}",
             out.recommendations
         );

@@ -95,7 +95,10 @@ impl Analyzer {
             let mut catalog = engine.catalog().write();
             let mut backup = Vec::new();
             for t in &view.tables {
-                let needs = catalog.table(t.id).map(|e| e.stats.is_none()).unwrap_or(false);
+                let needs = catalog
+                    .table(t.id)
+                    .map(|e| e.stats.is_none())
+                    .unwrap_or(false);
                 if needs {
                     backup.push(t.id);
                     catalog.collect_statistics(t.id, &[], now)?;
@@ -162,10 +165,8 @@ mod tests {
     fn full_analysis_loop() {
         let engine = Engine::new(EngineConfig::monitoring());
         let s = engine.open_session();
-        s.execute(
-            "create table protein (nref_id int not null primary key, name text, len int)",
-        )
-        .unwrap();
+        s.execute("create table protein (nref_id int not null primary key, name text, len int)")
+            .unwrap();
         for i in 0..3000 {
             s.execute(&format!(
                 "insert into protein values ({i}, 'p{i}', {})",

@@ -277,8 +277,14 @@ mod tests {
         // Actual bar is the longest.
         let lines: Vec<&str> = text.lines().collect();
         let count = |l: &str| l.chars().filter(|&c| c == '#').count();
-        let a = lines.iter().find(|l| l.trim_start().starts_with("a ")).unwrap();
-        let v = lines.iter().find(|l| l.trim_start().starts_with("v ")).unwrap();
+        let a = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("a "))
+            .unwrap();
+        let v = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("v "))
+            .unwrap();
         assert!(count(a) > count(v));
     }
 

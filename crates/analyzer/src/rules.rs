@@ -65,7 +65,11 @@ impl Recommendation {
     /// One-line human-readable description, in the paper's report style.
     pub fn describe(&self) -> String {
         match self {
-            Recommendation::CollectStatistics { table, columns, reason } => {
+            Recommendation::CollectStatistics {
+                table,
+                columns,
+                reason,
+            } => {
                 if columns.is_empty() {
                     format!("Collect statistics on '{table}': {reason}")
                 } else {
@@ -75,7 +79,10 @@ impl Recommendation {
                     )
                 }
             }
-            Recommendation::ModifyToBTree { table, overflow_ratio } => format!(
+            Recommendation::ModifyToBTree {
+                table,
+                overflow_ratio,
+            } => format!(
                 "Table '{table}' has {:.0} % overflow pages: modify to storage structure B-Tree",
                 overflow_ratio * 100.0
             ),
@@ -123,7 +130,9 @@ pub fn statistics_rules(config: &AnalyzerConfig, view: &WorkloadView) -> Vec<Rec
         }
     }
     for (table, count) in diverging {
-        let Some(name) = names.get(&table) else { continue };
+        let Some(name) = names.get(&table) else {
+            continue;
+        };
         out.push(Recommendation::CollectStatistics {
             table: (*name).to_owned(),
             columns: Vec::new(),
@@ -143,11 +152,13 @@ pub fn statistics_rules(config: &AnalyzerConfig, view: &WorkloadView) -> Vec<Rec
     }
     for (table, columns) in missing {
         // Skip if rule 1 already recommends whole-table statistics.
-        let Some(name) = names.get(&table) else { continue };
-        if out.iter().any(
-            |r| matches!(r, Recommendation::CollectStatistics { table: t, columns, .. }
-                if t == name && columns.is_empty()),
-        ) {
+        let Some(name) = names.get(&table) else {
+            continue;
+        };
+        if out.iter().any(|r| {
+            matches!(r, Recommendation::CollectStatistics { table: t, columns, .. }
+                if t == name && columns.is_empty())
+        }) {
             continue;
         }
         out.push(Recommendation::CollectStatistics {
@@ -224,9 +235,9 @@ mod tests {
             ..Default::default()
         };
         let recs = statistics_rules(&cfg, &view);
-        assert!(recs
-            .iter()
-            .any(|r| matches!(r, Recommendation::CollectStatistics { table, .. } if table == "protein")));
+        assert!(recs.iter().any(
+            |r| matches!(r, Recommendation::CollectStatistics { table, .. } if table == "protein")
+        ));
         // Below the noise floor: no firing.
         let quiet = WorkloadView {
             statements: vec![stmt(1.0, 50.0)],

@@ -149,12 +149,7 @@ pub fn predict_statistics_metric(
     ))?;
     let series: Vec<(u64, f64)> = rows
         .iter()
-        .filter_map(|r| {
-            Some((
-                r.get(0).as_int()? as u64,
-                r.get(1).as_f64()?,
-            ))
-        })
+        .filter_map(|r| Some((r.get(0).as_int()? as u64, r.get(1).as_f64()?)))
         .collect();
     Ok(Trend::fit(&series).map(|trend| Prediction {
         metric: metric.to_owned(),
@@ -193,7 +188,9 @@ mod tests {
 
     #[test]
     fn exact_linear_fit() {
-        let series: Vec<(u64, f64)> = (0..10).map(|t| (t * 60, 5.0 + 2.0 * (t * 60) as f64)).collect();
+        let series: Vec<(u64, f64)> = (0..10)
+            .map(|t| (t * 60, 5.0 + 2.0 * (t * 60) as f64))
+            .collect();
         let t = Trend::fit(&series).unwrap();
         assert!((t.slope - 2.0).abs() < 1e-9);
         assert!((t.intercept - 5.0).abs() < 1e-6);
@@ -213,16 +210,14 @@ mod tests {
 
     #[test]
     fn noisy_series_has_lower_r2() {
-        let series = vec![
-            (0, 0.0),
-            (10, 25.0),
-            (20, 10.0),
-            (30, 45.0),
-            (40, 30.0),
-        ];
+        let series = vec![(0, 0.0), (10, 25.0), (20, 10.0), (30, 45.0), (40, 30.0)];
         let t = Trend::fit(&series).unwrap();
         assert!(t.slope > 0.0);
-        assert!(t.r_squared < 0.95, "noise must lower R², got {}", t.r_squared);
+        assert!(
+            t.r_squared < 0.95,
+            "noise must lower R², got {}",
+            t.r_squared
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct StmtAgg {
 impl StmtAgg {
     /// True for statements the advisor/what-if machinery can re-plan.
     pub fn is_query(&self) -> bool {
-        self.text.trim_start().to_ascii_lowercase().starts_with("select")
+        self.text
+            .trim_start()
+            .to_ascii_lowercase()
+            .starts_with("select")
     }
 
     /// Mean actual total cost per execution.
@@ -153,8 +156,7 @@ impl WorkloadView {
                 }
             }
         }
-        let mut statements: Vec<StmtAgg> =
-            agg.into_values().filter(|a| a.executions > 0).collect();
+        let mut statements: Vec<StmtAgg> = agg.into_values().filter(|a| a.executions > 0).collect();
         statements.sort_by(|a, b| {
             b.actual
                 .total()
@@ -251,9 +253,9 @@ impl WorkloadView {
                 a.wallclock_ns += row.get(5).as_int().unwrap_or(0) as u64;
             }
         }
-        for row in db.query(
-            "select hash, table_id from wl_references where object_type = 'table'",
-        )? {
+        for row in
+            db.query("select hash, table_id from wl_references where object_type = 'table'")?
+        {
             let hash = row.get(0).as_str().unwrap_or_default();
             let table = TableId(row.get(1).as_int().unwrap_or(0) as u32);
             if let Some(a) = agg.get_mut(hash) {
@@ -262,8 +264,7 @@ impl WorkloadView {
                 }
             }
         }
-        let mut statements: Vec<StmtAgg> =
-            agg.into_values().filter(|a| a.executions > 0).collect();
+        let mut statements: Vec<StmtAgg> = agg.into_values().filter(|a| a.executions > 0).collect();
         statements.sort_by(|a, b| {
             b.actual
                 .total()

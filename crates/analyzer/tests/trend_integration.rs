@@ -14,13 +14,18 @@ fn predicts_table_growth_from_workload_db() {
     let s = engine.open_session();
     s.execute("create table events (id int)").unwrap();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
-    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+    let daemon = StorageDaemon::new(
+        Arc::clone(&engine),
+        Arc::clone(&wldb),
+        DaemonConfig::default(),
+    );
 
     // Steady growth: 100 rows per simulated hour, sampled by the daemon.
     let mut next_id = 0;
     for _hour in 0..6 {
         for _ in 0..100 {
-            s.execute(&format!("insert into events values ({next_id})")).unwrap();
+            s.execute(&format!("insert into events values ({next_id})"))
+                .unwrap();
             next_id += 1;
         }
         // A statement touching the table refreshes the monitor's row count.
@@ -33,7 +38,11 @@ fn predicts_table_growth_from_workload_db() {
         .unwrap()
         .expect("enough samples");
     assert!(p.trend.slope > 0.0);
-    assert!(p.trend.r_squared > 0.99, "steady growth fits a line: {:?}", p.trend);
+    assert!(
+        p.trend.r_squared > 0.99,
+        "steady growth fits a line: {:?}",
+        p.trend
+    );
     let crossing = p.crosses_at_secs.expect("upward trend crosses");
     // 100 rows/h from ~t0 ⇒ 1200 rows at ~12 h; allow generous slack.
     let hours = crossing / 3600;
@@ -46,11 +55,16 @@ fn predicts_statistics_metric() {
     let s = engine.open_session();
     s.execute("create table t (a int)").unwrap();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
-    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+    let daemon = StorageDaemon::new(
+        Arc::clone(&engine),
+        Arc::clone(&wldb),
+        DaemonConfig::default(),
+    );
     for i in 0..5 {
         // statements_executed grows monotonically with the workload.
         for j in 0..(10 * (i + 1)) {
-            s.execute(&format!("select a from t where a = {j}")).unwrap();
+            s.execute(&format!("select a from t where a = {j}"))
+                .unwrap();
         }
         daemon.poll_once().unwrap();
         engine.sim_clock().advance_secs(60);

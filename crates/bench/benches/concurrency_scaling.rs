@@ -1,0 +1,43 @@
+//! Criterion harness for the concurrency-scaling experiment: 1/2/4/8
+//! closed-loop sessions × {read-only, 90-10 mixed, write-heavy} statement
+//! mixes on one shared engine. The JSON artefact in `results/` is produced
+//! by the `concurrency_scaling` *binary*; this bench tracks the same cells
+//! under criterion for regression comparison.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ingot_bench::concurrency::{build_engine, run_batch, Workload, SESSION_COUNTS};
+
+/// Statements per session per iteration — small, so criterion's repeated
+/// sampling stays affordable.
+const PER_SESSION: u64 = 50;
+
+/// Think time between statements (closed-loop client model; see the
+/// `ingot_bench::concurrency` module docs for why throughput rather than
+/// CPU parallelism is the scaling signal).
+const THINK: Duration = Duration::from_micros(200);
+
+fn bench_scaling(c: &mut Criterion) {
+    for workload in Workload::ALL {
+        let engine = build_engine();
+        let mut group = c.benchmark_group(format!("concurrency_scaling/{}", workload.label()));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(3));
+        for sessions in SESSION_COUNTS {
+            group.throughput(Throughput::Elements(PER_SESSION * sessions as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(sessions),
+                &sessions,
+                |b, &sessions| {
+                    b.iter(|| run_batch(&engine, workload, sessions, PER_SESSION, THINK))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

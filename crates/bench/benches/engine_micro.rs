@@ -19,8 +19,11 @@ fn engine() -> std::sync::Arc<Engine> {
     s.execute("create table organism (nref_id int not null, taxon_id int)")
         .unwrap();
     for i in 0..2000 {
-        s.execute(&format!("insert into protein values ({i}, 'p{i}', {})", i % 50))
-            .unwrap();
+        s.execute(&format!(
+            "insert into protein values ({i}, 'p{i}', {})",
+            i % 50
+        ))
+        .unwrap();
         s.execute(&format!("insert into organism values ({i}, {})", i % 20))
             .unwrap();
     }

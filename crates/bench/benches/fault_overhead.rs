@@ -14,7 +14,10 @@ fn bench_backend_write(c: &mut Criterion) {
     let p0 = raw.allocate_page(f).unwrap();
     let page = Page::new();
     c.bench_function("write_page_raw_memory", |b| {
-        b.iter(|| raw.write_page(black_box(f), black_box(p0), black_box(&page)).unwrap())
+        b.iter(|| {
+            raw.write_page(black_box(f), black_box(p0), black_box(&page))
+                .unwrap()
+        })
     });
 
     let wrapped = FaultInjectingBackend::new(Box::new(MemoryBackend::new()), FaultPlan::new());
@@ -51,13 +54,13 @@ fn bench_retry_healthy_path(c: &mut Criterion) {
     c.bench_function("retry_run_sim_first_try_success", |b| {
         b.iter(|| {
             policy
-                .run_sim(&clock, |attempt| Ok::<u64, ingot_common::Error>(black_box(u64::from(attempt))))
+                .run_sim(&clock, |attempt| {
+                    Ok::<u64, ingot_common::Error>(black_box(u64::from(attempt)))
+                })
                 .unwrap()
         })
     });
-    c.bench_function("bare_closure_baseline", |b| {
-        b.iter(|| black_box(1u64))
-    });
+    c.bench_function("bare_closure_baseline", |b| b.iter(|| black_box(1u64)));
 }
 
 criterion_group!(

@@ -1,0 +1,131 @@
+//! Concurrency scaling — throughput vs. number of sessions.
+//!
+//! Runs 1/2/4/8 closed-loop client sessions against one shared engine for
+//! each of three statement mixes (read-only, 90-10 mixed, write-heavy on
+//! disjoint tables), reports aggregate statements/second and the speedup
+//! over a single session, and writes the numbers as JSON to
+//! `results/concurrency_scaling.json` (override the directory with
+//! `INGOT_RESULTS_DIR`).
+//!
+//! This is the proof-of-scaling experiment for the snapshot-catalog
+//! architecture: statement execution takes no engine-wide lock, so sessions
+//! overlap up to the compatibility of their table locks.
+
+use std::time::Duration;
+
+use ingot_bench::concurrency::{build_engine, run_batch, Workload, SESSION_COUNTS};
+use ingot_bench::{best_of, header, Scale};
+
+struct Cell {
+    workload: &'static str,
+    sessions: usize,
+    total_statements: u64,
+    elapsed_ms: f64,
+    stmts_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Concurrency scaling",
+        "closed-loop sessions vs. aggregate throughput",
+        &scale,
+    );
+
+    // Closed-loop client model: each statement is followed by a think-time
+    // sleep, so aggregate throughput can scale with sessions as far as the
+    // engine lets them overlap (even on a single core).
+    let think = Duration::from_millis(1);
+    let per_session = (scale.n_simple / 40).max(100);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for workload in Workload::ALL {
+        let engine = build_engine();
+        println!(
+            "\n{:<12} {:>8} {:>12} {:>14} {:>12}",
+            workload.label(),
+            "sessions",
+            "elapsed_ms",
+            "stmts/sec",
+            "speedup"
+        );
+        let mut base_tput = 0.0;
+        for sessions in SESSION_COUNTS {
+            let elapsed = best_of(scale.repeats, || {
+                run_batch(&engine, workload, sessions, per_session, think)
+            });
+            let total = per_session * sessions as u64;
+            let tput = total as f64 / elapsed.as_secs_f64();
+            if sessions == 1 {
+                base_tput = tput;
+            }
+            let speedup = tput / base_tput;
+            println!(
+                "{:<12} {:>8} {:>12.1} {:>14.0} {:>11.2}x",
+                "",
+                sessions,
+                elapsed.as_secs_f64() * 1e3,
+                tput,
+                speedup
+            );
+            cells.push(Cell {
+                workload: workload.label(),
+                sessions,
+                total_statements: total,
+                elapsed_ms: elapsed.as_secs_f64() * 1e3,
+                stmts_per_sec: tput,
+                speedup_vs_1: speedup,
+            });
+        }
+    }
+
+    let json = render_json(&scale, per_session, think, &cells);
+    let dir = std::env::var("INGOT_RESULTS_DIR")
+        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{dir}/concurrency_scaling.json");
+    std::fs::write(&path, json).expect("write results JSON");
+    println!("\nwrote {path}");
+
+    let mixed8 = cells
+        .iter()
+        .find(|c| c.workload == "mixed_90_10" && c.sessions == 8)
+        .expect("mixed 8-session cell");
+    assert!(
+        mixed8.speedup_vs_1 >= 2.0,
+        "8-session mixed throughput must be at least 2x a single session \
+         (got {:.2}x)",
+        mixed8.speedup_vs_1
+    );
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde dependency).
+fn render_json(scale: &Scale, per_session: u64, think: Duration, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"concurrency_scaling\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", scale.name));
+    out.push_str(&format!("  \"repeats\": {},\n", scale.repeats));
+    out.push_str(&format!("  \"statements_per_session\": {per_session},\n"));
+    out.push_str(&format!(
+        "  \"think_time_ms\": {},\n",
+        think.as_secs_f64() * 1e3
+    ));
+    out.push_str("  \"model\": \"closed-loop clients with think time\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"sessions\": {}, \
+             \"total_statements\": {}, \"elapsed_ms\": {:.2}, \
+             \"stmts_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}}}{}\n",
+            c.workload,
+            c.sessions,
+            c.total_statements,
+            c.elapsed_ms,
+            c.stmts_per_sec,
+            c.speedup_vs_1,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

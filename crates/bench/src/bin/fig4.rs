@@ -21,7 +21,11 @@ use ingot_workload::{analytic_queries, point_select_statements, simple_join_stat
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 4", "System Performance (Original / Monitoring / Daemon)", &scale);
+    header(
+        "Figure 4",
+        "System Performance (Original / Monitoring / Daemon)",
+        &scale,
+    );
 
     eprintln!("-- preparing all three instances…");
     let instances: Vec<Instance> = Setup::ALL
@@ -40,15 +44,9 @@ fn main() {
         for (si, session) in sessions.iter().enumerate() {
             let t = run_statements(session, &queries);
             results[0][si] = results[0][si].min(t);
-            let t = run_statements(
-                session,
-                simple_join_statements(&scale.nref, scale.n_simple),
-            );
+            let t = run_statements(session, simple_join_statements(&scale.nref, scale.n_simple));
             results[1][si] = results[1][si].min(t);
-            let t = run_statements(
-                session,
-                point_select_statements(&scale.nref, scale.n_point),
-            );
+            let t = run_statements(session, point_select_statements(&scale.nref, scale.n_point));
             results[2][si] = results[2][si].min(t);
             eprintln!(
                 "   rep {rep} {}: 50={:?} 50k={:?} 1m={:?}",
@@ -121,7 +119,5 @@ fn main() {
             results[ti][2].as_secs_f64(),
         );
     }
-    println!(
-        "\npaper shape: 50/50k ≈ 100–101 %, 1m ≈ 111 % (Monitoring) and ≈ 117 % (Daemon)"
-    );
+    println!("\npaper shape: 50/50k ≈ 100–101 %, 1m ≈ 111 % (Monitoring) and ≈ 117 % (Daemon)");
 }

@@ -13,7 +13,11 @@ use ingot_workload::analytic_queries;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 6", "Cost Diagram (actual / estimated / estimated+virtual)", &scale);
+    header(
+        "Figure 6",
+        "Cost Diagram (actual / estimated / estimated+virtual)",
+        &scale,
+    );
     let instance = build_instance_with(Setup::Monitoring, &scale, false);
     let session = instance.engine.open_session();
 
@@ -50,20 +54,19 @@ fn main() {
         )
         .expect("advisor")
         .chosen_candidates;
-        all_entries = ingot_analyzer::report::build_cost_diagram(
-            &instance.engine,
-            &view_all,
-            &chosen,
-            50,
-        )
-        .expect("diagram");
+        all_entries =
+            ingot_analyzer::report::build_cost_diagram(&instance.engine, &view_all, &chosen, 50)
+                .expect("diagram");
         improved = all_entries
             .entries
             .iter()
             .filter(|e| e.estimated_with_virtual < e.estimated * 0.99)
             .collect();
     }
-    println!("statements improved by the recommended (virtual) indexes: {}", improved.len());
+    println!(
+        "statements improved by the recommended (virtual) indexes: {}",
+        improved.len()
+    );
     for e in improved.iter().take(5) {
         println!(
             "  e {:>12.0} → v {:>12.0}  {}",

@@ -63,7 +63,11 @@ fn measure(engine: &std::sync::Arc<Engine>, session: &Session, queries: &[String
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 7", "Analyser Results (Unoptimised / Manually / Analyser)", &scale);
+    header(
+        "Figure 7",
+        "Analyser Results (Unoptimised / Manually / Analyser)",
+        &scale,
+    );
     let queries = analytic_queries(&scale.nref);
 
     // --- Unoptimised -----------------------------------------------------------

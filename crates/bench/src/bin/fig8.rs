@@ -16,7 +16,11 @@ use ingot_core::Engine;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 8", "Locks Diagram (locks, waits, deadlocks over time)", &scale);
+    header(
+        "Figure 8",
+        "Locks Diagram (locks, waits, deadlocks over time)",
+        &scale,
+    );
 
     let config = EngineConfig {
         lock_timeout_ms: 500,
@@ -30,8 +34,10 @@ fn main() {
         s.execute("create table acc_b (id int not null primary key, v int)")
             .unwrap();
         for i in 0..50 {
-            s.execute(&format!("insert into acc_a values ({i}, 0)")).unwrap();
-            s.execute(&format!("insert into acc_b values ({i}, 0)")).unwrap();
+            s.execute(&format!("insert into acc_a values ({i}, 0)"))
+                .unwrap();
+            s.execute(&format!("insert into acc_b values ({i}, 0)"))
+                .unwrap();
         }
     }
 
@@ -98,7 +104,10 @@ fn main() {
     println!("lock-manager totals:");
     println!("  granted: {}", locks.granted_total);
     println!("  waits:   {}", locks.waits_total);
-    println!("  deadlocks detected: {} (worker-observed victims: {victim_count})", locks.deadlocks_total);
+    println!(
+        "  deadlocks detected: {} (worker-observed victims: {victim_count})",
+        locks.deadlocks_total
+    );
     println!(
         "\npaper shape: lock usage fluctuates with load; wait and deadlock markers \
          point the DBA at contention windows"

@@ -1,0 +1,137 @@
+//! Session-scaling driver: N closed-loop client sessions against one shared
+//! engine, the experiment behind `results/concurrency_scaling.json`.
+//!
+//! Each simulated client executes statements with a fixed *think time*
+//! between them (the classic closed-loop model). Aggregate throughput then
+//! scales with the number of sessions exactly as far as the engine lets the
+//! sessions overlap: an engine-wide statement lock caps the curve at 1×,
+//! table-granular locking over catalog snapshots keeps it climbing. Think
+//! time (rather than CPU-bound spinning) is what makes the scaling
+//! observable on small machines — a single core cannot parallelise compute,
+//! but it can overlap waiting.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use ingot_common::EngineConfig;
+use ingot_core::Engine;
+
+/// Session counts measured, in order.
+pub const SESSION_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Rows in each table.
+pub const TABLE_ROWS: u64 = 256;
+
+/// The three statement mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Point selects on one shared table (S locks — fully compatible).
+    ReadOnly,
+    /// 90 % point selects, 10 % updates, all on one shared table (the
+    /// updates take X table locks and briefly serialise).
+    Mixed9010,
+    /// Updates only, each session on its own table (disjoint X locks — the
+    /// case an engine-wide lock would serialise for no reason).
+    WriteHeavy,
+}
+
+impl Workload {
+    /// All mixes, in report order.
+    pub const ALL: [Workload; 3] = [
+        Workload::ReadOnly,
+        Workload::Mixed9010,
+        Workload::WriteHeavy,
+    ];
+
+    /// Identifier used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::ReadOnly => "read_only",
+            Workload::Mixed9010 => "mixed_90_10",
+            Workload::WriteHeavy => "write_heavy",
+        }
+    }
+}
+
+/// Build the engine for the experiment: one shared keyed table (`acct`)
+/// plus one keyed table per potential session (`acct_w0` …), all with
+/// statistics so point statements plan to primary-key lookups.
+pub fn build_engine() -> Arc<Engine> {
+    let engine = Engine::new(EngineConfig {
+        lock_timeout_ms: 10_000,
+        ..EngineConfig::monitoring()
+    });
+    let s = engine.open_session();
+    let mut tables = vec!["acct".to_string()];
+    tables.extend((0..SESSION_COUNTS[SESSION_COUNTS.len() - 1]).map(|i| format!("acct_w{i}")));
+    for t in &tables {
+        s.execute(&format!(
+            "create table {t} (id int not null primary key, v int)"
+        ))
+        .expect("create");
+        for id in 0..TABLE_ROWS {
+            s.execute(&format!("insert into {t} values ({id}, 0)"))
+                .expect("insert");
+        }
+        s.execute(&format!("create statistics on {t}"))
+            .expect("stats");
+        s.execute(&format!("modify {t} to btree")).expect("modify");
+    }
+    engine
+}
+
+/// The `i`-th statement of session `session` under `workload`.
+pub fn statement(workload: Workload, session: usize, i: u64) -> String {
+    // Per-session stride through the key space, decorrelated across sessions.
+    let key = (session as u64 * 31 + i * 7) % TABLE_ROWS;
+    match workload {
+        Workload::ReadOnly => format!("select v from acct where id = {key}"),
+        Workload::Mixed9010 => {
+            if i.is_multiple_of(10) {
+                format!("update acct set v = v + 1 where id = {key}")
+            } else {
+                format!("select v from acct where id = {key}")
+            }
+        }
+        Workload::WriteHeavy => {
+            format!("update acct_w{session} set v = v + 1 where id = {key}")
+        }
+    }
+}
+
+/// Run `sessions` concurrent closed-loop clients, each executing
+/// `per_session` statements with `think` sleep between them. Returns the
+/// wall-clock duration from the synchronised start to the last client's
+/// finish. Panics on any statement error (the workload is conflict-free by
+/// construction; with a 10 s lock timeout nothing should fail).
+pub fn run_batch(
+    engine: &Arc<Engine>,
+    workload: Workload,
+    sessions: usize,
+    per_session: u64,
+    think: Duration,
+) -> Duration {
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let mut handles = Vec::with_capacity(sessions);
+    for sid in 0..sessions {
+        let engine = Arc::clone(engine);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let s = engine.open_session();
+            barrier.wait();
+            for i in 0..per_session {
+                s.execute(&statement(workload, sid, i))
+                    .unwrap_or_else(|e| panic!("session {sid} stmt {i}: {e}"));
+                if !think.is_zero() {
+                    std::thread::sleep(think);
+                }
+            }
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("client session");
+    }
+    t0.elapsed()
+}

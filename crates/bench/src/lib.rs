@@ -6,6 +6,8 @@
 //! the paper's regime, minutes per figure). Absolute numbers differ from the
 //! paper's 2009 hardware — EXPERIMENTS.md records both and compares shapes.
 
+pub mod concurrency;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -176,7 +178,10 @@ pub fn build_instance_with(setup: Setup, scale: &Scale, keyed: bool) -> Instance
                 ..Default::default()
             },
         );
-        (Some(daemon.spawn().expect("spawn daemon thread")), Some(dir))
+        (
+            Some(daemon.spawn().expect("spawn daemon thread")),
+            Some(dir),
+        )
     } else {
         (None, None)
     };

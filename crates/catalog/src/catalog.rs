@@ -13,14 +13,26 @@ use crate::table::{IndexEntry, IndexMeta, StorageStructure, TableEntry, TableMet
 
 /// The catalog of one database.
 ///
-/// The engine wraps the catalog in a lock; methods here take `&self` for
-/// reads and `&mut self` for anything that changes metadata or data files.
+/// The engine publishes the catalog as an immutable `Arc` snapshot (see
+/// [`crate::shared::SharedCatalog`]): schema changes (`&mut self` methods —
+/// DDL, MODIFY, COLLECT STATISTICS) run on a private copy that is swapped in
+/// atomically, while row mutation (`&self` methods) goes through the shared
+/// storage handles and is visible through every snapshot immediately.
+///
+/// Cloning is cheap: table and index entries sit behind `Arc`s, so a clone
+/// copies only the id/name maps. This is what makes copy-on-write DDL viable.
+///
+/// The `&self` row mutators assume the caller holds an exclusive logical lock
+/// on the target table (the engine's `LockManager` provides it): constraint
+/// checks are check-then-act and are only correct under single-writer-per-
+/// table discipline.
+#[derive(Clone)]
 pub struct Catalog {
     pool: Arc<BufferPool>,
     heap_main_pages: usize,
-    tables: HashMap<TableId, TableEntry>,
+    tables: HashMap<TableId, Arc<TableEntry>>,
     table_names: HashMap<String, TableId>,
-    indexes: HashMap<IndexId, IndexEntry>,
+    indexes: HashMap<IndexId, Arc<IndexEntry>>,
     index_names: HashMap<String, IndexId>,
     virtual_tables: HashMap<TableId, VirtualTableDef>,
     virtual_names: HashMap<String, TableId>,
@@ -115,7 +127,7 @@ impl Catalog {
             primary: None,
             stats: None,
         };
-        self.tables.insert(id, entry);
+        self.tables.insert(id, Arc::new(entry));
         self.table_names.insert(name, id);
         Ok(id)
     }
@@ -201,6 +213,7 @@ impl Catalog {
     pub fn table(&self, id: TableId) -> Result<&TableEntry> {
         self.tables
             .get(&id)
+            .map(Arc::as_ref)
             .ok_or_else(|| Error::catalog(format!("no table with id {id}")))
     }
 
@@ -209,16 +222,19 @@ impl Catalog {
         self.table(self.resolve_table(name)?)
     }
 
-    /// Mutable entry of a table by id.
+    /// Mutable entry of a table by id. Copies the entry if other snapshots
+    /// still reference it (copy-on-write), so published snapshots never
+    /// observe the mutation.
     pub fn table_mut(&mut self, id: TableId) -> Result<&mut TableEntry> {
         self.tables
             .get_mut(&id)
+            .map(Arc::make_mut)
             .ok_or_else(|| Error::catalog(format!("no table with id {id}")))
     }
 
     /// Iterate over all tables.
     pub fn tables(&self) -> impl Iterator<Item = &TableEntry> {
-        self.tables.values()
+        self.tables.values().map(Arc::as_ref)
     }
 
     // ---- index DDL -----------------------------------------------------------
@@ -276,7 +292,7 @@ impl Catalog {
             },
             tree: Some(Arc::new(tree)),
         };
-        self.indexes.insert(id, idx);
+        self.indexes.insert(id, Arc::new(idx));
         self.index_names.insert(name, id);
         Ok(id)
     }
@@ -305,7 +321,7 @@ impl Catalog {
             },
             tree: None,
         };
-        self.indexes.insert(id, idx);
+        self.indexes.insert(id, Arc::new(idx));
         self.index_names.insert(name, id);
         Ok(id)
     }
@@ -339,6 +355,7 @@ impl Catalog {
     pub fn index(&self, id: IndexId) -> Result<&IndexEntry> {
         self.indexes
             .get(&id)
+            .map(Arc::as_ref)
             .ok_or_else(|| Error::catalog(format!("no index with id {id}")))
     }
 
@@ -356,6 +373,7 @@ impl Catalog {
         let mut v: Vec<&IndexEntry> = self
             .indexes
             .values()
+            .map(Arc::as_ref)
             .filter(|e| e.meta.table == table)
             .collect();
         v.sort_by_key(|e| e.meta.id);
@@ -364,15 +382,20 @@ impl Catalog {
 
     /// All indexes in the catalog.
     pub fn indexes(&self) -> impl Iterator<Item = &IndexEntry> {
-        self.indexes.values()
+        self.indexes.values().map(Arc::as_ref)
     }
 
     // ---- row mutation (index-maintaining) -------------------------------------
+    //
+    // These take `&self`: the heap and tree files are internally synchronised,
+    // so row mutation works through any snapshot of the catalog. The caller
+    // must hold the engine-level exclusive table lock — the constraint checks
+    // below are check-then-act and rely on single-writer-per-table discipline.
 
     /// Insert a row into `table`, maintaining the clustered tree and all
     /// secondary indexes. Enforces primary-key uniqueness when a clustered
     /// tree exists and unique-index constraints always.
-    pub fn insert_row(&mut self, table: TableId, row: &Row) -> Result<RowId> {
+    pub fn insert_row(&self, table: TableId, row: &Row) -> Result<RowId> {
         let entry = self.table(table)?;
         let row = entry.meta.schema.check_row(row)?;
         // Constraint checks before touching storage.
@@ -387,8 +410,12 @@ impl Catalog {
         }
         for idx in self.indexes_of(table) {
             if idx.meta.unique && !idx.meta.is_virtual {
-                let vals: Vec<Value> =
-                    idx.meta.columns.iter().map(|&c| row.get(c).clone()).collect();
+                let vals: Vec<Value> = idx
+                    .meta
+                    .columns
+                    .iter()
+                    .map(|&c| row.get(c).clone())
+                    .collect();
                 if !idx.probe_eq(&vals)?.is_empty() {
                     return Err(Error::constraint(format!(
                         "duplicate key in unique index '{}'",
@@ -407,8 +434,12 @@ impl Catalog {
             if idx.meta.is_virtual {
                 continue;
             }
-            let vals: Vec<Value> =
-                idx.meta.columns.iter().map(|&c| row.get(c).clone()).collect();
+            let vals: Vec<Value> = idx
+                .meta
+                .columns
+                .iter()
+                .map(|&c| row.get(c).clone())
+                .collect();
             let key = IndexEntry::stored_key(&vals, rid);
             idx.tree
                 .as_ref()
@@ -419,7 +450,7 @@ impl Catalog {
     }
 
     /// Delete the row at `rid` from `table`, maintaining indexes.
-    pub fn delete_row(&mut self, table: TableId, rid: RowId) -> Result<()> {
+    pub fn delete_row(&self, table: TableId, rid: RowId) -> Result<()> {
         let entry = self.table(table)?;
         let row = entry.heap.get(rid)?;
         if let Some(primary) = &entry.primary {
@@ -430,17 +461,24 @@ impl Catalog {
             if idx.meta.is_virtual {
                 continue;
             }
-            let vals: Vec<Value> =
-                idx.meta.columns.iter().map(|&c| row.get(c).clone()).collect();
+            let vals: Vec<Value> = idx
+                .meta
+                .columns
+                .iter()
+                .map(|&c| row.get(c).clone())
+                .collect();
             let key = IndexEntry::stored_key(&vals, rid);
-            idx.tree.as_ref().expect("materialised index").delete(&key)?;
+            idx.tree
+                .as_ref()
+                .expect("materialised index")
+                .delete(&key)?;
         }
         entry.heap.delete(rid)
     }
 
     /// Replace the row at `rid` with `new_row`, maintaining indexes.
     /// Returns the (possibly moved) row id.
-    pub fn update_row(&mut self, table: TableId, rid: RowId, new_row: &Row) -> Result<RowId> {
+    pub fn update_row(&self, table: TableId, rid: RowId, new_row: &Row) -> Result<RowId> {
         let entry = self.table(table)?;
         let new_row = entry.meta.schema.check_row(new_row)?;
         let old_row = entry.heap.get(rid)?;
@@ -548,7 +586,8 @@ impl Catalog {
                     &rid.pack().to_le_bytes(),
                 )?;
             }
-            self.indexes.get_mut(&iid).expect("index present").tree = Some(Arc::new(tree));
+            Arc::make_mut(self.indexes.get_mut(&iid).expect("index present")).tree =
+                Some(Arc::new(tree));
         }
         let entry = self.table_mut(table)?;
         entry.heap = new_heap;
@@ -605,8 +644,8 @@ impl Catalog {
     /// Total pages across all tables and materialised indexes — the "size of
     /// the database" number Fig 7 compares.
     pub fn total_data_pages(&self) -> u64 {
-        let tables: u64 = self.tables.values().map(TableEntry::data_pages).sum();
-        let indexes: u64 = self.indexes.values().map(IndexEntry::pages).sum();
+        let tables: u64 = self.tables.values().map(|t| t.data_pages()).sum();
+        let indexes: u64 = self.indexes.values().map(|i| i.pages()).sum();
         tables + indexes
     }
 }
@@ -676,7 +715,12 @@ mod tests {
             vec![rid]
         );
         c.delete_row(t, rid).unwrap();
-        assert!(c.index(idx).unwrap().probe_eq(&[Value::Int(1)]).unwrap().is_empty());
+        assert!(c
+            .index(idx)
+            .unwrap()
+            .probe_eq(&[Value::Int(1)])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -698,7 +742,12 @@ mod tests {
         let mut row = sample_row(1);
         row.set(2, Value::Int(99));
         let new_rid = c.update_row(t, rid, &row).unwrap();
-        assert!(c.index(idx).unwrap().probe_eq(&[Value::Int(1)]).unwrap().is_empty());
+        assert!(c
+            .index(idx)
+            .unwrap()
+            .probe_eq(&[Value::Int(1)])
+            .unwrap()
+            .is_empty());
         assert_eq!(
             c.index(idx).unwrap().probe_eq(&[Value::Int(99)]).unwrap(),
             vec![new_rid]

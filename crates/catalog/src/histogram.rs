@@ -295,9 +295,7 @@ mod tests {
 
     #[test]
     fn string_histogram_orders_ids() {
-        let vals: Vec<Value> = (0..1000)
-            .map(|i| Value::Str(format!("NF{i:04}")))
-            .collect();
+        let vals: Vec<Value> = (0..1000).map(|i| Value::Str(format!("NF{i:04}"))).collect();
         let h = Histogram::build(&vals, DEFAULT_BUCKETS);
         let s = h.selectivity_le(&Value::Str("NF0499".into()));
         assert!((s - 0.5).abs() < 0.1, "got {s}");

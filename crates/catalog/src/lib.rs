@@ -11,10 +11,12 @@
 
 pub mod catalog;
 pub mod histogram;
+pub mod shared;
 pub mod stats;
 pub mod table;
 
 pub use catalog::{Catalog, Relation, VirtualProvider, VirtualTableDef};
 pub use histogram::Histogram;
+pub use shared::{CatalogWriteGuard, SharedCatalog};
 pub use stats::{ColumnStats, TableStatistics};
 pub use table::{IndexEntry, IndexMeta, StorageStructure, TableEntry, TableMeta};

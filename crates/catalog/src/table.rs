@@ -59,6 +59,11 @@ pub struct TableMeta {
 }
 
 /// A table: metadata, storage handles and optimizer statistics.
+///
+/// Cloning is cheap (the storage handles are `Arc`s) and underpins the
+/// catalog's copy-on-write snapshots: a clone shares the same live heap and
+/// trees, so data written through one snapshot is visible through all.
+#[derive(Clone)]
 pub struct TableEntry {
     /// Metadata.
     pub meta: TableMeta,
@@ -148,6 +153,7 @@ pub struct IndexMeta {
 }
 
 /// A secondary index: metadata plus the B-Tree (absent for virtual indexes).
+#[derive(Clone)]
 pub struct IndexEntry {
     /// Metadata.
     pub meta: IndexMeta,

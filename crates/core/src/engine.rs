@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ingot_catalog::{Catalog, StorageStructure};
+use ingot_catalog::{Catalog, SharedCatalog, StorageStructure};
 use ingot_common::{
     Column, Cost, EngineConfig, Error, IndexId, MonotonicClock, Result, Row, Schema, SessionId,
     SimClock, StmtHash, TableId, TxnId, Value,
@@ -21,9 +21,12 @@ use ingot_trace::{
     Tracer,
 };
 use ingot_txn::{LockManager, LockMode, Resource, TxnManager};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
-use crate::ima::{register_ima_tables, register_monitor_health_table, register_trace_tables};
+use crate::ima::{
+    register_concurrency_tables, register_ima_tables, register_monitor_health_table,
+    register_trace_tables,
+};
 use crate::monitor::{
     AttributeDetail, IndexDetail, Monitor, StatSample, StatementSensor, TableDetail,
 };
@@ -99,7 +102,7 @@ pub struct Engine {
     sim_clock: SimClock,
     wall: MonotonicClock,
     storage: StorageEngine,
-    catalog: RwLock<Catalog>,
+    catalog: SharedCatalog,
     monitor: Option<Arc<Monitor>>,
     tracer: Option<Arc<Tracer>>,
     locks: Arc<LockManager>,
@@ -166,25 +169,30 @@ impl Engine {
                 },
             ))
         });
+        let locks = Arc::new(LockManager::new(Duration::from_millis(
+            config.lock_timeout_ms,
+        )));
+        let txns = Arc::new(TxnManager::new());
+        let sessions = Arc::new(SessionCounters::default());
         if let Some(m) = &monitor {
             register_ima_tables(&mut catalog, m).expect("fresh catalog accepts IMA tables");
             register_monitor_health_table(&mut catalog, m)
+                .expect("fresh catalog accepts IMA tables");
+            register_concurrency_tables(&mut catalog, &locks, &txns, &sessions)
                 .expect("fresh catalog accepts IMA tables");
         }
         if let Some(t) = &tracer {
             register_trace_tables(&mut catalog, t).expect("fresh catalog accepts IMA tables");
         }
         Arc::new(Engine {
-            locks: Arc::new(LockManager::new(Duration::from_millis(
-                config.lock_timeout_ms,
-            ))),
-            txns: Arc::new(TxnManager::new()),
-            sessions: Arc::new(SessionCounters::default()),
+            locks,
+            txns,
+            sessions,
             statements_executed: AtomicU64::new(0),
             sim_clock,
             wall,
             storage,
-            catalog: RwLock::new(catalog),
+            catalog: SharedCatalog::new(catalog),
             monitor,
             tracer,
             config,
@@ -239,8 +247,10 @@ impl Engine {
         &self.wall
     }
 
-    /// The catalog lock (advanced use: analyzer, workload loaders).
-    pub fn catalog(&self) -> &RwLock<Catalog> {
+    /// The shared catalog (advanced use: analyzer, workload loaders).
+    /// `read()` returns an immutable snapshot — cheap, never blocked by
+    /// writers; `write()` opens a copy-on-write schema-change guard.
+    pub fn catalog(&self) -> &SharedCatalog {
         &self.catalog
     }
 
@@ -665,10 +675,12 @@ impl Session {
                 columns,
                 primary_key,
             } => self.run_create_table(&name, &columns, &primary_key),
-            Statement::DropTable { name } => self.with_table_xlock_by_name(&name, |eng| {
-                eng.catalog.write().drop_table(&name)?;
-                Ok(StatementResult::default())
-            }),
+            Statement::DropTable { name } => {
+                self.with_table_lock_by_name(&name, LockMode::Exclusive, |eng| {
+                    eng.catalog.write().drop_table(&name)?;
+                    Ok(StatementResult::default())
+                })
+            }
             Statement::CreateIndex {
                 name,
                 table,
@@ -681,7 +693,7 @@ impl Session {
             }
             Statement::Modify { table, to } => {
                 let to: StorageStructure = to.parse()?;
-                self.with_table_xlock_by_name(&table, |eng| {
+                self.with_table_lock_by_name(&table, LockMode::Exclusive, |eng| {
                     let mut catalog = eng.catalog.write();
                     let id = catalog.resolve_table(&table)?;
                     catalog.modify_storage(id, to)?;
@@ -690,19 +702,23 @@ impl Session {
             }
             Statement::CreateStatistics { table, columns } => {
                 let now_secs = self.engine.sim_clock.now_secs();
-                let mut catalog = self.engine.catalog.write();
-                let id = catalog.resolve_table(&table)?;
-                let schema = catalog.table(id)?.meta.schema.clone();
-                let cols: Vec<usize> = columns
-                    .iter()
-                    .map(|c| {
-                        schema
-                            .index_of(c)
-                            .ok_or_else(|| Error::binder(format!("unknown column '{c}'")))
-                    })
-                    .collect::<Result<_>>()?;
-                catalog.collect_statistics(id, &cols, now_secs)?;
-                Ok(StatementResult::default())
+                // A shared table lock keeps writers out while the heap scan
+                // builds histograms, so the collected counts are exact.
+                self.with_table_lock_by_name(&table, LockMode::Shared, |eng| {
+                    let mut catalog = eng.catalog.write();
+                    let id = catalog.resolve_table(&table)?;
+                    let schema = catalog.table(id)?.meta.schema.clone();
+                    let cols: Vec<usize> = columns
+                        .iter()
+                        .map(|c| {
+                            schema
+                                .index_of(c)
+                                .ok_or_else(|| Error::binder(format!("unknown column '{c}'")))
+                        })
+                        .collect::<Result<_>>()?;
+                    catalog.collect_statistics(id, &cols, now_secs)?;
+                    Ok(StatementResult::default())
+                })
             }
             Statement::Set { name, value } => self.run_set(&name, &value),
             dml => self.run_dml(&dml, sensor, trace),
@@ -809,7 +825,7 @@ impl Session {
         columns: &[String],
         unique: bool,
     ) -> Result<StatementResult> {
-        self.with_table_xlock_by_name(table, |eng| {
+        self.with_table_lock_by_name(table, LockMode::Exclusive, |eng| {
             let mut catalog = eng.catalog.write();
             let id = catalog.resolve_table(table)?;
             let schema = catalog.table(id)?.meta.schema.clone();
@@ -826,8 +842,17 @@ impl Session {
         })
     }
 
-    /// Run a closure holding an X lock on `table` (auto-commit scope).
-    fn with_table_xlock_by_name<F>(&self, table: &str, f: F) -> Result<StatementResult>
+    /// Run a closure holding a logical lock on `table` (auto-commit scope).
+    ///
+    /// Lock-order discipline: the table lock is acquired *before* the closure
+    /// opens the catalog write guard, matching DML (table locks, then
+    /// snapshot/guard). Nothing holding the DDL guard ever takes table locks.
+    fn with_table_lock_by_name<F>(
+        &self,
+        table: &str,
+        mode: LockMode,
+        f: F,
+    ) -> Result<StatementResult>
     where
         F: FnOnce(&Engine) -> Result<StatementResult>,
     {
@@ -838,9 +863,13 @@ impl Session {
         };
         let (txn, auto) = self.current_txn();
         if let Some(id) = id {
-            self.engine
-                .locks
-                .lock(txn, Resource::Table(id), LockMode::Exclusive)?;
+            let locked = self.engine.locks.lock(txn, Resource::Table(id), mode);
+            if let Err(e) = locked {
+                if auto {
+                    self.finish_auto_txn(txn, false);
+                }
+                return Err(e);
+            }
         }
         let out = f(&self.engine);
         if auto {
@@ -940,10 +969,16 @@ impl Session {
         }
 
         // ---- execute + execution sensor + operator spans ----
+        //
+        // Execution runs against a snapshot taken *after* lock acquisition:
+        // the schema of every locked table is stable (DDL takes the same
+        // table locks), so the statement sees current indexes and structure
+        // without ever holding an engine-wide lock. Other sessions execute
+        // concurrently against their own snapshots.
         let exec_t0 = engine.wall.now_nanos();
+        let catalog = engine.catalog.read();
         let exec_result = match &planned {
             PlannedStatement::Query(q) => {
-                let catalog = engine.catalog.read();
                 let traced = if let Some(tb) = trace.as_mut() {
                     execute_plan_traced(&catalog, &q.root, engine.wall).map(|(r, spans)| {
                         tb.set_ops(spans);
@@ -961,14 +996,13 @@ impl Session {
                 })
             }
             dml => {
-                let mut catalog = engine.catalog.write();
                 let traced = if let Some(tb) = trace.as_mut() {
-                    execute_statement_traced(&mut catalog, dml, engine.wall).map(|(o, spans)| {
+                    execute_statement_traced(&catalog, dml, engine.wall).map(|(o, spans)| {
                         tb.set_ops(spans);
                         o
                     })
                 } else {
-                    execute_statement(&mut catalog, dml)
+                    execute_statement(&catalog, dml)
                 };
                 traced.map(|o| StatementResult {
                     rows: o.rows,
@@ -980,6 +1014,7 @@ impl Session {
                 })
             }
         };
+        drop(catalog);
         if let Some(tb) = trace.as_mut() {
             tb.stage(Stage::Execute, engine.wall.now_nanos() - exec_t0);
         }
@@ -1015,18 +1050,16 @@ impl Session {
         }
 
         let exec_t0 = engine.wall.now_nanos();
+        // Same discipline as `run_dml`: snapshot after locks, no engine lock
+        // held across execution.
+        let catalog = engine.catalog.read();
         let exec_result = match &planned {
-            PlannedStatement::Query(q) => {
-                let catalog = engine.catalog.read();
-                execute_plan_traced(&catalog, &q.root, engine.wall)
-                    .map(|(r, spans)| (r.tuples, 0u64, spans))
-            }
-            dml => {
-                let mut catalog = engine.catalog.write();
-                execute_statement_traced(&mut catalog, dml, engine.wall)
-                    .map(|(o, spans)| (o.tuples, o.affected, spans))
-            }
+            PlannedStatement::Query(q) => execute_plan_traced(&catalog, &q.root, engine.wall)
+                .map(|(r, spans)| (r.tuples, 0u64, spans)),
+            dml => execute_statement_traced(&catalog, dml, engine.wall)
+                .map(|(o, spans)| (o.tuples, o.affected, spans)),
         };
+        drop(catalog);
         if let Some(tb) = trace.as_mut() {
             tb.stage(Stage::Execute, engine.wall.now_nanos() - exec_t0);
         }

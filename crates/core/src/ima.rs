@@ -13,7 +13,9 @@ use std::sync::Arc;
 use ingot_catalog::Catalog;
 use ingot_common::{Column, DataType, Result, Row, Schema, Value};
 use ingot_trace::Tracer;
+use ingot_txn::{LockManager, LockMode, Resource, TxnManager};
 
+use crate::engine::SessionCounters;
 use crate::monitor::Monitor;
 
 fn v_int(v: u64) -> Value {
@@ -376,6 +378,88 @@ pub fn register_trace_tables(catalog: &mut Catalog, tracer: &Arc<Tracer>) -> Res
     Ok(())
 }
 
+/// Register the concurrency exports: `ima$locks` (one row per granted or
+/// queued lock request, live from the lock manager) and `ima$sessions` (a
+/// single row of session/transaction/lock counters). Both read atomics or a
+/// short-lived internal mutex — a query over them never takes table locks,
+/// so lock contention itself is observable *during* the contention, which is
+/// the paper's lock-monitoring scenario.
+pub fn register_concurrency_tables(
+    catalog: &mut Catalog,
+    locks: &Arc<LockManager>,
+    txns: &Arc<TxnManager>,
+    sessions: &Arc<SessionCounters>,
+) -> Result<()> {
+    // ima$locks
+    let l = Arc::clone(locks);
+    catalog.register_virtual_table(
+        "ima$locks",
+        Schema::new(vec![
+            Column::not_null("txn", DataType::Int),
+            Column::not_null("table_id", DataType::Int),
+            Column::new("row_id", DataType::Int),
+            Column::new("mode", DataType::Str),
+            Column::new("state", DataType::Str),
+        ]),
+        Arc::new(move || {
+            l.snapshot_locks()
+                .into_iter()
+                .map(|i| {
+                    let (table, row) = match i.resource {
+                        Resource::Table(t) => (t, Value::Null),
+                        Resource::Row(t, r) => (t, Value::Int(r as i64)),
+                    };
+                    Row::new(vec![
+                        Value::Int(i.txn.raw() as i64),
+                        v_int(u64::from(table.raw())),
+                        row,
+                        Value::Str(
+                            match i.mode {
+                                LockMode::Shared => "S",
+                                LockMode::Exclusive => "X",
+                            }
+                            .to_owned(),
+                        ),
+                        Value::Str(if i.granted { "granted" } else { "waiting" }.to_owned()),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    // ima$sessions
+    let l = Arc::clone(locks);
+    let t = Arc::clone(txns);
+    let s = Arc::clone(sessions);
+    catalog.register_virtual_table(
+        "ima$sessions",
+        Schema::new(vec![
+            Column::not_null("current_sessions", DataType::Int),
+            Column::new("peak_sessions", DataType::Int),
+            Column::new("active_txns", DataType::Int),
+            Column::new("locks_held", DataType::Int),
+            Column::new("lock_waiting", DataType::Int),
+            Column::new("lock_waits_total", DataType::Int),
+            Column::new("deadlocks_total", DataType::Int),
+            Column::new("locks_granted_total", DataType::Int),
+        ]),
+        Arc::new(move || {
+            let ls = l.stats();
+            vec![Row::new(vec![
+                v_int(s.current()),
+                v_int(s.peak()),
+                v_int(t.active_count()),
+                v_int(ls.held),
+                v_int(ls.waiting),
+                v_int(ls.waits_total),
+                v_int(ls.deadlocks_total),
+                v_int(ls.granted_total),
+            ])]
+        }),
+    )?;
+    Ok(())
+}
+
 /// Name of the storage-daemon health table (registered only while a daemon
 /// is attached to the engine — see [`register_daemon_health_table`]).
 pub const IMA_DAEMON_HEALTH: &str = "ima$daemon_health";
@@ -422,6 +506,8 @@ pub const IMA_TABLE_NAMES: &[&str] = &[
     "ima$attributes",
     "ima$statistics",
     "ima$monitor_health",
+    "ima$locks",
+    "ima$sessions",
     "ima$operator_stats",
     "ima$latency_histograms",
 ];

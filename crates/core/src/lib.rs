@@ -29,8 +29,8 @@ pub mod monitor;
 
 pub use engine::{Engine, Session, StatementResult};
 pub use ima::{
-    daemon_health_schema, register_daemon_health_table, register_monitor_health_table,
-    register_trace_tables, IMA_DAEMON_HEALTH,
+    daemon_health_schema, register_concurrency_tables, register_daemon_health_table,
+    register_monitor_health_table, register_trace_tables, IMA_DAEMON_HEALTH,
 };
 pub use ingot_trace::{MetricsSnapshot, Tracer};
 pub use monitor::{Monitor, MonitorHealth, StatementSensor};

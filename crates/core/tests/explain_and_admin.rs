@@ -6,9 +6,11 @@ use ingot_core::Engine;
 fn engine() -> std::sync::Arc<Engine> {
     let e = Engine::new(EngineConfig::monitoring());
     let s = e.open_session();
-    s.execute("create table t (id int not null primary key, v int)").unwrap();
+    s.execute("create table t (id int not null primary key, v int)")
+        .unwrap();
     for i in 0..2000 {
-        s.execute(&format!("insert into t values ({i}, {})", i % 10)).unwrap();
+        s.execute(&format!("insert into t values ({i}, {})", i % 10))
+            .unwrap();
     }
     drop(s);
     e
@@ -35,7 +37,10 @@ fn explain_dml_is_readable() {
     assert!(del.contains("Delete from t"), "{del}");
     assert!(!del.contains("filtered"), "{del}");
     let ins = explain(&e, "insert into t values (9999, 1)");
-    assert!(ins.contains("Insert into t") && ins.contains("1 row"), "{ins}");
+    assert!(
+        ins.contains("Insert into t") && ins.contains("1 row"),
+        "{ins}"
+    );
 }
 
 #[test]

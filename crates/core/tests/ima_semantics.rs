@@ -20,7 +20,9 @@ fn ima_tables_reject_dml() {
     assert!(s
         .execute("insert into ima$statements values ('x', 'y', 1, 0, 0)")
         .is_err());
-    assert!(s.execute("update ima$statements set frequency = 0").is_err());
+    assert!(s
+        .execute("update ima$statements set frequency = 0")
+        .is_err());
     assert!(s.execute("delete from ima$workload").is_err());
     assert!(s.execute("drop table ima$workload").is_err());
     assert!(s.execute("modify ima$workload to btree").is_err());
@@ -58,7 +60,8 @@ fn ima_aggregation_and_ordering() {
     let e = engine();
     let s = e.open_session();
     for i in 0..20 {
-        s.execute(&format!("select a from t where a = {}", i % 4)).unwrap();
+        s.execute(&format!("select a from t where a = {}", i % 4))
+            .unwrap();
     }
     let r = s
         .execute(

@@ -16,7 +16,14 @@ struct Pred {
 fn arb_pred() -> impl Strategy<Value = Pred> {
     (
         prop_oneof![Just("a"), Just("b")],
-        prop_oneof![Just("="), Just("<"), Just("<="), Just(">"), Just(">="), Just("<>")],
+        prop_oneof![
+            Just("="),
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">="),
+            Just("<>")
+        ],
         -50i64..150,
     )
         .prop_map(|(col, op, v)| Pred { col, op, v })

@@ -169,7 +169,9 @@ impl WorkloadDb {
 
     fn insert(&self, table: &str, row: Row) -> Result<()> {
         let bytes = row.byte_size() as u64;
-        let mut catalog = self.engine.catalog().write();
+        // Snapshot read: the workload DB is private to the daemon (single
+        // writer), so the `&self` insert needs no catalog write guard.
+        let catalog = self.engine.catalog().read();
         let id = catalog.resolve_table(table)?;
         catalog.insert_row(id, &row)?;
         drop(catalog);

@@ -25,8 +25,10 @@ pub struct ExecOutcome {
     pub tuples: u64,
 }
 
-/// Execute a planned statement. Queries borrow the catalog; DML mutates it.
-pub fn execute_statement(catalog: &mut Catalog, planned: &PlannedStatement) -> Result<ExecOutcome> {
+/// Execute a planned statement against a catalog snapshot. DML goes through
+/// the catalog's `&self` row mutators (the storage handles are shared and
+/// internally synchronised); the caller must hold the logical table locks.
+pub fn execute_statement(catalog: &Catalog, planned: &PlannedStatement) -> Result<ExecOutcome> {
     match planned {
         PlannedStatement::Query(q) => {
             let QueryResult { rows, tuples } = execute_plan(catalog, &q.root)?;
@@ -86,7 +88,7 @@ pub fn execute_statement(catalog: &mut Catalog, planned: &PlannedStatement) -> R
 /// per-operator span tree; writing DML gets one synthetic span covering the
 /// whole statement (the write paths have no operator tree to decompose).
 pub fn execute_statement_traced(
-    catalog: &mut Catalog,
+    catalog: &Catalog,
     planned: &PlannedStatement,
     clock: MonotonicClock,
 ) -> Result<(ExecOutcome, Vec<OperatorSpan>)> {

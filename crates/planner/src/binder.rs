@@ -176,11 +176,7 @@ impl<'a> Binder<'a> {
         {
             self.artifacts.attributes.push((id, col, name.to_owned()));
             if let Ok(entry) = self.catalog.table(id) {
-                if entry
-                    .stats
-                    .as_ref()
-                    .is_some_and(|s| s.has_histogram(col))
-                {
+                if entry.stats.as_ref().is_some_and(|s| s.has_histogram(col)) {
                     self.artifacts.histograms.push((id, col));
                 }
             }
@@ -461,7 +457,10 @@ impl<'a> Binder<'a> {
         for c in cols {
             mask |= 1 << table_of_offset(tables, c);
         }
-        Ok(Conjunct { expr: phys, tables: mask })
+        Ok(Conjunct {
+            expr: phys,
+            tables: mask,
+        })
     }
 
     /// Resolve a column reference to `(table index, column index, offset)`.
@@ -544,9 +543,7 @@ impl<'a> Binder<'a> {
                 pattern: pattern.clone(),
                 negated: *negated,
             },
-            Expr::CountStar => {
-                return Err(Error::binder("aggregate not allowed in this context"))
-            }
+            Expr::CountStar => return Err(Error::binder("aggregate not allowed in this context")),
             Expr::Call { func, args, .. } => {
                 if agg_func(func).is_some() {
                     return Err(Error::binder(format!(
@@ -684,7 +681,10 @@ impl<'a> Binder<'a> {
             }
             out.push(schema.check_row(&Row::new(vals))?);
         }
-        Ok(BoundStatement::Insert { table: id, rows: out })
+        Ok(BoundStatement::Insert {
+            table: id,
+            rows: out,
+        })
     }
 
     fn bind_update(
@@ -751,7 +751,12 @@ fn saturate_equalities(conjuncts: &mut Vec<Conjunct>, tables: &[BoundTable]) {
     }
     let mut literals: Vec<(usize, Value)> = Vec::new();
     for c in conjuncts.iter() {
-        if let PhysExpr::Binary { op: BinOp::Eq, left, right } = &c.expr {
+        if let PhysExpr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = &c.expr
+        {
             match (&**left, &**right) {
                 (PhysExpr::Col(a), PhysExpr::Col(b)) => {
                     let (ra, rb) = (find(&mut parent, *a), find(&mut parent, *b));
@@ -768,10 +773,8 @@ fn saturate_equalities(conjuncts: &mut Vec<Conjunct>, tables: &[BoundTable]) {
     if literals.is_empty() {
         return;
     }
-    let existing: std::collections::HashSet<(usize, String)> = literals
-        .iter()
-        .map(|(c, v)| (*c, v.to_string()))
-        .collect();
+    let existing: std::collections::HashSet<(usize, String)> =
+        literals.iter().map(|(c, v)| (*c, v.to_string())).collect();
     let mut derived = Vec::new();
     for (col, v) in &literals {
         let root = find(&mut parent, *col);
@@ -904,7 +907,8 @@ mod tests {
             vec![0],
         )
         .unwrap();
-        c.create_index("protein_len", protein, vec![2], false).unwrap();
+        c.create_index("protein_len", protein, vec![2], false)
+            .unwrap();
         c
     }
 
@@ -916,7 +920,9 @@ mod tests {
     fn simple_select_binds_offsets() {
         let c = test_catalog();
         let (b, art) = bind(&c, "select len from protein where nref_id = 'NF1'");
-        let BoundStatement::Select(s) = b else { panic!() };
+        let BoundStatement::Select(s) = b else {
+            panic!()
+        };
         assert_eq!(s.projections[0].0, PhysExpr::Col(2));
         assert_eq!(s.conjuncts.len(), 1);
         assert_eq!(s.conjuncts[0].tables, 1);
@@ -933,7 +939,9 @@ mod tests {
             &c,
             "select p.len, o.taxon_id from protein p join organism o on p.nref_id = o.nref_id",
         );
-        let BoundStatement::Select(s) = b else { panic!() };
+        let BoundStatement::Select(s) = b else {
+            panic!()
+        };
         assert_eq!(s.tables.len(), 2);
         // organism.taxon_id is global offset 3 + 1 = 4.
         assert_eq!(s.projections[1].0, PhysExpr::Col(4));
@@ -946,7 +954,12 @@ mod tests {
     fn ambiguous_and_unknown_columns() {
         let c = test_catalog();
         let err = Binder::new(&c)
-            .bind(&parse_statement("select nref_id from protein p join organism o on p.nref_id = o.nref_id").unwrap())
+            .bind(
+                &parse_statement(
+                    "select nref_id from protein p join organism o on p.nref_id = o.nref_id",
+                )
+                .unwrap(),
+            )
             .unwrap_err();
         assert!(matches!(err, Error::Binder(m) if m.contains("ambiguous")));
         let err = Binder::new(&c)
@@ -963,11 +976,13 @@ mod tests {
             "select taxon_id, count(*) as n, avg(taxon_id) from organism \
              group by taxon_id having count(*) > 2 order by n desc",
         );
-        let BoundStatement::Select(s) = b else { panic!() };
+        let BoundStatement::Select(s) = b else {
+            panic!()
+        };
         assert!(s.is_aggregate());
         assert_eq!(s.group_by.len(), 1);
         assert_eq!(s.aggregates.len(), 2); // count(*) deduplicated with having
-        // Projections over [key, count, avg] layout.
+                                           // Projections over [key, count, avg] layout.
         assert_eq!(s.projections[0].0, PhysExpr::Col(0));
         assert_eq!(s.projections[1].0, PhysExpr::Col(1));
         assert_eq!(s.projections[2].0, PhysExpr::Col(2));
@@ -979,7 +994,10 @@ mod tests {
     fn bare_column_outside_group_by_rejected() {
         let c = test_catalog();
         let err = Binder::new(&c)
-            .bind(&parse_statement("select nref_id, count(*) from organism group by taxon_id").unwrap())
+            .bind(
+                &parse_statement("select nref_id, count(*) from organism group by taxon_id")
+                    .unwrap(),
+            )
             .unwrap_err();
         assert!(matches!(err, Error::Binder(m) if m.contains("GROUP BY")));
     }
@@ -988,7 +1006,9 @@ mod tests {
     fn order_by_hidden_column() {
         let c = test_catalog();
         let (b, _) = bind(&c, "select name from protein order by len desc");
-        let BoundStatement::Select(s) = b else { panic!() };
+        let BoundStatement::Select(s) = b else {
+            panic!()
+        };
         assert_eq!(s.hidden_sort_cols, 1);
         assert_eq!(s.projections.len(), 2);
         assert_eq!(s.order_by, vec![(1, true)]);
@@ -998,7 +1018,9 @@ mod tests {
     fn order_by_ordinal() {
         let c = test_catalog();
         let (b, _) = bind(&c, "select name, len from protein order by 2");
-        let BoundStatement::Select(s) = b else { panic!() };
+        let BoundStatement::Select(s) = b else {
+            panic!()
+        };
         assert_eq!(s.order_by, vec![(1, false)]);
         assert!(Binder::new(&c)
             .bind(&parse_statement("select name from protein order by 5").unwrap())
@@ -1009,7 +1031,9 @@ mod tests {
     fn insert_binding_coerces_and_checks() {
         let c = test_catalog();
         let (b, _) = bind(&c, "insert into protein (nref_id, len) values ('NF1', 10)");
-        let BoundStatement::Insert { rows, .. } = b else { panic!() };
+        let BoundStatement::Insert { rows, .. } = b else {
+            panic!()
+        };
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(0), &Value::Str("NF1".into()));
         assert_eq!(rows[0].get(1), &Value::Null); // name defaulted
@@ -1025,11 +1049,15 @@ mod tests {
     fn update_delete_binding() {
         let c = test_catalog();
         let (b, _) = bind(&c, "update protein set len = len + 1 where nref_id = 'NF1'");
-        let BoundStatement::Update { sets, filter, .. } = b else { panic!() };
+        let BoundStatement::Update { sets, filter, .. } = b else {
+            panic!()
+        };
         assert_eq!(sets[0].0, 2);
         assert!(filter.is_some());
         let (b, _) = bind(&c, "delete from protein");
-        let BoundStatement::Delete { filter, .. } = b else { panic!() };
+        let BoundStatement::Delete { filter, .. } = b else {
+            panic!()
+        };
         assert!(filter.is_none());
     }
 
@@ -1037,7 +1065,9 @@ mod tests {
     fn tableless_select() {
         let c = test_catalog();
         let (b, _) = bind(&c, "select 1 + 2 as three");
-        let BoundStatement::Select(s) = b else { panic!() };
+        let BoundStatement::Select(s) = b else {
+            panic!()
+        };
         assert!(s.tables.is_empty());
         assert_eq!(s.projections[0].1, "three");
     }

@@ -87,7 +87,12 @@ pub fn conjunct_selectivity(entry: &TableEntry, expr: &PhysExpr) -> f64 {
                 _ => DEFAULT_MISC_SEL,
             }
         }
-        PhysExpr::Between { expr, lo, hi, negated } => {
+        PhysExpr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
             let sel = match (&**expr, lo.as_literal(), hi.as_literal()) {
                 (PhysExpr::Col(c), Some(lo), Some(hi)) => {
                     match entry.stats.as_ref().and_then(|s| s.histogram(*c)) {
@@ -103,7 +108,11 @@ pub fn conjunct_selectivity(entry: &TableEntry, expr: &PhysExpr) -> f64 {
                 sel
             }
         }
-        PhysExpr::InList { expr, list, negated } => {
+        PhysExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let sel = match &**expr {
                 PhysExpr::Col(c) => {
                     let hist = entry.stats.as_ref().and_then(|s| s.histogram(*c));
@@ -132,15 +141,13 @@ pub fn conjunct_selectivity(entry: &TableEntry, expr: &PhysExpr) -> f64 {
         }
         PhysExpr::IsNull { expr, negated } => {
             let sel = match &**expr {
-                PhysExpr::Col(c) => {
-                    match entry.stats.as_ref().and_then(|s| s.histogram(*c)) {
-                        Some(h) => {
-                            let total = (h.row_count() + h.null_count()).max(1) as f64;
-                            h.null_count() as f64 / total
-                        }
-                        None => 0.05,
+                PhysExpr::Col(c) => match entry.stats.as_ref().and_then(|s| s.histogram(*c)) {
+                    Some(h) => {
+                        let total = (h.row_count() + h.null_count()).max(1) as f64;
+                        h.null_count() as f64 / total
                     }
-                }
+                    None => 0.05,
+                },
                 _ => 0.05,
             };
             if *negated {
@@ -279,7 +286,9 @@ mod tests {
         let _ = sel;
         // Without stats: the magic constant.
         let no_stats = setup(false);
-        let e = no_stats.table(no_stats.resolve_table("t").unwrap()).unwrap();
+        let e = no_stats
+            .table(no_stats.resolve_table("t").unwrap())
+            .unwrap();
         assert_eq!(conjunct_selectivity(e, &eq_pred(1, 5)), DEFAULT_EQ_SEL);
     }
 

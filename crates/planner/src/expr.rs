@@ -206,14 +206,13 @@ impl PhysExpr {
                 match v {
                     Value::Null => Ok(Value::Null),
                     Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
-                    other => Err(Error::type_error(format!("LIKE needs a string, got {other}"))),
+                    other => Err(Error::type_error(format!(
+                        "LIKE needs a string, got {other}"
+                    ))),
                 }
             }
             PhysExpr::Call { func, args } => {
-                let vals: Vec<Value> = args
-                    .iter()
-                    .map(|a| a.eval(row))
-                    .collect::<Result<_>>()?;
+                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
                 eval_scalar_fn(func, &vals)
             }
         }
@@ -451,7 +450,9 @@ fn eval_scalar_fn(func: &str, args: &[Value]) -> Result<Value> {
         "length" => match arg(0)? {
             Value::Null => Ok(Value::Null),
             Value::Str(s) => Ok(Value::Int(s.len() as i64)),
-            other => Err(Error::type_error(format!("length({other}) is not a string"))),
+            other => Err(Error::type_error(format!(
+                "length({other}) is not a string"
+            ))),
         },
         "upper" => match arg(0)? {
             Value::Null => Ok(Value::Null),

@@ -108,9 +108,9 @@ pub fn optimize(
     opts: OptimizerOptions,
 ) -> Result<PlannedStatement> {
     match stmt {
-        BoundStatement::Select(s) => Ok(PlannedStatement::Query(optimize_select(
-            catalog, s, opts,
-        )?)),
+        BoundStatement::Select(s) => {
+            Ok(PlannedStatement::Query(optimize_select(catalog, s, opts)?))
+        }
         BoundStatement::Insert { table, rows } => Ok(PlannedStatement::Insert {
             table: *table,
             rows: rows.clone(),
@@ -170,9 +170,8 @@ pub fn optimize_select(
         global_map = map;
     }
 
-    let remap = |e: &PhysExpr| -> PhysExpr {
-        e.remap(&|off| *global_map.get(&off).unwrap_or(&off))
-    };
+    let remap =
+        |e: &PhysExpr| -> PhysExpr { e.remap(&|off| *global_map.get(&off).unwrap_or(&off)) };
 
     // 3. Aggregation.
     if s.is_aggregate() {
@@ -206,10 +205,7 @@ pub fn optimize_select(
         // Projections are already over the aggregate output layout.
         node = wrap_project(node, s.projections.iter().map(|(e, _)| e.clone()).collect());
     } else {
-        node = wrap_project(
-            node,
-            s.projections.iter().map(|(e, _)| remap(e)).collect(),
-        );
+        node = wrap_project(node, s.projections.iter().map(|(e, _)| remap(e)).collect());
     }
 
     // 4. Sort (over the projection output, including hidden columns).
@@ -265,9 +261,12 @@ pub fn optimize_select(
 
     let mut used_indexes = Vec::new();
     node.collect_indexes(&mut used_indexes);
-    let uses_virtual = used_indexes
-        .iter()
-        .any(|id| catalog.index(*id).map(|e| e.meta.is_virtual).unwrap_or(false));
+    let uses_virtual = used_indexes.iter().any(|id| {
+        catalog
+            .index(*id)
+            .map(|e| e.meta.is_virtual)
+            .unwrap_or(false)
+    });
     Ok(PlannedQuery {
         output_names: s
             .projections
@@ -315,7 +314,12 @@ struct Rel {
 fn extract_eq(conjuncts: &[PhysExpr]) -> HashMap<usize, Value> {
     let mut out = HashMap::new();
     for c in conjuncts {
-        if let PhysExpr::Binary { op: BinOp::Eq, left, right } = c {
+        if let PhysExpr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = c
+        {
             match (&**left, &**right) {
                 (PhysExpr::Col(c), PhysExpr::Literal(v))
                 | (PhysExpr::Literal(v), PhysExpr::Col(c)) => {
@@ -772,7 +776,16 @@ fn extend_state(
     let probe_candidate = if left_keys.is_empty() || s.tables[j].is_virtual {
         None
     } else {
-        build_probe_join(catalog, s, state, j, &left_keys, &right_keys, out_rows, opts)?
+        build_probe_join(
+            catalog,
+            s,
+            state,
+            j,
+            &left_keys,
+            &right_keys,
+            out_rows,
+            opts,
+        )?
     };
     let plan = if !left_keys.is_empty() {
         let est_cost = state.plan.est_cost
@@ -792,10 +805,7 @@ fn extend_state(
     } else {
         // Nested loop: the inner is re-evaluated per outer row.
         let rescans = state.plan.est_rows.max(1.0);
-        let inner = Cost::new(
-            right.est_cost.cpu * rescans,
-            right.est_cost.io * rescans,
-        );
+        let inner = Cost::new(right.est_cost.cpu * rescans, right.est_cost.io * rescans);
         let est_cost = state.plan.est_cost + inner + Cost::cpu(out_rows);
         PlanNode {
             op: PhysPlan::NestedLoopJoin {
@@ -847,7 +857,9 @@ fn build_probe_join(
             }
         }
     }
-    let Some(source) = source else { return Ok(None) };
+    let Some(source) = source else {
+        return Ok(None);
+    };
 
     let left_width = state.plan.width();
     let base_j = table_offset(&s.tables, j);
@@ -881,9 +893,7 @@ fn build_probe_join(
     let est_cost = state.plan.est_cost
         + Cost::new(
             probes * (8.0 * height + matches_per_probe),
-            probes
-                * (height * 0.2
-                    + crate::cost::RANDOM_IO_WEIGHT * matches_per_probe),
+            probes * (height * 0.2 + crate::cost::RANDOM_IO_WEIGHT * matches_per_probe),
         );
     Ok(Some(PlanNode {
         op: PhysPlan::ProbeJoin {
@@ -963,11 +973,8 @@ mod tests {
                 ]),
             )
             .unwrap();
-            c.insert_row(
-                organism,
-                &Row::new(vec![Value::Int(i), Value::Int(i % 20)]),
-            )
-            .unwrap();
+            c.insert_row(organism, &Row::new(vec![Value::Int(i), Value::Int(i % 20)]))
+                .unwrap();
         }
         c.collect_statistics(protein, &[], 0).unwrap();
         c.collect_statistics(organism, &[], 0).unwrap();
@@ -976,7 +983,9 @@ mod tests {
 
     fn plan(c: &Catalog, sql: &str, opts: OptimizerOptions) -> PlannedQuery {
         let (bound, _) = Binder::new(c).bind(&parse_statement(sql).unwrap()).unwrap();
-        let BoundStatement::Select(s) = bound else { panic!() };
+        let BoundStatement::Select(s) = bound else {
+            panic!()
+        };
         optimize_select(c, &s, opts).unwrap()
     }
 
@@ -1004,7 +1013,8 @@ mod tests {
     fn unselective_predicate_keeps_seq_scan() {
         let mut c = setup();
         let t = c.resolve_table("protein").unwrap();
-        c.create_index("protein_len_idx", t, vec![2], false).unwrap();
+        c.create_index("protein_len_idx", t, vec![2], false)
+            .unwrap();
         // len >= 0 matches everything: scan should win.
         let q = plan(
             &c,
@@ -1076,16 +1086,13 @@ mod tests {
             "select name from protein where nref_id between 10 and 12",
             OptimizerOptions::default(),
         );
-        assert!(
-            q.root.to_string().contains("IndexScan"),
-            "plan: {}",
-            q.root
-        );
+        assert!(q.root.to_string().contains("IndexScan"), "plan: {}", q.root);
         // A wide range on a low-cardinality column must stay a scan: the
         // random heap fetches would dwarf the sequential page reads.
         let mut c2 = setup();
         let t2 = c2.resolve_table("protein").unwrap();
-        c2.create_index("protein_len_idx", t2, vec![2], false).unwrap();
+        c2.create_index("protein_len_idx", t2, vec![2], false)
+            .unwrap();
         let q2 = plan(
             &c2,
             "select name from protein where len between 3 and 40",

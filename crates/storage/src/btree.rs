@@ -106,13 +106,11 @@ impl Node {
                 let mut entries = Vec::with_capacity(n);
                 let mut off = 16;
                 for _ in 0..n {
-                    let klen =
-                        u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+                    let klen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
                     off += 2;
                     let k = bytes[off..off + klen].to_vec();
                     off += klen;
-                    let vlen =
-                        u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+                    let vlen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
                     off += 2;
                     let v = bytes[off..off + vlen].to_vec();
                     off += vlen;
@@ -126,8 +124,7 @@ impl Node {
                 let mut keys = Vec::with_capacity(n);
                 let mut off = 16;
                 for _ in 0..n {
-                    let klen =
-                        u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+                    let klen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
                     off += 2;
                     keys.push(bytes[off..off + klen].to_vec());
                     off += klen;
@@ -467,9 +464,7 @@ impl BTreeFile {
             off += 2;
             match k.cmp(key) {
                 std::cmp::Ordering::Less => off += vlen,
-                std::cmp::Ordering::Equal => {
-                    return Ok(Some(bytes[off..off + vlen].to_vec()))
-                }
+                std::cmp::Ordering::Equal => return Ok(Some(bytes[off..off + vlen].to_vec())),
                 std::cmp::Ordering::Greater => return Ok(None),
             }
         }
@@ -520,8 +515,14 @@ impl BTreeFile {
 }
 
 enum RangeState {
-    NotStarted { lo: Option<Vec<u8>> },
-    InLeaf { entries: Vec<(Vec<u8>, Vec<u8>)>, idx: usize, next: u64 },
+    NotStarted {
+        lo: Option<Vec<u8>>,
+    },
+    InLeaf {
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        idx: usize,
+        next: u64,
+    },
     Done,
 }
 

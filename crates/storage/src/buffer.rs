@@ -118,7 +118,9 @@ impl BufferPool {
         // count (stale generations accumulate on hot pages).
         if inner.lru.len() > inner.frames.len() * 8 + 64 {
             let frames = &inner.frames;
-            inner.lru.retain(|(k, g)| frames.get(k).is_some_and(|f| f.gen == *g));
+            inner
+                .lru
+                .retain(|(k, g)| frames.get(k).is_some_and(|f| f.gen == *g));
         }
     }
 
@@ -400,11 +402,8 @@ mod tests {
         use crate::fault::{FaultInjectingBackend, FaultPlan};
         let cfg = EngineConfig::default();
         let fb = Arc::new(
-            FaultInjectingBackend::from_script(
-                Box::new(MemoryBackend::new()),
-                "write#*=transient",
-            )
-            .unwrap(),
+            FaultInjectingBackend::from_script(Box::new(MemoryBackend::new()), "write#*=transient")
+                .unwrap(),
         );
         let p = BufferPool::new(
             Box::new(Arc::clone(&fb)),

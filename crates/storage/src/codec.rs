@@ -75,8 +75,7 @@ pub fn decode_row(bytes: &[u8]) -> Result<Row> {
             TAG_INT => Value::Int(i64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())),
             TAG_FLOAT => Value::Float(f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())),
             TAG_STR => {
-                let len =
-                    u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
                 let raw = take(&mut pos, len)?;
                 Value::Str(
                     std::str::from_utf8(raw)

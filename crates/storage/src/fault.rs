@@ -236,7 +236,9 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total injections of any kind.
     pub fn injected_total(&self) -> u64 {
-        self.injected_transient + self.injected_permanent + self.injected_torn
+        self.injected_transient
+            + self.injected_permanent
+            + self.injected_torn
             + self.injected_corrupt
     }
 }
@@ -430,10 +432,19 @@ mod tests {
     fn plan_grammar_roundtrip() {
         let p = FaultPlan::parse("write#3..5=transient; write#9=torn:512; read#2=corrupt").unwrap();
         assert_eq!(p.rules().len(), 3);
-        assert_eq!(p.effect_for(FaultOp::Write, 3), Some(FaultEffect::Transient));
-        assert_eq!(p.effect_for(FaultOp::Write, 5), Some(FaultEffect::Transient));
+        assert_eq!(
+            p.effect_for(FaultOp::Write, 3),
+            Some(FaultEffect::Transient)
+        );
+        assert_eq!(
+            p.effect_for(FaultOp::Write, 5),
+            Some(FaultEffect::Transient)
+        );
         assert_eq!(p.effect_for(FaultOp::Write, 6), None);
-        assert_eq!(p.effect_for(FaultOp::Write, 9), Some(FaultEffect::Torn(512)));
+        assert_eq!(
+            p.effect_for(FaultOp::Write, 9),
+            Some(FaultEffect::Torn(512))
+        );
         assert_eq!(p.effect_for(FaultOp::Read, 2), Some(FaultEffect::Corrupt));
         assert_eq!(p.effect_for(FaultOp::Read, 1), None);
 
@@ -442,8 +453,14 @@ mod tests {
         assert!(FaultPlan::parse("scribble#1=transient").is_err());
         assert!(FaultPlan::parse("write#1=explode").is_err());
         let open = FaultPlan::parse("sync#4..=permanent; alloc#*=transient").unwrap();
-        assert_eq!(open.effect_for(FaultOp::Sync, 1 << 40), Some(FaultEffect::Permanent));
-        assert_eq!(open.effect_for(FaultOp::Alloc, 1), Some(FaultEffect::Transient));
+        assert_eq!(
+            open.effect_for(FaultOp::Sync, 1 << 40),
+            Some(FaultEffect::Permanent)
+        );
+        assert_eq!(
+            open.effect_for(FaultOp::Alloc, 1),
+            Some(FaultEffect::Transient)
+        );
     }
 
     #[test]
@@ -494,7 +511,11 @@ mod tests {
         };
         let a = run();
         let b = run();
-        assert_eq!(a[..], b[..], "same plan + same ops must corrupt identically");
+        assert_eq!(
+            a[..],
+            b[..],
+            "same plan + same ops must corrupt identically"
+        );
         assert_ne!(a[PAGE_SIZE / 2..], Page::new().bytes()[PAGE_SIZE / 2..]);
     }
 

@@ -109,7 +109,8 @@ impl DiskModel {
     /// Record a physical page write.
     pub fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.sim_latency_ns.fetch_add(self.write_ns, Ordering::Relaxed);
+        self.sim_latency_ns
+            .fetch_add(self.write_ns, Ordering::Relaxed);
         self.clock.advance_nanos(self.write_ns);
     }
 

@@ -355,7 +355,10 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[10] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(read_manifest(&dir).unwrap(), ManifestRead::Invalid));
+        assert!(matches!(
+            read_manifest(&dir).unwrap(),
+            ManifestRead::Invalid
+        ));
         assert_eq!(manifest_epoch(&dir), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }

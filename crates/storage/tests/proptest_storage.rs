@@ -6,8 +6,7 @@ use std::sync::Arc;
 
 use ingot_common::{EngineConfig, Row, SimClock, Value};
 use ingot_storage::{
-    decode_row, encode_key, encode_row, BTreeFile, BufferPool, DiskModel, HeapFile,
-    MemoryBackend,
+    decode_row, encode_key, encode_row, BTreeFile, BufferPool, DiskModel, HeapFile, MemoryBackend,
 };
 use proptest::prelude::*;
 

@@ -8,7 +8,7 @@
 
 pub mod lock;
 
-pub use lock::{LockManager, LockMode, LockStats, Resource};
+pub use lock::{LockInfo, LockManager, LockMode, LockStats, Resource};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -36,6 +36,19 @@ pub enum Resource {
     Row(TableId, u64),
 }
 
+/// One granted or waiting lock request, as exposed through `ima$locks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockInfo {
+    /// The owning (or waiting) transaction.
+    pub txn: TxnId,
+    /// The locked resource.
+    pub resource: Resource,
+    /// Requested mode.
+    pub mode: LockMode,
+    /// `true` when granted, `false` when still queued.
+    pub granted: bool,
+}
+
 /// Counters exported to the statistics sensor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockStats {
@@ -170,10 +183,7 @@ impl LockManager {
                 return Err(Error::Deadlock { victim: txn.raw() });
             }
 
-            let timed_out = self
-                .cond
-                .wait_for(&mut inner, self.timeout)
-                .timed_out();
+            let timed_out = self.cond.wait_for(&mut inner, self.timeout).timed_out();
             if timed_out {
                 if let Some(state) = inner.locks.get_mut(&res) {
                     state.queue.retain(|(t, _)| *t != txn);
@@ -237,6 +247,39 @@ impl LockManager {
         }
         inner.waiting_on.remove(&txn);
         self.cond.notify_all();
+    }
+
+    /// Point-in-time dump of every granted and queued lock request, ordered
+    /// by resource then grant state (granted first). Feeds `ima$locks`.
+    pub fn snapshot_locks(&self) -> Vec<LockInfo> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for (res, state) in &inner.locks {
+            for (txn, mode) in &state.granted {
+                out.push(LockInfo {
+                    txn: *txn,
+                    resource: *res,
+                    mode: *mode,
+                    granted: true,
+                });
+            }
+            for (txn, mode) in &state.queue {
+                out.push(LockInfo {
+                    txn: *txn,
+                    resource: *res,
+                    mode: *mode,
+                    granted: false,
+                });
+            }
+        }
+        out.sort_by_key(|i| {
+            let (t, r) = match i.resource {
+                Resource::Table(t) => (t.0, u64::MAX),
+                Resource::Row(t, r) => (t.0, r),
+            };
+            (t, r, !i.granted, i.txn.raw())
+        });
+        out
     }
 
     /// Current counters for the statistics sensor.

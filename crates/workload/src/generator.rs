@@ -131,7 +131,9 @@ pub fn load_nref(engine: &Arc<Engine>, config: &NrefConfig) -> Result<NrefStats>
     }
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut stats = NrefStats::default();
-    let mut catalog = engine.catalog().write();
+    // Bulk load through a snapshot: inserts are `&self` on the shared table
+    // handles, and nothing else writes these freshly created tables.
+    let catalog = engine.catalog().read();
     let t_protein = catalog.resolve_table("protein")?;
     let t_organism = catalog.resolve_table("organism")?;
     let t_taxonomy = catalog.resolve_table("taxonomy")?;
@@ -271,9 +273,7 @@ mod tests {
         assert!(s1.total() > 2500);
         // Spot-check through SQL.
         let session = e1.open_session();
-        let r = session
-            .execute("select count(*) from protein")
-            .unwrap();
+        let r = session.execute("select count(*) from protein").unwrap();
         assert_eq!(r.rows[0].get(0), &Value::Int(500));
         let r = session
             .execute("select len from protein where nref_id = 'NF00000042'")
@@ -292,15 +292,11 @@ mod tests {
         load_nref(&e, &cfg).unwrap();
         let session = e.open_session();
         let r = session
-            .execute(
-                "select count(*) from organism where taxon_id < 20",
-            )
+            .execute("select count(*) from organism where taxon_id < 20")
             .unwrap();
         let low = r.rows[0].get(0).as_int().unwrap();
         let r = session
-            .execute(
-                "select count(*) from organism where taxon_id >= 80",
-            )
+            .execute("select count(*) from organism where taxon_id >= 80")
             .unwrap();
         let high = r.rows[0].get(0).as_int().unwrap();
         assert!(

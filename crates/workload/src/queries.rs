@@ -78,7 +78,13 @@ pub fn analytic_queries(config: &NrefConfig) -> Vec<String> {
              join taxonomy t on o.taxon_id = t.taxon_id \
              join neighboring_seq n on o.nref_id = n.nref_id \
              where t.lineage like '{}%' group by o.taxon_id order by s desc",
-            ["Bacteria", "Archaea", "Eukaryota", "Viruses", "Bacteria;clade1"][k as usize % 5]
+            [
+                "Bacteria",
+                "Archaea",
+                "Eukaryota",
+                "Viruses",
+                "Bacteria;clade1"
+            ][k as usize % 5]
         ));
         // Source coverage per taxon (protein ⋈ organism ⋈ source).
         q.push(format!(
@@ -126,10 +132,7 @@ pub fn simple_join_statement(config: &NrefConfig, i: u64) -> String {
 }
 
 /// Iterator over `n` simple-join statements (the 50k test).
-pub fn simple_join_statements(
-    config: &NrefConfig,
-    n: u64,
-) -> impl Iterator<Item = String> + '_ {
+pub fn simple_join_statements(config: &NrefConfig, n: u64) -> impl Iterator<Item = String> + '_ {
     (0..n).map(move |i| simple_join_statement(config, i))
 }
 
@@ -142,10 +145,7 @@ pub fn point_select_statement(config: &NrefConfig, i: u64) -> String {
 }
 
 /// Iterator over `n` point selects (the 1m test).
-pub fn point_select_statements(
-    config: &NrefConfig,
-    n: u64,
-) -> impl Iterator<Item = String> + '_ {
+pub fn point_select_statements(config: &NrefConfig, n: u64) -> impl Iterator<Item = String> + '_ {
     (0..n).map(move |i| point_select_statement(config, i))
 }
 

@@ -64,9 +64,8 @@ fn main() -> Result<()> {
     );
 
     // Long-term data is plain SQL away.
-    let rows = wl.query(
-        "select query_text, frequency from wl_statements order by frequency desc limit 3",
-    )?;
+    let rows = wl
+        .query("select query_text, frequency from wl_statements order by frequency desc limit 3")?;
     println!("\ntop statements in the workload DB:");
     for row in rows {
         println!("  {}x  {}", row.get(1), row.get(0));

@@ -2,6 +2,13 @@
 //! analyzer's locks diagram (the paper's Fig 8 in miniature) — including a
 //! provoked deadlock that shows up as a `D` marker.
 //!
+//! Live contention is observed entirely through SQL: `ima$locks` (one row
+//! per granted/waiting lock request) and `ima$sessions` (session, txn and
+//! lock-manager counters) are virtual tables that take no locks themselves,
+//! so they can be queried *while* the lock they are reporting on is fought
+//! over — "with IMA it is possible to easily access in-memory structures
+//! within the DBMS over standard SQL".
+//!
 //! Run with: `cargo run --example lock_monitoring`
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,9 +46,15 @@ fn main() -> Result<()> {
             if s.begin().is_err() {
                 continue;
             }
-            let a = s.execute(&format!("update accounts set balance = balance - 1 where id = {}", i % 10));
+            let a = s.execute(&format!(
+                "update accounts set balance = balance - 1 where id = {}",
+                i % 10
+            ));
             std::thread::sleep(Duration::from_millis(3));
-            let b = s.execute(&format!("update audit set note = 'w1' where id = {}", i % 10));
+            let b = s.execute(&format!(
+                "update audit set note = 'w1' where id = {}",
+                i % 10
+            ));
             if a.is_ok() && b.is_ok() {
                 let _ = s.commit();
             } else {
@@ -62,9 +75,15 @@ fn main() -> Result<()> {
             if s.begin().is_err() {
                 continue;
             }
-            let a = s.execute(&format!("update audit set note = 'w2' where id = {}", i % 10));
+            let a = s.execute(&format!(
+                "update audit set note = 'w2' where id = {}",
+                i % 10
+            ));
             std::thread::sleep(Duration::from_millis(3));
-            let b = s.execute(&format!("update accounts set balance = balance + 1 where id = {}", i % 10));
+            let b = s.execute(&format!(
+                "update accounts set balance = balance + 1 where id = {}",
+                i % 10
+            ));
             if a.is_ok() && b.is_ok() {
                 let _ = s.commit();
             } else {
@@ -75,11 +94,43 @@ fn main() -> Result<()> {
         deadlocks
     });
 
-    // Sample the statistics sensor while the workers fight.
-    for _ in 0..15 {
+    // Sample the statistics sensor while the workers fight — and, halfway
+    // through, look at the live lock table over plain SQL.
+    for round in 0..15 {
         std::thread::sleep(Duration::from_millis(20));
         engine.sim_clock().advance_secs(30);
         engine.sample_statistics();
+        if round == 7 {
+            let locks = setup.execute("select * from ima$locks")?;
+            println!(
+                "live ima$locks while the workers fight ({} requests):",
+                locks.rows.len()
+            );
+            for row in &locks.rows {
+                println!(
+                    "  txn={:<4} table_id={:<3} row_id={:<6} mode={} state={}",
+                    row.get(0),
+                    row.get(1),
+                    row.get(2),
+                    row.get(3),
+                    row.get(4)
+                );
+            }
+            let sess = setup.execute("select * from ima$sessions")?;
+            if let Some(row) = sess.rows.first() {
+                println!(
+                    "ima$sessions: current={} peak={} active_txns={} locks_held={} \
+                     waiting={} waits_total={} deadlocks_total={}\n",
+                    row.get(0),
+                    row.get(1),
+                    row.get(2),
+                    row.get(3),
+                    row.get(4),
+                    row.get(5),
+                    row.get(6)
+                );
+            }
+        }
     }
     stop.store(true, Ordering::Relaxed);
     let d1 = w1.join().expect("w1");
@@ -89,8 +140,12 @@ fn main() -> Result<()> {
     println!("{}", build_locks_diagram(&view).render());
 
     let stats = engine.locks().stats();
-    println!("lock waits: {}, deadlocks detected: {} (victims seen by workers: {})",
-        stats.waits_total, stats.deadlocks_total, d1 + d2);
+    println!(
+        "lock waits: {}, deadlocks detected: {} (victims seen by workers: {})",
+        stats.waits_total,
+        stats.deadlocks_total,
+        d1 + d2
+    );
 
     // The same data is one SQL query away, for any external tool:
     let rows = setup.execute(
@@ -99,7 +154,12 @@ fn main() -> Result<()> {
     )?;
     println!("\nlatest ima$statistics samples:");
     for row in &rows.rows {
-        println!("  t={}s locks={} deadlocks_total={}", row.get(0), row.get(1), row.get(2));
+        println!(
+            "  t={}s locks={} deadlocks_total={}",
+            row.get(0),
+            row.get(1),
+            row.get(2)
+        );
     }
     Ok(())
 }

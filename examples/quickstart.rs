@@ -13,9 +13,8 @@ fn main() -> Result<()> {
     let session = engine.open_session();
 
     // Ordinary SQL.
-    session.execute(
-        "create table protein (nref_id text not null primary key, name text, len int)",
-    )?;
+    session
+        .execute("create table protein (nref_id text not null primary key, name text, len int)")?;
     session.execute(
         "insert into protein values \
          ('NF00000001', 'insulin', 51), \
@@ -30,8 +29,12 @@ fn main() -> Result<()> {
 
     // Every statement passed through the sensors of Fig 2: wall-clock,
     // estimated cost, actual cost.
-    println!("\nlast statement: est {} | actual {} | {} µs wall",
-        r.est_cost, r.actual_cost, r.wallclock_ns / 1000);
+    println!(
+        "\nlast statement: est {} | actual {} | {} µs wall",
+        r.est_cost,
+        r.actual_cost,
+        r.wallclock_ns / 1000
+    );
 
     // The monitor's ring buffers are queryable as virtual tables (IMA).
     let stmts = session.execute(
@@ -42,9 +45,8 @@ fn main() -> Result<()> {
         println!("  {}x  {}", row.get(0), row.get(1));
     }
 
-    let workload = session.execute(
-        "select count(*), sum(exec_cpu), sum(wallclock_ns) from ima$workload",
-    )?;
+    let workload =
+        session.execute("select count(*), sum(exec_cpu), sum(wallclock_ns) from ima$workload")?;
     let row = &workload.rows[0];
     println!(
         "\nima$workload: {} executions, {} tuples processed, {} µs total",

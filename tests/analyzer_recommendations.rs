@@ -44,8 +44,14 @@ fn analyzer_covers_all_three_rule_families_on_nref() {
     // Five of the six tables overflow their default heap extent; tiny
     // `taxonomy` (40 rows) fits and must NOT be flagged — the rule is about
     // overflow, not blanket conversion.
-    assert!(btree >= 5, "overflowing heap tables must be flagged, got {btree}");
-    assert!(btree < 6 || stats > 0, "taxonomy at this scale fits its extent");
+    assert!(
+        btree >= 5,
+        "overflowing heap tables must be flagged, got {btree}"
+    );
+    assert!(
+        btree < 6 || stats > 0,
+        "taxonomy at this scale fits its extent"
+    );
     assert!(index >= 1, "the join workload must justify indexes");
     // The cost diagram covers the ten most expensive statements.
     assert_eq!(report.cost_diagram.entries.len(), 10);
@@ -99,7 +105,10 @@ fn applying_recommendations_reduces_physical_io() {
         .zip(&after)
         .filter(|(b, a)| (**a as f64) < **b as f64 * 0.5)
         .count();
-    assert!(improved >= 10, "expected ≥10 strongly improved queries, got {improved}");
+    assert!(
+        improved >= 10,
+        "expected ≥10 strongly improved queries, got {improved}"
+    );
 }
 
 #[test]
@@ -175,7 +184,10 @@ fn recommendations_apply_through_sql_in_safe_order() {
         .iter()
         .rposition(|s| s.starts_with("create statistics"));
     if let (Some(fi), Some(ls)) = (first_index, last_stats) {
-        assert!(ls < fi, "statistics must precede index creation: {executed:?}");
+        assert!(
+            ls < fi,
+            "statistics must precede index creation: {executed:?}"
+        );
     }
     // The engine is healthy afterwards.
     let r = session.execute("select count(*) from protein").unwrap();

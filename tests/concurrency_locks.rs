@@ -48,7 +48,8 @@ fn concurrent_writers_serialize_and_count_correctly() {
     let e = engine();
     {
         let s = e.open_session();
-        s.execute("create table counter (id int not null primary key, v int)").unwrap();
+        s.execute("create table counter (id int not null primary key, v int)")
+            .unwrap();
         s.execute("insert into counter values (1, 0)").unwrap();
     }
     let mut handles = Vec::new();
@@ -57,7 +58,8 @@ fn concurrent_writers_serialize_and_count_correctly() {
         handles.push(std::thread::spawn(move || {
             let s = e.open_session();
             for _ in 0..25 {
-                s.execute("update counter set v = v + 1 where id = 1").unwrap();
+                s.execute("update counter set v = v + 1 where id = 1")
+                    .unwrap();
             }
         }));
     }
@@ -78,8 +80,10 @@ fn deadlock_is_detected_and_reported_in_statistics() {
     let e = engine();
     {
         let s = e.open_session();
-        s.execute("create table a (id int not null primary key, v int)").unwrap();
-        s.execute("create table b (id int not null primary key, v int)").unwrap();
+        s.execute("create table a (id int not null primary key, v int)")
+            .unwrap();
+        s.execute("create table b (id int not null primary key, v int)")
+            .unwrap();
         s.execute("insert into a values (1, 0)").unwrap();
         s.execute("insert into b values (1, 0)").unwrap();
     }
@@ -133,8 +137,14 @@ fn deadlock_is_detected_and_reported_in_statistics() {
     stop.store(true, Ordering::Relaxed);
     e.sample_statistics();
     let victims: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-    assert!(saw_deadlock, "opposite lock orders must deadlock eventually");
-    assert!(victims > 0, "some transaction must have been chosen as victim");
+    assert!(
+        saw_deadlock,
+        "opposite lock orders must deadlock eventually"
+    );
+    assert!(
+        victims > 0,
+        "some transaction must have been chosen as victim"
+    );
     assert_eq!(
         e.locks().stats().deadlocks_total,
         victims,
@@ -148,7 +158,10 @@ fn deadlock_is_detected_and_reported_in_statistics() {
     let view = WorkloadView::from_monitor(m);
     let diagram = ingot::analyzer::report::build_locks_diagram(&view);
     let rendered = diagram.render();
-    assert!(rendered.contains('D') || rendered.contains('W'), "{rendered}");
+    assert!(
+        rendered.contains('D') || rendered.contains('W'),
+        "{rendered}"
+    );
 }
 
 #[test]
@@ -170,6 +183,135 @@ fn lock_timeout_backstop() {
     let result = blocked.join().unwrap();
     assert!(matches!(result, Err(Error::LockTimeout(_))), "{result:?}");
     s1.commit().unwrap();
+}
+
+#[test]
+fn writer_writer_conflict_blocks_until_commit() {
+    let e = engine();
+    let s1 = e.open_session();
+    s1.execute("create table t (id int not null primary key, v int)")
+        .unwrap();
+    s1.execute("insert into t values (1, 0)").unwrap();
+    let waits_before = e.locks().stats().waits_total;
+
+    s1.begin().unwrap();
+    s1.execute("update t set v = 10 where id = 1").unwrap(); // X held
+    let e2 = Arc::clone(&e);
+    let h = std::thread::spawn(move || {
+        let s2 = e2.open_session();
+        // Second writer must block behind the first, then read *its* value.
+        s2.execute("update t set v = v + 5 where id = 1")
+    });
+    // Wait until the second writer is queued, then release it.
+    for _ in 0..100 {
+        if e.locks().stats().waiting == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(e.locks().stats().waiting, 1, "second writer must wait");
+    s1.commit().unwrap();
+    h.join().unwrap().unwrap();
+
+    assert!(e.locks().stats().waits_total > waits_before);
+    let r = s1.execute("select v from t where id = 1").unwrap();
+    assert_eq!(
+        r.rows[0].get(0).as_int().unwrap(),
+        15,
+        "second writer must see the first writer's committed value"
+    );
+}
+
+#[test]
+fn reader_proceeds_while_writer_active() {
+    let e = engine();
+    let s1 = e.open_session();
+    s1.execute("create table hot (id int not null primary key, v int)")
+        .unwrap();
+    s1.execute("create table cold (id int not null primary key, v int)")
+        .unwrap();
+    s1.execute("insert into hot values (1, 0)").unwrap();
+    s1.execute("insert into cold values (1, 42)").unwrap();
+
+    s1.begin().unwrap();
+    s1.execute("update hot set v = 1 where id = 1").unwrap(); // X on hot
+    let waits_before = e.locks().stats().waits_total;
+
+    // While the writer transaction is open, a reader of an *unrelated* table
+    // and of the lock-free ima$ views completes without ever queueing — an
+    // engine-wide statement lock would stall (and eventually time out) here.
+    let s2 = e.open_session();
+    let r = s2.execute("select v from cold where id = 1").unwrap();
+    assert_eq!(r.rows[0].get(0).as_int().unwrap(), 42);
+    s2.execute("select * from ima$sessions").unwrap();
+    s2.execute("select * from ima$locks").unwrap();
+    assert_eq!(
+        e.locks().stats().waits_total,
+        waits_before,
+        "reader of an unrelated table must not wait on the writer"
+    );
+    s1.commit().unwrap();
+}
+
+#[test]
+fn ima_locks_and_sessions_expose_contention() {
+    let e = engine();
+    let s1 = e.open_session();
+    s1.execute("create table t (id int not null primary key, v int)")
+        .unwrap();
+    s1.execute("insert into t values (1, 0)").unwrap();
+
+    s1.begin().unwrap();
+    s1.execute("update t set v = 1 where id = 1").unwrap(); // X granted
+    let e2 = Arc::clone(&e);
+    let h = std::thread::spawn(move || {
+        let s2 = e2.open_session();
+        s2.execute("update t set v = v + 1 where id = 1")
+    });
+    for _ in 0..100 {
+        if e.locks().stats().waiting == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // ima$locks: columns are (txn, table_id, row_id, mode, state). One
+    // granted X and one waiting X on the same table, different txns.
+    let s3 = e.open_session();
+    let locks = s3.execute("select * from ima$locks").unwrap();
+    let granted: Vec<_> = locks
+        .rows
+        .iter()
+        .filter(|r| r.get(4) == &Value::Str("granted".into()))
+        .collect();
+    let waiting: Vec<_> = locks
+        .rows
+        .iter()
+        .filter(|r| r.get(4) == &Value::Str("waiting".into()))
+        .collect();
+    assert_eq!(granted.len(), 1, "{locks:?}");
+    assert_eq!(waiting.len(), 1, "{locks:?}");
+    assert_eq!(granted[0].get(3), &Value::Str("X".into()));
+    assert_eq!(waiting[0].get(3), &Value::Str("X".into()));
+    assert_eq!(granted[0].get(1), waiting[0].get(1), "same table");
+    assert_ne!(granted[0].get(0), waiting[0].get(0), "different txns");
+
+    // ima$sessions: (current_sessions, peak_sessions, active_txns,
+    // locks_held, lock_waiting, lock_waits_total, deadlocks_total,
+    // locks_granted_total) — one live row mirroring the counters.
+    let sess = s3.execute("select * from ima$sessions").unwrap();
+    assert_eq!(sess.rows.len(), 1);
+    let row = &sess.rows[0];
+    assert!(row.get(0).as_int().unwrap() >= 2, "sessions open: {row:?}");
+    assert!(row.get(2).as_int().unwrap() >= 2, "txns active: {row:?}");
+    assert!(row.get(3).as_int().unwrap() >= 1, "lock held: {row:?}");
+    assert_eq!(row.get(4).as_int().unwrap(), 1, "one waiter: {row:?}");
+
+    s1.commit().unwrap();
+    h.join().unwrap().unwrap();
+    let s = e.open_session();
+    let locks = s.execute("select * from ima$locks").unwrap();
+    assert!(locks.rows.is_empty(), "all locks drained: {locks:?}");
 }
 
 #[test]

@@ -11,11 +11,13 @@ use ingot::prelude::*;
 fn engine_with_activity() -> std::sync::Arc<Engine> {
     let e = Engine::new(EngineConfig::monitoring().with_heap_main_pages(2));
     let s = e.open_session();
-    s.execute("create table t (a int not null, b text)").unwrap();
+    s.execute("create table t (a int not null, b text)")
+        .unwrap();
     // Enough rows to overflow the 2-page main extent (the analyzer's
     // B-Tree rule needs overflow to fire).
     for i in 0..1200 {
-        s.execute(&format!("insert into t values ({i}, 'it''s row {i}')")).unwrap();
+        s.execute(&format!("insert into t values ({i}, 'it''s row {i}')"))
+            .unwrap();
     }
     s.execute("select count(*) from t where a < 50").unwrap();
     e
@@ -25,7 +27,11 @@ fn engine_with_activity() -> std::sync::Arc<Engine> {
 fn daemon_end_to_end_via_sql() {
     let engine = engine_with_activity();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
-    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+    let daemon = StorageDaemon::new(
+        Arc::clone(&engine),
+        Arc::clone(&wldb),
+        DaemonConfig::default(),
+    );
     daemon.poll_once().unwrap();
 
     // All seven Fig 3 tables are populated (indexes only when one was used).
@@ -58,7 +64,11 @@ fn daemon_end_to_end_via_sql() {
 fn incremental_polls_do_not_duplicate() {
     let engine = engine_with_activity();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
-    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+    let daemon = StorageDaemon::new(
+        Arc::clone(&engine),
+        Arc::clone(&wldb),
+        DaemonConfig::default(),
+    );
     daemon.poll_once().unwrap();
     let first = wldb.row_count("wl_workload").unwrap();
     daemon.poll_once().unwrap();
@@ -74,7 +84,11 @@ fn incremental_polls_do_not_duplicate() {
 fn seven_day_retention_window() {
     let engine = engine_with_activity();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
-    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+    let daemon = StorageDaemon::new(
+        Arc::clone(&engine),
+        Arc::clone(&wldb),
+        DaemonConfig::default(),
+    );
     daemon.poll_once().unwrap();
     let day = 24 * 3600;
     // Three days later: new work arrives, old work stays (inside the window).
@@ -88,7 +102,9 @@ fn seven_day_retention_window() {
     // survives.
     engine.sim_clock().advance_secs(5 * day);
     daemon.poll_once().unwrap();
-    let rows = wldb.query("select ts from wl_workload order by ts").unwrap();
+    let rows = wldb
+        .query("select ts from wl_workload order by ts")
+        .unwrap();
     assert!(!rows.is_empty());
     assert!(rows
         .iter()
@@ -103,8 +119,11 @@ fn file_backed_workload_db_survives_restart() {
     let stmt_count;
     {
         let wldb = Arc::new(WorkloadDb::file_backed(&dir, engine.sim_clock().clone()).unwrap());
-        let daemon =
-            StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+        let daemon = StorageDaemon::new(
+            Arc::clone(&engine),
+            Arc::clone(&wldb),
+            DaemonConfig::default(),
+        );
         daemon.poll_once().unwrap();
         stmt_count = wldb.row_count("wl_statements").unwrap();
         wldb.flush().unwrap();
@@ -145,12 +164,17 @@ fn background_daemon_with_alerts() {
 fn growth_projection_matches_paper_formula() {
     let engine = engine_with_activity();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
-    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+    let daemon = StorageDaemon::new(
+        Arc::clone(&engine),
+        Arc::clone(&wldb),
+        DaemonConfig::default(),
+    );
     daemon.poll_once().unwrap();
     engine.sim_clock().advance_secs(3600);
     let s = engine.open_session();
     for i in 0..20 {
-        s.execute(&format!("select count(*) from t where a = {i}")).unwrap();
+        s.execute(&format!("select count(*) from t where a = {i}"))
+            .unwrap();
     }
     daemon.poll_once().unwrap();
     let g = wldb.growth();
@@ -165,7 +189,11 @@ fn analyzer_reads_the_workload_db() {
     // store, not the live buffers.
     let engine = engine_with_activity();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
-    let daemon = StorageDaemon::new(Arc::clone(&engine), Arc::clone(&wldb), DaemonConfig::default());
+    let daemon = StorageDaemon::new(
+        Arc::clone(&engine),
+        Arc::clone(&wldb),
+        DaemonConfig::default(),
+    );
     daemon.poll_once().unwrap();
     let view = WorkloadView::from_workload_db(&wldb).unwrap();
     assert!(!view.statements.is_empty());

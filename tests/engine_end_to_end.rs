@@ -8,19 +8,26 @@ fn engine() -> std::sync::Arc<Engine> {
 }
 
 fn ints(r: &StatementResult, col: usize) -> Vec<i64> {
-    r.rows.iter().map(|row| row.get(col).as_int().unwrap()).collect()
+    r.rows
+        .iter()
+        .map(|row| row.get(col).as_int().unwrap())
+        .collect()
 }
 
 #[test]
 fn join_results_match_naive_computation() {
     let e = engine();
     let s = e.open_session();
-    s.execute("create table a (k int not null, av int)").unwrap();
-    s.execute("create table b (k int not null, bv int)").unwrap();
+    s.execute("create table a (k int not null, av int)")
+        .unwrap();
+    s.execute("create table b (k int not null, bv int)")
+        .unwrap();
     // Deterministic pseudo-random data via a simple LCG.
     let mut x = 7u64;
     let mut next = || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (x >> 33) as i64
     };
     let mut a_rows = Vec::new();
@@ -29,13 +36,15 @@ fn join_results_match_naive_computation() {
         let k = next() % 40;
         let v = next() % 1000;
         a_rows.push((k, v));
-        s.execute(&format!("insert into a values ({k}, {v})")).unwrap();
+        s.execute(&format!("insert into a values ({k}, {v})"))
+            .unwrap();
     }
     for _ in 0..200 {
         let k = next() % 40;
         let v = next() % 1000;
         b_rows.push((k, v));
-        s.execute(&format!("insert into b values ({k}, {v})")).unwrap();
+        s.execute(&format!("insert into b values ({k}, {v})"))
+            .unwrap();
     }
     // Naive nested-loop expectation.
     let mut expected: Vec<(i64, i64, i64)> = Vec::new();
@@ -77,7 +86,8 @@ fn aggregates_match_naive_computation() {
         let g = i % 7;
         let v = (i * 13) % 101;
         *sums.entry(g).or_insert(0i64) += v;
-        s.execute(&format!("insert into t values ({g}, {v})")).unwrap();
+        s.execute(&format!("insert into t values ({g}, {v})"))
+            .unwrap();
     }
     let r = s
         .execute("select g, sum(v), count(*), min(v), max(v) from t group by g order by g")
@@ -98,9 +108,11 @@ fn aggregates_match_naive_computation() {
 fn update_delete_respect_predicates_and_indexes_stay_consistent() {
     let e = engine();
     let s = e.open_session();
-    s.execute("create table t (id int not null primary key, v int)").unwrap();
+    s.execute("create table t (id int not null primary key, v int)")
+        .unwrap();
     for i in 0..400 {
-        s.execute(&format!("insert into t values ({i}, {})", i % 20)).unwrap();
+        s.execute(&format!("insert into t values ({i}, {})", i % 20))
+            .unwrap();
     }
     s.execute("create index t_v on t (v)").unwrap();
     s.execute("modify t to btree").unwrap();
@@ -126,16 +138,21 @@ fn order_limit_distinct_between_like() {
     let s = e.open_session();
     s.execute("create table t (id int, tag text)").unwrap();
     for i in 0..50 {
-        s.execute(&format!("insert into t values ({i}, 'tag{}')", i % 5)).unwrap();
+        s.execute(&format!("insert into t values ({i}, 'tag{}')", i % 5))
+            .unwrap();
     }
     let r = s
         .execute("select distinct tag from t where id between 10 and 30 order by tag desc limit 3")
         .unwrap();
     assert_eq!(r.rows.len(), 3);
     assert_eq!(r.rows[0].get(0).as_str(), Some("tag4"));
-    let r = s.execute("select count(*) from t where tag like 'tag_'").unwrap();
+    let r = s
+        .execute("select count(*) from t where tag like 'tag_'")
+        .unwrap();
     assert_eq!(r.rows[0].get(0).as_int().unwrap(), 50);
-    let r = s.execute("select count(*) from t where tag like '%3'").unwrap();
+    let r = s
+        .execute("select count(*) from t where tag like '%3'")
+        .unwrap();
     assert_eq!(r.rows[0].get(0).as_int().unwrap(), 10);
     // ORDER BY hidden column + OFFSET.
     let r = s
@@ -150,16 +167,21 @@ fn null_semantics_end_to_end() {
     let e = engine();
     let s = e.open_session();
     s.execute("create table t (id int, v int)").unwrap();
-    s.execute("insert into t values (1, 10), (2, null), (3, 30)").unwrap();
+    s.execute("insert into t values (1, 10), (2, null), (3, 30)")
+        .unwrap();
     // NULL never matches comparisons.
     let r = s.execute("select id from t where v > 5").unwrap();
     assert_eq!(ints(&r, 0).len(), 2);
     let r = s.execute("select id from t where v is null").unwrap();
     assert_eq!(ints(&r, 0), vec![2]);
-    let r = s.execute("select id from t where v is not null order by id").unwrap();
+    let r = s
+        .execute("select id from t where v is not null order by id")
+        .unwrap();
     assert_eq!(ints(&r, 0), vec![1, 3]);
     // Aggregates skip NULLs; count(*) does not.
-    let r = s.execute("select count(v), count(*), sum(v) from t").unwrap();
+    let r = s
+        .execute("select count(v), count(*), sum(v) from t")
+        .unwrap();
     assert_eq!(ints(&r, 0), vec![2]);
     assert_eq!(r.rows[0].get(1).as_int().unwrap(), 3);
     assert_eq!(r.rows[0].get(2).as_int().unwrap(), 40);
@@ -173,9 +195,12 @@ fn three_way_join_with_aggregation() {
     s.execute("create table g (b int, c int)").unwrap();
     s.execute("create table h (c int, w int)").unwrap();
     for i in 0..60 {
-        s.execute(&format!("insert into f values ({}, {})", i % 6, i % 10)).unwrap();
-        s.execute(&format!("insert into g values ({}, {})", i % 10, i % 4)).unwrap();
-        s.execute(&format!("insert into h values ({}, {})", i % 4, i)).unwrap();
+        s.execute(&format!("insert into f values ({}, {})", i % 6, i % 10))
+            .unwrap();
+        s.execute(&format!("insert into g values ({}, {})", i % 10, i % 4))
+            .unwrap();
+        s.execute(&format!("insert into h values ({}, {})", i % 4, i))
+            .unwrap();
     }
     let r = s
         .execute(
@@ -198,7 +223,10 @@ fn errors_are_clean_and_engine_survives() {
     let e = engine();
     let s = e.open_session();
     assert!(matches!(s.execute("selec 1"), Err(Error::Parse(_))));
-    assert!(matches!(s.execute("select * from ghosts"), Err(Error::Binder(_))));
+    assert!(matches!(
+        s.execute("select * from ghosts"),
+        Err(Error::Binder(_))
+    ));
     s.execute("create table t (a int not null)").unwrap();
     assert!(matches!(
         s.execute("insert into t values (null)"),
@@ -209,7 +237,10 @@ fn errors_are_clean_and_engine_survives() {
         Err(Error::Execution(_)) | Ok(_) // empty table: division never runs
     ));
     s.execute("insert into t values (1)").unwrap();
-    assert!(matches!(s.execute("select 1/0 from t"), Err(Error::Execution(_))));
+    assert!(matches!(
+        s.execute("select 1/0 from t"),
+        Err(Error::Execution(_))
+    ));
     // And the engine still works.
     let r = s.execute("select count(*) from t").unwrap();
     assert_eq!(r.rows[0].get(0).as_int().unwrap(), 1);

@@ -15,11 +15,15 @@ fn one_int(s: &Session, sql: &str) -> i64 {
 fn fig2_sensor_values_are_recorded() {
     let e = engine();
     let s = e.open_session();
-    s.execute("create table protein (nref_id int not null primary key, name text)").unwrap();
+    s.execute("create table protein (nref_id int not null primary key, name text)")
+        .unwrap();
     for i in 0..500 {
-        s.execute(&format!("insert into protein values ({i}, 'p{i}')")).unwrap();
+        s.execute(&format!("insert into protein values ({i}, 'p{i}')"))
+            .unwrap();
     }
-    let r = s.execute("select name from protein where nref_id = 250").unwrap();
+    let r = s
+        .execute("select name from protein where nref_id = 250")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
 
     // The workload record for that statement carries every Fig 2 quantity.
@@ -28,15 +32,24 @@ fn fig2_sensor_values_are_recorded() {
     let rec = w.last().unwrap();
     assert!(rec.wallclock_ns > 0, "wallclock start/stop");
     assert!(rec.est.total() > 0.0, "estimated costs from the optimizer");
-    assert!(rec.exec_cpu >= 500, "actual costs from execution (full scan)");
+    assert!(
+        rec.exec_cpu >= 500,
+        "actual costs from execution (full scan)"
+    );
     assert!(rec.monitor_ns > 0, "monitor self-timing");
-    assert!(rec.monitor_ns < rec.wallclock_ns, "sensors are a fraction of the statement");
+    assert!(
+        rec.monitor_ns < rec.wallclock_ns,
+        "sensors are a fraction of the statement"
+    );
 
     // Parse-stage references: the statement touched protein.{nref_id,name}.
     let refs = m.references();
     let hash = rec.hash;
     let stmt_refs: Vec<_> = refs.iter().filter(|r| r.hash == hash).collect();
-    assert!(stmt_refs.len() >= 3, "table + 2 attributes, got {stmt_refs:?}");
+    assert!(
+        stmt_refs.len() >= 3,
+        "table + 2 attributes, got {stmt_refs:?}"
+    );
 }
 
 #[test]
@@ -74,12 +87,16 @@ fn ima_tables_follow_fig3_schema() {
     // enough that the optimizer prefers the probe over the scan.
     s.execute("create index t_b on t (b)").unwrap();
     for i in 0..6000 {
-        s.execute(&format!("insert into t values ({i}, {i})")).unwrap();
+        s.execute(&format!("insert into t values ({i}, {i})"))
+            .unwrap();
     }
     s.execute("create statistics on t").unwrap();
     s.execute("select a from t where b = 55").unwrap();
     assert!(
-        one_int(&s, "select count(*) from ima$indexes where index_name = 't_b'") >= 1,
+        one_int(
+            &s,
+            "select count(*) from ima$indexes where index_name = 't_b'"
+        ) >= 1,
         "used index must be recorded"
     );
 }
@@ -92,7 +109,8 @@ fn statement_ring_wraps_like_the_paper() {
     let s = e.open_session();
     s.execute("create table t (a int)").unwrap();
     for i in 0..250 {
-        s.execute(&format!("select a from t where a = {i}")).unwrap();
+        s.execute(&format!("select a from t where a = {i}"))
+            .unwrap();
     }
     let m = e.monitor().unwrap();
     let stmts = m.statements();
@@ -136,13 +154,18 @@ fn monitor_self_time_stays_small_for_expensive_statements() {
     let s = e.open_session();
     s.execute("create table t (a int, b int)").unwrap();
     for i in 0..5000 {
-        s.execute(&format!("insert into t values ({i}, {})", i % 7)).unwrap();
+        s.execute(&format!("insert into t values ({i}, {})", i % 7))
+            .unwrap();
     }
-    s.execute("select b, count(*), sum(a) from t group by b order by b").unwrap();
+    s.execute("select b, count(*), sum(a) from t group by b order by b")
+        .unwrap();
     let m = e.monitor().unwrap();
     let rec = m.workload().last().unwrap().clone();
     let share = rec.monitor_ns as f64 / rec.wallclock_ns as f64;
-    assert!(share < 0.10, "share {share} too high for an expensive statement");
+    assert!(
+        share < 0.10,
+        "share {share} too high for an expensive statement"
+    );
 }
 
 #[test]
@@ -154,13 +177,12 @@ fn estimated_vs_actual_divergence_is_observable_via_sql() {
     s.execute("create table t (a int, b int)").unwrap();
     // Heavily skewed: b = 0 everywhere.
     for i in 0..3000 {
-        s.execute(&format!("insert into t values ({i}, 0)")).unwrap();
+        s.execute(&format!("insert into t values ({i}, 0)"))
+            .unwrap();
     }
     s.execute("select count(*) from t where b = 0").unwrap();
     let r = s
-        .execute(
-            "select est_cpu, exec_cpu from ima$workload order by seq desc limit 1",
-        )
+        .execute("select est_cpu, exec_cpu from ima$workload order by seq desc limit 1")
         .unwrap();
     let est = r.rows[0].get(0).as_f64().unwrap();
     let actual = r.rows[0].get(1).as_f64().unwrap();

@@ -2,9 +2,7 @@
 //! sets run end-to-end under monitoring and behave like the paper describes.
 
 use ingot::prelude::*;
-use ingot::workload::{
-    analytic_queries, point_select_statements, simple_join_statements,
-};
+use ingot::workload::{analytic_queries, point_select_statements, simple_join_statements};
 
 fn setup(proteins: u64) -> (std::sync::Arc<Engine>, NrefConfig) {
     let engine = Engine::new(EngineConfig::monitoring().with_statement_capacity(1000));
