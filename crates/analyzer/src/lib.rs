@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The analyzer (§IV-C of the paper).
 //!
 //! Scans the collected monitoring data and recommends changes to the

@@ -5,6 +5,9 @@
 //! statistics sensor, and renders the analyzer's locks diagram: locks in use
 //! over time with lock-wait (`W`) and deadlock (`D`) indicators.
 
+// Bench pacing: sleeps model client think-time and sampling cadence.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

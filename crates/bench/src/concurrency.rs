@@ -10,6 +10,9 @@
 //! observable on small machines — a single core cannot parallelise compute,
 //! but it can overlap waiting.
 
+// Bench pacing: the think-time sleep *is* the closed-loop client model.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 

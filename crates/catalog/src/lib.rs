@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Catalog subsystem: metadata about tables, attributes and indexes, plus
 //! the optimizer statistics (equi-depth histograms) whose presence or absence
 //! drives two of the paper's analyzer rules ("one or more attributes of a

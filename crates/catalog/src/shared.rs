@@ -21,6 +21,12 @@
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
+// Under `--cfg loom` the primitives come from the model-checking shim, which
+// injects schedule perturbation at every acquire/notify edge (see the
+// loom-shim crate and the `loom_shared_catalog` integration test).
+#[cfg(loom)]
+use loom::sync::{Mutex, MutexGuard, RwLock};
+#[cfg(not(loom))]
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::catalog::Catalog;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared foundation types for the Ingot DBMS.
 //!
 //! This crate contains the vocabulary used by every other subsystem: SQL

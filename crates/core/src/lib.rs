@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The Ingot engine with **integrated performance monitoring** — the primary
 //! contribution of *An Integrated Approach to Performance Monitoring for
 //! Autonomous Tuning* (Thiem & Sattler, ICDE 2009), rebuilt in Rust.

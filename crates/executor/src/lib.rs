@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The executor: interprets physical plans and accounts actual costs.
 //!
 //! Execution counts every tuple it touches; the engine wraps each statement

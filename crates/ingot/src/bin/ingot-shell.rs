@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ingot-shell` — a minimal interactive SQL shell over an in-memory Ingot
 //! engine with integrated monitoring.
 //!

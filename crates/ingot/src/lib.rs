@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # Ingot — integrated performance monitoring for autonomous tuning
 //!
 //! Umbrella crate re-exporting the whole system: a from-scratch relational

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Query planning: name resolution (binder), cost estimation and plan
 //! selection.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! SQL front end: lexer, abstract syntax tree and recursive-descent parser.
 //!
 //! The dialect covers what the paper's evaluation workloads need — multi-way

@@ -45,6 +45,46 @@ enum Node {
 
 const NO_LEAF: u64 = u64::MAX;
 
+fn corrupt(what: &str) -> Error {
+    Error::storage(format!("corrupt btree node: {what}"))
+}
+
+/// Checked read of `len` bytes at `off` — a corrupt length field becomes an
+/// [`Error::Storage`], never a panic.
+fn take(bytes: &[u8], off: usize, len: usize) -> Result<&[u8]> {
+    bytes
+        .get(off..off.saturating_add(len))
+        .ok_or_else(|| corrupt("slice out of bounds"))
+}
+
+fn u16_le(bytes: &[u8], off: usize) -> Result<u16> {
+    match bytes.get(off..off.saturating_add(2)) {
+        Some(&[a, b]) => Ok(u16::from_le_bytes([a, b])),
+        _ => Err(corrupt("u16 out of bounds")),
+    }
+}
+
+fn u64_le(bytes: &[u8], off: usize) -> Result<u64> {
+    match bytes.get(off..off.saturating_add(8)) {
+        Some(&[a, b, c, d, e, f, g, h]) => Ok(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+        _ => Err(corrupt("u64 out of bounds")),
+    }
+}
+
+fn put(bytes: &mut [u8], off: usize, src: &[u8]) -> Result<()> {
+    match bytes.get_mut(off..off.saturating_add(src.len())) {
+        Some(dst) => {
+            dst.copy_from_slice(src);
+            Ok(())
+        }
+        None => Err(corrupt("write out of bounds")),
+    }
+}
+
+fn node_type(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap_or(0)
+}
+
 impl Node {
     fn encoded_size(&self) -> usize {
         match self {
@@ -60,59 +100,63 @@ impl Node {
         }
     }
 
-    fn encode(&self, page: &mut Page) {
+    fn encode(&self, page: &mut Page) -> Result<()> {
         let bytes = page.bytes_mut();
         bytes.fill(0);
         match self {
             Node::Leaf { next, entries } => {
-                bytes[0] = NODE_LEAF;
-                bytes[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
-                bytes[3..11].copy_from_slice(&next.to_le_bytes());
+                put(bytes, 0, &[NODE_LEAF])?;
+                put(bytes, 1, &(entries.len() as u16).to_le_bytes())?;
+                put(bytes, 3, &next.to_le_bytes())?;
                 let mut off = 16;
                 for (k, v) in entries {
-                    bytes[off..off + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    put(bytes, off, &(k.len() as u16).to_le_bytes())?;
                     off += 2;
-                    bytes[off..off + k.len()].copy_from_slice(k);
+                    put(bytes, off, k)?;
                     off += k.len();
-                    bytes[off..off + 2].copy_from_slice(&(v.len() as u16).to_le_bytes());
+                    put(bytes, off, &(v.len() as u16).to_le_bytes())?;
                     off += 2;
-                    bytes[off..off + v.len()].copy_from_slice(v);
+                    put(bytes, off, v)?;
                     off += v.len();
                 }
             }
             Node::Internal { keys, children } => {
-                bytes[0] = NODE_INTERNAL;
-                bytes[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
-                bytes[3..11].copy_from_slice(&children[0].to_le_bytes());
+                put(bytes, 0, &[NODE_INTERNAL])?;
+                put(bytes, 1, &(keys.len() as u16).to_le_bytes())?;
+                let first = children
+                    .first()
+                    .ok_or_else(|| corrupt("internal node without children"))?;
+                put(bytes, 3, &first.to_le_bytes())?;
                 let mut off = 16;
-                for (k, child) in keys.iter().zip(children[1..].iter()) {
-                    bytes[off..off + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                for (k, child) in keys.iter().zip(children.iter().skip(1)) {
+                    put(bytes, off, &(k.len() as u16).to_le_bytes())?;
                     off += 2;
-                    bytes[off..off + k.len()].copy_from_slice(k);
+                    put(bytes, off, k)?;
                     off += k.len();
-                    bytes[off..off + 8].copy_from_slice(&child.to_le_bytes());
+                    put(bytes, off, &child.to_le_bytes())?;
                     off += 8;
                 }
             }
         }
+        Ok(())
     }
 
     fn decode(page: &Page) -> Result<Node> {
         let bytes = page.bytes();
-        let n = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
-        match bytes[0] {
+        let n = u16_le(bytes, 1)? as usize;
+        match node_type(bytes) {
             NODE_LEAF => {
-                let next = u64::from_le_bytes(bytes[3..11].try_into().unwrap());
+                let next = u64_le(bytes, 3)?;
                 let mut entries = Vec::with_capacity(n);
                 let mut off = 16;
                 for _ in 0..n {
-                    let klen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+                    let klen = u16_le(bytes, off)? as usize;
                     off += 2;
-                    let k = bytes[off..off + klen].to_vec();
+                    let k = take(bytes, off, klen)?.to_vec();
                     off += klen;
-                    let vlen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+                    let vlen = u16_le(bytes, off)? as usize;
                     off += 2;
-                    let v = bytes[off..off + vlen].to_vec();
+                    let v = take(bytes, off, vlen)?.to_vec();
                     off += vlen;
                     entries.push((k, v));
                 }
@@ -120,15 +164,15 @@ impl Node {
             }
             NODE_INTERNAL => {
                 let mut children = Vec::with_capacity(n + 1);
-                children.push(u64::from_le_bytes(bytes[3..11].try_into().unwrap()));
+                children.push(u64_le(bytes, 3)?);
                 let mut keys = Vec::with_capacity(n);
                 let mut off = 16;
                 for _ in 0..n {
-                    let klen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+                    let klen = u16_le(bytes, off)? as usize;
                     off += 2;
-                    keys.push(bytes[off..off + klen].to_vec());
+                    keys.push(take(bytes, off, klen)?.to_vec());
                     off += klen;
-                    children.push(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()));
+                    children.push(u64_le(bytes, off)?);
                     off += 8;
                 }
                 Ok(Node::Internal { keys, children })
@@ -159,7 +203,7 @@ impl BTreeFile {
                 next: NO_LEAF,
                 entries: Vec::new(),
             }
-            .encode(&mut guard);
+            .encode(&mut guard)?;
         }
         pool.mark_dirty(file, root_no);
         {
@@ -238,14 +282,14 @@ impl BTreeFile {
 
     fn write_node(&self, page_no: u64, node: &Node) -> Result<()> {
         let page = self.pool.fetch(self.file, page_no)?;
-        node.encode(&mut page.write());
+        node.encode(&mut page.write())?;
         self.pool.mark_dirty(self.file, page_no);
         Ok(())
     }
 
     fn alloc_node(&self, node: &Node) -> Result<u64> {
         let (no, page) = self.pool.allocate(self.file)?;
-        node.encode(&mut page.write());
+        node.encode(&mut page.write())?;
         self.pool.mark_dirty(self.file, no);
         Ok(no)
     }
@@ -260,7 +304,10 @@ impl BTreeFile {
                 Node::Leaf { .. } => return Ok((page_no, node)),
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|k| k.as_slice() <= key);
-                    page_no = children[idx];
+                    page_no = children
+                        .get(idx)
+                        .copied()
+                        .ok_or_else(|| corrupt("child index out of range"))?;
                 }
             }
         }
@@ -297,7 +344,12 @@ impl BTreeFile {
         match node {
             Node::Leaf { next, mut entries } => {
                 let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
-                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, value.to_vec())),
+                    Ok(i) => {
+                        let e = entries
+                            .get_mut(i)
+                            .ok_or_else(|| corrupt("leaf entry index out of range"))?;
+                        Some(std::mem::replace(&mut e.1, value.to_vec()))
+                    }
                     Err(i) => {
                         entries.insert(i, (key.to_vec(), value.to_vec()));
                         None
@@ -314,7 +366,10 @@ impl BTreeFile {
                 };
                 let mid = entries.len() / 2;
                 let right_entries = entries.split_off(mid);
-                let sep = right_entries[0].0.clone();
+                let sep = right_entries
+                    .first()
+                    .map(|(k, _)| k.clone())
+                    .ok_or_else(|| corrupt("split produced an empty right leaf"))?;
                 let right_no = self.alloc_node(&Node::Leaf {
                     next,
                     entries: right_entries,
@@ -333,7 +388,11 @@ impl BTreeFile {
                 mut children,
             } => {
                 let idx = keys.partition_point(|k| k.as_slice() <= key);
-                let (old, split) = self.insert_rec(children[idx], key, value)?;
+                let child = children
+                    .get(idx)
+                    .copied()
+                    .ok_or_else(|| corrupt("child index out of range"))?;
+                let (old, split) = self.insert_rec(child, key, value)?;
                 if let Some((sep, new_child)) = split {
                     keys.insert(idx, sep);
                     children.insert(idx + 1, new_child);
@@ -352,7 +411,10 @@ impl BTreeFile {
                     unreachable!()
                 };
                 let mid = keys.len() / 2;
-                let sep = keys[mid].clone();
+                let sep = keys
+                    .get(mid)
+                    .cloned()
+                    .ok_or_else(|| corrupt("split median out of range"))?;
                 let right_keys = keys.split_off(mid + 1);
                 keys.pop(); // the median
                 let right_children = children.split_off(mid + 1);
@@ -374,18 +436,18 @@ impl BTreeFile {
             let page = self.pool.fetch(self.file, page_no)?;
             let guard = page.read();
             let bytes = guard.bytes();
-            if bytes[0] == NODE_LEAF {
+            if node_type(bytes) == NODE_LEAF {
                 return Ok(page_no);
             }
-            let n = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
-            let mut child = u64::from_le_bytes(bytes[3..11].try_into().unwrap());
+            let n = u16_le(bytes, 1)? as usize;
+            let mut child = u64_le(bytes, 3)?;
             let mut off = 16usize;
             for _ in 0..n {
-                let klen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+                let klen = u16_le(bytes, off)? as usize;
                 off += 2;
-                let sep = &bytes[off..off + klen];
+                let sep = take(bytes, off, klen)?;
                 off += klen;
-                let next_child = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+                let next_child = u64_le(bytes, off)?;
                 off += 8;
                 if sep <= key {
                     child = next_child;
@@ -412,20 +474,20 @@ impl BTreeFile {
             let page = self.pool.fetch(self.file, page_no)?;
             let guard = page.read();
             let bytes = guard.bytes();
-            if bytes[0] != NODE_LEAF {
+            if node_type(bytes) != NODE_LEAF {
                 return Err(Error::storage("leaf chain hit internal node"));
             }
-            let n = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
-            let next = u64::from_le_bytes(bytes[3..11].try_into().unwrap());
+            let n = u16_le(bytes, 1)? as usize;
+            let next = u64_le(bytes, 3)?;
             let mut off = 16usize;
             for _ in 0..n {
-                let klen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+                let klen = u16_le(bytes, off)? as usize;
                 off += 2;
-                let k = &bytes[off..off + klen];
+                let k = take(bytes, off, klen)?;
                 off += klen;
-                let vlen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+                let vlen = u16_le(bytes, off)? as usize;
                 off += 2;
-                let v = &bytes[off..off + vlen];
+                let v = take(bytes, off, vlen)?;
                 off += vlen;
                 if let Some(lo) = lo {
                     if k < lo {
@@ -453,18 +515,18 @@ impl BTreeFile {
         let page = self.pool.fetch(self.file, page_no)?;
         let guard = page.read();
         let bytes = guard.bytes();
-        let n = u16::from_le_bytes([bytes[1], bytes[2]]) as usize;
+        let n = u16_le(bytes, 1)? as usize;
         let mut off = 16usize;
         for _ in 0..n {
-            let klen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+            let klen = u16_le(bytes, off)? as usize;
             off += 2;
-            let k = &bytes[off..off + klen];
+            let k = take(bytes, off, klen)?;
             off += klen;
-            let vlen = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap()) as usize;
+            let vlen = u16_le(bytes, off)? as usize;
             off += 2;
             match k.cmp(key) {
                 std::cmp::Ordering::Less => off += vlen,
-                std::cmp::Ordering::Equal => return Ok(Some(bytes[off..off + vlen].to_vec())),
+                std::cmp::Ordering::Equal => return Ok(Some(take(bytes, off, vlen)?.to_vec())),
                 std::cmp::Ordering::Greater => return Ok(None),
             }
         }
@@ -561,8 +623,8 @@ impl Iterator for BTreeRange<'_> {
                     self.state = RangeState::InLeaf { entries, idx, next };
                 }
                 RangeState::InLeaf { entries, idx, next } => {
-                    if *idx < entries.len() {
-                        let (k, v) = entries[*idx].clone();
+                    if let Some(entry) = entries.get(*idx) {
+                        let (k, v) = entry.clone();
                         *idx += 1;
                         if let Some(hi) = &self.hi {
                             if k.as_slice() > hi.as_slice() {
@@ -745,5 +807,37 @@ mod tests {
         let t = tree();
         let huge = vec![0u8; PAGE_SIZE];
         assert!(t.insert(b"k", &huge).is_err());
+    }
+
+    #[test]
+    fn corrupt_node_errors_instead_of_panicking() {
+        let t = tree();
+        t.insert(b"k", b"v").unwrap();
+        // Scribble over the root leaf: the type byte still says "leaf" but
+        // every length field points past the end of the page.
+        let (root, _, _) = t.meta().unwrap();
+        let page = t.pool.fetch(t.file, root).unwrap();
+        {
+            let mut g = page.write();
+            let b = g.bytes_mut();
+            b.fill(0xFF);
+            if let Some(first) = b.first_mut() {
+                *first = NODE_LEAF;
+            }
+        }
+        assert!(t.get(b"k").is_err());
+        assert!(t.range(None, None).next().unwrap().is_err());
+        let mut hits = 0;
+        assert!(t.for_each_in_range(None, None, |_, _| hits += 1).is_err());
+        assert_eq!(hits, 0);
+        // And a bogus node type is rejected outright.
+        {
+            let mut g = page.write();
+            if let Some(first) = g.bytes_mut().first_mut() {
+                *first = 0x77;
+            }
+        }
+        assert!(t.insert(b"k2", b"v2").is_err());
+        assert!(t.delete(b"k").is_err());
     }
 }

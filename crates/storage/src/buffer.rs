@@ -147,7 +147,9 @@ impl BufferPool {
                     Self::touch(inner, key);
                     continue;
                 }
-                let frame = inner.frames.remove(&key).expect("frame present");
+                let Some(frame) = inner.frames.remove(&key) else {
+                    continue; // stale: frame already gone
+                };
                 if frame.dirty {
                     let write = {
                         let page = frame.page.read();
@@ -245,7 +247,9 @@ impl BufferPool {
             .map(|(k, _)| *k)
             .collect();
         for key in dirty {
-            let frame = inner.frames.get_mut(&key).expect("frame present");
+            let Some(frame) = inner.frames.get_mut(&key) else {
+                continue; // frame evicted since the key was collected
+            };
             {
                 let page = frame.page.read();
                 if let Err(e) = self.backend.write_page(key.0, key.1, &page) {

@@ -55,27 +55,38 @@ pub fn encode_row(row: &Row) -> Vec<u8> {
     out
 }
 
+/// Checked fixed-size copy used by the decoder: a slice of the wrong length
+/// becomes an error where `try_into().unwrap()` would panic.
+fn arr<const N: usize>(s: &[u8]) -> Result<[u8; N]> {
+    s.try_into()
+        .map_err(|_| Error::storage("truncated row record"))
+}
+
 /// Deserialise a row previously produced by [`encode_row`].
 pub fn decode_row(bytes: &[u8]) -> Result<Row> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
-        if *pos + n > bytes.len() {
-            return Err(Error::storage("truncated row record"));
+        match bytes.get(*pos..(*pos).saturating_add(n)) {
+            Some(s) => {
+                *pos += n;
+                Ok(s)
+            }
+            None => Err(Error::storage("truncated row record")),
         }
-        let s = &bytes[*pos..*pos + n];
-        *pos += n;
-        Ok(s)
     };
-    let n = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+    let n = u16::from_le_bytes(arr(take(&mut pos, 2)?)?) as usize;
     let mut values = Vec::with_capacity(n);
     for _ in 0..n {
-        let tag = take(&mut pos, 1)?[0];
+        let tag = match take(&mut pos, 1)? {
+            &[t] => t,
+            _ => return Err(Error::storage("truncated row record")),
+        };
         let v = match tag {
             TAG_NULL => Value::Null,
-            TAG_INT => Value::Int(i64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())),
-            TAG_FLOAT => Value::Float(f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())),
+            TAG_INT => Value::Int(i64::from_le_bytes(arr(take(&mut pos, 8)?)?)),
+            TAG_FLOAT => Value::Float(f64::from_le_bytes(arr(take(&mut pos, 8)?)?)),
             TAG_STR => {
-                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(arr(take(&mut pos, 4)?)?) as usize;
                 let raw = take(&mut pos, len)?;
                 Value::Str(
                     std::str::from_utf8(raw)

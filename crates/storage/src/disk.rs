@@ -286,7 +286,9 @@ impl DiskBackend for FileBackend {
             .handle
             .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
         entry.handle.write_all(page.bytes())?;
-        entry.crcs[page_no as usize] = ingot_common::fnv1a64(page.bytes());
+        if let Some(crc) = entry.crcs.get_mut(page_no as usize) {
+            *crc = ingot_common::fnv1a64(page.bytes());
+        }
         Ok(())
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Storage subsystem of the Ingot DBMS.
 //!
 //! Everything below the executor lives here: fixed-size [`page::Page`]s, the

@@ -61,41 +61,66 @@ impl Page {
     }
 
     // ---- integer accessors -------------------------------------------------
+    //
+    // Total functions: offsets beyond the page read as zero and writes out of
+    // range are ignored. In-range offsets are guaranteed by construction at
+    // every call site (header constants, slot offsets below the slot array
+    // bound); the checked forms exist so a *corrupt* page read from disk can
+    // never panic the engine — it decodes as empty instead and is caught by
+    // the recovery checksums.
 
-    /// Read a `u16` at `off`.
+    /// Read a `u16` at `off` (0 when out of range).
     #[inline]
     pub fn u16_at(&self, off: usize) -> u16 {
-        u16::from_le_bytes([self.data[off], self.data[off + 1]])
+        let mut b = [0u8; 2];
+        if let Some(src) = self.data.get(off..off + 2) {
+            b.copy_from_slice(src);
+        }
+        u16::from_le_bytes(b)
     }
 
-    /// Write a `u16` at `off`.
+    /// Write a `u16` at `off` (ignored when out of range).
     #[inline]
     pub fn set_u16(&mut self, off: usize, v: u16) {
-        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+        if let Some(dst) = self.data.get_mut(off..off + 2) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
     }
 
-    /// Read a `u32` at `off`.
+    /// Read a `u32` at `off` (0 when out of range).
     #[inline]
     pub fn u32_at(&self, off: usize) -> u32 {
-        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+        let mut b = [0u8; 4];
+        if let Some(src) = self.data.get(off..off + 4) {
+            b.copy_from_slice(src);
+        }
+        u32::from_le_bytes(b)
     }
 
-    /// Write a `u32` at `off`.
+    /// Write a `u32` at `off` (ignored when out of range).
     #[inline]
     pub fn set_u32(&mut self, off: usize, v: u32) {
-        self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        if let Some(dst) = self.data.get_mut(off..off + 4) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
     }
 
-    /// Read a `u64` at `off`.
+    /// Read a `u64` at `off` (0 when out of range).
     #[inline]
     pub fn u64_at(&self, off: usize) -> u64 {
-        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+        let mut b = [0u8; 8];
+        if let Some(src) = self.data.get(off..off + 8) {
+            b.copy_from_slice(src);
+        }
+        u64::from_le_bytes(b)
     }
 
-    /// Write a `u64` at `off`.
+    /// Write a `u64` at `off` (ignored when out of range).
     #[inline]
     pub fn set_u64(&mut self, off: usize, v: u64) {
-        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        if let Some(dst) = self.data.get_mut(off..off + 8) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
     }
 
     // ---- slotted-page header ----------------------------------------------
@@ -145,16 +170,14 @@ impl Page {
     /// Free bytes available for one more record of `len` bytes (including a
     /// possibly-new slot entry).
     pub fn fits(&self, len: usize) -> bool {
-        let slots_end = HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE;
-        let free = self.data_start() as usize - slots_end;
         // Reusing a tombstone slot would need only `len`, but be conservative.
-        free >= len + SLOT_SIZE
+        self.free_space() >= len + SLOT_SIZE
     }
 
-    /// Remaining free bytes in the page.
+    /// Remaining free bytes in the page (0 on a corrupt header).
     pub fn free_space(&self) -> usize {
         let slots_end = HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE;
-        self.data_start() as usize - slots_end
+        (self.data_start() as usize).saturating_sub(slots_end)
     }
 
     // ---- record operations --------------------------------------------------
@@ -169,8 +192,11 @@ impl Page {
         if !self.fits(rec.len()) {
             return None;
         }
-        let new_start = self.data_start() as usize - rec.len();
-        self.data[new_start..new_start + rec.len()].copy_from_slice(rec);
+        let Some(new_start) = (self.data_start() as usize).checked_sub(rec.len()) else {
+            return None; // corrupt data_start; treat as full
+        };
+        let dst = self.data.get_mut(new_start..new_start + rec.len())?;
+        dst.copy_from_slice(rec);
         self.set_data_start(new_start as u16);
 
         // Reuse a tombstone slot if present, else append a new slot.
@@ -192,7 +218,9 @@ impl Page {
         if len == 0 {
             return None;
         }
-        Some(&self.data[off as usize..(off + len) as usize])
+        // Checked: a corrupt slot entry reads as a tombstone, not a panic
+        // (also avoids the u16 overflow `off + len` could hit).
+        self.data.get(off as usize..off as usize + len as usize)
     }
 
     /// Tombstone the record in `slot`. The data region is not compacted; the
@@ -215,17 +243,23 @@ impl Page {
         let (off, len) = self.slot(slot);
         if rec.len() <= len as usize {
             let off = off as usize;
-            self.data[off..off + rec.len()].copy_from_slice(rec);
+            match self.data.get_mut(off..off + rec.len()) {
+                Some(dst) => dst.copy_from_slice(rec),
+                None => return Err(Error::storage(format!("corrupt slot {slot}"))),
+            }
             self.set_slot(slot, off as u16, rec.len() as u16);
             return Ok(true);
         }
-        let slots_end = HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE;
-        let free = self.data_start() as usize - slots_end;
-        if free < rec.len() {
+        if self.free_space() < rec.len() {
             return Ok(false);
         }
-        let new_start = self.data_start() as usize - rec.len();
-        self.data[new_start..new_start + rec.len()].copy_from_slice(rec);
+        let Some(new_start) = (self.data_start() as usize).checked_sub(rec.len()) else {
+            return Ok(false);
+        };
+        match self.data.get_mut(new_start..new_start + rec.len()) {
+            Some(dst) => dst.copy_from_slice(rec),
+            None => return Ok(false),
+        }
         self.set_data_start(new_start as u16);
         self.set_slot(slot, new_start as u16, rec.len() as u16);
         Ok(true)
@@ -307,6 +341,19 @@ mod tests {
         assert!(!p.next_page().is_valid());
         p.set_next_page(PageId(42));
         assert_eq!(p.next_page(), PageId(42));
+    }
+
+    #[test]
+    fn corrupt_page_is_total_not_panicking() {
+        // Every byte 0xFF: slot offsets, lengths and data_start are garbage.
+        // All accessors must degrade (empty/ignored), never panic.
+        let mut p = Page::from_bytes([0xFF; PAGE_SIZE]);
+        assert_eq!(p.u16_at(PAGE_SIZE), 0, "OOB read is zero");
+        p.set_u16(PAGE_SIZE, 7); // OOB write ignored
+        assert!(p.record(0).is_none(), "corrupt slot reads as tombstone");
+        assert_eq!(p.free_space(), 0);
+        assert!(p.insert_record(b"x").is_none());
+        assert!(p.update_record(0, b"y").is_err());
     }
 
     #[test]

@@ -137,35 +137,58 @@ fn read_manifest(dir: &Path) -> Result<ManifestRead> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ManifestRead::NotFound),
         Err(e) => return Err(e.into()),
     };
-    if buf.len() < MAGIC.len() + 8 + 4 + 8 || &buf[..8] != MAGIC {
+    // Checked reads throughout: a truncated or corrupt manifest parses to
+    // `Invalid`, never a panic.
+    let u64_at = |off: usize| -> Option<u64> {
+        match buf.get(off..off.saturating_add(8)) {
+            Some(&[a, b, c, d, e, f, g, h]) => Some(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+            _ => None,
+        }
+    };
+    if buf.len() < MAGIC.len() + 8 + 4 + 8 || buf.get(..8) != Some(MAGIC.as_slice()) {
         return Ok(ManifestRead::Invalid);
     }
-    let body = &buf[..buf.len() - 8];
-    let trailer = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
-    if fnv1a64(body) != trailer {
+    let body_len = buf.len() - 8;
+    let trailer_ok = match (buf.get(..body_len), u64_at(body_len)) {
+        (Some(body), Some(trailer)) => fnv1a64(body) == trailer,
+        _ => false,
+    };
+    if !trailer_ok {
         return Ok(ManifestRead::Invalid);
     }
-    let u64_at = |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().unwrap());
-    let epoch = u64_at(8);
-    let file_count = u32::from_le_bytes(body[16..20].try_into().unwrap()) as usize;
-    let mut files = Vec::with_capacity(file_count);
+    let Some(epoch) = u64_at(8) else {
+        return Ok(ManifestRead::Invalid);
+    };
+    let file_count = match buf.get(16..20) {
+        Some(&[a, b, c, d]) => u32::from_le_bytes([a, b, c, d]) as usize,
+        _ => return Ok(ManifestRead::Invalid),
+    };
+    let mut files = Vec::new();
     let mut off = 20;
     for _ in 0..file_count {
-        if off + 8 > body.len() {
+        if off + 8 > body_len {
             return Ok(ManifestRead::Invalid);
         }
-        let pages = u64_at(off) as usize;
+        let Some(pages) = u64_at(off) else {
+            return Ok(ManifestRead::Invalid);
+        };
+        let pages = pages as usize;
         off += 8;
-        if off + pages * 8 > body.len() {
-            return Ok(ManifestRead::Invalid);
+        match pages.checked_mul(8).and_then(|b| off.checked_add(b)) {
+            Some(end) if end <= body_len => {}
+            _ => return Ok(ManifestRead::Invalid),
         }
-        let crcs = (0..pages)
-            .map(|p| u64_at(off + p * 8))
-            .collect::<Vec<u64>>();
+        let mut crcs = Vec::with_capacity(pages);
+        for p in 0..pages {
+            let Some(crc) = u64_at(off + p * 8) else {
+                return Ok(ManifestRead::Invalid);
+            };
+            crcs.push(crc);
+        }
         off += pages * 8;
         files.push(crcs);
     }
-    if off != body.len() {
+    if off != body_len {
         return Ok(ManifestRead::Invalid);
     }
     Ok(ManifestRead::Valid(Manifest { epoch, files }))
@@ -183,9 +206,14 @@ pub fn manifest_epoch(dir: &Path) -> u64 {
 /// checks so torn/garbage pages yield `None` instead of nonsense.
 fn salvage_rows(bytes: &[u8]) -> Option<u64> {
     debug_assert_eq!(bytes.len(), PAGE_SIZE);
-    let u16_at = |off: usize| u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
-    let slot_count = u16_at(0);
-    let data_start = u16_at(2);
+    let u16_at = |off: usize| -> Option<usize> {
+        match bytes.get(off..off.saturating_add(2)) {
+            Some(&[a, b]) => Some(u16::from_le_bytes([a, b]) as usize),
+            _ => None,
+        }
+    };
+    let slot_count = u16_at(0)?;
+    let data_start = u16_at(2)?;
     let max_slots = (PAGE_SIZE - HEADER_SIZE) / SLOT_SIZE;
     if slot_count > max_slots || data_start > PAGE_SIZE {
         return None;
@@ -197,8 +225,8 @@ fn salvage_rows(bytes: &[u8]) -> Option<u64> {
     let mut live = 0u64;
     for s in 0..slot_count {
         let off = HEADER_SIZE + s * SLOT_SIZE;
-        let rec_off = u16_at(off);
-        let rec_len = u16_at(off + 2);
+        let rec_off = u16_at(off)?;
+        let rec_len = u16_at(off + 2)?;
         if rec_len == 0 {
             continue; // tombstone
         }
@@ -267,7 +295,7 @@ pub fn recover(dir: &Path) -> Result<RecoveryReport> {
             for p in 0..checkpointed {
                 handle.seek(SeekFrom::Start(p * PAGE_SIZE as u64))?;
                 handle.read_exact(&mut buf)?;
-                if fnv1a64(&buf) != crcs[p as usize] {
+                if crcs.get(p as usize).copied() != Some(fnv1a64(&buf)) {
                     report.torn_pages += 1;
                     keep = p;
                     break;

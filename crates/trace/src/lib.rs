@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Structured tracing for the Ingot DBMS.
 //!
 //! The paper's monitor (§IV-A, Fig 3) records statement-level aggregates —

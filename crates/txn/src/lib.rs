@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Transactions and locking.
 //!
 //! The paper's Fig 8 ("Locks Diagram") visualises "the number of used locks

@@ -10,6 +10,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use ingot_common::{Error, Result, TableId, TxnId};
+// Under `--cfg loom` the primitives come from the model-checking shim, which
+// injects schedule perturbation at every acquire/notify edge (see the
+// loom-shim crate and the `loom_lock_manager` integration test).
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
 use parking_lot::{Condvar, Mutex};
 
 /// Lock mode.
@@ -114,14 +120,20 @@ impl LockManager {
 
         // Re-entrancy / upgrade handling.
         if let Some(state) = inner.locks.get_mut(&res) {
-            if let Some(pos) = state.granted.iter().position(|(t, _)| *t == txn) {
-                let held = state.granted[pos].1;
+            let held = state
+                .granted
+                .iter()
+                .find(|(t, _)| *t == txn)
+                .map(|&(_, m)| m);
+            if let Some(held) = held {
                 if held == LockMode::Exclusive || mode == LockMode::Shared {
                     return Ok(()); // already sufficient
                 }
                 // Upgrade S → X: immediate when sole holder.
                 if state.granted.len() == 1 {
-                    state.granted[0].1 = LockMode::Exclusive;
+                    if let Some(entry) = state.granted.first_mut() {
+                        entry.1 = LockMode::Exclusive;
+                    }
                     return Ok(());
                 }
                 // Otherwise fall through to waiting (the S lock stays held;
@@ -149,10 +161,13 @@ impl LockManager {
                 others_compatible && no_earlier_waiter
             };
             if grantable {
-                let state = inner.locks.get_mut(&res).expect("state exists");
+                let state = inner.locks.entry(res).or_insert_with(|| LockState {
+                    granted: Vec::new(),
+                    queue: VecDeque::new(),
+                });
                 state.queue.retain(|(t, _)| *t != txn);
-                if let Some(pos) = state.granted.iter().position(|(t, _)| *t == txn) {
-                    state.granted[pos].1 = LockMode::Exclusive; // completed upgrade
+                if let Some(entry) = state.granted.iter_mut().find(|(t, _)| *t == txn) {
+                    entry.1 = LockMode::Exclusive; // completed upgrade
                 } else {
                     state.granted.push((txn, mode));
                     inner.by_txn.entry(txn).or_default().push(res);
@@ -163,8 +178,7 @@ impl LockManager {
             }
 
             // Must wait: enqueue (once) and check for deadlock.
-            {
-                let state = inner.locks.get_mut(&res).expect("state exists");
+            if let Some(state) = inner.locks.get_mut(&res) {
                 if !state.queue.iter().any(|(t, _)| *t == txn) {
                     state.queue.push_back((txn, mode));
                     self.waits_total.fetch_add(1, Ordering::Relaxed);
@@ -189,6 +203,10 @@ impl LockManager {
                     state.queue.retain(|(t, _)| *t != txn);
                 }
                 inner.waiting_on.remove(&txn);
+                // Our departure can make a waiter queued behind us grantable
+                // (FIFO fairness keys on queue position): wake everyone to
+                // re-check, exactly as the deadlock-victim path does.
+                self.cond.notify_all();
                 return Err(Error::LockTimeout(format!(
                     "txn {txn} gave up on {res:?} after {:?}",
                     self.timeout
@@ -307,6 +325,7 @@ impl Default for LockManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests pace contending threads with real sleeps
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -402,6 +421,28 @@ mod tests {
         hx.join().unwrap().unwrap();
         m.release_all(TxnId(2));
         hs.join().unwrap().unwrap();
+        m.release_all(TxnId(3));
+    }
+
+    #[test]
+    fn timeout_of_queue_head_wakes_later_waiter() {
+        // T1 holds S. T2 queues for X and will time out. T3 queues for S
+        // behind T2 (FIFO blocks it despite S/S compatibility) — when T2
+        // gives up, T3 must be woken and granted rather than sleeping
+        // through its own timeout.
+        let m = Arc::new(LockManager::new(Duration::from_millis(300)));
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        let m2 = Arc::clone(&m);
+        let h2 = std::thread::spawn(move || m2.lock(TxnId(2), T, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        let m3 = Arc::clone(&m);
+        let h3 = std::thread::spawn(move || m3.lock(TxnId(3), T, LockMode::Shared));
+        assert!(matches!(h2.join().unwrap(), Err(Error::LockTimeout(_))));
+        h3.join()
+            .unwrap()
+            .expect("later S waiter must be granted after the queue head times out");
+        assert_eq!(m.stats().held, 2);
+        m.release_all(TxnId(1));
         m.release_all(TxnId(3));
     }
 

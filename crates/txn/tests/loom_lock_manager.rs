@@ -1,0 +1,116 @@
+#![cfg(loom)]
+//! Model tests for [`LockManager`] grant/wait/timeout under perturbed
+//! schedules.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p ingot-txn --test
+//! loom_lock_manager`. Each body executes under `loom::model`, which re-runs
+//! it across many seeded interleavings (see the loom-shim crate).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use ingot_common::{Error, TableId, TxnId};
+use ingot_txn::{LockManager, LockMode, Resource};
+use loom::sync::Arc;
+use loom::thread;
+
+const T: Resource = Resource::Table(TableId(1));
+
+/// Exclusive locks exclude: no two holders are ever inside the critical
+/// section at once, under any interleaving.
+#[test]
+fn exclusive_lock_is_mutually_exclusive() {
+    loom::model(|| {
+        let m = Arc::new(LockManager::new(Duration::from_secs(5)));
+        let in_cs = Arc::new(AtomicBool::new(false));
+        let hs: Vec<_> = (1..=3)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                let in_cs = Arc::clone(&in_cs);
+                thread::spawn(move || {
+                    m.lock(TxnId(t), T, LockMode::Exclusive).unwrap();
+                    assert!(
+                        !in_cs.swap(true, Ordering::SeqCst),
+                        "two X holders in the critical section"
+                    );
+                    thread::yield_now();
+                    in_cs.store(false, Ordering::SeqCst);
+                    m.release_all(TxnId(t));
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(m.stats().held, 0);
+    });
+}
+
+/// Crosswise requests deadlock: exactly one requester is chosen victim, and
+/// after it aborts the survivor is granted — under any interleaving.
+#[test]
+fn deadlock_victim_unblocks_survivor() {
+    loom::model(|| {
+        let m = Arc::new(LockManager::new(Duration::from_secs(5)));
+        let r1 = Resource::Row(TableId(1), 1);
+        let r2 = Resource::Row(TableId(1), 2);
+        m.lock(TxnId(1), r1, LockMode::Exclusive).unwrap();
+        m.lock(TxnId(2), r2, LockMode::Exclusive).unwrap();
+        let cross = |me: u64, want: Resource| {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                let r = m.lock(TxnId(me), want, LockMode::Exclusive);
+                if r.is_err() {
+                    // Victim aborts, releasing what it holds.
+                    m.release_all(TxnId(me));
+                }
+                r
+            })
+        };
+        let h1 = cross(1, r2);
+        let h2 = cross(2, r1);
+        let results = [h1.join().unwrap(), h2.join().unwrap()];
+        let deadlocks = results
+            .iter()
+            .filter(|r| matches!(r, Err(Error::Deadlock { .. })))
+            .count();
+        let grants = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(deadlocks, 1, "exactly one victim: {results:?}");
+        assert_eq!(grants, 1, "the survivor must be granted: {results:?}");
+    });
+}
+
+/// The timeout path must wake waiters queued behind the timed-out request
+/// (regression: it removed itself from the queue without `notify_all`, so a
+/// compatible later waiter slept through its own timeout).
+#[test]
+fn timeout_of_queue_head_wakes_later_waiter() {
+    loom::model(|| {
+        let m = Arc::new(LockManager::new(Duration::from_millis(60)));
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        let h2 = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || m.lock(TxnId(2), T, LockMode::Exclusive))
+        };
+        let h3 = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                // Start strictly after T2 so T2's timeout (and its wake-up
+                // notify) fires while this wait is still pending. Queue
+                // behind the X waiter (FIFO) in most interleavings; in the
+                // rest the S/S grant is immediate. Either way this must not
+                // time out.
+                #[allow(clippy::disallowed_methods)] // deliberate start offset
+                std::thread::sleep(Duration::from_millis(15));
+                m.lock(TxnId(3), T, LockMode::Shared)
+            })
+        };
+        assert!(h2.join().unwrap().is_err(), "the X waiter must time out");
+        h3.join()
+            .unwrap()
+            .expect("the S waiter must be woken and granted");
+        m.release_all(TxnId(1));
+        m.release_all(TxnId(3));
+        assert_eq!(m.stats().held, 0);
+    });
+}

@@ -1,0 +1,6 @@
+//! Golden fixture: raw clock call outside trace/daemon/bench.
+
+pub fn now_ms() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}

@@ -1,0 +1,14 @@
+//! Golden fixture: one ima$ table with docs and a test, one orphan.
+
+pub fn register_all(reg: &mut Registry) {
+    reg.register("ima$orphan");
+    reg.register("ima$covered");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn covered_has_a_test() {
+        let _ = "ima$covered";
+    }
+}

@@ -1,0 +1,20 @@
+//! Golden fixture: panic-freedom violations.
+
+pub fn head(v: &[u8]) -> u8 {
+    v[0]
+}
+
+pub fn must(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn must_msg(v: Option<u8>) -> u8 {
+    v.expect("present")
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn fine(v: Option<u8>) -> u8 {
+        v.unwrap()
+    }
+}

@@ -1,0 +1,62 @@
+//! The panic-freedom allowlist: a checked-in ratchet.
+//!
+//! One line per grandfathered violation, keyed
+//! `category<TAB>file<TAB>function<TAB>ordinal` — stable across line-number
+//! churn. A violation not on the list fails the build (no new panic sites);
+//! a list entry with no matching violation also fails the build (the list
+//! may only shrink — rerun with `--bless` after fixing sites and commit the
+//! smaller list).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::checks::Violation;
+
+/// Parse an allowlist file into its set of keys.
+pub fn load(path: &Path) -> std::io::Result<BTreeSet<String>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse(&text))
+}
+
+/// Parse allowlist text (comments `#`, blank lines ignored).
+pub fn parse(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Render the allowlist for the given violations (used by `--bless`).
+pub fn render(violations: &[Violation]) -> String {
+    let keys: BTreeSet<String> = violations.iter().map(|v| v.key()).collect();
+    let mut out = String::new();
+    out.push_str("# ingot-verify panic-freedom allowlist (ratchet: may only shrink).\n");
+    out.push_str("# category<TAB>file<TAB>function<TAB>ordinal — regenerate with --bless.\n");
+    out.push_str("# Entries are grandfathered panic sites pending Result conversion;\n");
+    out.push_str("# see DESIGN.md \"Static analysis & model checking\".\n");
+    for k in &keys {
+        out.push_str(k);
+        out.push('\n');
+    }
+    out
+}
+
+/// Split `violations` into (new, allowlisted-count) and report stale keys.
+pub fn apply(
+    violations: Vec<Violation>,
+    allow: &BTreeSet<String>,
+) -> (Vec<Violation>, usize, Vec<String>) {
+    let current: BTreeSet<String> = violations.iter().map(|v| v.key()).collect();
+    let stale: Vec<String> = allow.difference(&current).cloned().collect();
+    let mut fresh = Vec::new();
+    let mut grandfathered = 0usize;
+    for v in violations {
+        if allow.contains(&v.key()) {
+            grandfathered += 1;
+        } else {
+            fresh.push(v);
+        }
+    }
+    (fresh, grandfathered, stale)
+}

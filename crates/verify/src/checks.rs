@@ -1,0 +1,363 @@
+//! The four invariant checks.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::policy;
+use crate::scan::SourceFile;
+
+/// One diagnostic produced by a check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Check id: `lock-order`, `panic`, `clock`, `ima`.
+    pub check: &'static str,
+    /// Sub-category (`unwrap` / `expect` / `index` for `panic`; a short kind
+    /// for the others).
+    pub category: String,
+    /// Workspace-relative file (or doc) path.
+    pub file: String,
+    /// 1-based line, 0 when not line-addressable (missing doc mention).
+    pub line: usize,
+    /// Enclosing function, `<toplevel>` when none.
+    pub func: String,
+    /// Nth occurrence of this category in (file, func); allowlist key part.
+    pub ordinal: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Violation {
+    /// Stable allowlist key: survives line-number churn, resists silent
+    /// growth (a new occurrence in the same function gets a new ordinal).
+    pub fn key(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}",
+            self.category, self.file, self.func, self.ordinal
+        )
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}/{}] {}",
+            self.file, self.line, self.check, self.category, self.message
+        )
+    }
+}
+
+fn func_of(file: &SourceFile, idx: usize) -> String {
+    file.tokens[idx]
+        .func
+        .clone()
+        .unwrap_or_else(|| "<toplevel>".to_owned())
+}
+
+/// Does the token window starting at `i` match `pat` exactly?
+fn seq(file: &SourceFile, i: usize, pat: &[&str]) -> bool {
+    file.tokens.len() >= i + pat.len()
+        && pat
+            .iter()
+            .enumerate()
+            .all(|(j, p)| file.tokens[i + j].text == *p)
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: lock-order discipline.
+// ---------------------------------------------------------------------------
+
+/// `catalog.write()` only in the DDL allowlist; no lock acquisition while a
+/// catalog write guard is (lexically) live.
+pub fn check_lock_order(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        let scanned = file
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| policy::LOCK_ORDER_CRATES.contains(&c))
+            && !file.in_tests_dir;
+        if !scanned {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.in_test || t.text != "catalog" {
+                continue;
+            }
+            let direct = seq(file, i, &["catalog", ".", "write", "(", ")"]);
+            let via_accessor = seq(file, i, &["catalog", "(", ")", ".", "write", "(", ")"]);
+            if !direct && !via_accessor {
+                continue;
+            }
+            let func = func_of(file, i);
+            let allowed = policy::DDL_WRITERS
+                .iter()
+                .any(|(f, fun)| file.rel_path.ends_with(f) && func == *fun);
+            if !allowed {
+                out.push(Violation {
+                    check: "lock-order",
+                    category: "ddl-write".into(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    func: func.clone(),
+                    ordinal: 0,
+                    message: format!(
+                        "catalog.write() in `{func}` — the DDL guard may only be taken by \
+                         the allowlisted DDL handlers (see verify policy); DML/executor \
+                         paths must use catalog.read() snapshots"
+                    ),
+                });
+            }
+            // Guard bound to a local ⇒ lexically live until the end of the
+            // enclosing block; any lock acquisition in that span inverts the
+            // lock order.
+            let mut j = i;
+            let bound = loop {
+                if j == 0 {
+                    break false;
+                }
+                j -= 1;
+                match file.tokens[j].text.as_str() {
+                    ";" | "{" | "}" => break false,
+                    "let" => break true,
+                    _ => {}
+                }
+            };
+            if bound {
+                let mut k = i + if direct { 5 } else { 7 };
+                let mut depth = 0i32;
+                while k < file.tokens.len() && depth >= 0 {
+                    let tk = &file.tokens[k];
+                    match tk.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                    let acquires = seq(file, k, &["locks", ".", "lock", "("])
+                        || seq(file, k, &["locks", "(", ")", ".", "lock", "("])
+                        || (tk.text == "with_table_lock_by_name" && seq(file, k + 1, &["("]));
+                    if acquires {
+                        out.push(Violation {
+                            check: "lock-order",
+                            category: "lock-under-guard".into(),
+                            file: file.rel_path.clone(),
+                            line: tk.line,
+                            func: func.clone(),
+                            ordinal: 0,
+                            message: format!(
+                                "lock acquisition in `{func}` after binding a catalog write \
+                                 guard on line {} — table locks must be taken before the DDL \
+                                 guard, never under it",
+                                t.line
+                            ),
+                        });
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: panic-freedom budget.
+// ---------------------------------------------------------------------------
+
+fn is_hot_path(file: &SourceFile) -> bool {
+    if file.in_tests_dir {
+        return false;
+    }
+    if policy::HOT_PATH_FILES.iter().any(|f| file.rel_path == *f) {
+        return true;
+    }
+    file.crate_name
+        .as_deref()
+        .is_some_and(|c| policy::HOT_PATH_CRATES.contains(&c))
+}
+
+/// `.unwrap()` / `.expect(…)` / direct indexing in hot-path modules. Every
+/// occurrence must be on the checked-in allowlist; the list only shrinks.
+pub fn check_panic_freedom(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if !is_hot_path(file) {
+            continue;
+        }
+        // (func, category) -> next ordinal
+        let mut counters: std::collections::HashMap<(String, &'static str), usize> =
+            std::collections::HashMap::new();
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.in_test {
+                continue;
+            }
+            let category: &'static str = if seq(file, i, &[".", "unwrap", "(", ")"]) {
+                "unwrap"
+            } else if seq(file, i, &[".", "expect", "("]) {
+                "expect"
+            } else if t.text == "[" && i > 0 && is_index_head(&file.tokens[i - 1].text) {
+                "index"
+            } else {
+                continue;
+            };
+            let func = func_of(file, i);
+            let ord = counters.entry((func.clone(), category)).or_insert(0);
+            *ord += 1;
+            let what = match category {
+                "unwrap" => ".unwrap()",
+                "expect" => ".expect(…)",
+                _ => "direct indexing",
+            };
+            out.push(Violation {
+                check: "panic",
+                category: category.into(),
+                file: file.rel_path.clone(),
+                line: t.line,
+                func: func.clone(),
+                ordinal: *ord,
+                message: format!(
+                    "{what} in hot-path `{func}` — propagate a Result (or allowlist with a \
+                     tracking comment)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn is_index_head(prev: &str) -> bool {
+    let first = prev.chars().next().unwrap_or(' ');
+    let ident = first.is_ascii_alphabetic() || first == '_';
+    (ident && !policy::NON_INDEX_KEYWORDS.contains(&prev)) || prev == ")" || prev == "]"
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: clock hygiene.
+// ---------------------------------------------------------------------------
+
+/// `Instant::now` / `SystemTime::now` only in the sanctioned crates, so the
+/// monitor's self-timing (`monitor_ns`, Fig 5) stays attributable.
+pub fn check_clock_hygiene(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if file.in_tests_dir {
+            continue;
+        }
+        if file
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| policy::CLOCK_EXEMPT_CRATES.contains(&c))
+        {
+            continue;
+        }
+        if policy::CLOCK_EXEMPT_FILES
+            .iter()
+            .any(|f| file.rel_path == *f)
+        {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.in_test {
+                continue;
+            }
+            for src in ["Instant", "SystemTime"] {
+                if t.text == src && seq(file, i, &[src, ":", ":", "now"]) {
+                    let func = func_of(file, i);
+                    out.push(Violation {
+                        check: "clock",
+                        category: "raw-clock".into(),
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        func,
+                        ordinal: 0,
+                        message: format!(
+                            "{src}::now outside trace/daemon/bench — use \
+                             ingot_common::clock::{{MonotonicClock, SimClock}} so sensor \
+                             overhead lands in monitor_ns"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: IMA completeness.
+// ---------------------------------------------------------------------------
+
+fn ima_names_in(s: &str, out: &mut Vec<String>) {
+    let mut rest = s;
+    while let Some(pos) = rest.find("ima$") {
+        let tail = &rest[pos + 4..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+            .unwrap_or(tail.len());
+        if end > 0 {
+            out.push(format!("ima${}", &tail[..end]));
+        }
+        rest = &tail[end..];
+    }
+}
+
+/// Every `ima$…` table registered in the core IMA module must be documented
+/// in README.md or DESIGN.md and referenced by at least one test.
+pub fn check_ima_completeness(root: &Path, files: &[SourceFile]) -> Vec<Violation> {
+    let mut registry: Vec<String> = Vec::new();
+    for file in files {
+        if file.rel_path.ends_with(policy::IMA_REGISTRY_FILE) {
+            for (_, s) in &file.strings {
+                ima_names_in(s, &mut registry);
+            }
+        }
+    }
+    registry.sort();
+    registry.dedup();
+
+    let mut docs = String::new();
+    for doc in ["README.md", "DESIGN.md"] {
+        docs.push_str(&std::fs::read_to_string(root.join(doc)).unwrap_or_default());
+    }
+
+    let mut tested: Vec<String> = Vec::new();
+    for file in files {
+        for (line, s) in &file.strings {
+            if file.line_in_test(*line) {
+                ima_names_in(s, &mut tested);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for name in &registry {
+        if !docs.contains(name.as_str()) {
+            out.push(Violation {
+                check: "ima",
+                category: "undocumented".into(),
+                file: policy::IMA_REGISTRY_FILE.into(),
+                line: 0,
+                func: "<registry>".into(),
+                ordinal: 0,
+                message: format!(
+                    "{name} is registered but appears in neither README.md nor DESIGN.md"
+                ),
+            });
+        }
+        if !tested.iter().any(|t| t == name) {
+            out.push(Violation {
+                check: "ima",
+                category: "untested".into(),
+                file: policy::IMA_REGISTRY_FILE.into(),
+                line: 0,
+                func: "<registry>".into(),
+                ordinal: 0,
+                message: format!("{name} is registered but no test references it"),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,411 @@
+//! A minimal Rust source "cleaner" and tokenizer.
+//!
+//! `ingot-verify` does not need a full parse of the language — every
+//! invariant it checks is expressible over a token stream with comments and
+//! literal *contents* blanked out. The cleaner preserves byte positions of
+//! everything it blanks (spaces for stripped characters, newlines kept), so
+//! line numbers in diagnostics match the original file exactly.
+//!
+//! String literal contents are collected separately: the IMA-completeness
+//! check needs to see `"ima$..."` names that live inside literals.
+
+/// Output of [`clean`]: the blanked source plus every string literal.
+pub struct Cleaned {
+    /// Source with comments and literal contents replaced by spaces.
+    pub text: String,
+    /// `(start_line, contents)` of every string literal (1-based lines).
+    pub strings: Vec<(usize, String)>,
+}
+
+/// Strip comments and literal contents, preserving layout.
+pub fn clean(src: &str) -> Cleaned {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut strings = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push a blank (or the original byte when it is a newline, which must
+    // survive so line numbers stay aligned).
+    fn blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+        }
+        // Line comment.
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                blank(&mut out, bytes[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let mut depth = 1usize;
+            blank(&mut out, b'/');
+            blank(&mut out, b'*');
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string literal: r"..." / r#"..."# / br##"..."## etc.
+        if (b == b'r' || b == b'b') && !prev_is_ident_char(&out) {
+            let mut j = i;
+            if bytes[j] == b'b' && j + 1 < bytes.len() && bytes[j + 1] == b'r' {
+                j += 1;
+            }
+            if bytes[j] == b'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < bytes.len() && bytes[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == b'"' {
+                    // Emit the prefix verbatim-as-blank… keep `r#"` visible
+                    // enough to not merge tokens: just blank it all.
+                    let start_line = line;
+                    let mut lit = String::new();
+                    for &b in bytes.iter().take(k + 1).skip(i) {
+                        blank(&mut out, b);
+                    }
+                    i = k + 1;
+                    // Scan to closing `"####`.
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        if bytes[i] == b'"' {
+                            let mut h = 0usize;
+                            while h < hashes && i + 1 + h < bytes.len() && bytes[i + 1 + h] == b'#'
+                            {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                for &b in bytes.iter().take(i + hashes + 1).skip(i) {
+                                    blank(&mut out, b);
+                                }
+                                i += hashes + 1;
+                                break 'raw;
+                            }
+                        }
+                        lit.push(bytes[i] as char);
+                        blank(&mut out, bytes[i]);
+                        i += 1;
+                    }
+                    strings.push((start_line, lit));
+                    continue;
+                }
+            }
+        }
+        // Normal string literal (also b"..").
+        if b == b'"' {
+            let start_line = line;
+            let mut lit = String::new();
+            out.push(b'"');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    lit.push(bytes[i] as char);
+                    lit.push(bytes[i + 1] as char);
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'"' {
+                    out.push(b'"');
+                    i += 1;
+                    break;
+                }
+                lit.push(bytes[i] as char);
+                blank(&mut out, bytes[i]);
+                i += 1;
+            }
+            strings.push((start_line, lit));
+            continue;
+        }
+        // Char literal vs lifetime. `'a` / `'static` are lifetimes; `'x'`,
+        // `'\n'` are char literals.
+        if b == b'\'' {
+            let n1 = bytes.get(i + 1).copied();
+            let n2 = bytes.get(i + 2).copied();
+            let is_lifetime =
+                matches!(n1, Some(c) if c.is_ascii_alphabetic() || c == b'_') && n2 != Some(b'\'');
+            if !is_lifetime {
+                // Char literal: blank through the closing quote.
+                blank(&mut out, b'\'');
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'\\' {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+                if i < bytes.len() {
+                    blank(&mut out, b'\'');
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(b);
+        i += 1;
+    }
+
+    Cleaned {
+        text: String::from_utf8_lossy(&out).into_owned(),
+        strings,
+    }
+}
+
+fn prev_is_ident_char(out: &[u8]) -> bool {
+    matches!(out.last(), Some(&c) if c.is_ascii_alphanumeric() || c == b'_')
+}
+
+/// One lexical token of the cleaned source.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Identifier text, or the punctuation character as a 1-char string.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Inside `#[cfg(test)]` / `#[test]`-attributed items.
+    pub in_test: bool,
+    /// Name of the innermost enclosing `fn`, if any.
+    pub func: Option<String>,
+}
+
+/// Tokenize cleaned source, attributing each token to its enclosing function
+/// and flagging tokens inside test-gated items.
+pub fn tokenize(cleaned: &str) -> Vec<Token> {
+    let bytes = cleaned.as_bytes();
+    let mut raw: Vec<(String, usize)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            raw.push((cleaned[start..i].to_owned(), line));
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                // Stop a numeric token before `..` (range) so `0..n` does not
+                // swallow the dots.
+                if bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    break;
+                }
+                i += 1;
+            }
+            raw.push((cleaned[start..i].to_owned(), line));
+            continue;
+        }
+        raw.push(((b as char).to_string(), line));
+        i += 1;
+    }
+
+    // Second pass: brace-scope tracking for fn names and test regions.
+    #[derive(Clone)]
+    struct Scope {
+        func: Option<String>,
+        in_test: bool,
+    }
+    let mut scopes: Vec<Scope> = vec![Scope {
+        func: None,
+        in_test: false,
+    }];
+    let mut out: Vec<Token> = Vec::with_capacity(raw.len());
+    let mut pending_fn: Option<String> = None;
+    let mut pending_test = false;
+    let mut k = 0usize;
+    while k < raw.len() {
+        let (text, tline) = raw[k].clone();
+        let cur = scopes.last().cloned().unwrap_or(Scope {
+            func: None,
+            in_test: false,
+        });
+
+        // Attribute: `#` (optional `!`) `[` … matching `]`.
+        if text == "#" {
+            let mut a = k + 1;
+            if raw.get(a).map(|t| t.0.as_str()) == Some("!") {
+                a += 1;
+            }
+            if raw.get(a).map(|t| t.0.as_str()) == Some("[") {
+                let mut depth = 0usize;
+                let mut has_test = false;
+                let mut has_not = false;
+                let end = {
+                    let mut e = a;
+                    while e < raw.len() {
+                        match raw[e].0.as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "test" => has_test = true,
+                            "not" => has_not = true,
+                            _ => {}
+                        }
+                        e += 1;
+                    }
+                    e
+                };
+                if has_test && !has_not {
+                    pending_test = true;
+                }
+                // Attribute tokens themselves carry the enclosing scope.
+                for t in raw.iter().take((end + 1).min(raw.len())).skip(k) {
+                    out.push(Token {
+                        text: t.0.clone(),
+                        line: t.1,
+                        in_test: cur.in_test,
+                        func: cur.func.clone(),
+                    });
+                }
+                k = end + 1;
+                continue;
+            }
+        }
+
+        match text.as_str() {
+            "fn" => {
+                if let Some((name, _)) = raw.get(k + 1) {
+                    pending_fn = Some(name.clone());
+                }
+            }
+            ";" => {
+                // A `;` before any `{` ends a bodyless item: clear pendings
+                // only when no body followed (e.g. trait method decl).
+                pending_fn = None;
+                pending_test = false;
+            }
+            "{" => {
+                let func = pending_fn.take().or_else(|| cur.func.clone());
+                let in_test = cur.in_test || pending_test;
+                pending_test = false;
+                scopes.push(Scope { func, in_test });
+            }
+            "}" if scopes.len() > 1 => {
+                scopes.pop();
+            }
+            _ => {}
+        }
+
+        // `{`/`}` tokens belong to the scope they open/close; everything else
+        // to the current scope. Using the post-update scope for `{` is fine
+        // for our checks.
+        let eff = scopes.last().cloned().unwrap_or(cur);
+        out.push(Token {
+            text,
+            line: tline,
+            in_test: eff.in_test,
+            func: eff.func,
+        });
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let c = clean("let a = \"x.unwrap()\"; // b.unwrap()\n/* c.unwrap() */ d");
+        assert!(!c.text.contains("unwrap"));
+        assert!(c.text.contains("let a"));
+        assert_eq!(c.strings.len(), 1);
+        assert_eq!(c.strings[0].1, "x.unwrap()");
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let c = clean("fn f<'a>(x: &'a str) { let s = r#\"ima$locks\"#; let c = 'x'; }");
+        assert!(c.text.contains("fn f"));
+        assert_eq!(c.strings[0].1, "ima$locks");
+        assert!(!c.text.contains("ima$"));
+    }
+
+    #[test]
+    fn line_numbers_survive_cleaning() {
+        let src = "line1\n/* multi\nline\ncomment */\nfive";
+        let c = clean(src);
+        assert_eq!(c.text.lines().count(), src.lines().count());
+        let toks = tokenize(&c.text);
+        let five = toks.iter().find(|t| t.text == "five").unwrap();
+        assert_eq!(five.line, 5);
+    }
+
+    #[test]
+    fn fn_attribution_and_test_regions() {
+        let src = "fn hot() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let toks = tokenize(&clean(src).text);
+        let x = toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.func.as_deref(), Some("hot"));
+        assert!(!x.in_test);
+        let y = toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.func.as_deref(), Some("t"));
+        assert!(y.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { z.unwrap(); }";
+        let toks = tokenize(&clean(src).text);
+        let z = toks.iter().find(|t| t.text == "z").unwrap();
+        assert!(!z.in_test);
+    }
+}

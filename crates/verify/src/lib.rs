@@ -1,0 +1,79 @@
+#![forbid(unsafe_code)]
+//! `ingot-verify` — project-specific static analysis for the Ingot workspace.
+//!
+//! The compiler cannot see Ingot's concurrency disciplines (PR 3) or the
+//! paper's monitoring-overhead accounting; this crate checks them as source
+//! invariants, the same "watch yourself continuously" stance the engine
+//! applies to workloads:
+//!
+//! 1. **lock-order** — `catalog.write()` (the DDL guard) only from
+//!    allowlisted DDL handlers; no table-lock acquisition while a write
+//!    guard is lexically live.
+//! 2. **panic** — `.unwrap()` / `.expect()` / direct indexing budgeted in
+//!    hot-path modules via a checked-in ratchet allowlist.
+//! 3. **clock** — raw `Instant::now` / `SystemTime::now` only in
+//!    trace/daemon/bench, so `monitor_ns` keeps meaning what Fig 5 says.
+//! 4. **ima** — every registered `ima$…` virtual table is documented and
+//!    referenced by at least one test.
+//!
+//! `syn` is deliberately not used: the checks operate on a comment- and
+//! literal-stripped token stream (see [`lexer`]), which keeps the tool
+//! dependency-free and buildable offline.
+
+pub mod allowlist;
+pub mod checks;
+pub mod lexer;
+pub mod policy;
+pub mod scan;
+
+use std::path::Path;
+
+pub use checks::Violation;
+
+/// Aggregate result of a verification run.
+pub struct Report {
+    /// Violations that fail the run (not allowlisted).
+    pub violations: Vec<Violation>,
+    /// Panic-freedom sites grandfathered by the allowlist.
+    pub allowlisted: usize,
+    /// Allowlist entries with no matching site (ratchet: must be removed).
+    pub stale: Vec<String>,
+}
+
+impl Report {
+    /// Does this run pass?
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Run every check over the workspace at `root`. The panic-freedom check is
+/// filtered through the allowlist at `allowlist_path` when given.
+pub fn run(root: &Path, allowlist_path: Option<&Path>) -> std::io::Result<Report> {
+    let files = scan::scan_workspace(root)?;
+    let mut violations = checks::check_lock_order(&files);
+    violations.extend(checks::check_clock_hygiene(&files));
+    violations.extend(checks::check_ima_completeness(root, &files));
+
+    let panic_violations = checks::check_panic_freedom(&files);
+    let (fresh, allowlisted, stale) = match allowlist_path {
+        Some(p) if p.is_file() => {
+            let allow = allowlist::load(p)?;
+            allowlist::apply(panic_violations, &allow)
+        }
+        _ => (panic_violations, 0, Vec::new()),
+    };
+    violations.extend(fresh);
+    violations.sort_by(|a, b| (&a.file, a.line, &a.category).cmp(&(&b.file, b.line, &b.category)));
+    Ok(Report {
+        violations,
+        allowlisted,
+        stale,
+    })
+}
+
+/// Raw panic-freedom scan (no allowlist) — used by `--bless`.
+pub fn panic_scan(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let files = scan::scan_workspace(root)?;
+    Ok(checks::check_panic_freedom(&files))
+}

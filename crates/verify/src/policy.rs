@@ -1,0 +1,54 @@
+//! The invariant catalogue: which crates/modules each check covers and the
+//! built-in exemptions. Kept in one place so the policy is reviewable.
+//!
+//! See DESIGN.md "Static analysis & model checking" for the rationale behind
+//! each entry.
+
+/// Crates whose `src/` is a panic-freedom hot path: `.unwrap()`, `.expect()`
+/// and direct slice indexing are budgeted (allowlist-only) here.
+pub const HOT_PATH_CRATES: &[&str] = &["storage", "txn", "executor"];
+
+/// Individual hot-path files outside the crates above.
+pub const HOT_PATH_FILES: &[&str] = &["crates/core/src/engine.rs"];
+
+/// Crates checked for lock-order discipline (`catalog.write()` reachable
+/// only from the DDL allowlist, no lock acquisition under the DDL guard).
+pub const LOCK_ORDER_CRATES: &[&str] = &["core", "executor", "txn", "daemon", "analyzer"];
+
+/// `(file suffix, function)` pairs allowed to open the catalog write guard.
+/// These are the DDL handlers: every one of them acquires its logical table
+/// lock *before* the guard (PR 3 discipline) or runs before any session
+/// exists (daemon bootstrap, analyzer apply step).
+pub const DDL_WRITERS: &[(&str, &str)] = &[
+    ("crates/core/src/engine.rs", "execute_inner"),
+    ("crates/core/src/engine.rs", "run_create_table"),
+    ("crates/core/src/engine.rs", "run_create_index"),
+    ("crates/core/src/engine.rs", "add_virtual_index"),
+    ("crates/core/src/engine.rs", "clear_virtual_indexes"),
+    // Daemon bootstrap: registers ima$daemon_health before any session runs.
+    ("crates/daemon/src/lib.rs", "new"),
+    // Analyzer maintenance window: freshens/restores statistics around the
+    // what-if pass; holds the DDL guard but never table locks.
+    ("crates/analyzer/src/lib.rs", "analyze"),
+];
+
+/// Crates that may call `Instant::now` / `SystemTime::now` directly: the
+/// wall-clock wrapper itself, the tracing subsystem, the storage daemon and
+/// the benchmark harness. Everything else must route through
+/// `ingot_common::clock` so monitoring overhead stays attributable.
+pub const CLOCK_EXEMPT_CRATES: &[&str] = &["trace", "daemon", "bench", "loom-shim"];
+
+/// Files exempt from the clock check by name.
+pub const CLOCK_EXEMPT_FILES: &[&str] = &["crates/common/src/clock.rs"];
+
+/// The file registering every `ima$…` virtual table (the IMA registry).
+pub const IMA_REGISTRY_FILE: &str = "crates/core/src/ima.rs";
+
+/// Rust keywords that cannot be an indexed expression head; a `[` following
+/// one of these is an array literal, type, or pattern — not indexing.
+pub const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "as", "move", "static", "const",
+    "crate", "super", "use", "pub", "fn", "impl", "for", "while", "loop", "where", "dyn", "box",
+    "break", "continue", "struct", "enum", "trait", "type", "mod", "unsafe", "async", "await",
+    "self", "Self",
+];

@@ -1,0 +1,125 @@
+//! Workspace discovery: walk the tree, classify files, lex each one.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Token};
+
+/// One analysed Rust source file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// `crates/<name>/…` → `<name>`; `None` for top-level `tests/` etc.
+    pub crate_name: Option<String>,
+    /// File lives under a `tests/`, `benches/` or `examples/` directory —
+    /// wholly exempt from hot-path checks, counted as test corpus for IMA.
+    pub in_tests_dir: bool,
+    /// Token stream with fn / test attribution.
+    pub tokens: Vec<Token>,
+    /// String literal contents with start line.
+    pub strings: Vec<(usize, String)>,
+    /// Lines (1-based) on which at least one token is test-gated.
+    test_lines: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Is the string literal starting on `line` inside a test region?
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.in_tests_dir || self.test_lines.binary_search(&line).is_ok()
+    }
+}
+
+/// Read and lex every Rust file of the workspace rooted at `root`.
+///
+/// Scans `crates/*/{src,tests,benches,examples}` plus the top-level `tests/`
+/// and `examples/` directories. `crates/verify/fixtures` (golden violation
+/// inputs) and build outputs are skipped.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            for sub in ["src", "tests", "benches", "examples"] {
+                collect(root, &dir.join(sub), &mut files)?;
+            }
+        }
+    }
+    for sub in ["tests", "examples"] {
+        collect(root, &root.join(sub), &mut files)?;
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut stack: Vec<PathBuf> = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let p = entry?.path();
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if p.is_dir() {
+                if name == "target" || name == "fixtures" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(p);
+            } else if name.ends_with(".rs") {
+                out.push(load(root, &p)?);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn load(root: &Path, path: &Path) -> std::io::Result<SourceFile> {
+    let src = fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") {
+        parts.get(1).map(|s| s.to_string())
+    } else {
+        None
+    };
+    let in_tests_dir = parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+    let cleaned = lexer::clean(&src);
+    let tokens = lexer::tokenize(&cleaned.text);
+    let mut test_lines: Vec<usize> = tokens
+        .iter()
+        .filter(|t| t.in_test)
+        .map(|t| t.line)
+        .collect();
+    test_lines.dedup();
+    Ok(SourceFile {
+        rel_path: rel,
+        crate_name,
+        in_tests_dir,
+        tokens,
+        strings: cleaned.strings,
+        test_lines,
+    })
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` containing
+/// both `Cargo.toml` and a `crates/` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,215 @@
+//! Golden tests: each fixture tree under `fixtures/` produces exactly the
+//! expected diagnostics, the CLI exits non-zero on every fixture, and the
+//! real workspace passes clean (modulo the checked-in allowlist).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// (check, category, file, line, func) for every violation, in report order.
+fn summarize(report: &ingot_verify::Report) -> Vec<(String, String, String, usize, String)> {
+    report
+        .violations
+        .iter()
+        .map(|v| {
+            (
+                v.check.to_string(),
+                v.category.clone(),
+                v.file.clone(),
+                v.line,
+                v.func.clone(),
+            )
+        })
+        .collect()
+}
+
+fn run(name: &str) -> ingot_verify::Report {
+    ingot_verify::run(&fixture(name), None).expect("fixture scan")
+}
+
+fn s(x: &str) -> String {
+    x.to_string()
+}
+
+#[test]
+fn lock_order_fixture_diagnostics() {
+    let r = run("lock_order");
+    assert_eq!(
+        summarize(&r),
+        vec![
+            (
+                s("lock-order"),
+                s("ddl-write"),
+                s("crates/core/src/engine.rs"),
+                4,
+                s("sneaky_ddl"),
+            ),
+            (
+                s("lock-order"),
+                s("lock-under-guard"),
+                s("crates/core/src/engine.rs"),
+                5,
+                s("sneaky_ddl"),
+            ),
+        ],
+        "allowlisted `execute_inner` must not be flagged; `sneaky_ddl` must be"
+    );
+}
+
+#[test]
+fn panic_fixture_diagnostics() {
+    let r = run("panic");
+    assert_eq!(
+        summarize(&r),
+        vec![
+            (
+                s("panic"),
+                s("index"),
+                s("crates/storage/src/hot.rs"),
+                4,
+                s("head"),
+            ),
+            (
+                s("panic"),
+                s("unwrap"),
+                s("crates/storage/src/hot.rs"),
+                8,
+                s("must"),
+            ),
+            (
+                s("panic"),
+                s("expect"),
+                s("crates/storage/src/hot.rs"),
+                12,
+                s("must_msg"),
+            ),
+        ],
+        "the #[cfg(test)] unwrap must not be flagged"
+    );
+    // Stable ratchet keys.
+    let keys: Vec<String> = r.violations.iter().map(|v| v.key()).collect();
+    assert_eq!(
+        keys,
+        vec![
+            "index\tcrates/storage/src/hot.rs\thead\t1",
+            "unwrap\tcrates/storage/src/hot.rs\tmust\t1",
+            "expect\tcrates/storage/src/hot.rs\tmust_msg\t1",
+        ]
+    );
+}
+
+#[test]
+fn clock_fixture_diagnostics() {
+    let r = run("clock");
+    assert_eq!(
+        summarize(&r),
+        vec![(
+            s("clock"),
+            s("raw-clock"),
+            s("crates/executor/src/timing.rs"),
+            4,
+            s("now_ms"),
+        )]
+    );
+}
+
+#[test]
+fn ima_fixture_diagnostics() {
+    let r = run("ima");
+    assert_eq!(
+        summarize(&r),
+        vec![
+            (
+                s("ima"),
+                s("undocumented"),
+                s("crates/core/src/ima.rs"),
+                0,
+                s("<registry>"),
+            ),
+            (
+                s("ima"),
+                s("untested"),
+                s("crates/core/src/ima.rs"),
+                0,
+                s("<registry>"),
+            ),
+        ],
+        "ima$covered is documented and tested; only ima$orphan may be flagged"
+    );
+    for v in &r.violations {
+        assert!(v.message.contains("ima$orphan"), "{}", v.message);
+    }
+}
+
+#[test]
+fn display_format_is_stable() {
+    let r = run("clock");
+    let line = r.violations[0].to_string();
+    assert!(
+        line.starts_with("crates/executor/src/timing.rs:4: [clock/raw-clock] Instant::now"),
+        "diagnostic format changed: {line}"
+    );
+}
+
+#[test]
+fn allowlist_grandfathers_and_ratchets() {
+    // Allowlist exactly one of the panic fixture's three sites: two fresh
+    // violations remain. A bogus entry is reported stale.
+    let dir = std::env::temp_dir().join(format!("ingot-verify-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let allow = dir.join("allow.txt");
+    std::fs::write(
+        &allow,
+        "# comment\nunwrap\tcrates/storage/src/hot.rs\tmust\t1\n\
+         unwrap\tcrates/storage/src/hot.rs\tgone_fn\t1\n",
+    )
+    .unwrap();
+    let r = ingot_verify::run(&fixture("panic"), Some(&allow)).expect("scan");
+    assert_eq!(r.allowlisted, 1);
+    assert_eq!(r.violations.len(), 2);
+    assert_eq!(
+        r.stale,
+        vec!["unwrap\tcrates/storage/src/hot.rs\tgone_fn\t1"]
+    );
+    assert!(!r.clean(), "stale entries must fail the run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_exits_nonzero_on_every_fixture() {
+    let bin = env!("CARGO_BIN_EXE_ingot-verify");
+    for case in ["lock_order", "panic", "clock", "ima"] {
+        let out = Command::new(bin)
+            .args(["--root"])
+            .arg(fixture(case))
+            .output()
+            .expect("spawn ingot-verify");
+        assert_eq!(out.status.code(), Some(1), "fixture {case} must fail");
+    }
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let bin = env!("CARGO_BIN_EXE_ingot-verify");
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("spawn ingot-verify");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the workspace must satisfy its own invariants:\n{stdout}"
+    );
+    assert!(stdout.contains("workspace clean"), "{stdout}");
+}

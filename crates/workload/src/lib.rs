@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The evaluation workload: an NREF-like protein database and the three
 //! statement sets of the paper's §V.
 //!

@@ -3,6 +3,10 @@
 //!
 //! Run with: `cargo run --example alerting_daemon`
 
+// Real-time pacing: sleeps coordinate contending sessions and wait out
+// daemon intervals — the sanctioned exception to the workspace sleep ban.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

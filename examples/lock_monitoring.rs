@@ -11,6 +11,10 @@
 //!
 //! Run with: `cargo run --example lock_monitoring`
 
+// Real-time pacing: sleeps coordinate contending sessions and wait out
+// daemon intervals — the sanctioned exception to the workspace sleep ban.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

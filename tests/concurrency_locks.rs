@@ -1,6 +1,10 @@
 //! Concurrency integration: parallel sessions, the lock manager, deadlock
 //! detection, and the statistics sensor that feeds Fig 8.
 
+// Real-time pacing: sleeps coordinate contending sessions and wait out
+// daemon intervals — the sanctioned exception to the workspace sleep ban.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

@@ -2,6 +2,10 @@
 //! workload DB, retention, alerting, growth accounting, and restart
 //! persistence of the file-backed database.
 
+// Real-time pacing: sleeps coordinate contending sessions and wait out
+// daemon intervals — the sanctioned exception to the workspace sleep ban.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

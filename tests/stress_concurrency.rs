@@ -5,6 +5,10 @@
 //! architecture: DML runs against immutable schema snapshots with `&self`
 //! row mutators, serialised only by the lock manager's table locks.
 
+// Real-time pacing: sleeps coordinate contending sessions and wait out
+// daemon intervals — the sanctioned exception to the workspace sleep ban.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
