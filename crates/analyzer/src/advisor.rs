@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn advisor_recommends_selective_index_and_skips_useless_one() {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table protein (nref_id int not null, name text, grp int)")
             .unwrap();
@@ -253,7 +256,10 @@ mod tests {
 
     #[test]
     fn advisor_skips_already_indexed_columns() {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table t (a int not null, b int)").unwrap();
         for i in 0..3000 {
@@ -279,7 +285,10 @@ mod tests {
 
     #[test]
     fn empty_workload_yields_nothing() {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let view = WorkloadView::default();
         let out = recommend_indexes(&AdvisorConfig::default(), &engine, &view).unwrap();
         assert!(out.recommendations.is_empty());

@@ -164,7 +164,10 @@ mod tests {
     /// families fire, apply, and verify the workload gets cheaper.
     #[test]
     fn full_analysis_loop() {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table protein (nref_id int not null primary key, name text, len int)")
             .unwrap();

@@ -348,7 +348,10 @@ mod tests {
     use ingot_core::Engine;
 
     fn engine_with_workload() -> std::sync::Arc<Engine> {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table t (a int, b int)").unwrap();
         for i in 0..100 {

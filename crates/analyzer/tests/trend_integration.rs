@@ -10,7 +10,10 @@ use ingot_daemon::{DaemonConfig, StorageDaemon, WorkloadDb};
 
 #[test]
 fn predicts_table_growth_from_workload_db() {
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let s = engine.open_session();
     s.execute("create table events (id int)").unwrap();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
@@ -51,7 +54,10 @@ fn predicts_table_growth_from_workload_db() {
 
 #[test]
 fn predicts_statistics_metric() {
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let s = engine.open_session();
     s.execute("create table t (a int)").unwrap();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());

@@ -12,7 +12,10 @@ const JOIN: &str = "select p.name, o.taxon_id from protein p \
                     join organism o on p.nref_id = o.nref_id where o.taxon_id = 3";
 
 fn engine() -> std::sync::Arc<Engine> {
-    let engine = Engine::new(EngineConfig::original());
+    let engine = Engine::builder()
+        .config(EngineConfig::original())
+        .build()
+        .unwrap();
     let s = engine.open_session();
     s.execute("create table protein (nref_id int not null primary key, name text, len int)")
         .unwrap();

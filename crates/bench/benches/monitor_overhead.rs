@@ -13,7 +13,7 @@ fn prepared_engine(monitoring: bool) -> Arc<Engine> {
     } else {
         EngineConfig::original()
     };
-    let engine = Engine::new(config);
+    let engine = Engine::builder().config(config).build().unwrap();
     let s = engine.open_session();
     s.execute("create table protein (nref_id int not null primary key, name text)")
         .unwrap();

@@ -1,0 +1,65 @@
+//! Plan-cache micro-benchmarks: the cost of one prepared execution with the
+//! shared plan cache hitting vs. disabled (full parse + bind + optimize on
+//! every call), for a point select and a two-table join.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ingot_common::{EngineConfig, Value};
+use ingot_core::Engine;
+
+const POINT: &str = "select name, len from protein where nref_id = $1";
+const JOIN: &str = "select p.name, o.taxon_id from protein p \
+                    join organism o on p.nref_id = o.nref_id where p.nref_id = $1";
+
+fn engine(plan_cache_capacity: usize) -> std::sync::Arc<Engine> {
+    let engine = Engine::builder()
+        .config(EngineConfig::original())
+        .plan_cache_capacity(plan_cache_capacity)
+        .build()
+        .unwrap();
+    let s = engine.open_session();
+    s.execute("create table protein (nref_id int not null primary key, name text, len int)")
+        .unwrap();
+    s.execute("create table organism (nref_id int not null, taxon_id int)")
+        .unwrap();
+    for i in 0..2000 {
+        s.execute(&format!(
+            "insert into protein values ({i}, 'p{i}', {})",
+            i % 50
+        ))
+        .unwrap();
+        s.execute(&format!("insert into organism values ({i}, {})", i % 20))
+            .unwrap();
+    }
+    s.execute("create index organism_nref on organism (nref_id)")
+        .unwrap();
+    s.execute("modify protein to btree").unwrap();
+    s.execute("create statistics on protein").unwrap();
+    s.execute("create statistics on organism").unwrap();
+    engine
+}
+
+fn bench_template(c: &mut Criterion, label: &str, template: &str) {
+    for (suffix, capacity) in [("cached", 256), ("uncached", 0)] {
+        let engine = engine(capacity);
+        let session = engine.open_session();
+        let prepared = session.prepare(template).unwrap();
+        let mut i = 0i64;
+        c.bench_function(&format!("{label}_{suffix}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % 2000;
+                black_box(prepared.execute(black_box(&[Value::Int(i)])).unwrap())
+            })
+        });
+    }
+}
+
+fn bench_point(c: &mut Criterion) {
+    bench_template(c, "prepared_point_select", POINT);
+}
+
+fn bench_join(c: &mut Criterion) {
+    bench_template(c, "prepared_join", JOIN);
+}
+
+criterion_group!(benches, bench_point, bench_join);
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use ingot_core::Engine;
 use std::sync::Arc;
 
 fn prepared_engine(config: EngineConfig) -> Arc<Engine> {
-    let engine = Engine::new(config);
+    let engine = Engine::builder().config(config).build().unwrap();
     let s = engine.open_session();
     s.execute("create table protein (nref_id int not null primary key, name text)")
         .unwrap();

@@ -29,7 +29,7 @@ fn main() {
         lock_timeout_ms: 500,
         ..EngineConfig::monitoring()
     };
-    let engine = Engine::new(config);
+    let engine = Engine::builder().config(config).build().unwrap();
     {
         let s = engine.open_session();
         s.execute("create table acc_a (id int not null primary key, v int)")

@@ -1,0 +1,215 @@
+//! Plan-cache payoff — repeated-template throughput with the shared plan
+//! cache on vs. off.
+//!
+//! Prepares one statement per template and executes it in a tight loop with
+//! fresh parameter bindings. With the cache enabled every execution after
+//! the first is a hit (bind values are substituted into the cached plan);
+//! with `plan_cache_capacity(0)` the identical code path re-parses and
+//! re-optimizes on every call. The ratio between the two is the cache's
+//! payoff, and the join-template speedup is the headline claim checked at
+//! the bottom (`>= 2x`). Numbers land in `results/plan_cache.json`
+//! (override the directory with `INGOT_RESULTS_DIR`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ingot_bench::{best_of, header, Scale};
+use ingot_common::{EngineConfig, Value};
+use ingot_core::Engine;
+
+const ROWS: i64 = 2000;
+
+const TEMPLATES: [(&str, &str); 3] = [
+    (
+        "point_select",
+        "select name, len from protein where nref_id = $1",
+    ),
+    (
+        "join",
+        "select p.name, o.taxon_id from protein p \
+         join organism o on p.nref_id = o.nref_id where p.nref_id = $1",
+    ),
+    ("update", "update protein set len = $2 where nref_id = $1"),
+];
+
+struct Cell {
+    template: &'static str,
+    executions: u64,
+    cached_ms: f64,
+    uncached_ms: f64,
+    cached_stmts_per_sec: f64,
+    uncached_stmts_per_sec: f64,
+    speedup: f64,
+}
+
+fn build_engine(plan_cache_capacity: usize) -> Arc<Engine> {
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring().with_statement_capacity(4096))
+        .plan_cache_capacity(plan_cache_capacity)
+        .build()
+        .expect("in-memory engine");
+    let s = engine.open_session();
+    s.execute("create table protein (nref_id int not null primary key, name text, len int)")
+        .unwrap();
+    s.execute("create table organism (nref_id int not null, taxon_id int)")
+        .unwrap();
+    for i in 0..ROWS {
+        s.execute(&format!(
+            "insert into protein values ({i}, 'p{i}', {})",
+            i % 50
+        ))
+        .unwrap();
+        s.execute(&format!("insert into organism values ({i}, {})", i % 20))
+            .unwrap();
+    }
+    // Keyed access paths: the templates are point lookups, so execution is
+    // a cheap probe and the parse+bind+optimize work the cache elides is
+    // the bulk of each uncached round.
+    s.execute("create index organism_nref on organism (nref_id)")
+        .unwrap();
+    s.execute("modify protein to btree").unwrap();
+    s.execute("create statistics on protein").unwrap();
+    s.execute("create statistics on organism").unwrap();
+    engine
+}
+
+/// Execute `template` `n` times through one prepared statement, binding a
+/// fresh key each round. Identical code path for both engines — only the
+/// cache capacity differs.
+fn run_template(engine: &Arc<Engine>, template: &str, n: u64) -> Duration {
+    let session = engine.open_session();
+    let prepared = session.prepare(template).unwrap();
+    let two_params = prepared.param_count() == 2;
+    let start = Instant::now();
+    for i in 0..n {
+        let key = Value::Int((i as i64) % ROWS);
+        let r = if two_params {
+            prepared.execute(&[key, Value::Int((i % 50) as i64)])
+        } else {
+            prepared.execute(&[key])
+        };
+        r.unwrap();
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Plan cache",
+        "repeated-template throughput, cache on vs. off",
+        &scale,
+    );
+    let executions = (scale.n_simple / 2).max(500);
+
+    let cached_engine = build_engine(256);
+    let uncached_engine = build_engine(0);
+
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>14} {:>14} {:>9}",
+        "template", "cached_ms", "uncached_ms", "cached/s", "uncached/s", "speedup"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for (name, template) in TEMPLATES {
+        let cached = best_of(scale.repeats, || {
+            run_template(&cached_engine, template, executions)
+        });
+        let uncached = best_of(scale.repeats, || {
+            run_template(&uncached_engine, template, executions)
+        });
+        let cached_tput = executions as f64 / cached.as_secs_f64();
+        let uncached_tput = executions as f64 / uncached.as_secs_f64();
+        let speedup = cached_tput / uncached_tput;
+        println!(
+            "{:<14} {:>12.1} {:>12.1} {:>14.0} {:>14.0} {:>8.2}x",
+            name,
+            cached.as_secs_f64() * 1e3,
+            uncached.as_secs_f64() * 1e3,
+            cached_tput,
+            uncached_tput,
+            speedup
+        );
+        cells.push(Cell {
+            template: name,
+            executions,
+            cached_ms: cached.as_secs_f64() * 1e3,
+            uncached_ms: uncached.as_secs_f64() * 1e3,
+            cached_stmts_per_sec: cached_tput,
+            uncached_stmts_per_sec: uncached_tput,
+            speedup,
+        });
+    }
+
+    let stats = cached_engine.plan_cache_stats();
+    println!(
+        "\ncache counters: {} hits, {} misses, {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
+
+    let json = render_json(&scale, &cells, stats.hits, stats.misses);
+    let dir = std::env::var("INGOT_RESULTS_DIR")
+        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{dir}/plan_cache.json");
+    std::fs::write(&path, json).expect("write results JSON");
+    println!("wrote {path}");
+
+    // The cache must actually be doing the work the speedup claims.
+    assert!(
+        stats.hits >= executions,
+        "cached run should hit on (nearly) every execution (got {} hits)",
+        stats.hits
+    );
+    let join = cells
+        .iter()
+        .find(|c| c.template == "join")
+        .expect("join cell");
+    assert!(
+        join.speedup >= 2.0,
+        "cached repeated-template throughput must be at least 2x the \
+         uncached path on the join template (got {:.2}x)",
+        join.speedup
+    );
+    let point = cells
+        .iter()
+        .find(|c| c.template == "point_select")
+        .expect("point_select cell");
+    assert!(
+        point.speedup >= 1.3,
+        "the cache must pay off even on the cheapest template \
+         (got {:.2}x on point_select)",
+        point.speedup
+    );
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde dependency).
+fn render_json(scale: &Scale, cells: &[Cell], hits: u64, misses: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"plan_cache\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", scale.name));
+    out.push_str(&format!("  \"repeats\": {},\n", scale.repeats));
+    out.push_str(&format!("  \"table_rows\": {ROWS},\n"));
+    out.push_str(&format!("  \"cache_hits\": {hits},\n"));
+    out.push_str(&format!("  \"cache_misses\": {misses},\n"));
+    out.push_str(
+        "  \"model\": \"one prepared statement per template, fresh binds per execution\",\n",
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"template\": \"{}\", \"executions\": {}, \
+             \"cached_ms\": {:.2}, \"uncached_ms\": {:.2}, \
+             \"cached_stmts_per_sec\": {:.1}, \"uncached_stmts_per_sec\": {:.1}, \
+             \"speedup\": {:.3}}}{}\n",
+            c.template,
+            c.executions,
+            c.cached_ms,
+            c.uncached_ms,
+            c.cached_stmts_per_sec,
+            c.uncached_stmts_per_sec,
+            c.speedup,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

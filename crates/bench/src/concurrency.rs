@@ -60,10 +60,13 @@ impl Workload {
 /// plus one keyed table per potential session (`acct_w0` …), all with
 /// statistics so point statements plan to primary-key lookups.
 pub fn build_engine() -> Arc<Engine> {
-    let engine = Engine::new(EngineConfig {
-        lock_timeout_ms: 10_000,
-        ..EngineConfig::monitoring()
-    });
+    let engine = Engine::builder()
+        .config(EngineConfig {
+            lock_timeout_ms: 10_000,
+            ..EngineConfig::monitoring()
+        })
+        .build()
+        .unwrap();
     let s = engine.open_session();
     let mut tables = vec!["acct".to_string()];
     tables.extend((0..SESSION_COUNTS[SESSION_COUNTS.len() - 1]).map(|i| format!("acct_w{i}")));

@@ -139,7 +139,11 @@ pub fn build_instance_with(setup: Setup, scale: &Scale, keyed: bool) -> Instance
     }
     .with_buffer_pool_pages(scale.buffer_pages);
     let clock = SimClock::new();
-    let engine = Engine::with_clock(config, clock.clone());
+    let engine = Engine::builder()
+        .config(config)
+        .clock(clock.clone())
+        .build()
+        .expect("in-memory engine");
     load_nref(&engine, &scale.nref).expect("NREF load");
     if keyed {
         // The §V-A monitoring testbed is a *tuned* database (keyed primary

@@ -38,6 +38,11 @@ pub struct Catalog {
     virtual_names: HashMap<String, TableId>,
     next_table: u32,
     next_index: u32,
+    /// Schema epoch: bumped every time a modified copy of the catalog is
+    /// published through [`crate::shared::SharedCatalog`]. Plan-cache entries
+    /// are keyed on it, so any published schema or statistics change
+    /// implicitly invalidates every plan optimized under an older epoch.
+    epoch: u64,
 }
 
 /// Supplies the rows of a virtual table on demand.
@@ -81,12 +86,27 @@ impl Catalog {
             virtual_names: HashMap::new(),
             next_table: 1,
             next_index: 1,
+            epoch: 0,
         }
     }
 
     /// The buffer pool backing this catalog's files.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The schema epoch this snapshot was published under (see the field
+    /// docs). Two snapshots with equal epochs have identical schemas and
+    /// statistics.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the schema epoch. Called exactly once per publish by the
+    /// [`crate::shared::CatalogWriteGuard`]; not part of the public DDL
+    /// surface.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     // ---- table DDL -----------------------------------------------------------

@@ -96,7 +96,11 @@ impl DerefMut for CatalogWriteGuard<'_> {
 
 impl Drop for CatalogWriteGuard<'_> {
     fn drop(&mut self) {
-        let scratch = self.scratch.take().expect("guard holds scratch catalog");
+        let mut scratch = self.scratch.take().expect("guard holds scratch catalog");
+        // Every publish advances the schema epoch, even when the writer made
+        // no change — a cheap over-approximation that keeps the plan cache's
+        // staleness check a single integer comparison.
+        scratch.bump_epoch();
         *self.shared.current.write() = Arc::new(scratch);
     }
 }
@@ -162,6 +166,22 @@ mod tests {
             assert!(sc.read().resolve_table("t").is_err());
         }
         assert!(sc.read().resolve_table("t").is_ok());
+    }
+
+    #[test]
+    fn epoch_advances_on_every_publish() {
+        let sc = shared();
+        let e0 = sc.read().epoch();
+        sc.write().create_table("t", schema(), vec![0]).unwrap();
+        let e1 = sc.read().epoch();
+        assert!(e1 > e0, "publish must advance the epoch");
+        // Even a no-op write guard publishes a new epoch.
+        drop(sc.write());
+        assert!(sc.read().epoch() > e1);
+        // Readers holding an old snapshot keep its epoch.
+        let old = sc.read();
+        sc.write().create_table("u", schema(), vec![0]).unwrap();
+        assert!(sc.read().epoch() > old.epoch());
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct EngineConfig {
     /// Lock-wait timeout in milliseconds before giving up (deadlocks are
     /// detected eagerly; this bounds pathological waits).
     pub lock_timeout_ms: u64,
+    /// Capacity (entries) of the shared plan cache keyed on statement
+    /// templates. `0` disables plan caching entirely: every execution
+    /// re-parses and re-optimizes, as the engine did before the cache.
+    pub plan_cache_capacity: usize,
     /// Simulated latency of one random page read, in nanoseconds, charged to
     /// the [`crate::SimClock`] by the disk model.
     pub disk_random_read_ns: u64,
@@ -67,6 +71,7 @@ impl Default for EngineConfig {
             trace_ring_capacity: 1024,
             heap_main_pages: 8,
             lock_timeout_ms: 5_000,
+            plan_cache_capacity: 256,
             // Calibrated to a 2009-era server disk subsystem with command
             // queueing and read-ahead: ~2 ms effective random read, ~0.2 ms
             // per sequential page, ~0.25 ms write (a 10:1 random:sequential
@@ -124,6 +129,12 @@ impl EngineConfig {
     /// Builder-style override of the runtime tracing flag.
     pub fn with_tracing(mut self, enabled: bool) -> Self {
         self.trace_enabled = enabled;
+        self
+    }
+
+    /// Builder-style override of the plan-cache capacity (0 disables).
+    pub fn with_plan_cache_capacity(mut self, entries: usize) -> Self {
+        self.plan_cache_capacity = entries;
         self
     }
 }

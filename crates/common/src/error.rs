@@ -40,6 +40,17 @@ pub enum Error {
     /// A *transient* I/O failure: the operation is expected to succeed if
     /// retried (fault injection, EAGAIN-style conditions, brief outages).
     TransientIo(String),
+    /// A cached plan was invalidated between probe and execution (DDL,
+    /// `CREATE STATISTICS`, virtual-index changes). Retrying re-plans.
+    PlanCacheInvalidated(String),
+    /// A prepared statement was executed with the wrong number of bound
+    /// parameter values.
+    ParamArity {
+        /// Parameters the statement declares (`$1`‥`$expected`).
+        expected: usize,
+        /// Values actually supplied.
+        got: usize,
+    },
     /// Feature parsed but not supported by this engine build.
     Unsupported(String),
 }
@@ -89,6 +100,14 @@ impl Error {
     pub fn transient_io(msg: impl Into<String>) -> Self {
         Error::TransientIo(msg.into())
     }
+    /// Shorthand constructor for [`Error::PlanCacheInvalidated`].
+    pub fn plan_cache_invalidated(msg: impl Into<String>) -> Self {
+        Error::PlanCacheInvalidated(msg.into())
+    }
+    /// Shorthand constructor for [`Error::ParamArity`].
+    pub fn param_arity(expected: usize, got: usize) -> Self {
+        Error::ParamArity { expected, got }
+    }
     /// Shorthand constructor for [`Error::Unsupported`].
     pub fn unsupported(msg: impl Into<String>) -> Self {
         Error::Unsupported(msg.into())
@@ -102,7 +121,10 @@ impl Error {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            Error::TransientIo(_) | Error::LockTimeout(_) | Error::Deadlock { .. }
+            Error::TransientIo(_)
+                | Error::LockTimeout(_)
+                | Error::Deadlock { .. }
+                | Error::PlanCacheInvalidated(_)
         )
     }
 }
@@ -126,6 +148,12 @@ impl fmt::Display for Error {
             Error::Daemon(m) => write!(f, "daemon error: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
             Error::TransientIo(m) => write!(f, "transient io error: {m}"),
+            Error::PlanCacheInvalidated(m) => write!(f, "plan cache invalidated: {m}"),
+            Error::ParamArity { expected, got } => write!(
+                f,
+                "parameter arity mismatch: statement declares {expected} parameter(s), {got} \
+                 value(s) bound"
+            ),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
@@ -160,8 +188,16 @@ mod tests {
         assert!(Error::transient_io("blip").is_transient());
         assert!(Error::LockTimeout("t".into()).is_transient());
         assert!(Error::Deadlock { victim: 1 }.is_transient());
+        assert!(Error::plan_cache_invalidated("ddl").is_transient());
         assert!(!Error::Io("disk gone".into()).is_transient());
         assert!(!Error::storage("bad page").is_transient());
         assert!(!Error::parse("syntax").is_transient());
+        assert!(!Error::param_arity(2, 1).is_transient());
+    }
+
+    #[test]
+    fn param_arity_display_names_both_counts() {
+        let msg = Error::param_arity(3, 1).to_string();
+        assert!(msg.contains('3') && msg.contains('1'), "{msg}");
     }
 }

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use ingot_catalog::Catalog;
 use ingot_common::{Column, DataType, Result, Row, Schema, Value};
+use ingot_planner::PlanCache;
 use ingot_trace::Tracer;
 use ingot_txn::{LockManager, LockMode, Resource, TxnManager};
 
@@ -378,6 +379,37 @@ pub fn register_trace_tables(catalog: &mut Catalog, tracer: &Arc<Tracer>) -> Res
     Ok(())
 }
 
+/// Register `ima$plan_cache`: a single-row counter snapshot of the shared
+/// plan cache (hit/miss/eviction/invalidation totals plus live entry count
+/// and capacity), so cache effectiveness is observable over plain SQL like
+/// every other IMA object.
+pub fn register_plan_cache_table(catalog: &mut Catalog, cache: &Arc<PlanCache>) -> Result<()> {
+    let c = Arc::clone(cache);
+    catalog.register_virtual_table(
+        "ima$plan_cache",
+        Schema::new(vec![
+            Column::not_null("hits", DataType::Int),
+            Column::new("misses", DataType::Int),
+            Column::new("evictions", DataType::Int),
+            Column::new("invalidations", DataType::Int),
+            Column::new("entries", DataType::Int),
+            Column::new("capacity", DataType::Int),
+        ]),
+        Arc::new(move || {
+            let s = c.stats();
+            vec![Row::new(vec![
+                v_int(s.hits),
+                v_int(s.misses),
+                v_int(s.evictions),
+                v_int(s.invalidations),
+                v_int(s.entries),
+                v_int(s.capacity),
+            ])]
+        }),
+    )?;
+    Ok(())
+}
+
 /// Register the concurrency exports: `ima$locks` (one row per granted or
 /// queued lock request, live from the lock manager) and `ima$sessions` (a
 /// single row of session/transaction/lock counters). Both read atomics or a
@@ -506,6 +538,7 @@ pub const IMA_TABLE_NAMES: &[&str] = &[
     "ima$attributes",
     "ima$statistics",
     "ima$monitor_health",
+    "ima$plan_cache",
     "ima$locks",
     "ima$sessions",
     "ima$operator_stats",

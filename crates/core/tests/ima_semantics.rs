@@ -5,7 +5,10 @@ use ingot_common::EngineConfig;
 use ingot_core::Engine;
 
 fn engine() -> std::sync::Arc<Engine> {
-    let e = Engine::new(EngineConfig::monitoring());
+    let e = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let s = e.open_session();
     s.execute("create table t (a int)").unwrap();
     s.execute("insert into t values (1)").unwrap();

@@ -53,7 +53,7 @@ proptest! {
         to_btree in any::<bool>(),
         with_index in any::<bool>(),
     ) {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder().config(EngineConfig::monitoring()).build().unwrap();
         let s = engine.open_session();
         s.execute("create table t (id int not null primary key, a int, b int)").unwrap();
         for (i, (a, b)) in rows.iter().enumerate() {
@@ -87,7 +87,7 @@ proptest! {
     /// Aggregates agree with the model.
     #[test]
     fn aggregates_match_model(rows in prop::collection::vec((0i64..8, -100i64..100), 1..150)) {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder().config(EngineConfig::monitoring()).build().unwrap();
         let s = engine.open_session();
         s.execute("create table t (g int, v int)").unwrap();
         for (g, v) in &rows {
@@ -124,7 +124,7 @@ proptest! {
         right_keys in prop::collection::vec(0i64..30, 1..60),
         keyed in any::<bool>(),
     ) {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder().config(EngineConfig::monitoring()).build().unwrap();
         let s = engine.open_session();
         s.execute("create table l (k int, lv int)").unwrap();
         s.execute("create table r (id int not null primary key, k int)").unwrap();
@@ -159,13 +159,66 @@ proptest! {
         prop_assert_eq!(got, expected);
     }
 
+    /// Executing a prepared template with bound parameters returns exactly
+    /// what the equivalent literal SQL returns — across predicates, repeat
+    /// counts (exercising cold plans and cache hits) and physical layouts.
+    #[test]
+    fn prepared_equals_textual(
+        rows in prop::collection::vec((0i64..100, 0i64..100), 1..80),
+        preds in prop::collection::vec(arb_pred(), 1..3),
+        binds in prop::collection::vec(-50i64..150, 1..4),
+        keyed in any::<bool>(),
+    ) {
+        let engine = Engine::builder().config(EngineConfig::monitoring()).build().unwrap();
+        let s = engine.open_session();
+        s.execute("create table t (id int not null primary key, a int, b int)").unwrap();
+        for (i, (a, b)) in rows.iter().enumerate() {
+            s.execute(&format!("insert into t values ({i}, {a}, {b})")).unwrap();
+        }
+        if keyed {
+            s.execute("create index t_a on t (a)").unwrap();
+            s.execute("create statistics on t").unwrap();
+        }
+        // `a = $1 and b < $2 and …`: one marker per predicate, the bound
+        // value drawn independently of the literal run's value range.
+        let where_params = preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{} {} ${}", p.col, p.op, i + 1))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        let prepared = s
+            .prepare(&format!("select id from t where {where_params} order by id"))
+            .unwrap();
+        prop_assert_eq!(prepared.param_count(), preds.len());
+        for bound in &binds {
+            let params: Vec<ingot_common::Value> =
+                preds.iter().map(|_| ingot_common::Value::Int(*bound)).collect();
+            let via_prepared = prepared.execute(&params).unwrap();
+            let where_literal = preds
+                .iter()
+                .map(|p| format!("{} {} {bound}", p.col, p.op))
+                .collect::<Vec<_>>()
+                .join(" and ");
+            let via_text = s
+                .execute(&format!("select id from t where {where_literal} order by id"))
+                .unwrap();
+            let got: Vec<i64> =
+                via_prepared.rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+            let want: Vec<i64> =
+                via_text.rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
     /// The monitor records exactly one workload entry per executed
     /// statement, whatever the statement mix.
     #[test]
     fn monitor_accounting_is_exact(n_selects in 1u64..40, n_inserts in 1u64..40) {
-        let engine = Engine::new(
-            EngineConfig::monitoring().with_statement_capacity(10_000),
-        );
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring().with_statement_capacity(10_000))
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table t (a int)").unwrap();
         for i in 0..n_inserts {

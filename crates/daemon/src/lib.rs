@@ -389,7 +389,10 @@ mod tests {
     use ingot_common::EngineConfig;
 
     fn setup() -> (Arc<Engine>, Arc<WorkloadDb>) {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
         (engine, wldb)
     }

@@ -81,14 +81,21 @@ pub struct WorkloadDb {
 impl WorkloadDb {
     /// In-memory workload DB (unit tests, simulation-only experiments).
     pub fn in_memory(clock: SimClock) -> Result<Self> {
-        let engine = Engine::with_clock(Self::db_config(), clock);
+        let engine = Engine::builder()
+            .config(Self::db_config())
+            .clock(clock)
+            .build()?;
         Self::init(engine)
     }
 
     /// File-backed workload DB under `dir` — the production shape: daemon
     /// appends are real disk writes.
     pub fn file_backed(dir: impl Into<std::path::PathBuf>, clock: SimClock) -> Result<Self> {
-        let engine = Engine::file_backed(Self::db_config(), clock, dir)?;
+        let engine = Engine::builder()
+            .config(Self::db_config())
+            .clock(clock)
+            .path(dir)
+            .build()?;
         Self::init(engine)
     }
 
@@ -98,7 +105,11 @@ impl WorkloadDb {
         backend: Box<dyn ingot_storage::DiskBackend>,
         clock: SimClock,
     ) -> Result<Self> {
-        let engine = Engine::with_backend(Self::db_config(), clock, backend);
+        let engine = Engine::builder()
+            .config(Self::db_config())
+            .clock(clock)
+            .backend(backend)
+            .build()?;
         Self::init(engine)
     }
 
@@ -436,7 +447,10 @@ mod tests {
 
     #[test]
     fn append_is_incremental() {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table t (a int)").unwrap();
         s.execute("insert into t values (1)").unwrap();
@@ -455,7 +469,10 @@ mod tests {
 
     #[test]
     fn purge_respects_cutoff() {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table t (a int)").unwrap();
         let db = WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap();
@@ -470,7 +487,10 @@ mod tests {
 
     #[test]
     fn growth_accounting_tracks_bytes() {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table t (a int)").unwrap();
         for i in 0..50 {
@@ -488,7 +508,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ingot-wldb-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
-            let engine = Engine::new(EngineConfig::monitoring());
+            let engine = Engine::builder()
+                .config(EngineConfig::monitoring())
+                .build()
+                .unwrap();
             let s = engine.open_session();
             s.execute("create table t (a int)").unwrap();
             let db = WorkloadDb::file_backed(&dir, engine.sim_clock().clone()).unwrap();

@@ -17,9 +17,10 @@ proptest! {
     fn polls_never_lose_or_duplicate_executions(
         batches in prop::collection::vec(1u64..20, 1..8),
     ) {
-        let engine = Engine::new(
-            EngineConfig::monitoring().with_statement_capacity(4096),
-        );
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring().with_statement_capacity(4096))
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table t (a int)").unwrap();
         let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());
@@ -55,7 +56,7 @@ proptest! {
     fn retention_window_is_exact(
         gaps in prop::collection::vec(1u64..3 * 24 * 3600, 2..6),
     ) {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder().config(EngineConfig::monitoring()).build().unwrap();
         let s = engine.open_session();
         s.execute("create table t (a int)").unwrap();
         let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());

@@ -7,7 +7,7 @@
 
 use ingot_catalog::Catalog;
 use ingot_common::{MonotonicClock, Result, Row, TableId, Value};
-use ingot_planner::{PhysExpr, PlannedStatement};
+use ingot_planner::{InsertRows, PhysExpr, PlannedStatement};
 use ingot_sql::BinOp;
 use ingot_storage::RowId;
 use ingot_trace::OperatorSpan;
@@ -39,13 +39,32 @@ pub fn execute_statement(catalog: &Catalog, planned: &PlannedStatement) -> Resul
             })
         }
         PlannedStatement::Insert { table, rows, .. } => {
-            for row in rows {
-                catalog.insert_row(*table, row)?;
+            let n = rows.len() as u64;
+            match rows {
+                InsertRows::Const(rows) => {
+                    for row in rows {
+                        catalog.insert_row(*table, row)?;
+                    }
+                }
+                // Parameterised templates: values were unknown at bind time,
+                // so evaluate and constraint-check each row here.
+                InsertRows::Dynamic(exprs) => {
+                    let schema = catalog.table(*table)?.meta.schema.clone();
+                    let empty = Row::default();
+                    for row_exprs in exprs {
+                        let values: Vec<Value> = row_exprs
+                            .iter()
+                            .map(|e| e.eval(&empty))
+                            .collect::<Result<_>>()?;
+                        let row = schema.check_row(&Row::new(values))?;
+                        catalog.insert_row(*table, &row)?;
+                    }
+                }
             }
             Ok(ExecOutcome {
                 rows: Vec::new(),
-                affected: rows.len() as u64,
-                tuples: rows.len() as u64,
+                affected: n,
+                tuples: n,
             })
         }
         PlannedStatement::Update {

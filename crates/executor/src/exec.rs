@@ -127,9 +127,20 @@ fn run_node(
         } => {
             let entry = catalog.table(*table)?;
             let idx = catalog.index(*index)?;
+            // Probe keys are row-free expressions (literals after parameter
+            // substitution); evaluate them against the empty row.
+            let empty = Row::default();
             let rids = match probe {
-                ProbeSpec::Eq(values) => idx.probe_eq(values)?,
-                ProbeSpec::Range { lo, hi } => idx.probe_range(lo.as_ref(), hi.as_ref())?,
+                ProbeSpec::Eq(keys) => {
+                    let values: Vec<Value> =
+                        keys.iter().map(|e| e.eval(&empty)).collect::<Result<_>>()?;
+                    idx.probe_eq(&values)?
+                }
+                ProbeSpec::Range { lo, hi } => {
+                    let lo = lo.as_ref().map(|e| e.eval(&empty)).transpose()?;
+                    let hi = hi.as_ref().map(|e| e.eval(&empty)).transpose()?;
+                    idx.probe_range(lo.as_ref(), hi.as_ref())?
+                }
             };
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {
@@ -146,10 +157,12 @@ fn run_node(
             table, key, filter, ..
         } => {
             let entry = catalog.table(*table)?;
+            let empty = Row::default();
+            let key: Vec<Value> = key.iter().map(|e| e.eval(&empty)).collect::<Result<_>>()?;
             let rids = if key.len() == entry.meta.primary_key.len() {
-                entry.pk_lookup(key)?.into_iter().collect()
+                entry.pk_lookup(&key)?.into_iter().collect()
             } else {
-                entry.pk_prefix_probe(key)?
+                entry.pk_prefix_probe(&key)?
             };
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {

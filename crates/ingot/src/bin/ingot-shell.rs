@@ -21,7 +21,10 @@ use ingot::prelude::*;
 use ingot::workload::NrefConfig;
 
 fn main() {
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let session = engine.open_session();
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();

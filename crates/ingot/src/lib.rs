@@ -10,7 +10,7 @@
 //! ```
 //! use ingot::prelude::*;
 //!
-//! let engine = Engine::new(EngineConfig::monitoring());
+//! let engine = Engine::builder().config(EngineConfig::monitoring()).build().unwrap();
 //! let session = engine.open_session();
 //! session.execute("create table t (id int not null primary key, v int)").unwrap();
 //! session.execute("insert into t values (1, 10), (2, 20)").unwrap();
@@ -38,7 +38,10 @@ pub use ingot_workload as workload;
 pub mod prelude {
     pub use ingot_analyzer::{Analyzer, AnalyzerConfig, Recommendation, WorkloadView};
     pub use ingot_common::{Cost, EngineConfig, Error, Result, RetryPolicy, Row, SimClock, Value};
-    pub use ingot_core::{Engine, MetricsSnapshot, Monitor, Session, StatementResult, Tracer};
+    pub use ingot_core::{
+        Engine, EngineBuilder, MetricsSnapshot, Monitor, PlanCacheStats, Prepared, Session,
+        StatementResult, Tracer,
+    };
     pub use ingot_daemon::{
         Alert, AlertRule, DaemonConfig, DaemonHealth, HealthState, StorageDaemon, WorkloadDb,
     };

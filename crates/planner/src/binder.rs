@@ -85,17 +85,43 @@ impl BoundSelect {
     }
 }
 
+/// INSERT payload: constant rows are folded and constraint-checked at bind
+/// time (errors surface before any lock is taken); rows containing parameter
+/// markers stay as expressions and are evaluated + checked per execution.
+#[derive(Debug, Clone)]
+pub enum InsertRows {
+    /// Fully-evaluated rows in schema order, already `check_row`-validated.
+    Const(Vec<Row>),
+    /// Schema-width expression rows awaiting parameter substitution.
+    Dynamic(Vec<Vec<PhysExpr>>),
+}
+
+impl InsertRows {
+    /// Number of rows to insert.
+    pub fn len(&self) -> usize {
+        match self {
+            InsertRows::Const(r) => r.len(),
+            InsertRows::Dynamic(r) => r.len(),
+        }
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A bound statement.
 #[derive(Debug, Clone)]
 pub enum BoundStatement {
     /// SELECT.
     Select(BoundSelect),
-    /// INSERT with constant-folded rows, checked against the table schema.
+    /// INSERT.
     Insert {
         /// Target table.
         table: TableId,
-        /// Fully-evaluated rows in schema order.
-        rows: Vec<Row>,
+        /// Row payload (constant or parameterised).
+        rows: InsertRows,
     },
     /// UPDATE; `sets` and `filter` are over the table's own layout.
     Update {
@@ -495,6 +521,7 @@ impl<'a> Binder<'a> {
     fn bind_expr(&mut self, e: &Expr, tables: &[BoundTable]) -> Result<PhysExpr> {
         Ok(match e {
             Expr::Literal(v) => PhysExpr::Literal(v.clone()),
+            Expr::Param(i) => PhysExpr::Param(*i),
             Expr::Column { table, name } => {
                 PhysExpr::Col(self.resolve_column(table.as_deref(), name, tables)?)
             }
@@ -596,6 +623,7 @@ impl<'a> Binder<'a> {
                 ))
             }
             Expr::Literal(v) => Ok(PhysExpr::Literal(v.clone())),
+            Expr::Param(i) => Ok(PhysExpr::Param(*i)),
             Expr::Column { table, name } => {
                 // Bare columns must be group keys (checked above by AST
                 // equality; also accept qualified/unqualified mismatches by
@@ -664,8 +692,12 @@ impl<'a> Binder<'a> {
                 .collect::<Result<_>>()?,
             None => (0..schema.len()).collect(),
         };
-        let empty = Row::default();
-        let mut out = Vec::with_capacity(rows.len());
+        // Bind every value expression first; a single parameter marker
+        // anywhere switches the whole INSERT to the dynamic (per-execution
+        // evaluated) path. Constant inserts keep the eager path so
+        // constraint violations surface at bind time.
+        let mut bound_rows: Vec<Vec<PhysExpr>> = Vec::with_capacity(rows.len());
+        let mut dynamic = false;
         for exprs in rows {
             if exprs.len() != positions.len() {
                 return Err(Error::binder(format!(
@@ -674,17 +706,29 @@ impl<'a> Binder<'a> {
                     positions.len()
                 )));
             }
-            let mut vals = vec![Value::Null; schema.len()];
+            let mut row = vec![PhysExpr::Literal(Value::Null); schema.len()];
             for (e, &pos) in exprs.iter().zip(&positions) {
                 let phys = self.bind_expr(e, &[])?;
-                vals[pos] = phys.eval(&empty)?;
+                dynamic |= phys.has_params();
+                row[pos] = phys;
             }
-            out.push(schema.check_row(&Row::new(vals))?);
+            bound_rows.push(row);
         }
-        Ok(BoundStatement::Insert {
-            table: id,
-            rows: out,
-        })
+        let rows = if dynamic {
+            InsertRows::Dynamic(bound_rows)
+        } else {
+            let empty = Row::default();
+            let mut out = Vec::with_capacity(bound_rows.len());
+            for exprs in &bound_rows {
+                let vals: Vec<Value> = exprs
+                    .iter()
+                    .map(|e| e.eval(&empty))
+                    .collect::<Result<_>>()?;
+                out.push(schema.check_row(&Row::new(vals))?);
+            }
+            InsertRows::Const(out)
+        };
+        Ok(BoundStatement::Insert { table: id, rows })
     }
 
     fn bind_update(
@@ -749,7 +793,10 @@ fn saturate_equalities(conjuncts: &mut Vec<Conjunct>, tables: &[BoundTable]) {
         }
         parent[x]
     }
-    let mut literals: Vec<(usize, Value)> = Vec::new();
+    // Constants to propagate: literals and parameter markers alike — a
+    // prepared `p.id = $1` seeds the same probe opportunities a literal
+    // would.
+    let mut constants: Vec<(usize, PhysExpr)> = Vec::new();
     for c in conjuncts.iter() {
         if let PhysExpr::Binary {
             op: BinOp::Eq,
@@ -762,34 +809,36 @@ fn saturate_equalities(conjuncts: &mut Vec<Conjunct>, tables: &[BoundTable]) {
                     let (ra, rb) = (find(&mut parent, *a), find(&mut parent, *b));
                     parent[ra] = rb;
                 }
-                (PhysExpr::Col(a), PhysExpr::Literal(v))
-                | (PhysExpr::Literal(v), PhysExpr::Col(a)) => {
-                    literals.push((*a, v.clone()));
+                (PhysExpr::Col(a), e @ (PhysExpr::Literal(_) | PhysExpr::Param(_)))
+                | (e @ (PhysExpr::Literal(_) | PhysExpr::Param(_)), PhysExpr::Col(a)) => {
+                    constants.push((*a, e.clone()));
                 }
                 _ => {}
             }
         }
     }
-    if literals.is_empty() {
+    if constants.is_empty() {
         return;
     }
-    let existing: std::collections::HashSet<(usize, String)> =
-        literals.iter().map(|(c, v)| (*c, v.to_string())).collect();
+    let existing: std::collections::HashSet<(usize, String)> = constants
+        .iter()
+        .map(|(c, v)| (*c, format!("{v:?}")))
+        .collect();
     let mut derived = Vec::new();
-    for (col, v) in &literals {
+    for (col, v) in &constants {
         let root = find(&mut parent, *col);
         for other in 0..width {
             if other == *col || find(&mut parent, other) != root {
                 continue;
             }
-            if existing.contains(&(other, v.to_string())) {
+            if existing.contains(&(other, format!("{v:?}"))) {
                 continue;
             }
             derived.push(Conjunct {
                 expr: PhysExpr::Binary {
                     op: BinOp::Eq,
                     left: Box::new(PhysExpr::Col(other)),
-                    right: Box::new(PhysExpr::Literal(v.clone())),
+                    right: Box::new(v.clone()),
                 },
                 tables: 1 << table_of_offset(tables, other),
             });
@@ -1031,7 +1080,11 @@ mod tests {
     fn insert_binding_coerces_and_checks() {
         let c = test_catalog();
         let (b, _) = bind(&c, "insert into protein (nref_id, len) values ('NF1', 10)");
-        let BoundStatement::Insert { rows, .. } = b else {
+        let BoundStatement::Insert {
+            rows: InsertRows::Const(rows),
+            ..
+        } = b
+        else {
             panic!()
         };
         assert_eq!(rows.len(), 1);
@@ -1043,6 +1096,62 @@ mod tests {
             .bind(&parse_statement("insert into protein (name) values ('x')").unwrap())
             .unwrap_err();
         assert!(matches!(err, Error::Constraint(_)));
+    }
+
+    #[test]
+    fn parameterised_insert_defers_evaluation() {
+        let c = test_catalog();
+        let (b, _) = bind(&c, "insert into protein (nref_id, len) values ($1, $2)");
+        let BoundStatement::Insert {
+            rows: InsertRows::Dynamic(rows),
+            ..
+        } = b
+        else {
+            panic!("expected dynamic rows")
+        };
+        // Schema-width expression row: [param, null-default, param].
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), 3);
+        assert_eq!(rows[0][0], PhysExpr::Param(0));
+        assert_eq!(rows[0][1], PhysExpr::Literal(Value::Null));
+        assert_eq!(rows[0][2], PhysExpr::Param(1));
+        // No constraint error at bind time even though $1 targets a NOT
+        // NULL column — checking happens at execution with real values.
+    }
+
+    #[test]
+    fn parameter_markers_bind_and_saturate() {
+        let c = test_catalog();
+        let (b, _) = bind(&c, "select len from protein where nref_id = $1");
+        let BoundStatement::Select(s) = b else {
+            panic!()
+        };
+        assert_eq!(
+            s.conjuncts[0].expr,
+            PhysExpr::Binary {
+                op: ingot_sql::BinOp::Eq,
+                left: Box::new(PhysExpr::Col(0)),
+                right: Box::new(PhysExpr::Param(0)),
+            }
+        );
+        // Param equality propagates across join equivalences like a literal.
+        let (b, _) = bind(
+            &c,
+            "select p.len from protein p join organism o on p.nref_id = o.nref_id \
+             where p.nref_id = $1",
+        );
+        let BoundStatement::Select(s) = b else {
+            panic!()
+        };
+        let derived = s.conjuncts.iter().any(|cj| {
+            cj.expr
+                == PhysExpr::Binary {
+                    op: ingot_sql::BinOp::Eq,
+                    left: Box::new(PhysExpr::Col(3)),
+                    right: Box::new(PhysExpr::Param(0)),
+                }
+        });
+        assert!(derived, "expected o.nref_id = $1 to be derived");
     }
 
     #[test]

@@ -67,10 +67,19 @@ pub fn column_ndv(entry: &TableEntry, col: usize) -> f64 {
 pub fn conjunct_selectivity(entry: &TableEntry, expr: &PhysExpr) -> f64 {
     match expr {
         PhysExpr::Binary { op, left, right } if op.is_comparison() => {
-            // Normalise to (column, op, literal).
+            // Normalise to (column, op, literal). A parameter marker has no
+            // value at plan time, but the *shape* of the predicate is known:
+            // an equality against an unknown value matches rows/ndv rows on
+            // average, so prepared templates keep selective access paths.
             let (col, op, lit) = match (&**left, &**right) {
                 (PhysExpr::Col(c), PhysExpr::Literal(v)) => (*c, *op, v),
                 (PhysExpr::Literal(v), PhysExpr::Col(c)) => (*c, flip(*op), v),
+                (PhysExpr::Col(c), PhysExpr::Param(_)) => {
+                    return param_comparison_selectivity(entry, *c, *op)
+                }
+                (PhysExpr::Param(_), PhysExpr::Col(c)) => {
+                    return param_comparison_selectivity(entry, *c, flip(*op))
+                }
                 _ => return DEFAULT_MISC_SEL,
             };
             let hist = entry.stats.as_ref().and_then(|s| s.histogram(col));
@@ -172,6 +181,20 @@ pub fn conjunct_selectivity(entry: &TableEntry, expr: &PhysExpr) -> f64 {
         }
         PhysExpr::Literal(Value::Bool(true)) => 1.0,
         PhysExpr::Literal(Value::Bool(false)) => 0.0,
+        _ => DEFAULT_MISC_SEL,
+    }
+}
+
+/// Selectivity of `col <op> $n`: the bound value is unknown at plan time,
+/// so equality averages over the column's distinct values (a unique column
+/// yields one row for *any* binding) and range shapes take the same default
+/// an unhistogrammed literal would.
+fn param_comparison_selectivity(entry: &TableEntry, col: usize, op: BinOp) -> f64 {
+    let eq = (1.0 / column_ndv(entry, col)).clamp(0.0, 1.0);
+    match op {
+        BinOp::Eq => eq,
+        BinOp::Neq => (1.0 - eq).max(0.0),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => DEFAULT_RANGE_SEL,
         _ => DEFAULT_MISC_SEL,
     }
 }
@@ -317,6 +340,36 @@ mod tests {
         // FK join: |L| rows each matching one of |R| keys.
         let out = equi_join_cardinality(10_000.0, 100.0, 10_000.0, 100.0);
         assert_eq!(out, 100.0 * 10_000.0 / 10_000.0);
+    }
+
+    #[test]
+    fn param_predicates_get_shape_based_selectivity() {
+        let c = setup(true);
+        let e = c.table(c.resolve_table("t").unwrap()).unwrap();
+        let cmp = |op| PhysExpr::Binary {
+            op,
+            left: Box::new(PhysExpr::Col(1)),
+            right: Box::new(PhysExpr::Param(0)),
+        };
+        // An equality against a parameter averages over the column's
+        // distinct values (grp has 10), not the 0.5 "unknown" catch-all.
+        assert_eq!(conjunct_selectivity(e, &cmp(BinOp::Eq)), 0.1);
+        assert_eq!(conjunct_selectivity(e, &cmp(BinOp::Lt)), DEFAULT_RANGE_SEL);
+        assert_eq!(conjunct_selectivity(e, &cmp(BinOp::Neq)), 0.9);
+        // A unique column yields one row for any binding.
+        let pk = PhysExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(PhysExpr::Col(0)),
+            right: Box::new(PhysExpr::Param(0)),
+        };
+        assert_eq!(conjunct_selectivity(e, &pk), 1.0 / 6000.0);
+        // Param on the left normalises the same way.
+        let flipped = PhysExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(PhysExpr::Param(0)),
+            right: Box::new(PhysExpr::Col(1)),
+        };
+        assert_eq!(conjunct_selectivity(e, &flipped), 0.1);
     }
 
     #[test]

@@ -13,6 +13,10 @@ use ingot_sql::{BinOp, UnOp};
 pub enum PhysExpr {
     /// Literal value.
     Literal(Value),
+    /// Prepared-statement parameter marker, 0-based (`$1` binds slot 0).
+    /// Plans containing `Param` are templates: [`PhysExpr::substitute`]
+    /// replaces every marker with a bound literal before execution.
+    Param(usize),
     /// Input-row column at a flat offset.
     Col(usize),
     /// Binary operation.
@@ -120,6 +124,10 @@ impl PhysExpr {
     pub fn eval(&self, row: &Row) -> Result<Value> {
         match self {
             PhysExpr::Literal(v) => Ok(v.clone()),
+            PhysExpr::Param(i) => Err(Error::execution(format!(
+                "unbound parameter ${} (plan template executed without substitution)",
+                i + 1
+            ))),
             PhysExpr::Col(i) => {
                 if *i >= row.len() {
                     return Err(Error::execution(format!(
@@ -240,7 +248,7 @@ impl PhysExpr {
     /// Collect all column offsets referenced.
     pub fn columns(&self, out: &mut Vec<usize>) {
         match self {
-            PhysExpr::Literal(_) => {}
+            PhysExpr::Literal(_) | PhysExpr::Param(_) => {}
             PhysExpr::Col(i) => out.push(*i),
             PhysExpr::Binary { left, right, .. } => {
                 left.columns(out);
@@ -273,6 +281,7 @@ impl PhysExpr {
     pub fn remap(&self, map: &dyn Fn(usize) -> usize) -> PhysExpr {
         match self {
             PhysExpr::Literal(v) => PhysExpr::Literal(v.clone()),
+            PhysExpr::Param(i) => PhysExpr::Param(*i),
             PhysExpr::Col(i) => PhysExpr::Col(map(*i)),
             PhysExpr::Binary { op, left, right } => PhysExpr::Binary {
                 op: *op,
@@ -321,6 +330,97 @@ impl PhysExpr {
                 args: args.iter().map(|a| a.remap(map)).collect(),
             },
         }
+    }
+
+    /// True if the expression contains at least one [`PhysExpr::Param`].
+    pub fn has_params(&self) -> bool {
+        match self {
+            PhysExpr::Param(_) => true,
+            PhysExpr::Literal(_) | PhysExpr::Col(_) => false,
+            PhysExpr::Binary { left, right, .. } => left.has_params() || right.has_params(),
+            PhysExpr::Unary { expr, .. }
+            | PhysExpr::IsNull { expr, .. }
+            | PhysExpr::Like { expr, .. } => expr.has_params(),
+            PhysExpr::Between { expr, lo, hi, .. } => {
+                expr.has_params() || lo.has_params() || hi.has_params()
+            }
+            PhysExpr::InList { expr, list, .. } => {
+                expr.has_params() || list.iter().any(PhysExpr::has_params)
+            }
+            PhysExpr::Call { args, .. } => args.iter().any(PhysExpr::has_params),
+        }
+    }
+
+    /// Replace every [`PhysExpr::Param`] with the corresponding bound value.
+    /// The caller checks arity up front; an out-of-range slot here means the
+    /// plan template and its declared parameter count disagree.
+    pub fn substitute(&self, params: &[Value]) -> Result<PhysExpr> {
+        Ok(match self {
+            PhysExpr::Param(i) => match params.get(*i) {
+                Some(v) => PhysExpr::Literal(v.clone()),
+                None => {
+                    return Err(Error::execution(format!(
+                        "unbound parameter ${} ({} value(s) supplied)",
+                        i + 1,
+                        params.len()
+                    )))
+                }
+            },
+            PhysExpr::Literal(v) => PhysExpr::Literal(v.clone()),
+            PhysExpr::Col(i) => PhysExpr::Col(*i),
+            PhysExpr::Binary { op, left, right } => PhysExpr::Binary {
+                op: *op,
+                left: Box::new(left.substitute(params)?),
+                right: Box::new(right.substitute(params)?),
+            },
+            PhysExpr::Unary { op, expr } => PhysExpr::Unary {
+                op: *op,
+                expr: Box::new(expr.substitute(params)?),
+            },
+            PhysExpr::IsNull { expr, negated } => PhysExpr::IsNull {
+                expr: Box::new(expr.substitute(params)?),
+                negated: *negated,
+            },
+            PhysExpr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => PhysExpr::Between {
+                expr: Box::new(expr.substitute(params)?),
+                lo: Box::new(lo.substitute(params)?),
+                hi: Box::new(hi.substitute(params)?),
+                negated: *negated,
+            },
+            PhysExpr::InList {
+                expr,
+                list,
+                negated,
+            } => PhysExpr::InList {
+                expr: Box::new(expr.substitute(params)?),
+                list: list
+                    .iter()
+                    .map(|e| e.substitute(params))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            PhysExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => PhysExpr::Like {
+                expr: Box::new(expr.substitute(params)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            PhysExpr::Call { func, args } => PhysExpr::Call {
+                func: func.clone(),
+                args: args
+                    .iter()
+                    .map(|a| a.substitute(params))
+                    .collect::<Result<_>>()?,
+            },
+        })
     }
 }
 
@@ -630,6 +730,26 @@ mod tests {
         let mut cols2 = Vec::new();
         shifted.columns(&mut cols2);
         assert_eq!(cols2, vec![0, 3]);
+    }
+
+    #[test]
+    fn params_substitute_and_refuse_raw_eval() {
+        let e = PhysExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(PhysExpr::Col(0)),
+            right: Box::new(PhysExpr::Param(0)),
+        };
+        assert!(e.has_params());
+        // Executing a template without substitution is an error, not a NULL.
+        assert!(e.eval(&row()).is_err());
+        let bound = e.substitute(&[Value::Int(10)]).unwrap();
+        assert!(!bound.has_params());
+        assert_eq!(bound.eval(&row()).unwrap(), Value::Bool(true));
+        // Too few values → arity failure at substitution time.
+        assert!(e.substitute(&[]).is_err());
+        // Substitution leaves non-param expressions untouched.
+        let plain = PhysExpr::Col(3);
+        assert_eq!(plain.substitute(&[]).unwrap(), plain);
     }
 
     #[test]

@@ -15,12 +15,14 @@
 //!   chosen plan uses, so the monitor can log them "right at the source".
 
 pub mod binder;
+pub mod cache;
 pub mod cost;
 pub mod expr;
 pub mod optimizer;
 pub mod physical;
 
-pub use binder::{BindArtifacts, Binder, BoundSelect, BoundStatement, BoundTable};
+pub use binder::{BindArtifacts, Binder, BoundSelect, BoundStatement, BoundTable, InsertRows};
+pub use cache::{normalize_template, CachedPlan, PlanCache, PlanCacheStats};
 pub use expr::{AggFunc, AggSpec, PhysExpr};
 pub use optimizer::{optimize, optimize_select, OptimizerOptions, PlannedStatement};
 pub use physical::{PhysPlan, PlanNode, ProbeSource, ProbeSpec};

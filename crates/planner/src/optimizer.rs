@@ -11,10 +11,10 @@
 use std::collections::HashMap;
 
 use ingot_catalog::{Catalog, IndexEntry, TableEntry};
-use ingot_common::{Cost, Error, IndexId, Result, Row, TableId, Value};
+use ingot_common::{Cost, Error, IndexId, Result, TableId, Value};
 use ingot_sql::BinOp;
 
-use crate::binder::{table_offset, BoundSelect, BoundStatement, BoundTable, Conjunct};
+use crate::binder::{table_offset, BoundSelect, BoundStatement, BoundTable, Conjunct, InsertRows};
 use crate::cost::{
     column_ndv, conjunct_selectivity, equi_join_cardinality, index_probe_cost, pk_lookup_cost,
     seq_scan_cost, table_cardinality,
@@ -46,16 +46,20 @@ pub struct PlannedQuery {
 }
 
 /// A planned statement of any kind.
+// Variant sizes diverge because `PlannedQuery` carries the full operator
+// tree inline, but statements are planned once and then shared through the
+// plan cache behind an `Arc`, so the by-value size never hits a hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum PlannedStatement {
     /// SELECT.
     Query(PlannedQuery),
-    /// INSERT with pre-evaluated rows.
+    /// INSERT (rows pre-evaluated unless parameterised).
     Insert {
         /// Target table.
         table: TableId,
         /// Rows to insert.
-        rows: Vec<Row>,
+        rows: InsertRows,
         /// Estimated cost.
         est: Cost,
     },
@@ -98,6 +102,59 @@ impl PlannedStatement {
             PlannedStatement::Query(q) => &q.used_indexes,
             _ => &[],
         }
+    }
+
+    /// Clone the statement with every parameter marker replaced by its bound
+    /// value. This is the execute-time half of a prepared statement: the
+    /// cached template stays untouched, the returned copy is executable.
+    pub fn substitute_params(&self, params: &[Value]) -> Result<PlannedStatement> {
+        let sub_opt = |e: &Option<PhysExpr>| -> Result<Option<PhysExpr>> {
+            e.as_ref().map(|e| e.substitute(params)).transpose()
+        };
+        Ok(match self {
+            PlannedStatement::Query(q) => PlannedStatement::Query(PlannedQuery {
+                root: q.root.substitute_params(params)?,
+                output_names: q.output_names.clone(),
+                used_indexes: q.used_indexes.clone(),
+                uses_virtual: q.uses_virtual,
+                est: q.est,
+            }),
+            PlannedStatement::Insert { table, rows, est } => PlannedStatement::Insert {
+                table: *table,
+                rows: match rows {
+                    InsertRows::Const(r) => InsertRows::Const(r.clone()),
+                    InsertRows::Dynamic(r) => InsertRows::Dynamic(
+                        r.iter()
+                            .map(|row| {
+                                row.iter()
+                                    .map(|e| e.substitute(params))
+                                    .collect::<Result<_>>()
+                            })
+                            .collect::<Result<_>>()?,
+                    ),
+                },
+                est: *est,
+            },
+            PlannedStatement::Update {
+                table,
+                sets,
+                filter,
+                est,
+            } => PlannedStatement::Update {
+                table: *table,
+                sets: sets
+                    .iter()
+                    .map(|(c, e)| Ok((*c, e.substitute(params)?)))
+                    .collect::<Result<_>>()?,
+                filter: sub_opt(filter)?,
+                est: *est,
+            },
+            PlannedStatement::Delete { table, filter, est } => PlannedStatement::Delete {
+                table: *table,
+                filter: sub_opt(filter)?,
+                est: *est,
+            },
+        })
     }
 }
 
@@ -310,8 +367,11 @@ struct Rel {
     plan: PlanNode,
 }
 
-/// Extract `(local column, literal)` equalities from local conjuncts.
-fn extract_eq(conjuncts: &[PhysExpr]) -> HashMap<usize, Value> {
+/// Extract `(local column, constant expression)` equalities from local
+/// conjuncts. Literals and parameter markers both qualify — a prepared
+/// `id = $1` earns the same keyed access path as `id = 42`; the marker is
+/// substituted with its bound value before execution.
+fn extract_eq(conjuncts: &[PhysExpr]) -> HashMap<usize, PhysExpr> {
     let mut out = HashMap::new();
     for c in conjuncts {
         if let PhysExpr::Binary {
@@ -321,9 +381,15 @@ fn extract_eq(conjuncts: &[PhysExpr]) -> HashMap<usize, Value> {
         } = c
         {
             match (&**left, &**right) {
-                (PhysExpr::Col(c), PhysExpr::Literal(v))
-                | (PhysExpr::Literal(v), PhysExpr::Col(c)) => {
-                    out.entry(*c).or_insert_with(|| v.clone());
+                (PhysExpr::Col(c), v @ (PhysExpr::Literal(_) | PhysExpr::Param(_)))
+                | (v @ (PhysExpr::Literal(_) | PhysExpr::Param(_)), PhysExpr::Col(c)) => {
+                    // Prefer a literal over a parameter when both equate the
+                    // same column: the literal sharpens selectivity via the
+                    // histogram.
+                    let e = out.entry(*c).or_insert_with(|| v.clone());
+                    if matches!(e, PhysExpr::Param(_)) && matches!(v, PhysExpr::Literal(_)) {
+                        *e = v.clone();
+                    }
                 }
                 _ => {}
             }
@@ -333,25 +399,34 @@ fn extract_eq(conjuncts: &[PhysExpr]) -> HashMap<usize, Value> {
 }
 
 /// Extract `[lo, hi]` range bounds on `col` from local conjuncts.
-fn extract_range(conjuncts: &[PhysExpr], col: usize) -> (Option<Value>, Option<Value>) {
-    let mut lo: Option<Value> = None;
-    let mut hi: Option<Value> = None;
+///
+/// Literal bounds tighten each other. A parameter bound (value unknown at
+/// plan time) only fills an otherwise-empty slot: the probe may then read a
+/// superset of the matching entries, which stays correct because the scan's
+/// residual filter re-checks every conjunct.
+fn extract_range(conjuncts: &[PhysExpr], col: usize) -> (Option<PhysExpr>, Option<PhysExpr>) {
+    let mut lo_lit: Option<Value> = None;
+    let mut hi_lit: Option<Value> = None;
+    let mut lo_param: Option<PhysExpr> = None;
+    let mut hi_param: Option<PhysExpr> = None;
     let mut tighten_lo = |v: &Value| {
-        if lo.as_ref().is_none_or(|cur| v > cur) {
-            lo = Some(v.clone());
+        if lo_lit.as_ref().is_none_or(|cur| v > cur) {
+            lo_lit = Some(v.clone());
         }
     };
     let mut tighten_hi = |v: &Value| {
-        if hi.as_ref().is_none_or(|cur| v < cur) {
-            hi = Some(v.clone());
+        if hi_lit.as_ref().is_none_or(|cur| v < cur) {
+            hi_lit = Some(v.clone());
         }
     };
     for c in conjuncts {
         match c {
             PhysExpr::Binary { op, left, right } if op.is_comparison() => {
                 let (c2, op, v) = match (&**left, &**right) {
-                    (PhysExpr::Col(c2), PhysExpr::Literal(v)) => (*c2, *op, v),
-                    (PhysExpr::Literal(v), PhysExpr::Col(c2)) => (
+                    (PhysExpr::Col(c2), v @ (PhysExpr::Literal(_) | PhysExpr::Param(_))) => {
+                        (*c2, *op, v)
+                    }
+                    (v @ (PhysExpr::Literal(_) | PhysExpr::Param(_)), PhysExpr::Col(c2)) => (
                         *c2,
                         match op {
                             BinOp::Lt => BinOp::Gt,
@@ -367,9 +442,15 @@ fn extract_range(conjuncts: &[PhysExpr], col: usize) -> (Option<Value>, Option<V
                 if c2 != col {
                     continue;
                 }
-                match op {
-                    BinOp::Gt | BinOp::Ge => tighten_lo(v),
-                    BinOp::Lt | BinOp::Le => tighten_hi(v),
+                match (op, v) {
+                    (BinOp::Gt | BinOp::Ge, PhysExpr::Literal(v)) => tighten_lo(v),
+                    (BinOp::Lt | BinOp::Le, PhysExpr::Literal(v)) => tighten_hi(v),
+                    (BinOp::Gt | BinOp::Ge, p @ PhysExpr::Param(_)) => {
+                        lo_param.get_or_insert_with(|| p.clone());
+                    }
+                    (BinOp::Lt | BinOp::Le, p @ PhysExpr::Param(_)) => {
+                        hi_param.get_or_insert_with(|| p.clone());
+                    }
                     _ => {}
                 }
             }
@@ -379,19 +460,32 @@ fn extract_range(conjuncts: &[PhysExpr], col: usize) -> (Option<Value>, Option<V
                 hi: h,
                 negated: false,
             } => {
-                if let (PhysExpr::Col(c2), Some(lv), Some(hv)) =
-                    (&**expr, l.as_literal(), h.as_literal())
-                {
-                    if *c2 == col {
-                        tighten_lo(lv);
-                        tighten_hi(hv);
+                let PhysExpr::Col(c2) = &**expr else { continue };
+                if *c2 != col {
+                    continue;
+                }
+                match &**l {
+                    PhysExpr::Literal(v) => tighten_lo(v),
+                    p @ PhysExpr::Param(_) => {
+                        lo_param.get_or_insert_with(|| p.clone());
                     }
+                    _ => {}
+                }
+                match &**h {
+                    PhysExpr::Literal(v) => tighten_hi(v),
+                    p @ PhysExpr::Param(_) => {
+                        hi_param.get_or_insert_with(|| p.clone());
+                    }
+                    _ => {}
                 }
             }
             _ => {}
         }
     }
-    (lo, hi)
+    (
+        lo_lit.map(PhysExpr::Literal).or(lo_param),
+        hi_lit.map(PhysExpr::Literal).or(hi_param),
+    )
 }
 
 fn choose_access_path(
@@ -463,7 +557,7 @@ fn choose_access_path(
     // Candidate 2: clustered primary-key probe (full key or any leading
     // prefix of it — the tree serves both).
     if entry.primary.is_some() && !entry.meta.primary_key.is_empty() {
-        let mut key: Vec<Value> = Vec::new();
+        let mut key: Vec<PhysExpr> = Vec::new();
         for c in &entry.meta.primary_key {
             match eqs.get(c) {
                 Some(v) => key.push(v.clone()),
@@ -482,7 +576,7 @@ fn choose_access_path(
                         let pred = PhysExpr::Binary {
                             op: BinOp::Eq,
                             left: Box::new(PhysExpr::Col(*c)),
-                            right: Box::new(PhysExpr::Literal(v.clone())),
+                            right: Box::new(v.clone()),
                         };
                         conjunct_selectivity(entry, &pred)
                     })
@@ -532,14 +626,14 @@ fn index_candidate(
     entry: &TableEntry,
     idx: &IndexEntry,
     local: &[PhysExpr],
-    eqs: &HashMap<usize, Value>,
+    eqs: &HashMap<usize, PhysExpr>,
     card: f64,
     filter: Option<PhysExpr>,
     width: usize,
     bt: &BoundTable,
 ) -> Option<PlanNode> {
     // Longest equality prefix over the index columns.
-    let mut prefix: Vec<Value> = Vec::new();
+    let mut prefix: Vec<PhysExpr> = Vec::new();
     for col in &idx.meta.columns {
         match eqs.get(col) {
             Some(v) => prefix.push(v.clone()),
@@ -555,7 +649,7 @@ fn index_candidate(
                 let pred = PhysExpr::Binary {
                     op: BinOp::Eq,
                     left: Box::new(PhysExpr::Col(*c)),
-                    right: Box::new(PhysExpr::Literal(v.clone())),
+                    right: Box::new(v.clone()),
                 };
                 conjunct_selectivity(entry, &pred)
             })
@@ -570,8 +664,8 @@ fn index_candidate(
         }
         let pred = PhysExpr::Between {
             expr: Box::new(PhysExpr::Col(first)),
-            lo: Box::new(PhysExpr::Literal(lo.clone().unwrap_or(Value::Null))),
-            hi: Box::new(PhysExpr::Literal(hi.clone().unwrap_or(Value::Null))),
+            lo: Box::new(lo.clone().unwrap_or(PhysExpr::Literal(Value::Null))),
+            hi: Box::new(hi.clone().unwrap_or(PhysExpr::Literal(Value::Null))),
             negated: false,
         };
         let sel = if lo.is_some() && hi.is_some() {
@@ -933,7 +1027,7 @@ fn table_col_of(s: &BoundSelect, off: usize) -> (usize, usize) {
 mod tests {
     use super::*;
     use crate::binder::Binder;
-    use ingot_common::{Column, DataType, EngineConfig, Schema, SimClock};
+    use ingot_common::{Column, DataType, EngineConfig, Row, Schema, SimClock};
     use ingot_sql::parse_statement;
     use ingot_storage::StorageEngine;
     use std::sync::Arc;
@@ -1122,6 +1216,77 @@ mod tests {
         );
         let s = q.root.to_string();
         assert!(s.contains("protein") && s.contains("organism") && s.contains("taxonomy"));
+    }
+
+    #[test]
+    fn parameterised_point_query_keeps_keyed_access_path() {
+        let mut c = setup();
+        let t = c.resolve_table("protein").unwrap();
+        c.create_index("protein_id_idx", t, vec![0], false).unwrap();
+        // `nref_id = $1` must probe the index exactly like `nref_id = 42`.
+        let q = plan(
+            &c,
+            "select name from protein where nref_id = $1",
+            OptimizerOptions::default(),
+        );
+        assert_eq!(q.used_indexes.len(), 1, "plan: {}", q.root);
+        // And the same through a clustered primary tree.
+        let mut c2 = setup();
+        let t2 = c2.resolve_table("protein").unwrap();
+        c2.modify_storage(t2, ingot_catalog::StorageStructure::BTree)
+            .unwrap();
+        let q2 = plan(
+            &c2,
+            "select name from protein where nref_id = $1",
+            OptimizerOptions::default(),
+        );
+        assert!(
+            q2.root.to_string().contains("PkLookup"),
+            "plan: {}",
+            q2.root
+        );
+        // Substitution yields an executable tree with the same shape.
+        let bound = q2.root.substitute_params(&[Value::Int(42)]).unwrap();
+        assert!(bound.to_string().contains("PkLookup"));
+    }
+
+    #[test]
+    fn extract_range_accepts_params_into_open_bounds() {
+        let col_gt = |rhs: PhysExpr| PhysExpr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(PhysExpr::Col(0)),
+            right: Box::new(rhs),
+        };
+        let col_lt = |rhs: PhysExpr| PhysExpr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(PhysExpr::Col(0)),
+            right: Box::new(rhs),
+        };
+        // Pure param bounds fill both slots.
+        let (lo, hi) = extract_range(&[col_gt(PhysExpr::Param(0)), col_lt(PhysExpr::Param(1))], 0);
+        assert_eq!(lo, Some(PhysExpr::Param(0)));
+        assert_eq!(hi, Some(PhysExpr::Param(1)));
+        // A literal bound wins the slot; the param conjunct stays in the
+        // residual filter (the probe may over-read, never under-read).
+        let (lo, hi) = extract_range(
+            &[
+                col_gt(PhysExpr::Param(0)),
+                col_gt(PhysExpr::Literal(Value::Int(5))),
+            ],
+            0,
+        );
+        assert_eq!(lo, Some(PhysExpr::Literal(Value::Int(5))));
+        assert_eq!(hi, None);
+        // BETWEEN with param bounds contributes both slots.
+        let between = PhysExpr::Between {
+            expr: Box::new(PhysExpr::Col(0)),
+            lo: Box::new(PhysExpr::Param(2)),
+            hi: Box::new(PhysExpr::Param(3)),
+            negated: false,
+        };
+        let (lo, hi) = extract_range(&[between], 0);
+        assert_eq!(lo, Some(PhysExpr::Param(2)));
+        assert_eq!(hi, Some(PhysExpr::Param(3)));
     }
 
     #[test]

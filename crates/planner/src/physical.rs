@@ -2,21 +2,26 @@
 
 use std::fmt;
 
-use ingot_common::{Cost, IndexId, TableId, Value};
+use ingot_common::{Cost, IndexId, Result, TableId, Value};
 
 use crate::expr::{AggSpec, PhysExpr};
 
 /// How an index scan locates its entries.
+///
+/// Probe keys are row-free expressions — literals in ad-hoc plans, possibly
+/// [`PhysExpr::Param`] markers in cached plan templates. The executor
+/// evaluates them against an empty row after parameter substitution, so a
+/// prepared point query keeps its index/PK access path across executions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProbeSpec {
     /// Equality on a prefix of the index columns.
-    Eq(Vec<Value>),
+    Eq(Vec<PhysExpr>),
     /// Range on the first index column (inclusive bounds).
     Range {
         /// Lower bound.
-        lo: Option<Value>,
+        lo: Option<PhysExpr>,
         /// Upper bound.
-        hi: Option<Value>,
+        hi: Option<PhysExpr>,
     },
 }
 
@@ -81,9 +86,10 @@ pub enum PhysPlan {
         table_name: String,
         /// Row width.
         width: usize,
-        /// Primary-key values: the full key (unique lookup) or a leading
-        /// prefix of it (clustered range probe).
-        key: Vec<Value>,
+        /// Primary-key expressions (row-free; see [`ProbeSpec`]): the full
+        /// key (unique lookup) or a leading prefix of it (clustered range
+        /// probe).
+        key: Vec<PhysExpr>,
         /// Residual predicate.
         filter: Option<PhysExpr>,
     },
@@ -341,6 +347,164 @@ impl PlanNode {
             _ => {}
         }
     }
+
+    /// Clone the tree with every [`PhysExpr::Param`] replaced by its bound
+    /// value — how a cached plan template becomes executable. Estimates are
+    /// carried over unchanged: the template was costed with generic parameter
+    /// selectivities, and re-costing is exactly what the plan cache avoids.
+    pub fn substitute_params(&self, params: &[Value]) -> Result<PlanNode> {
+        let sub = |e: &PhysExpr| e.substitute(params);
+        let sub_opt = |e: &Option<PhysExpr>| -> Result<Option<PhysExpr>> {
+            e.as_ref().map(|e| e.substitute(params)).transpose()
+        };
+        let op = match &self.op {
+            PhysPlan::DualScan => PhysPlan::DualScan,
+            PhysPlan::VirtualScan {
+                table,
+                table_name,
+                width,
+                filter,
+            } => PhysPlan::VirtualScan {
+                table: *table,
+                table_name: table_name.clone(),
+                width: *width,
+                filter: sub_opt(filter)?,
+            },
+            PhysPlan::SeqScan {
+                table,
+                table_name,
+                width,
+                filter,
+            } => PhysPlan::SeqScan {
+                table: *table,
+                table_name: table_name.clone(),
+                width: *width,
+                filter: sub_opt(filter)?,
+            },
+            PhysPlan::IndexScan {
+                table,
+                table_name,
+                index,
+                index_name,
+                width,
+                probe,
+                filter,
+            } => PhysPlan::IndexScan {
+                table: *table,
+                table_name: table_name.clone(),
+                index: *index,
+                index_name: index_name.clone(),
+                width: *width,
+                probe: match probe {
+                    ProbeSpec::Eq(keys) => {
+                        ProbeSpec::Eq(keys.iter().map(sub).collect::<Result<_>>()?)
+                    }
+                    ProbeSpec::Range { lo, hi } => ProbeSpec::Range {
+                        lo: sub_opt(lo)?,
+                        hi: sub_opt(hi)?,
+                    },
+                },
+                filter: sub_opt(filter)?,
+            },
+            PhysPlan::PkLookup {
+                table,
+                table_name,
+                width,
+                key,
+                filter,
+            } => PhysPlan::PkLookup {
+                table: *table,
+                table_name: table_name.clone(),
+                width: *width,
+                key: key.iter().map(sub).collect::<Result<_>>()?,
+                filter: sub_opt(filter)?,
+            },
+            PhysPlan::ProbeJoin {
+                left,
+                table,
+                table_name,
+                width,
+                left_key,
+                source,
+                filter,
+            } => PhysPlan::ProbeJoin {
+                left: Box::new(left.substitute_params(params)?),
+                table: *table,
+                table_name: table_name.clone(),
+                width: *width,
+                left_key: *left_key,
+                source: source.clone(),
+                filter: sub_opt(filter)?,
+            },
+            PhysPlan::NestedLoopJoin { left, right, on } => PhysPlan::NestedLoopJoin {
+                left: Box::new(left.substitute_params(params)?),
+                right: Box::new(right.substitute_params(params)?),
+                on: sub_opt(on)?,
+            },
+            PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                filter,
+            } => PhysPlan::HashJoin {
+                left: Box::new(left.substitute_params(params)?),
+                right: Box::new(right.substitute_params(params)?),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                filter: sub_opt(filter)?,
+            },
+            PhysPlan::Filter { input, pred } => PhysPlan::Filter {
+                input: Box::new(input.substitute_params(params)?),
+                pred: pred.substitute(params)?,
+            },
+            PhysPlan::Project { input, exprs } => PhysPlan::Project {
+                input: Box::new(input.substitute_params(params)?),
+                exprs: exprs.iter().map(sub).collect::<Result<_>>()?,
+            },
+            PhysPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                having,
+            } => PhysPlan::Aggregate {
+                input: Box::new(input.substitute_params(params)?),
+                group_by: group_by.iter().map(sub).collect::<Result<_>>()?,
+                aggs: aggs
+                    .iter()
+                    .map(|a| {
+                        Ok(AggSpec {
+                            func: a.func,
+                            input: a.input.as_ref().map(|e| e.substitute(params)).transpose()?,
+                            distinct: a.distinct,
+                        })
+                    })
+                    .collect::<Result<_>>()?,
+                having: sub_opt(having)?,
+            },
+            PhysPlan::Sort { input, keys } => PhysPlan::Sort {
+                input: Box::new(input.substitute_params(params)?),
+                keys: keys.clone(),
+            },
+            PhysPlan::Distinct { input } => PhysPlan::Distinct {
+                input: Box::new(input.substitute_params(params)?),
+            },
+            PhysPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => PhysPlan::Limit {
+                input: Box::new(input.substitute_params(params)?),
+                limit: *limit,
+                offset: *offset,
+            },
+        };
+        Ok(PlanNode {
+            op,
+            est_rows: self.est_rows,
+            est_cost: self.est_cost,
+        })
+    }
 }
 
 impl fmt::Display for PlanNode {
@@ -419,7 +583,7 @@ mod tests {
                 index: IndexId(7),
                 index_name: "i".into(),
                 width: 1,
-                probe: ProbeSpec::Eq(vec![Value::Int(1)]),
+                probe: ProbeSpec::Eq(vec![PhysExpr::Literal(Value::Int(1))]),
                 filter: None,
             },
             est_rows: 1.0,
@@ -437,5 +601,55 @@ mod tests {
         let mut out = Vec::new();
         join.collect_indexes(&mut out);
         assert_eq!(out, vec![IndexId(7)]);
+    }
+
+    #[test]
+    fn substitute_params_patches_probe_keys_and_filters() {
+        let templ = PlanNode {
+            op: PhysPlan::Filter {
+                input: Box::new(PlanNode {
+                    op: PhysPlan::PkLookup {
+                        table: TableId(1),
+                        table_name: "t".into(),
+                        width: 2,
+                        key: vec![PhysExpr::Param(0)],
+                        filter: None,
+                    },
+                    est_rows: 1.0,
+                    est_cost: Cost::new(1.0, 1.0),
+                }),
+                pred: PhysExpr::Binary {
+                    op: ingot_sql::BinOp::Gt,
+                    left: Box::new(PhysExpr::Col(1)),
+                    right: Box::new(PhysExpr::Param(1)),
+                },
+            },
+            est_rows: 1.0,
+            est_cost: Cost::new(2.0, 1.0),
+        };
+        let bound = templ
+            .substitute_params(&[Value::Int(42), Value::Int(7)])
+            .unwrap();
+        match &bound.op {
+            PhysPlan::Filter { input, pred } => {
+                match &input.op {
+                    PhysPlan::PkLookup { key, .. } => {
+                        assert_eq!(key, &vec![PhysExpr::Literal(Value::Int(42))]);
+                    }
+                    other => panic!("unexpected input op {other:?}"),
+                }
+                match pred {
+                    PhysExpr::Binary { right, .. } => {
+                        assert_eq!(**right, PhysExpr::Literal(Value::Int(7)));
+                    }
+                    other => panic!("unexpected pred {other:?}"),
+                }
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+        // Estimates survive substitution untouched.
+        assert_eq!(bound.est_cost, templ.est_cost);
+        // Missing values surface as an error, never a silent NULL.
+        assert!(templ.substitute_params(&[Value::Int(1)]).is_err());
     }
 }

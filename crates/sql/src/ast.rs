@@ -233,6 +233,9 @@ pub enum UnOp {
 pub enum Expr {
     /// A literal value.
     Literal(Value),
+    /// A bind-parameter marker, 0-based (`$1` parses as `Param(0)`). Values
+    /// are substituted at execute time by the prepared-statement path.
+    Param(usize),
     /// A column reference, optionally qualified.
     Column {
         /// Table or alias qualifier.
@@ -349,6 +352,27 @@ impl Expr {
         out
     }
 
+    /// Highest parameter ordinal referenced in this expression (1-based),
+    /// 0 when the expression is parameter-free.
+    pub fn max_param(&self) -> usize {
+        match self {
+            Expr::Param(i) => i + 1,
+            Expr::Literal(_) | Expr::Column { .. } | Expr::CountStar => 0,
+            Expr::Binary { left, right, .. } => left.max_param().max(right.max_param()),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => {
+                expr.max_param()
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.max_param().max(lo.max_param()).max(hi.max_param())
+            }
+            Expr::InList { expr, list, .. } => list
+                .iter()
+                .map(Expr::max_param)
+                .fold(expr.max_param(), usize::max),
+            Expr::Call { args, .. } => args.iter().map(Expr::max_param).max().unwrap_or(0),
+        }
+    }
+
     /// Recombine factors with AND (inverse of [`Expr::conjuncts`]).
     pub fn conjoin(mut factors: Vec<Expr>) -> Option<Expr> {
         let first = if factors.is_empty() {
@@ -362,6 +386,66 @@ impl Expr {
                 .fold(first, |acc, f| Expr::bin(BinOp::And, acc, f)),
         )
     }
+}
+
+/// Number of bind parameters a statement declares: the highest marker
+/// ordinal referenced anywhere in it (`$1 … $n` ⇒ `n`). DDL and admin
+/// statements never carry parameters.
+pub fn param_count(stmt: &Statement) -> usize {
+    fn opt(e: &Option<Expr>) -> usize {
+        e.as_ref().map_or(0, Expr::max_param)
+    }
+    match stmt {
+        Statement::Select(s) => select_param_count(s),
+        Statement::Insert { rows, .. } => rows
+            .iter()
+            .flatten()
+            .map(Expr::max_param)
+            .max()
+            .unwrap_or(0),
+        Statement::Update { sets, filter, .. } => sets
+            .iter()
+            .map(|(_, e)| e.max_param())
+            .max()
+            .unwrap_or(0)
+            .max(opt(filter)),
+        Statement::Delete { filter, .. } => opt(filter),
+        Statement::Explain { inner, .. } => param_count(inner),
+        Statement::CreateTable { .. }
+        | Statement::DropTable { .. }
+        | Statement::CreateIndex { .. }
+        | Statement::DropIndex { .. }
+        | Statement::Modify { .. }
+        | Statement::CreateStatistics { .. }
+        | Statement::Set { .. } => 0,
+    }
+}
+
+fn select_param_count(s: &SelectStmt) -> usize {
+    let mut n = 0;
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            n = n.max(expr.max_param());
+        }
+    }
+    for t in &s.from {
+        for j in &t.joins {
+            n = n.max(j.on.max_param());
+        }
+    }
+    if let Some(f) = &s.filter {
+        n = n.max(f.max_param());
+    }
+    for g in &s.group_by {
+        n = n.max(g.max_param());
+    }
+    if let Some(h) = &s.having {
+        n = n.max(h.max_param());
+    }
+    for o in &s.order_by {
+        n = n.max(o.expr.max_param());
+    }
+    n
 }
 
 #[cfg(test)]
@@ -388,5 +472,24 @@ mod tests {
         let joined = Expr::conjoin(parts).unwrap();
         assert_eq!(joined.conjuncts().len(), 3);
         assert!(Expr::conjoin(vec![]).is_none());
+    }
+
+    #[test]
+    fn param_count_takes_highest_ordinal() {
+        use crate::parser::parse_statement;
+        let s = parse_statement("select a from t where a = $2 and b = $1").unwrap();
+        assert_eq!(param_count(&s), 2);
+        let s = parse_statement("select a from t where a between ? and ?").unwrap();
+        assert_eq!(param_count(&s), 2);
+        let s = parse_statement("insert into t values ($1, $3)").unwrap();
+        assert_eq!(param_count(&s), 3);
+        let s = parse_statement("update t set a = $1 where b = $2").unwrap();
+        assert_eq!(param_count(&s), 2);
+        let s = parse_statement("delete from t where a = ?").unwrap();
+        assert_eq!(param_count(&s), 1);
+        let s = parse_statement("select a from t").unwrap();
+        assert_eq!(param_count(&s), 0);
+        let s = parse_statement("create table t (a int)").unwrap();
+        assert_eq!(param_count(&s), 0);
     }
 }

@@ -20,6 +20,9 @@ pub enum Token {
     Float(f64),
     /// String literal (quotes removed, `''` unescaped).
     Str(String),
+    /// Parameter marker, 1-based: `$3` lexes as `Param(3)`, and each bare
+    /// `?` is numbered left to right (`?` … `?` ⇒ `Param(1)`, `Param(2)`).
+    Param(u32),
     /// `(`
     LParen,
     /// `)`
@@ -108,6 +111,8 @@ const KEYWORDS: &[&str] = &[
 pub struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
+    /// Count of `?` markers seen so far (each becomes the next `$n`).
+    anon_params: u32,
 }
 
 impl<'a> Lexer<'a> {
@@ -116,6 +121,7 @@ impl<'a> Lexer<'a> {
         Lexer {
             src: src.as_bytes(),
             pos: 0,
+            anon_params: 0,
         }
     }
 
@@ -226,6 +232,11 @@ impl<'a> Lexer<'a> {
                     return Err(Error::parse(format!("unexpected '!' at byte {start}")));
                 }
             }
+            // Anonymous parameter marker: each `?` gets the next ordinal.
+            b'?' => {
+                self.anon_params += 1;
+                Token::Param(self.anon_params)
+            }
             b'\'' => {
                 let mut s = String::new();
                 loop {
@@ -305,6 +316,23 @@ impl<'a> Lexer<'a> {
                             .map_err(|_| Error::parse(format!("bad integer '{text}'")))?,
                     )
                 }
+            }
+            // Explicit parameter marker `$n`. Only a *leading* `$` followed by
+            // a digit is a parameter; `$` inside an identifier (`ima$tables`)
+            // and `$`-prefixed names (`$sort0`) keep lexing as identifiers.
+            b'$' if self.peek().is_ascii_digit() => {
+                let num_start = self.pos;
+                while self.peek().is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[num_start..self.pos]).unwrap();
+                let n: u32 = text
+                    .parse()
+                    .map_err(|_| Error::parse(format!("bad parameter marker '${text}'")))?;
+                if n == 0 {
+                    return Err(Error::parse("parameter markers are 1-based; $0 is invalid"));
+                }
+                Token::Param(n)
             }
             c if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
                 while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'$') {
@@ -398,7 +426,27 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(Lexer::new("a ? b").tokenize().is_err());
+        assert!(Lexer::new("a # b").tokenize().is_err());
         assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+
+    #[test]
+    fn parameter_markers() {
+        // Explicit `$n` markers keep their ordinal.
+        assert_eq!(lex("$1")[0], Token::Param(1));
+        assert_eq!(lex("$12")[0], Token::Param(12));
+        // Anonymous `?` markers number left to right.
+        let t = lex("a = ? and b = ?");
+        assert_eq!(t[2], Token::Param(1));
+        assert_eq!(t[6], Token::Param(2));
+        // `$` stays an identifier character everywhere else.
+        assert_eq!(
+            lex("ima$statements")[0],
+            Token::Ident("ima$statements".into())
+        );
+        assert_eq!(lex("$sort0")[0], Token::Ident("$sort0".into()));
+        assert_eq!(lex("a$1")[0], Token::Ident("a$1".into()));
+        // 1-based: `$0` is rejected.
+        assert!(Lexer::new("$0").tokenize().is_err());
     }
 }

@@ -13,7 +13,8 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{
-    BinOp, ColumnDef, Expr, Join, OrderItem, SelectItem, SelectStmt, Statement, TableRef, UnOp,
+    param_count, BinOp, ColumnDef, Expr, Join, OrderItem, SelectItem, SelectStmt, Statement,
+    TableRef, UnOp,
 };
 pub use lexer::{Lexer, Token};
 pub use parser::{parse_statement, parse_statements, Parser};

@@ -712,6 +712,7 @@ impl Parser {
     fn parse_primary(&mut self) -> Result<Expr> {
         match self.bump() {
             Token::Int(i) => Ok(Expr::Literal(Value::Int(i))),
+            Token::Param(n) => Ok(Expr::Param(n as usize - 1)),
             Token::Float(f) => Ok(Expr::Literal(Value::Float(f))),
             Token::Str(s) => Ok(Expr::Literal(Value::Str(s))),
             Token::Keyword("NULL") => Ok(Expr::Literal(Value::Null)),
@@ -960,6 +961,21 @@ mod tests {
         assert!(parse_statement("create table t (a unknown_type)").is_err());
         assert!(parse_statement("select 1 from t where").is_err());
         assert!(parse_statement("select 1 extra garbage !").is_err());
+    }
+
+    #[test]
+    fn parameter_markers_parse_into_exprs() {
+        let s = sel("select name from protein where nref_id = $1");
+        let Expr::Binary { right, .. } = s.filter.unwrap() else {
+            panic!()
+        };
+        assert_eq!(*right, Expr::Param(0));
+        // Anonymous markers number left to right across the statement.
+        let s = sel("select 1 from t where a = ? and b between ? and ?");
+        assert_eq!(param_count(&Statement::Select(s)), 3);
+        // Markers in INSERT rows.
+        let st = parse_statement("insert into t (a, b) values ($1, $2)").unwrap();
+        assert_eq!(param_count(&st), 2);
     }
 
     #[test]

@@ -1,0 +1,24 @@
+use ingot_common::Result;
+
+pub fn good(x: u32) -> Result<u32> {
+    Ok(x)
+}
+
+pub fn also_good(items: Vec<String>) -> Result<Vec<String>, ingot_common::Error> {
+    Ok(items)
+}
+
+pub fn bad(x: u32) -> Result<u32, String> {
+    Err(format!("stringly: {x}"))
+}
+
+fn private_is_exempt(x: u32) -> Result<u32, String> {
+    Err(format!("{x}"))
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helpers_are_exempt() -> Result<(), String> {
+        Ok(())
+    }
+}

@@ -361,3 +361,83 @@ pub fn check_ima_completeness(root: &Path, files: &[SourceFile]) -> Vec<Violatio
     }
     out
 }
+
+// ---------------------------------------------------------------------------
+// Check 5: error-type discipline.
+// ---------------------------------------------------------------------------
+
+/// Public functions of the embedding API must return the workspace error
+/// type: a `pub fn` in [`policy::ERROR_DISCIPLINE_FILES`] whose return type
+/// is `Result<_, String>` leaks stringly-typed errors across the API
+/// boundary, where callers can no longer match on error kinds.
+pub fn check_error_discipline(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        if !policy::ERROR_DISCIPLINE_FILES.contains(&file.rel_path.as_str()) {
+            continue;
+        }
+        let toks = &file.tokens;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].in_test || !seq(file, i, &["pub", "fn"]) {
+                i += 1;
+                continue;
+            }
+            let func = toks
+                .get(i + 2)
+                .map(|t| t.text.clone())
+                .unwrap_or_else(|| "<anon>".to_owned());
+            // Walk the signature (up to the body `{` or a trait-decl `;`),
+            // looking for `Result <` whose depth-1 comma is followed by
+            // `String` — i.e. a stringly error type in return position.
+            let mut j = i + 2;
+            let mut after_arrow = false;
+            while j < toks.len() {
+                let t = toks[j].text.as_str();
+                if t == "{" || t == ";" {
+                    break;
+                }
+                if t == "-" && toks.get(j + 1).is_some_and(|n| n.text == ">") {
+                    after_arrow = true;
+                }
+                if after_arrow && t == "Result" && toks.get(j + 1).is_some_and(|n| n.text == "<") {
+                    let mut depth = 0usize;
+                    let mut k = j + 1;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "<" => depth += 1,
+                            ">" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "," if depth == 1
+                                && toks.get(k + 1).is_some_and(|n| n.text == "String") =>
+                            {
+                                out.push(Violation {
+                                    check: "error-type",
+                                    category: "stringly".into(),
+                                    file: file.rel_path.clone(),
+                                    line: toks[j].line,
+                                    func: func.clone(),
+                                    ordinal: 0,
+                                    message: format!(
+                                        "`pub fn {func}` returns Result<_, String> — \
+                                         return ingot_common::Result so callers can match \
+                                         on error kinds"
+                                    ),
+                                });
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                j += 1;
+            }
+            i = j.max(i + 1);
+        }
+    }
+    out
+}

@@ -132,6 +132,12 @@ pub fn clean(src: &str) -> Cleaned {
                     line += 1;
                 }
                 if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    // A `\` line-continuation consumes the newline here, so
+                    // the top-of-loop counter never sees it: count it now or
+                    // every later line number in the file drifts.
+                    if bytes[i + 1] == b'\n' {
+                        line += 1;
+                    }
                     lit.push(bytes[i] as char);
                     lit.push(bytes[i + 1] as char);
                     blank(&mut out, bytes[i]);
@@ -387,6 +393,18 @@ mod tests {
         let toks = tokenize(&c.text);
         let five = toks.iter().find(|t| t.text == "five").unwrap();
         assert_eq!(five.line, 5);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        // A `\` line-continuation inside a literal consumes its newline in
+        // the escape branch; the line counter must still advance or every
+        // later string in the file is recorded one line early.
+        let src = "let a = \"first \\\n   part\";\nlet b = \"ima$after\";";
+        let c = clean(src);
+        assert_eq!(c.strings.len(), 2);
+        assert_eq!(c.strings[1].0, 3, "string after a continuation");
+        assert_eq!(c.strings[1].1, "ima$after");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!    trace/daemon/bench, so `monitor_ns` keeps meaning what Fig 5 says.
 //! 4. **ima** — every registered `ima$…` virtual table is documented and
 //!    referenced by at least one test.
+//! 5. **error-type** — `pub fn`s of the embedding API (`core::engine`)
+//!    never return `Result<_, String>`; errors cross the API boundary as
+//!    `ingot_common::Error` so callers can match on kinds.
 //!
 //! `syn` is deliberately not used: the checks operate on a comment- and
 //! literal-stripped token stream (see [`lexer`]), which keeps the tool
@@ -54,6 +57,7 @@ pub fn run(root: &Path, allowlist_path: Option<&Path>) -> std::io::Result<Report
     let mut violations = checks::check_lock_order(&files);
     violations.extend(checks::check_clock_hygiene(&files));
     violations.extend(checks::check_ima_completeness(root, &files));
+    violations.extend(checks::check_error_discipline(&files));
 
     let panic_violations = checks::check_panic_freedom(&files);
     let (fresh, allowlisted, stale) = match allowlist_path {

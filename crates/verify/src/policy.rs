@@ -44,6 +44,10 @@ pub const CLOCK_EXEMPT_FILES: &[&str] = &["crates/common/src/clock.rs"];
 /// The file registering every `ima$…` virtual table (the IMA registry).
 pub const IMA_REGISTRY_FILE: &str = "crates/core/src/ima.rs";
 
+/// Files whose `pub fn`s form the embedding API: their fallible returns
+/// must use `ingot_common::Result`, never `Result<_, String>`.
+pub const ERROR_DISCIPLINE_FILES: &[&str] = &["crates/core/src/engine.rs"];
+
 /// Rust keywords that cannot be an indexed expression head; a `[` following
 /// one of these is an array literal, type, or pattern — not indexing.
 pub const NON_INDEX_KEYWORDS: &[&str] = &[

@@ -151,6 +151,23 @@ fn ima_fixture_diagnostics() {
 }
 
 #[test]
+fn error_type_fixture_diagnostics() {
+    let r = run("error_type");
+    assert_eq!(
+        summarize(&r),
+        vec![(
+            s("error-type"),
+            s("stringly"),
+            s("crates/core/src/engine.rs"),
+            11,
+            s("bad"),
+        )],
+        "only the pub fn returning Result<_, String> may be flagged; \
+         private fns, test helpers and non-String errors are exempt"
+    );
+}
+
+#[test]
 fn display_format_is_stable() {
     let r = run("clock");
     let line = r.violations[0].to_string();
@@ -187,7 +204,7 @@ fn allowlist_grandfathers_and_ratchets() {
 #[test]
 fn cli_exits_nonzero_on_every_fixture() {
     let bin = env!("CARGO_BIN_EXE_ingot-verify");
-    for case in ["lock_order", "panic", "clock", "ima"] {
+    for case in ["lock_order", "panic", "clock", "ima", "error_type"] {
         let out = Command::new(bin)
             .args(["--root"])
             .arg(fixture(case))

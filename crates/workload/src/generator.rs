@@ -262,9 +262,15 @@ mod tests {
             taxa: 20,
             ..Default::default()
         };
-        let e1 = Engine::new(EngineConfig::original());
+        let e1 = Engine::builder()
+            .config(EngineConfig::original())
+            .build()
+            .unwrap();
         let s1 = load_nref(&e1, &cfg).unwrap();
-        let e2 = Engine::new(EngineConfig::original());
+        let e2 = Engine::builder()
+            .config(EngineConfig::original())
+            .build()
+            .unwrap();
         let s2 = load_nref(&e2, &cfg).unwrap();
         assert_eq!(s1, s2, "same seed ⇒ same data");
         assert_eq!(s1.proteins, 500);
@@ -288,7 +294,10 @@ mod tests {
             taxa: 100,
             ..Default::default()
         };
-        let e = Engine::new(EngineConfig::original());
+        let e = Engine::builder()
+            .config(EngineConfig::original())
+            .build()
+            .unwrap();
         load_nref(&e, &cfg).unwrap();
         let session = e.open_session();
         let r = session

@@ -213,7 +213,10 @@ mod tests {
             taxa: 12,
             ..Default::default()
         };
-        let engine = Engine::new(EngineConfig::original());
+        let engine = Engine::builder()
+            .config(EngineConfig::original())
+            .build()
+            .unwrap();
         load_nref(&engine, &cfg).unwrap();
         let session = engine.open_session();
         for (i, q) in analytic_queries(&cfg).iter().enumerate() {
@@ -251,7 +254,10 @@ mod tests {
             taxa: 10,
             ..Default::default()
         };
-        let engine = Engine::new(EngineConfig::original());
+        let engine = Engine::builder()
+            .config(EngineConfig::original())
+            .build()
+            .unwrap();
         load_nref(&engine, &cfg).unwrap();
         let session = engine.open_session();
         // A diligent DBA collects statistics along with the index set.

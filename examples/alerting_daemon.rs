@@ -13,7 +13,10 @@ use std::time::Duration;
 use ingot::prelude::*;
 
 fn main() -> Result<()> {
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let session = engine.open_session();
     session.execute("create table events (id int not null, kind text, payload text)")?;
 

@@ -13,7 +13,10 @@ use ingot::workload::analytic_queries;
 
 fn main() -> Result<()> {
     // 1. MONITORING: an instrumented engine with a freshly loaded database.
-    let engine = Engine::new(EngineConfig::monitoring().with_buffer_pool_pages(1024));
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring().with_buffer_pool_pages(1024))
+        .build()
+        .unwrap();
     let nref = NrefConfig::scaled(0.3);
     println!("loading NREF-like database ({} proteins)…", nref.proteins);
     let stats = load_nref(&engine, &nref)?;

@@ -23,10 +23,12 @@ use ingot::analyzer::report::build_locks_diagram;
 use ingot::prelude::*;
 
 fn main() -> Result<()> {
-    let engine = Engine::new(EngineConfig {
-        lock_timeout_ms: 300,
-        ..EngineConfig::monitoring()
-    });
+    let engine = Engine::builder()
+        .config(EngineConfig {
+            lock_timeout_ms: 300,
+            ..EngineConfig::monitoring()
+        })
+        .build()?;
     let setup = engine.open_session();
     setup.execute("create table accounts (id int not null primary key, balance int)")?;
     setup.execute("create table audit (id int not null primary key, note text)")?;

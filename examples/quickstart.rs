@@ -9,18 +9,29 @@ use ingot::prelude::*;
 fn main() -> Result<()> {
     // An engine with the monitoring sensors compiled in (the paper's
     // "Monitoring" setup; use EngineConfig::original() for the bare engine).
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()?;
     let session = engine.open_session();
 
     // Ordinary SQL.
     session
         .execute("create table protein (nref_id text not null primary key, name text, len int)")?;
-    session.execute(
-        "insert into protein values \
-         ('NF00000001', 'insulin', 51), \
-         ('NF00000002', 'hemoglobin beta', 147), \
-         ('NF00000003', 'myoglobin', 154)",
-    )?;
+
+    // Prepared statements: one cached plan per template, parameters bound
+    // positionally on each execution.
+    let insert = session.prepare("insert into protein values ($1, $2, $3)")?;
+    for (id, name, len) in [
+        ("NF00000001", "insulin", 51),
+        ("NF00000002", "hemoglobin beta", 147),
+        ("NF00000003", "myoglobin", 154),
+    ] {
+        insert.execute(&[
+            Value::Str(id.into()),
+            Value::Str(name.into()),
+            Value::Int(len),
+        ])?;
+    }
     let r = session.execute("select name, len from protein where len > 100 order by len desc")?;
     println!("proteins longer than 100 residues:");
     for row in &r.rows {
@@ -61,5 +72,15 @@ fn main() -> Result<()> {
     for row in &plan.rows {
         println!("  {}", row.get(0));
     }
+
+    // The shared plan cache watches itself, too.
+    let cache = session.execute("select hits, misses, entries from ima$plan_cache")?;
+    let row = &cache.rows[0];
+    println!(
+        "\nima$plan_cache: {} hits, {} misses, {} live plans",
+        row.get(0),
+        row.get(1),
+        row.get(2)
+    );
     Ok(())
 }

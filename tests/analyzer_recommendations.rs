@@ -5,7 +5,10 @@ use ingot::prelude::*;
 use ingot::workload::{analytic_queries, reference_indexes};
 
 fn tuned_engine() -> (std::sync::Arc<Engine>, NrefConfig) {
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let nref = NrefConfig {
         proteins: 1500,
         taxa: 40,
@@ -67,7 +70,10 @@ fn applying_recommendations_reduces_physical_io() {
     // RAM, so every query effectively starts cold. Reproduce that regime by
     // dropping the buffer pool before each statement and counting physical
     // page reads per query.
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let nref = NrefConfig {
         proteins: 1500,
         taxa: 40,

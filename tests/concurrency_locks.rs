@@ -12,10 +12,13 @@ use std::time::Duration;
 use ingot::prelude::*;
 
 fn engine() -> std::sync::Arc<Engine> {
-    Engine::new(EngineConfig {
-        lock_timeout_ms: 400,
-        ..EngineConfig::monitoring()
-    })
+    Engine::builder()
+        .config(EngineConfig {
+            lock_timeout_ms: 400,
+            ..EngineConfig::monitoring()
+        })
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -170,10 +173,13 @@ fn deadlock_is_detected_and_reported_in_statistics() {
 
 #[test]
 fn lock_timeout_backstop() {
-    let e = Engine::new(EngineConfig {
-        lock_timeout_ms: 100,
-        ..EngineConfig::monitoring()
-    });
+    let e = Engine::builder()
+        .config(EngineConfig {
+            lock_timeout_ms: 100,
+            ..EngineConfig::monitoring()
+        })
+        .build()
+        .unwrap();
     let s1 = e.open_session();
     s1.execute("create table t (a int)").unwrap();
     s1.execute("insert into t values (1)").unwrap();

@@ -23,7 +23,10 @@ fn faulted_setup() -> (
     Arc<WorkloadDb>,
     StorageDaemon,
 ) {
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let session = engine.open_session();
     session
         .execute("create table t (a int not null, b text)")
@@ -46,11 +49,12 @@ fn faulted_setup() -> (
         buffer_pool_pages: 256,
         ..EngineConfig::default()
     };
-    let wl_engine = Engine::with_backend(
-        wl_config,
-        engine.sim_clock().clone(),
-        Box::new(Arc::clone(&fb)),
-    );
+    let wl_engine = Engine::builder()
+        .config(wl_config)
+        .clock(engine.sim_clock().clone())
+        .backend(Box::new(Arc::clone(&fb)))
+        .build()
+        .unwrap();
     let wldb = Arc::new(WorkloadDb::with_engine(wl_engine).unwrap());
     let daemon = StorageDaemon::new(
         Arc::clone(&engine),
@@ -184,7 +188,10 @@ fn torn_flush_recovery_truncates_only_the_tail() {
     let dir = std::env::temp_dir().join(format!("ingot-torn-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     {
-        let engine = Engine::new(EngineConfig::monitoring());
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
         let s = engine.open_session();
         s.execute("create table t (a int not null, b text)")
             .unwrap();
@@ -234,7 +241,10 @@ fn torn_flush_recovery_truncates_only_the_tail() {
     assert_eq!(again.rows_salvaged, report.rows_salvaged);
 
     // The daemon resumes on the repaired directory.
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let s = engine.open_session();
     s.execute("create table fresh (a int)").unwrap();
     let wldb = Arc::new(WorkloadDb::file_backed(&dir, engine.sim_clock().clone()).unwrap());
@@ -251,7 +261,10 @@ fn torn_flush_recovery_truncates_only_the_tail() {
 
 #[test]
 fn daemon_health_is_queryable_via_sql() {
-    let engine = Engine::new(EngineConfig::monitoring());
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let s = engine.open_session();
     s.execute("create table t (a int)").unwrap();
     let wldb = Arc::new(WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap());

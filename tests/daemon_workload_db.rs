@@ -13,7 +13,10 @@ use ingot::daemon::wldb::WL_TABLES;
 use ingot::prelude::*;
 
 fn engine_with_activity() -> std::sync::Arc<Engine> {
-    let e = Engine::new(EngineConfig::monitoring().with_heap_main_pages(2));
+    let e = Engine::builder()
+        .config(EngineConfig::monitoring().with_heap_main_pages(2))
+        .build()
+        .unwrap();
     let s = e.open_session();
     s.execute("create table t (a int not null, b text)")
         .unwrap();

@@ -4,7 +4,10 @@
 use ingot::prelude::*;
 
 fn engine() -> std::sync::Arc<Engine> {
-    Engine::new(EngineConfig::monitoring())
+    Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap()
 }
 
 fn ints(r: &StatementResult, col: usize) -> Vec<i64> {

@@ -4,7 +4,10 @@
 use ingot::prelude::*;
 
 fn engine() -> std::sync::Arc<Engine> {
-    Engine::new(EngineConfig::monitoring().with_statement_capacity(100))
+    Engine::builder()
+        .config(EngineConfig::monitoring().with_statement_capacity(100))
+        .build()
+        .unwrap()
 }
 
 fn one_int(s: &Session, sql: &str) -> i64 {
@@ -137,7 +140,10 @@ fn repeated_statements_bump_frequency_not_capacity() {
 
 #[test]
 fn original_setup_pays_nothing_and_records_nothing() {
-    let e = Engine::new(EngineConfig::original());
+    let e = Engine::builder()
+        .config(EngineConfig::original())
+        .build()
+        .unwrap();
     let s = e.open_session();
     s.execute("create table t (a int)").unwrap();
     s.execute("insert into t values (1)").unwrap();

@@ -5,7 +5,10 @@ use ingot::prelude::*;
 use ingot::workload::{analytic_queries, point_select_statements, simple_join_statements};
 
 fn setup(proteins: u64) -> (std::sync::Arc<Engine>, NrefConfig) {
-    let engine = Engine::new(EngineConfig::monitoring().with_statement_capacity(1000));
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring().with_statement_capacity(1000))
+        .build()
+        .unwrap();
     let nref = NrefConfig {
         proteins,
         taxa: 30,

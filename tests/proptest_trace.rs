@@ -14,7 +14,7 @@ proptest! {
         modulo in 1i64..12,
         probe in 0i64..140,
     ) {
-        let e = Engine::new(EngineConfig::tracing());
+        let e = Engine::builder().config(EngineConfig::tracing()).build().unwrap();
         let s = e.open_session();
         s.execute("create table t (id int not null primary key, v int)").unwrap();
         for i in 0..rows {

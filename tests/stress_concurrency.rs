@@ -16,10 +16,13 @@ use std::time::Duration;
 use ingot::prelude::*;
 
 fn engine_with_timeout(ms: u64) -> Arc<Engine> {
-    Engine::new(EngineConfig {
-        lock_timeout_ms: ms,
-        ..EngineConfig::monitoring()
-    })
+    Engine::builder()
+        .config(EngineConfig {
+            lock_timeout_ms: ms,
+            ..EngineConfig::monitoring()
+        })
+        .build()
+        .unwrap()
 }
 
 /// Eight sessions, each owning a disjoint key range of one shared table:
@@ -227,4 +230,82 @@ fn ddl_churn_does_not_disturb_concurrent_dml() {
     assert_eq!(r.rows[0].get(0).as_int().unwrap(), 4 * 30);
     // All side tables are gone again.
     assert!(s.execute("select * from side_0").is_err());
+}
+
+/// Prepared-statement mix: eight sessions share one plan cache, each
+/// preparing the same three templates and binding disjoint key ranges,
+/// while one thread fires DDL mid-run to invalidate everything. Results
+/// must be exact and the cache must end hot (hits recorded, no stale
+/// plans served across the DDL epoch).
+#[test]
+fn prepared_statements_share_the_plan_cache_across_sessions() {
+    const THREADS: u64 = 8;
+    const ROWS: u64 = 30;
+
+    let e = engine_with_timeout(5_000);
+    {
+        let s = e.open_session();
+        s.execute("create table accounts (id int not null primary key, v int)")
+            .unwrap();
+    }
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let e = Arc::clone(&e);
+        handles.push(std::thread::spawn(move || {
+            let s = e.open_session();
+            let base = (t * 1_000) as i64;
+            let ins = s.prepare("insert into accounts values ($1, $2)").unwrap();
+            let upd = s
+                .prepare("update accounts set v = $2 where id = $1")
+                .unwrap();
+            let sel = s.prepare("select v from accounts where id = $1").unwrap();
+            for i in 0..ROWS as i64 {
+                ins.execute(&[Value::Int(base + i), Value::Int(0)]).unwrap();
+            }
+            for i in 0..ROWS as i64 {
+                upd.execute(&[Value::Int(base + i), Value::Int(i + 1)])
+                    .unwrap();
+            }
+            for i in 0..ROWS as i64 {
+                let r = sel.execute(&[Value::Int(base + i)]).unwrap();
+                assert_eq!(
+                    r.rows[0].get(0).as_int().unwrap(),
+                    i + 1,
+                    "prepared read must see the bound row"
+                );
+            }
+        }));
+    }
+    // Concurrent DDL: forces epoch bumps + full invalidations mid-workload.
+    {
+        let e = Arc::clone(&e);
+        handles.push(std::thread::spawn(move || {
+            let s = e.open_session();
+            std::thread::sleep(Duration::from_millis(5));
+            s.execute("create index accounts_v on accounts (v)")
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+            s.execute("drop index accounts_v").unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let s = e.open_session();
+    let r = s.execute("select count(*) from accounts").unwrap();
+    assert_eq!(r.rows[0].get(0).as_int().unwrap(), (THREADS * ROWS) as i64);
+    let stats = e.plan_cache_stats();
+    assert!(
+        stats.hits > 0,
+        "sessions must share cached templates, got {stats:?}"
+    );
+    assert!(
+        stats.invalidations > 0,
+        "mid-run DDL must invalidate, got {stats:?}"
+    );
+    // The counters are one SQL query away, like every ima$ table.
+    let r = s.execute("select hits from ima$plan_cache").unwrap();
+    assert!(r.rows[0].get(0).as_int().unwrap() > 0);
+    assert_eq!(e.locks().stats().held, 0, "all locks released");
 }

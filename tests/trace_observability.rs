@@ -8,7 +8,10 @@ use ingot::common::StmtHash;
 use ingot::prelude::*;
 
 fn engine() -> std::sync::Arc<Engine> {
-    Engine::new(EngineConfig::tracing())
+    Engine::builder()
+        .config(EngineConfig::tracing())
+        .build()
+        .unwrap()
 }
 
 fn load(s: &Session) {
@@ -180,7 +183,10 @@ fn monitor_health_mirrors_daemon_health() {
 
 #[test]
 fn tracing_disabled_engine_still_answers_explain_analyze() {
-    let e = Engine::new(EngineConfig::monitoring());
+    let e = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
     let s = e.open_session();
     load(&s);
     assert!(!e.tracing_enabled());
