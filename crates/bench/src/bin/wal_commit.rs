@@ -1,0 +1,232 @@
+//! WAL group-commit payoff — concurrent commit throughput with the group
+//! coordinator batching fsyncs vs. one fsync per commit.
+//!
+//! Each writer thread owns its own table (so table locks never serialize
+//! the storm) and runs a loop of auto-commit single-row inserts against a
+//! file-backed engine whose WAL simulates a disk barrier of
+//! `SYNC_DELAY_US` per fsync — on a laptop-class SSD (or tmpfs in CI) the
+//! raw fsync is too cheap to show the batching effect the coordinator
+//! exists for. Under `always` every commit pays the barrier serially; under
+//! `group` concurrent committers ride one leader's fsync, so throughput
+//! climbs with the writer count. The headline claim checked at the bottom:
+//! **group commit sustains at least 2x the always-fsync throughput from 8
+//! writers up**. Numbers land in `results/wal_group_commit.json` (override
+//! the directory with `INGOT_RESULTS_DIR`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ingot_bench::{header, Scale};
+use ingot_common::{EngineConfig, WalFsyncMode};
+use ingot_core::Engine;
+
+/// Concurrent committer counts (the 1-writer cell is the no-batching
+/// baseline where both modes must be within noise of each other).
+const WRITERS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Simulated disk-barrier latency per fsync. Sized so the barrier dominates
+/// per-commit execution and scheduler noise: the always-fsync arm pays
+/// `writers * commits * 500us` serially while the group arm amortises one
+/// barrier per batch, keeping the >= 2x claim out of the noise floor even on
+/// loaded CI runners.
+const SYNC_DELAY_US: u64 = 500;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct Cell {
+    writers: usize,
+    commits: usize,
+    always_ms: f64,
+    group_ms: f64,
+    always_commits_per_sec: f64,
+    group_commits_per_sec: f64,
+    speedup: f64,
+    group_batches: u64,
+    max_group: u64,
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ingot-walbench-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// One storm: `writers` threads x `commits` auto-commit inserts, each
+/// writer on its own table. Returns (elapsed, grouped_commits, max_group).
+fn run_storm(mode: WalFsyncMode, writers: usize, commits: usize) -> (Duration, u64, u64) {
+    let dir = scratch_dir();
+    let engine = Engine::builder()
+        .config(
+            EngineConfig::default()
+                .with_wal_fsync_mode(mode)
+                .with_wal_sync_delay_us(SYNC_DELAY_US),
+        )
+        .path(dir.clone())
+        .build()
+        .expect("file-backed engine");
+    {
+        let s = engine.open_session();
+        for w in 0..writers {
+            s.execute(&format!("create table w{w} (a int not null, b text)"))
+                .unwrap();
+        }
+    }
+    let start = Instant::now();
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let s = engine.open_session();
+                for i in 0..commits {
+                    s.execute(&format!("insert into w{w} values ({i}, 'payload {i}')"))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    let elapsed = start.elapsed();
+    let stats = engine.wal_stats();
+    drop(engine);
+    let _ = std::fs::remove_dir_all(dir);
+    (elapsed, stats.grouped_commits, stats.max_group)
+}
+
+/// Best of `repeats` storms (fresh engine and directory each time).
+fn best_storm(
+    repeats: u32,
+    mode: WalFsyncMode,
+    writers: usize,
+    commits: usize,
+) -> (Duration, u64, u64) {
+    let mut best: Option<(Duration, u64, u64)> = None;
+    for _ in 0..repeats.max(1) {
+        let run = run_storm(mode, writers, commits);
+        if best.as_ref().is_none_or(|b| run.0 < b.0) {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "WAL group commit",
+        "concurrent commit throughput, group vs. always fsync",
+        &scale,
+    );
+    let commits = ((scale.n_simple / 100).max(30)) as usize;
+    println!("simulated barrier: {SYNC_DELAY_US} us per fsync, {commits} commits per writer\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>9} {:>8} {:>9}",
+        "writers",
+        "always_ms",
+        "group_ms",
+        "always c/s",
+        "group c/s",
+        "speedup",
+        "batches",
+        "max_grp"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for writers in WRITERS {
+        let total = (writers * commits) as f64;
+        let (always, _, _) = best_storm(scale.repeats, WalFsyncMode::Always, writers, commits);
+        let (group, batches, max_group) =
+            best_storm(scale.repeats, WalFsyncMode::Group, writers, commits);
+        let always_tput = total / always.as_secs_f64();
+        let group_tput = total / group.as_secs_f64();
+        let speedup = group_tput / always_tput;
+        println!(
+            "{:<8} {:>10.1} {:>10.1} {:>12.0} {:>12.0} {:>8.2}x {:>8} {:>9}",
+            writers,
+            always.as_secs_f64() * 1e3,
+            group.as_secs_f64() * 1e3,
+            always_tput,
+            group_tput,
+            speedup,
+            batches,
+            max_group
+        );
+        cells.push(Cell {
+            writers,
+            commits,
+            always_ms: always.as_secs_f64() * 1e3,
+            group_ms: group.as_secs_f64() * 1e3,
+            always_commits_per_sec: always_tput,
+            group_commits_per_sec: group_tput,
+            speedup,
+            group_batches: batches,
+            max_group,
+        });
+    }
+
+    let json = render_json(&scale, &cells);
+    let dir = std::env::var("INGOT_RESULTS_DIR")
+        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{dir}/wal_group_commit.json");
+    std::fs::write(&path, json).expect("write results JSON");
+    println!("\nwrote {path}");
+
+    // The coordinator must actually batch once there is anyone to batch.
+    for c in cells.iter().filter(|c| c.writers >= 8) {
+        assert!(
+            c.max_group >= 2,
+            "at {} writers the leader must pick up followers (max batch {})",
+            c.writers,
+            c.max_group
+        );
+        assert!(
+            c.speedup >= 2.0,
+            "group commit must sustain at least 2x the always-fsync commit \
+             throughput at {} writers (got {:.2}x)",
+            c.writers,
+            c.speedup
+        );
+    }
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde dependency).
+fn render_json(scale: &Scale, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"wal_commit\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", scale.name));
+    out.push_str(&format!("  \"repeats\": {},\n", scale.repeats));
+    out.push_str(&format!("  \"sync_delay_us\": {SYNC_DELAY_US},\n"));
+    out.push_str(
+        "  \"model\": \"per-writer tables, auto-commit single-row inserts, \
+         best-of wall clock per cell\",\n",
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"writers\": {}, \"commits_per_writer\": {}, \
+             \"always_ms\": {:.2}, \"group_ms\": {:.2}, \
+             \"always_commits_per_sec\": {:.1}, \"group_commits_per_sec\": {:.1}, \
+             \"speedup\": {:.3}, \"group_batches\": {}, \"max_group\": {}}}{}\n",
+            c.writers,
+            c.commits,
+            c.always_ms,
+            c.group_ms,
+            c.always_commits_per_sec,
+            c.group_commits_per_sec,
+            c.speedup,
+            c.group_batches,
+            c.max_group,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -405,6 +405,146 @@ impl Catalog {
         self.indexes.values().map(Arc::as_ref)
     }
 
+    // ---- checkpoint persistence ----------------------------------------------
+
+    /// Serialize every base table and index (including virtual ones, which
+    /// are metadata-only) to a checkpoint schema blob. See
+    /// [`crate::persist`] for the format and the name-not-id rationale.
+    /// Statistics are not captured — they are recomputable.
+    pub fn dump_schema(&self) -> Vec<u8> {
+        let mut table_entries: Vec<&Arc<TableEntry>> = self.tables.values().collect();
+        table_entries.sort_by_key(|e| e.meta.id);
+        let tables = table_entries
+            .iter()
+            .map(|e| crate::persist::TableDump {
+                name: e.meta.name.clone(),
+                schema: e.meta.schema.clone(),
+                primary_key: e.meta.primary_key.clone(),
+                storage: e.meta.storage,
+                heap_file: e.heap.file_id().raw(),
+                heap_main_pages: e.heap.stats().main_pages,
+                primary_file: e.primary.as_ref().map(|p| p.file_id().raw()),
+            })
+            .collect();
+        let mut index_entries: Vec<&Arc<IndexEntry>> = self
+            .indexes
+            .values()
+            .filter(|e| !e.meta.is_virtual)
+            .collect();
+        index_entries.sort_by_key(|e| e.meta.id);
+        let indexes = index_entries
+            .iter()
+            .map(|e| crate::persist::IndexDump {
+                name: e.meta.name.clone(),
+                table: self
+                    .tables
+                    .get(&e.meta.table)
+                    .map(|t| t.meta.name.clone())
+                    .unwrap_or_default(),
+                columns: e.meta.columns.clone(),
+                unique: e.meta.unique,
+                tree_file: e.tree.as_ref().map(|t| t.file_id().raw()),
+            })
+            .collect();
+        crate::persist::SchemaDump { tables, indexes }.encode()
+    }
+
+    /// Rebuild catalog contents from a checkpoint schema `blob` by
+    /// re-attaching the existing storage files (no data is read beyond the
+    /// heads needed to validate structure). Ids are re-assigned in blob
+    /// (creation) order; names are preserved. Fails on name collisions with
+    /// already-registered objects, leaving partially attached entries in
+    /// place — callers attach into a fresh catalog at boot.
+    pub fn attach_schema(&mut self, blob: &[u8]) -> Result<()> {
+        use ingot_storage::FileId;
+        let dump = crate::persist::SchemaDump::decode(blob)?;
+        for t in &dump.tables {
+            if self.table_names.contains_key(&t.name) || self.virtual_names.contains_key(&t.name) {
+                return Err(Error::catalog(format!(
+                    "attach: table '{}' already exists",
+                    t.name
+                )));
+            }
+            for &pk in &t.primary_key {
+                if pk >= t.schema.len() {
+                    return Err(Error::catalog(format!(
+                        "attach: primary key column {pk} out of range for '{}'",
+                        t.name
+                    )));
+                }
+            }
+            let heap = Arc::new(HeapFile::open(
+                Arc::clone(&self.pool),
+                FileId(t.heap_file),
+                t.heap_main_pages,
+            )?);
+            let primary = match t.primary_file {
+                Some(f) => Some(Arc::new(BTreeFile::open(
+                    Arc::clone(&self.pool),
+                    FileId(f),
+                )?)),
+                None => None,
+            };
+            let id = TableId(self.next_table);
+            self.next_table += 1;
+            let entry = TableEntry {
+                meta: TableMeta {
+                    id,
+                    name: t.name.clone(),
+                    schema: t.schema.clone(),
+                    primary_key: t.primary_key.clone(),
+                    storage: t.storage,
+                },
+                heap,
+                primary,
+                stats: None,
+            };
+            self.tables.insert(id, Arc::new(entry));
+            self.table_names.insert(t.name.clone(), id);
+        }
+        for i in &dump.indexes {
+            if self.index_names.contains_key(&i.name) {
+                return Err(Error::catalog(format!(
+                    "attach: index '{}' already exists",
+                    i.name
+                )));
+            }
+            let table = self.resolve_table(&i.table)?;
+            let n_cols = self.table(table)?.meta.schema.len();
+            for &c in &i.columns {
+                if c >= n_cols {
+                    return Err(Error::catalog(format!(
+                        "attach: index column {c} out of range for '{}'",
+                        i.name
+                    )));
+                }
+            }
+            let tree = match i.tree_file {
+                Some(f) => Some(Arc::new(BTreeFile::open(
+                    Arc::clone(&self.pool),
+                    FileId(f),
+                )?)),
+                None => None,
+            };
+            let id = IndexId(self.next_index);
+            self.next_index += 1;
+            let idx = IndexEntry {
+                meta: IndexMeta {
+                    id,
+                    name: i.name.clone(),
+                    table,
+                    columns: i.columns.clone(),
+                    unique: i.unique,
+                    is_virtual: i.tree_file.is_none(),
+                },
+                tree,
+            };
+            self.indexes.insert(id, Arc::new(idx));
+            self.index_names.insert(i.name.clone(), id);
+        }
+        Ok(())
+    }
+
     // ---- row mutation (index-maintaining) -------------------------------------
     //
     // These take `&self`: the heap and tree files are internally synchronised,

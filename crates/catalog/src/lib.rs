@@ -12,12 +12,14 @@
 
 pub mod catalog;
 pub mod histogram;
+pub mod persist;
 pub mod shared;
 pub mod stats;
 pub mod table;
 
 pub use catalog::{Catalog, Relation, VirtualProvider, VirtualTableDef};
 pub use histogram::Histogram;
+pub use persist::{IndexDump, SchemaDump, TableDump};
 pub use shared::{CatalogWriteGuard, SharedCatalog};
 pub use stats::{ColumnStats, TableStatistics};
 pub use table::{IndexEntry, IndexMeta, StorageStructure, TableEntry, TableMeta};

@@ -1,5 +1,54 @@
 //! Engine configuration.
 
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::{Error, Result};
+
+/// How commits reach the disk through the write-ahead log.
+///
+/// `Always` fsyncs the WAL once per commit; `Group` batches concurrent
+/// committers behind a single fsync (leader/follower, bounded by
+/// [`EngineConfig::group_commit_window_us`]); `Off` skips the durability
+/// barrier entirely — **test-only**: an acknowledged commit may be lost on
+/// crash, exactly the gap the WAL exists to close.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum WalFsyncMode {
+    /// One fsync per commit (strongest latency isolation, slowest).
+    Always,
+    /// Leader/follower group commit: one fsync covers every commit that
+    /// entered the window (the default).
+    #[default]
+    Group,
+    /// No durability barrier. Test-only: commits are acknowledged before
+    /// they are durable.
+    Off,
+}
+
+impl fmt::Display for WalFsyncMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalFsyncMode::Always => write!(f, "always"),
+            WalFsyncMode::Group => write!(f, "group"),
+            WalFsyncMode::Off => write!(f, "off"),
+        }
+    }
+}
+
+impl FromStr for WalFsyncMode {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "always" => Ok(WalFsyncMode::Always),
+            "group" => Ok(WalFsyncMode::Group),
+            "off" => Ok(WalFsyncMode::Off),
+            other => Err(Error::parse(format!(
+                "unknown wal_fsync_mode '{other}' (expected always | group | off)"
+            ))),
+        }
+    }
+}
+
 /// Tunable knobs of an engine instance.
 ///
 /// The defaults mirror the paper's prototype: monitoring buffers hold 1 000
@@ -55,6 +104,18 @@ pub struct EngineConfig {
     pub disk_write_ns: u64,
     /// Simulated CPU time to process one tuple, in nanoseconds.
     pub cpu_tuple_ns: u64,
+    /// How commits reach disk through the write-ahead log (see
+    /// [`WalFsyncMode`]); `Off` is test-only.
+    pub wal_fsync_mode: WalFsyncMode,
+    /// Upper bound, in microseconds, on how long a group-commit leader
+    /// dallies for followers to join its fsync batch. Must be non-zero when
+    /// `wal_fsync_mode` is `Group` (enforced by `Engine::builder()`).
+    pub group_commit_window_us: u64,
+    /// Simulated latency of one WAL fsync, in microseconds, spun on the
+    /// wall clock before the real fsync is issued. `0` (the default) keeps
+    /// tests fast; benches set it to a device-realistic value so group
+    /// commit amortises a *visible* cost, like the disk-latency knobs above.
+    pub wal_sync_delay_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +142,9 @@ impl Default for EngineConfig {
             disk_seq_read_ns: 200_000,
             disk_write_ns: 250_000,
             cpu_tuple_ns: 200,
+            wal_fsync_mode: WalFsyncMode::Group,
+            group_commit_window_us: 100,
+            wal_sync_delay_us: 0,
         }
     }
 }
@@ -137,6 +201,25 @@ impl EngineConfig {
         self.plan_cache_capacity = entries;
         self
     }
+
+    /// Builder-style override of the WAL fsync mode.
+    pub fn with_wal_fsync_mode(mut self, mode: WalFsyncMode) -> Self {
+        self.wal_fsync_mode = mode;
+        self
+    }
+
+    /// Builder-style override of the group-commit window (microseconds).
+    pub fn with_group_commit_window_us(mut self, us: u64) -> Self {
+        self.group_commit_window_us = us;
+        self
+    }
+
+    /// Builder-style override of the simulated WAL fsync latency
+    /// (microseconds); bench-oriented.
+    pub fn with_wal_sync_delay_us(mut self, us: u64) -> Self {
+        self.wal_sync_delay_us = us;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +244,26 @@ mod tests {
         assert_eq!(c.buffer_pool_pages, 16);
         assert_eq!(c.monitor_statement_capacity, 10);
         assert_eq!(c.heap_main_pages, 2);
+    }
+
+    #[test]
+    fn wal_fsync_mode_parse_display_roundtrip() {
+        for mode in [WalFsyncMode::Always, WalFsyncMode::Group, WalFsyncMode::Off] {
+            assert_eq!(mode.to_string().parse::<WalFsyncMode>().unwrap(), mode);
+        }
+        assert!("sometimes".parse::<WalFsyncMode>().is_err());
+        assert_eq!(EngineConfig::default().wal_fsync_mode, WalFsyncMode::Group);
+        assert!(EngineConfig::default().group_commit_window_us > 0);
+    }
+
+    #[test]
+    fn wal_builder_overrides() {
+        let c = EngineConfig::default()
+            .with_wal_fsync_mode(WalFsyncMode::Always)
+            .with_group_commit_window_us(250)
+            .with_wal_sync_delay_us(50);
+        assert_eq!(c.wal_fsync_mode, WalFsyncMode::Always);
+        assert_eq!(c.group_commit_window_us, 250);
+        assert_eq!(c.wal_sync_delay_us, 50);
     }
 }

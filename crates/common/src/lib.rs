@@ -24,7 +24,7 @@ pub mod row;
 pub mod value;
 
 pub use clock::{MonotonicClock, SimClock};
-pub use config::EngineConfig;
+pub use config::{EngineConfig, WalFsyncMode};
 pub use cost::Cost;
 pub use error::{Error, Result};
 pub use hash::{fnv1a64, StmtHash};

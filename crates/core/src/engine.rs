@@ -1,6 +1,7 @@
 //! The engine facade: sessions, the sensor-instrumented statement path, and
 //! the administration surface used by the daemon and analyzer.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -8,17 +9,21 @@ use std::time::Duration;
 use ingot_catalog::{Catalog, SharedCatalog, StorageStructure};
 use ingot_common::{
     Column, Cost, EngineConfig, Error, IndexId, MonotonicClock, Result, Row, Schema, SessionId,
-    SimClock, StmtHash, TableId, TxnId, Value,
+    SimClock, StmtHash, TableId, TxnId, Value, WalFsyncMode,
 };
 use ingot_executor::{
-    execute_plan, execute_plan_traced, execute_statement, execute_statement_traced,
+    execute_plan, execute_plan_traced, execute_statement_observed,
+    execute_statement_traced_observed, DmlObserver,
 };
 use ingot_planner::{
     normalize_template, optimize, BindArtifacts, Binder, BoundStatement, CachedPlan,
     OptimizerOptions, PlanCache, PlanCacheStats, PlannedStatement,
 };
 use ingot_sql::{param_count, parse_statement, ColumnDef, Statement};
-use ingot_storage::{BufferStats, IoStats, StorageEngine};
+use ingot_storage::{
+    decode_row, encode_row, BufferStats, IoStats, Lsn, RowId, StorageEngine, Wal, WalEntry,
+    WalRecord, WalStats,
+};
 use ingot_trace::{
     render_operator_tree, MetricKind, MetricsSnapshot, Sample, Stage, TraceBuilder, TraceConfig,
     Tracer,
@@ -28,7 +33,7 @@ use parking_lot::Mutex;
 
 use crate::ima::{
     register_concurrency_tables, register_ima_tables, register_monitor_health_table,
-    register_plan_cache_table, register_trace_tables,
+    register_plan_cache_table, register_trace_tables, register_wal_table,
 };
 use crate::monitor::{
     AttributeDetail, IndexDetail, Monitor, StatSample, StatementSensor, TableDetail,
@@ -98,6 +103,29 @@ pub struct EstimateResult {
     pub probe_io: u64,
 }
 
+/// One transaction's write-side state: whether a `Begin` record was appended
+/// to the WAL (first mutation does it lazily) and the logical undo operations
+/// that reverse its applied mutations on abort.
+#[derive(Debug, Default)]
+struct TxnUndo {
+    began: bool,
+    ops: Vec<UndoOp>,
+}
+
+/// The logical inverse of one applied DML mutation. Rows are identified by
+/// image, not by row id: row ids move when updates relocate tuples, but at
+/// the moment an undo op is applied (newest first, under the transaction's
+/// exclusive table locks) the recorded image is guaranteed present.
+#[derive(Debug)]
+enum UndoOp {
+    /// Inverse of INSERT: delete the row currently holding this image.
+    Insert { table: TableId, row: Row },
+    /// Inverse of DELETE: restore the deleted image.
+    Delete { table: TableId, row: Row },
+    /// Inverse of UPDATE: find the post-image, rewrite it to the pre-image.
+    Update { table: TableId, new: Row, old: Row },
+}
+
 /// An Ingot engine instance: one database, one buffer pool, optional
 /// integrated monitoring.
 pub struct Engine {
@@ -105,6 +133,7 @@ pub struct Engine {
     sim_clock: SimClock,
     wall: MonotonicClock,
     storage: StorageEngine,
+    wal: Arc<Wal>,
     catalog: SharedCatalog,
     monitor: Option<Arc<Monitor>>,
     tracer: Option<Arc<Tracer>>,
@@ -113,6 +142,10 @@ pub struct Engine {
     sessions: Arc<SessionCounters>,
     plan_cache: Arc<PlanCache>,
     statements_executed: AtomicU64,
+    /// Per-transaction WAL/undo state, keyed by live transaction id.
+    undo: Mutex<HashMap<TxnId, TxnUndo>>,
+    /// Serialises [`Engine::checkpoint`] callers (daemon + admin paths).
+    checkpoint_serial: Mutex<()>,
 }
 
 /// Configures and builds an [`Engine`]. Obtained via [`Engine::builder`].
@@ -179,23 +212,52 @@ impl EngineBuilder {
         self
     }
 
-    /// Build the engine. Fails when both a path and a backend were given, or
-    /// when opening a file-backed store fails.
+    /// Build the engine. Fails when both a path and a backend were given,
+    /// when the durability configuration is inconsistent, when opening a
+    /// file-backed store fails, or when crash recovery finds a log that
+    /// contradicts the checkpoint image.
     pub fn build(self) -> Result<Arc<Engine>> {
         if self.backend.is_some() && self.path.is_some() {
             return Err(Error::unsupported(
                 "EngineBuilder: .path() and .backend() are mutually exclusive",
             ));
         }
+        if self.config.wal_fsync_mode == WalFsyncMode::Group
+            && self.config.group_commit_window_us == 0
+        {
+            return Err(Error::unsupported(
+                "EngineBuilder: wal_fsync_mode=group needs group_commit_window_us > 0 \
+                 (use wal_fsync_mode=always for one unbatched fsync per commit)",
+            ));
+        }
         let clock = self.clock.unwrap_or_default();
-        let storage = if let Some(dir) = self.path {
-            StorageEngine::file_backed(dir, &self.config, clock.clone())?
+        let (storage, wal) = if let Some(dir) = self.path {
+            // Crash recovery, part 1: restore the page files to the last
+            // durable checkpoint (recovery manifest), then open the WAL,
+            // salvaging its valid prefix and truncating any torn tail.
+            // Part 2 — replaying committed transactions on top of the
+            // checkpoint image — runs below, once an engine exists to
+            // re-execute replayed DDL.
+            ingot_storage::recover(&dir)?;
+            let wal = Wal::open_in_dir(&dir, &self.config)?;
+            (
+                StorageEngine::file_backed(dir, &self.config, clock.clone())?,
+                wal,
+            )
         } else if let Some(backend) = self.backend {
-            StorageEngine::with_backend(backend, &self.config, clock.clone())
+            (
+                StorageEngine::with_backend(backend, &self.config, clock.clone()),
+                Wal::in_memory(&self.config),
+            )
         } else {
-            StorageEngine::in_memory(&self.config, clock.clone())
+            (
+                StorageEngine::in_memory(&self.config, clock.clone()),
+                Wal::in_memory(&self.config),
+            )
         };
-        Engine::with_storage(self.config, clock, storage)
+        let engine = Engine::with_storage(self.config, clock, storage, wal)?;
+        engine.replay_wal()?;
+        Ok(engine)
     }
 }
 
@@ -268,9 +330,17 @@ impl Engine {
         config: EngineConfig,
         sim_clock: SimClock,
         storage: StorageEngine,
+        wal: Wal,
     ) -> Result<Arc<Engine>> {
         let wall = MonotonicClock::new();
+        let wal = Arc::new(wal);
         let mut catalog = Catalog::new(Arc::clone(storage.pool()), config.heap_main_pages);
+        // Crash recovery, part 2a: re-attach the schema recorded in the
+        // checkpoint manifest so WAL replay (part 2b, in `build`) finds its
+        // tables. Base tables come back before any `ima$…` registration.
+        if let Some(blob) = storage.checkpoint_meta()? {
+            catalog.attach_schema(&blob)?;
+        }
         let monitor = config
             .monitor_enabled
             .then(|| Arc::new(Monitor::new(&config, wall)));
@@ -297,6 +367,7 @@ impl Engine {
             register_monitor_health_table(&mut catalog, m)?;
             register_concurrency_tables(&mut catalog, &locks, &txns, &sessions)?;
             register_plan_cache_table(&mut catalog, &plan_cache)?;
+            register_wal_table(&mut catalog, &wal)?;
         }
         if let Some(t) = &tracer {
             register_trace_tables(&mut catalog, t)?;
@@ -310,11 +381,112 @@ impl Engine {
             sim_clock,
             wall,
             storage,
+            wal,
             catalog: SharedCatalog::new(catalog),
             monitor,
             tracer,
             config,
+            undo: Mutex::new(HashMap::new()),
+            checkpoint_serial: Mutex::new(()),
         }))
+    }
+
+    /// Crash recovery, part 2b: replay the salvaged WAL on top of the
+    /// checkpoint image — all DDL, plus the data mutations of transactions
+    /// whose `Commit` record reached the disk. Loser transactions (no commit
+    /// record) are discarded: the no-steal buffer pool guarantees none of
+    /// their pages were flushed, so skipping their records *is* the undo.
+    /// Runs exactly once, from [`EngineBuilder::build`].
+    fn replay_wal(self: &Arc<Self>) -> Result<()> {
+        let entries = self.wal.take_recovered();
+        if entries.is_empty() {
+            return Ok(());
+        }
+        // Records at or below the newest Checkpoint record whose epoch made
+        // it into the recovery manifest are already reflected in the page
+        // files (a crash between manifest install and log truncation leaves
+        // both the checkpoint record and everything before it in the log).
+        let installed = self.storage.checkpoint_epoch();
+        let mut low_water: Lsn = 0;
+        let mut committed: HashSet<TxnId> = HashSet::new();
+        for e in &entries {
+            match e.record {
+                WalRecord::Checkpoint { epoch } if epoch <= installed => {
+                    low_water = low_water.max(e.lsn);
+                }
+                WalRecord::Commit { txn } => {
+                    committed.insert(txn);
+                }
+                _ => {}
+            }
+        }
+        self.wal.set_replaying(true);
+        let replayed = self.replay_entries(&entries, low_water, &committed);
+        self.wal.set_replaying(false);
+        let (records, txns) = replayed?;
+        self.wal.record_replay(records, txns);
+        Ok(())
+    }
+
+    fn replay_entries(
+        self: &Arc<Self>,
+        entries: &[WalEntry],
+        low_water: Lsn,
+        committed: &HashSet<TxnId>,
+    ) -> Result<(u64, u64)> {
+        let session = self.open_session();
+        let mut records = 0u64;
+        let mut txns: HashSet<TxnId> = HashSet::new();
+        for e in entries.iter().filter(|e| e.lsn > low_water) {
+            match &e.record {
+                // Transaction bookkeeping carries no data to redo.
+                WalRecord::Begin { .. }
+                | WalRecord::Commit { .. }
+                | WalRecord::Abort { .. }
+                | WalRecord::Checkpoint { .. } => {}
+                // DDL is logged only after it succeeded originally, so
+                // re-executing it must succeed too; a failure means log and
+                // checkpoint image disagree, and replay stops loudly rather
+                // than continue against a wrong schema.
+                WalRecord::Ddl { sql } => {
+                    session.execute(sql).map_err(|err| {
+                        Error::storage(format!("WAL replay: DDL `{sql}` failed: {err}"))
+                    })?;
+                    records += 1;
+                }
+                WalRecord::Insert { txn, table, row } if committed.contains(txn) => {
+                    let catalog = self.catalog.read();
+                    let id = catalog.resolve_table(table)?;
+                    catalog.insert_row(id, &decode_row(row)?)?;
+                    records += 1;
+                    txns.insert(*txn);
+                }
+                WalRecord::Delete { txn, table, old } if committed.contains(txn) => {
+                    let catalog = self.catalog.read();
+                    let id = catalog.resolve_table(table)?;
+                    let rid = find_row_by_image(&catalog, id, &decode_row(old)?)?;
+                    catalog.delete_row(id, rid)?;
+                    records += 1;
+                    txns.insert(*txn);
+                }
+                WalRecord::Update {
+                    txn,
+                    table,
+                    old,
+                    new,
+                } if committed.contains(txn) => {
+                    let catalog = self.catalog.read();
+                    let id = catalog.resolve_table(table)?;
+                    let rid = find_row_by_image(&catalog, id, &decode_row(old)?)?;
+                    catalog.update_row(id, rid, &decode_row(new)?)?;
+                    records += 1;
+                    txns.insert(*txn);
+                }
+                // A data record of a loser transaction: discard.
+                WalRecord::Insert { .. } | WalRecord::Delete { .. } | WalRecord::Update { .. } => {}
+            }
+        }
+        Ok((records, txns.len() as u64))
     }
 
     /// Open a session.
@@ -413,15 +585,50 @@ impl Engine {
     }
 
     /// Flush all dirty pages to the storage backend.
+    ///
+    /// Prefer [`Engine::checkpoint`]: a bare flush between checkpoints writes
+    /// pages the recovery manifest does not describe, and crash recovery
+    /// truncates data files back to the manifest state before replaying the
+    /// WAL — redo correctness assumes pages move to disk only at checkpoints.
+    /// Kept for buffer-pool experiments and tests.
     pub fn flush(&self) -> Result<()> {
         self.storage.flush()
     }
 
-    /// Flush every dirty page, then durably checkpoint the backend (fsync +
-    /// recovery manifest for file-backed engines). Returns the checkpoint
-    /// epoch (0 for backends without checkpoints).
+    /// Take a durable checkpoint: quiesce DML, cut the WAL, flush every dirty
+    /// page, install the recovery manifest (with an embedded schema snapshot)
+    /// and truncate the log to the cut. Returns the checkpoint epoch (0 for
+    /// backends without checkpoints).
+    ///
+    /// The quiesce step waits (bounded) for in-flight transactions to drain
+    /// while parking new `begin`s, so the flushed pages and the WAL
+    /// truncation point describe the same instant. A caller holding an open
+    /// explicit transaction on the same thread would deadlock the drain and
+    /// gets the quiesce timeout error instead.
     pub fn checkpoint(&self) -> Result<u64> {
-        self.storage.checkpoint()
+        let _one_at_a_time = self.checkpoint_serial.lock();
+        let _quiesced = self.txns.quiesce(Duration::from_secs(5))?;
+        let epoch = self.storage.checkpoint_epoch() + 1;
+        let cut = self.wal.append(&WalRecord::Checkpoint { epoch })?;
+        self.wal.sync_to(cut)?;
+        let schema = self.catalog.read().dump_schema();
+        let installed = self.storage.checkpoint(&schema)?;
+        // Everything at or below `cut` is now redundant. A crash inside
+        // truncation leaves the full old log, which replay tolerates: the
+        // manifest's epoch marks `cut` as the low-water mark.
+        self.wal.truncate_to(cut, epoch)?;
+        Ok(installed)
+    }
+
+    /// The write-ahead log: crash scripting (fault plans), LSN watermarks
+    /// and counters.
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
+    }
+
+    /// WAL counter snapshot (also queryable as `ima$wal`).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
     }
 
     /// Total data pages (tables + indexes) — the Fig 7 size metric.
@@ -611,6 +818,46 @@ impl Engine {
                 Sample::labelled(vec![("kind".into(), "capacity".into())], pc.capacity as f64),
             ],
         );
+        let wal = self.wal.stats();
+        snap.push(
+            "ingot_wal_appends_total",
+            "WAL records appended.",
+            MetricKind::Counter,
+            vec![Sample::plain(wal.appends as f64)],
+        );
+        snap.push(
+            "ingot_wal_fsyncs_total",
+            "WAL durability barriers completed.",
+            MetricKind::Counter,
+            vec![Sample::plain(wal.fsyncs as f64)],
+        );
+        snap.push(
+            "ingot_wal_group_commit_total",
+            "Group-commit batches led and commits that rode one.",
+            MetricKind::Counter,
+            vec![
+                Sample::labelled(vec![("kind".into(), "groups".into())], wal.groups as f64),
+                Sample::labelled(
+                    vec![("kind".into(), "commits".into())],
+                    wal.grouped_commits as f64,
+                ),
+            ],
+        );
+        snap.push(
+            "ingot_wal_lsn",
+            "WAL log sequence numbers: highest appended vs highest durable.",
+            MetricKind::Gauge,
+            vec![
+                Sample::labelled(
+                    vec![("kind".into(), "current".into())],
+                    wal.current_lsn as f64,
+                ),
+                Sample::labelled(
+                    vec![("kind".into(), "durable".into())],
+                    wal.durable_lsn as f64,
+                ),
+            ],
+        );
         if let Some(m) = &self.monitor {
             snap.push(
                 "ingot_monitor_self_time_ns_total",
@@ -690,6 +937,195 @@ impl Engine {
         }
         snap
     }
+
+    // ---- transaction completion (WAL-ordered) ----------------------------
+
+    /// Record one applied data mutation of `txn`: push its logical undo and
+    /// lazily append the transaction's `Begin` WAL record on its first
+    /// mutation. The DML record itself is appended by the caller.
+    fn note_mutation(&self, txn: TxnId, op: UndoOp) -> Result<()> {
+        let need_begin = {
+            let mut undo = self.undo.lock();
+            let entry = undo.entry(txn).or_default();
+            entry.ops.push(op);
+            !std::mem::replace(&mut entry.began, true)
+        };
+        if need_begin {
+            self.wal.append(&WalRecord::Begin { txn })?;
+        }
+        Ok(())
+    }
+
+    /// Commit `txn` in WAL order: append the `Commit` record and wait for
+    /// the configured durability barrier *before* releasing any lock or
+    /// counting the commit. A barrier failure (log fault, power-cut script)
+    /// means the commit cannot be acknowledged: the transaction's changes
+    /// are rolled back and the error propagates to the caller.
+    fn commit_txn(&self, txn: TxnId) -> Result<()> {
+        let logged = self.undo.lock().get(&txn).is_some_and(|u| u.began);
+        if logged && !self.wal.is_replaying() {
+            let durable = self
+                .wal
+                .append(&WalRecord::Commit { txn })
+                .and_then(|lsn| self.wal.commit_barrier(lsn));
+            if let Err(e) = durable {
+                self.abort_txn(txn);
+                return Err(e);
+            }
+        }
+        self.undo.lock().remove(&txn);
+        self.locks.release_all(txn);
+        self.txns.commit(txn);
+        Ok(())
+    }
+
+    /// Abort `txn`: reverse its applied mutations (logical undo, newest
+    /// first), append a best-effort `Abort` record and release its locks.
+    /// Infallible — abort runs from error paths and `Drop`, which cannot
+    /// propagate. An undo failure is tolerable because the WAL, which holds
+    /// no `Commit` record for `txn`, stays the authority on the next
+    /// recovery; the `Abort` record is purely diagnostic.
+    fn abort_txn(&self, txn: TxnId) {
+        if let Some(undo) = self.undo.lock().remove(&txn) {
+            let catalog = self.catalog.read();
+            for op in undo.ops.into_iter().rev() {
+                let _ = apply_undo(&catalog, op);
+            }
+            if undo.began && !self.wal.is_replaying() {
+                let _ = self.wal.append(&WalRecord::Abort { txn });
+            }
+        }
+        self.locks.release_all(txn);
+        self.txns.abort(txn);
+    }
+}
+
+/// Apply one logical undo operation against a catalog snapshot. The owning
+/// transaction still holds exclusive locks on every touched table, so the
+/// image lookups cannot race with other writers.
+fn apply_undo(catalog: &Catalog, op: UndoOp) -> Result<()> {
+    match op {
+        UndoOp::Insert { table, row } => {
+            let rid = find_row_by_image(catalog, table, &row)?;
+            catalog.delete_row(table, rid)
+        }
+        UndoOp::Delete { table, row } => catalog.insert_row(table, &row).map(|_| ()),
+        UndoOp::Update { table, new, old } => {
+            let rid = find_row_by_image(catalog, table, &new)?;
+            catalog.update_row(table, rid, &old).map(|_| ())
+        }
+    }
+}
+
+/// Locate the row currently holding exactly `image`. WAL replay and logical
+/// undo identify Delete/Update targets by image because physical row ids are
+/// not stable across recovery (or across row-moving updates). Identical
+/// duplicate rows are interchangeable, so matching the first is sound.
+/// Strict on absence: a missing image means the log and the data pages
+/// disagree, which must surface, not be papered over.
+fn find_row_by_image(catalog: &Catalog, table: TableId, image: &Row) -> Result<RowId> {
+    let entry = catalog.table(table)?;
+    for item in entry.heap.scan() {
+        let (rid, row) = item?;
+        if row == *image {
+            return Ok(rid);
+        }
+    }
+    Err(Error::storage(format!(
+        "no row in '{}' matches the logged image",
+        entry.meta.name
+    )))
+}
+
+/// Observes each applied DML mutation on behalf of one transaction: pushes
+/// its logical undo and appends the matching WAL record. Inserted/updated
+/// images are re-read from the heap so the log carries exactly the stored
+/// (schema-coerced) representation; pre-images arrive already canonical
+/// because the executor read them from the heap.
+struct WalDmlObserver<'a> {
+    engine: &'a Engine,
+    catalog: &'a Catalog,
+    txn: TxnId,
+}
+
+impl WalDmlObserver<'_> {
+    fn table_name(&self, table: TableId) -> Result<String> {
+        Ok(self.catalog.table(table)?.meta.name.clone())
+    }
+
+    fn stored_image(&self, table: TableId, rid: RowId) -> Result<Row> {
+        self.catalog.table(table)?.heap.get(rid)
+    }
+}
+
+impl DmlObserver for WalDmlObserver<'_> {
+    fn on_insert(&self, table: TableId, rid: RowId, _row: &Row) -> Result<()> {
+        if self.engine.wal.is_replaying() {
+            return Ok(());
+        }
+        let image = self.stored_image(table, rid)?;
+        self.engine.note_mutation(
+            self.txn,
+            UndoOp::Insert {
+                table,
+                row: image.clone(),
+            },
+        )?;
+        self.engine.wal.append(&WalRecord::Insert {
+            txn: self.txn,
+            table: self.table_name(table)?,
+            row: encode_row(&image),
+        })?;
+        Ok(())
+    }
+
+    fn on_delete(&self, table: TableId, _rid: RowId, old: &Row) -> Result<()> {
+        if self.engine.wal.is_replaying() {
+            return Ok(());
+        }
+        self.engine.note_mutation(
+            self.txn,
+            UndoOp::Delete {
+                table,
+                row: old.clone(),
+            },
+        )?;
+        self.engine.wal.append(&WalRecord::Delete {
+            txn: self.txn,
+            table: self.table_name(table)?,
+            old: encode_row(old),
+        })?;
+        Ok(())
+    }
+
+    fn on_update(
+        &self,
+        table: TableId,
+        _old_rid: RowId,
+        new_rid: RowId,
+        old: &Row,
+        _new: &Row,
+    ) -> Result<()> {
+        if self.engine.wal.is_replaying() {
+            return Ok(());
+        }
+        let new_image = self.stored_image(table, new_rid)?;
+        self.engine.note_mutation(
+            self.txn,
+            UndoOp::Update {
+                table,
+                new: new_image.clone(),
+                old: old.clone(),
+            },
+        )?;
+        self.engine.wal.append(&WalRecord::Update {
+            txn: self.txn,
+            table: self.table_name(table)?,
+            old: encode_row(old),
+            new: encode_row(&new_image),
+        })?;
+        Ok(())
+    }
 }
 
 /// A connection to the engine. Statements auto-commit unless an explicit
@@ -703,8 +1139,9 @@ pub struct Session {
 impl Drop for Session {
     fn drop(&mut self) {
         if let Some(txn) = self.txn.lock().take() {
-            self.engine.locks.release_all(txn);
-            self.engine.txns.abort(txn);
+            // An open transaction dropped without commit aborts: its data
+            // changes are reversed and its locks release.
+            self.engine.abort_txn(txn);
         }
         self.engine.sessions.close();
     }
@@ -731,29 +1168,30 @@ impl Session {
         Ok(())
     }
 
-    /// Commit the open transaction.
+    /// Commit the open transaction. The WAL `Commit` record reaches the
+    /// configured durability barrier *before* any lock is released or the
+    /// commit acknowledged; on a barrier failure the transaction is rolled
+    /// back instead and the error returned — an un-durable commit is never
+    /// acknowledged.
     pub fn commit(&self) -> Result<()> {
         let txn = self
             .txn
             .lock()
             .take()
             .ok_or_else(|| Error::execution("no open transaction"))?;
-        self.engine.locks.release_all(txn);
-        self.engine.txns.commit(txn);
-        Ok(())
+        self.engine.commit_txn(txn)
     }
 
-    /// Roll back the open transaction. (Locks release; data changes are NOT
-    /// undone — like the paper's prototype, the engine is not a full ARIES
-    /// implementation. Documented in DESIGN.md.)
+    /// Roll back the open transaction: its data changes are reversed
+    /// (logical undo, newest first), an `Abort` record is logged and its
+    /// locks release.
     pub fn rollback(&self) -> Result<()> {
         let txn = self
             .txn
             .lock()
             .take()
             .ok_or_else(|| Error::execution("no open transaction"))?;
-        self.engine.locks.release_all(txn);
-        self.engine.txns.abort(txn);
+        self.engine.abort_txn(txn);
         Ok(())
     }
 
@@ -773,6 +1211,42 @@ impl Session {
             text: sql.to_owned(),
             param_count: param_count(&stmt),
         })
+    }
+
+    /// Insert one already-typed row into `table`, bypassing SQL but using
+    /// the same locking, WAL and undo path as `INSERT`. The storage daemon's
+    /// workload-DB writer batches thousands of rows per poll through this —
+    /// one parse-free call each inside a single explicit transaction, so the
+    /// whole batch rides one durability barrier at commit.
+    pub fn insert_direct(&self, table: &str, row: &Row) -> Result<RowId> {
+        let engine = &*self.engine;
+        let id = engine.catalog.read().resolve_table(table)?;
+        let (txn, auto) = self.current_txn();
+        if let Err(e) = engine
+            .locks
+            .lock(txn, Resource::Table(id), LockMode::Exclusive)
+        {
+            if auto {
+                let _ = self.finish_auto_txn(txn, false);
+            }
+            return Err(e);
+        }
+        let catalog = engine.catalog.read();
+        let result = catalog.insert_row(id, row).and_then(|rid| {
+            let observer = WalDmlObserver {
+                engine,
+                catalog: &catalog,
+                txn,
+            };
+            observer.on_insert(id, rid, row)?;
+            Ok(rid)
+        });
+        drop(catalog);
+        if auto {
+            let fin = self.finish_auto_txn(txn, result.is_ok());
+            return result.and_then(|r| fin.map(|()| r));
+        }
+        result
     }
 
     fn execute_with_params(&self, sql: &str, params: &[Value]) -> Result<StatementResult> {
@@ -823,8 +1297,7 @@ impl Session {
                 // statements); a deadlock victim's transaction is aborted.
                 if matches!(e, Error::Deadlock { .. }) {
                     if let Some(txn) = self.txn.lock().take() {
-                        self.engine.locks.release_all(txn);
-                        self.engine.txns.abort(txn);
+                        self.engine.abort_txn(txn);
                     }
                 }
                 Err(e)
@@ -940,6 +1413,16 @@ impl Session {
             dml => self.run_dml(sql, &dml, params, sensor, trace),
         };
         if invalidates_plans && result.is_ok() {
+            // Schema changes are redone from the log on recovery, so the
+            // record is appended only once the DDL *succeeded* (a failed
+            // statement must never replay) and is made durable before the
+            // statement is acknowledged. Suppressed during replay itself.
+            if !engine.wal.is_replaying() {
+                let lsn = engine.wal.append(&WalRecord::Ddl {
+                    sql: sql.to_owned(),
+                })?;
+                engine.wal.commit_barrier(lsn)?;
+            }
             engine.plan_cache.invalidate_all();
         }
         result
@@ -1086,14 +1569,15 @@ impl Session {
             let locked = self.engine.locks.lock(txn, Resource::Table(id), mode);
             if let Err(e) = locked {
                 if auto {
-                    self.finish_auto_txn(txn, false);
+                    let _ = self.finish_auto_txn(txn, false);
                 }
                 return Err(e);
             }
         }
         let out = f(&self.engine);
         if auto {
-            self.finish_auto_txn(txn, out.is_ok());
+            let fin = self.finish_auto_txn(txn, out.is_ok());
+            return out.and_then(|r| fin.map(|()| r));
         }
         out
     }
@@ -1105,12 +1589,15 @@ impl Session {
         }
     }
 
-    fn finish_auto_txn(&self, txn: TxnId, ok: bool) {
-        self.engine.locks.release_all(txn);
+    /// Close an auto-commit transaction. Commit goes through the WAL
+    /// durability barrier; its error (a commit that cannot be acknowledged)
+    /// must replace an otherwise-successful statement result.
+    fn finish_auto_txn(&self, txn: TxnId, ok: bool) -> Result<()> {
         if ok {
-            self.engine.txns.commit(txn);
+            self.engine.commit_txn(txn)
         } else {
-            self.engine.txns.abort(txn);
+            self.engine.abort_txn(txn);
+            Ok(())
         }
     }
 
@@ -1209,7 +1696,7 @@ impl Session {
         let (txn, auto) = self.current_txn();
         if let Err(e) = self.acquire_locks(txn, &lock_spec) {
             if auto {
-                self.finish_auto_txn(txn, false);
+                let _ = self.finish_auto_txn(txn, false);
             }
             return Err(e);
         }
@@ -1223,13 +1710,14 @@ impl Session {
         // concurrently against their own snapshots.
         let exec_t0 = engine.wall.now_nanos();
         let catalog = engine.catalog.read();
-        let exec_result = self.execute_planned(&catalog, &planned, trace);
+        let exec_result = self.execute_planned(&catalog, &planned, txn, trace);
         drop(catalog);
         if let Some(tb) = trace.as_mut() {
             tb.stage(Stage::Execute, engine.wall.now_nanos() - exec_t0);
         }
         if auto {
-            self.finish_auto_txn(txn, exec_result.is_ok());
+            let fin = self.finish_auto_txn(txn, exec_result.is_ok());
+            return exec_result.and_then(|r| fin.map(|()| r));
         }
         exec_result
     }
@@ -1260,7 +1748,7 @@ impl Session {
         let (txn, auto) = self.current_txn();
         if let Err(e) = self.acquire_locks(txn, &cached.lock_spec) {
             if auto {
-                self.finish_auto_txn(txn, false);
+                let _ = self.finish_auto_txn(txn, false);
             }
             return Err(e);
         }
@@ -1272,7 +1760,7 @@ impl Session {
             // The next probe of this template drops the stale entry.
             drop(catalog);
             if auto {
-                self.finish_auto_txn(txn, true);
+                self.finish_auto_txn(txn, true)?;
             }
             let stmt = parse_statement(sql)?;
             return self.run_dml(sql, &stmt, params, sensor, trace);
@@ -1300,24 +1788,26 @@ impl Session {
             monitor.optimized(s, planned.estimated_cost(), used, 0, 0);
         }
 
-        let exec_result = self.execute_planned(&catalog, &planned, trace);
+        let exec_result = self.execute_planned(&catalog, &planned, txn, trace);
         drop(catalog);
         if let Some(tb) = trace.as_mut() {
             tb.stage(Stage::Execute, engine.wall.now_nanos() - exec_t0);
         }
         if auto {
-            self.finish_auto_txn(txn, exec_result.is_ok());
+            let fin = self.finish_auto_txn(txn, exec_result.is_ok());
+            return exec_result.and_then(|r| fin.map(|()| r));
         }
         exec_result
     }
 
     /// The shared execution tail of the fresh and cached plan paths: run the
     /// (fully substituted) plan against `catalog`, collecting operator spans
-    /// when tracing.
+    /// when tracing. DML mutations are observed by `txn`'s WAL/undo recorder.
     fn execute_planned(
         &self,
         catalog: &Catalog,
         planned: &PlannedStatement,
+        txn: TxnId,
         trace: &mut Option<TraceBuilder>,
     ) -> Result<StatementResult> {
         let engine = &*self.engine;
@@ -1340,13 +1830,20 @@ impl Session {
                 })
             }
             dml => {
+                let observer = WalDmlObserver {
+                    engine,
+                    catalog,
+                    txn,
+                };
                 let traced = if let Some(tb) = trace.as_mut() {
-                    execute_statement_traced(catalog, dml, engine.wall).map(|(o, spans)| {
-                        tb.set_ops(spans);
-                        o
-                    })
+                    execute_statement_traced_observed(catalog, dml, engine.wall, &observer).map(
+                        |(o, spans)| {
+                            tb.set_ops(spans);
+                            o
+                        },
+                    )
                 } else {
-                    execute_statement(catalog, dml)
+                    execute_statement_observed(catalog, dml, &observer)
                 };
                 traced.map(|o| StatementResult {
                     rows: o.rows,
@@ -1380,27 +1877,38 @@ impl Session {
         let (txn, auto) = self.current_txn();
         if let Err(e) = self.acquire_locks(txn, &lock_spec(&bound)) {
             if auto {
-                self.finish_auto_txn(txn, false);
+                let _ = self.finish_auto_txn(txn, false);
             }
             return Err(e);
         }
 
         let exec_t0 = engine.wall.now_nanos();
         // Same discipline as `run_dml`: snapshot after locks, no engine lock
-        // held across execution.
+        // held across execution. EXPLAIN ANALYZE executes DML for real, so
+        // its mutations are WAL-observed like any other statement.
         let catalog = engine.catalog.read();
         let exec_result = match &planned {
             PlannedStatement::Query(q) => execute_plan_traced(&catalog, &q.root, engine.wall)
                 .map(|(r, spans)| (r.tuples, 0u64, spans)),
-            dml => execute_statement_traced(&catalog, dml, engine.wall)
-                .map(|(o, spans)| (o.tuples, o.affected, spans)),
+            dml => {
+                let observer = WalDmlObserver {
+                    engine,
+                    catalog: &catalog,
+                    txn,
+                };
+                execute_statement_traced_observed(&catalog, dml, engine.wall, &observer)
+                    .map(|(o, spans)| (o.tuples, o.affected, spans))
+            }
         };
         drop(catalog);
         if let Some(tb) = trace.as_mut() {
             tb.stage(Stage::Execute, engine.wall.now_nanos() - exec_t0);
         }
         if auto {
-            self.finish_auto_txn(txn, exec_result.is_ok());
+            let fin = self.finish_auto_txn(txn, exec_result.is_ok());
+            if exec_result.is_ok() {
+                fin?;
+            }
         }
         let (tuples, affected, spans) = exec_result?;
 

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use ingot_catalog::Catalog;
 use ingot_common::{Column, DataType, Result, Row, Schema, Value};
 use ingot_planner::PlanCache;
+use ingot_storage::Wal;
 use ingot_trace::Tracer;
 use ingot_txn::{LockManager, LockMode, Resource, TxnManager};
 
@@ -404,6 +405,56 @@ pub fn register_plan_cache_table(catalog: &mut Catalog, cache: &Arc<PlanCache>) 
                 v_int(s.invalidations),
                 v_int(s.entries),
                 v_int(s.capacity),
+            ])]
+        }),
+    )?;
+    Ok(())
+}
+
+/// Register `ima$wal`: a single-row snapshot of the write-ahead log — LSN
+/// watermarks (appended / durable / truncation low-water), append and fsync
+/// totals, group-commit batching effectiveness, and the salvage/replay
+/// tallies of the last crash recovery. Reads atomics plus one short-lived
+/// internal mutex; querying it never touches the log file.
+pub fn register_wal_table(catalog: &mut Catalog, wal: &Arc<Wal>) -> Result<()> {
+    let w = Arc::clone(wal);
+    catalog.register_virtual_table(
+        "ima$wal",
+        Schema::new(vec![
+            Column::not_null("fsync_mode", DataType::Str),
+            Column::new("current_lsn", DataType::Int),
+            Column::new("durable_lsn", DataType::Int),
+            Column::new("low_water_lsn", DataType::Int),
+            Column::new("appends", DataType::Int),
+            Column::new("bytes_written", DataType::Int),
+            Column::new("fsyncs", DataType::Int),
+            Column::new("truncations", DataType::Int),
+            Column::new("groups", DataType::Int),
+            Column::new("grouped_commits", DataType::Int),
+            Column::new("max_group", DataType::Int),
+            Column::new("recovered_records", DataType::Int),
+            Column::new("replayed_records", DataType::Int),
+            Column::new("replayed_txns", DataType::Int),
+            Column::new("discarded_bytes", DataType::Int),
+        ]),
+        Arc::new(move || {
+            let s = w.stats();
+            vec![Row::new(vec![
+                Value::Str(w.mode().to_string()),
+                v_int(s.current_lsn),
+                v_int(s.durable_lsn),
+                v_int(s.low_water_lsn),
+                v_int(s.appends),
+                v_int(s.bytes_written),
+                v_int(s.fsyncs),
+                v_int(s.truncations),
+                v_int(s.groups),
+                v_int(s.grouped_commits),
+                v_int(s.max_group),
+                v_int(s.recovered_records),
+                v_int(s.replayed_records),
+                v_int(s.replayed_txns),
+                v_int(s.discarded_bytes),
             ])]
         }),
     )?;

@@ -51,24 +51,19 @@ pub const WL_TABLES: &[&str] = &[
 
 /// Append cursor: what has already been copied out of the monitor.
 ///
-/// Every cursor advances only *after* the corresponding insert succeeds, so
-/// a mid-batch failure (I/O fault, crash of the workload DB) never skips
-/// rows: the daemon's retry re-enters [`WorkloadDb::append_from`] and picks
-/// up exactly where the failed batch stopped.
-#[derive(Default)]
+/// Each poll's batch runs inside one workload-DB transaction, so it is
+/// all-or-nothing: a mid-batch failure (I/O fault, crash) rolls the rows
+/// back, the cursors stay unpublished, and the daemon's retry re-enters
+/// [`WorkloadDb::append_from`] to append the whole batch again — no
+/// duplicates, no gaps. (The pre-WAL positional mid-batch cursor is gone:
+/// transactional rollback plus log replay made it redundant.)
+#[derive(Clone, Default)]
 struct AppendState {
     last_workload_seq: Option<u64>,
     /// Last appended frequency per statement hash.
     stmt_freq: HashMap<StmtHash, u64>,
     refs_seen: HashSet<(StmtHash, &'static str, u64)>,
     last_stat_ns: u64,
-    /// Mid-batch progress through the object-snapshot section (tables,
-    /// indexes, attributes — appended unconditionally each poll): the
-    /// timestamp being appended and how many snapshot rows already landed.
-    /// Present only while an `append_from` for that timestamp failed
-    /// partway; cleared when the batch completes so the next poll appends
-    /// a full snapshot again.
-    objects_done: Option<(u64, usize)>,
 }
 
 /// The workload database. Wraps a dedicated (non-monitored) engine instance.
@@ -128,8 +123,9 @@ impl WorkloadDb {
     /// Inspect and repair a file-backed workload DB directory after a
     /// crash: pages past the last durable checkpoint whose checksums do not
     /// match (torn writes) are truncated away, and partial trailing pages
-    /// are dropped. Run this *before* [`WorkloadDb::file_backed`] reopens
-    /// the directory; the returned report says how many rows survived.
+    /// are dropped. [`WorkloadDb::file_backed`] already runs this (plus WAL
+    /// replay of committed appends) when it reopens a directory; calling it
+    /// directly is useful for inspecting the page-level damage report.
     pub fn recover(dir: impl AsRef<std::path::Path>) -> Result<ingot_storage::RecoveryReport> {
         ingot_storage::recover(dir.as_ref())
     }
@@ -147,10 +143,19 @@ impl WorkloadDb {
 
     fn init(engine: Arc<Engine>) -> Result<Self> {
         {
+            // After a crash the schema may already be back: the checkpoint
+            // manifest carries it and WAL replay redoes any later DDL. Only
+            // the tables still missing are created. SCHEMA lists one CREATE
+            // per entry of WL_TABLES, in the same order.
+            let stmts: Vec<&str> = SCHEMA
+                .split(';')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            debug_assert_eq!(stmts.len(), WL_TABLES.len());
             let session = engine.open_session();
-            for stmt in SCHEMA.split(';') {
-                let stmt = stmt.trim();
-                if !stmt.is_empty() {
+            for (table, stmt) in WL_TABLES.iter().zip(&stmts) {
+                if engine.catalog().read().resolve_table(table).is_err() {
                     session.execute(stmt)?;
                 }
             }
@@ -178,32 +183,56 @@ impl WorkloadDb {
         &self.growth
     }
 
-    fn insert(&self, table: &str, row: Row) -> Result<()> {
+    /// One row into `table` through the engine's locked, WAL-observed insert
+    /// path ([`Session::insert_direct`]) — every append is redo-logged like
+    /// any other DML. Returns the row's byte size for growth accounting.
+    fn insert(&self, session: &Session, table: &str, row: Row) -> Result<u64> {
         let bytes = row.byte_size() as u64;
-        // Snapshot read: the workload DB is private to the daemon (single
-        // writer), so the `&self` insert needs no catalog write guard.
-        let catalog = self.engine.catalog().read();
-        let id = catalog.resolve_table(table)?;
-        catalog.insert_row(id, &row)?;
-        drop(catalog);
-        self.growth
-            .record_append(1, bytes, self.engine.sim_clock().now_secs());
-        Ok(())
+        session.insert_direct(table, &row)?;
+        Ok(bytes)
     }
 
     /// Copy everything new in `monitor` into the workload DB, stamping rows
-    /// with `now_secs` (simulated seconds).
+    /// with `now_secs` (simulated seconds). The whole batch runs in one
+    /// transaction: all rows ride a single WAL durability barrier at commit,
+    /// and a failure anywhere rolls the batch back so the daemon's retry
+    /// appends it in full.
     pub fn append_from(&self, monitor: &Monitor, now_secs: u64) -> Result<()> {
-        let ts = Value::Int(now_secs as i64);
         let mut state = self.state.lock();
+        // Cursors advance on a scratch copy and publish only after the
+        // transaction commits: an aborted batch must be retried in full.
+        let mut scratch = state.clone();
+        let session = self.engine.open_session();
+        session.begin()?;
+        let appended = self
+            .append_batch(&session, monitor, now_secs, &mut scratch)
+            .and_then(|totals| session.commit().map(|()| totals));
+        // On error the session drops with its transaction open, which aborts
+        // it (a failed commit already rolled back); `state` stays unchanged.
+        let (rows, bytes) = appended?;
+        *state = scratch;
+        self.growth
+            .record_append(rows, bytes, self.engine.sim_clock().now_secs());
+        Ok(())
+    }
 
-        // Statements whose frequency changed since the last poll. The
-        // cursor moves only once the row is in: a failed insert leaves the
-        // old frequency recorded, so the retry re-appends this statement.
+    fn append_batch(
+        &self,
+        session: &Session,
+        monitor: &Monitor,
+        now_secs: u64,
+        state: &mut AppendState,
+    ) -> Result<(u64, u64)> {
+        let ts = Value::Int(now_secs as i64);
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
+
+        // Statements whose frequency changed since the last poll.
         for s in monitor.statements() {
             let prev = state.stmt_freq.get(&s.hash).copied().unwrap_or(0);
             if s.frequency != prev {
-                self.insert(
+                let n = self.insert(
+                    session,
                     "wl_statements",
                     Row::new(vec![
                         Value::Str(s.hash.to_string()),
@@ -214,6 +243,8 @@ impl WorkloadDb {
                         ts.clone(),
                     ]),
                 )?;
+                bytes += n;
+                rows += 1;
                 state.stmt_freq.insert(s.hash, s.frequency);
             }
         }
@@ -223,7 +254,8 @@ impl WorkloadDb {
             if state.last_workload_seq.is_some_and(|last| w.seq <= last) {
                 continue;
             }
-            self.insert(
+            bytes += self.insert(
+                session,
                 "wl_workload",
                 Row::new(vec![
                     Value::Str(w.hash.to_string()),
@@ -241,6 +273,7 @@ impl WorkloadDb {
                     ts.clone(),
                 ]),
             )?;
+            rows += 1;
             state.last_workload_seq = Some(w.seq);
         }
 
@@ -250,7 +283,8 @@ impl WorkloadDb {
             if state.refs_seen.contains(&key) {
                 continue;
             }
-            self.insert(
+            bytes += self.insert(
+                session,
                 "wl_references",
                 Row::new(vec![
                     Value::Str(r.hash.to_string()),
@@ -260,74 +294,60 @@ impl WorkloadDb {
                     ts.clone(),
                 ]),
             )?;
+            rows += 1;
             state.refs_seen.insert(key);
         }
 
         // Object-usage snapshots: appended every poll for trend analysis.
-        // There is no natural cursor here (every poll appends a full
-        // snapshot), so a positional one tracks mid-batch progress: the
-        // monitor's iteration order is deterministic (tables, then indexes,
-        // then attributes, each sorted), and `objects_done` counts how many
-        // rows of *this* timestamp's snapshot already landed. A retry after
-        // a fault appends only the missing suffix — no duplicates, no gaps.
-        let done = match state.objects_done {
-            Some((t, n)) if t == now_secs => n,
-            _ => 0,
-        };
-        state.objects_done = Some((now_secs, done));
-        let mut idx = 0usize;
+        // No cursor needed — the enclosing transaction makes the snapshot
+        // all-or-nothing, so a faulted batch leaves no partial snapshot for
+        // the retry to complete.
         for t in monitor.tables() {
-            if idx >= done {
-                self.insert(
-                    "wl_tables",
-                    Row::new(vec![
-                        Value::Int(i64::from(t.id.raw())),
-                        Value::Str(t.name.clone()),
-                        Value::Int(t.frequency as i64),
-                        Value::Str(t.storage.clone()),
-                        Value::Int(t.data_pages as i64),
-                        Value::Int(t.overflow_pages as i64),
-                        Value::Int(t.rows as i64),
-                        ts.clone(),
-                    ]),
-                )?;
-                state.objects_done = Some((now_secs, idx + 1));
-            }
-            idx += 1;
+            bytes += self.insert(
+                session,
+                "wl_tables",
+                Row::new(vec![
+                    Value::Int(i64::from(t.id.raw())),
+                    Value::Str(t.name.clone()),
+                    Value::Int(t.frequency as i64),
+                    Value::Str(t.storage.clone()),
+                    Value::Int(t.data_pages as i64),
+                    Value::Int(t.overflow_pages as i64),
+                    Value::Int(t.rows as i64),
+                    ts.clone(),
+                ]),
+            )?;
+            rows += 1;
         }
         for i in monitor.indexes() {
-            if idx >= done {
-                self.insert(
-                    "wl_indexes",
-                    Row::new(vec![
-                        Value::Int(i64::from(i.id.raw())),
-                        Value::Str(i.name.clone()),
-                        Value::Int(i64::from(i.table.raw())),
-                        Value::Int(i.frequency as i64),
-                        Value::Int(i.pages as i64),
-                        ts.clone(),
-                    ]),
-                )?;
-                state.objects_done = Some((now_secs, idx + 1));
-            }
-            idx += 1;
+            bytes += self.insert(
+                session,
+                "wl_indexes",
+                Row::new(vec![
+                    Value::Int(i64::from(i.id.raw())),
+                    Value::Str(i.name.clone()),
+                    Value::Int(i64::from(i.table.raw())),
+                    Value::Int(i.frequency as i64),
+                    Value::Int(i.pages as i64),
+                    ts.clone(),
+                ]),
+            )?;
+            rows += 1;
         }
         for a in monitor.attributes() {
-            if idx >= done {
-                self.insert(
-                    "wl_attributes",
-                    Row::new(vec![
-                        Value::Int(i64::from(a.table.raw())),
-                        Value::Int(a.column as i64),
-                        Value::Str(a.name.clone()),
-                        Value::Int(a.frequency as i64),
-                        Value::Bool(a.has_histogram),
-                        ts.clone(),
-                    ]),
-                )?;
-                state.objects_done = Some((now_secs, idx + 1));
-            }
-            idx += 1;
+            bytes += self.insert(
+                session,
+                "wl_attributes",
+                Row::new(vec![
+                    Value::Int(i64::from(a.table.raw())),
+                    Value::Int(a.column as i64),
+                    Value::Str(a.name.clone()),
+                    Value::Int(a.frequency as i64),
+                    Value::Bool(a.has_histogram),
+                    ts.clone(),
+                ]),
+            )?;
+            rows += 1;
         }
 
         // New statistics samples.
@@ -335,7 +355,8 @@ impl WorkloadDb {
             if s.at_ns <= state.last_stat_ns {
                 continue;
             }
-            self.insert(
+            bytes += self.insert(
+                session,
                 "wl_statistics",
                 Row::new(vec![
                     Value::Int(s.at_ns as i64),
@@ -355,12 +376,11 @@ impl WorkloadDb {
                     ts.clone(),
                 ]),
             )?;
+            rows += 1;
             state.last_stat_ns = s.at_ns;
         }
 
-        // The whole batch landed: the next poll appends a fresh snapshot.
-        state.objects_done = None;
-        Ok(())
+        Ok((rows, bytes))
     }
 
     /// Append a flattened [`MetricsSnapshot`] — every sample becomes one
@@ -375,8 +395,13 @@ impl WorkloadDb {
         now_secs: u64,
     ) -> Result<()> {
         let ts = Value::Int(now_secs as i64);
+        let session = self.engine.open_session();
+        session.begin()?;
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
         for (name, labels, value) in snapshot.flatten() {
-            self.insert(
+            bytes += self.insert(
+                &session,
                 "wl_metrics",
                 Row::new(vec![
                     Value::Str(name),
@@ -385,7 +410,11 @@ impl WorkloadDb {
                     ts.clone(),
                 ]),
             )?;
+            rows += 1;
         }
+        session.commit()?;
+        self.growth
+            .record_append(rows, bytes, self.engine.sim_clock().now_secs());
         Ok(())
     }
 
@@ -418,10 +447,11 @@ impl WorkloadDb {
         Ok(self.session().execute(sql)?.rows)
     }
 
-    /// Flush dirty pages and durably checkpoint the workload DB — fsync of
-    /// every data file plus the recovery manifest (page checksums + epoch).
-    /// An acknowledged flush therefore survives a crash: `recover` restores
-    /// exactly this state, truncating any later torn writes.
+    /// Durably checkpoint the workload DB — fsync of every data file plus
+    /// the recovery manifest (page checksums + epoch + schema snapshot) and
+    /// WAL truncation to the new cut. Committed appends are already durable
+    /// the moment [`WorkloadDb::append_from`] returns (the WAL barrier);
+    /// this bounds the log's length and replay time.
     pub fn flush(&self) -> Result<()> {
         self.engine.checkpoint().map(|_| ())
     }

@@ -25,10 +25,66 @@ pub struct ExecOutcome {
     pub tuples: u64,
 }
 
+/// Row-mutation callback, invoked after each successful catalog mutation.
+///
+/// The engine uses this to write WAL records and undo entries without the
+/// executor knowing about either. An `Err` from a callback aborts the
+/// statement mid-way; the engine's transaction machinery is responsible for
+/// undoing the rows already applied (it records undo information *before*
+/// the fallible part of each callback runs).
+pub trait DmlObserver {
+    /// `row` was inserted into `table` at `rid`.
+    fn on_insert(&self, table: TableId, rid: RowId, row: &Row) -> Result<()>;
+    /// The row `old` at `rid` was deleted from `table`.
+    fn on_delete(&self, table: TableId, rid: RowId, old: &Row) -> Result<()>;
+    /// `old` at `old_rid` was rewritten to `new` at `new_rid` (the row id
+    /// moves when the update changes the primary key of a BTree table).
+    fn on_update(
+        &self,
+        table: TableId,
+        old_rid: RowId,
+        new_rid: RowId,
+        old: &Row,
+        new: &Row,
+    ) -> Result<()>;
+}
+
+/// Observer that records nothing (query paths, replay, tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl DmlObserver for NoopObserver {
+    fn on_insert(&self, _table: TableId, _rid: RowId, _row: &Row) -> Result<()> {
+        Ok(())
+    }
+    fn on_delete(&self, _table: TableId, _rid: RowId, _old: &Row) -> Result<()> {
+        Ok(())
+    }
+    fn on_update(
+        &self,
+        _table: TableId,
+        _old_rid: RowId,
+        _new_rid: RowId,
+        _old: &Row,
+        _new: &Row,
+    ) -> Result<()> {
+        Ok(())
+    }
+}
+
 /// Execute a planned statement against a catalog snapshot. DML goes through
 /// the catalog's `&self` row mutators (the storage handles are shared and
 /// internally synchronised); the caller must hold the logical table locks.
 pub fn execute_statement(catalog: &Catalog, planned: &PlannedStatement) -> Result<ExecOutcome> {
+    execute_statement_observed(catalog, planned, &NoopObserver)
+}
+
+/// [`execute_statement`] with a [`DmlObserver`] receiving every row mutation.
+pub fn execute_statement_observed(
+    catalog: &Catalog,
+    planned: &PlannedStatement,
+    observer: &dyn DmlObserver,
+) -> Result<ExecOutcome> {
     match planned {
         PlannedStatement::Query(q) => {
             let QueryResult { rows, tuples } = execute_plan(catalog, &q.root)?;
@@ -43,7 +99,8 @@ pub fn execute_statement(catalog: &Catalog, planned: &PlannedStatement) -> Resul
             match rows {
                 InsertRows::Const(rows) => {
                     for row in rows {
-                        catalog.insert_row(*table, row)?;
+                        let rid = catalog.insert_row(*table, row)?;
+                        observer.on_insert(*table, rid, row)?;
                     }
                 }
                 // Parameterised templates: values were unknown at bind time,
@@ -57,7 +114,8 @@ pub fn execute_statement(catalog: &Catalog, planned: &PlannedStatement) -> Resul
                             .map(|e| e.eval(&empty))
                             .collect::<Result<_>>()?;
                         let row = schema.check_row(&Row::new(values))?;
-                        catalog.insert_row(*table, &row)?;
+                        let rid = catalog.insert_row(*table, &row)?;
+                        observer.on_insert(*table, rid, &row)?;
                     }
                 }
             }
@@ -80,7 +138,8 @@ pub fn execute_statement(catalog: &Catalog, planned: &PlannedStatement) -> Resul
                 for (col, expr) in sets {
                     new_row.set(*col, expr.eval(&row)?);
                 }
-                catalog.update_row(*table, rid, &new_row)?;
+                let new_rid = catalog.update_row(*table, rid, &new_row)?;
+                observer.on_update(*table, rid, new_rid, &row, &new_row)?;
             }
             Ok(ExecOutcome {
                 rows: Vec::new(),
@@ -91,8 +150,9 @@ pub fn execute_statement(catalog: &Catalog, planned: &PlannedStatement) -> Resul
         PlannedStatement::Delete { table, filter, .. } => {
             let (targets, scanned) = target_rows(catalog, *table, filter.as_ref())?;
             let n = targets.len() as u64;
-            for (rid, _) in targets {
+            for (rid, old) in targets {
                 catalog.delete_row(*table, rid)?;
+                observer.on_delete(*table, rid, &old)?;
             }
             Ok(ExecOutcome {
                 rows: Vec::new(),
@@ -110,6 +170,17 @@ pub fn execute_statement_traced(
     catalog: &Catalog,
     planned: &PlannedStatement,
     clock: MonotonicClock,
+) -> Result<(ExecOutcome, Vec<OperatorSpan>)> {
+    execute_statement_traced_observed(catalog, planned, clock, &NoopObserver)
+}
+
+/// [`execute_statement_traced`] with a [`DmlObserver`] receiving every row
+/// mutation.
+pub fn execute_statement_traced_observed(
+    catalog: &Catalog,
+    planned: &PlannedStatement,
+    clock: MonotonicClock,
+    observer: &dyn DmlObserver,
 ) -> Result<(ExecOutcome, Vec<OperatorSpan>)> {
     if let PlannedStatement::Query(q) = planned {
         let (QueryResult { rows, tuples }, spans) = execute_plan_traced(catalog, &q.root, clock)?;
@@ -135,7 +206,7 @@ pub fn execute_statement_traced(
     let est = planned.estimated_cost();
     let io_before = catalog.pool().io_stats().total();
     let start_ns = clock.now_nanos();
-    let outcome = execute_statement(catalog, planned)?;
+    let outcome = execute_statement_observed(catalog, planned, observer)?;
     let elapsed_ns = clock.now_nanos().saturating_sub(start_ns);
     let pages = catalog.pool().io_stats().total().saturating_sub(io_before);
     let span = OperatorSpan {

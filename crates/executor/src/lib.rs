@@ -11,5 +11,8 @@ pub mod aggregate;
 pub mod dml;
 pub mod exec;
 
-pub use dml::{execute_statement, execute_statement_traced, ExecOutcome};
+pub use dml::{
+    execute_statement, execute_statement_observed, execute_statement_traced,
+    execute_statement_traced_observed, DmlObserver, ExecOutcome, NoopObserver,
+};
 pub use exec::{execute_plan, execute_plan_traced, QueryResult};

@@ -1,0 +1,184 @@
+#![forbid(unsafe_code)]
+//! Offline vendored shim for the `rand` crate (0.8 API subset).
+//!
+//! The Ingot build image has no network access and no cargo registry cache, so
+//! external crates are vendored as minimal local shims (see DESIGN.md §10.4).
+//! This one covers exactly what the workload generator and benches use:
+//! `rngs::SmallRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` over
+//! integer and float ranges, and `Rng::gen::<f64>()`.
+//!
+//! The generator is a SplitMix64 — deterministic, seedable, and statistically
+//! fine for synthetic workload generation. It is **not** the same stream as
+//! the real `rand::rngs::SmallRng`, so seeds produce different (but equally
+//! deterministic) workloads than they would with the registry crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Trait for seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Core randomness source (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that `Rng::gen` can produce (stand-in for the `Standard`
+/// distribution of the real crate).
+pub trait Standard: Sized {
+    /// Sample one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts (stand-in for `SampleRange`).
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Unbiased-enough sampling for workload generation: modulo reduction over a
+// 64-bit draw. Bias is < span/2^64, irrelevant at the spans Ingot uses.
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = f64::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience methods over a randomness source (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Sample a value of type `T` (e.g. `gen::<f64>()` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Small fast deterministic generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        SmallRng { state }
+    }
+}
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&u));
+            let i: i64 = rng.gen_range(-50..=50);
+            assert!((-50..=50).contains(&i));
+            let f: f64 = rng.gen_range(-2.5..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let unit: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&unit));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..200 {
+            match rng.gen_range(0u64..=3) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+}

@@ -67,6 +67,12 @@ struct PoolInner {
 
 /// An LRU page cache in front of a [`DiskBackend`], with all physical I/O
 /// priced by the [`DiskModel`].
+///
+/// Eviction is **no-steal**: dirty pages are never written back to make
+/// room, only [`BufferPool::flush_all`] (normally as part of a checkpoint)
+/// moves dirty data to the backend. This is what makes the WAL's redo-only,
+/// committed-transactions-only replay sound — a crash can never leave a
+/// loser transaction's page image on disk.
 pub struct BufferPool {
     backend: Box<dyn DiskBackend>,
     model: DiskModel,
@@ -142,31 +148,19 @@ impl BufferPool {
                 if frame.gen != gen {
                     continue; // stale: frame touched more recently
                 }
-                if Arc::strong_count(&frame.page) > 1 {
-                    // Pinned: requeue at the back and keep scanning.
+                if Arc::strong_count(&frame.page) > 1 || frame.dirty {
+                    // Pinned or dirty: requeue at the back and keep
+                    // scanning. Dirty pages are *never* written back here —
+                    // the pool is strictly no-steal, because redo-only WAL
+                    // replay (crate::wal) assumes no uncommitted page image
+                    // ever reaches the backend outside a checkpoint's
+                    // flush_all. The pool runs over capacity until the next
+                    // flush cleans frames.
                     Self::touch(inner, key);
                     continue;
                 }
-                let Some(frame) = inner.frames.remove(&key) else {
+                if inner.frames.remove(&key).is_none() {
                     continue; // stale: frame already gone
-                };
-                if frame.dirty {
-                    let write = {
-                        let page = frame.page.read();
-                        self.backend.write_page(key.0, key.1, &page)
-                    };
-                    if write.is_err() {
-                        // The page must not be lost: put the (still dirty)
-                        // frame back and stop evicting. The pool runs over
-                        // capacity until the backend heals; the error itself
-                        // surfaces through the next flush, which callers
-                        // (the storage daemon) retry with backoff.
-                        self.write_failures.fetch_add(1, Ordering::Relaxed);
-                        inner.frames.insert(key, frame);
-                        Self::touch(inner, key);
-                        return Ok(());
-                    }
-                    self.model.record_write();
                 }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 evicted = true;
@@ -273,8 +267,18 @@ impl BufferPool {
     /// Flush-independent durable checkpoint of the backend (see
     /// [`DiskBackend::checkpoint`]); callers normally run
     /// [`BufferPool::flush_all`] first.
-    pub fn checkpoint(&self) -> Result<u64> {
-        self.backend.checkpoint()
+    pub fn checkpoint(&self, meta: &[u8]) -> Result<u64> {
+        self.backend.checkpoint(meta)
+    }
+
+    /// Metadata stored by the backend's most recent durable checkpoint.
+    pub fn checkpoint_meta(&self) -> Result<Option<Vec<u8>>> {
+        self.backend.checkpoint_meta()
+    }
+
+    /// Epoch of the backend's most recent durable checkpoint (0 when none).
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.backend.checkpoint_epoch()
     }
 
     /// Drop every cached page (writing dirty ones back first). Used by tests
@@ -357,10 +361,9 @@ mod tests {
     }
 
     #[test]
-    fn dirty_pages_survive_eviction() {
+    fn dirty_pages_are_never_stolen() {
         let p = pool(8);
         let f = p.create_file().unwrap();
-        // Write a marker into page 0, then fault in enough pages to evict it.
         let (no0, page0) = p.allocate(f).unwrap();
         page0.write().insert_record(b"marker").unwrap();
         p.mark_dirty(f, no0);
@@ -369,20 +372,35 @@ mod tests {
             let (_, pg) = p.allocate(f).unwrap();
             drop(pg);
         }
+        // No-steal: every frame is still dirty, so nothing may be evicted
+        // and no page image reaches the backend behind the WAL's back.
+        let s = p.stats();
+        assert_eq!(s.evictions, 0);
+        assert!(s.resident > s.capacity, "pool runs over capacity");
+        // A flush cleans the frames; the marker survives a full clear.
+        p.flush_all().unwrap();
+        p.clear().unwrap();
         let back = p.fetch(f, no0).unwrap();
         assert_eq!(back.read().record(0).unwrap(), b"marker");
-        assert!(p.stats().evictions > 0);
     }
 
     #[test]
-    fn capacity_is_respected_for_unpinned_pages() {
+    fn capacity_is_respected_for_clean_pages() {
         let p = pool(8);
         let f = p.create_file().unwrap();
         for _ in 0..64 {
             let (_, pg) = p.allocate(f).unwrap();
             drop(pg);
         }
+        p.flush_all().unwrap();
+        p.clear().unwrap();
+        // Fault the (clean) pages back in: eviction keeps residency bounded.
+        for no in 0..64 {
+            let pg = p.fetch(f, no).unwrap();
+            drop(pg);
+        }
         assert!(p.stats().resident <= 8 + 1);
+        assert!(p.stats().evictions > 0);
     }
 
     #[test]
@@ -394,6 +412,10 @@ mod tests {
             let (_, pg) = p.allocate(f).unwrap();
             drop(pg);
         }
+        // Clean everything so eviction is allowed, then trigger a sweep.
+        p.flush_all().unwrap();
+        let (_, extra) = p.allocate(f).unwrap();
+        drop(extra);
         // The pinned page must still be resident: fetching it is a hit.
         let before = p.stats().misses;
         let again = p.fetch(f, no0).unwrap();
@@ -402,7 +424,7 @@ mod tests {
     }
 
     #[test]
-    fn eviction_write_failure_keeps_dirty_pages() {
+    fn flush_write_failure_keeps_dirty_pages() {
         use crate::fault::{FaultInjectingBackend, FaultPlan};
         let cfg = EngineConfig::default();
         let fb = Arc::new(
@@ -419,16 +441,10 @@ mod tests {
         page0.write().insert_record(b"precious").unwrap();
         p.mark_dirty(f, no0);
         drop(page0);
-        // Every eviction's write-back fails; the pool must keep the dirty
-        // pages resident (over capacity) rather than lose them.
-        for _ in 0..32 {
-            let (_, pg) = p.allocate(f).unwrap();
-            drop(pg);
-        }
+        assert!(p.flush_all().is_err(), "flush surfaces the backend fault");
         let s = p.stats();
         assert!(s.write_failures > 0);
-        assert!(s.resident > s.capacity, "pool should run over capacity");
-        assert!(p.flush_all().is_err(), "flush surfaces the backend fault");
+        assert_eq!(s.resident, 1, "failed flush keeps the page resident");
         // Heal the backend: a retried flush lands everything.
         fb.set_plan(FaultPlan::new());
         p.flush_all().unwrap();

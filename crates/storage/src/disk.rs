@@ -59,13 +59,25 @@ pub trait DiskBackend: Send + Sync {
     fn sync(&self) -> Result<()> {
         Ok(())
     }
-    /// Durably checkpoint the current contents, returning the new checkpoint
-    /// epoch. Backends without a checkpoint mechanism return 0; after a
+    /// Durably checkpoint the current contents together with opaque engine
+    /// `meta` bytes, returning the new checkpoint epoch. Backends without a
+    /// checkpoint mechanism return 0 and discard `meta`; after a
     /// [`FileBackend`] checkpoint, [`crate::recovery::recover`] restores the
-    /// directory to exactly this state following a crash.
-    fn checkpoint(&self) -> Result<u64> {
+    /// directory to exactly this state following a crash, and
+    /// [`DiskBackend::checkpoint_meta`] returns the stored bytes.
+    fn checkpoint(&self, meta: &[u8]) -> Result<u64> {
+        let _ = meta;
         self.sync()?;
         Ok(0)
+    }
+    /// The `meta` bytes stored by the most recent durable checkpoint, or
+    /// `None` when there has been none (or the backend keeps no manifest).
+    fn checkpoint_meta(&self) -> Result<Option<Vec<u8>>> {
+        Ok(None)
+    }
+    /// Epoch of the most recent durable checkpoint (0 when none).
+    fn checkpoint_epoch(&self) -> u64 {
+        0
     }
 }
 
@@ -97,8 +109,14 @@ impl<T: DiskBackend + ?Sized> DiskBackend for std::sync::Arc<T> {
     fn sync(&self) -> Result<()> {
         (**self).sync()
     }
-    fn checkpoint(&self) -> Result<u64> {
-        (**self).checkpoint()
+    fn checkpoint(&self, meta: &[u8]) -> Result<u64> {
+        (**self).checkpoint(meta)
+    }
+    fn checkpoint_meta(&self) -> Result<Option<Vec<u8>>> {
+        (**self).checkpoint_meta()
+    }
+    fn checkpoint_epoch(&self) -> u64 {
+        (**self).checkpoint_epoch()
     }
 }
 
@@ -326,7 +344,7 @@ impl DiskBackend for FileBackend {
         Ok(())
     }
 
-    fn checkpoint(&self) -> Result<u64> {
+    fn checkpoint(&self, meta: &[u8]) -> Result<u64> {
         // Hold the lock across data sync + manifest install so the manifest
         // can never describe a mix of pre- and post-checkpoint pages.
         let files = self.files.lock();
@@ -335,9 +353,17 @@ impl DiskBackend for FileBackend {
         }
         let crcs: Vec<Vec<u64>> = files.iter().map(|e| e.crcs.clone()).collect();
         let epoch = self.epoch.load(Ordering::Relaxed) + 1;
-        crate::recovery::write_manifest(&self.dir, epoch, &crcs)?;
+        crate::recovery::write_manifest(&self.dir, epoch, &crcs, meta)?;
         self.epoch.store(epoch, Ordering::Relaxed);
         Ok(epoch)
+    }
+
+    fn checkpoint_meta(&self) -> Result<Option<Vec<u8>>> {
+        Ok(crate::recovery::manifest_meta(&self.dir))
+    }
+
+    fn checkpoint_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 }
 
@@ -391,20 +417,32 @@ mod tests {
             let f = b.create_file().unwrap();
             b.allocate_page(f).unwrap();
             assert_eq!(b.epoch(), 0);
-            assert_eq!(b.checkpoint().unwrap(), 1);
-            assert_eq!(b.checkpoint().unwrap(), 2);
+            assert_eq!(b.checkpoint(b"meta-one").unwrap(), 1);
+            assert_eq!(b.checkpoint(b"meta-two").unwrap(), 2);
+            assert_eq!(
+                b.checkpoint_meta().unwrap().as_deref(),
+                Some(b"meta-two".as_slice())
+            );
         }
         // Epochs continue from the persisted manifest after reopen.
         let b = FileBackend::open(dir.clone()).unwrap();
         assert_eq!(b.epoch(), 2);
-        assert_eq!(b.checkpoint().unwrap(), 3);
+        assert_eq!(b.checkpoint_epoch(), 2);
+        assert_eq!(
+            b.checkpoint_meta().unwrap().as_deref(),
+            Some(b"meta-two".as_slice()),
+            "checkpoint metadata survives reopen"
+        );
+        assert_eq!(b.checkpoint(b"").unwrap(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn memory_backend_checkpoint_is_noop() {
         let b = MemoryBackend::new();
-        assert_eq!(b.checkpoint().unwrap(), 0);
+        assert_eq!(b.checkpoint(b"ignored").unwrap(), 0);
+        assert_eq!(b.checkpoint_meta().unwrap(), None);
+        assert_eq!(b.checkpoint_epoch(), 0);
         b.sync().unwrap();
     }
 }

@@ -14,9 +14,9 @@
 //!
 //! ```text
 //! rule   := op '#' range '=' effect
-//! op     := read | write | alloc | sync
+//! op     := read | write | alloc | sync | wal_append | wal_fsync | wal_truncate
 //! range  := N | N..M | N.. | '*'          (1-based op index, inclusive)
-//! effect := transient | permanent | torn[:BYTES] | corrupt
+//! effect := transient | permanent | torn[:BYTES] | corrupt | crash
 //! ```
 //!
 //! Example: `write#3..5=transient; write#9=torn:512; read#2=corrupt` fails
@@ -24,9 +24,28 @@
 //! write to its first 512 bytes (the rest becomes seeded garbage, like a
 //! power cut mid-sector), and corrupts the 2nd read.
 //!
+//! The `wal_*` operations target the write-ahead log (see
+//! [`crate::wal::Wal::set_fault_plan`]) and combine with the `crash` effect
+//! into the scripted power-cut points the crash suite replays:
+//!
+//! * `wal_append#N=crash` — power cut right after the *N*-th record is
+//!   handed to the OS: everything not yet fsynced is lost
+//!   (`crash_after_wal_append`).
+//! * `wal_fsync#N=crash` — power cut mid-fsync: the barrier fails and the
+//!   unsynced tail is lost (`crash_mid_fsync`).
+//! * `wal_append#N=torn:K` — power cut mid-write: the first `K` bytes of
+//!   the in-flight record survive as a torn tail (`torn_wal_tail`).
+//! * `wal_truncate#N=crash` — power cut during post-checkpoint log
+//!   truncation (`crash_during_checkpoint_truncate`).
+//!
+//! After any WAL crash effect fires, the log is *dead*: every later WAL
+//! operation fails until the simulated machine reboots (a new engine reopens
+//! the directory and replays).
+//!
 //! `torn` is meaningful for writes and `corrupt` for reads; either effect on
 //! another operation kind degrades to a transient error so a malformed plan
-//! still fails loudly rather than silently passing.
+//! still fails loudly rather than silently passing. `crash` on a page-level
+//! operation likewise degrades to a transient error.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -48,6 +67,12 @@ pub enum FaultOp {
     Alloc,
     /// `sync` / `checkpoint`.
     Sync,
+    /// A WAL record append (see [`crate::wal::Wal`]).
+    WalAppend,
+    /// A WAL fsync (the commit durability barrier).
+    WalFsync,
+    /// A WAL truncation (the post-checkpoint log rewrite).
+    WalTruncate,
 }
 
 impl FaultOp {
@@ -57,6 +82,9 @@ impl FaultOp {
             "write" => Ok(FaultOp::Write),
             "alloc" => Ok(FaultOp::Alloc),
             "sync" => Ok(FaultOp::Sync),
+            "wal_append" => Ok(FaultOp::WalAppend),
+            "wal_fsync" => Ok(FaultOp::WalFsync),
+            "wal_truncate" => Ok(FaultOp::WalTruncate),
             other => Err(Error::storage(format!("fault plan: unknown op {other:?}"))),
         }
     }
@@ -77,6 +105,11 @@ pub enum FaultEffect {
     Torn(usize),
     /// Read corruption: the page is returned with seeded bit flips.
     Corrupt,
+    /// Simulated power cut at a WAL operation: the unsynced log tail is
+    /// lost, the operation fails, and every later WAL operation keeps
+    /// failing until the log is reopened ("reboot"). On page-level
+    /// operations this degrades to a transient error.
+    Crash,
 }
 
 /// One rule: inject `effect` on operations `from..=to` (1-based) of kind `op`.
@@ -165,6 +198,7 @@ impl FaultPlan {
             "transient" => Ok(FaultEffect::Transient),
             "permanent" => Ok(FaultEffect::Permanent),
             "corrupt" => Ok(FaultEffect::Corrupt),
+            "crash" => Ok(FaultEffect::Crash),
             "torn" => Ok(FaultEffect::Torn(PAGE_SIZE / 2)),
             other => {
                 if let Some(bytes) = other.strip_prefix("torn:") {
@@ -223,6 +257,12 @@ pub struct FaultStats {
     pub allocs: u64,
     /// Total sync/checkpoint calls observed.
     pub syncs: u64,
+    /// Total WAL appends observed (only when the plan guards a WAL).
+    pub wal_appends: u64,
+    /// Total WAL fsyncs observed.
+    pub wal_fsyncs: u64,
+    /// Total WAL truncations observed.
+    pub wal_truncates: u64,
     /// Transient errors injected.
     pub injected_transient: u64,
     /// Permanent errors injected.
@@ -231,6 +271,8 @@ pub struct FaultStats {
     pub injected_torn: u64,
     /// Corrupted reads injected.
     pub injected_corrupt: u64,
+    /// Simulated power cuts injected.
+    pub injected_crash: u64,
 }
 
 impl FaultStats {
@@ -240,6 +282,7 @@ impl FaultStats {
             + self.injected_permanent
             + self.injected_torn
             + self.injected_corrupt
+            + self.injected_crash
     }
 }
 
@@ -249,10 +292,14 @@ struct Counters {
     writes: AtomicU64,
     allocs: AtomicU64,
     syncs: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_truncates: AtomicU64,
     injected_transient: AtomicU64,
     injected_permanent: AtomicU64,
     injected_torn: AtomicU64,
     injected_corrupt: AtomicU64,
+    injected_crash: AtomicU64,
 }
 
 /// A [`DiskBackend`] decorator injecting faults per a [`FaultPlan`].
@@ -293,10 +340,14 @@ impl FaultInjectingBackend {
             writes: self.counters.writes.load(Ordering::Relaxed),
             allocs: self.counters.allocs.load(Ordering::Relaxed),
             syncs: self.counters.syncs.load(Ordering::Relaxed),
+            wal_appends: self.counters.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: self.counters.wal_fsyncs.load(Ordering::Relaxed),
+            wal_truncates: self.counters.wal_truncates.load(Ordering::Relaxed),
             injected_transient: self.counters.injected_transient.load(Ordering::Relaxed),
             injected_permanent: self.counters.injected_permanent.load(Ordering::Relaxed),
             injected_torn: self.counters.injected_torn.load(Ordering::Relaxed),
             injected_corrupt: self.counters.injected_corrupt.load(Ordering::Relaxed),
+            injected_crash: self.counters.injected_crash.load(Ordering::Relaxed),
         }
     }
 
@@ -307,6 +358,9 @@ impl FaultInjectingBackend {
             FaultOp::Write => &self.counters.writes,
             FaultOp::Alloc => &self.counters.allocs,
             FaultOp::Sync => &self.counters.syncs,
+            FaultOp::WalAppend => &self.counters.wal_appends,
+            FaultOp::WalFsync => &self.counters.wal_fsyncs,
+            FaultOp::WalTruncate => &self.counters.wal_truncates,
         };
         let n = counter.fetch_add(1, Ordering::Relaxed) + 1;
         let effect = self.plan.lock().effect_for(op, n);
@@ -316,6 +370,7 @@ impl FaultInjectingBackend {
                 FaultEffect::Permanent => &self.counters.injected_permanent,
                 FaultEffect::Torn(_) => &self.counters.injected_torn,
                 FaultEffect::Corrupt => &self.counters.injected_corrupt,
+                FaultEffect::Crash => &self.counters.injected_crash,
             };
             injected.fetch_add(1, Ordering::Relaxed);
         }
@@ -349,7 +404,7 @@ impl DiskBackend for FaultInjectingBackend {
         let (n, effect) = self.observe(FaultOp::Read);
         match effect {
             None => self.inner.read_page(file, page_no),
-            Some(FaultEffect::Transient) | Some(FaultEffect::Torn(_)) => {
+            Some(FaultEffect::Transient | FaultEffect::Torn(_) | FaultEffect::Crash) => {
                 Err(Self::transient("read", n))
             }
             Some(FaultEffect::Permanent) => Err(Self::permanent("read", n)),
@@ -369,7 +424,7 @@ impl DiskBackend for FaultInjectingBackend {
         let (n, effect) = self.observe(FaultOp::Write);
         match effect {
             None => self.inner.write_page(file, page_no, page),
-            Some(FaultEffect::Transient) | Some(FaultEffect::Corrupt) => {
+            Some(FaultEffect::Transient | FaultEffect::Corrupt | FaultEffect::Crash) => {
                 Err(Self::transient("write", n))
             }
             Some(FaultEffect::Permanent) => Err(Self::permanent("write", n)),
@@ -409,13 +464,21 @@ impl DiskBackend for FaultInjectingBackend {
         }
     }
 
-    fn checkpoint(&self) -> Result<u64> {
+    fn checkpoint(&self, meta: &[u8]) -> Result<u64> {
         let (n, effect) = self.observe(FaultOp::Sync);
         match effect {
-            None => self.inner.checkpoint(),
+            None => self.inner.checkpoint(meta),
             Some(FaultEffect::Permanent) => Err(Self::permanent("checkpoint", n)),
             Some(_) => Err(Self::transient("checkpoint", n)),
         }
+    }
+
+    fn checkpoint_meta(&self) -> Result<Option<Vec<u8>>> {
+        self.inner.checkpoint_meta()
+    }
+
+    fn checkpoint_epoch(&self) -> u64 {
+        self.inner.checkpoint_epoch()
     }
 }
 
@@ -461,6 +524,38 @@ mod tests {
             open.effect_for(FaultOp::Alloc, 1),
             Some(FaultEffect::Transient)
         );
+    }
+
+    #[test]
+    fn wal_ops_and_crash_effect_parse() {
+        let p = FaultPlan::parse(
+            "wal_append#2=crash; wal_fsync#1=crash; wal_truncate#*=crash; wal_append#3=torn:7",
+        )
+        .unwrap();
+        assert_eq!(
+            p.effect_for(FaultOp::WalAppend, 2),
+            Some(FaultEffect::Crash)
+        );
+        assert_eq!(p.effect_for(FaultOp::WalFsync, 1), Some(FaultEffect::Crash));
+        assert_eq!(
+            p.effect_for(FaultOp::WalTruncate, 9),
+            Some(FaultEffect::Crash)
+        );
+        assert_eq!(
+            p.effect_for(FaultOp::WalAppend, 3),
+            Some(FaultEffect::Torn(7))
+        );
+        assert_eq!(p.effect_for(FaultOp::WalAppend, 1), None);
+    }
+
+    #[test]
+    fn crash_on_page_ops_degrades_to_transient() {
+        let b = wrapped("write#1=crash");
+        let f = b.create_file().unwrap();
+        let p0 = b.allocate_page(f).unwrap();
+        let err = b.write_page(f, p0, &Page::new()).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(b.stats().injected_crash, 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod heap;
 pub mod model;
 pub mod page;
 pub mod recovery;
+pub mod wal;
 
 pub use btree::BTreeFile;
 pub use buffer::{BufferPool, BufferStats};
@@ -31,6 +32,9 @@ pub use heap::{HeapFile, HeapStats, RowId};
 pub use model::{DiskModel, IoStats};
 pub use page::{Page, PAGE_SIZE};
 pub use recovery::{recover, RecoveryReport};
+pub use wal::{
+    GroupCommit, GroupCommitStats, Lsn, SalvageReport, Wal, WalEntry, WalRecord, WalStats, WAL_FILE,
+};
 
 use std::sync::Arc;
 
@@ -111,11 +115,22 @@ impl StorageEngine {
         self.pool.sync()
     }
 
-    /// Flush every dirty page, then durably checkpoint the backend.
-    /// Returns the new checkpoint epoch (0 for backends without one).
-    pub fn checkpoint(&self) -> Result<u64> {
+    /// Flush every dirty page, then durably checkpoint the backend together
+    /// with opaque engine `meta` bytes. Returns the new checkpoint epoch (0
+    /// for backends without one).
+    pub fn checkpoint(&self, meta: &[u8]) -> Result<u64> {
         self.pool.flush_all()?;
-        self.pool.checkpoint()
+        self.pool.checkpoint(meta)
+    }
+
+    /// Metadata stored by the most recent durable checkpoint.
+    pub fn checkpoint_meta(&self) -> Result<Option<Vec<u8>>> {
+        self.pool.checkpoint_meta()
+    }
+
+    /// Epoch of the most recent durable checkpoint (0 when none).
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.pool.checkpoint_epoch()
     }
 
     /// Total pages allocated across all files (on-disk size in pages).

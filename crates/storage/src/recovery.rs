@@ -17,6 +17,9 @@
 //! epoch   8  u64, incremented per checkpoint
 //! files   4  u32 file count
 //! per file: pages u64, then pages × u64 FNV-1a page checksums
+//! meta    8  u64 length, then that many opaque bytes (engine checkpoint
+//!            metadata — Ingot stores the serialized schema here so WAL
+//!            replay can rebuild the catalog before redoing records)
 //! trailer 8  u64 FNV-1a of all preceding bytes
 //! ```
 
@@ -40,6 +43,8 @@ pub struct Manifest {
     pub epoch: u64,
     /// One checksum vector per file id, in id order.
     pub files: Vec<Vec<u64>>,
+    /// Opaque engine metadata captured with the checkpoint.
+    pub meta: Vec<u8>,
 }
 
 /// Outcome of reading a manifest file.
@@ -95,10 +100,11 @@ fn path_for(dir: &Path, id: u32) -> PathBuf {
     dir.join(format!("ingot_{id:04}.dat"))
 }
 
-/// Write `files` (per-file page checksums) as epoch `epoch`, atomically:
-/// temp file + fsync + rename + directory fsync.
-pub fn write_manifest(dir: &Path, epoch: u64, files: &[Vec<u64>]) -> Result<()> {
-    let mut buf = Vec::with_capacity(32 + files.iter().map(|f| 8 + f.len() * 8).sum::<usize>());
+/// Write `files` (per-file page checksums) plus opaque `meta` bytes as epoch
+/// `epoch`, atomically: temp file + fsync + rename + directory fsync.
+pub fn write_manifest(dir: &Path, epoch: u64, files: &[Vec<u64>], meta: &[u8]) -> Result<()> {
+    let mut buf =
+        Vec::with_capacity(40 + meta.len() + files.iter().map(|f| 8 + f.len() * 8).sum::<usize>());
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&epoch.to_le_bytes());
     buf.extend_from_slice(&(files.len() as u32).to_le_bytes());
@@ -108,6 +114,8 @@ pub fn write_manifest(dir: &Path, epoch: u64, files: &[Vec<u64>]) -> Result<()> 
             buf.extend_from_slice(&crc.to_le_bytes());
         }
     }
+    buf.extend_from_slice(&(meta.len() as u64).to_le_bytes());
+    buf.extend_from_slice(meta);
     let trailer = fnv1a64(&buf);
     buf.extend_from_slice(&trailer.to_le_bytes());
 
@@ -188,10 +196,18 @@ fn read_manifest(dir: &Path) -> Result<ManifestRead> {
         off += pages * 8;
         files.push(crcs);
     }
-    if off != body_len {
+    let Some(meta_len) = u64_at(off) else {
         return Ok(ManifestRead::Invalid);
-    }
-    Ok(ManifestRead::Valid(Manifest { epoch, files }))
+    };
+    off += 8;
+    let meta = match (meta_len as usize).checked_add(off) {
+        Some(end) if end == body_len => buf.get(off..end).map(<[u8]>::to_vec),
+        _ => None,
+    };
+    let Some(meta) = meta else {
+        return Ok(ManifestRead::Invalid);
+    };
+    Ok(ManifestRead::Valid(Manifest { epoch, files, meta }))
 }
 
 /// The epoch recorded in `dir`'s manifest, or 0 when absent/invalid.
@@ -199,6 +215,15 @@ pub fn manifest_epoch(dir: &Path) -> u64 {
     match read_manifest(dir) {
         Ok(ManifestRead::Valid(m)) => m.epoch,
         _ => 0,
+    }
+}
+
+/// The opaque metadata stored with `dir`'s manifest, or `None` when the
+/// manifest is absent/invalid or carries no metadata.
+pub fn manifest_meta(dir: &Path) -> Option<Vec<u8>> {
+    match read_manifest(dir) {
+        Ok(ManifestRead::Valid(m)) if !m.meta.is_empty() => Some(m.meta),
+        _ => None,
     }
 }
 
@@ -370,13 +395,18 @@ mod tests {
     #[test]
     fn manifest_roundtrip_and_corruption_detection() {
         let dir = tmpdir("manifest");
-        write_manifest(&dir, 7, &[vec![1, 2, 3], vec![]]).unwrap();
+        write_manifest(&dir, 7, &[vec![1, 2, 3], vec![]], b"schema-blob").unwrap();
         assert_eq!(manifest_epoch(&dir), 7);
         let ManifestRead::Valid(m) = read_manifest(&dir).unwrap() else {
             panic!("expected valid manifest");
         };
         assert_eq!(m.epoch, 7);
         assert_eq!(m.files, vec![vec![1, 2, 3], vec![]]);
+        assert_eq!(m.meta, b"schema-blob");
+        assert_eq!(
+            manifest_meta(&dir).as_deref(),
+            Some(b"schema-blob".as_slice())
+        );
 
         // Flip one byte: the trailer must catch it.
         let path = dir.join(MANIFEST_NAME);
@@ -396,7 +426,7 @@ mod tests {
         let dir = tmpdir("clean");
         let pages = [page_with(&[b"a", b"b"]), page_with(&[b"c"])];
         let crcs = write_raw_pages(&dir, 0, &pages);
-        write_manifest(&dir, 3, &[crcs]).unwrap();
+        write_manifest(&dir, 3, &[crcs], b"").unwrap();
         let r = recover(&dir).unwrap();
         assert!(r.manifest_valid);
         assert_eq!(r.epoch, 3);
@@ -415,7 +445,7 @@ mod tests {
         let dir = tmpdir("torn");
         let pages = [page_with(&[b"keep1", b"keep2"]), page_with(&[b"keep3"])];
         let crcs = write_raw_pages(&dir, 0, &pages);
-        write_manifest(&dir, 1, &[crcs]).unwrap();
+        write_manifest(&dir, 1, &[crcs], b"").unwrap();
         // Crash simulation: a post-checkpoint append that only half-landed.
         let mut f = OpenOptions::new()
             .append(true)
@@ -445,7 +475,7 @@ mod tests {
             page_with(&[b"stale3"]),
         ];
         let crcs = write_raw_pages(&dir, 0, &pages);
-        write_manifest(&dir, 9, &[crcs]).unwrap();
+        write_manifest(&dir, 9, &[crcs], b"").unwrap();
         // Scribble over page 1 (in-place torn write after the checkpoint).
         let mut f = OpenOptions::new()
             .write(true)

@@ -1,0 +1,1337 @@
+//! Write-ahead log with group commit.
+//!
+//! The WAL closes the durability gap left by checkpoint-only recovery: a
+//! commit is acknowledged only after its log records are on stable storage
+//! (the *durability barrier*), so a crash between checkpoints loses nothing
+//! that was acknowledged. Recovery becomes checkpoint-load + replay of the
+//! committed suffix (see `ingot-core`); checkpointing is demoted to log
+//! truncation behind a safe low-water LSN.
+//!
+//! ## Record format
+//!
+//! The log is a flat sequence of length-prefixed, checksummed frames:
+//!
+//! ```text
+//! frame   := len:u32le  crc:u64le  payload[len]
+//! payload := kind:u8  lsn:u64le  fields...
+//! ```
+//!
+//! `crc` is the FNV-1a-64 of the payload. LSNs start at 1 and are strictly
+//! monotonically increasing; a frame whose LSN does not exceed its
+//! predecessor's, whose checksum mismatches, or which is cut short
+//! terminates the valid prefix — everything after it is a torn tail from a
+//! power cut and is discarded on open (salvage-or-reject, like the page
+//! store's manifest recovery).
+//!
+//! ## Durability model
+//!
+//! Appends go to the OS (or the in-memory sink) immediately but only become
+//! durable at the `synced_len` watermark, advanced by fsync. A simulated
+//! power cut (the `crash` fault effect) truncates the sink back to
+//! `synced_len`: acknowledged-but-unsynced bytes are exactly what a real
+//! power cut eats. After a crash the log is *dead* — every operation fails
+//! until a new `Wal` reopens the directory ("reboot").
+//!
+//! ## Group commit
+//!
+//! [`GroupCommit`] implements the classic leader/follower protocol: the
+//! first committer to find no fsync in flight becomes leader, dallies up to
+//! `group_commit_window` for followers to queue behind it, then issues one
+//! fsync covering every LSN appended so far. Followers block on a condvar
+//! and are released when the batch's fsync completes. Timeouts (never bare
+//! waits) make the protocol live even if a leader errors out: a follower
+//! that wakes to `syncing == false` with its LSN still undurable simply
+//! becomes the next leader.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ingot_common::{fnv1a64, EngineConfig, Error, MonotonicClock, Result, TxnId, WalFsyncMode};
+use parking_lot::Mutex;
+
+#[cfg(loom)]
+use loom::sync::{Condvar as GcCondvar, Mutex as GcMutex};
+#[cfg(not(loom))]
+use parking_lot::{Condvar as GcCondvar, Mutex as GcMutex};
+
+use crate::fault::{FaultEffect, FaultOp, FaultPlan};
+
+/// Log sequence number: position of a record in the WAL's total order.
+/// LSN 0 is the "nothing" sentinel; real records start at 1.
+pub type Lsn = u64;
+
+/// Name of the log file inside a database directory. Deliberately outside
+/// the `ingot_NNNN.dat` page-file namespace so manifest recovery ignores it.
+pub const WAL_FILE: &str = "ingot.wal";
+
+const KIND_BEGIN: u8 = 1;
+const KIND_INSERT: u8 = 2;
+const KIND_DELETE: u8 = 3;
+const KIND_UPDATE: u8 = 4;
+const KIND_COMMIT: u8 = 5;
+const KIND_ABORT: u8 = 6;
+const KIND_CHECKPOINT: u8 = 7;
+const KIND_DDL: u8 = 8;
+
+/// Frame header bytes: `len:u32 + crc:u64`.
+const FRAME_HEADER: usize = 4 + 8;
+
+/// One logical WAL record. Row images are stored pre-encoded (the
+/// [`crate::codec`] row codec) so the log is self-contained at the storage
+/// layer; tables are named by string because table *ids* may be reassigned
+/// when DDL is replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Transaction `txn` performed its first mutation.
+    Begin {
+        /// The transaction id.
+        txn: TxnId,
+    },
+    /// `txn` inserted `row` (encoded) into `table`.
+    Insert {
+        /// The mutating transaction.
+        txn: TxnId,
+        /// Target table name.
+        table: String,
+        /// Encoded row image.
+        row: Vec<u8>,
+    },
+    /// `txn` deleted the row whose encoded image is `old` from `table`.
+    Delete {
+        /// The mutating transaction.
+        txn: TxnId,
+        /// Target table name.
+        table: String,
+        /// Encoded image of the deleted row.
+        old: Vec<u8>,
+    },
+    /// `txn` replaced `old` with `new` in `table`.
+    Update {
+        /// The mutating transaction.
+        txn: TxnId,
+        /// Target table name.
+        table: String,
+        /// Encoded pre-image.
+        old: Vec<u8>,
+        /// Encoded post-image.
+        new: Vec<u8>,
+    },
+    /// `txn` committed: every earlier record of `txn` must be redone.
+    Commit {
+        /// The committing transaction.
+        txn: TxnId,
+    },
+    /// `txn` aborted: its records are discarded by replay.
+    Abort {
+        /// The aborting transaction.
+        txn: TxnId,
+    },
+    /// A checkpoint installed manifest epoch `epoch`: everything at or
+    /// below this record's LSN is reflected in the page store. Replay
+    /// starts after the last checkpoint whose epoch the manifest reached.
+    Checkpoint {
+        /// The manifest epoch the checkpoint installed.
+        epoch: u64,
+    },
+    /// A schema change, replayed by re-executing the statement.
+    Ddl {
+        /// The original DDL statement text.
+        sql: String,
+    },
+}
+
+/// A decoded record together with its LSN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalEntry {
+    /// The record's log sequence number.
+    pub lsn: Lsn,
+    /// The decoded record.
+    pub record: WalRecord,
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Checked fixed-size copy (same idiom as the row codec): a wrong-length
+/// slice becomes an error where `try_into().unwrap()` would panic.
+fn arr<const N: usize>(s: &[u8]) -> Result<[u8; N]> {
+    s.try_into()
+        .map_err(|_| Error::storage("truncated wal record"))
+}
+
+impl WalRecord {
+    /// Encode a full frame (header + payload) for this record at `lsn`.
+    fn encode_frame(&self, lsn: Lsn) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(32);
+        match self {
+            WalRecord::Begin { txn } => {
+                payload.push(KIND_BEGIN);
+                payload.extend_from_slice(&lsn.to_le_bytes());
+                payload.extend_from_slice(&txn.raw().to_le_bytes());
+            }
+            WalRecord::Insert { txn, table, row } => {
+                payload.push(KIND_INSERT);
+                payload.extend_from_slice(&lsn.to_le_bytes());
+                payload.extend_from_slice(&txn.raw().to_le_bytes());
+                put_str(&mut payload, table);
+                put_bytes(&mut payload, row);
+            }
+            WalRecord::Delete { txn, table, old } => {
+                payload.push(KIND_DELETE);
+                payload.extend_from_slice(&lsn.to_le_bytes());
+                payload.extend_from_slice(&txn.raw().to_le_bytes());
+                put_str(&mut payload, table);
+                put_bytes(&mut payload, old);
+            }
+            WalRecord::Update {
+                txn,
+                table,
+                old,
+                new,
+            } => {
+                payload.push(KIND_UPDATE);
+                payload.extend_from_slice(&lsn.to_le_bytes());
+                payload.extend_from_slice(&txn.raw().to_le_bytes());
+                put_str(&mut payload, table);
+                put_bytes(&mut payload, old);
+                put_bytes(&mut payload, new);
+            }
+            WalRecord::Commit { txn } => {
+                payload.push(KIND_COMMIT);
+                payload.extend_from_slice(&lsn.to_le_bytes());
+                payload.extend_from_slice(&txn.raw().to_le_bytes());
+            }
+            WalRecord::Abort { txn } => {
+                payload.push(KIND_ABORT);
+                payload.extend_from_slice(&lsn.to_le_bytes());
+                payload.extend_from_slice(&txn.raw().to_le_bytes());
+            }
+            WalRecord::Checkpoint { epoch } => {
+                payload.push(KIND_CHECKPOINT);
+                payload.extend_from_slice(&lsn.to_le_bytes());
+                payload.extend_from_slice(&epoch.to_le_bytes());
+            }
+            WalRecord::Ddl { sql } => {
+                payload.push(KIND_DDL);
+                payload.extend_from_slice(&lsn.to_le_bytes());
+                put_str(&mut payload, sql);
+            }
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decode one payload (header already validated). Rejects trailing
+    /// garbage: the payload must be consumed exactly.
+    fn decode_payload(payload: &[u8]) -> Result<WalEntry> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            match payload.get(*pos..(*pos).saturating_add(n)) {
+                Some(s) => {
+                    *pos += n;
+                    Ok(s)
+                }
+                None => Err(Error::storage("truncated wal record")),
+            }
+        };
+        let kind = match take(&mut pos, 1)? {
+            &[k] => k,
+            _ => return Err(Error::storage("truncated wal record")),
+        };
+        let lsn = u64::from_le_bytes(arr(take(&mut pos, 8)?)?);
+        let take_u64 =
+            |pos: &mut usize| -> Result<u64> { Ok(u64::from_le_bytes(arr(take(pos, 8)?)?)) };
+        let take_blob = |pos: &mut usize| -> Result<Vec<u8>> {
+            let len = u32::from_le_bytes(arr(take(pos, 4)?)?) as usize;
+            Ok(take(pos, len)?.to_vec())
+        };
+        let take_str = |pos: &mut usize| -> Result<String> {
+            let raw = take_blob(pos)?;
+            String::from_utf8(raw).map_err(|_| Error::storage("invalid utf8 in wal record"))
+        };
+        let record = match kind {
+            KIND_BEGIN => WalRecord::Begin {
+                txn: TxnId(take_u64(&mut pos)?),
+            },
+            KIND_INSERT => WalRecord::Insert {
+                txn: TxnId(take_u64(&mut pos)?),
+                table: take_str(&mut pos)?,
+                row: take_blob(&mut pos)?,
+            },
+            KIND_DELETE => WalRecord::Delete {
+                txn: TxnId(take_u64(&mut pos)?),
+                table: take_str(&mut pos)?,
+                old: take_blob(&mut pos)?,
+            },
+            KIND_UPDATE => WalRecord::Update {
+                txn: TxnId(take_u64(&mut pos)?),
+                table: take_str(&mut pos)?,
+                old: take_blob(&mut pos)?,
+                new: take_blob(&mut pos)?,
+            },
+            KIND_COMMIT => WalRecord::Commit {
+                txn: TxnId(take_u64(&mut pos)?),
+            },
+            KIND_ABORT => WalRecord::Abort {
+                txn: TxnId(take_u64(&mut pos)?),
+            },
+            KIND_CHECKPOINT => WalRecord::Checkpoint {
+                epoch: take_u64(&mut pos)?,
+            },
+            KIND_DDL => WalRecord::Ddl {
+                sql: take_str(&mut pos)?,
+            },
+            k => return Err(Error::storage(format!("unknown wal record kind {k}"))),
+        };
+        if pos != payload.len() {
+            return Err(Error::storage("trailing bytes in wal record"));
+        }
+        Ok(WalEntry { lsn, record })
+    }
+}
+
+/// Where the log bytes live.
+enum Sink {
+    /// In-memory log (simulation-driven engines). Power-cut semantics are
+    /// fully modeled; only "reboot" (reopen from disk) is unavailable.
+    Memory(Vec<u8>),
+    /// A real file, shared by handle so fsync can run outside the state
+    /// lock while appends continue.
+    File(Arc<File>),
+}
+
+/// Mutable log state, guarded by one mutex. Appends mutate it; fsyncs
+/// snapshot it, sync outside the lock, then advance the watermarks.
+struct WalState {
+    sink: Sink,
+    /// Bytes handed to the OS (logical end of log).
+    len: u64,
+    /// Bytes known durable (advanced only by fsync).
+    synced_len: u64,
+    /// Next LSN to assign.
+    next_lsn: Lsn,
+    /// Highest LSN covered by a completed durability barrier.
+    durable_lsn: Lsn,
+    /// LSN of the newest checkpoint record (truncation low-water mark).
+    low_water: Lsn,
+}
+
+impl WalState {
+    fn write_at_end(&mut self, buf: &[u8]) -> Result<()> {
+        match &mut self.sink {
+            Sink::Memory(v) => {
+                v.truncate(self.len as usize);
+                v.extend_from_slice(buf);
+            }
+            Sink::File(file) => {
+                let mut f: &File = file;
+                f.seek(SeekFrom::Start(self.len))
+                    .map_err(|e| Error::Io(format!("wal seek: {e}")))?;
+                f.write_all(buf)
+                    .map_err(|e| Error::Io(format!("wal write: {e}")))?;
+            }
+        }
+        self.len += buf.len() as u64;
+        Ok(())
+    }
+
+    fn truncate(&mut self, to: u64) -> Result<()> {
+        match &mut self.sink {
+            Sink::Memory(v) => v.truncate(to as usize),
+            Sink::File(file) => file
+                .set_len(to)
+                .map_err(|e| Error::Io(format!("wal truncate: {e}")))?,
+        }
+        self.len = to;
+        self.synced_len = self.synced_len.min(to);
+        Ok(())
+    }
+
+    fn file_handle(&self) -> Option<Arc<File>> {
+        match &self.sink {
+            Sink::Memory(_) => None,
+            Sink::File(f) => Some(Arc::clone(f)),
+        }
+    }
+
+    fn sync_file(&self) -> Result<()> {
+        if let Some(f) = self.file_handle() {
+            f.sync_all()
+                .map_err(|e| Error::Io(format!("wal fsync: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+/// What salvage found when the log was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Intact records recovered from the valid prefix.
+    pub recovered_records: u64,
+    /// Bytes of valid prefix kept.
+    pub salvaged_bytes: u64,
+    /// Torn-tail bytes discarded (short frame, bad CRC, or LSN regression).
+    pub discarded_bytes: u64,
+}
+
+/// Point-in-time WAL counters, surfaced through `ima$wal`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Highest LSN assigned so far (0 = log empty).
+    pub current_lsn: Lsn,
+    /// Highest LSN known durable.
+    pub durable_lsn: Lsn,
+    /// LSN of the newest checkpoint record (truncation low-water mark).
+    pub low_water_lsn: Lsn,
+    /// Records appended through this handle.
+    pub appends: u64,
+    /// Bytes appended through this handle.
+    pub bytes_written: u64,
+    /// Durability barriers (fsyncs or watermark advances) completed.
+    pub fsyncs: u64,
+    /// Post-checkpoint log truncations completed.
+    pub truncations: u64,
+    /// Group-commit batches led.
+    pub groups: u64,
+    /// Commits that rode a group-commit batch (sum of batch sizes).
+    pub grouped_commits: u64,
+    /// Largest group-commit batch observed.
+    pub max_group: u64,
+    /// Records redone by the last replay.
+    pub replayed_records: u64,
+    /// Committed transactions redone by the last replay.
+    pub replayed_txns: u64,
+    /// Intact records salvaged when the log was opened.
+    pub recovered_records: u64,
+    /// Torn-tail bytes discarded when the log was opened.
+    pub discarded_bytes: u64,
+}
+
+#[derive(Default)]
+struct WalCounters {
+    appends: AtomicU64,
+    bytes_written: AtomicU64,
+    fsyncs: AtomicU64,
+    truncations: AtomicU64,
+    replayed_records: AtomicU64,
+    replayed_txns: AtomicU64,
+    fault_appends: AtomicU64,
+    fault_fsyncs: AtomicU64,
+    fault_truncates: AtomicU64,
+}
+
+/// The write-ahead log.
+///
+/// Thread-safe: appends serialize on the state lock, fsyncs additionally
+/// serialize on a dedicated sync lock (one fsync in flight at a time, like
+/// a single log device) and run *outside* the state lock so concurrent
+/// appends are never blocked behind the platter.
+pub struct Wal {
+    state: Mutex<WalState>,
+    /// Serializes fsyncs; held across the simulated device delay + fsync.
+    sync_lock: Mutex<()>,
+    /// Sticky power-cut flag: once set, the log is dead until reopened.
+    crashed: AtomicBool,
+    /// Set while recovery replays the log (suppresses re-logging).
+    replaying: AtomicBool,
+    plan: Mutex<FaultPlan>,
+    counters: WalCounters,
+    group: GroupCommit,
+    mode: WalFsyncMode,
+    wall: MonotonicClock,
+    /// Simulated per-fsync device latency (spun on the wall clock).
+    sync_delay_ns: u64,
+    /// Records salvaged at open, drained once by recovery.
+    recovered: Mutex<Vec<WalEntry>>,
+    salvage: SalvageReport,
+}
+
+impl Wal {
+    /// An in-memory log (no file, no reopen; durability is the watermark).
+    pub fn in_memory(config: &EngineConfig) -> Wal {
+        Self::from_sink(
+            Sink::Memory(Vec::new()),
+            config,
+            Vec::new(),
+            SalvageReport::default(),
+            1,
+            0,
+        )
+    }
+
+    /// Open (or create) the log file under `dir`, salvaging the valid
+    /// prefix and truncating any torn tail. Records recovered from the
+    /// prefix are held for [`Wal::take_recovered`].
+    pub fn open_in_dir(dir: &Path, config: &EngineConfig) -> Result<Wal> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::Io(format!("wal dir {}: {e}", dir.display())))?;
+        let path = dir.join(WAL_FILE);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| Error::Io(format!("wal open {}: {e}", path.display())))?;
+        let mut bytes = Vec::new();
+        {
+            let mut f: &File = &file;
+            f.seek(SeekFrom::Start(0))
+                .map_err(|e| Error::Io(format!("wal seek: {e}")))?;
+            f.read_to_end(&mut bytes)
+                .map_err(|e| Error::Io(format!("wal read: {e}")))?;
+        }
+        let (entries, valid) = Self::scan_valid_prefix(&bytes);
+        let salvage = SalvageReport {
+            recovered_records: entries.len() as u64,
+            salvaged_bytes: valid as u64,
+            discarded_bytes: (bytes.len() - valid) as u64,
+        };
+        if valid < bytes.len() {
+            // Reject the torn tail for good: shrink the file to the valid
+            // prefix so a second crash-and-reopen sees a clean log.
+            file.set_len(valid as u64)
+                .map_err(|e| Error::Io(format!("wal truncate: {e}")))?;
+            file.sync_all()
+                .map_err(|e| Error::Io(format!("wal fsync: {e}")))?;
+        }
+        let next_lsn = entries.last().map(|e| e.lsn + 1).unwrap_or(1);
+        let low_water = entries
+            .iter()
+            .rev()
+            .find_map(|e| match e.record {
+                WalRecord::Checkpoint { .. } => Some(e.lsn),
+                _ => None,
+            })
+            .unwrap_or(0);
+        Ok(Self::from_sink(
+            Sink::File(Arc::new(file)),
+            config,
+            entries,
+            salvage,
+            next_lsn,
+            low_water,
+        ))
+    }
+
+    fn from_sink(
+        sink: Sink,
+        config: &EngineConfig,
+        recovered: Vec<WalEntry>,
+        salvage: SalvageReport,
+        next_lsn: Lsn,
+        low_water: Lsn,
+    ) -> Wal {
+        let len = match &sink {
+            Sink::Memory(v) => v.len() as u64,
+            Sink::File(_) => salvage.salvaged_bytes,
+        };
+        Wal {
+            state: Mutex::new(WalState {
+                sink,
+                len,
+                synced_len: len,
+                next_lsn,
+                // Everything that survived open is on disk, hence durable.
+                durable_lsn: next_lsn - 1,
+                low_water,
+            }),
+            sync_lock: Mutex::new(()),
+            crashed: AtomicBool::new(false),
+            replaying: AtomicBool::new(false),
+            plan: Mutex::new(FaultPlan::new()),
+            counters: WalCounters::default(),
+            group: GroupCommit::new(Duration::from_micros(config.group_commit_window_us)),
+            mode: config.wal_fsync_mode,
+            wall: MonotonicClock::new(),
+            sync_delay_ns: config.wal_sync_delay_us * 1_000,
+            recovered: Mutex::new(recovered),
+            salvage,
+        }
+    }
+
+    /// Split `bytes` into its decoded valid prefix and the prefix length.
+    fn scan_valid_prefix(bytes: &[u8]) -> (Vec<WalEntry>, usize) {
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        let mut prev_lsn: Lsn = 0;
+        while let Some(header) = bytes.get(pos..pos + FRAME_HEADER) {
+            let (Some(len_slice), Some(crc_slice)) = (header.get(..4), header.get(4..)) else {
+                break;
+            };
+            let (Ok(len_bytes), Ok(crc_bytes)) = (arr::<4>(len_slice), arr::<8>(crc_slice)) else {
+                break;
+            };
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            let crc = u64::from_le_bytes(crc_bytes);
+            let Some(payload) = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len) else {
+                break;
+            };
+            if fnv1a64(payload) != crc {
+                break;
+            }
+            let Ok(entry) = WalRecord::decode_payload(payload) else {
+                break;
+            };
+            if entry.lsn <= prev_lsn {
+                break;
+            }
+            prev_lsn = entry.lsn;
+            entries.push(entry);
+            pos += FRAME_HEADER + len;
+        }
+        (entries, pos)
+    }
+
+    /// Drain the records salvaged at open (recovery calls this once).
+    pub fn take_recovered(&self) -> Vec<WalEntry> {
+        std::mem::take(&mut *self.recovered.lock())
+    }
+
+    /// What salvage found when the log was opened.
+    pub fn salvage_report(&self) -> SalvageReport {
+        self.salvage
+    }
+
+    /// Replace the active fault plan (crash scripting).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
+    }
+
+    /// The configured fsync mode.
+    pub fn mode(&self) -> WalFsyncMode {
+        self.mode
+    }
+
+    /// True once a simulated power cut has killed the log.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Mark (or unmark) recovery replay in progress. While set, the engine
+    /// suppresses re-logging of replayed mutations.
+    pub fn set_replaying(&self, on: bool) {
+        self.replaying.store(on, Ordering::Release);
+    }
+
+    /// True while recovery replay is in progress.
+    pub fn is_replaying(&self) -> bool {
+        self.replaying.load(Ordering::Acquire)
+    }
+
+    /// Record the outcome of a replay pass (surfaced via stats).
+    pub fn record_replay(&self, records: u64, txns: u64) {
+        self.counters
+            .replayed_records
+            .store(records, Ordering::Relaxed);
+        self.counters.replayed_txns.store(txns, Ordering::Relaxed);
+    }
+
+    /// Highest LSN assigned so far (0 if the log is empty).
+    pub fn current_lsn(&self) -> Lsn {
+        self.state.lock().next_lsn - 1
+    }
+
+    /// Highest LSN covered by a completed durability barrier.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.state.lock().durable_lsn
+    }
+
+    /// LSN of the newest checkpoint record (truncation low-water mark).
+    pub fn low_water(&self) -> Lsn {
+        self.state.lock().low_water
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> WalStats {
+        let (current_lsn, durable_lsn, low_water_lsn) = {
+            let st = self.state.lock();
+            (st.next_lsn - 1, st.durable_lsn, st.low_water)
+        };
+        let g = self.group.stats();
+        WalStats {
+            current_lsn,
+            durable_lsn,
+            low_water_lsn,
+            appends: self.counters.appends.load(Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+            fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
+            truncations: self.counters.truncations.load(Ordering::Relaxed),
+            groups: g.groups,
+            grouped_commits: g.grouped_commits,
+            max_group: g.max_group,
+            replayed_records: self.counters.replayed_records.load(Ordering::Relaxed),
+            replayed_txns: self.counters.replayed_txns.load(Ordering::Relaxed),
+            recovered_records: self.salvage.recovered_records,
+            discarded_bytes: self.salvage.discarded_bytes,
+        }
+    }
+
+    fn dead() -> Error {
+        Error::Io("wal: log is dead after a simulated power cut (reopen to recover)".into())
+    }
+
+    /// Count one faultable operation; returns its 1-based index and effect.
+    fn observe(&self, op: FaultOp) -> (u64, Option<FaultEffect>) {
+        let counter = match op {
+            FaultOp::WalFsync => &self.counters.fault_fsyncs,
+            FaultOp::WalTruncate => &self.counters.fault_truncates,
+            // Only the three WAL ops reach this; anything else would be a
+            // plumbing bug, and counting it as an append keeps us panic-free.
+            _ => &self.counters.fault_appends,
+        };
+        let n = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        (n, self.plan.lock().effect_for(op, n))
+    }
+
+    /// Simulated power cut: unsynced bytes vanish, the log dies.
+    fn power_cut(&self, st: &mut WalState) {
+        let synced = st.synced_len;
+        // Truncation of a real file can hardly fail here; if it does the
+        // log is dead anyway and reopen re-salvages from disk truth.
+        let _ = st.truncate(synced);
+        self.crashed.store(true, Ordering::Release);
+    }
+
+    /// Append one record, assigning it the next LSN. The record reaches
+    /// the OS but is *not* durable until a barrier covers its LSN.
+    pub fn append(&self, record: &WalRecord) -> Result<Lsn> {
+        let mut st = self.state.lock();
+        if self.is_crashed() {
+            return Err(Self::dead());
+        }
+        let lsn = st.next_lsn;
+        let frame = record.encode_frame(lsn);
+        let (n, effect) = self.observe(FaultOp::WalAppend);
+        match effect {
+            None => {
+                st.write_at_end(&frame)?;
+                st.next_lsn = lsn + 1;
+                self.counters.appends.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_written
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                Ok(lsn)
+            }
+            Some(FaultEffect::Crash) => {
+                self.power_cut(&mut st);
+                Err(Error::Io(format!(
+                    "wal: simulated power cut after append #{n}"
+                )))
+            }
+            Some(FaultEffect::Torn(keep)) => {
+                // Power cut mid-write: unsynced complete frames are lost,
+                // but the first `keep` bytes of this frame reach the
+                // platter — the torn tail recovery must salvage-or-reject.
+                let synced = st.synced_len;
+                let _ = st.truncate(synced);
+                if let Some(prefix) = frame.get(..keep.min(frame.len())) {
+                    let _ = st.write_at_end(prefix);
+                    let _ = st.sync_file();
+                    st.synced_len = st.len;
+                }
+                self.crashed.store(true, Ordering::Release);
+                Err(Error::Io(format!(
+                    "wal: simulated power cut mid-append #{n} (torn tail)"
+                )))
+            }
+            Some(FaultEffect::Permanent) => Err(Error::Io(format!(
+                "injected permanent fault on wal_append #{n}"
+            ))),
+            Some(_) => Err(Error::transient_io(format!(
+                "injected transient fault on wal_append #{n}"
+            ))),
+        }
+    }
+
+    /// Durability barrier: make every record up to (at least) `lsn`
+    /// durable. Returns the new durable LSN. One fsync runs at a time;
+    /// the state lock is *not* held across the device wait, so appends
+    /// proceed while the platter spins.
+    pub fn sync_to(&self, lsn: Lsn) -> Result<Lsn> {
+        let _device = self.sync_lock.lock();
+        let (target_len, target_lsn, file) = {
+            let st = self.state.lock();
+            if st.durable_lsn >= lsn {
+                // A barrier that completed while we waited already covers us.
+                return Ok(st.durable_lsn);
+            }
+            if self.is_crashed() {
+                return Err(Self::dead());
+            }
+            (st.len, st.next_lsn - 1, st.file_handle())
+        };
+        let (n, effect) = self.observe(FaultOp::WalFsync);
+        match effect {
+            None => {}
+            Some(FaultEffect::Crash) => {
+                let mut st = self.state.lock();
+                self.power_cut(&mut st);
+                return Err(Error::Io(format!(
+                    "wal: simulated power cut mid-fsync #{n}"
+                )));
+            }
+            Some(FaultEffect::Permanent) => {
+                return Err(Error::Io(format!(
+                    "injected permanent fault on wal_fsync #{n}"
+                )));
+            }
+            Some(_) => {
+                return Err(Error::transient_io(format!(
+                    "injected transient fault on wal_fsync #{n}"
+                )));
+            }
+        }
+        self.spin_delay();
+        if let Some(f) = file {
+            f.sync_all()
+                .map_err(|e| Error::Io(format!("wal fsync: {e}")))?;
+        }
+        let mut st = self.state.lock();
+        st.synced_len = st.synced_len.max(target_len);
+        st.durable_lsn = st.durable_lsn.max(target_lsn);
+        self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(st.durable_lsn)
+    }
+
+    /// Make the whole log durable (everything appended so far).
+    pub fn sync_all(&self) -> Result<Lsn> {
+        let last = self.current_lsn();
+        if last == 0 {
+            return Ok(0);
+        }
+        self.sync_to(last)
+    }
+
+    /// The commit durability barrier in the configured mode: per-commit
+    /// fsync (`Always`), leader/follower batched fsync (`Group`), or — the
+    /// test-only `Off` mode — no barrier at all.
+    pub fn commit_barrier(&self, lsn: Lsn) -> Result<Lsn> {
+        match self.mode {
+            WalFsyncMode::Off => Ok(lsn),
+            WalFsyncMode::Always => self.sync_to(lsn),
+            WalFsyncMode::Group => self.group.wait_durable(lsn, || self.sync_to(lsn)),
+        }
+    }
+
+    /// Demoted checkpoint: rewrite the log as a single checkpoint record.
+    ///
+    /// Called *after* the page store's manifest for `epoch` is durably
+    /// installed — everything at or below `checkpoint_lsn` is then
+    /// reflected in pages, so the log prefix is dead weight. Crash-safe in
+    /// place: a power cut before the rewrite leaves the full old log
+    /// (replay is idempotent), and the manifest already captures the
+    /// checkpoint, so no window exists where data is only in the discarded
+    /// prefix.
+    pub fn truncate_to(&self, checkpoint_lsn: Lsn, epoch: u64) -> Result<()> {
+        let _device = self.sync_lock.lock();
+        let mut st = self.state.lock();
+        if self.is_crashed() {
+            return Err(Self::dead());
+        }
+        let (n, effect) = self.observe(FaultOp::WalTruncate);
+        match effect {
+            None => {}
+            Some(FaultEffect::Crash) => {
+                self.power_cut(&mut st);
+                return Err(Error::Io(format!(
+                    "wal: simulated power cut during truncation #{n}"
+                )));
+            }
+            Some(FaultEffect::Permanent) => {
+                return Err(Error::Io(format!(
+                    "injected permanent fault on wal_truncate #{n}"
+                )));
+            }
+            Some(_) => {
+                return Err(Error::transient_io(format!(
+                    "injected transient fault on wal_truncate #{n}"
+                )));
+            }
+        }
+        let frame = WalRecord::Checkpoint { epoch }.encode_frame(checkpoint_lsn);
+        st.truncate(0)?;
+        st.write_at_end(&frame)?;
+        st.sync_file()?;
+        st.synced_len = st.len;
+        st.low_water = checkpoint_lsn;
+        st.durable_lsn = st.durable_lsn.max(checkpoint_lsn);
+        self.counters.truncations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Spin the wall clock for the simulated device latency. A spin (not a
+    /// sleep) because `std::thread::sleep` is banned outside daemon/bench
+    /// and because sub-millisecond sleeps are wildly imprecise anyway.
+    fn spin_delay(&self) {
+        if self.sync_delay_ns == 0 {
+            return;
+        }
+        let start = self.wall.now_nanos();
+        while self.wall.now_nanos().saturating_sub(start) < self.sync_delay_ns {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Group-commit batch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Batches led (fsyncs issued by a leader on behalf of a group).
+    pub groups: u64,
+    /// Total commits that rode a batch (sum of batch sizes).
+    pub grouped_commits: u64,
+    /// Largest batch observed.
+    pub max_group: u64,
+}
+
+struct GroupState {
+    /// Highest LSN the group knows to be durable.
+    durable: Lsn,
+    /// True while a leader's fsync is in flight.
+    syncing: bool,
+    /// Committers currently inside `wait_durable`.
+    waiters: u64,
+}
+
+/// Leader/follower group-commit coordinator.
+///
+/// The first committer that finds no fsync in flight becomes *leader*: it
+/// dallies up to the window (only if followers are actually present — a
+/// lone committer pays no added latency), then runs the provided barrier
+/// once for everyone queued. Followers wait on the condvar with a timeout,
+/// so a leader that errors out cannot strand them: they wake, observe
+/// `syncing == false`, and elect themselves.
+///
+/// Synchronization types are swapped to `loom` shims under `--cfg loom`
+/// so the protocol itself is model-checked (no lost wakeups, no commit
+/// acknowledged before a covering fsync).
+pub struct GroupCommit {
+    window: Duration,
+    inner: GcMutex<GroupState>,
+    cv: GcCondvar,
+    groups: AtomicU64,
+    grouped: AtomicU64,
+    max_group: AtomicU64,
+}
+
+impl GroupCommit {
+    /// A coordinator with the given leader dally window.
+    pub fn new(window: Duration) -> Self {
+        GroupCommit {
+            window,
+            inner: GcMutex::new(GroupState {
+                durable: 0,
+                syncing: false,
+                waiters: 0,
+            }),
+            cv: GcCondvar::new(),
+            groups: AtomicU64::new(0),
+            grouped: AtomicU64::new(0),
+            max_group: AtomicU64::new(0),
+        }
+    }
+
+    fn follower_wait(&self) -> Duration {
+        self.window.max(Duration::from_micros(100))
+    }
+
+    /// Block until `lsn` is durable, batching behind (or leading) a group
+    /// fsync. `sync` is the underlying barrier; it must return the new
+    /// durable LSN. Returns the durable LSN covering `lsn`.
+    pub fn wait_durable<F: Fn() -> Result<Lsn>>(&self, lsn: Lsn, sync: F) -> Result<Lsn> {
+        let mut st = self.inner.lock();
+        st.waiters += 1;
+        let res = loop {
+            if st.durable >= lsn {
+                break Ok(st.durable);
+            }
+            if st.syncing {
+                // Follower: the in-flight batch (or the next one) will
+                // cover us. Timed wait so a dead leader cannot strand us.
+                let _ = self.cv.wait_for(&mut st, self.follower_wait());
+                continue;
+            }
+            // Leader. Dally for followers only when someone is actually
+            // behind us: a lone committer syncs immediately.
+            st.syncing = true;
+            if st.waiters > 1 && !self.window.is_zero() {
+                let _ = self.cv.wait_for(&mut st, self.window);
+            }
+            let batch = st.waiters;
+            drop(st);
+            let outcome = sync();
+            st = self.inner.lock();
+            st.syncing = false;
+            self.cv.notify_all();
+            match outcome {
+                Ok(durable) => {
+                    if durable > st.durable {
+                        st.durable = durable;
+                    }
+                    self.groups.fetch_add(1, Ordering::Relaxed);
+                    self.grouped.fetch_add(batch, Ordering::Relaxed);
+                    self.max_group.fetch_max(batch, Ordering::Relaxed);
+                    // Loop: the next check acknowledges us (and any
+                    // follower the barrier covered).
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        st.waiters -= 1;
+        drop(st);
+        res
+    }
+
+    /// Snapshot of the batch counters.
+    pub fn stats(&self) -> GroupCommitStats {
+        GroupCommitStats {
+            groups: self.groups.load(Ordering::Relaxed),
+            grouped_commits: self.grouped.load(Ordering::Relaxed),
+            max_group: self.max_group.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::fault::FaultOp;
+    use std::sync::atomic::AtomicU64;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ingot-wal-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Begin { txn: TxnId(7) },
+            WalRecord::Insert {
+                txn: TxnId(7),
+                table: "t".into(),
+                row: vec![1, 2, 3],
+            },
+            WalRecord::Delete {
+                txn: TxnId(7),
+                table: "t".into(),
+                old: vec![4, 5],
+            },
+            WalRecord::Update {
+                txn: TxnId(7),
+                table: "t".into(),
+                old: vec![6],
+                new: vec![7, 8],
+            },
+            WalRecord::Commit { txn: TxnId(7) },
+            WalRecord::Abort { txn: TxnId(8) },
+            WalRecord::Checkpoint { epoch: 3 },
+            WalRecord::Ddl {
+                sql: "create table t (a int)".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn frame_roundtrip_all_kinds() {
+        for (i, rec) in sample_records().into_iter().enumerate() {
+            let lsn = (i + 1) as Lsn;
+            let frame = rec.encode_frame(lsn);
+            let payload = &frame[FRAME_HEADER..];
+            let entry = WalRecord::decode_payload(payload).unwrap();
+            assert_eq!(entry.lsn, lsn);
+            assert_eq!(entry.record, rec);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_trailing_bytes() {
+        assert!(WalRecord::decode_payload(&[]).is_err());
+        assert!(WalRecord::decode_payload(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        let mut frame = WalRecord::Commit { txn: TxnId(1) }.encode_frame(1);
+        frame.push(0xAB); // trailing garbage after the payload
+        assert!(WalRecord::decode_payload(&frame[FRAME_HEADER..]).is_err());
+    }
+
+    #[test]
+    fn append_sync_watermarks() {
+        let wal = Wal::in_memory(&cfg());
+        assert_eq!(wal.current_lsn(), 0);
+        let l1 = wal.append(&WalRecord::Begin { txn: TxnId(1) }).unwrap();
+        let l2 = wal.append(&WalRecord::Commit { txn: TxnId(1) }).unwrap();
+        assert_eq!((l1, l2), (1, 2));
+        assert_eq!(wal.durable_lsn(), 0);
+        assert_eq!(wal.sync_to(l2).unwrap(), 2);
+        assert_eq!(wal.durable_lsn(), 2);
+        // A second barrier over already-durable LSNs is free.
+        let before = wal.stats().fsyncs;
+        assert_eq!(wal.sync_to(l1).unwrap(), 2);
+        assert_eq!(wal.stats().fsyncs, before);
+    }
+
+    #[test]
+    fn reopen_replays_only_synced_records() {
+        let dir = tmpdir("reopen");
+        {
+            let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
+            wal.append(&WalRecord::Begin { txn: TxnId(1) }).unwrap();
+            let l = wal.append(&WalRecord::Commit { txn: TxnId(1) }).unwrap();
+            wal.sync_to(l).unwrap();
+            // Unsynced append, then a scripted power cut on the next one.
+            wal.append(&WalRecord::Begin { txn: TxnId(2) }).unwrap();
+            wal.set_fault_plan(FaultPlan::new().with_rule(
+                FaultOp::WalAppend,
+                4,
+                4,
+                FaultEffect::Crash,
+            ));
+            let err = wal
+                .append(&WalRecord::Commit { txn: TxnId(2) })
+                .unwrap_err();
+            assert!(!err.is_transient());
+            assert!(wal.is_crashed());
+            // Dead log: everything fails until reboot.
+            assert!(wal.append(&WalRecord::Abort { txn: TxnId(2) }).is_err());
+            assert!(wal.sync_all().is_err());
+        }
+        let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
+        let entries = wal.take_recovered();
+        assert_eq!(
+            entries
+                .iter()
+                .map(|e| (e.lsn, e.record.clone()))
+                .collect::<Vec<_>>(),
+            vec![
+                (1, WalRecord::Begin { txn: TxnId(1) }),
+                (2, WalRecord::Commit { txn: TxnId(1) }),
+            ],
+            "unsynced records must be gone, synced ones intact"
+        );
+        assert_eq!(wal.current_lsn(), 2);
+        assert_eq!(wal.durable_lsn(), 2);
+        // Draining twice yields nothing.
+        assert!(wal.take_recovered().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_then_rejected() {
+        let dir = tmpdir("torn");
+        {
+            let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
+            let l = wal.append(&WalRecord::Begin { txn: TxnId(1) }).unwrap();
+            wal.sync_to(l).unwrap();
+            wal.set_fault_plan(FaultPlan::new().with_rule(
+                FaultOp::WalAppend,
+                2,
+                2,
+                FaultEffect::Torn(5),
+            ));
+            assert!(wal.append(&WalRecord::Commit { txn: TxnId(1) }).is_err());
+            assert!(wal.is_crashed());
+        }
+        let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
+        let report = wal.salvage_report();
+        assert_eq!(report.recovered_records, 1, "only the synced record");
+        assert_eq!(report.discarded_bytes, 5, "the torn tail is rejected");
+        let entries = wal.take_recovered();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].record, WalRecord::Begin { txn: TxnId(1) });
+        // The torn tail was physically removed: a third open is clean.
+        drop(wal);
+        let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
+        assert_eq!(wal.salvage_report().discarded_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_crash_kills_the_log() {
+        let wal = Wal::in_memory(&cfg());
+        wal.append(&WalRecord::Begin { txn: TxnId(1) }).unwrap();
+        wal.set_fault_plan(FaultPlan::new().with_rule(FaultOp::WalFsync, 1, 1, FaultEffect::Crash));
+        assert!(wal.sync_all().is_err());
+        assert!(wal.is_crashed());
+        assert!(wal.append(&WalRecord::Commit { txn: TxnId(1) }).is_err());
+        // The unsynced record was eaten by the power cut.
+        assert_eq!(wal.durable_lsn(), 0);
+    }
+
+    #[test]
+    fn truncation_rewrites_log_to_checkpoint_record() {
+        let dir = tmpdir("trunc");
+        {
+            let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+            let last = wal.sync_all().unwrap();
+            wal.truncate_to(last, 9).unwrap();
+            assert_eq!(wal.low_water(), last);
+            assert_eq!(wal.stats().truncations, 1);
+            // New appends continue the LSN sequence past the checkpoint.
+            let next = wal.append(&WalRecord::Begin { txn: TxnId(9) }).unwrap();
+            assert_eq!(next, last + 1);
+            wal.sync_all().unwrap();
+        }
+        let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
+        let entries = wal.take_recovered();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].record, WalRecord::Checkpoint { epoch: 9 });
+        assert_eq!(entries[1].record, WalRecord::Begin { txn: TxnId(9) });
+        assert_eq!(wal.low_water(), entries[0].lsn);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_crash_preserves_old_log() {
+        let dir = tmpdir("trunc-crash");
+        let synced;
+        {
+            let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+            synced = wal.sync_all().unwrap();
+            wal.set_fault_plan(FaultPlan::new().with_rule(
+                FaultOp::WalTruncate,
+                1,
+                1,
+                FaultEffect::Crash,
+            ));
+            assert!(wal.truncate_to(synced, 9).is_err());
+            assert!(wal.is_crashed());
+        }
+        let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
+        // The full pre-truncation log survives, byte for byte.
+        assert_eq!(wal.take_recovered().len(), sample_records().len());
+        assert_eq!(wal.current_lsn(), synced);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_append_fault_does_not_advance_lsn() {
+        let wal = Wal::in_memory(&cfg());
+        wal.set_fault_plan(FaultPlan::new().with_rule(
+            FaultOp::WalAppend,
+            1,
+            1,
+            FaultEffect::Transient,
+        ));
+        let err = wal.append(&WalRecord::Begin { txn: TxnId(1) }).unwrap_err();
+        assert!(err.is_transient());
+        assert!(!wal.is_crashed());
+        // Retry gets the same LSN the failed attempt would have used.
+        assert_eq!(wal.append(&WalRecord::Begin { txn: TxnId(1) }).unwrap(), 1);
+    }
+
+    #[test]
+    fn group_commit_single_committer_syncs_immediately() {
+        let wal = Wal::in_memory(&cfg());
+        let l = wal.append(&WalRecord::Commit { txn: TxnId(1) }).unwrap();
+        assert_eq!(wal.commit_barrier(l).unwrap(), l);
+        let s = wal.stats();
+        assert_eq!(s.groups, 1);
+        assert_eq!(s.grouped_commits, 1);
+        assert_eq!(s.max_group, 1);
+        assert_eq!(s.durable_lsn, l);
+    }
+
+    #[test]
+    fn group_commit_concurrent_committers_all_become_durable() {
+        let wal = Arc::new(Wal::in_memory(
+            &cfg()
+                .with_group_commit_window_us(2_000)
+                .with_wal_sync_delay_us(200),
+        ));
+        let threads = 8;
+        let commits_each = 10;
+        let failures = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                let failures = Arc::clone(&failures);
+                std::thread::spawn(move || {
+                    for i in 0..commits_each {
+                        let txn = TxnId((t * 1_000 + i) as u64);
+                        let lsn = wal.append(&WalRecord::Commit { txn }).unwrap();
+                        match wal.commit_barrier(lsn) {
+                            Ok(d) => assert!(d >= lsn, "ack before durable"),
+                            Err(_) => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(failures.load(Ordering::Relaxed), 0);
+        let s = wal.stats();
+        assert_eq!(s.current_lsn, (threads * commits_each) as u64);
+        assert_eq!(s.durable_lsn, s.current_lsn);
+        assert!(
+            s.grouped_commits >= (threads * commits_each) as u64,
+            "every commit rides a batch"
+        );
+    }
+
+    #[test]
+    fn off_mode_skips_the_barrier() {
+        let wal = Wal::in_memory(&cfg().with_wal_fsync_mode(WalFsyncMode::Off));
+        let l = wal.append(&WalRecord::Commit { txn: TxnId(1) }).unwrap();
+        assert_eq!(wal.commit_barrier(l).unwrap(), l);
+        // Nothing actually became durable — that is the documented gap.
+        assert_eq!(wal.durable_lsn(), 0);
+        assert_eq!(wal.stats().fsyncs, 0);
+    }
+
+    #[test]
+    fn always_mode_syncs_every_commit() {
+        let wal = Wal::in_memory(&cfg().with_wal_fsync_mode(WalFsyncMode::Always));
+        for i in 1..=3u64 {
+            let l = wal.append(&WalRecord::Commit { txn: TxnId(i) }).unwrap();
+            assert_eq!(wal.commit_barrier(l).unwrap(), l);
+        }
+        assert_eq!(wal.stats().fsyncs, 3);
+        assert_eq!(
+            wal.stats().groups,
+            0,
+            "always-mode bypasses the coordinator"
+        );
+    }
+
+    #[test]
+    fn salvage_rejects_lsn_regression() {
+        // Two frames with non-increasing LSNs: the second terminates the
+        // valid prefix even though its checksum is fine.
+        let mut bytes = WalRecord::Begin { txn: TxnId(1) }.encode_frame(5);
+        bytes.extend_from_slice(&WalRecord::Commit { txn: TxnId(1) }.encode_frame(5));
+        let (entries, valid) = Wal::scan_valid_prefix(&bytes);
+        assert_eq!(entries.len(), 1);
+        assert!(valid < bytes.len());
+    }
+}

@@ -12,16 +12,45 @@ pub mod lock;
 pub use lock::{LockInfo, LockManager, LockMode, LockStats, Resource};
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
-use ingot_common::TxnId;
+use ingot_common::{Error, Result, TxnId};
+use parking_lot::{Condvar, Mutex};
 
-/// Allocates transaction ids.
+/// State behind the quiesce gate: live transaction count plus whether a
+/// checkpoint is currently draining them.
+#[derive(Debug, Default)]
+struct Gate {
+    active: u64,
+    quiescing: bool,
+}
+
+/// Allocates transaction ids and provides the checkpoint *quiesce gate*:
+/// [`TxnManager::quiesce`] blocks new transactions and waits for in-flight
+/// ones to finish, giving the checkpoint a moment with no concurrent DML so
+/// the flushed pages and the WAL truncation point agree.
 #[derive(Debug, Default)]
 pub struct TxnManager {
     next: AtomicU64,
-    active: AtomicU64,
     committed: AtomicU64,
     aborted: AtomicU64,
+    gate: Mutex<Gate>,
+    cv: Condvar,
+}
+
+/// Holds the quiesce gate closed. New transactions resume when dropped.
+#[derive(Debug)]
+pub struct QuiesceGuard<'a> {
+    mgr: &'a TxnManager,
+}
+
+impl Drop for QuiesceGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = self.mgr.gate.lock();
+        g.quiescing = false;
+        drop(g);
+        self.mgr.cv.notify_all();
+    }
 }
 
 impl TxnManager {
@@ -33,27 +62,78 @@ impl TxnManager {
         }
     }
 
-    /// Start a transaction.
+    /// Start a transaction. Blocks while a [`TxnManager::quiesce`] guard is
+    /// held.
     pub fn begin(&self) -> TxnId {
-        self.active.fetch_add(1, Ordering::Relaxed);
+        let mut g = self.gate.lock();
+        while g.quiescing {
+            self.cv.wait(&mut g);
+        }
+        g.active += 1;
+        drop(g);
         TxnId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// One transaction left the system: update the gate and wake anyone
+    /// draining (a quiescer waiting for zero, or begins parked on the gate).
+    fn finish_one(&self) {
+        let mut g = self.gate.lock();
+        g.active = g.active.saturating_sub(1);
+        let wake = g.active == 0 || g.quiescing;
+        drop(g);
+        if wake {
+            self.cv.notify_all();
+        }
     }
 
     /// Record a commit.
     pub fn commit(&self, _txn: TxnId) {
-        self.active.fetch_sub(1, Ordering::Relaxed);
         self.committed.fetch_add(1, Ordering::Relaxed);
+        self.finish_one();
     }
 
     /// Record an abort (deadlock victim or user rollback).
     pub fn abort(&self, _txn: TxnId) {
-        self.active.fetch_sub(1, Ordering::Relaxed);
         self.aborted.fetch_add(1, Ordering::Relaxed);
+        self.finish_one();
+    }
+
+    /// Close the gate: block new [`TxnManager::begin`]s and wait up to
+    /// `timeout` for active transactions to drain. On success the returned
+    /// guard keeps the gate closed until dropped; on timeout the gate
+    /// reopens and an error is returned (the checkpoint should retry later
+    /// rather than stall writers forever).
+    ///
+    /// Spurious or early condvar wakeups re-wait with the same slice, so the
+    /// total wait can exceed `timeout` slightly; it remains bounded because
+    /// every wakeup source in this module reflects a real state change.
+    pub fn quiesce(&self, timeout: Duration) -> Result<QuiesceGuard<'_>> {
+        let mut g = self.gate.lock();
+        while g.quiescing {
+            // Another quiescer is draining; take over once it reopens.
+            if self.cv.wait_for(&mut g, timeout).timed_out() && g.quiescing {
+                return Err(Error::execution(
+                    "quiesce: another checkpoint is in progress",
+                ));
+            }
+        }
+        g.quiescing = true;
+        while g.active > 0 {
+            if self.cv.wait_for(&mut g, timeout).timed_out() && g.active > 0 {
+                g.quiescing = false;
+                drop(g);
+                self.cv.notify_all();
+                return Err(Error::execution(format!(
+                    "quiesce: transactions still active after {timeout:?}"
+                )));
+            }
+        }
+        Ok(QuiesceGuard { mgr: self })
     }
 
     /// Currently active transactions.
     pub fn active_count(&self) -> u64 {
-        self.active.load(Ordering::Relaxed)
+        self.gate.lock().active
     }
 
     /// Transactions committed so far.
@@ -70,6 +150,39 @@ impl TxnManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn quiesce_drains_and_blocks_begins() {
+        let m = Arc::new(TxnManager::new());
+        let t = m.begin();
+        // Can't drain while `t` is active.
+        assert!(m.quiesce(Duration::from_millis(20)).is_err());
+        m.commit(t);
+        let guard = m.quiesce(Duration::from_secs(1)).unwrap();
+        // A begin on another thread parks until the guard drops.
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            let t = m2.begin();
+            m2.commit(t);
+        });
+        drop(guard);
+        h.join().unwrap();
+        assert_eq!(m.active_count(), 0);
+        assert_eq!(m.committed_count(), 2);
+    }
+
+    #[test]
+    fn quiesce_reopens_gate_on_timeout() {
+        let m = TxnManager::new();
+        let t = m.begin();
+        assert!(m.quiesce(Duration::from_millis(10)).is_err());
+        // The failed quiesce must not leave the gate closed.
+        let t2 = m.begin();
+        m.commit(t);
+        m.abort(t2);
+        assert_eq!(m.active_count(), 0);
+    }
 
     #[test]
     fn txn_lifecycle_counts() {

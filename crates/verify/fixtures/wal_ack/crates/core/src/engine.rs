@@ -1,0 +1,20 @@
+//! Golden fixture: commit-acknowledgement discipline.
+
+pub fn commit_txn(&self, txn: TxnId) {
+    self.txns.commit(txn);
+    let lsn = self.wal.append(&WalRecord::Commit { txn });
+    self.wal.commit_barrier(lsn);
+    self.txns.commit(txn);
+}
+
+pub fn sneaky_ack(&self, txn: TxnId) {
+    self.txns.commit(txn);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_ack() {
+        engine.txns.commit(txn);
+    }
+}

@@ -1,4 +1,4 @@
-//! The four invariant checks.
+//! The six invariant checks.
 
 use std::fmt;
 use std::path::Path;
@@ -9,7 +9,8 @@ use crate::scan::SourceFile;
 /// One diagnostic produced by a check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Check id: `lock-order`, `panic`, `clock`, `ima`.
+    /// Check id: `lock-order`, `panic`, `clock`, `ima`, `error-type`,
+    /// `wal-ack`.
     pub check: &'static str,
     /// Sub-category (`unwrap` / `expect` / `index` for `panic`; a short kind
     /// for the others).
@@ -437,6 +438,83 @@ pub fn check_error_discipline(files: &[SourceFile]) -> Vec<Violation> {
                 j += 1;
             }
             i = j.max(i + 1);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 6: commit-acknowledgement discipline.
+// ---------------------------------------------------------------------------
+
+/// A commit is acknowledged by `txns.commit(…)` — the moment the transaction
+/// manager counts it committed and its effects become irrevocable. That call
+/// may appear only in the allowlisted engine commit path, and there only
+/// lexically after the WAL durability barrier (`commit_barrier`) in the same
+/// function, so no code path can report success for a commit that would not
+/// survive a crash. The check is lexical, not path-sensitive: a barrier
+/// anywhere earlier in the function satisfies it, which matches the engine's
+/// shape (barrier guarded by "did this txn log anything", ack at the end).
+pub fn check_wal_ack(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        let scanned = file
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| policy::WAL_ACK_CRATES.contains(&c))
+            && !file.in_tests_dir;
+        if !scanned {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.in_test || t.text != "txns" {
+                continue;
+            }
+            let direct = seq(file, i, &["txns", ".", "commit", "("]);
+            let via_accessor = seq(file, i, &["txns", "(", ")", ".", "commit", "("]);
+            if !direct && !via_accessor {
+                continue;
+            }
+            let func = func_of(file, i);
+            let allowed = policy::WAL_COMMIT_FNS
+                .iter()
+                .any(|(f, fun)| file.rel_path.ends_with(f) && func == *fun);
+            if !allowed {
+                out.push(Violation {
+                    check: "wal-ack",
+                    category: "ack-outside-commit-path".into(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    func: func.clone(),
+                    ordinal: 0,
+                    message: format!(
+                        "txns.commit() in `{func}` — commits may be acknowledged only by \
+                         the engine commit path (see verify policy), which makes the WAL \
+                         record durable first"
+                    ),
+                });
+                continue;
+            }
+            let barrier_before = (0..i)
+                .rev()
+                .take_while(|&j| func_of(file, j) == func)
+                .any(|j| file.tokens[j].text == "commit_barrier");
+            if !barrier_before {
+                out.push(Violation {
+                    check: "wal-ack",
+                    category: "ack-before-barrier".into(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    func: func.clone(),
+                    ordinal: 0,
+                    message: format!(
+                        "txns.commit() in `{func}` precedes the WAL durability barrier — \
+                         append the Commit record and wait on commit_barrier before \
+                         acknowledging"
+                    ),
+                });
+            }
         }
     }
     out

@@ -18,6 +18,9 @@
 //! 5. **error-type** — `pub fn`s of the embedding API (`core::engine`)
 //!    never return `Result<_, String>`; errors cross the API boundary as
 //!    `ingot_common::Error` so callers can match on kinds.
+//! 6. **wal-ack** — `txns.commit(…)` (the commit acknowledgement) only in
+//!    the engine commit path, and only after the WAL durability barrier, so
+//!    no path reports success for a commit that cannot survive a crash.
 //!
 //! `syn` is deliberately not used: the checks operate on a comment- and
 //! literal-stripped token stream (see [`lexer`]), which keeps the tool
@@ -58,6 +61,7 @@ pub fn run(root: &Path, allowlist_path: Option<&Path>) -> std::io::Result<Report
     violations.extend(checks::check_clock_hygiene(&files));
     violations.extend(checks::check_ima_completeness(root, &files));
     violations.extend(checks::check_error_discipline(&files));
+    violations.extend(checks::check_wal_ack(&files));
 
     let panic_violations = checks::check_panic_freedom(&files);
     let (fresh, allowlisted, stale) = match allowlist_path {

@@ -36,7 +36,8 @@ pub const DDL_WRITERS: &[(&str, &str)] = &[
 /// wall-clock wrapper itself, the tracing subsystem, the storage daemon and
 /// the benchmark harness. Everything else must route through
 /// `ingot_common::clock` so monitoring overhead stays attributable.
-pub const CLOCK_EXEMPT_CRATES: &[&str] = &["trace", "daemon", "bench", "loom-shim"];
+pub const CLOCK_EXEMPT_CRATES: &[&str] =
+    &["trace", "daemon", "bench", "loom-shim", "criterion-shim"];
 
 /// Files exempt from the clock check by name.
 pub const CLOCK_EXEMPT_FILES: &[&str] = &["crates/common/src/clock.rs"];
@@ -47,6 +48,18 @@ pub const IMA_REGISTRY_FILE: &str = "crates/core/src/ima.rs";
 /// Files whose `pub fn`s form the embedding API: their fallible returns
 /// must use `ingot_common::Result`, never `Result<_, String>`.
 pub const ERROR_DISCIPLINE_FILES: &[&str] = &["crates/core/src/engine.rs"];
+
+/// Crates scanned for commit-acknowledgement discipline: `txns.commit(…)`
+/// (the point at which a commit becomes visible to other sessions and is
+/// reported successful) may appear only in [`WAL_COMMIT_FNS`], and there
+/// only after the WAL durability barrier.
+pub const WAL_ACK_CRATES: &[&str] = &["core", "executor", "txn", "daemon", "analyzer"];
+
+/// `(file suffix, function)` pairs allowed to acknowledge a commit. The
+/// single sanctioned path is `Engine::commit_txn`, which appends the
+/// `Commit` record and waits on `commit_barrier` before calling
+/// `txns.commit`.
+pub const WAL_COMMIT_FNS: &[(&str, &str)] = &[("crates/core/src/engine.rs", "commit_txn")];
 
 /// Rust keywords that cannot be an indexed expression head; a `[` following
 /// one of these is an array literal, type, or pattern — not indexing.

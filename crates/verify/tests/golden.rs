@@ -168,6 +168,32 @@ fn error_type_fixture_diagnostics() {
 }
 
 #[test]
+fn wal_ack_fixture_diagnostics() {
+    let r = run("wal_ack");
+    assert_eq!(
+        summarize(&r),
+        vec![
+            (
+                s("wal-ack"),
+                s("ack-before-barrier"),
+                s("crates/core/src/engine.rs"),
+                4,
+                s("commit_txn"),
+            ),
+            (
+                s("wal-ack"),
+                s("ack-outside-commit-path"),
+                s("crates/core/src/engine.rs"),
+                11,
+                s("sneaky_ack"),
+            ),
+        ],
+        "the post-barrier ack in `commit_txn` and the #[cfg(test)] ack must \
+         not be flagged; the pre-barrier ack and `sneaky_ack` must be"
+    );
+}
+
+#[test]
 fn display_format_is_stable() {
     let r = run("clock");
     let line = r.violations[0].to_string();
@@ -204,7 +230,14 @@ fn allowlist_grandfathers_and_ratchets() {
 #[test]
 fn cli_exits_nonzero_on_every_fixture() {
     let bin = env!("CARGO_BIN_EXE_ingot-verify");
-    for case in ["lock_order", "panic", "clock", "ima", "error_type"] {
+    for case in [
+        "lock_order",
+        "panic",
+        "clock",
+        "ima",
+        "error_type",
+        "wal_ack",
+    ] {
         let out = Command::new(bin)
             .args(["--root"])
             .arg(fixture(case))

@@ -1,0 +1,410 @@
+//! Crash-scripted replay proofs for the write-ahead log.
+//!
+//! Each test drives a file-backed engine through a committed workload mix,
+//! scripts a deterministic power cut at one of the WAL's fault points
+//! (append, mid-fsync, torn tail, checkpoint truncation), reopens the same
+//! directory and asserts the **acknowledged-commit invariant**: every commit
+//! that returned `Ok` before the cut is present after recovery, and nothing
+//! that was never acknowledged (in-flight statements, rolled-back or
+//! unfinished transactions) survives. A property test closes the loop:
+//! random interleaved commit/abort histories replay to exactly the table
+//! state observed before the crash.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ingot::common::WalFsyncMode;
+use ingot::prelude::*;
+use ingot::storage::{FaultEffect, FaultOp};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory per scenario (proptest cases included).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ingot-walcrash-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn open(dir: &Path, mode: WalFsyncMode) -> Arc<Engine> {
+    Engine::builder()
+        .config(EngineConfig::default().with_wal_fsync_mode(mode))
+        .path(dir)
+        .build()
+        .unwrap()
+}
+
+fn table_ints(engine: &Arc<Engine>) -> Vec<i64> {
+    let s = engine.open_session();
+    let r = s.execute("select a from t order by a").unwrap();
+    r.rows
+        .iter()
+        .map(|row| row.get(0).as_int().unwrap())
+        .collect()
+}
+
+/// The committed workload mix every crash script runs first: auto-commit
+/// inserts, a multi-row update, a multi-row delete, one explicit committed
+/// transaction and one explicitly rolled-back transaction.
+fn seed_mix(s: &Session) {
+    s.execute("create table t (a int not null, b text)")
+        .unwrap();
+    for i in 0..8 {
+        s.execute(&format!("insert into t values ({i}, 'seed {i}')"))
+            .unwrap();
+    }
+    s.execute("update t set b = 'touched' where a < 3").unwrap();
+    s.execute("delete from t where a >= 6").unwrap();
+    s.begin().unwrap();
+    s.execute("insert into t values (100, 'explicit commit')")
+        .unwrap();
+    s.commit().unwrap();
+    s.begin().unwrap();
+    s.execute("insert into t values (200, 'rolled back')")
+        .unwrap();
+    s.rollback().unwrap();
+}
+
+/// What the mix leaves behind: the surviving seeds plus the explicit commit.
+const MIX_STATE: [i64; 7] = [0, 1, 2, 3, 4, 5, 100];
+
+/// Crash point `crash_after_wal_append`: the Commit record reaches the OS
+/// but the covering fsync dies. The statement must fail (never acknowledged)
+/// and recovery must keep exactly the acknowledged history.
+#[test]
+fn crash_after_wal_append_discards_the_unacknowledged_commit() {
+    let dir = scratch_dir("append-ack");
+    {
+        let e = open(&dir, WalFsyncMode::Always);
+        let s = e.open_session();
+        seed_mix(&s);
+        e.wal().set_fault_plan(FaultPlan::new().with_rule(
+            FaultOp::WalFsync,
+            1,
+            u64::MAX,
+            FaultEffect::Crash,
+        ));
+        let err = s
+            .execute("insert into t values (300, 'never acked')")
+            .unwrap_err();
+        assert!(err.to_string().contains("power cut"), "{err}");
+        assert!(e.wal().is_crashed(), "the power cut must kill the log");
+    }
+    let e = open(&dir, WalFsyncMode::Always);
+    assert_eq!(table_ints(&e), MIX_STATE);
+    let stats = e.wal_stats();
+    assert!(
+        stats.replayed_txns >= 1,
+        "the committed history must be redone from the log: {stats:?}"
+    );
+}
+
+/// Crash point `torn_wal_tail`: the power cut lands mid-frame, leaving a
+/// partial record on the platter. Salvage must drop exactly the torn tail,
+/// and the reopened engine must keep committing.
+#[test]
+fn torn_wal_tail_is_salvaged_to_the_last_durable_commit() {
+    let dir = scratch_dir("torn");
+    {
+        let e = open(&dir, WalFsyncMode::Always);
+        let s = e.open_session();
+        seed_mix(&s);
+        e.wal().set_fault_plan(FaultPlan::new().with_rule(
+            FaultOp::WalAppend,
+            1,
+            u64::MAX,
+            FaultEffect::Torn(5),
+        ));
+        let err = s
+            .execute("insert into t values (300, 'torn away')")
+            .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+    }
+    let e = open(&dir, WalFsyncMode::Always);
+    assert_eq!(table_ints(&e), MIX_STATE);
+    let stats = e.wal_stats();
+    assert!(
+        stats.discarded_bytes > 0,
+        "the torn tail must be counted as discarded: {stats:?}"
+    );
+    let s = e.open_session();
+    s.execute("insert into t values (7, 'post-recovery')")
+        .unwrap();
+    assert_eq!(table_ints(&e), vec![0, 1, 2, 3, 4, 5, 7, 100]);
+}
+
+/// Crash point `crash_mid_fsync` under group commit: the batch leader's
+/// fsync dies; no rider of that batch may be acknowledged.
+#[test]
+fn group_commit_crash_mid_fsync_loses_no_acknowledged_commit() {
+    let dir = scratch_dir("group-fsync");
+    {
+        let e = open(&dir, WalFsyncMode::Group);
+        let s = e.open_session();
+        seed_mix(&s);
+        e.wal().set_fault_plan(FaultPlan::new().with_rule(
+            FaultOp::WalFsync,
+            1,
+            u64::MAX,
+            FaultEffect::Crash,
+        ));
+        let err = s
+            .execute("insert into t values (300, 'doomed rider')")
+            .unwrap_err();
+        assert!(err.to_string().contains("power cut"), "{err}");
+    }
+    let e = open(&dir, WalFsyncMode::Group);
+    assert_eq!(table_ints(&e), MIX_STATE);
+}
+
+/// Crash point `crash_during_checkpoint_truncate`: the checkpoint image is
+/// installed but the log truncation dies. Recovery must come up on the new
+/// checkpoint without double-applying the pre-checkpoint history, and a
+/// later checkpoint must complete normally.
+#[test]
+fn crash_during_checkpoint_truncate_replays_from_the_full_log() {
+    let dir = scratch_dir("ckpt-truncate");
+    {
+        let e = open(&dir, WalFsyncMode::Always);
+        let s = e.open_session();
+        seed_mix(&s);
+        e.checkpoint().unwrap();
+        s.execute("insert into t values (300, 'after checkpoint one')")
+            .unwrap();
+        e.wal().set_fault_plan(FaultPlan::new().with_rule(
+            FaultOp::WalTruncate,
+            1,
+            u64::MAX,
+            FaultEffect::Crash,
+        ));
+        let err = e.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("power cut"), "{err}");
+    }
+    let expected = [0, 1, 2, 3, 4, 5, 100, 300];
+    let e = open(&dir, WalFsyncMode::Always);
+    assert_eq!(table_ints(&e), expected);
+    e.checkpoint().unwrap();
+    drop(e);
+    let e = open(&dir, WalFsyncMode::Always);
+    assert_eq!(table_ints(&e), expected);
+}
+
+/// A transaction whose records are durable (a later commit's fsync covered
+/// them) but that never committed is a *loser*: replay must discard its
+/// mutations while redoing the interleaved winner.
+#[test]
+fn durable_loser_records_are_discarded_by_replay() {
+    let dir = scratch_dir("loser");
+    {
+        let e = open(&dir, WalFsyncMode::Always);
+        let s1 = e.open_session();
+        s1.execute("create table t (a int not null, b text)")
+            .unwrap();
+        s1.execute("create table u (a int not null, b text)")
+            .unwrap();
+        let s2 = e.open_session();
+        s2.begin().unwrap();
+        s2.execute("insert into u values (99, 'loser')").unwrap();
+        // s1's auto-commit barrier makes the whole log durable, the loser's
+        // Begin/Insert records included.
+        s1.execute("insert into t values (1, 'winner')").unwrap();
+        // Power cut before s2 resolves: its best-effort Abort record hits
+        // the dead log and is dropped on the floor.
+        e.wal().set_fault_plan(FaultPlan::new().with_rule(
+            FaultOp::WalAppend,
+            1,
+            u64::MAX,
+            FaultEffect::Crash,
+        ));
+        drop(s2);
+        assert!(e.wal().is_crashed());
+    }
+    let e = open(&dir, WalFsyncMode::Always);
+    assert_eq!(table_ints(&e), vec![1]);
+    let s = e.open_session();
+    let u = s.execute("select a from u").unwrap();
+    assert!(
+        u.rows.is_empty(),
+        "the uncommitted insert must not survive replay"
+    );
+}
+
+/// The full crash-point × fsync-mode matrix over the shared workload mix:
+/// whatever the scripted cut, the statement in flight fails and recovery
+/// reproduces exactly the acknowledged state.
+#[test]
+fn every_crash_point_preserves_acknowledged_commits() {
+    let cases = [
+        (
+            "always-append",
+            WalFsyncMode::Always,
+            FaultOp::WalAppend,
+            FaultEffect::Crash,
+        ),
+        (
+            "always-torn",
+            WalFsyncMode::Always,
+            FaultOp::WalAppend,
+            FaultEffect::Torn(7),
+        ),
+        (
+            "always-fsync",
+            WalFsyncMode::Always,
+            FaultOp::WalFsync,
+            FaultEffect::Crash,
+        ),
+        (
+            "group-append",
+            WalFsyncMode::Group,
+            FaultOp::WalAppend,
+            FaultEffect::Crash,
+        ),
+        (
+            "group-torn",
+            WalFsyncMode::Group,
+            FaultOp::WalAppend,
+            FaultEffect::Torn(3),
+        ),
+        (
+            "group-fsync",
+            WalFsyncMode::Group,
+            FaultOp::WalFsync,
+            FaultEffect::Crash,
+        ),
+    ];
+    for (tag, mode, op, effect) in cases {
+        let dir = scratch_dir(tag);
+        {
+            let e = open(&dir, mode);
+            let s = e.open_session();
+            seed_mix(&s);
+            e.wal()
+                .set_fault_plan(FaultPlan::new().with_rule(op, 1, u64::MAX, effect));
+            assert!(
+                s.execute("insert into t values (300, 'doomed')").is_err(),
+                "{tag}: the in-flight statement must fail at the crash point"
+            );
+        }
+        let e = open(&dir, mode);
+        assert_eq!(table_ints(&e), MIX_STATE, "{tag}");
+    }
+}
+
+/// The WAL's counters are queryable over SQL as `ima$wal` and agree with the
+/// typed stats surface.
+#[test]
+fn ima_wal_surfaces_the_log_counters() {
+    let e = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
+    let s = e.open_session();
+    s.execute("create table t (a int not null)").unwrap();
+    for i in 0..4 {
+        s.execute(&format!("insert into t values ({i})")).unwrap();
+    }
+    let r = s
+        .execute(
+            "select fsync_mode, appends, fsyncs, current_lsn, durable_lsn, \
+             grouped_commits from ima$wal",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "ima$wal is a one-row table");
+    let row = &r.rows[0];
+    assert_eq!(row.get(0).as_str().unwrap(), "group");
+    assert!(row.get(1).as_int().unwrap() > 0, "appends must be counted");
+    assert!(row.get(2).as_int().unwrap() > 0, "barriers must be counted");
+    assert_eq!(
+        row.get(3).as_int().unwrap(),
+        row.get(4).as_int().unwrap(),
+        "after quiescing, everything acknowledged is durable"
+    );
+    let stats = e.wal_stats();
+    assert_eq!(stats.appends as i64, row.get(1).as_int().unwrap());
+}
+
+fn snapshot(engine: &Arc<Engine>, table: &str) -> Vec<(i64, String)> {
+    let s = engine.open_session();
+    let r = s
+        .execute(&format!("select a, b from {table} order by a, b"))
+        .unwrap();
+    r.rows
+        .iter()
+        .map(|row| {
+            (
+                row.get(0).as_int().unwrap(),
+                row.get(1).as_str().unwrap_or("").to_string(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Two transactions interleave record by record in the log — one per
+    /// table so their locks are disjoint — each randomly committing or
+    /// rolling back, on top of a committed baseline and an optional
+    /// checkpoint. After an unflushed shutdown (everything since the last
+    /// checkpoint exists only in the log), recovery must reproduce exactly
+    /// the state observed before the cut: committed-only redo, losers
+    /// discarded, idempotent across the checkpoint boundary.
+    #[test]
+    fn random_histories_replay_to_the_uncrashed_state(
+        ops_a in prop::collection::vec(0u8..6, 1..12),
+        ops_b in prop::collection::vec(0u8..6, 1..12),
+        commit_a in any::<bool>(),
+        commit_b in any::<bool>(),
+        mid_checkpoint in any::<bool>(),
+    ) {
+        let dir = scratch_dir("prop");
+        let before_cut;
+        {
+            let e = open(&dir, WalFsyncMode::Group);
+            let setup = e.open_session();
+            setup.execute("create table ta (a int not null, b text)").unwrap();
+            setup.execute("create table tb (a int not null, b text)").unwrap();
+            for i in 0..4 {
+                setup.execute(&format!("insert into ta values ({i}, 'base')")).unwrap();
+                setup.execute(&format!("insert into tb values ({i}, 'base')")).unwrap();
+            }
+            if mid_checkpoint {
+                e.checkpoint().unwrap();
+            }
+            let sa = e.open_session();
+            let sb = e.open_session();
+            sa.begin().unwrap();
+            sb.begin().unwrap();
+            let apply = |s: &Session, table: &str, round: usize, op: u8| {
+                let key = 10 + round as i64;
+                match op % 3 {
+                    0 => s.execute(&format!("insert into {table} values ({key}, 'w{op}')")),
+                    1 => s.execute(&format!("update {table} set b = 'u{op}' where a = {}", op % 4)),
+                    _ => s.execute(&format!("delete from {table} where a = {}", op % 4)),
+                }
+                .unwrap();
+            };
+            for round in 0..ops_a.len().max(ops_b.len()) {
+                if let Some(op) = ops_a.get(round) {
+                    apply(&sa, "ta", round, *op);
+                }
+                if let Some(op) = ops_b.get(round) {
+                    apply(&sb, "tb", round, *op);
+                }
+            }
+            if commit_a { sa.commit().unwrap(); } else { sa.rollback().unwrap(); }
+            if commit_b { sb.commit().unwrap(); } else { sb.rollback().unwrap(); }
+            before_cut = (snapshot(&e, "ta"), snapshot(&e, "tb"));
+        }
+        let e = open(&dir, WalFsyncMode::Group);
+        prop_assert_eq!(snapshot(&e, "ta"), before_cut.0);
+        prop_assert_eq!(snapshot(&e, "tb"), before_cut.1);
+    }
+}
