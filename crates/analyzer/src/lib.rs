@@ -28,7 +28,7 @@ pub use advisor::{AdvisorConfig, IndexCandidate};
 pub use report::{AnalysisReport, CostDiagram, CostDiagramEntry, LocksDiagram};
 pub use rules::Recommendation;
 pub use trend::{predict_statistics_metric, predict_table_growth, Prediction, Trend};
-pub use view::{AttrAgg, StatPoint, StmtAgg, TableAgg, WorkloadView};
+pub use view::{AshAgg, AttrAgg, StatPoint, StmtAgg, TableAgg, WaitAgg, WorkloadView};
 
 use std::sync::Arc;
 
@@ -46,6 +46,18 @@ pub struct AnalyzerConfig {
     /// Overflow-page ratio above which `MODIFY TO BTREE` is recommended
     /// (paper: "more than 10 % overflow pages").
     pub overflow_threshold: f64,
+    /// Fraction of a wait profile one event must exceed before the
+    /// wait-profile rules treat it as dominant.
+    pub wait_dominance_threshold: f64,
+    /// Minimum ASH samples a statement needs before its profile is judged
+    /// (fewer samples are noise).
+    pub wait_min_samples: u64,
+    /// Minimum total waited nanoseconds before the system-wide WalFsync
+    /// rule considers the interval at all.
+    pub wait_min_total_ns: u64,
+    /// Fraction of executions that must be writes for the interval to count
+    /// as write-heavy.
+    pub write_heavy_fraction: f64,
     /// Index-advisor settings.
     pub advisor: AdvisorConfig,
 }
@@ -56,6 +68,10 @@ impl Default for AnalyzerConfig {
             cost_error_threshold: 0.5,
             min_actual_total: 100.0,
             overflow_threshold: 0.1,
+            wait_dominance_threshold: 0.5,
+            wait_min_samples: 10,
+            wait_min_total_ns: 1_000_000,
+            write_heavy_fraction: 0.5,
             advisor: AdvisorConfig::default(),
         }
     }
@@ -84,6 +100,18 @@ impl Analyzer {
         recommendations.extend(rules::statistics_rules(&self.config, view));
         // Rule 3: overflow pages.
         recommendations.extend(rules::overflow_rule(&self.config, view));
+        // Rules 4 + 5: wait profiles (BufferRead-dominated statements,
+        // WalFsync-dominated write-heavy intervals).
+        let wait_recs = rules::wait_profile_rules(&self.config, view);
+        for rec in wait_recs {
+            // Rule 3 may already restructure the same table; keep one.
+            let duplicate = matches!(&rec, Recommendation::RestructureForReads { table, .. }
+                if recommendations.iter().any(|r| matches!(r,
+                    Recommendation::ModifyToBTree { table: t, .. } if t == table)));
+            if !duplicate {
+                recommendations.push(rec);
+            }
+        }
         // The what-if advisor needs trustworthy cardinalities: *temporarily*
         // freshen statistics on every referenced table that lacks them while
         // candidates are evaluated (the paper's analyzer likewise "tests
@@ -143,7 +171,9 @@ impl Analyzer {
         sorted.sort_by_key(|r| match r {
             Recommendation::CollectStatistics { .. } => 0,
             Recommendation::ModifyToBTree { .. } => 1,
+            Recommendation::RestructureForReads { .. } => 1,
             Recommendation::CreateIndex { .. } => 2,
+            Recommendation::TuneWalFsync { .. } => 3,
         });
         let mut executed = Vec::new();
         for rec in sorted {

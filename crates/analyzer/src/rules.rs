@@ -40,6 +40,25 @@ pub enum Recommendation {
         /// more useful").
         statements_helped: usize,
     },
+    /// Restructure a heap table to B-Tree because a statement's ASH wait
+    /// profile is dominated by physical buffer reads (keyed access would
+    /// touch far fewer pages than the scan does).
+    RestructureForReads {
+        /// Target table.
+        table: String,
+        /// The statement template whose profile fired the rule.
+        template: String,
+        /// Fraction of the template's ASH samples spent in `BufferRead`.
+        buffer_read_pct: f64,
+    },
+    /// Amortise WAL fsyncs (group commit / wider dally window) because
+    /// `WalFsync` dominates the wait profile of a write-heavy interval.
+    TuneWalFsync {
+        /// Fraction of all waited nanoseconds charged to `WalFsync`.
+        wal_fsync_pct: f64,
+        /// Fraction of recorded executions that were writes.
+        write_fraction: f64,
+    },
 }
 
 impl Recommendation {
@@ -59,6 +78,10 @@ impl Recommendation {
                 columns.join("_"),
                 columns.join(", ")
             ),
+            Recommendation::RestructureForReads { table, .. } => {
+                format!("modify {table} to btree")
+            }
+            Recommendation::TuneWalFsync { .. } => "set wal_fsync_mode = group".to_owned(),
         }
     }
 
@@ -95,6 +118,24 @@ impl Recommendation {
                 "Create index on '{table}' ({}) — helps {statements_helped} statement(s), \
                  estimated saving {benefit:.0} cost units",
                 columns.join(", ")
+            ),
+            Recommendation::RestructureForReads {
+                table,
+                template,
+                buffer_read_pct,
+            } => format!(
+                "Statement '{template}' spends {:.0} % of its sampled time in BufferRead \
+                 waits: modify '{table}' to B-Tree (or index it) so access is keyed",
+                buffer_read_pct * 100.0
+            ),
+            Recommendation::TuneWalFsync {
+                wal_fsync_pct,
+                write_fraction,
+            } => format!(
+                "WalFsync is {:.0} % of all waited time in a write-heavy interval \
+                 ({:.0} % writes): enable group commit or widen the dally window",
+                wal_fsync_pct * 100.0,
+                write_fraction * 100.0
             ),
         }
     }
@@ -171,6 +212,95 @@ pub fn statistics_rules(config: &AnalyzerConfig, view: &WorkloadView) -> Vec<Rec
     out
 }
 
+/// Rules 4 & 5: wait-profile rules over the ASH aggregates and the
+/// system-wide wait totals.
+///
+/// * Rule 4 — a statement whose ASH profile is dominated by `BufferRead`
+///   is losing its time to physical page reads; its heap tables should be
+///   restructured to B-Tree (keyed access instead of scans).
+/// * Rule 5 — when `WalFsync` dominates the system's wait profile and the
+///   workload is write-heavy, commits should share fsyncs (group commit /
+///   wider dally window).
+pub fn wait_profile_rules(config: &AnalyzerConfig, view: &WorkloadView) -> Vec<Recommendation> {
+    let mut out = Vec::new();
+
+    // Rule 4: per-template BufferRead dominance.
+    let names: HashMap<TableId, &str> = view
+        .tables
+        .iter()
+        .map(|t| (t.id, t.name.as_str()))
+        .collect();
+    let mut profile: HashMap<&str, (u64, u64, &str)> = HashMap::new();
+    for a in &view.ash {
+        let entry = profile
+            .entry(a.hash.as_str())
+            .or_insert((0, 0, a.template.as_str()));
+        entry.0 += a.samples;
+        if a.event == "BufferRead" {
+            entry.1 += a.samples;
+        }
+    }
+    let mut restructured: Vec<String> = Vec::new();
+    for (hash, (total, buffer_read, template)) in profile {
+        if total < config.wait_min_samples {
+            continue;
+        }
+        let pct = buffer_read as f64 / total as f64;
+        if pct < config.wait_dominance_threshold {
+            continue;
+        }
+        // The dominated statement's heap tables are the restructure targets.
+        let Some(stmt) = view.statements.iter().find(|s| s.hash == hash) else {
+            continue;
+        };
+        for id in &stmt.tables {
+            let Some(name) = names.get(id) else { continue };
+            let is_heap = view
+                .tables
+                .iter()
+                .any(|t| t.id == *id && t.storage == "HEAP");
+            if !is_heap || restructured.iter().any(|t| t == name) {
+                continue;
+            }
+            restructured.push((*name).to_owned());
+            out.push(Recommendation::RestructureForReads {
+                table: (*name).to_owned(),
+                template: template.to_owned(),
+                buffer_read_pct: pct,
+            });
+        }
+    }
+
+    // Rule 5: system-wide WalFsync dominance on a write-heavy workload.
+    let total_wait_ns: u64 = view.waits.iter().map(|w| w.total_ns).sum();
+    let wal_ns: u64 = view
+        .waits
+        .iter()
+        .filter(|w| w.event == "WalFsync")
+        .map(|w| w.total_ns)
+        .sum();
+    let executions: u64 = view.statements.iter().map(|s| s.executions).sum();
+    let writes: u64 = view
+        .statements
+        .iter()
+        .filter(|s| !s.is_query())
+        .map(|s| s.executions)
+        .sum();
+    if total_wait_ns >= config.wait_min_total_ns && executions > 0 {
+        let wal_pct = wal_ns as f64 / total_wait_ns as f64;
+        let write_fraction = writes as f64 / executions as f64;
+        if wal_pct >= config.wait_dominance_threshold
+            && write_fraction >= config.write_heavy_fraction
+        {
+            out.push(Recommendation::TuneWalFsync {
+                wal_fsync_pct: wal_pct,
+                write_fraction,
+            });
+        }
+    }
+    out
+}
+
 /// Rule 3: heap tables with more than the threshold of overflow pages.
 pub fn overflow_rule(config: &AnalyzerConfig, view: &WorkloadView) -> Vec<Recommendation> {
     view.tables
@@ -186,7 +316,7 @@ pub fn overflow_rule(config: &AnalyzerConfig, view: &WorkloadView) -> Vec<Recomm
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::view::{AttrAgg, StmtAgg, TableAgg};
+    use crate::view::{AshAgg, AttrAgg, StmtAgg, TableAgg, WaitAgg};
 
     fn table(id: u32, name: &str, storage: &str, data: u64, overflow: u64) -> TableAgg {
         TableAgg {
@@ -245,6 +375,122 @@ mod tests {
             ..Default::default()
         };
         assert!(statistics_rules(&cfg, &quiet).is_empty());
+    }
+
+    fn ash(hash: &str, template: &str, event: &str, samples: u64) -> AshAgg {
+        AshAgg {
+            hash: hash.into(),
+            template: template.into(),
+            event: event.into(),
+            samples,
+        }
+    }
+
+    #[test]
+    fn buffer_read_dominance_restructures_heap_tables() {
+        let cfg = AnalyzerConfig::default();
+        let view = WorkloadView {
+            statements: vec![StmtAgg {
+                hash: "h1".into(),
+                text: "select * from protein where len = 3".into(),
+                executions: 20,
+                actual: Cost::cpu(1_000.0),
+                est: Cost::cpu(1_000.0),
+                wallclock_ns: 0,
+                tables: vec![TableId(1)],
+            }],
+            tables: vec![table(1, "protein", "HEAP", 10, 0)],
+            ash: vec![
+                ash(
+                    "h1",
+                    "select * from protein where len = ?",
+                    "BufferRead",
+                    30,
+                ),
+                ash("h1", "select * from protein where len = ?", "OnCpu", 10),
+            ],
+            ..Default::default()
+        };
+        let recs = wait_profile_rules(&cfg, &view);
+        assert_eq!(recs.len(), 1, "recs: {recs:?}");
+        let Recommendation::RestructureForReads {
+            table,
+            buffer_read_pct,
+            ..
+        } = &recs[0]
+        else {
+            panic!("expected RestructureForReads, got {recs:?}");
+        };
+        assert_eq!(table, "protein");
+        assert!((buffer_read_pct - 0.75).abs() < 1e-9);
+        assert_eq!(recs[0].to_sql(), "modify protein to btree");
+        assert!(recs[0].describe().contains("75 %"));
+
+        // Below the dominance threshold or the sample floor: silent.
+        let mut quiet = view.clone();
+        quiet.ash = vec![ash("h1", "q", "BufferRead", 4), ash("h1", "q", "OnCpu", 36)];
+        assert!(wait_profile_rules(&cfg, &quiet).is_empty());
+        quiet.ash = vec![ash("h1", "q", "BufferRead", 5)];
+        assert!(
+            wait_profile_rules(&cfg, &quiet).is_empty(),
+            "too few samples"
+        );
+    }
+
+    #[test]
+    fn wal_fsync_dominance_needs_write_heavy_interval() {
+        let cfg = AnalyzerConfig::default();
+        let writes = StmtAgg {
+            hash: "w".into(),
+            text: "insert into t values (1)".into(),
+            executions: 100,
+            actual: Cost::cpu(100.0),
+            est: Cost::cpu(100.0),
+            wallclock_ns: 0,
+            tables: vec![TableId(1)],
+        };
+        let view = WorkloadView {
+            statements: vec![writes.clone()],
+            waits: vec![
+                WaitAgg {
+                    event: "WalFsync".into(),
+                    count: 100,
+                    total_ns: 9_000_000,
+                },
+                WaitAgg {
+                    event: "LockWaitX".into(),
+                    count: 3,
+                    total_ns: 1_000_000,
+                },
+            ],
+            ..Default::default()
+        };
+        let recs = wait_profile_rules(&cfg, &view);
+        assert_eq!(recs.len(), 1, "recs: {recs:?}");
+        let Recommendation::TuneWalFsync {
+            wal_fsync_pct,
+            write_fraction,
+        } = &recs[0]
+        else {
+            panic!("expected TuneWalFsync, got {recs:?}");
+        };
+        assert!((wal_fsync_pct - 0.9).abs() < 1e-9);
+        assert!((write_fraction - 1.0).abs() < 1e-9);
+        assert_eq!(recs[0].to_sql(), "set wal_fsync_mode = group");
+
+        // Read-heavy interval: the same wait profile stays silent.
+        let mut reads = view.clone();
+        reads.statements = vec![StmtAgg {
+            text: "select * from t".into(),
+            ..writes
+        }];
+        assert!(wait_profile_rules(&cfg, &reads).is_empty());
+        // Tiny absolute wait time: below the noise floor.
+        let mut tiny = view.clone();
+        for w in &mut tiny.waits {
+            w.total_ns /= 100;
+        }
+        assert!(wait_profile_rules(&cfg, &tiny).is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use ingot_common::{Cost, Result, TableId};
-use ingot_core::Monitor;
+use ingot_core::{Engine, Monitor};
 use ingot_daemon::WorkloadDb;
 
 /// Per-statement aggregate.
@@ -104,6 +104,31 @@ pub struct StatPoint {
     pub deadlocks_total: u64,
 }
 
+/// Cumulative time lost to one wait event (system-wide).
+#[derive(Debug, Clone, Default)]
+pub struct WaitAgg {
+    /// Wait-event name (`LockWaitX`, `WalFsync`, …).
+    pub event: String,
+    /// Completed waits.
+    pub count: u64,
+    /// Total nanoseconds charged.
+    pub total_ns: u64,
+}
+
+/// ASH samples grouped by (statement, event): one template's wait profile,
+/// one row per event observed while the template was running.
+#[derive(Debug, Clone, Default)]
+pub struct AshAgg {
+    /// Statement hash (hex) — joins to [`StmtAgg::hash`].
+    pub hash: String,
+    /// Statement template.
+    pub template: String,
+    /// Wait-event name, or `OnCpu`.
+    pub event: String,
+    /// Samples observed in this state.
+    pub samples: u64,
+}
+
 /// The normalised workload view.
 #[derive(Debug, Clone, Default)]
 pub struct WorkloadView {
@@ -115,6 +140,11 @@ pub struct WorkloadView {
     pub attributes: Vec<AttrAgg>,
     /// Statistics time series (ascending time).
     pub statistics: Vec<StatPoint>,
+    /// System-wide wait-event totals (empty when the wait subsystem is off).
+    pub waits: Vec<WaitAgg>,
+    /// Per-(statement, event) ASH sample counts — the wait profiles the
+    /// wait-profile rules read.
+    pub ash: Vec<AshAgg>,
 }
 
 impl WorkloadView {
@@ -210,7 +240,44 @@ impl WorkloadView {
             tables,
             attributes,
             statistics,
+            // The monitor's rings do not carry wait data; `from_engine`
+            // fills these from the wait registry and the ASH sampler.
+            waits: Vec::new(),
+            ash: Vec::new(),
         }
+    }
+
+    /// Build from a live engine: the monitor view plus the wait-event and
+    /// ASH aggregates the monitor alone cannot provide. Engines without
+    /// monitoring yield an empty view; engines without the wait subsystem
+    /// yield empty wait profiles.
+    pub fn from_engine(engine: &Engine) -> WorkloadView {
+        let mut view = engine
+            .monitor()
+            .map(|m| WorkloadView::from_monitor(m))
+            .unwrap_or_default();
+        if let Some(registry) = engine.wait_registry() {
+            view.waits = registry
+                .counters()
+                .snapshot()
+                .iter()
+                .filter(|t| t.count > 0)
+                .map(|t| WaitAgg {
+                    event: t.event.name().to_owned(),
+                    count: t.count,
+                    total_ns: t.total_ns,
+                })
+                .collect();
+        }
+        if let Some(sampler) = engine.ash_sampler() {
+            view.ash = fold_ash(
+                sampler
+                    .history()
+                    .into_iter()
+                    .map(|s| (s.hash.to_string(), s.template, s.event.to_owned())),
+            );
+        }
+        view
     }
 
     /// Build from the persistent workload database (standard SQL reads, as
@@ -328,6 +395,35 @@ impl WorkloadView {
             })
             .collect();
 
+        // Wait totals: the rows are cumulative snapshots, so per event the
+        // newest row carries the whole story.
+        let mut waits: HashMap<String, WaitAgg> = HashMap::new();
+        for row in db.query("select event, count, total_ns from wl_waits order by ts")? {
+            let event = row.get(0).as_str().unwrap_or_default().to_owned();
+            waits.insert(
+                event.clone(),
+                WaitAgg {
+                    event,
+                    count: row.get(1).as_int().unwrap_or(0) as u64,
+                    total_ns: row.get(2).as_int().unwrap_or(0) as u64,
+                },
+            );
+        }
+        let mut waits: Vec<WaitAgg> = waits.into_values().filter(|w| w.count > 0).collect();
+        waits.sort_by(|a, b| a.event.cmp(&b.event));
+
+        let ash = fold_ash(
+            db.query("select hash, statement, event from wl_ash")?
+                .into_iter()
+                .map(|row| {
+                    (
+                        row.get(0).as_str().unwrap_or_default().to_owned(),
+                        row.get(1).as_str().unwrap_or_default().to_owned(),
+                        row.get(2).as_str().unwrap_or_default().to_owned(),
+                    )
+                }),
+        );
+
         let mut tables: Vec<TableAgg> = tables.into_values().collect();
         tables.sort_by_key(|t| t.id);
         let mut attributes: Vec<AttrAgg> = attributes.into_values().collect();
@@ -337,8 +433,34 @@ impl WorkloadView {
             tables,
             attributes,
             statistics,
+            waits,
+            ash,
         })
     }
+}
+
+/// Group `(hash, template, event)` sample triples into [`AshAgg`] rows,
+/// sorted busiest profile first.
+fn fold_ash(samples: impl Iterator<Item = (String, String, String)>) -> Vec<AshAgg> {
+    let mut agg: HashMap<(String, String), AshAgg> = HashMap::new();
+    for (hash, template, event) in samples {
+        let entry = agg
+            .entry((hash.clone(), event.clone()))
+            .or_insert_with(|| AshAgg {
+                hash,
+                template,
+                event,
+                samples: 0,
+            });
+        entry.samples += 1;
+    }
+    let mut out: Vec<AshAgg> = agg.into_values().collect();
+    out.sort_by(|a, b| {
+        b.samples
+            .cmp(&a.samples)
+            .then_with(|| a.hash.cmp(&b.hash).then_with(|| a.event.cmp(&b.event)))
+    });
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,171 @@
+//! ASH / wait-event overhead — point-select throughput with the wait
+//! subsystem (RAII guards + cooperative ASH sampler) enabled vs. disabled.
+//!
+//! The observability bargain of the paper is that always-on monitoring must
+//! be cheap enough to never turn off. Wait-event instrumentation raises the
+//! stakes: guards sit on the lock, WAL and buffer hot paths, and the sampler
+//! piggybacks on statement boundaries. This harness runs the same prepared
+//! point-select loop against two engines that differ only in
+//! `wait_events_enabled` and gates the relative throughput loss at <= 3 %
+//! (with a small allowance for timer noise at small scale). Numbers land in
+//! `results/ash_overhead.json` (override with `INGOT_RESULTS_DIR`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ingot_bench::{best_of, header, Scale};
+use ingot_common::{EngineConfig, Value};
+use ingot_core::Engine;
+
+const ROWS: i64 = 2000;
+const TEMPLATE: &str = "select name, len from protein where nref_id = $1";
+
+/// Gate: instrumented throughput must stay within 3 % of the uninstrumented
+/// baseline (the paper's "monitoring is always on" budget).
+const MAX_OVERHEAD_PCT: f64 = 3.0;
+/// Sub-millisecond runs at small scale jitter more than the effect we
+/// measure; the gate gets this much slack so the CI job is not a coin flip.
+const NOISE_FLOOR_PCT: f64 = 2.0;
+
+fn build_engine(wait_events: bool) -> Arc<Engine> {
+    let engine = Engine::builder()
+        .config(
+            EngineConfig::monitoring()
+                .with_statement_capacity(4096)
+                .with_wait_events_enabled(wait_events),
+        )
+        .build()
+        .expect("in-memory engine");
+    let s = engine.open_session();
+    s.execute("create table protein (nref_id int not null primary key, name text, len int)")
+        .unwrap();
+    for i in 0..ROWS {
+        s.execute(&format!(
+            "insert into protein values ({i}, 'p{i}', {})",
+            i % 50
+        ))
+        .unwrap();
+    }
+    s.execute("modify protein to btree").unwrap();
+    s.execute("create statistics on protein").unwrap();
+    engine
+}
+
+/// One prepared statement, `n` executions with fresh binds — the same code
+/// path on both engines; only the wait subsystem differs.
+fn run_points(engine: &Arc<Engine>, n: u64) -> Duration {
+    let session = engine.open_session();
+    let prepared = session.prepare(TEMPLATE).unwrap();
+    let start = Instant::now();
+    for i in 0..n {
+        prepared.execute(&[Value::Int((i as i64) % ROWS)]).unwrap();
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "ASH overhead",
+        "point-select throughput, wait events on vs. off",
+        &scale,
+    );
+    let executions = scale.n_point.clamp(10_000, 100_000);
+
+    let instrumented = build_engine(true);
+    let baseline = build_engine(false);
+    // Warm both engines before timing.
+    run_points(&instrumented, executions / 10);
+    run_points(&baseline, executions / 10);
+
+    let on = best_of(scale.repeats.max(3), || {
+        run_points(&instrumented, executions)
+    });
+    let off = best_of(scale.repeats.max(3), || run_points(&baseline, executions));
+
+    let on_tput = executions as f64 / on.as_secs_f64();
+    let off_tput = executions as f64 / off.as_secs_f64();
+    let overhead_pct = (off_tput / on_tput - 1.0) * 100.0;
+
+    println!(
+        "\n{:<22} {:>12} {:>14}",
+        "configuration", "elapsed_ms", "stmts/s"
+    );
+    println!(
+        "{:<22} {:>12.1} {:>14.0}",
+        "wait events on",
+        on.as_secs_f64() * 1e3,
+        on_tput
+    );
+    println!(
+        "{:<22} {:>12.1} {:>14.0}",
+        "wait events off",
+        off.as_secs_f64() * 1e3,
+        off_tput
+    );
+    println!("overhead: {overhead_pct:.2} % (gate {MAX_OVERHEAD_PCT:.0} %)");
+
+    // The instrumented engine must actually have been instrumenting.
+    let registry = instrumented
+        .wait_registry()
+        .expect("wait registry on the instrumented engine");
+    let sampled = instrumented
+        .ash_sampler()
+        .map(|s| s.samples_taken())
+        .unwrap_or(0);
+    let charged: u64 = registry.counters().snapshot().iter().map(|t| t.count).sum();
+    assert!(
+        baseline.wait_registry().is_none(),
+        "the baseline engine must run without the wait subsystem"
+    );
+    println!("instrumented engine: {charged} waits charged, {sampled} ASH instants");
+
+    let json = render_json(&scale, executions, on, off, on_tput, off_tput, overhead_pct);
+    let dir = std::env::var("INGOT_RESULTS_DIR")
+        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{dir}/ash_overhead.json");
+    std::fs::write(&path, json).expect("write results JSON");
+    println!("wrote {path}");
+
+    assert!(
+        overhead_pct <= MAX_OVERHEAD_PCT + NOISE_FLOOR_PCT,
+        "wait-event instrumentation costs {overhead_pct:.2} % point-select \
+         throughput; the budget is {MAX_OVERHEAD_PCT:.0} % (+{NOISE_FLOOR_PCT:.0} % noise floor)"
+    );
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde dependency).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: &Scale,
+    executions: u64,
+    on: Duration,
+    off: Duration,
+    on_tput: f64,
+    off_tput: f64,
+    overhead_pct: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"ash_overhead\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", scale.name));
+    out.push_str(&format!("  \"repeats\": {},\n", scale.repeats.max(3)));
+    out.push_str(&format!("  \"table_rows\": {ROWS},\n"));
+    out.push_str(&format!("  \"executions\": {executions},\n"));
+    out.push_str(
+        "  \"model\": \"prepared point-selects; engines differ only in wait_events_enabled\",\n",
+    );
+    out.push_str(&format!("  \"gate_pct\": {MAX_OVERHEAD_PCT},\n"));
+    out.push_str(&format!(
+        "  \"waits_on\": {{\"elapsed_ms\": {:.2}, \"stmts_per_sec\": {:.1}}},\n",
+        on.as_secs_f64() * 1e3,
+        on_tput
+    ));
+    out.push_str(&format!(
+        "  \"waits_off\": {{\"elapsed_ms\": {:.2}, \"stmts_per_sec\": {:.1}}},\n",
+        off.as_secs_f64() * 1e3,
+        off_tput
+    ));
+    out.push_str(&format!("  \"overhead_pct\": {overhead_pct:.2}\n"));
+    out.push_str("}\n");
+    out
+}

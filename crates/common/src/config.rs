@@ -116,6 +116,21 @@ pub struct EngineConfig {
     /// tests fast; benches set it to a device-realistic value so group
     /// commit amortises a *visible* cost, like the disk-latency knobs above.
     pub wal_sync_delay_us: u64,
+    /// Whether the wait-event subsystem (RAII wait guards on lock queues,
+    /// WAL barriers, buffer I/O, retry backoff) and the ASH sampler are
+    /// wired in. Requires `monitor_enabled`; the `ash_overhead` bench flips
+    /// this off to isolate the subsystem's cost.
+    pub wait_events_enabled: bool,
+    /// Active Session History sampling interval in milliseconds. The
+    /// sampler is cooperative — it fires from statement begin/end and the
+    /// daemon's poll, never from a dedicated thread — so this is the
+    /// *minimum* spacing between samples. Must be non-zero when the wait
+    /// subsystem is on (enforced by `Engine::builder()`).
+    pub ash_sample_interval_ms: u64,
+    /// Capacity (samples) of the ASH history ring behind `ima$ash`. Must be
+    /// non-zero when the wait subsystem is on (enforced by
+    /// `Engine::builder()`).
+    pub ash_ring_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -145,6 +160,9 @@ impl Default for EngineConfig {
             wal_fsync_mode: WalFsyncMode::Group,
             group_commit_window_us: 100,
             wal_sync_delay_us: 0,
+            wait_events_enabled: true,
+            ash_sample_interval_ms: 100,
+            ash_ring_capacity: 4096,
         }
     }
 }
@@ -218,6 +236,24 @@ impl EngineConfig {
     /// (microseconds); bench-oriented.
     pub fn with_wal_sync_delay_us(mut self, us: u64) -> Self {
         self.wal_sync_delay_us = us;
+        self
+    }
+
+    /// Builder-style override of the wait-event + ASH subsystem flag.
+    pub fn with_wait_events_enabled(mut self, enabled: bool) -> Self {
+        self.wait_events_enabled = enabled;
+        self
+    }
+
+    /// Builder-style override of the ASH sampling interval (milliseconds).
+    pub fn with_ash_sample_interval_ms(mut self, ms: u64) -> Self {
+        self.ash_sample_interval_ms = ms;
+        self
+    }
+
+    /// Builder-style override of the ASH history-ring capacity (samples).
+    pub fn with_ash_ring_capacity(mut self, samples: usize) -> Self {
+        self.ash_ring_capacity = samples;
         self
     }
 }

@@ -22,6 +22,7 @@ pub mod retry;
 pub mod ring;
 pub mod row;
 pub mod value;
+pub mod waits;
 
 pub use clock::{MonotonicClock, SimClock};
 pub use config::{EngineConfig, WalFsyncMode};
@@ -33,3 +34,7 @@ pub use retry::{RetryPolicy, SplitMix64};
 pub use ring::RingBuffer;
 pub use row::{Column, Row, Schema};
 pub use value::{DataType, Value};
+pub use waits::{
+    bind_session, charge_ambient, SessionBinding, SessionWaits, WaitCounters, WaitEvent, WaitGuard,
+    WaitRecord, WaitRegistry, WaitRegistryHandle, WaitTotal, WAIT_EVENT_COUNT,
+};

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use crate::clock::SimClock;
 use crate::error::Result;
+use crate::waits::{charge_ambient, WaitEvent};
 
 /// A tiny deterministic PRNG (SplitMix64). Used for backoff jitter and by
 /// the fault-injection layer for corruption bytes; both need reproducible
@@ -121,7 +122,12 @@ impl RetryPolicy {
             match op(attempt) {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() && attempt < attempts => {
-                    wait(delays[(attempt - 1) as usize]);
+                    let delay = delays[(attempt - 1) as usize];
+                    wait(delay);
+                    // Charge the *declared* delay, not a wall measurement:
+                    // under run_sim the wait advances a simulated clock and
+                    // wall elapsed would read ~0.
+                    charge_ambient(WaitEvent::RetryBackoff, delay.as_nanos() as u64);
                 }
                 Err(e) => return Err(e),
             }

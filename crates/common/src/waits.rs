@@ -1,0 +1,664 @@
+//! The wait-event taxonomy and its accounting plumbing.
+//!
+//! The monitor's sensors (ingot-core) measure where a statement's time is
+//! *spent* — parse, optimize, execute. This module measures where time is
+//! *lost*: blocked on a lock queue, dallying behind a group-commit leader,
+//! waiting for a page to come off the disk. Each loss site charges a closed
+//! [`WaitEvent`] through an RAII [`WaitGuard`], which attributes the
+//! nanoseconds twice:
+//!
+//! * **globally**, to the engine's [`WaitRegistry`] (cumulative counters per
+//!   event plus a ring of recent [`WaitRecord`]s — the `ima$wait_events`
+//!   source), and
+//! * **per session**, to the [`SessionWaits`] bound to the executing thread
+//!   (the ASH sampler reads the session's *current* wait from here).
+//!
+//! The module lives in `ingot-common` (not `ingot-trace`) because the
+//! instrumented wait paths sit *below* the trace crate in the dependency
+//! graph: `common/retry.rs` is in this very crate, and `ingot-txn` /
+//! `ingot-storage` depend only on `ingot-common`. `ingot-trace` re-exports
+//! everything here so observability consumers keep a single import surface.
+//!
+//! Attribution uses an ambient thread-local binding ([`bind_session`]):
+//! the engine binds the executing session's [`SessionWaits`] (plus the
+//! engine's registry) for the duration of one statement, and any guard
+//! created further down the stack — the lock manager, the WAL, the buffer
+//! pool, the retry loop — charges that session without threading handles
+//! through every call signature. Code without an engine (unit tests, loom
+//! models) simply constructs managers with no registry: every guard then
+//! collapses to a no-op.
+//!
+//! Construction of wait guards is policed by `ingot-verify` (check 7): only
+//! the instrumented modules may begin a wait, so the taxonomy stays closed.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::clock::MonotonicClock;
+use crate::ring::RingBuffer;
+
+/// Number of wait-event kinds (array sizing for [`WaitCounters`]).
+pub const WAIT_EVENT_COUNT: usize = 8;
+
+/// The closed taxonomy of places a session can lose time.
+///
+/// "On CPU" is deliberately *not* a variant: a session that is not inside a
+/// wait guard is on CPU by definition, and the ASH sampler records that as
+/// the absence of a wait event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitEvent {
+    /// Blocked acquiring a shared (read) lock.
+    LockWaitS,
+    /// Blocked acquiring an exclusive (write) lock.
+    LockWaitX,
+    /// Waiting on a WAL fsync durability barrier (the physical sync itself).
+    WalFsync,
+    /// Group commit: a follower waiting for the leader's covering fsync, or
+    /// the leader dallying its window for followers to join the batch.
+    GroupCommitDally,
+    /// Buffer-pool miss: waiting for a page read from the disk backend.
+    BufferRead,
+    /// Buffer pool at capacity: waiting for the eviction sweep (including
+    /// dirty-page write-back) to free a frame.
+    BufferEvict,
+    /// Sleeping out a retry backoff delay (transient-failure recovery).
+    RetryBackoff,
+    /// The storage daemon replaying its catch-up buffer after an outage.
+    DaemonCatchup,
+}
+
+impl WaitEvent {
+    /// Every event, in stable `index()` order.
+    pub const ALL: [WaitEvent; WAIT_EVENT_COUNT] = [
+        WaitEvent::LockWaitS,
+        WaitEvent::LockWaitX,
+        WaitEvent::WalFsync,
+        WaitEvent::GroupCommitDally,
+        WaitEvent::BufferRead,
+        WaitEvent::BufferEvict,
+        WaitEvent::RetryBackoff,
+        WaitEvent::DaemonCatchup,
+    ];
+
+    /// Stable dense index (counter-array slot).
+    pub fn index(self) -> usize {
+        match self {
+            WaitEvent::LockWaitS => 0,
+            WaitEvent::LockWaitX => 1,
+            WaitEvent::WalFsync => 2,
+            WaitEvent::GroupCommitDally => 3,
+            WaitEvent::BufferRead => 4,
+            WaitEvent::BufferEvict => 5,
+            WaitEvent::RetryBackoff => 6,
+            WaitEvent::DaemonCatchup => 7,
+        }
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(i: usize) -> Option<WaitEvent> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Canonical name (used by IMA tables, metrics labels and the workload
+    /// DB — parse back with [`from_name`](Self::from_name)).
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitEvent::LockWaitS => "LockWaitS",
+            WaitEvent::LockWaitX => "LockWaitX",
+            WaitEvent::WalFsync => "WalFsync",
+            WaitEvent::GroupCommitDally => "GroupCommitDally",
+            WaitEvent::BufferRead => "BufferRead",
+            WaitEvent::BufferEvict => "BufferEvict",
+            WaitEvent::RetryBackoff => "RetryBackoff",
+            WaitEvent::DaemonCatchup => "DaemonCatchup",
+        }
+    }
+
+    /// Parse a canonical name back into the event.
+    pub fn from_name(name: &str) -> Option<WaitEvent> {
+        Self::ALL.iter().copied().find(|e| e.name() == name)
+    }
+}
+
+impl fmt::Display for WaitEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cumulative totals for one event (a [`WaitCounters`] snapshot row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTotal {
+    /// The event.
+    pub event: WaitEvent,
+    /// How many waits completed.
+    pub count: u64,
+    /// Total nanoseconds lost to this event.
+    pub total_ns: u64,
+}
+
+/// One completed wait, as kept in the registry's (and each session's)
+/// recent-history ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitRecord {
+    /// What was waited on.
+    pub event: WaitEvent,
+    /// Session the wait was charged to (`None` for engine-internal waits
+    /// with no bound session, e.g. the daemon's catch-up replay).
+    pub session: Option<u64>,
+    /// Wall-clock start, nanoseconds on the registry's clock.
+    pub start_ns: u64,
+    /// How long the wait lasted.
+    pub duration_ns: u64,
+}
+
+/// Lock-free per-event counters: one `(count, nanos)` pair per
+/// [`WaitEvent`], charged with relaxed atomics so the hot paths never
+/// serialize on the accounting.
+#[derive(Debug, Default)]
+pub struct WaitCounters {
+    counts: [AtomicU64; WAIT_EVENT_COUNT],
+    nanos: [AtomicU64; WAIT_EVENT_COUNT],
+}
+
+impl WaitCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one completed wait of `ns` nanoseconds to `event`.
+    pub fn charge(&self, event: WaitEvent, ns: u64) {
+        let i = event.index();
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.nanos[i].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Completed waits for `event`.
+    pub fn count(&self, event: WaitEvent) -> u64 {
+        self.counts[event.index()].load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds lost to `event`.
+    pub fn nanos(&self, event: WaitEvent) -> u64 {
+        self.nanos[event.index()].load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds lost across every event.
+    pub fn total_ns(&self) -> u64 {
+        self.nanos
+            .iter()
+            .map(|n| n.load(Ordering::Relaxed))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// A row per event (zeros included, so consumers always see the full
+    /// taxonomy).
+    pub fn snapshot(&self) -> Vec<WaitTotal> {
+        WaitEvent::ALL
+            .iter()
+            .map(|&event| WaitTotal {
+                event,
+                count: self.count(event),
+                total_ns: self.nanos(event),
+            })
+            .collect()
+    }
+}
+
+/// Engine-global wait accounting: cumulative [`WaitCounters`] plus a
+/// bounded ring of recent [`WaitRecord`]s. One registry per engine instance
+/// — deliberately *not* a process global, so concurrently running engines
+/// (tests spin up dozens) never cross-contaminate each other's profiles.
+#[derive(Debug)]
+pub struct WaitRegistry {
+    clock: MonotonicClock,
+    counters: WaitCounters,
+    recent: Mutex<RingBuffer<WaitRecord>>,
+}
+
+impl WaitRegistry {
+    /// A registry with its own clock and a recent-ring of `recent_capacity`.
+    pub fn new(recent_capacity: usize) -> Self {
+        Self::with_clock(MonotonicClock::new(), recent_capacity)
+    }
+
+    /// A registry timing waits on `clock` (the engine passes its wall clock
+    /// so wait timestamps align with sensor timestamps).
+    pub fn with_clock(clock: MonotonicClock, recent_capacity: usize) -> Self {
+        WaitRegistry {
+            clock,
+            counters: WaitCounters::new(),
+            recent: Mutex::new(RingBuffer::new(recent_capacity)),
+        }
+    }
+
+    /// The clock waits are measured on.
+    pub fn clock(&self) -> MonotonicClock {
+        self.clock
+    }
+
+    /// The global cumulative counters.
+    pub fn counters(&self) -> &WaitCounters {
+        &self.counters
+    }
+
+    /// Cumulative totals per event (always all [`WAIT_EVENT_COUNT`] rows).
+    pub fn snapshot(&self) -> Vec<WaitTotal> {
+        self.counters.snapshot()
+    }
+
+    /// The most recent completed waits, oldest first.
+    pub fn recent(&self) -> Vec<WaitRecord> {
+        match self.recent.lock() {
+            Ok(ring) => ring.iter().copied().collect(),
+            Err(poisoned) => poisoned.into_inner().iter().copied().collect(),
+        }
+    }
+
+    /// Begin a wait on this registry: returns the RAII guard that charges
+    /// the elapsed nanoseconds on drop. Used by instrumented code that holds
+    /// a registry handle directly (the storage daemon's catch-up loop); the
+    /// lock/WAL/buffer paths go through [`WaitGuard::begin`] instead.
+    pub fn begin(self: &Arc<Self>, event: WaitEvent) -> WaitGuard {
+        WaitGuard::begin(Some(self), event)
+    }
+
+    /// Charge a completed wait of known duration (no guard). The session
+    /// bound to the calling thread, if any, is charged too.
+    pub fn charge(&self, event: WaitEvent, ns: u64) {
+        let start = self.clock.now_nanos().saturating_sub(ns);
+        let session = AMBIENT.with(|a| a.borrow().session.clone());
+        self.commit_wait(event, start, ns, session.as_ref());
+    }
+
+    fn commit_wait(
+        &self,
+        event: WaitEvent,
+        start_ns: u64,
+        duration_ns: u64,
+        session: Option<&(u64, Arc<SessionWaits>)>,
+    ) {
+        let record = WaitRecord {
+            event,
+            session: session.map(|(id, _)| *id),
+            start_ns,
+            duration_ns,
+        };
+        self.counters.charge(event, duration_ns);
+        match self.recent.lock() {
+            Ok(mut ring) => {
+                ring.push(record);
+            }
+            Err(poisoned) => {
+                poisoned.into_inner().push(record);
+            }
+        }
+        if let Some((_, waits)) = session {
+            waits.record(record);
+        }
+    }
+}
+
+/// Per-session wait accounting: cumulative counters, a small recent-wait
+/// ring, and the session's *current* wait state — the field the ASH sampler
+/// reads from another thread, hence the atomics.
+#[derive(Debug)]
+pub struct SessionWaits {
+    counters: WaitCounters,
+    /// `0` = on CPU; otherwise `event.index() + 1`.
+    current: AtomicUsize,
+    /// When the current wait began (registry-clock nanoseconds).
+    current_since_ns: AtomicU64,
+    recent: Mutex<RingBuffer<WaitRecord>>,
+}
+
+impl SessionWaits {
+    /// Session accounting with a recent-ring of `recent_capacity`.
+    pub fn new(recent_capacity: usize) -> Self {
+        SessionWaits {
+            counters: WaitCounters::new(),
+            current: AtomicUsize::new(0),
+            current_since_ns: AtomicU64::new(0),
+            recent: Mutex::new(RingBuffer::new(recent_capacity)),
+        }
+    }
+
+    /// This session's cumulative counters.
+    pub fn counters(&self) -> &WaitCounters {
+        &self.counters
+    }
+
+    /// The wait the session is inside right now, with its start timestamp —
+    /// `None` means on CPU. Safe to call from any thread (the ASH sampler).
+    pub fn current_wait(&self) -> Option<(WaitEvent, u64)> {
+        let cur = self.current.load(Ordering::Acquire);
+        let event = WaitEvent::from_index(cur.checked_sub(1)?)?;
+        Some((event, self.current_since_ns.load(Ordering::Relaxed)))
+    }
+
+    /// This session's most recent completed waits, oldest first.
+    pub fn recent(&self) -> Vec<WaitRecord> {
+        match self.recent.lock() {
+            Ok(ring) => ring.iter().copied().collect(),
+            Err(poisoned) => poisoned.into_inner().iter().copied().collect(),
+        }
+    }
+
+    fn enter(&self, event: WaitEvent, now_ns: u64) {
+        self.current_since_ns.store(now_ns, Ordering::Relaxed);
+        self.current.store(event.index() + 1, Ordering::Release);
+    }
+
+    fn record(&self, record: WaitRecord) {
+        self.counters.charge(record.event, record.duration_ns);
+        self.current.store(0, Ordering::Release);
+        match self.recent.lock() {
+            Ok(mut ring) => {
+                ring.push(record);
+            }
+            Err(poisoned) => {
+                poisoned.into_inner().push(record);
+            }
+        }
+    }
+}
+
+#[derive(Clone, Default)]
+struct Ambient {
+    session: Option<(u64, Arc<SessionWaits>)>,
+    registry: Option<Arc<WaitRegistry>>,
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Ambient> = RefCell::new(Ambient::default());
+}
+
+/// RAII restore of the previous ambient binding (see [`bind_session`]).
+pub struct SessionBinding {
+    prev: Option<Ambient>,
+}
+
+impl Drop for SessionBinding {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            AMBIENT.with(|a| *a.borrow_mut() = prev);
+        }
+    }
+}
+
+/// Bind `session` (identified by `session_id`) and `registry` to the calling
+/// thread for the lifetime of the returned guard. Every wait begun on this
+/// thread — however deep in the stack — is then charged to both. The engine
+/// installs this around each statement execution; nesting restores the
+/// previous binding on drop.
+pub fn bind_session(
+    session_id: u64,
+    session: Arc<SessionWaits>,
+    registry: Arc<WaitRegistry>,
+) -> SessionBinding {
+    let prev = AMBIENT.with(|a| {
+        let mut a = a.borrow_mut();
+        let prev = a.clone();
+        *a = Ambient {
+            session: Some((session_id, session)),
+            registry: Some(registry),
+        };
+        prev
+    });
+    SessionBinding { prev: Some(prev) }
+}
+
+/// Charge a completed wait of known duration to the thread's ambient
+/// registry and session. A no-op when nothing is bound (code running outside
+/// any engine). This is the non-RAII entry point for waits whose duration is
+/// declared rather than measured — the retry loop charges its backoff delay
+/// here so simulated-clock waits are accounted at their scheduled length.
+pub fn charge_ambient(event: WaitEvent, ns: u64) {
+    let registry = AMBIENT.with(|a| a.borrow().registry.clone());
+    if let Some(registry) = registry {
+        registry.charge(event, ns);
+    }
+}
+
+struct GuardInner {
+    event: WaitEvent,
+    start_ns: u64,
+    registry: Arc<WaitRegistry>,
+    session: Option<(u64, Arc<SessionWaits>)>,
+}
+
+/// RAII wait measurement: created at the top of a wait path, charges the
+/// elapsed nanoseconds to the registry (and the ambient session, when one is
+/// bound) on drop. A guard with no registry — neither passed nor ambient —
+/// is a no-op, which is how un-instrumented constructions (loom models,
+/// plain unit tests) pay nothing.
+pub struct WaitGuard {
+    inner: Option<GuardInner>,
+}
+
+impl WaitGuard {
+    /// Begin timing `event`. `registry` is the instrumented component's
+    /// injected handle; when `None`, the thread's ambient registry (bound by
+    /// the engine around statement execution) is used instead.
+    pub fn begin(registry: Option<&Arc<WaitRegistry>>, event: WaitEvent) -> WaitGuard {
+        let (registry, session) = AMBIENT.with(|a| {
+            let a = a.borrow();
+            let reg = registry.cloned().or_else(|| a.registry.clone());
+            (reg, a.session.clone())
+        });
+        let Some(registry) = registry else {
+            return WaitGuard { inner: None };
+        };
+        let start_ns = registry.clock().now_nanos();
+        if let Some((_, waits)) = &session {
+            waits.enter(event, start_ns);
+        }
+        WaitGuard {
+            inner: Some(GuardInner {
+                event,
+                start_ns,
+                registry,
+                session,
+            }),
+        }
+    }
+
+    /// Begin timing `event` against the thread's ambient binding only.
+    pub fn ambient(event: WaitEvent) -> WaitGuard {
+        Self::begin(None, event)
+    }
+
+    /// A guard that charges nothing (explicit disabled path).
+    pub fn disabled() -> WaitGuard {
+        WaitGuard { inner: None }
+    }
+
+    /// Is this guard actually measuring?
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for WaitGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let now = inner.registry.clock().now_nanos();
+            let duration = now.saturating_sub(inner.start_ns);
+            inner.registry.commit_wait(
+                inner.event,
+                inner.start_ns,
+                duration,
+                inner.session.as_ref(),
+            );
+        }
+    }
+}
+
+/// A lazily-injected registry handle for components built before the engine
+/// (lock manager, buffer pool, WAL): starts empty, set exactly once during
+/// engine construction, read with one atomic-ish `get` on the wait paths.
+#[derive(Debug, Default)]
+pub struct WaitRegistryHandle {
+    slot: OnceLock<Arc<WaitRegistry>>,
+}
+
+impl WaitRegistryHandle {
+    /// An unset handle (all guards no-op until [`set`](Self::set)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install the registry. Later calls are ignored — the first engine to
+    /// wire a component wins, and components are never shared across engines.
+    pub fn set(&self, registry: Arc<WaitRegistry>) {
+        let _ = self.slot.set(registry);
+    }
+
+    /// The installed registry, if any.
+    pub fn get(&self) -> Option<&Arc<WaitRegistry>> {
+        self.slot.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_closed_and_stable() {
+        assert_eq!(WaitEvent::ALL.len(), WAIT_EVENT_COUNT);
+        for (i, e) in WaitEvent::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert_eq!(WaitEvent::from_index(i), Some(*e));
+            assert_eq!(WaitEvent::from_name(e.name()), Some(*e));
+            assert_eq!(e.to_string(), e.name());
+        }
+        assert_eq!(WaitEvent::from_index(WAIT_EVENT_COUNT), None);
+        assert_eq!(WaitEvent::from_name("NoSuchWait"), None);
+        // The canonical names, pinned: IMA rows, wl_waits rows and metric
+        // labels all carry these strings.
+        let names: Vec<&str> = WaitEvent::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "LockWaitS",
+                "LockWaitX",
+                "WalFsync",
+                "GroupCommitDally",
+                "BufferRead",
+                "BufferEvict",
+                "RetryBackoff",
+                "DaemonCatchup",
+            ]
+        );
+    }
+
+    #[test]
+    fn counters_charge_and_snapshot() {
+        let c = WaitCounters::new();
+        c.charge(WaitEvent::WalFsync, 100);
+        c.charge(WaitEvent::WalFsync, 50);
+        c.charge(WaitEvent::BufferRead, 7);
+        assert_eq!(c.count(WaitEvent::WalFsync), 2);
+        assert_eq!(c.nanos(WaitEvent::WalFsync), 150);
+        assert_eq!(c.total_ns(), 157);
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), WAIT_EVENT_COUNT);
+        assert!(snap
+            .iter()
+            .any(|t| t.event == WaitEvent::BufferRead && t.count == 1 && t.total_ns == 7));
+        assert!(snap
+            .iter()
+            .any(|t| t.event == WaitEvent::LockWaitS && t.count == 0));
+    }
+
+    #[test]
+    fn guard_charges_registry_and_bound_session() {
+        let registry = Arc::new(WaitRegistry::new(16));
+        let session = Arc::new(SessionWaits::new(16));
+        let bound = bind_session(7, Arc::clone(&session), Arc::clone(&registry));
+        {
+            let guard = WaitGuard::begin(Some(&registry), WaitEvent::LockWaitX);
+            assert!(guard.is_active());
+            // Mid-wait, the session's current state is visible.
+            let (event, _since) = session.current_wait().expect("waiting");
+            assert_eq!(event, WaitEvent::LockWaitX);
+        }
+        drop(bound);
+        assert_eq!(registry.counters().count(WaitEvent::LockWaitX), 1);
+        assert_eq!(session.counters().count(WaitEvent::LockWaitX), 1);
+        assert!(session.current_wait().is_none(), "back on CPU");
+        let recent = registry.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].session, Some(7));
+        assert_eq!(recent[0].event, WaitEvent::LockWaitX);
+        assert_eq!(session.recent().len(), 1);
+    }
+
+    #[test]
+    fn unbound_guard_is_a_noop() {
+        let guard = WaitGuard::ambient(WaitEvent::RetryBackoff);
+        assert!(!guard.is_active());
+        drop(guard);
+        assert!(!WaitGuard::disabled().is_active());
+    }
+
+    #[test]
+    fn charge_ambient_uses_thread_binding() {
+        // Nothing bound: silently dropped.
+        charge_ambient(WaitEvent::RetryBackoff, 1_000);
+        let registry = Arc::new(WaitRegistry::new(4));
+        let session = Arc::new(SessionWaits::new(4));
+        let bound = bind_session(3, Arc::clone(&session), Arc::clone(&registry));
+        charge_ambient(WaitEvent::RetryBackoff, 2_500);
+        drop(bound);
+        // Unbound again after the RAII restore.
+        charge_ambient(WaitEvent::RetryBackoff, 9_999);
+        assert_eq!(registry.counters().count(WaitEvent::RetryBackoff), 1);
+        assert_eq!(registry.counters().nanos(WaitEvent::RetryBackoff), 2_500);
+        assert_eq!(session.counters().nanos(WaitEvent::RetryBackoff), 2_500);
+    }
+
+    #[test]
+    fn registry_handle_sets_once() {
+        let handle = WaitRegistryHandle::new();
+        assert!(handle.get().is_none());
+        let a = Arc::new(WaitRegistry::new(4));
+        let b = Arc::new(WaitRegistry::new(4));
+        handle.set(Arc::clone(&a));
+        handle.set(b);
+        assert!(Arc::ptr_eq(handle.get().expect("set"), &a));
+    }
+
+    #[test]
+    fn recent_ring_is_bounded() {
+        let registry = Arc::new(WaitRegistry::new(4));
+        for _ in 0..10 {
+            drop(registry.begin(WaitEvent::BufferEvict));
+        }
+        assert_eq!(registry.recent().len(), 4);
+        assert_eq!(registry.counters().count(WaitEvent::BufferEvict), 10);
+    }
+
+    #[test]
+    fn nested_bindings_restore() {
+        let r1 = Arc::new(WaitRegistry::new(4));
+        let s1 = Arc::new(SessionWaits::new(4));
+        let r2 = Arc::new(WaitRegistry::new(4));
+        let s2 = Arc::new(SessionWaits::new(4));
+        let outer = bind_session(1, Arc::clone(&s1), Arc::clone(&r1));
+        {
+            let _inner = bind_session(2, Arc::clone(&s2), Arc::clone(&r2));
+            charge_ambient(WaitEvent::DaemonCatchup, 10);
+        }
+        charge_ambient(WaitEvent::DaemonCatchup, 5);
+        drop(outer);
+        assert_eq!(r2.counters().nanos(WaitEvent::DaemonCatchup), 10);
+        assert_eq!(r1.counters().nanos(WaitEvent::DaemonCatchup), 5);
+        assert_eq!(s2.counters().nanos(WaitEvent::DaemonCatchup), 10);
+        assert_eq!(s1.counters().nanos(WaitEvent::DaemonCatchup), 5);
+    }
+}

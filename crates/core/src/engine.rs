@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ingot_catalog::{Catalog, SharedCatalog, StorageStructure};
+use ingot_common::waits::{bind_session, WaitRegistry, WaitTotal};
 use ingot_common::{
     Column, Cost, EngineConfig, Error, IndexId, MonotonicClock, Result, Row, Schema, SessionId,
     SimClock, StmtHash, TableId, TxnId, Value, WalFsyncMode,
@@ -31,13 +32,18 @@ use ingot_trace::{
 use ingot_txn::{LockManager, LockMode, Resource, TxnManager};
 use parking_lot::Mutex;
 
+use crate::ash::{ActiveSession, AshSampler};
 use crate::ima::{
     register_concurrency_tables, register_ima_tables, register_monitor_health_table,
-    register_plan_cache_table, register_trace_tables, register_wal_table,
+    register_plan_cache_table, register_trace_tables, register_wait_tables, register_wal_table,
 };
 use crate::monitor::{
     AttributeDetail, IndexDetail, Monitor, StatSample, StatementSensor, TableDetail,
 };
+
+/// Capacity of the engine-global recent-wait ring behind `ima$wait_events`'
+/// sibling history (`WaitRegistry::recent`).
+const WAIT_RECENT_CAPACITY: usize = 1024;
 
 /// Concurrent-session counters ("Current sessions, Maximum sessions" in the
 /// Fig 3 statistics table).
@@ -85,6 +91,10 @@ pub struct StatementResult {
     pub actual_cost: Cost,
     /// Wall-clock of the whole statement, nanoseconds.
     pub wallclock_ns: u64,
+    /// Nanoseconds of `wallclock_ns` lost inside wait events (lock queues,
+    /// WAL barriers, buffer I/O, retry backoff). Zero when the wait
+    /// subsystem is off.
+    pub wait_ns: u64,
 }
 
 /// Result of a what-if estimation (no execution, no monitoring).
@@ -146,6 +156,10 @@ pub struct Engine {
     undo: Mutex<HashMap<TxnId, TxnUndo>>,
     /// Serialises [`Engine::checkpoint`] callers (daemon + admin paths).
     checkpoint_serial: Mutex<()>,
+    /// Wait-event accounting; present when monitoring + wait events are on.
+    waits: Option<Arc<WaitRegistry>>,
+    /// The ASH sampler; present exactly when `waits` is.
+    ash: Option<Arc<AshSampler>>,
 }
 
 /// Configures and builds an [`Engine`]. Obtained via [`Engine::builder`].
@@ -229,6 +243,20 @@ impl EngineBuilder {
                 "EngineBuilder: wal_fsync_mode=group needs group_commit_window_us > 0 \
                  (use wal_fsync_mode=always for one unbatched fsync per commit)",
             ));
+        }
+        if self.config.monitor_enabled && self.config.wait_events_enabled {
+            if self.config.ash_sample_interval_ms == 0 {
+                return Err(Error::unsupported(
+                    "EngineBuilder: wait_events_enabled needs ash_sample_interval_ms > 0 \
+                     (set wait_events_enabled=false to drop the subsystem entirely)",
+                ));
+            }
+            if self.config.ash_ring_capacity == 0 {
+                return Err(Error::unsupported(
+                    "EngineBuilder: wait_events_enabled needs ash_ring_capacity > 0 \
+                     (set wait_events_enabled=false to drop the subsystem entirely)",
+                ));
+            }
         }
         let clock = self.clock.unwrap_or_default();
         let (storage, wal) = if let Some(dir) = self.path {
@@ -362,12 +390,32 @@ impl Engine {
         let txns = Arc::new(TxnManager::new());
         let sessions = Arc::new(SessionCounters::default());
         let plan_cache = Arc::new(PlanCache::new(config.plan_cache_capacity));
+        // Wait events + ASH ride on the monitor, like tracing: the
+        // "Original" setup never constructs a registry and every guard on
+        // the instrumented paths stays a no-op.
+        let (waits, ash) = if monitor.is_some() && config.wait_events_enabled {
+            let registry = Arc::new(WaitRegistry::with_clock(wall, WAIT_RECENT_CAPACITY));
+            locks.set_wait_registry(Arc::clone(&registry));
+            wal.set_wait_registry(Arc::clone(&registry));
+            storage.pool().set_wait_registry(Arc::clone(&registry));
+            let sampler = Arc::new(AshSampler::new(
+                wall,
+                config.ash_sample_interval_ms.saturating_mul(1_000_000),
+                config.ash_ring_capacity,
+            ));
+            (Some(registry), Some(sampler))
+        } else {
+            (None, None)
+        };
         if let Some(m) = &monitor {
             register_ima_tables(&mut catalog, m)?;
             register_monitor_health_table(&mut catalog, m)?;
             register_concurrency_tables(&mut catalog, &locks, &txns, &sessions)?;
             register_plan_cache_table(&mut catalog, &plan_cache)?;
             register_wal_table(&mut catalog, &wal)?;
+        }
+        if let (Some(registry), Some(sampler)) = (&waits, &ash) {
+            register_wait_tables(&mut catalog, registry, sampler)?;
         }
         if let Some(t) = &tracer {
             register_trace_tables(&mut catalog, t)?;
@@ -388,6 +436,8 @@ impl Engine {
             config,
             undo: Mutex::new(HashMap::new()),
             checkpoint_serial: Mutex::new(()),
+            waits,
+            ash,
         }))
     }
 
@@ -491,10 +541,13 @@ impl Engine {
 
     /// Open a session.
     pub fn open_session(self: &Arc<Self>) -> Session {
+        let id = self.sessions.open();
+        let ash = self.ash.as_ref().map(|s| s.register_session(id.raw()));
         Session {
-            id: self.sessions.open(),
+            id,
             engine: Arc::clone(self),
             txn: Mutex::new(None),
+            ash,
         }
     }
 
@@ -525,6 +578,19 @@ impl Engine {
     /// Is runtime tracing currently enabled?
     pub fn tracing_enabled(&self) -> bool {
         self.tracer.as_ref().is_some_and(|t| t.enabled())
+    }
+
+    /// The wait-event registry, when the wait subsystem is wired in
+    /// (monitoring + `wait_events_enabled`).
+    pub fn wait_registry(&self) -> Option<&Arc<WaitRegistry>> {
+        self.waits.as_ref()
+    }
+
+    /// The ASH sampler, when the wait subsystem is wired in. The daemon
+    /// calls [`AshSampler::sample_if_due`] through this on every poll so an
+    /// otherwise-idle engine still gets its timeline sampled.
+    pub fn ash_sampler(&self) -> Option<&Arc<AshSampler>> {
+        self.ash.as_ref()
     }
 
     /// The shared simulated clock.
@@ -858,6 +924,45 @@ impl Engine {
                 ),
             ],
         );
+        if let Some(registry) = &self.waits {
+            let totals = registry.snapshot();
+            snap.push(
+                "ingot_wait_event_ns_total",
+                "Nanoseconds lost per wait event.",
+                MetricKind::Counter,
+                totals
+                    .iter()
+                    .map(|t| {
+                        Sample::labelled(
+                            vec![("event".into(), t.event.name().into())],
+                            t.total_ns as f64,
+                        )
+                    })
+                    .collect(),
+            );
+            snap.push(
+                "ingot_wait_event_count_total",
+                "Completed waits per wait event.",
+                MetricKind::Counter,
+                totals
+                    .iter()
+                    .map(|t| {
+                        Sample::labelled(
+                            vec![("event".into(), t.event.name().into())],
+                            t.count as f64,
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        if let Some(sampler) = &self.ash {
+            snap.push(
+                "ingot_ash_samples_total",
+                "Active Session History samples taken.",
+                MetricKind::Counter,
+                vec![Sample::plain(sampler.samples_taken() as f64)],
+            );
+        }
         if let Some(m) = &self.monitor {
             snap.push(
                 "ingot_monitor_self_time_ns_total",
@@ -1134,6 +1239,9 @@ pub struct Session {
     engine: Arc<Engine>,
     id: SessionId,
     txn: Mutex<Option<TxnId>>,
+    /// This session's ASH slot (wait sink + current-statement cell);
+    /// `None` when the wait subsystem is off.
+    ash: Option<Arc<ActiveSession>>,
 }
 
 impl Drop for Session {
@@ -1142,6 +1250,9 @@ impl Drop for Session {
             // An open transaction dropped without commit aborts: its data
             // changes are reversed and its locks release.
             self.engine.abort_txn(txn);
+        }
+        if let (Some(sampler), Some(slot)) = (&self.engine.ash, &self.ash) {
+            sampler.deregister_session(slot.session_id());
         }
         self.engine.sessions.close();
     }
@@ -1156,6 +1267,15 @@ impl Session {
     /// The engine behind the session.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+
+    /// Cumulative wait totals charged to this session, one row per
+    /// [`ingot_common::WaitEvent`]. Empty when the wait subsystem is off.
+    pub fn wait_totals(&self) -> Vec<WaitTotal> {
+        self.ash
+            .as_ref()
+            .map(|s| s.waits().counters().snapshot())
+            .unwrap_or_default()
     }
 
     /// Open an explicit transaction (locks held until commit/rollback).
@@ -1263,8 +1383,36 @@ impl Session {
         let start_ns = engine.wall.now_nanos();
         let io_before = engine.io_stats();
 
+        // Wait-event accounting: publish this statement to the session's
+        // ASH slot, give the cooperative sampler its tick, and bind the
+        // session's wait sink to this thread so guards anywhere down the
+        // stack (locks, WAL, buffer pool, retry) charge it.
+        let mut wait_before = 0u64;
+        let _wait_binding = match (&engine.waits, &self.ash) {
+            (Some(registry), Some(slot)) => {
+                wait_before = slot.waits().counters().total_ns();
+                slot.begin_statement(StmtHash::of(sql), normalize_template(sql), start_ns);
+                if let Some(sampler) = &engine.ash {
+                    sampler.sample_if_due(start_ns);
+                }
+                Some(bind_session(
+                    self.id.raw(),
+                    Arc::clone(slot.waits()),
+                    Arc::clone(registry),
+                ))
+            }
+            _ => None,
+        };
+
         let outcome = self.execute_inner(sql, params, &mut sensor, &mut trace);
         engine.statements_executed.fetch_add(1, Ordering::Relaxed);
+
+        if let Some(slot) = &self.ash {
+            if let Some(sampler) = &engine.ash {
+                sampler.sample_if_due(engine.wall.now_nanos());
+            }
+            slot.end_statement();
+        }
 
         match outcome {
             Ok(mut result) => {
@@ -1272,6 +1420,13 @@ impl Session {
                 let io_delta = io_after.delta_since(&io_before);
                 result.actual_cost.io = io_delta.total() as f64;
                 result.wallclock_ns = engine.wall.now_nanos() - start_ns;
+                if let Some(slot) = &self.ash {
+                    result.wait_ns = slot
+                        .waits()
+                        .counters()
+                        .total_ns()
+                        .saturating_sub(wait_before);
+                }
                 // Hand the finished trace to the tracer before the monitor
                 // records: the tracer's bookkeeping time lands in this
                 // statement's monitor_ns (Fig 5 stays honest).
@@ -1872,6 +2027,9 @@ impl Session {
             return Err(Error::parse("EXPLAIN cannot be nested"));
         }
         let engine = &*self.engine;
+        // Wait baseline: everything this statement loses from here on —
+        // lock acquisition included — shows up as the "Waits:" line below.
+        let wait_snap0 = self.ash.as_ref().map(|s| s.waits().counters().snapshot());
         let (bound, planned, _, _) = self.bind_and_optimize(inner, sensor, trace)?;
 
         let (txn, auto) = self.current_txn();
@@ -1931,6 +2089,25 @@ impl Session {
             affected,
             (engine.wall.now_nanos() - exec_t0) as f64 / 1e6
         ));
+        if let (Some(slot), Some(before)) = (&self.ash, wait_snap0) {
+            let after = slot.waits().counters().snapshot();
+            let mut parts = Vec::new();
+            let mut total_ns = 0u64;
+            for (b, a) in before.iter().zip(after.iter()) {
+                let dns = a.total_ns.saturating_sub(b.total_ns);
+                if dns > 0 {
+                    total_ns = total_ns.saturating_add(dns);
+                    parts.push(format!("{} {:.3} ms", a.event, dns as f64 / 1e6));
+                }
+            }
+            if total_ns > 0 {
+                text.push_str(&format!(
+                    "Waits: {:.3} ms total ({})\n",
+                    total_ns as f64 / 1e6,
+                    parts.join(", ")
+                ));
+            }
+        }
         Ok(StatementResult {
             rows: text
                 .lines()

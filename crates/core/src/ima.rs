@@ -17,6 +17,9 @@ use ingot_storage::Wal;
 use ingot_trace::Tracer;
 use ingot_txn::{LockManager, LockMode, Resource, TxnManager};
 
+use ingot_common::waits::WaitRegistry;
+
+use crate::ash::{AshSample, AshSampler};
 use crate::engine::SessionCounters;
 use crate::monitor::Monitor;
 
@@ -543,6 +546,75 @@ pub fn register_concurrency_tables(
     Ok(())
 }
 
+/// Register the wait-event + ASH virtual tables: `ima$wait_events`
+/// (cumulative counts/ns per event, always all taxonomy rows),
+/// `ima$active_sessions` (live: every session currently mid-statement with
+/// its wait state computed at read time) and `ima$ash` (the bounded sample
+/// history ring).
+pub fn register_wait_tables(
+    catalog: &mut Catalog,
+    registry: &Arc<WaitRegistry>,
+    sampler: &Arc<AshSampler>,
+) -> Result<()> {
+    let r = Arc::clone(registry);
+    catalog.register_virtual_table(
+        "ima$wait_events",
+        Schema::new(vec![
+            Column::not_null("event", DataType::Str),
+            Column::new("count", DataType::Int),
+            Column::new("total_ns", DataType::Int),
+        ]),
+        Arc::new(move || {
+            r.snapshot()
+                .into_iter()
+                .map(|t| {
+                    Row::new(vec![
+                        Value::Str(t.event.name().to_owned()),
+                        v_int(t.count),
+                        v_int(t.total_ns),
+                    ])
+                })
+                .collect()
+        }),
+    )?;
+
+    let ash_row = |s: AshSample| {
+        Row::new(vec![
+            v_int(s.at_ns),
+            v_int(s.session_id),
+            Value::Str(s.hash.to_string()),
+            Value::Str(s.template),
+            v_int(s.elapsed_ns),
+            Value::Str(s.event.to_owned()),
+        ])
+    };
+    let ash_schema = || {
+        Schema::new(vec![
+            Column::not_null("at_ns", DataType::Int),
+            Column::new("session", DataType::Int),
+            Column::new("hash", DataType::Str),
+            Column::new("statement", DataType::Str),
+            Column::new("elapsed_ns", DataType::Int),
+            Column::new("event", DataType::Str),
+        ])
+    };
+
+    let s = Arc::clone(sampler);
+    catalog.register_virtual_table(
+        "ima$active_sessions",
+        ash_schema(),
+        Arc::new(move || s.active_snapshot().into_iter().map(ash_row).collect()),
+    )?;
+
+    let s = Arc::clone(sampler);
+    catalog.register_virtual_table(
+        "ima$ash",
+        ash_schema(),
+        Arc::new(move || s.history().into_iter().map(ash_row).collect()),
+    )?;
+    Ok(())
+}
+
 /// Name of the storage-daemon health table (registered only while a daemon
 /// is attached to the engine — see [`register_daemon_health_table`]).
 pub const IMA_DAEMON_HEALTH: &str = "ima$daemon_health";
@@ -592,6 +664,10 @@ pub const IMA_TABLE_NAMES: &[&str] = &[
     "ima$plan_cache",
     "ima$locks",
     "ima$sessions",
+    "ima$wait_events",
+    "ima$active_sessions",
+    "ima$ash",
+    "ima$wal",
     "ima$operator_stats",
     "ima$latency_histograms",
 ];

@@ -24,15 +24,17 @@
 //! absent), `EngineConfig::monitoring()` (sensors active), and the latter
 //! plus the storage daemon from `ingot-daemon`.
 
+pub mod ash;
 pub mod engine;
 pub mod ima;
 pub mod monitor;
 
+pub use ash::{ActiveSession, AshSample, AshSampler, CurrentStatement, ON_CPU};
 pub use engine::{Engine, EngineBuilder, Prepared, Session, StatementResult};
 pub use ima::{
     daemon_health_schema, register_concurrency_tables, register_daemon_health_table,
     register_monitor_health_table, register_plan_cache_table, register_trace_tables,
-    IMA_DAEMON_HEALTH,
+    register_wait_tables, IMA_DAEMON_HEALTH,
 };
 pub use ingot_planner::{PlanCache, PlanCacheStats};
 pub use ingot_trace::{MetricsSnapshot, Tracer};

@@ -38,6 +38,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ingot_common::waits::{WaitEvent, WaitGuard};
 use ingot_common::{Error, Result, RetryPolicy};
 use ingot_core::{Engine, Monitor};
 use parking_lot::Mutex;
@@ -162,6 +163,12 @@ impl StorageDaemon {
         let polls = self.health.record_poll();
         // Statistics sensor fires on the daemon's schedule.
         self.engine.sample_statistics();
+        // The ASH sampler is cooperative: the daemon is one of its tick
+        // sources, so an engine idle between statements still gets sampled
+        // on the poll cadence.
+        if let Some(sampler) = self.engine.ash_sampler() {
+            sampler.sample_if_due(self.engine.wall_clock().now_nanos());
+        }
         let Some(monitor) = self.engine.monitor() else {
             return Ok(());
         };
@@ -205,14 +212,25 @@ impl StorageDaemon {
     /// each wrapped in the retry/backoff policy. On success the daemon is
     /// healthy again (with a recovery self-alert if it wasn't).
     fn try_append(&self, monitor: &Monitor, now_secs: u64) -> Result<()> {
-        loop {
-            let Some(ts) = self.pending.lock().front().copied() else {
-                break;
+        {
+            // Replaying buffered snapshots is time the daemon spends catching
+            // up instead of monitoring; charge it as DaemonCatchup so a DBA
+            // can see recovery cost in `ima$wait_events`. No-op when the
+            // buffer is empty or the wait subsystem is off.
+            let _catchup = if self.pending.lock().is_empty() {
+                WaitGuard::disabled()
+            } else {
+                WaitGuard::begin(self.engine.wait_registry(), WaitEvent::DaemonCatchup)
             };
-            self.append_with_retry(monitor, ts)?;
-            self.pending.lock().pop_front();
-            self.health.record_recovered(1);
-            self.health.set_buffered(self.pending.lock().len() as u64);
+            loop {
+                let Some(ts) = self.pending.lock().front().copied() else {
+                    break;
+                };
+                self.append_with_retry(monitor, ts)?;
+                self.pending.lock().pop_front();
+                self.health.record_recovered(1);
+                self.health.set_buffered(self.pending.lock().len() as u64);
+            }
         }
         self.append_with_retry(monitor, now_secs)?;
         if self.health.state() != HealthState::Healthy {
@@ -247,6 +265,8 @@ impl StorageDaemon {
         // time-series queries can correlate them with the workload.
         self.wldb
             .append_metrics(&self.engine.metrics_snapshot(), now_secs)?;
+        // Wait-event counters and new ASH samples ride the same cadence.
+        self.wldb.append_waits(&self.engine, now_secs)?;
         let last = self.last_purge_secs.load(Ordering::Relaxed);
         if now_secs.saturating_sub(last) >= 3600 {
             self.last_purge_secs.store(now_secs, Ordering::Relaxed);

@@ -35,6 +35,9 @@ create table wl_statistics (at_ns int not null, at_secs int, sessions int,
     deadlocks_total int, active_txns int, cache_hits int, cache_misses int,
     physical_reads int, physical_writes int, statements_executed int, ts int);
 create table wl_metrics (name text not null, labels text, value float, ts int);
+create table wl_waits (event text not null, count int, total_ns int, ts int);
+create table wl_ash (at_ns int not null, session int, hash text, statement text,
+    elapsed_ns int, event text, ts int);
 ";
 
 /// All workload-DB table names.
@@ -47,6 +50,8 @@ pub const WL_TABLES: &[&str] = &[
     "wl_attributes",
     "wl_statistics",
     "wl_metrics",
+    "wl_waits",
+    "wl_ash",
 ];
 
 /// Append cursor: what has already been copied out of the monitor.
@@ -64,6 +69,11 @@ struct AppendState {
     stmt_freq: HashMap<StmtHash, u64>,
     refs_seen: HashSet<(StmtHash, &'static str, u64)>,
     last_stat_ns: u64,
+    /// Newest ASH sample timestamp already copied into `wl_ash`.
+    last_ash_ns: u64,
+    /// Cumulative wait nanoseconds at the last `wl_waits` snapshot — polls
+    /// where nothing waited append nothing.
+    last_wait_ns: u64,
 }
 
 /// The workload database. Wraps a dedicated (non-monitored) engine instance.
@@ -418,6 +428,88 @@ impl WorkloadDb {
         Ok(())
     }
 
+    /// Roll the monitored engine's wait-event counters and new ASH samples
+    /// into `wl_waits` / `wl_ash`, stamped with `now_secs`. Like
+    /// [`WorkloadDb::append_from`], the batch is one transaction and the ASH
+    /// cursor publishes only after commit, so a faulted poll re-appends the
+    /// same samples without duplicates. A no-op when the engine's wait
+    /// subsystem is off.
+    pub fn append_waits(&self, source: &Engine, now_secs: u64) -> Result<()> {
+        let (Some(registry), Some(sampler)) = (source.wait_registry(), source.ash_sampler()) else {
+            return Ok(());
+        };
+        let mut state = self.state.lock();
+        // Idle fast path: nothing charged and nothing recorded since the
+        // last poll means no transaction at all — an idle engine's polls
+        // read one counter snapshot and one ring high-water mark.
+        let grand_total: u64 = registry
+            .counters()
+            .snapshot()
+            .iter()
+            .map(|t| t.total_ns)
+            .sum();
+        if grand_total <= state.last_wait_ns && sampler.latest_recorded_ns() <= state.last_ash_ns {
+            return Ok(());
+        }
+        let mut scratch = state.clone();
+        let ts = Value::Int(now_secs as i64);
+        let session = self.engine.open_session();
+        session.begin()?;
+        let appended = (|| {
+            let mut rows = 0u64;
+            let mut bytes = 0u64;
+            // Cumulative per-event totals, snapshot-style like wl_tables —
+            // but only when some wait has been charged since the last poll,
+            // so an idle interval appends nothing.
+            let totals = registry.counters().snapshot();
+            let grand_total: u64 = totals.iter().map(|t| t.total_ns).sum();
+            if grand_total > scratch.last_wait_ns {
+                for t in totals.iter().filter(|t| t.count > 0) {
+                    bytes += self.insert(
+                        &session,
+                        "wl_waits",
+                        Row::new(vec![
+                            Value::Str(t.event.name().to_owned()),
+                            Value::Int(t.count as i64),
+                            Value::Int(t.total_ns as i64),
+                            ts.clone(),
+                        ]),
+                    )?;
+                    rows += 1;
+                }
+                scratch.last_wait_ns = grand_total;
+            }
+            // ASH samples newer than the cursor.
+            for sample in sampler.history() {
+                if sample.at_ns <= scratch.last_ash_ns {
+                    continue;
+                }
+                bytes += self.insert(
+                    &session,
+                    "wl_ash",
+                    Row::new(vec![
+                        Value::Int(sample.at_ns as i64),
+                        Value::Int(sample.session_id as i64),
+                        Value::Str(sample.hash.to_string()),
+                        Value::Str(sample.template.clone()),
+                        Value::Int(sample.elapsed_ns as i64),
+                        Value::Str(sample.event.to_owned()),
+                        ts.clone(),
+                    ]),
+                )?;
+                rows += 1;
+                scratch.last_ash_ns = scratch.last_ash_ns.max(sample.at_ns);
+            }
+            Ok((rows, bytes))
+        })()
+        .and_then(|totals| session.commit().map(|()| totals));
+        let (rows, bytes) = appended?;
+        *state = scratch;
+        self.growth
+            .record_append(rows, bytes, self.engine.sim_clock().now_secs());
+        Ok(())
+    }
+
     /// Delete rows older than `cutoff_secs` from every workload table (the
     /// retention window; paper default seven days).
     pub fn purge_older_than(&self, cutoff_secs: u64) -> Result<()> {
@@ -495,6 +587,38 @@ mod tests {
             .query("select frequency from wl_statements where query_text like 'insert%' order by ts desc limit 1")
             .unwrap();
         assert_eq!(rows[0].get(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn append_waits_is_cursor_gated() {
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
+        let registry = engine.wait_registry().unwrap();
+        let sampler = engine.ash_sampler().unwrap();
+        registry.charge(ingot_common::WaitEvent::LockWaitX, 1_000);
+        let slot = sampler.register_session(99);
+        slot.begin_statement(StmtHash::of("select 1"), "select 1".into(), 0);
+        sampler.sample_now(10);
+        let db = WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap();
+        db.append_waits(&engine, 100).unwrap();
+        assert_eq!(db.row_count("wl_waits").unwrap(), 1);
+        assert_eq!(db.row_count("wl_ash").unwrap(), 1);
+        // Nothing new since: the cursors keep the next poll a no-op.
+        db.append_waits(&engine, 130).unwrap();
+        assert_eq!(db.row_count("wl_waits").unwrap(), 1);
+        assert_eq!(db.row_count("wl_ash").unwrap(), 1);
+        // Fresh waits and samples append again (cumulative snapshot rows).
+        registry.charge(ingot_common::WaitEvent::WalFsync, 2_000);
+        sampler.sample_now(20);
+        db.append_waits(&engine, 160).unwrap();
+        assert_eq!(db.row_count("wl_waits").unwrap(), 3);
+        assert_eq!(db.row_count("wl_ash").unwrap(), 2);
+        let rows = db
+            .query("select total_ns from wl_waits where event = 'LockWaitX' order by ts limit 1")
+            .unwrap();
+        assert_eq!(rows[0].get(0), &Value::Int(1_000));
     }
 
     #[test]

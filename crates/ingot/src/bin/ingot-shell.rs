@@ -84,6 +84,7 @@ fn run_meta(cmd: &str, engine: &std::sync::Arc<Engine>, session: &Session) -> Me
             println!("  \\monitor        monitor summary (statements, workload, self-time)");
             println!("  \\metrics        dump engine metrics in Prometheus text format");
             println!("  \\trace [on|off] toggle structured statement tracing");
+            println!("  \\waits          wait-event totals and ASH sampler status");
             println!("  \\report         analyze the recorded workload and print the report");
             println!("  \\apply          analyze and apply the recommendations");
             println!("  \\nref [scale]   load the NREF-like demo database (default 0.1)");
@@ -119,6 +120,33 @@ fn run_meta(cmd: &str, engine: &std::sync::Arc<Engine>, session: &Session) -> Me
         "\\metrics" => {
             print!("{}", engine.metrics_snapshot().render_prometheus());
         }
+        "\\waits" => {
+            if engine.wait_registry().is_none() {
+                println!("wait events are disabled on this instance");
+                return MetaOutcome::Continue;
+            }
+            match session.execute(
+                "select event, count, total_ns from ima$wait_events order by total_ns desc",
+            ) {
+                Ok(r) => {
+                    let names: Vec<String> = ["event", "count", "total_ns"]
+                        .iter()
+                        .map(|s| (*s).to_owned())
+                        .collect();
+                    print!("{}", format_rows(&names, &r.rows));
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            if let Some(sampler) = engine.ash_sampler() {
+                println!(
+                    "ash: {} samples taken, {} rows in ring (cap {}), interval {} ms",
+                    sampler.samples_taken(),
+                    sampler.history().len(),
+                    sampler.ring_capacity(),
+                    sampler.interval_ns() / 1_000_000
+                );
+            }
+        }
         "\\trace" => match parts.next() {
             Some("on") | None => {
                 engine.set_tracing(true);
@@ -131,11 +159,13 @@ fn run_meta(cmd: &str, engine: &std::sync::Arc<Engine>, session: &Session) -> Me
             Some(other) => eprintln!("expected on/off, got {other}"),
         },
         "\\report" | "\\apply" => {
-            let Some(monitor) = engine.monitor() else {
+            if engine.monitor().is_none() {
                 println!("monitoring is disabled on this instance");
                 return MetaOutcome::Continue;
-            };
-            let view = WorkloadView::from_monitor(monitor);
+            }
+            // from_engine = monitor view + wait/ASH profiles, so the
+            // wait-profile rules get their evidence too.
+            let view = WorkloadView::from_engine(engine);
             let analyzer = Analyzer::default();
             match analyzer.analyze(engine, &view) {
                 Ok(report) => {

@@ -11,6 +11,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use ingot_common::waits::{WaitEvent, WaitGuard, WaitRegistry, WaitRegistryHandle};
 use ingot_common::{Error, Result};
 use parking_lot::{Mutex, RwLock};
 
@@ -82,6 +83,9 @@ pub struct BufferPool {
     misses: AtomicU64,
     evictions: AtomicU64,
     write_failures: AtomicU64,
+    /// Wait-event sink, injected by the engine after construction. Unset
+    /// (unit tests) the miss and eviction paths charge nothing.
+    waits: WaitRegistryHandle,
 }
 
 impl BufferPool {
@@ -100,7 +104,15 @@ impl BufferPool {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             write_failures: AtomicU64::new(0),
+            waits: WaitRegistryHandle::new(),
         }
+    }
+
+    /// Route physical-I/O wait accounting to `registry` (`BufferRead` for
+    /// misses, `BufferEvict` for the over-capacity sweep). Called once by
+    /// the engine during wiring.
+    pub fn set_wait_registry(&self, registry: Arc<WaitRegistry>) {
+        self.waits.set(registry);
     }
 
     /// The disk model (for reading I/O statistics or the simulated clock).
@@ -131,6 +143,12 @@ impl BufferPool {
     }
 
     fn evict_if_needed(&self, inner: &mut PoolInner) -> Result<()> {
+        if inner.frames.len() <= self.capacity {
+            return Ok(());
+        }
+        // Over capacity: the sweep below is time the requesting statement
+        // spends making room rather than doing work.
+        let _wait = WaitGuard::begin(self.waits.get(), WaitEvent::BufferEvict);
         while inner.frames.len() > self.capacity {
             // Find the least-recently-used unpinned frame. The scan is
             // bounded so that a fully-pinned pool terminates (pinned frames
@@ -186,7 +204,11 @@ impl BufferPool {
             return Ok(page);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let page = self.backend.read_page(file, page_no)?;
+        let page = {
+            // Miss: the physical read is lost time for the requester.
+            let _wait = WaitGuard::begin(self.waits.get(), WaitEvent::BufferRead);
+            self.backend.read_page(file, page_no)?
+        };
         self.model.record_read(file, page_no);
         let page = Arc::new(RwLock::new(page));
         inner.frames.insert(

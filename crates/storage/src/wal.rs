@@ -50,6 +50,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use ingot_common::waits::{WaitEvent, WaitGuard, WaitRegistry, WaitRegistryHandle};
 use ingot_common::{fnv1a64, EngineConfig, Error, MonotonicClock, Result, TxnId, WalFsyncMode};
 use parking_lot::Mutex;
 
@@ -457,6 +458,9 @@ pub struct Wal {
     /// Records salvaged at open, drained once by recovery.
     recovered: Mutex<Vec<WalEntry>>,
     salvage: SalvageReport,
+    /// Wait-event sink, injected by the engine after construction. Unset
+    /// (unit tests, recovery probes) the durability barriers charge nothing.
+    waits: WaitRegistryHandle,
 }
 
 impl Wal {
@@ -560,7 +564,16 @@ impl Wal {
             sync_delay_ns: config.wal_sync_delay_us * 1_000,
             recovered: Mutex::new(recovered),
             salvage,
+            waits: WaitRegistryHandle::new(),
         }
+    }
+
+    /// Route durability-barrier accounting to `registry` (`WalFsync` for
+    /// the physical sync, `GroupCommitDally` for leader dally + follower
+    /// waits). Called once by the engine during wiring.
+    pub fn set_wait_registry(&self, registry: Arc<WaitRegistry>) {
+        self.group.set_wait_registry(Arc::clone(&registry));
+        self.waits.set(registry);
     }
 
     /// Split `bytes` into its decoded valid prefix and the prefix length.
@@ -762,6 +775,9 @@ impl Wal {
     /// the state lock is *not* held across the device wait, so appends
     /// proceed while the platter spins.
     pub fn sync_to(&self, lsn: Lsn) -> Result<Lsn> {
+        // The whole barrier is fsync wait: queueing behind the in-flight
+        // fsync on `sync_lock` and the device time itself both count.
+        let _wait = WaitGuard::begin(self.waits.get(), WaitEvent::WalFsync);
         let _device = self.sync_lock.lock();
         let (target_len, target_lsn, file) = {
             let st = self.state.lock();
@@ -926,6 +942,9 @@ pub struct GroupCommit {
     groups: AtomicU64,
     grouped: AtomicU64,
     max_group: AtomicU64,
+    /// Wait-event sink (`GroupCommitDally`); unset in loom models and unit
+    /// tests, where every dally guard collapses to a no-op.
+    waits: WaitRegistryHandle,
 }
 
 impl GroupCommit {
@@ -942,7 +961,13 @@ impl GroupCommit {
             groups: AtomicU64::new(0),
             grouped: AtomicU64::new(0),
             max_group: AtomicU64::new(0),
+            waits: WaitRegistryHandle::new(),
         }
+    }
+
+    /// Route dally-time accounting to `registry`.
+    pub fn set_wait_registry(&self, registry: Arc<WaitRegistry>) {
+        self.waits.set(registry);
     }
 
     fn follower_wait(&self) -> Duration {
@@ -962,6 +987,7 @@ impl GroupCommit {
             if st.syncing {
                 // Follower: the in-flight batch (or the next one) will
                 // cover us. Timed wait so a dead leader cannot strand us.
+                let _dally = WaitGuard::begin(self.waits.get(), WaitEvent::GroupCommitDally);
                 let _ = self.cv.wait_for(&mut st, self.follower_wait());
                 continue;
             }
@@ -969,6 +995,7 @@ impl GroupCommit {
             // behind us: a lone committer syncs immediately.
             st.syncing = true;
             if st.waiters > 1 && !self.window.is_zero() {
+                let _dally = WaitGuard::begin(self.waits.get(), WaitEvent::GroupCommitDally);
                 let _ = self.cv.wait_for(&mut st, self.window);
             }
             let batch = st.waiters;

@@ -25,6 +25,13 @@
 //! path pays one atomic load and nothing else. When on, the tracer's own
 //! bookkeeping time is reported back to the engine and charged to
 //! `monitor_ns`, keeping the paper's Fig 5 overhead accounting honest.
+//!
+//! * **Wait events** ([`WaitEvent`], [`WaitGuard`], [`WaitRegistry`]) — the
+//!   closed taxonomy of time *lost* (lock queues, fsync barriers, buffer
+//!   I/O, retry backoff) feeding `ima$wait_events` and the ASH sampler. The
+//!   types live in `ingot_common::waits` because the instrumented wait
+//!   paths sit below this crate in the dependency graph; they are
+//!   re-exported here so observability consumers have one import surface.
 
 pub mod histogram;
 pub mod metrics;
@@ -37,3 +44,8 @@ pub use span::{
     render_operator_tree, OperatorSpan, SpanCollector, SpanFrame, Stage, StageSpan, StatementTrace,
 };
 pub use tracer::{OperatorStats, TraceBuilder, TraceConfig, Tracer};
+
+pub use ingot_common::waits::{
+    bind_session, charge_ambient, SessionBinding, SessionWaits, WaitCounters, WaitEvent, WaitGuard,
+    WaitRecord, WaitRegistry, WaitRegistryHandle, WaitTotal, WAIT_EVENT_COUNT,
+};

@@ -9,7 +9,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use ingot_common::waits::{WaitEvent, WaitGuard, WaitRegistry, WaitRegistryHandle};
 use ingot_common::{Error, Result, TableId, TxnId};
+use std::sync::Arc;
 // Under `--cfg loom` the primitives come from the model-checking shim, which
 // injects schedule perturbation at every acquire/notify edge (see the
 // loom-shim crate and the `loom_lock_manager` integration test).
@@ -94,6 +96,9 @@ pub struct LockManager {
     waits_total: AtomicU64,
     deadlocks_total: AtomicU64,
     granted_total: AtomicU64,
+    /// Wait-event sink, injected by the engine after construction. Unset
+    /// (unit tests, loom models) every block below charges nothing.
+    waits: WaitRegistryHandle,
 }
 
 impl LockManager {
@@ -106,7 +111,14 @@ impl LockManager {
             waits_total: AtomicU64::new(0),
             deadlocks_total: AtomicU64::new(0),
             granted_total: AtomicU64::new(0),
+            waits: WaitRegistryHandle::new(),
         }
+    }
+
+    /// Route blocked-time accounting to `registry` (`LockWaitS` /
+    /// `LockWaitX` wait events). Called once by the engine during wiring.
+    pub fn set_wait_registry(&self, registry: Arc<WaitRegistry>) {
+        self.waits.set(registry);
     }
 
     /// Acquire `mode` on `res` for `txn`, blocking until granted.
@@ -116,6 +128,10 @@ impl LockManager {
     /// locks and retry), or [`Error::LockTimeout`] after the configured
     /// timeout.
     pub fn lock(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<()> {
+        // Begun lazily at the first enqueue below; dropping it (on grant,
+        // deadlock, or timeout) charges the blocked nanoseconds as
+        // `LockWaitS` / `LockWaitX` to the registry and the ambient session.
+        let mut wait_guard: Option<WaitGuard> = None;
         let mut inner = self.inner.lock();
 
         // Re-entrancy / upgrade handling.
@@ -183,6 +199,13 @@ impl LockManager {
                     state.queue.push_back((txn, mode));
                     self.waits_total.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+            if wait_guard.is_none() {
+                let event = match mode {
+                    LockMode::Shared => WaitEvent::LockWaitS,
+                    LockMode::Exclusive => WaitEvent::LockWaitX,
+                };
+                wait_guard = Some(WaitGuard::begin(self.waits.get(), event));
             }
             inner.waiting_on.insert(txn, res);
             if self.closes_cycle(&inner, txn) {

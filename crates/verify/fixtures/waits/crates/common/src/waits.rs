@@ -1,0 +1,23 @@
+pub enum WaitEvent {
+    Covered,
+    Orphan,
+}
+
+pub struct WaitGuard;
+
+impl WaitGuard {
+    pub fn begin(event: WaitEvent) -> WaitGuard {
+        let _ = event;
+        WaitGuard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covered_is_reachable() {
+        let _ = WaitGuard::begin(WaitEvent::Covered);
+    }
+}

@@ -1,0 +1,4 @@
+pub fn queue_wait() {
+    // Allowlisted instrumented module: guards here are sanctioned.
+    let _g = WaitGuard::begin(WaitEvent::Covered);
+}

@@ -1,4 +1,4 @@
-//! The six invariant checks.
+//! The seven invariant checks.
 
 use std::fmt;
 use std::path::Path;
@@ -357,6 +357,131 @@ pub fn check_ima_completeness(root: &Path, files: &[SourceFile]) -> Vec<Violatio
                 func: "<registry>".into(),
                 ordinal: 0,
                 message: format!("{name} is registered but no test references it"),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 7: wait-event discipline.
+// ---------------------------------------------------------------------------
+
+/// Unit variants of `enum WaitEvent` in the taxonomy file, with their lines.
+fn wait_event_variants(files: &[SourceFile]) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    for file in files {
+        if file.rel_path != policy::WAIT_EVENTS_FILE {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            if !seq(file, i, &["enum", "WaitEvent", "{"]) {
+                continue;
+            }
+            let mut depth = 1i32;
+            let mut k = i + 3;
+            while k < file.tokens.len() && depth > 0 {
+                match file.tokens[k].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    text => {
+                        // A unit variant is an UpperCamel identifier directly
+                        // followed by `,` or the closing brace; attribute and
+                        // doc tokens never match that shape.
+                        let upper = text.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                        let delim = file
+                            .tokens
+                            .get(k + 1)
+                            .is_some_and(|n| n.text == "," || n.text == "}");
+                        if depth == 1 && upper && delim {
+                            variants.push((text.to_owned(), file.tokens[k].line));
+                        }
+                    }
+                }
+                k += 1;
+            }
+            break;
+        }
+    }
+    variants
+}
+
+/// The wait-event taxonomy is closed and accounted for: every `WaitEvent`
+/// variant is documented in DESIGN.md and referenced from at least one test,
+/// and wait guards (`WaitGuard::begin` / `WaitGuard::ambient`) are
+/// constructed only in the allowlisted instrumented modules — anywhere else
+/// would charge wait time the taxonomy chapter does not describe.
+pub fn check_wait_events(root: &Path, files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let variants = wait_event_variants(files);
+    if !variants.is_empty() {
+        let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+        for (name, line) in &variants {
+            if !design.contains(name.as_str()) {
+                out.push(Violation {
+                    check: "waits",
+                    category: "undocumented".into(),
+                    file: policy::WAIT_EVENTS_FILE.into(),
+                    line: *line,
+                    func: "<taxonomy>".into(),
+                    ordinal: 0,
+                    message: format!(
+                        "wait event `{name}` is not documented in DESIGN.md — every \
+                         taxonomy variant needs a chapter entry"
+                    ),
+                });
+            }
+            let referenced = files.iter().any(|f| {
+                f.tokens
+                    .iter()
+                    .any(|t| (f.in_tests_dir || t.in_test) && t.text == *name)
+                    || f.strings
+                        .iter()
+                        .any(|(l, s)| f.line_in_test(*l) && s.contains(name.as_str()))
+            });
+            if !referenced {
+                out.push(Violation {
+                    check: "waits",
+                    category: "untested".into(),
+                    file: policy::WAIT_EVENTS_FILE.into(),
+                    line: *line,
+                    func: "<taxonomy>".into(),
+                    ordinal: 0,
+                    message: format!(
+                        "wait event `{name}` is not referenced by any test — dead taxonomy \
+                         entries hide uninstrumented code paths"
+                    ),
+                });
+            }
+        }
+    }
+
+    for file in files {
+        if file.in_tests_dir || policy::WAIT_GUARD_FILES.iter().any(|f| file.rel_path == *f) {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.in_test || t.text != "WaitGuard" {
+                continue;
+            }
+            let begin = seq(file, i, &["WaitGuard", ":", ":", "begin"]);
+            let ambient = seq(file, i, &["WaitGuard", ":", ":", "ambient"]);
+            if !begin && !ambient {
+                continue;
+            }
+            let func = func_of(file, i);
+            out.push(Violation {
+                check: "waits",
+                category: "guard-outside-module".into(),
+                file: file.rel_path.clone(),
+                line: t.line,
+                func: func.clone(),
+                ordinal: 0,
+                message: format!(
+                    "wait guard constructed in `{func}` — only the instrumented modules \
+                     (see verify policy WAIT_GUARD_FILES) may charge wait time"
+                ),
             });
         }
     }

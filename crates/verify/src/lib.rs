@@ -21,6 +21,10 @@
 //! 6. **wal-ack** — `txns.commit(…)` (the commit acknowledgement) only in
 //!    the engine commit path, and only after the WAL durability barrier, so
 //!    no path reports success for a commit that cannot survive a crash.
+//! 7. **waits** — every `WaitEvent` taxonomy variant is documented in
+//!    DESIGN.md and referenced by a test, and wait guards are constructed
+//!    only inside the instrumented modules (lock queue, WAL, buffer pool,
+//!    retry, daemon catch-up).
 //!
 //! `syn` is deliberately not used: the checks operate on a comment- and
 //! literal-stripped token stream (see [`lexer`]), which keeps the tool
@@ -62,6 +66,7 @@ pub fn run(root: &Path, allowlist_path: Option<&Path>) -> std::io::Result<Report
     violations.extend(checks::check_ima_completeness(root, &files));
     violations.extend(checks::check_error_discipline(&files));
     violations.extend(checks::check_wal_ack(&files));
+    violations.extend(checks::check_wait_events(root, &files));
 
     let panic_violations = checks::check_panic_freedom(&files);
     let (fresh, allowlisted, stale) = match allowlist_path {

@@ -61,6 +61,25 @@ pub const WAL_ACK_CRATES: &[&str] = &["core", "executor", "txn", "daemon", "anal
 /// `txns.commit`.
 pub const WAL_COMMIT_FNS: &[(&str, &str)] = &[("crates/core/src/engine.rs", "commit_txn")];
 
+/// The file declaring the closed wait-event taxonomy (`enum WaitEvent`).
+/// Every variant must be documented in DESIGN.md and referenced from a test.
+pub const WAIT_EVENTS_FILE: &str = "crates/common/src/waits.rs";
+
+/// Files allowed to construct wait guards (`WaitGuard::begin` /
+/// `WaitGuard::ambient`) outside test code. These are the instrumented
+/// choke points: the taxonomy itself, retry backoff, the lock queue, the
+/// WAL barriers, the buffer pool, and the daemon's catch-up loop. Guards
+/// anywhere else would charge wait time the DESIGN.md taxonomy does not
+/// account for.
+pub const WAIT_GUARD_FILES: &[&str] = &[
+    "crates/common/src/waits.rs",
+    "crates/common/src/retry.rs",
+    "crates/txn/src/lock.rs",
+    "crates/storage/src/wal.rs",
+    "crates/storage/src/buffer.rs",
+    "crates/daemon/src/lib.rs",
+];
+
 /// Rust keywords that cannot be an indexed expression head; a `[` following
 /// one of these is an array literal, type, or pattern — not indexing.
 pub const NON_INDEX_KEYWORDS: &[&str] = &[

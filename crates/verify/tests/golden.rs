@@ -194,6 +194,42 @@ fn wal_ack_fixture_diagnostics() {
 }
 
 #[test]
+fn waits_fixture_diagnostics() {
+    let r = run("waits");
+    assert_eq!(
+        summarize(&r),
+        vec![
+            (
+                s("waits"),
+                s("undocumented"),
+                s("crates/common/src/waits.rs"),
+                3,
+                s("<taxonomy>"),
+            ),
+            (
+                s("waits"),
+                s("untested"),
+                s("crates/common/src/waits.rs"),
+                3,
+                s("<taxonomy>"),
+            ),
+            (
+                s("waits"),
+                s("guard-outside-module"),
+                s("crates/executor/src/rogue.rs"),
+                4,
+                s("sneaky_wait"),
+            ),
+        ],
+        "`Covered` is documented+tested and the guard in txn/lock.rs is \
+         allowlisted; only `Orphan` and the rogue guard may be flagged"
+    );
+    for v in &r.violations[..2] {
+        assert!(v.message.contains("Orphan"), "{}", v.message);
+    }
+}
+
+#[test]
 fn display_format_is_stable() {
     let r = run("clock");
     let line = r.violations[0].to_string();
@@ -237,6 +273,7 @@ fn cli_exits_nonzero_on_every_fixture() {
         "ima",
         "error_type",
         "wal_ack",
+        "waits",
     ] {
         let out = Command::new(bin)
             .args(["--root"])

@@ -41,10 +41,12 @@ fn daemon_end_to_end_via_sql() {
     );
     daemon.poll_once().unwrap();
 
-    // All seven Fig 3 tables are populated (indexes only when one was used).
+    // All seven Fig 3 tables are populated. Indexes only fill when one was
+    // used; the wait/ASH rollups depend on wall-clock sampling cadence and
+    // are pinned deterministically in tests/wait_events.rs instead.
     for t in WL_TABLES {
         let n = wldb.row_count(t).unwrap();
-        if *t == "wl_indexes" {
+        if matches!(*t, "wl_indexes" | "wl_waits" | "wl_ash") {
             continue;
         }
         assert!(n > 0, "{t} must have rows");
@@ -161,8 +163,17 @@ fn background_daemon_with_alerts() {
     daemon.add_rule(AlertRule::max_sessions(0));
     let handle = daemon.spawn().unwrap();
     let _busy = engine.open_session();
-    std::thread::sleep(Duration::from_millis(100));
-    let alerts = handle.daemon().take_alerts();
+    // The alert needs one poll that samples statistics *after* `_busy`
+    // opened; under a loaded test host the daemon thread can be starved,
+    // so wait for the alert rather than for a fixed interval.
+    let mut alerts = Vec::new();
+    for _ in 0..200 {
+        std::thread::sleep(Duration::from_millis(20));
+        alerts = handle.daemon().take_alerts();
+        if !alerts.is_empty() {
+            break;
+        }
+    }
     handle.stop();
     assert!(!alerts.is_empty(), "session count above 0 must alert");
 }
