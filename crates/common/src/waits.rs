@@ -347,14 +347,36 @@ impl SessionWaits {
         }
     }
 
-    fn enter(&self, event: WaitEvent, now_ns: u64) {
+    /// Mark `event` as the session's current wait, returning the previous
+    /// current-wait state so the owning [`WaitGuard`] can [`restore`]
+    /// (Self::restore) it on drop. Returning-and-restoring (rather than
+    /// clearing to zero) keeps the ASH view correct if guards ever nest or
+    /// a [`charge_ambient`] fires while an outer guard is active.
+    fn enter(&self, event: WaitEvent, now_ns: u64) -> (usize, u64) {
+        let prev = (
+            self.current.load(Ordering::Acquire),
+            self.current_since_ns.load(Ordering::Relaxed),
+        );
         self.current_since_ns.store(now_ns, Ordering::Relaxed);
         self.current.store(event.index() + 1, Ordering::Release);
+        prev
     }
 
+    /// Restore a current-wait state previously returned by [`enter`]
+    /// (Self::enter).
+    fn restore(&self, prev: (usize, u64)) {
+        self.current_since_ns.store(prev.1, Ordering::Relaxed);
+        self.current.store(prev.0, Ordering::Release);
+    }
+
+    /// Charge one completed wait. Deliberately does *not* touch the
+    /// current-wait state: a duration-only charge (e.g. the retry loop's
+    /// [`charge_ambient`]) may land while an outer [`WaitGuard`] is still
+    /// active, and clearing `current` here would make the ASH sampler see
+    /// the rest of that outer wait as on-CPU. The guard that set the state
+    /// restores it on drop instead.
     fn record(&self, record: WaitRecord) {
         self.counters.charge(record.event, record.duration_ns);
-        self.current.store(0, Ordering::Release);
         match self.recent.lock() {
             Ok(mut ring) => {
                 ring.push(record);
@@ -428,6 +450,9 @@ struct GuardInner {
     start_ns: u64,
     registry: Arc<WaitRegistry>,
     session: Option<(u64, Arc<SessionWaits>)>,
+    /// The session's current-wait state when this guard began, restored on
+    /// drop (meaningful only when `session` is `Some`).
+    prev_wait: (usize, u64),
 }
 
 /// RAII wait measurement: created at the top of a wait path, charges the
@@ -435,6 +460,12 @@ struct GuardInner {
 /// bound) on drop. A guard with no registry — neither passed nor ambient —
 /// is a no-op, which is how un-instrumented constructions (loom models,
 /// plain unit tests) pay nothing.
+///
+/// Dropping restores the session's current-wait state to what it was when
+/// the guard began, so an inner wait ending never erases an outer one from
+/// the ASH view. Instrumented paths should still avoid *nesting* guards:
+/// the cumulative counters charge each guard its full elapsed time, so
+/// nested guards double-count the overlapping nanoseconds.
 pub struct WaitGuard {
     inner: Option<GuardInner>,
 }
@@ -453,15 +484,17 @@ impl WaitGuard {
             return WaitGuard { inner: None };
         };
         let start_ns = registry.clock().now_nanos();
-        if let Some((_, waits)) = &session {
-            waits.enter(event, start_ns);
-        }
+        let prev_wait = match &session {
+            Some((_, waits)) => waits.enter(event, start_ns),
+            None => (0, 0),
+        };
         WaitGuard {
             inner: Some(GuardInner {
                 event,
                 start_ns,
                 registry,
                 session,
+                prev_wait,
             }),
         }
     }
@@ -493,6 +526,9 @@ impl Drop for WaitGuard {
                 duration,
                 inner.session.as_ref(),
             );
+            if let Some((_, waits)) = &inner.session {
+                waits.restore(inner.prev_wait);
+            }
         }
     }
 }
@@ -641,6 +677,51 @@ mod tests {
         }
         assert_eq!(registry.recent().len(), 4);
         assert_eq!(registry.counters().count(WaitEvent::BufferEvict), 10);
+    }
+
+    #[test]
+    fn charge_during_wait_keeps_current_state() {
+        // A duration-only charge landing mid-wait (e.g. charge_ambient from
+        // the retry loop) must not clear the session's current-wait state —
+        // the ASH sampler would otherwise see the rest of the outer wait as
+        // on-CPU (regression: SessionWaits::record stored 0 into current).
+        let registry = Arc::new(WaitRegistry::new(8));
+        let session = Arc::new(SessionWaits::new(8));
+        let bound = bind_session(5, Arc::clone(&session), Arc::clone(&registry));
+        {
+            let _outer = WaitGuard::begin(Some(&registry), WaitEvent::WalFsync);
+            charge_ambient(WaitEvent::RetryBackoff, 1_000);
+            let (event, _since) = session.current_wait().expect("still waiting");
+            assert_eq!(event, WaitEvent::WalFsync);
+        }
+        assert!(session.current_wait().is_none(), "back on CPU");
+        drop(bound);
+        assert_eq!(session.counters().count(WaitEvent::RetryBackoff), 1);
+        assert_eq!(session.counters().count(WaitEvent::WalFsync), 1);
+    }
+
+    #[test]
+    fn nested_guard_restores_outer_wait() {
+        // Instrumented paths should not nest guards (the counters would
+        // double-charge the overlap), but if they ever do, the inner guard's
+        // drop restores the outer wait's state rather than clearing it.
+        let registry = Arc::new(WaitRegistry::new(8));
+        let session = Arc::new(SessionWaits::new(8));
+        let bound = bind_session(6, Arc::clone(&session), Arc::clone(&registry));
+        {
+            let _outer = WaitGuard::begin(Some(&registry), WaitEvent::LockWaitX);
+            let (_, outer_since) = session.current_wait().expect("outer waiting");
+            {
+                let _inner = WaitGuard::begin(Some(&registry), WaitEvent::BufferRead);
+                let (event, _since) = session.current_wait().expect("inner waiting");
+                assert_eq!(event, WaitEvent::BufferRead);
+            }
+            let (event, since) = session.current_wait().expect("outer restored");
+            assert_eq!(event, WaitEvent::LockWaitX);
+            assert_eq!(since, outer_since);
+        }
+        assert!(session.current_wait().is_none(), "back on CPU");
+        drop(bound);
     }
 
     #[test]

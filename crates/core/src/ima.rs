@@ -651,7 +651,13 @@ pub fn daemon_health_schema() -> Schema {
     ])
 }
 
-/// The names of all IMA virtual tables, in registration order.
+/// The names of all IMA virtual tables, in registration order, under the
+/// *full* monitoring configuration (`monitor_enabled` plus
+/// `wait_events_enabled`). This is the superset used for documentation and
+/// completeness checks; an engine with waits disabled skips the three wait
+/// tables — use [`ima_table_names`] for the set a given configuration
+/// actually registers. (`ima$daemon_health` is registered separately, only
+/// while a storage daemon is attached.)
 pub const IMA_TABLE_NAMES: &[&str] = &[
     "ima$statements",
     "ima$workload",
@@ -671,3 +677,49 @@ pub const IMA_TABLE_NAMES: &[&str] = &[
     "ima$operator_stats",
     "ima$latency_histograms",
 ];
+
+/// The wait-subsystem subset of [`IMA_TABLE_NAMES`] — present only when
+/// `wait_events_enabled` is on (see [`register_wait_tables`]).
+pub const IMA_WAIT_TABLE_NAMES: &[&str] = &["ima$wait_events", "ima$active_sessions", "ima$ash"];
+
+/// The IMA tables an engine built from `config` actually registers, in
+/// registration order: empty when monitoring is off, and without the
+/// [`IMA_WAIT_TABLE_NAMES`] subset when `wait_events_enabled` is off.
+pub fn ima_table_names(config: &ingot_common::EngineConfig) -> Vec<&'static str> {
+    if !config.monitor_enabled {
+        return Vec::new();
+    }
+    IMA_TABLE_NAMES
+        .iter()
+        .copied()
+        .filter(|name| config.wait_events_enabled || !IMA_WAIT_TABLE_NAMES.contains(name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingot_common::EngineConfig;
+
+    #[test]
+    fn table_names_follow_config() {
+        let full = EngineConfig::monitoring();
+        assert_eq!(ima_table_names(&full), IMA_TABLE_NAMES);
+
+        let no_waits = EngineConfig {
+            wait_events_enabled: false,
+            ..EngineConfig::monitoring()
+        };
+        let names = ima_table_names(&no_waits);
+        assert_eq!(
+            names.len(),
+            IMA_TABLE_NAMES.len() - IMA_WAIT_TABLE_NAMES.len()
+        );
+        for wait_table in IMA_WAIT_TABLE_NAMES {
+            assert!(IMA_TABLE_NAMES.contains(wait_table));
+            assert!(!names.contains(wait_table));
+        }
+
+        assert!(ima_table_names(&EngineConfig::original()).is_empty());
+    }
+}

@@ -479,9 +479,14 @@ impl WorkloadDb {
                 }
                 scratch.last_wait_ns = grand_total;
             }
-            // ASH samples newer than the cursor.
+            // ASH samples newer than the cursor. Every session row from one
+            // sampler tick carries the same `at_ns`, so the cutoff must be
+            // snapshotted before the loop and the cursor advanced only after
+            // it — bumping the cursor row-by-row would drop all but the
+            // first session of each tick.
+            let cutoff = scratch.last_ash_ns;
             for sample in sampler.history() {
-                if sample.at_ns <= scratch.last_ash_ns {
+                if sample.at_ns <= cutoff {
                     continue;
                 }
                 bytes += self.insert(
@@ -619,6 +624,44 @@ mod tests {
             .query("select total_ns from wl_waits where event = 'LockWaitX' order by ts limit 1")
             .unwrap();
         assert_eq!(rows[0].get(0), &Value::Int(1_000));
+    }
+
+    #[test]
+    fn append_waits_keeps_every_session_of_one_tick() {
+        // All rows of one sampler tick share the same at_ns; the rollup
+        // cursor must not drop the tick's remaining sessions after copying
+        // the first (regression: cursor advanced inside the copy loop).
+        let engine = Engine::builder()
+            .config(EngineConfig::monitoring())
+            .build()
+            .unwrap();
+        let sampler = engine.ash_sampler().unwrap();
+        let slots: Vec<_> = (1..=3)
+            .map(|id| {
+                let slot = sampler.register_session(id);
+                slot.begin_statement(StmtHash::of("select 1"), "select 1".into(), 0);
+                slot
+            })
+            .collect();
+        sampler.sample_now(10);
+        let db = WorkloadDb::in_memory(engine.sim_clock().clone()).unwrap();
+        db.append_waits(&engine, 100).unwrap();
+        assert_eq!(db.row_count("wl_ash").unwrap(), 3);
+        let sessions: std::collections::BTreeSet<i64> = db
+            .query("select session from wl_ash")
+            .unwrap()
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .collect();
+        assert_eq!(sessions.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        // The cursor still gates the next poll: same tick, nothing new.
+        db.append_waits(&engine, 130).unwrap();
+        assert_eq!(db.row_count("wl_ash").unwrap(), 3);
+        // A later tick appends all its sessions again.
+        sampler.sample_now(20);
+        db.append_waits(&engine, 160).unwrap();
+        assert_eq!(db.row_count("wl_ash").unwrap(), 6);
+        drop(slots);
     }
 
     #[test]
