@@ -281,19 +281,24 @@ impl Catalog {
             return Err(Error::catalog("index needs at least one column"));
         }
         let tree = BTreeFile::create(Arc::clone(&self.pool))?;
-        // Populate from the heap.
+        // Populate from the heap: one entry per *version*, so snapshot reads
+        // through the index keep working for superseded rows. Uniqueness is
+        // enforced among live versions only (the caller's DDL X lock
+        // guarantees no uncommitted markers are in flight).
         let heap = Arc::clone(&entry.heap);
         let mut seen_keys: Option<std::collections::HashSet<Vec<u8>>> =
             unique.then(std::collections::HashSet::new);
-        for item in heap.scan() {
-            let (rid, row) = item?;
+        for item in heap.scan_versions() {
+            let (rid, meta, row) = item?;
             let vals: Vec<Value> = columns.iter().map(|&c| row.get(c).clone()).collect();
-            if let Some(seen) = &mut seen_keys {
-                let bare = ingot_storage::encode_key(&vals);
-                if !seen.insert(bare) {
-                    return Err(Error::constraint(format!(
-                        "duplicate key in unique index '{name}'"
-                    )));
+            if meta.end == ingot_common::mvcc::TS_INF {
+                if let Some(seen) = &mut seen_keys {
+                    let bare = ingot_storage::encode_key(&vals);
+                    if !seen.insert(bare) {
+                        return Err(Error::constraint(format!(
+                            "duplicate key in unique index '{name}'"
+                        )));
+                    }
                 }
             }
             let key = IndexEntry::stored_key(&vals, rid);
@@ -687,18 +692,25 @@ impl Catalog {
 
     /// `MODIFY table TO structure`: rebuild the table compactly in the new
     /// structure and rebuild all its secondary indexes (row ids change).
+    ///
+    /// Only the *currently visible* rows survive: version history is
+    /// truncated to single committed versions (stamp 0). The caller's DDL
+    /// X lock keeps writers out; snapshots opened before the rebuild keep
+    /// reading the old storage handles through their catalog snapshot.
     pub fn modify_storage(&mut self, table: TableId, to: StorageStructure) -> Result<()> {
         let entry = self.table(table)?;
+        let latest = ingot_common::Snapshot::latest();
         let rows: Vec<Row> = entry
-            .heap
-            .scan()
+            .scan_visible(&latest)
             .map(|r| r.map(|(_, row)| row))
             .collect::<Result<_>>()?;
         // Size the new main extent to hold all rows without overflow. Each
-        // record also costs a 4-byte slot entry; ~2 % slack absorbs the
-        // per-page fragmentation so the rebuild stays compact (a rebuild
-        // that *grew* the table would penalise every scan).
-        let bytes: usize = rows.iter().map(Row::byte_size).sum::<usize>() + rows.len() * 4;
+        // record also costs its version header plus a 4-byte slot entry;
+        // ~2 % slack absorbs the per-page fragmentation so the rebuild stays
+        // compact (a rebuild that *grew* the table would penalise every
+        // scan).
+        let bytes: usize = rows.iter().map(Row::byte_size).sum::<usize>()
+            + rows.len() * (ingot_storage::VERSION_HEADER + 4);
         let pages_needed = (bytes + bytes / 50) / (ingot_storage::PAGE_SIZE - 64) + 1;
         let new_heap = Arc::new(HeapFile::create(Arc::clone(&self.pool), pages_needed)?);
         let mut rids = Vec::with_capacity(rows.len());
@@ -759,12 +771,32 @@ impl Catalog {
     // ---- statistics ------------------------------------------------------------
 
     /// `CREATE STATISTICS`: build histograms for the given columns (all
-    /// columns when `columns` is empty) by scanning the table.
+    /// columns when `columns` is empty) by scanning the table at the latest
+    /// snapshot.
     pub fn collect_statistics(
         &mut self,
         table: TableId,
         columns: &[usize],
         now_secs: u64,
+    ) -> Result<()> {
+        self.collect_statistics_snapshot(
+            table,
+            columns,
+            now_secs,
+            &ingot_common::Snapshot::latest(),
+        )
+    }
+
+    /// Snapshot-read variant of [`Catalog::collect_statistics`]: scans only
+    /// the versions visible under `snap`, so statistics collection needs no
+    /// table lock at all — concurrent writers append new versions the scan
+    /// simply does not see.
+    pub fn collect_statistics_snapshot(
+        &mut self,
+        table: TableId,
+        columns: &[usize],
+        now_secs: u64,
+        snap: &ingot_common::Snapshot,
     ) -> Result<()> {
         let entry = self.table(table)?;
         let cols: Vec<usize> = if columns.is_empty() {
@@ -774,7 +806,7 @@ impl Catalog {
         };
         let mut per_col: Vec<Vec<Value>> = vec![Vec::new(); cols.len()];
         let mut rows = 0u64;
-        for item in entry.heap.scan() {
+        for item in entry.scan_visible(snap) {
             let (_, row) = item?;
             rows += 1;
             for (slot, &c) in cols.iter().enumerate() {

@@ -12,6 +12,7 @@
 
 pub mod catalog;
 pub mod histogram;
+pub mod mvcc;
 pub mod persist;
 pub mod shared;
 pub mod stats;
@@ -19,6 +20,7 @@ pub mod table;
 
 pub use catalog::{Catalog, Relation, VirtualProvider, VirtualTableDef};
 pub use histogram::Histogram;
+pub use mvcc::{VersionChange, WriteAs};
 pub use persist::{IndexDump, SchemaDump, TableDump};
 pub use shared::{CatalogWriteGuard, SharedCatalog};
 pub use stats::{ColumnStats, TableStatistics};

@@ -4,7 +4,10 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
-use ingot_common::{Error, IndexId, Result, Row, Schema, TableId, Value};
+use ingot_common::mvcc::TS_INF;
+use ingot_common::{
+    Error, IndexId, Result, Row, Schema, Snapshot, TableId, Value, WaitEvent, WaitGuard,
+};
 use ingot_storage::{BTreeFile, HeapFile, RowId};
 
 use crate::stats::TableStatistics;
@@ -116,6 +119,53 @@ impl TableEntry {
             out.push(RowId::unpack(u64::from_le_bytes(v.try_into().unwrap())));
         })?;
         Ok(out)
+    }
+
+    /// Resolve a version-chain head to the version visible under `snap`,
+    /// walking `prev` pointers backwards from the head. The head is the
+    /// common case (latest snapshot, short chains) and costs no walk; every
+    /// step beyond it is charged to the [`WaitEvent::VersionChainWalk`] wait
+    /// event — long walks mean the GC watermark is lagging behind readers.
+    pub fn fetch_visible(&self, head: RowId, snap: &Snapshot) -> Result<Option<(RowId, Row)>> {
+        let mut rid = head;
+        let mut walk: Option<WaitGuard> = None;
+        loop {
+            let (meta, row) = self.heap.get_version(rid)?;
+            if snap.sees(meta.begin, meta.end) {
+                return Ok(Some((rid, row)));
+            }
+            if meta.prev == TS_INF {
+                return Ok(None);
+            }
+            if walk.is_none() {
+                walk = Some(WaitGuard::ambient(WaitEvent::VersionChainWalk));
+            }
+            rid = RowId::unpack(meta.prev);
+        }
+    }
+
+    /// Fetch one exact version (no chain walk) if it is visible under
+    /// `snap`. Secondary indexes store one entry per version, so probes
+    /// already land on the right physical record and only need a
+    /// visibility filter.
+    pub fn version_visible(&self, rid: RowId, snap: &Snapshot) -> Result<Option<Row>> {
+        let (meta, row) = self.heap.get_version(rid)?;
+        Ok(snap.sees(meta.begin, meta.end).then_some(row))
+    }
+
+    /// Scan the heap returning only the versions visible under `snap`.
+    /// Needs no chain walks: visibility is evaluated per physical version,
+    /// and at most one version per chain passes.
+    pub fn scan_visible<'a>(
+        &'a self,
+        snap: &'a Snapshot,
+    ) -> impl Iterator<Item = Result<(RowId, Row)>> + 'a {
+        self.heap
+            .scan_versions()
+            .filter_map(move |item| match item {
+                Ok((rid, meta, row)) => snap.sees(meta.begin, meta.end).then_some(Ok((rid, row))),
+                Err(e) => Some(Err(e)),
+            })
     }
 
     /// Pages currently used by the table (heap + primary tree).

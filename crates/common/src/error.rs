@@ -31,6 +31,9 @@ pub enum Error {
     LockTimeout(String),
     /// Constraint violation (duplicate primary key etc.).
     Constraint(String),
+    /// MVCC first-committer-wins validation failed: the row version this
+    /// transaction read was superseded by a commit after its snapshot.
+    WriteConflict(String),
     /// Monitoring / IMA failure (unknown virtual table etc.).
     Monitor(String),
     /// Daemon failure (workload DB unreachable etc.).
@@ -88,6 +91,10 @@ impl Error {
     pub fn constraint(msg: impl Into<String>) -> Self {
         Error::Constraint(msg.into())
     }
+    /// Shorthand constructor for [`Error::WriteConflict`].
+    pub fn write_conflict(msg: impl Into<String>) -> Self {
+        Error::WriteConflict(msg.into())
+    }
     /// Shorthand constructor for [`Error::Monitor`].
     pub fn monitor(msg: impl Into<String>) -> Self {
         Error::Monitor(msg.into())
@@ -125,6 +132,7 @@ impl Error {
                 | Error::LockTimeout(_)
                 | Error::Deadlock { .. }
                 | Error::PlanCacheInvalidated(_)
+                | Error::WriteConflict(_)
         )
     }
 }
@@ -144,6 +152,7 @@ impl fmt::Display for Error {
             }
             Error::LockTimeout(m) => write!(f, "lock timeout: {m}"),
             Error::Constraint(m) => write!(f, "constraint violation: {m}"),
+            Error::WriteConflict(m) => write!(f, "write conflict: {m}"),
             Error::Monitor(m) => write!(f, "monitor error: {m}"),
             Error::Daemon(m) => write!(f, "daemon error: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
@@ -189,6 +198,7 @@ mod tests {
         assert!(Error::LockTimeout("t".into()).is_transient());
         assert!(Error::Deadlock { victim: 1 }.is_transient());
         assert!(Error::plan_cache_invalidated("ddl").is_transient());
+        assert!(Error::write_conflict("superseded").is_transient());
         assert!(!Error::Io("disk gone".into()).is_transient());
         assert!(!Error::storage("bad page").is_transient());
         assert!(!Error::parse("syntax").is_transient());

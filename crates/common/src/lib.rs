@@ -18,6 +18,7 @@ pub mod cost;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod mvcc;
 pub mod retry;
 pub mod ring;
 pub mod row;
@@ -30,6 +31,7 @@ pub use cost::Cost;
 pub use error::{Error, Result};
 pub use hash::{fnv1a64, StmtHash};
 pub use ids::{AttrId, DatabaseId, IndexId, PageId, SessionId, TableId, TxnId};
+pub use mvcc::Snapshot;
 pub use retry::{RetryPolicy, SplitMix64};
 pub use ring::RingBuffer;
 pub use row::{Column, Row, Schema};

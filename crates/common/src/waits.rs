@@ -40,7 +40,7 @@ use crate::clock::MonotonicClock;
 use crate::ring::RingBuffer;
 
 /// Number of wait-event kinds (array sizing for [`WaitCounters`]).
-pub const WAIT_EVENT_COUNT: usize = 8;
+pub const WAIT_EVENT_COUNT: usize = 9;
 
 /// The closed taxonomy of places a session can lose time.
 ///
@@ -67,6 +67,10 @@ pub enum WaitEvent {
     RetryBackoff,
     /// The storage daemon replaying its catch-up buffer after an outage.
     DaemonCatchup,
+    /// MVCC point lookup walking a version chain backwards from the head to
+    /// find the version visible to an older snapshot. Long walks mean the
+    /// GC watermark is lagging (a long-running snapshot pins old versions).
+    VersionChainWalk,
 }
 
 impl WaitEvent {
@@ -80,6 +84,7 @@ impl WaitEvent {
         WaitEvent::BufferEvict,
         WaitEvent::RetryBackoff,
         WaitEvent::DaemonCatchup,
+        WaitEvent::VersionChainWalk,
     ];
 
     /// Stable dense index (counter-array slot).
@@ -93,6 +98,7 @@ impl WaitEvent {
             WaitEvent::BufferEvict => 5,
             WaitEvent::RetryBackoff => 6,
             WaitEvent::DaemonCatchup => 7,
+            WaitEvent::VersionChainWalk => 8,
         }
     }
 
@@ -113,6 +119,7 @@ impl WaitEvent {
             WaitEvent::BufferEvict => "BufferEvict",
             WaitEvent::RetryBackoff => "RetryBackoff",
             WaitEvent::DaemonCatchup => "DaemonCatchup",
+            WaitEvent::VersionChainWalk => "VersionChainWalk",
         }
     }
 
@@ -588,6 +595,7 @@ mod tests {
                 "BufferEvict",
                 "RetryBackoff",
                 "DaemonCatchup",
+                "VersionChainWalk",
             ]
         );
     }

@@ -6,15 +6,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ingot_catalog::{Catalog, SharedCatalog, StorageStructure};
+use ingot_catalog::{Catalog, SharedCatalog, StorageStructure, VersionChange, WriteAs};
 use ingot_common::waits::{bind_session, WaitRegistry, WaitTotal};
 use ingot_common::{
     Column, Cost, EngineConfig, Error, IndexId, MonotonicClock, Result, Row, Schema, SessionId,
-    SimClock, StmtHash, TableId, TxnId, Value, WalFsyncMode,
+    SimClock, Snapshot, StmtHash, TableId, TxnId, Value, WalFsyncMode,
 };
 use ingot_executor::{
-    execute_plan, execute_plan_traced, execute_statement_observed,
-    execute_statement_traced_observed, DmlObserver,
+    dml::insert_one, execute_plan_snapshot, execute_plan_traced_snapshot, execute_statement_ctx,
+    execute_statement_traced_ctx, DmlCtx, DmlObserver,
 };
 use ingot_planner::{
     normalize_template, optimize, BindArtifacts, Binder, BoundStatement, CachedPlan,
@@ -29,7 +29,7 @@ use ingot_trace::{
     render_operator_tree, MetricKind, MetricsSnapshot, Sample, Stage, TraceBuilder, TraceConfig,
     Tracer,
 };
-use ingot_txn::{LockManager, LockMode, Resource, TxnManager};
+use ingot_txn::{AbortCause, LockManager, LockMode, Resource, TxnManager};
 use parking_lot::Mutex;
 
 use crate::ash::{ActiveSession, AshSampler};
@@ -114,26 +114,15 @@ pub struct EstimateResult {
 }
 
 /// One transaction's write-side state: whether a `Begin` record was appended
-/// to the WAL (first mutation does it lazily) and the logical undo operations
-/// that reverse its applied mutations on abort.
+/// to the WAL (first mutation does it lazily) and the [`VersionChange`]s its
+/// mutations produced. At commit the changes are stamped with the commit
+/// timestamp; on abort they are undone newest-first (the transaction still
+/// holds row-exclusive locks on every chain it touched, so undo cannot race
+/// other writers).
 #[derive(Debug, Default)]
 struct TxnUndo {
     began: bool,
-    ops: Vec<UndoOp>,
-}
-
-/// The logical inverse of one applied DML mutation. Rows are identified by
-/// image, not by row id: row ids move when updates relocate tuples, but at
-/// the moment an undo op is applied (newest first, under the transaction's
-/// exclusive table locks) the recorded image is guaranteed present.
-#[derive(Debug)]
-enum UndoOp {
-    /// Inverse of INSERT: delete the row currently holding this image.
-    Insert { table: TableId, row: Row },
-    /// Inverse of DELETE: restore the deleted image.
-    Delete { table: TableId, row: Row },
-    /// Inverse of UPDATE: find the post-image, rewrite it to the pre-image.
-    Update { table: TableId, new: Row, old: Row },
+    ops: Vec<VersionChange>,
 }
 
 /// An Ingot engine instance: one database, one buffer pool, optional
@@ -285,6 +274,17 @@ impl EngineBuilder {
         };
         let engine = Engine::with_storage(self.config, clock, storage, wal)?;
         engine.replay_wal()?;
+        // New commit timestamps must start above every stamp already in the
+        // data pages — checkpointed versions as well as replayed ones.
+        let max_ts = {
+            let catalog = engine.catalog.read();
+            catalog
+                .tables()
+                .map(|t| t.heap.max_commit_ts())
+                .max()
+                .unwrap_or(0)
+        };
+        engine.txns.restore_commit_seq(max_ts);
         Ok(engine)
     }
 }
@@ -458,14 +458,19 @@ impl Engine {
         // both the checkpoint record and everything before it in the log).
         let installed = self.storage.checkpoint_epoch();
         let mut low_water: Lsn = 0;
-        let mut committed: HashSet<TxnId> = HashSet::new();
+        // Winner transactions mapped to the commit timestamp their versions
+        // were stamped with pre-crash: replay reconstructs version chains
+        // with the same stamps, so post-recovery snapshots agree with
+        // pre-crash ones.
+        let mut committed: HashMap<TxnId, u64> = HashMap::new();
         for e in &entries {
             match e.record {
                 WalRecord::Checkpoint { epoch } if epoch <= installed => {
                     low_water = low_water.max(e.lsn);
                 }
-                WalRecord::Commit { txn } => {
-                    committed.insert(txn);
+                WalRecord::Commit { txn, commit_ts } => {
+                    committed.insert(txn, commit_ts);
+                    self.txns.restore_commit_seq(commit_ts);
                 }
                 _ => {}
             }
@@ -482,7 +487,7 @@ impl Engine {
         self: &Arc<Self>,
         entries: &[WalEntry],
         low_water: Lsn,
-        committed: &HashSet<TxnId>,
+        committed: &HashMap<TxnId, u64>,
     ) -> Result<(u64, u64)> {
         let session = self.open_session();
         let mut records = 0u64;
@@ -504,18 +509,29 @@ impl Engine {
                     })?;
                     records += 1;
                 }
-                WalRecord::Insert { txn, table, row } if committed.contains(txn) => {
+                // Winner data records replay as already-committed versions,
+                // stamped with the transaction's logged commit timestamp —
+                // per-row WAL order matches commit order (row locks release
+                // only after stamping), so the rebuilt chains match the
+                // pre-crash ones.
+                WalRecord::Insert { txn, table, row } if committed.contains_key(txn) => {
+                    let Some(&cts) = committed.get(txn) else {
+                        continue;
+                    };
                     let catalog = self.catalog.read();
                     let id = catalog.resolve_table(table)?;
-                    catalog.insert_row(id, &decode_row(row)?)?;
+                    catalog.insert_row_v(id, &decode_row(row)?, WriteAs::Committed(cts))?;
                     records += 1;
                     txns.insert(*txn);
                 }
-                WalRecord::Delete { txn, table, old } if committed.contains(txn) => {
+                WalRecord::Delete { txn, table, old } if committed.contains_key(txn) => {
+                    let Some(&cts) = committed.get(txn) else {
+                        continue;
+                    };
                     let catalog = self.catalog.read();
                     let id = catalog.resolve_table(table)?;
                     let rid = find_row_by_image(&catalog, id, &decode_row(old)?)?;
-                    catalog.delete_row(id, rid)?;
+                    catalog.delete_row_v(id, rid, WriteAs::Committed(cts))?;
                     records += 1;
                     txns.insert(*txn);
                 }
@@ -524,11 +540,14 @@ impl Engine {
                     table,
                     old,
                     new,
-                } if committed.contains(txn) => {
+                } if committed.contains_key(txn) => {
+                    let Some(&cts) = committed.get(txn) else {
+                        continue;
+                    };
                     let catalog = self.catalog.read();
                     let id = catalog.resolve_table(table)?;
                     let rid = find_row_by_image(&catalog, id, &decode_row(old)?)?;
-                    catalog.update_row(id, rid, &decode_row(new)?)?;
+                    catalog.update_row_v(id, rid, &decode_row(new)?, WriteAs::Committed(cts))?;
                     records += 1;
                     txns.insert(*txn);
                 }
@@ -547,6 +566,7 @@ impl Engine {
             id,
             engine: Arc::clone(self),
             txn: Mutex::new(None),
+            snap: Mutex::new(None),
             ash,
         }
     }
@@ -684,6 +704,33 @@ impl Engine {
         // manifest's epoch marks `cut` as the low-water mark.
         self.wal.truncate_to(cut, epoch)?;
         Ok(installed)
+    }
+
+    /// Garbage-collect dead versions: every version whose committed `end`
+    /// lies at or below the oldest-active-snapshot watermark is invisible to
+    /// all present and future snapshots and is physically reclaimed (chain
+    /// relink + per-version index entry removal). Runs under a short
+    /// transaction quiesce so no scan holds a row id into a chain being
+    /// relinked; a busy engine returns the quiesce timeout instead (the
+    /// daemon just retries next poll). Returns versions reclaimed.
+    pub fn mvcc_gc(&self) -> Result<u64> {
+        let _quiesced = self.txns.quiesce(Duration::from_millis(200))?;
+        let watermark = self.txns.gc_watermark();
+        let catalog = self.catalog.read();
+        let ids: Vec<TableId> = catalog.tables().map(|t| t.meta.id).collect();
+        let mut removed = 0u64;
+        let (mut versions, mut chains, mut longest) = (0u64, 0u64, 0u64);
+        for id in ids {
+            removed += catalog.gc_table(id, watermark)?;
+            let (v, c, l) = catalog.chain_stats(id)?;
+            versions += v;
+            chains += c;
+            longest = longest.max(l);
+        }
+        drop(catalog);
+        self.txns.note_gc(removed, watermark);
+        self.txns.note_chain_shape(versions, chains, longest);
+        Ok(removed)
     }
 
     /// The write-ahead log: crash scripting (fault plans), LSN watermarks
@@ -856,6 +903,59 @@ impl Engine {
             "Deadlocks detected.",
             MetricKind::Counter,
             vec![Sample::plain(locks.deadlocks_total as f64)],
+        );
+        snap.push(
+            "ingot_txn_commit_seq",
+            "Highest published MVCC commit timestamp.",
+            MetricKind::Gauge,
+            vec![Sample::plain(self.txns.read_ts() as f64)],
+        );
+        snap.push(
+            "ingot_txn_active_snapshots",
+            "Registered read snapshots (each pins the GC watermark).",
+            MetricKind::Gauge,
+            vec![Sample::plain(self.txns.active_snapshots().len() as f64)],
+        );
+        snap.push(
+            "ingot_txn_aborts_total",
+            "Transactions aborted, by cause.",
+            MetricKind::Counter,
+            AbortCause::ALL
+                .iter()
+                .map(|&c| {
+                    Sample::labelled(
+                        vec![("cause".into(), c.name().into())],
+                        self.txns.aborts_by_cause(c) as f64,
+                    )
+                })
+                .collect(),
+        );
+        snap.push(
+            "ingot_mvcc_validation_failures_total",
+            "First-committer-wins validation failures at commit.",
+            MetricKind::Counter,
+            vec![Sample::plain(self.txns.validation_failures() as f64)],
+        );
+        snap.push(
+            "ingot_mvcc_gc_total",
+            "Version-chain garbage collection: sweeps run and versions reclaimed.",
+            MetricKind::Counter,
+            vec![
+                Sample::labelled(
+                    vec![("kind".into(), "runs".into())],
+                    self.txns.gc_runs() as f64,
+                ),
+                Sample::labelled(
+                    vec![("kind".into(), "versions_removed".into())],
+                    self.txns.gc_versions_removed() as f64,
+                ),
+            ],
+        );
+        snap.push(
+            "ingot_mvcc_gc_watermark",
+            "Oldest-active-snapshot watermark of the most recent GC sweep.",
+            MetricKind::Gauge,
+            vec![Sample::plain(self.txns.gc_last_watermark() as f64)],
         );
         let pc = self.plan_cache.stats();
         snap.push(
@@ -1045,10 +1145,11 @@ impl Engine {
 
     // ---- transaction completion (WAL-ordered) ----------------------------
 
-    /// Record one applied data mutation of `txn`: push its logical undo and
-    /// lazily append the transaction's `Begin` WAL record on its first
-    /// mutation. The DML record itself is appended by the caller.
-    fn note_mutation(&self, txn: TxnId, op: UndoOp) -> Result<()> {
+    /// Record one applied data mutation of `txn`: push its version change
+    /// (the commit stamp set / abort undo list) and lazily append the
+    /// transaction's `Begin` WAL record on its first mutation. The DML
+    /// record itself is appended by the caller.
+    fn note_mutation(&self, txn: TxnId, op: VersionChange) -> Result<()> {
         let need_begin = {
             let mut undo = self.undo.lock();
             let entry = undo.entry(txn).or_default();
@@ -1061,76 +1162,111 @@ impl Engine {
         Ok(())
     }
 
-    /// Commit `txn` in WAL order: append the `Commit` record and wait for
-    /// the configured durability barrier *before* releasing any lock or
-    /// counting the commit. A barrier failure (log fault, power-cut script)
-    /// means the commit cannot be acknowledged: the transaction's changes
-    /// are rolled back and the error propagates to the caller.
+    /// Commit `txn`. Ordering, each step gated on the previous:
+    ///
+    /// 1. first-committer-wins validation ([`TxnManager::validate_write_set`])
+    ///    — write-time conflict checks already failed any statement whose
+    ///    target was superseded, so the write set is intact here; the call is
+    ///    the recorded validation point and must precede `txns.commit`;
+    /// 2. reserve a commit timestamp ([`TxnManager::start_commit`] — no lock
+    ///    held, so concurrent committers still share group-commit batches);
+    /// 3. append the `Commit` record carrying that timestamp and wait for
+    ///    the configured durability barrier — a barrier failure abandons the
+    ///    timestamp and rolls the transaction back: an un-durable commit is
+    ///    never acknowledged;
+    /// 4. stamp the write-set versions with the timestamp and publish it —
+    ///    only now do other snapshots start seeing the transaction's rows;
+    /// 5. release locks and retire the transaction.
     fn commit_txn(&self, txn: TxnId) -> Result<()> {
-        let logged = self.undo.lock().get(&txn).is_some_and(|u| u.began);
-        if logged && !self.wal.is_replaying() {
+        if let Err(e) = self.txns.validate_write_set(txn, None) {
+            self.abort_txn_with(txn, AbortCause::from_error(&e));
+            return Err(e);
+        }
+        let undo = self.undo.lock().remove(&txn);
+        let Some(undo) = undo.filter(|u| !u.ops.is_empty()) else {
+            // Read-only (or no-op) transaction: nothing to log or stamp, so
+            // no durability barrier is owed before acknowledging.
+            self.locks.release_all(txn);
+            self.txns.commit_read_only(txn);
+            return Ok(());
+        };
+        let ticket = self.txns.start_commit();
+        if undo.began && !self.wal.is_replaying() {
             let durable = self
                 .wal
-                .append(&WalRecord::Commit { txn })
+                .append(&WalRecord::Commit {
+                    txn,
+                    commit_ts: ticket.ts(),
+                })
                 .and_then(|lsn| self.wal.commit_barrier(lsn));
             if let Err(e) = durable {
-                self.abort_txn(txn);
+                // Put the write set back so the abort path can undo it; the
+                // dropped ticket abandons the reserved timestamp.
+                drop(ticket);
+                self.undo.lock().insert(txn, undo);
+                self.abort_txn_with(txn, AbortCause::Other);
                 return Err(e);
             }
         }
-        self.undo.lock().remove(&txn);
+        // Stamp, then publish: a snapshot that can read the published
+        // timestamp sees either all of this transaction's versions or (for
+        // older snapshots) none. A stamp failure is a storage-level
+        // inconsistency; it still publishes and releases (the WAL holds the
+        // commit record, so recovery is the authority) but surfaces loudly.
+        let mut stamp_err = None;
+        {
+            let catalog = self.catalog.read();
+            for change in &undo.ops {
+                if let Err(e) = catalog.apply_version_commit(change, ticket.ts()) {
+                    stamp_err.get_or_insert(e);
+                }
+            }
+        }
+        ticket.publish();
         self.locks.release_all(txn);
         self.txns.commit(txn);
-        Ok(())
+        match stamp_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
-    /// Abort `txn`: reverse its applied mutations (logical undo, newest
+    /// Abort `txn`: reverse its applied mutations (version undo, newest
     /// first), append a best-effort `Abort` record and release its locks.
     /// Infallible — abort runs from error paths and `Drop`, which cannot
     /// propagate. An undo failure is tolerable because the WAL, which holds
     /// no `Commit` record for `txn`, stays the authority on the next
     /// recovery; the `Abort` record is purely diagnostic.
     fn abort_txn(&self, txn: TxnId) {
+        self.abort_txn_with(txn, AbortCause::User);
+    }
+
+    /// [`Engine::abort_txn`] with an explicit [`AbortCause`] for the
+    /// per-cause counters behind `ima$transactions`.
+    fn abort_txn_with(&self, txn: TxnId, cause: AbortCause) {
         if let Some(undo) = self.undo.lock().remove(&txn) {
             let catalog = self.catalog.read();
-            for op in undo.ops.into_iter().rev() {
-                let _ = apply_undo(&catalog, op);
+            for op in undo.ops.iter().rev() {
+                let _ = catalog.apply_version_undo(op);
             }
             if undo.began && !self.wal.is_replaying() {
                 let _ = self.wal.append(&WalRecord::Abort { txn });
             }
         }
         self.locks.release_all(txn);
-        self.txns.abort(txn);
+        self.txns.abort_with(txn, cause);
     }
 }
 
-/// Apply one logical undo operation against a catalog snapshot. The owning
-/// transaction still holds exclusive locks on every touched table, so the
-/// image lookups cannot race with other writers.
-fn apply_undo(catalog: &Catalog, op: UndoOp) -> Result<()> {
-    match op {
-        UndoOp::Insert { table, row } => {
-            let rid = find_row_by_image(catalog, table, &row)?;
-            catalog.delete_row(table, rid)
-        }
-        UndoOp::Delete { table, row } => catalog.insert_row(table, &row).map(|_| ()),
-        UndoOp::Update { table, new, old } => {
-            let rid = find_row_by_image(catalog, table, &new)?;
-            catalog.update_row(table, rid, &old).map(|_| ())
-        }
-    }
-}
-
-/// Locate the row currently holding exactly `image`. WAL replay and logical
-/// undo identify Delete/Update targets by image because physical row ids are
-/// not stable across recovery (or across row-moving updates). Identical
-/// duplicate rows are interchangeable, so matching the first is sound.
-/// Strict on absence: a missing image means the log and the data pages
-/// disagree, which must surface, not be papered over.
+/// Locate the live (visible-at-latest) row holding exactly `image`. WAL
+/// replay identifies Delete/Update targets by image because physical row ids
+/// are not stable across recovery. Identical duplicate rows are
+/// interchangeable, so matching the first is sound. Strict on absence: a
+/// missing image means the log and the data pages disagree, which must
+/// surface, not be papered over.
 fn find_row_by_image(catalog: &Catalog, table: TableId, image: &Row) -> Result<RowId> {
     let entry = catalog.table(table)?;
-    for item in entry.heap.scan() {
+    for item in entry.scan_visible(&Snapshot::latest()) {
         let (rid, row) = item?;
         if row == *image {
             return Ok(rid);
@@ -1164,18 +1300,21 @@ impl WalDmlObserver<'_> {
 }
 
 impl DmlObserver for WalDmlObserver<'_> {
-    fn on_insert(&self, table: TableId, rid: RowId, _row: &Row) -> Result<()> {
+    fn on_insert(
+        &self,
+        table: TableId,
+        rid: RowId,
+        _row: &Row,
+        change: &VersionChange,
+    ) -> Result<()> {
         if self.engine.wal.is_replaying() {
             return Ok(());
         }
         let image = self.stored_image(table, rid)?;
-        self.engine.note_mutation(
-            self.txn,
-            UndoOp::Insert {
-                table,
-                row: image.clone(),
-            },
-        )?;
+        // Undo info is recorded before the fallible WAL append: if the
+        // append fails mid-statement, the abort path still knows how to
+        // reverse this already-applied version.
+        self.engine.note_mutation(self.txn, change.clone())?;
         self.engine.wal.append(&WalRecord::Insert {
             txn: self.txn,
             table: self.table_name(table)?,
@@ -1184,17 +1323,17 @@ impl DmlObserver for WalDmlObserver<'_> {
         Ok(())
     }
 
-    fn on_delete(&self, table: TableId, _rid: RowId, old: &Row) -> Result<()> {
+    fn on_delete(
+        &self,
+        table: TableId,
+        _rid: RowId,
+        old: &Row,
+        change: &VersionChange,
+    ) -> Result<()> {
         if self.engine.wal.is_replaying() {
             return Ok(());
         }
-        self.engine.note_mutation(
-            self.txn,
-            UndoOp::Delete {
-                table,
-                row: old.clone(),
-            },
-        )?;
+        self.engine.note_mutation(self.txn, change.clone())?;
         self.engine.wal.append(&WalRecord::Delete {
             txn: self.txn,
             table: self.table_name(table)?,
@@ -1210,19 +1349,15 @@ impl DmlObserver for WalDmlObserver<'_> {
         new_rid: RowId,
         old: &Row,
         _new: &Row,
+        changes: &[VersionChange],
     ) -> Result<()> {
         if self.engine.wal.is_replaying() {
             return Ok(());
         }
         let new_image = self.stored_image(table, new_rid)?;
-        self.engine.note_mutation(
-            self.txn,
-            UndoOp::Update {
-                table,
-                new: new_image.clone(),
-                old: old.clone(),
-            },
-        )?;
+        for change in changes {
+            self.engine.note_mutation(self.txn, change.clone())?;
+        }
         self.engine.wal.append(&WalRecord::Update {
             txn: self.txn,
             table: self.table_name(table)?,
@@ -1239,6 +1374,11 @@ pub struct Session {
     engine: Arc<Engine>,
     id: SessionId,
     txn: Mutex<Option<TxnId>>,
+    /// The open explicit transaction's read snapshot, taken lazily at its
+    /// first statement and held for the whole transaction (snapshot
+    /// isolation). Auto-commit statements take a fresh snapshot each and
+    /// never store it here.
+    snap: Mutex<Option<Snapshot>>,
     /// This session's ASH slot (wait sink + current-statement cell);
     /// `None` when the wait subsystem is off.
     ash: Option<Arc<ActiveSession>>,
@@ -1299,6 +1439,7 @@ impl Session {
             .lock()
             .take()
             .ok_or_else(|| Error::execution("no open transaction"))?;
+        *self.snap.lock() = None;
         self.engine.commit_txn(txn)
     }
 
@@ -1311,6 +1452,7 @@ impl Session {
             .lock()
             .take()
             .ok_or_else(|| Error::execution("no open transaction"))?;
+        *self.snap.lock() = None;
         self.engine.abort_txn(txn);
         Ok(())
     }
@@ -1342,28 +1484,33 @@ impl Session {
         let engine = &*self.engine;
         let id = engine.catalog.read().resolve_table(table)?;
         let (txn, auto) = self.current_txn();
+        // Table-shared lock = DDL fence only; the insert itself takes
+        // row-level constraint-key locks inside `insert_one`.
         if let Err(e) = engine
             .locks
-            .lock(txn, Resource::Table(id), LockMode::Exclusive)
+            .lock(txn, Resource::Table(id), LockMode::Shared)
         {
             if auto {
-                let _ = self.finish_auto_txn(txn, false);
+                let _ = self.finish_auto_txn(txn, Some(&e));
             }
             return Err(e);
         }
         let catalog = engine.catalog.read();
-        let result = catalog.insert_row(id, row).and_then(|rid| {
-            let observer = WalDmlObserver {
-                engine,
-                catalog: &catalog,
-                txn,
-            };
-            observer.on_insert(id, rid, row)?;
-            Ok(rid)
-        });
+        let observer = WalDmlObserver {
+            engine,
+            catalog: &catalog,
+            txn,
+        };
+        let ctx = DmlCtx {
+            snap: Snapshot::latest(),
+            write: WriteAs::Txn(txn),
+            locks: Some((&engine.locks, txn)),
+            retarget: auto,
+        };
+        let result = insert_one(&catalog, id, row, &ctx, &observer);
         drop(catalog);
         if auto {
-            let fin = self.finish_auto_txn(txn, result.is_ok());
+            let fin = self.finish_auto_txn(txn, result.as_ref().err());
             return result.and_then(|r| fin.map(|()| r));
         }
         result
@@ -1449,10 +1596,12 @@ impl Session {
             }
             Err(e) => {
                 // Failed statements are not recorded (the paper logs executed
-                // statements); a deadlock victim's transaction is aborted.
-                if matches!(e, Error::Deadlock { .. }) {
+                // statements); a deadlock victim's or first-committer-wins
+                // loser's transaction is aborted, classified by cause.
+                if matches!(e, Error::Deadlock { .. } | Error::WriteConflict(_)) {
                     if let Some(txn) = self.txn.lock().take() {
-                        self.engine.abort_txn(txn);
+                        *self.snap.lock() = None;
+                        self.engine.abort_txn_with(txn, AbortCause::from_error(&e));
                     }
                 }
                 Err(e)
@@ -1546,10 +1695,15 @@ impl Session {
             }
             Statement::CreateStatistics { table, columns } => {
                 let now_secs = self.engine.sim_clock.now_secs();
-                // A shared table lock keeps writers out while the heap scan
-                // builds histograms, so the collected counts are exact.
-                self.with_table_lock_by_name(&table, LockMode::Shared, |eng| {
-                    let mut catalog = eng.catalog.write();
+                // No table lock at all (PR 8): the histogram build scans the
+                // table under a registered MVCC snapshot, so concurrent
+                // writers proceed untouched and the collected counts are
+                // still exact *for that snapshot*. DDL is fenced by the
+                // catalog write guard the collection itself holds.
+                let (txn, auto) = self.current_txn();
+                let snap = self.statement_snapshot(txn, auto);
+                let result = (|| {
+                    let mut catalog = self.engine.catalog.write();
                     let id = catalog.resolve_table(&table)?;
                     let schema = catalog.table(id)?.meta.schema.clone();
                     let cols: Vec<usize> = columns
@@ -1560,9 +1714,15 @@ impl Session {
                                 .ok_or_else(|| Error::binder(format!("unknown column '{c}'")))
                         })
                         .collect::<Result<_>>()?;
-                    catalog.collect_statistics(id, &cols, now_secs)?;
+                    catalog.collect_statistics_snapshot(id, &cols, now_secs, &snap)?;
                     Ok(StatementResult::default())
-                })
+                })();
+                if auto {
+                    let fin = self.finish_auto_txn(txn, result.as_ref().err());
+                    result.and_then(|r| fin.map(|()| r))
+                } else {
+                    result
+                }
             }
             Statement::Set { name, value } => self.run_set(&name, &value),
             dml => self.run_dml(sql, &dml, params, sensor, trace),
@@ -1724,14 +1884,14 @@ impl Session {
             let locked = self.engine.locks.lock(txn, Resource::Table(id), mode);
             if let Err(e) = locked {
                 if auto {
-                    let _ = self.finish_auto_txn(txn, false);
+                    let _ = self.finish_auto_txn(txn, Some(&e));
                 }
                 return Err(e);
             }
         }
         let out = f(&self.engine);
         if auto {
-            let fin = self.finish_auto_txn(txn, out.is_ok());
+            let fin = self.finish_auto_txn(txn, out.as_ref().err());
             return out.and_then(|r| fin.map(|()| r));
         }
         out
@@ -1744,16 +1904,31 @@ impl Session {
         }
     }
 
-    /// Close an auto-commit transaction. Commit goes through the WAL
-    /// durability barrier; its error (a commit that cannot be acknowledged)
-    /// must replace an otherwise-successful statement result.
-    fn finish_auto_txn(&self, txn: TxnId, ok: bool) -> Result<()> {
-        if ok {
-            self.engine.commit_txn(txn)
-        } else {
-            self.engine.abort_txn(txn);
-            Ok(())
+    /// Close an auto-commit transaction: commit on success (`err` is
+    /// `None`), abort classified by the statement's error otherwise. Commit
+    /// goes through the WAL durability barrier; its error (a commit that
+    /// cannot be acknowledged) must replace an otherwise-successful
+    /// statement result.
+    fn finish_auto_txn(&self, txn: TxnId, err: Option<&Error>) -> Result<()> {
+        match err {
+            None => self.engine.commit_txn(txn),
+            Some(e) => {
+                self.engine.abort_txn_with(txn, AbortCause::from_error(e));
+                Ok(())
+            }
         }
+    }
+
+    /// The snapshot a statement of `txn` reads under: auto-commit statements
+    /// take a fresh one, an explicit transaction takes one at its first
+    /// statement and keeps it (snapshot isolation). Registered snapshots pin
+    /// the version-chain GC watermark until the transaction retires.
+    fn statement_snapshot(&self, txn: TxnId, auto: bool) -> Snapshot {
+        if auto {
+            return self.engine.txns.snapshot(txn);
+        }
+        let mut snap = self.snap.lock();
+        *snap.get_or_insert_with(|| self.engine.txns.snapshot(txn))
     }
 
     /// Bind and optimize a statement under the catalog read lock, feeding the
@@ -1851,7 +2026,7 @@ impl Session {
         let (txn, auto) = self.current_txn();
         if let Err(e) = self.acquire_locks(txn, &lock_spec) {
             if auto {
-                let _ = self.finish_auto_txn(txn, false);
+                let _ = self.finish_auto_txn(txn, Some(&e));
             }
             return Err(e);
         }
@@ -1865,13 +2040,13 @@ impl Session {
         // concurrently against their own snapshots.
         let exec_t0 = engine.wall.now_nanos();
         let catalog = engine.catalog.read();
-        let exec_result = self.execute_planned(&catalog, &planned, txn, trace);
+        let exec_result = self.execute_planned(&catalog, &planned, txn, auto, trace);
         drop(catalog);
         if let Some(tb) = trace.as_mut() {
             tb.stage(Stage::Execute, engine.wall.now_nanos() - exec_t0);
         }
         if auto {
-            let fin = self.finish_auto_txn(txn, exec_result.is_ok());
+            let fin = self.finish_auto_txn(txn, exec_result.as_ref().err());
             return exec_result.and_then(|r| fin.map(|()| r));
         }
         exec_result
@@ -1903,7 +2078,7 @@ impl Session {
         let (txn, auto) = self.current_txn();
         if let Err(e) = self.acquire_locks(txn, &cached.lock_spec) {
             if auto {
-                let _ = self.finish_auto_txn(txn, false);
+                let _ = self.finish_auto_txn(txn, Some(&e));
             }
             return Err(e);
         }
@@ -1915,7 +2090,7 @@ impl Session {
             // The next probe of this template drops the stale entry.
             drop(catalog);
             if auto {
-                self.finish_auto_txn(txn, true)?;
+                self.finish_auto_txn(txn, None)?;
             }
             let stmt = parse_statement(sql)?;
             return self.run_dml(sql, &stmt, params, sensor, trace);
@@ -1943,38 +2118,45 @@ impl Session {
             monitor.optimized(s, planned.estimated_cost(), used, 0, 0);
         }
 
-        let exec_result = self.execute_planned(&catalog, &planned, txn, trace);
+        let exec_result = self.execute_planned(&catalog, &planned, txn, auto, trace);
         drop(catalog);
         if let Some(tb) = trace.as_mut() {
             tb.stage(Stage::Execute, engine.wall.now_nanos() - exec_t0);
         }
         if auto {
-            let fin = self.finish_auto_txn(txn, exec_result.is_ok());
+            let fin = self.finish_auto_txn(txn, exec_result.as_ref().err());
             return exec_result.and_then(|r| fin.map(|()| r));
         }
         exec_result
     }
 
     /// The shared execution tail of the fresh and cached plan paths: run the
-    /// (fully substituted) plan against `catalog`, collecting operator spans
-    /// when tracing. DML mutations are observed by `txn`'s WAL/undo recorder.
+    /// (fully substituted) plan against `catalog` under the statement's MVCC
+    /// snapshot, collecting operator spans when tracing. DML versions are
+    /// marked with `txn` and observed by its WAL/undo recorder; auto-commit
+    /// statements retarget superseded rows, explicit transactions fail them
+    /// with a write conflict (first-committer-wins).
     fn execute_planned(
         &self,
         catalog: &Catalog,
         planned: &PlannedStatement,
         txn: TxnId,
+        auto: bool,
         trace: &mut Option<TraceBuilder>,
     ) -> Result<StatementResult> {
         let engine = &*self.engine;
+        let snap = self.statement_snapshot(txn, auto);
         match planned {
             PlannedStatement::Query(q) => {
                 let traced = if let Some(tb) = trace.as_mut() {
-                    execute_plan_traced(catalog, &q.root, engine.wall).map(|(r, spans)| {
-                        tb.set_ops(spans);
-                        r
-                    })
+                    execute_plan_traced_snapshot(catalog, &q.root, engine.wall, &snap).map(
+                        |(r, spans)| {
+                            tb.set_ops(spans);
+                            r
+                        },
+                    )
                 } else {
-                    execute_plan(catalog, &q.root)
+                    execute_plan_snapshot(catalog, &q.root, &snap)
                 };
                 traced.map(|r| StatementResult {
                     columns: q.output_names.clone(),
@@ -1990,15 +2172,21 @@ impl Session {
                     catalog,
                     txn,
                 };
+                let ctx = DmlCtx {
+                    snap,
+                    write: WriteAs::Txn(txn),
+                    locks: Some((&engine.locks, txn)),
+                    retarget: auto,
+                };
                 let traced = if let Some(tb) = trace.as_mut() {
-                    execute_statement_traced_observed(catalog, dml, engine.wall, &observer).map(
+                    execute_statement_traced_ctx(catalog, dml, engine.wall, &ctx, &observer).map(
                         |(o, spans)| {
                             tb.set_ops(spans);
                             o
                         },
                     )
                 } else {
-                    execute_statement_observed(catalog, dml, &observer)
+                    execute_statement_ctx(catalog, dml, &ctx, &observer)
                 };
                 traced.map(|o| StatementResult {
                     rows: o.rows,
@@ -2035,7 +2223,7 @@ impl Session {
         let (txn, auto) = self.current_txn();
         if let Err(e) = self.acquire_locks(txn, &lock_spec(&bound)) {
             if auto {
-                let _ = self.finish_auto_txn(txn, false);
+                let _ = self.finish_auto_txn(txn, Some(&e));
             }
             return Err(e);
         }
@@ -2045,16 +2233,25 @@ impl Session {
         // held across execution. EXPLAIN ANALYZE executes DML for real, so
         // its mutations are WAL-observed like any other statement.
         let catalog = engine.catalog.read();
+        let snap = self.statement_snapshot(txn, auto);
         let exec_result = match &planned {
-            PlannedStatement::Query(q) => execute_plan_traced(&catalog, &q.root, engine.wall)
-                .map(|(r, spans)| (r.tuples, 0u64, spans)),
+            PlannedStatement::Query(q) => {
+                execute_plan_traced_snapshot(&catalog, &q.root, engine.wall, &snap)
+                    .map(|(r, spans)| (r.tuples, 0u64, spans))
+            }
             dml => {
                 let observer = WalDmlObserver {
                     engine,
                     catalog: &catalog,
                     txn,
                 };
-                execute_statement_traced_observed(&catalog, dml, engine.wall, &observer)
+                let ctx = DmlCtx {
+                    snap,
+                    write: WriteAs::Txn(txn),
+                    locks: Some((&engine.locks, txn)),
+                    retarget: auto,
+                };
+                execute_statement_traced_ctx(&catalog, dml, engine.wall, &ctx, &observer)
                     .map(|(o, spans)| (o.tuples, o.affected, spans))
             }
         };
@@ -2063,7 +2260,7 @@ impl Session {
             tb.stage(Stage::Execute, engine.wall.now_nanos() - exec_t0);
         }
         if auto {
-            let fin = self.finish_auto_txn(txn, exec_result.is_ok());
+            let fin = self.finish_auto_txn(txn, exec_result.as_ref().err());
             if exec_result.is_ok() {
                 fin?;
             }
@@ -2137,17 +2334,20 @@ impl Session {
 /// The table-lock footprint of a bound statement: `(table, exclusive)` in
 /// deterministic order (prevents intra-statement lock-order cycles). Stored
 /// verbatim in cached plans so a hit locks exactly what a fresh plan would.
+///
+/// Under row-level MVCC (PR 8) this footprint is deliberately thin: queries
+/// take *no* locks at all (they read a registered snapshot), and DML takes
+/// only a table-**shared** lock — a DDL fence, compatible with every other
+/// reader and writer. Actual write-write isolation comes from the
+/// row-exclusive chain-root locks the executor takes per target row; table
+/// exclusive locks remain the preserve of DDL
+/// ([`Session::with_table_lock_by_name`]).
 fn lock_spec(bound: &BoundStatement) -> Vec<(TableId, bool)> {
     let mut wanted: Vec<(TableId, bool)> = match bound {
-        BoundStatement::Select(s) => s
-            .tables
-            .iter()
-            .filter(|t| !t.is_virtual)
-            .map(|t| (t.table, false))
-            .collect(),
+        BoundStatement::Select(_) => Vec::new(),
         BoundStatement::Insert { table, .. }
         | BoundStatement::Update { table, .. }
-        | BoundStatement::Delete { table, .. } => vec![(*table, true)],
+        | BoundStatement::Delete { table, .. } => vec![(*table, false)],
     };
     wanted.sort_by_key(|(t, _)| *t);
     wanted.dedup_by_key(|(t, _)| *t);

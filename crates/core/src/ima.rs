@@ -15,7 +15,7 @@ use ingot_common::{Column, DataType, Result, Row, Schema, Value};
 use ingot_planner::PlanCache;
 use ingot_storage::Wal;
 use ingot_trace::Tracer;
-use ingot_txn::{LockManager, LockMode, Resource, TxnManager};
+use ingot_txn::{AbortCause, LockManager, LockMode, Resource, TxnManager};
 
 use ingot_common::waits::WaitRegistry;
 
@@ -465,11 +465,13 @@ pub fn register_wal_table(catalog: &mut Catalog, wal: &Arc<Wal>) -> Result<()> {
 }
 
 /// Register the concurrency exports: `ima$locks` (one row per granted or
-/// queued lock request, live from the lock manager) and `ima$sessions` (a
-/// single row of session/transaction/lock counters). Both read atomics or a
-/// short-lived internal mutex — a query over them never takes table locks,
-/// so lock contention itself is observable *during* the contention, which is
-/// the paper's lock-monitoring scenario.
+/// queued lock request, live from the lock manager), `ima$sessions` (a
+/// single row of session/transaction/lock counters) and `ima$transactions`
+/// (the MVCC authority: commit sequence, active snapshots, abort taxonomy,
+/// first-committer-wins validation failures and version-chain GC counters).
+/// All read atomics or a short-lived internal mutex — a query over them
+/// never takes table locks, so lock contention itself is observable *during*
+/// the contention, which is the paper's lock-monitoring scenario.
 pub fn register_concurrency_tables(
     catalog: &mut Catalog,
     locks: &Arc<LockManager>,
@@ -541,6 +543,59 @@ pub fn register_concurrency_tables(
                 v_int(ls.deadlocks_total),
                 v_int(ls.granted_total),
             ])]
+        }),
+    )?;
+
+    // ima$transactions: metric/value rows, plus one `snapshot_ts` row per
+    // active snapshot (its `txn` column names the holder). Chain-shape rows
+    // (`chain_*`) refresh on each GC sweep.
+    let t = Arc::clone(txns);
+    catalog.register_virtual_table(
+        "ima$transactions",
+        Schema::new(vec![
+            Column::not_null("metric", DataType::Str),
+            Column::new("txn", DataType::Int),
+            Column::new("value", DataType::Int),
+        ]),
+        Arc::new(move || {
+            let mut rows = Vec::new();
+            let mut push = |metric: &str, v: u64| {
+                rows.push(Row::new(vec![
+                    Value::Str(metric.to_owned()),
+                    Value::Null,
+                    v_int(v),
+                ]));
+            };
+            push("commit_seq", t.read_ts());
+            push("active_txns", t.active_count());
+            let mut snaps = t.active_snapshots();
+            push("active_snapshots", snaps.len() as u64);
+            push("gc_watermark", t.gc_watermark());
+            push("committed_total", t.committed_count());
+            push("aborted_total", t.aborted_count());
+            for cause in AbortCause::ALL {
+                push(
+                    &format!("aborts_{}", cause.name()),
+                    t.aborts_by_cause(cause),
+                );
+            }
+            push("validation_failures", t.validation_failures());
+            push("gc_runs", t.gc_runs());
+            push("gc_versions_removed", t.gc_versions_removed());
+            push("gc_last_watermark", t.gc_last_watermark());
+            let (versions, chains, longest) = t.chain_shape();
+            push("chain_versions", versions);
+            push("chain_count", chains);
+            push("chain_longest", longest);
+            snaps.sort_unstable();
+            for (txn, ts) in snaps {
+                rows.push(Row::new(vec![
+                    Value::Str("snapshot_ts".to_owned()),
+                    v_int(txn),
+                    v_int(ts),
+                ]));
+            }
+            rows
         }),
     )?;
     Ok(())
@@ -670,6 +725,7 @@ pub const IMA_TABLE_NAMES: &[&str] = &[
     "ima$plan_cache",
     "ima$locks",
     "ima$sessions",
+    "ima$transactions",
     "ima$wait_events",
     "ima$active_sessions",
     "ima$ash",

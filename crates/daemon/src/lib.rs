@@ -169,6 +169,9 @@ impl StorageDaemon {
         if let Some(sampler) = self.engine.ash_sampler() {
             sampler.sample_if_due(self.engine.wall_clock().now_nanos());
         }
+        // Version-chain GC rides the poll cadence, best-effort: a busy engine
+        // (quiesce timeout) just means the chains wait for the next poll.
+        let _ = self.engine.mvcc_gc();
         let Some(monitor) = self.engine.monitor() else {
             return Ok(());
         };

@@ -4,15 +4,26 @@
 //! UPDATE/DELETE resolve their target rows through the cheapest access path
 //! available — clustered primary-key lookup, a secondary-index probe, or a
 //! full scan — mirroring how the optimizer chooses paths for queries.
+//!
+//! Writes are MVCC row-level (PR 8): target resolution reads the statement's
+//! snapshot, then each target's version chain is locked at its *root* (a
+//! row-exclusive lock — writers never lock the table exclusively) and the
+//! write applies to the chain head. When the head moved past the snapshot,
+//! [`DmlCtx::retarget`] decides between first-committer-wins abort (explicit
+//! transactions) and re-evaluating the statement against the new head
+//! (auto-commit, which preserves the no-lost-updates behaviour of the old
+//! table-lock protocol).
 
-use ingot_catalog::Catalog;
-use ingot_common::{MonotonicClock, Result, Row, TableId, Value};
+use ingot_catalog::{Catalog, TableEntry, VersionChange, WriteAs};
+use ingot_common::mvcc::{is_txn_mark, mark_owner, TS_INF};
+use ingot_common::{fnv1a64, Error, MonotonicClock, Result, Row, Snapshot, TableId, TxnId, Value};
 use ingot_planner::{InsertRows, PhysExpr, PlannedStatement};
 use ingot_sql::BinOp;
 use ingot_storage::RowId;
 use ingot_trace::OperatorSpan;
+use ingot_txn::{LockManager, LockMode, Resource};
 
-use crate::exec::{execute_plan, execute_plan_traced, QueryResult};
+use crate::exec::{execute_plan_snapshot, execute_plan_traced_snapshot, QueryResult};
 
 /// The outcome of executing any statement.
 #[derive(Debug, Clone, Default)]
@@ -25,20 +36,64 @@ pub struct ExecOutcome {
     pub tuples: u64,
 }
 
+/// Everything a statement needs to read and write consistently under MVCC.
+#[derive(Clone, Copy)]
+pub struct DmlCtx<'a> {
+    /// The visibility snapshot: queries and DML target resolution read it.
+    pub snap: Snapshot,
+    /// How new versions are stamped (transaction marker or final timestamp).
+    pub write: WriteAs,
+    /// Row-lock manager plus the locking transaction. `None` runs unlocked —
+    /// single-threaded callers only (WAL replay, bulk load, tests).
+    pub locks: Option<(&'a LockManager, TxnId)>,
+    /// When a target row's chain grew past the snapshot: `true` re-reads the
+    /// head, re-evaluates the predicate and applies there (auto-commit
+    /// semantics — no lost updates, no spurious aborts); `false` fails the
+    /// statement with [`Error::WriteConflict`] (explicit transactions,
+    /// first-committer-wins).
+    pub retarget: bool,
+}
+
+impl DmlCtx<'static> {
+    /// Unlocked, latest-snapshot, committed-at-0 context: the behaviour of
+    /// the pre-MVCC direct write path. Single-threaded callers only.
+    pub fn direct() -> Self {
+        DmlCtx {
+            snap: Snapshot::latest(),
+            write: WriteAs::Committed(0),
+            locks: None,
+            retarget: false,
+        }
+    }
+}
+
 /// Row-mutation callback, invoked after each successful catalog mutation.
 ///
 /// The engine uses this to write WAL records and undo entries without the
 /// executor knowing about either. An `Err` from a callback aborts the
 /// statement mid-way; the engine's transaction machinery is responsible for
-/// undoing the rows already applied (it records undo information *before*
-/// the fallible part of each callback runs).
+/// undoing the versions already applied (each callback receives the
+/// [`VersionChange`]s *before* its fallible part runs, so the undo list is
+/// always complete).
 pub trait DmlObserver {
     /// `row` was inserted into `table` at `rid`.
-    fn on_insert(&self, table: TableId, rid: RowId, row: &Row) -> Result<()>;
-    /// The row `old` at `rid` was deleted from `table`.
-    fn on_delete(&self, table: TableId, rid: RowId, old: &Row) -> Result<()>;
-    /// `old` at `old_rid` was rewritten to `new` at `new_rid` (the row id
-    /// moves when the update changes the primary key of a BTree table).
+    fn on_insert(
+        &self,
+        table: TableId,
+        rid: RowId,
+        row: &Row,
+        change: &VersionChange,
+    ) -> Result<()>;
+    /// The row `old` at `rid` was delete-marked in `table`.
+    fn on_delete(
+        &self,
+        table: TableId,
+        rid: RowId,
+        old: &Row,
+        change: &VersionChange,
+    ) -> Result<()>;
+    /// `old` at `old_rid` was superseded by `new` at `new_rid` (two changes
+    /// when the update moved the primary key: delete-mark + fresh insert).
     fn on_update(
         &self,
         table: TableId,
@@ -46,6 +101,7 @@ pub trait DmlObserver {
         new_rid: RowId,
         old: &Row,
         new: &Row,
+        changes: &[VersionChange],
     ) -> Result<()>;
 }
 
@@ -54,10 +110,22 @@ pub trait DmlObserver {
 pub struct NoopObserver;
 
 impl DmlObserver for NoopObserver {
-    fn on_insert(&self, _table: TableId, _rid: RowId, _row: &Row) -> Result<()> {
+    fn on_insert(
+        &self,
+        _table: TableId,
+        _rid: RowId,
+        _row: &Row,
+        _change: &VersionChange,
+    ) -> Result<()> {
         Ok(())
     }
-    fn on_delete(&self, _table: TableId, _rid: RowId, _old: &Row) -> Result<()> {
+    fn on_delete(
+        &self,
+        _table: TableId,
+        _rid: RowId,
+        _old: &Row,
+        _change: &VersionChange,
+    ) -> Result<()> {
         Ok(())
     }
     fn on_update(
@@ -67,16 +135,15 @@ impl DmlObserver for NoopObserver {
         _new_rid: RowId,
         _old: &Row,
         _new: &Row,
+        _changes: &[VersionChange],
     ) -> Result<()> {
         Ok(())
     }
 }
 
-/// Execute a planned statement against a catalog snapshot. DML goes through
-/// the catalog's `&self` row mutators (the storage handles are shared and
-/// internally synchronised); the caller must hold the logical table locks.
+/// Execute a planned statement in direct mode (see [`DmlCtx::direct`]).
 pub fn execute_statement(catalog: &Catalog, planned: &PlannedStatement) -> Result<ExecOutcome> {
-    execute_statement_observed(catalog, planned, &NoopObserver)
+    execute_statement_ctx(catalog, planned, &DmlCtx::direct(), &NoopObserver)
 }
 
 /// [`execute_statement`] with a [`DmlObserver`] receiving every row mutation.
@@ -85,9 +152,21 @@ pub fn execute_statement_observed(
     planned: &PlannedStatement,
     observer: &dyn DmlObserver,
 ) -> Result<ExecOutcome> {
+    execute_statement_ctx(catalog, planned, &DmlCtx::direct(), observer)
+}
+
+/// Execute a planned statement under an explicit [`DmlCtx`]: queries read
+/// the context's snapshot (lock-free), DML locks row chains and stamps
+/// versions per the context's write mode.
+pub fn execute_statement_ctx(
+    catalog: &Catalog,
+    planned: &PlannedStatement,
+    ctx: &DmlCtx<'_>,
+    observer: &dyn DmlObserver,
+) -> Result<ExecOutcome> {
     match planned {
         PlannedStatement::Query(q) => {
-            let QueryResult { rows, tuples } = execute_plan(catalog, &q.root)?;
+            let QueryResult { rows, tuples } = execute_plan_snapshot(catalog, &q.root, &ctx.snap)?;
             Ok(ExecOutcome {
                 affected: 0,
                 tuples: tuples + rows.len() as u64,
@@ -95,12 +174,12 @@ pub fn execute_statement_observed(
             })
         }
         PlannedStatement::Insert { table, rows, .. } => {
-            let n = rows.len() as u64;
+            let mut n = 0u64;
             match rows {
                 InsertRows::Const(rows) => {
                     for row in rows {
-                        let rid = catalog.insert_row(*table, row)?;
-                        observer.on_insert(*table, rid, row)?;
+                        insert_one(catalog, *table, row, ctx, observer)?;
+                        n += 1;
                     }
                 }
                 // Parameterised templates: values were unknown at bind time,
@@ -114,8 +193,8 @@ pub fn execute_statement_observed(
                             .map(|e| e.eval(&empty))
                             .collect::<Result<_>>()?;
                         let row = schema.check_row(&Row::new(values))?;
-                        let rid = catalog.insert_row(*table, &row)?;
-                        observer.on_insert(*table, rid, &row)?;
+                        insert_one(catalog, *table, &row, ctx, observer)?;
+                        n += 1;
                     }
                 }
             }
@@ -131,32 +210,57 @@ pub fn execute_statement_observed(
             filter,
             ..
         } => {
-            let (targets, scanned) = target_rows(catalog, *table, filter.as_ref())?;
-            let n = targets.len() as u64;
+            let entry = catalog.table(*table)?;
+            let (targets, scanned) = target_rows(catalog, *table, filter.as_ref(), &ctx.snap)?;
+            let mut affected = 0u64;
             for (rid, row) in targets {
-                let mut new_row = row.clone();
+                let Some((head, head_row)) =
+                    resolve_for_write(entry, *table, rid, row, filter.as_ref(), ctx)?
+                else {
+                    continue;
+                };
+                let mut new_row = head_row.clone();
                 for (col, expr) in sets {
-                    new_row.set(*col, expr.eval(&row)?);
+                    new_row.set(*col, expr.eval(&head_row)?);
                 }
-                let new_rid = catalog.update_row(*table, rid, &new_row)?;
-                observer.on_update(*table, rid, new_rid, &row, &new_row)?;
+                lock_constraint_keys(catalog, entry, *table, &new_row, ctx)?;
+                let changes = catalog.update_row_v(*table, head, &new_row, ctx.write)?;
+                let new_rid = changes
+                    .iter()
+                    .rev()
+                    .find_map(|c| match c {
+                        VersionChange::Update { new, .. } | VersionChange::Insert { new, .. } => {
+                            Some(*new)
+                        }
+                        VersionChange::Delete { .. } => None,
+                    })
+                    .unwrap_or(head);
+                observer.on_update(*table, head, new_rid, &head_row, &new_row, &changes)?;
+                affected += 1;
             }
             Ok(ExecOutcome {
                 rows: Vec::new(),
-                affected: n,
+                affected,
                 tuples: scanned,
             })
         }
         PlannedStatement::Delete { table, filter, .. } => {
-            let (targets, scanned) = target_rows(catalog, *table, filter.as_ref())?;
-            let n = targets.len() as u64;
-            for (rid, old) in targets {
-                catalog.delete_row(*table, rid)?;
-                observer.on_delete(*table, rid, &old)?;
+            let entry = catalog.table(*table)?;
+            let (targets, scanned) = target_rows(catalog, *table, filter.as_ref(), &ctx.snap)?;
+            let mut affected = 0u64;
+            for (rid, row) in targets {
+                let Some((head, head_row)) =
+                    resolve_for_write(entry, *table, rid, row, filter.as_ref(), ctx)?
+                else {
+                    continue;
+                };
+                let change = catalog.delete_row_v(*table, head, ctx.write)?;
+                observer.on_delete(*table, head, &head_row, &change)?;
+                affected += 1;
             }
             Ok(ExecOutcome {
                 rows: Vec::new(),
-                affected: n,
+                affected,
                 tuples: scanned,
             })
         }
@@ -171,19 +275,21 @@ pub fn execute_statement_traced(
     planned: &PlannedStatement,
     clock: MonotonicClock,
 ) -> Result<(ExecOutcome, Vec<OperatorSpan>)> {
-    execute_statement_traced_observed(catalog, planned, clock, &NoopObserver)
+    execute_statement_traced_ctx(catalog, planned, clock, &DmlCtx::direct(), &NoopObserver)
 }
 
-/// [`execute_statement_traced`] with a [`DmlObserver`] receiving every row
-/// mutation.
-pub fn execute_statement_traced_observed(
+/// [`execute_statement_traced`] under an explicit [`DmlCtx`] with a
+/// [`DmlObserver`] receiving every row mutation.
+pub fn execute_statement_traced_ctx(
     catalog: &Catalog,
     planned: &PlannedStatement,
     clock: MonotonicClock,
+    ctx: &DmlCtx<'_>,
     observer: &dyn DmlObserver,
 ) -> Result<(ExecOutcome, Vec<OperatorSpan>)> {
     if let PlannedStatement::Query(q) = planned {
-        let (QueryResult { rows, tuples }, spans) = execute_plan_traced(catalog, &q.root, clock)?;
+        let (QueryResult { rows, tuples }, spans) =
+            execute_plan_traced_snapshot(catalog, &q.root, clock, &ctx.snap)?;
         return Ok((
             ExecOutcome {
                 affected: 0,
@@ -206,7 +312,7 @@ pub fn execute_statement_traced_observed(
     let est = planned.estimated_cost();
     let io_before = catalog.pool().io_stats().total();
     let start_ns = clock.now_nanos();
-    let outcome = execute_statement_observed(catalog, planned, observer)?;
+    let outcome = execute_statement_ctx(catalog, planned, ctx, observer)?;
     let elapsed_ns = clock.now_nanos().saturating_sub(start_ns);
     let pages = catalog.pool().io_stats().total().saturating_sub(io_before);
     let span = OperatorSpan {
@@ -226,12 +332,143 @@ pub fn execute_statement_traced_observed(
     Ok((outcome, vec![span]))
 }
 
-/// Resolve the `(RowId, Row)` targets of an UPDATE/DELETE, returning also
-/// the number of tuples inspected.
+/// Insert one row through the full MVCC write path: constraint-key row
+/// locks, a versioned catalog insert, and the observer callback. Shared by
+/// the INSERT statement path and the engine's parse-free bulk-load entry.
+pub fn insert_one(
+    catalog: &Catalog,
+    table: TableId,
+    row: &Row,
+    ctx: &DmlCtx<'_>,
+    observer: &dyn DmlObserver,
+) -> Result<RowId> {
+    let entry = catalog.table(table)?;
+    lock_constraint_keys(catalog, entry, table, row, ctx)?;
+    let change = catalog.insert_row_v(table, row, ctx.write)?;
+    let VersionChange::Insert { new, .. } = &change else {
+        return Err(Error::execution("insert produced a non-insert change"));
+    };
+    observer.on_insert(table, *new, row, &change)?;
+    Ok(*new)
+}
+
+/// Serialise check-then-act constraint enforcement across writers: take a
+/// row-exclusive lock on a hash of each key the statement is about to claim
+/// (the primary key, and every unique secondary index value). Two inserts
+/// racing on the same key collide on the lock instead of both passing the
+/// duplicate check. Hash collisions with real chain-root lock keys only
+/// over-serialise; they cannot break correctness.
+fn lock_constraint_keys(
+    catalog: &Catalog,
+    entry: &TableEntry,
+    table: TableId,
+    row: &Row,
+    ctx: &DmlCtx<'_>,
+) -> Result<()> {
+    let Some((mgr, txn)) = ctx.locks else {
+        return Ok(());
+    };
+    let row = entry.meta.schema.check_row(row)?;
+    if entry.primary.is_some() {
+        let key = ingot_storage::encode_key(&entry.pk_values(&row));
+        mgr.lock(
+            txn,
+            Resource::Row(table, fnv1a64(&key)),
+            LockMode::Exclusive,
+        )?;
+    }
+    for idx in catalog.indexes_of(table) {
+        if idx.meta.unique && !idx.meta.is_virtual {
+            let vals: Vec<Value> = idx
+                .meta
+                .columns
+                .iter()
+                .map(|&c| row.get(c).clone())
+                .collect();
+            let mut buf = idx.meta.id.raw().to_le_bytes().to_vec();
+            buf.extend_from_slice(&ingot_storage::encode_key(&vals));
+            mgr.lock(
+                txn,
+                Resource::Row(table, fnv1a64(&buf)),
+                LockMode::Exclusive,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Lock a target's chain root and re-resolve the write position at the
+/// chain head. Returns `None` when the target should be skipped (vanished
+/// or no longer matching under retargeting), the head `(RowId, Row)` to
+/// supersede otherwise.
+fn resolve_for_write(
+    entry: &TableEntry,
+    table: TableId,
+    visible: RowId,
+    visible_row: Row,
+    filter: Option<&PhysExpr>,
+    ctx: &DmlCtx<'_>,
+) -> Result<Option<(RowId, Row)>> {
+    let meta = entry.heap.meta(visible)?;
+    if let Some((mgr, txn)) = ctx.locks {
+        mgr.lock(
+            txn,
+            Resource::Row(table, meta.root_for(visible)),
+            LockMode::Exclusive,
+        )?;
+    }
+    // The row lock serialises writers on this chain, so the head is stable
+    // from here until our own write lands. The pre-lock `meta` may be stale
+    // (a writer can supersede `visible` while we wait for the lock), so the
+    // chain walk re-reads it under the lock.
+    let mut head = visible;
+    let mut hmeta = entry.heap.meta(visible)?;
+    while hmeta.next != TS_INF {
+        head = RowId::unpack(hmeta.next);
+        hmeta = entry.heap.meta(head)?;
+    }
+    if hmeta.end != TS_INF {
+        // Delete-marked (or committed-dead) head: the row vanished after our
+        // snapshot. Own deletes were already invisible at target resolution.
+        let own_mark = matches!(ctx.write, WriteAs::Txn(t)
+            if is_txn_mark(hmeta.end) && mark_owner(hmeta.end) == t);
+        if ctx.retarget || own_mark {
+            return Ok(None);
+        }
+        return Err(Error::write_conflict(format!(
+            "row in '{}' was deleted after this snapshot",
+            entry.meta.name
+        )));
+    }
+    if head == visible {
+        return Ok(Some((head, visible_row)));
+    }
+    // The chain grew past our snapshot: first committer wins for explicit
+    // transactions; auto-commit retargets onto the new head.
+    if !ctx.retarget {
+        return Err(Error::write_conflict(format!(
+            "row in '{}' was changed after this snapshot",
+            entry.meta.name
+        )));
+    }
+    let (_, head_row) = entry.heap.get_version(head)?;
+    if let Some(f) = filter {
+        if !f.eval_predicate(&head_row)? {
+            return Ok(None);
+        }
+    }
+    Ok(Some((head, head_row)))
+}
+
+/// Resolve the `(RowId, Row)` targets of an UPDATE/DELETE under `snap`,
+/// returning also the number of tuples inspected. The returned row ids are
+/// *visible version* ids; [`resolve_for_write`] maps them to chain heads
+/// under the row lock.
 fn target_rows(
     catalog: &Catalog,
     table: TableId,
     filter: Option<&PhysExpr>,
+    snap: &Snapshot,
 ) -> Result<(Vec<(RowId, Row)>, u64)> {
     let entry = catalog.table(table)?;
     let mut scanned = 0u64;
@@ -248,11 +485,12 @@ fn target_rows(
                 .collect();
             if key.len() == entry.meta.primary_key.len() {
                 let mut out = Vec::new();
-                if let Some(rid) = entry.pk_lookup(&key)? {
-                    let row = entry.heap.get(rid)?;
+                if let Some(head) = entry.pk_lookup(&key)? {
                     scanned += 1;
-                    if f.eval_predicate(&row)? {
-                        out.push((rid, row));
+                    if let Some((rid, row)) = entry.fetch_visible(head, snap)? {
+                        if f.eval_predicate(&row)? {
+                            out.push((rid, row));
+                        }
                     }
                 }
                 return Ok((out, scanned));
@@ -267,10 +505,11 @@ fn target_rows(
                 let rids = idx.probe_eq(std::slice::from_ref(v))?;
                 let mut out = Vec::new();
                 for rid in rids {
-                    let row = entry.heap.get(rid)?;
                     scanned += 1;
-                    if f.eval_predicate(&row)? {
-                        out.push((rid, row));
+                    if let Some(row) = entry.version_visible(rid, snap)? {
+                        if f.eval_predicate(&row)? {
+                            out.push((rid, row));
+                        }
                     }
                 }
                 return Ok((out, scanned));
@@ -280,7 +519,7 @@ fn target_rows(
 
     // Path 3: full scan.
     let mut out = Vec::new();
-    for item in entry.heap.scan() {
+    for item in entry.scan_visible(snap) {
         let (rid, row) = item?;
         scanned += 1;
         let keep = match filter {
@@ -349,9 +588,13 @@ mod tests {
         c
     }
 
-    fn exec(c: &mut Catalog, sql: &str) -> ExecOutcome {
+    fn plan(c: &Catalog, sql: &str) -> PlannedStatement {
         let (bound, _) = Binder::new(c).bind(&parse_statement(sql).unwrap()).unwrap();
-        let planned = optimize(c, &bound, OptimizerOptions::default()).unwrap();
+        optimize(c, &bound, OptimizerOptions::default()).unwrap()
+    }
+
+    fn exec(c: &mut Catalog, sql: &str) -> ExecOutcome {
+        let planned = plan(c, sql);
         execute_statement(c, &planned).unwrap()
     }
 
@@ -410,5 +653,76 @@ mod tests {
         assert_eq!(r.rows.len(), 1);
         let r = exec(&mut c, "select v from t where id = 1");
         assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn txn_writes_are_private_until_stamped() {
+        let mut c = setup();
+        exec(&mut c, "insert into t values (1, 10)");
+        let txn = TxnId(3);
+        let ctx = DmlCtx {
+            snap: Snapshot { ts: 5, txn },
+            write: WriteAs::Txn(txn),
+            locks: None,
+            retarget: false,
+        };
+        let planned = plan(&c, "update t set v = 99 where id = 1");
+        let out = execute_statement_ctx(&c, &planned, &ctx, &NoopObserver).unwrap();
+        assert_eq!(out.affected, 1);
+
+        // A foreign snapshot still reads the original value...
+        let select = plan(&c, "select v from t where id = 1");
+        let foreign = DmlCtx {
+            snap: Snapshot {
+                ts: 5,
+                txn: TxnId(8),
+            },
+            ..DmlCtx::direct()
+        };
+        let r = execute_statement_ctx(&c, &select, &foreign, &NoopObserver).unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(10));
+        // ...while the writer sees its own uncommitted version.
+        let own = DmlCtx {
+            snap: Snapshot { ts: 5, txn },
+            ..DmlCtx::direct()
+        };
+        let r = execute_statement_ctx(&c, &select, &own, &NoopObserver).unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(99));
+    }
+
+    #[test]
+    fn stale_snapshot_write_conflicts_without_retarget() {
+        let mut c = setup();
+        exec(&mut c, "insert into t values (1, 10)");
+        // A commits an update at ts 4.
+        let upd = plan(&c, "update t set v = 20 where id = 1");
+        let a = DmlCtx {
+            snap: Snapshot::latest(),
+            write: WriteAs::Committed(4),
+            locks: None,
+            retarget: false,
+        };
+        execute_statement_ctx(&c, &upd, &a, &NoopObserver).unwrap();
+        // B, whose snapshot predates A's commit, must lose.
+        let upd_b = plan(&c, "update t set v = 30 where id = 1");
+        let b = DmlCtx {
+            snap: Snapshot {
+                ts: 3,
+                txn: TxnId(7),
+            },
+            write: WriteAs::Txn(TxnId(7)),
+            locks: None,
+            retarget: false,
+        };
+        let err = execute_statement_ctx(&c, &upd_b, &b, &NoopObserver).unwrap_err();
+        assert!(matches!(err, Error::WriteConflict(_)), "got {err:?}");
+        // With retargeting (auto-commit) the same statement lands on the
+        // new head instead.
+        let b_auto = DmlCtx {
+            retarget: true,
+            ..b
+        };
+        let out = execute_statement_ctx(&c, &upd_b, &b_auto, &NoopObserver).unwrap();
+        assert_eq!(out.affected, 1);
     }
 }

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use ingot_catalog::Catalog;
-use ingot_common::{Error, MonotonicClock, Result, Row, Value};
+use ingot_common::{Error, MonotonicClock, Result, Row, Snapshot, Value};
 use ingot_planner::{PhysPlan, PlanNode, ProbeSource, ProbeSpec};
 use ingot_trace::{OperatorSpan, SpanCollector};
 
@@ -24,10 +24,22 @@ pub struct QueryResult {
     pub tuples: u64,
 }
 
-/// Execute a query plan against the catalog.
+/// Execute a query plan against the catalog at the latest snapshot.
 pub fn execute_plan(catalog: &Catalog, plan: &PlanNode) -> Result<QueryResult> {
+    execute_plan_snapshot(catalog, plan, &Snapshot::latest())
+}
+
+/// Execute a query plan with every base-table access filtered through
+/// `snap`: sequential scans and index probes evaluate per-version
+/// visibility, clustered lookups walk version chains backwards from the
+/// head. Readers take no locks at all.
+pub fn execute_plan_snapshot(
+    catalog: &Catalog,
+    plan: &PlanNode,
+    snap: &Snapshot,
+) -> Result<QueryResult> {
     let mut tuples = 0u64;
-    let rows = run(catalog, plan, &mut tuples, None)?;
+    let rows = run(catalog, plan, snap, &mut tuples, None)?;
     Ok(QueryResult { rows, tuples })
 }
 
@@ -39,9 +51,19 @@ pub fn execute_plan_traced(
     plan: &PlanNode,
     clock: MonotonicClock,
 ) -> Result<(QueryResult, Vec<OperatorSpan>)> {
+    execute_plan_traced_snapshot(catalog, plan, clock, &Snapshot::latest())
+}
+
+/// [`execute_plan_traced`] against an explicit snapshot.
+pub fn execute_plan_traced_snapshot(
+    catalog: &Catalog,
+    plan: &PlanNode,
+    clock: MonotonicClock,
+    snap: &Snapshot,
+) -> Result<(QueryResult, Vec<OperatorSpan>)> {
     let mut collector = SpanCollector::new(clock);
     let mut tuples = 0u64;
-    let rows = run(catalog, plan, &mut tuples, Some(&mut collector))?;
+    let rows = run(catalog, plan, snap, &mut tuples, Some(&mut collector))?;
     Ok((QueryResult { rows, tuples }, collector.finish()))
 }
 
@@ -60,11 +82,12 @@ pub fn normalize_key(v: &Value) -> Value {
 fn run(
     catalog: &Catalog,
     node: &PlanNode,
+    snap: &Snapshot,
     tuples: &mut u64,
     trace: Option<&mut SpanCollector>,
 ) -> Result<Vec<Row>> {
     match trace {
-        None => run_node(catalog, node, tuples, None),
+        None => run_node(catalog, node, snap, tuples, None),
         Some(collector) => {
             let io_before = catalog.pool().io_stats().total();
             let tuples_before = *tuples;
@@ -74,7 +97,7 @@ fn run(
                 node.est_rows,
                 node.est_cost.total(),
             );
-            let rows = run_node(catalog, node, tuples, Some(collector))?;
+            let rows = run_node(catalog, node, snap, tuples, Some(collector))?;
             let pages = catalog.pool().io_stats().total().saturating_sub(io_before);
             collector.exit(frame, rows.len() as u64, *tuples - tuples_before, pages);
             Ok(rows)
@@ -85,6 +108,7 @@ fn run(
 fn run_node(
     catalog: &Catalog,
     node: &PlanNode,
+    snap: &Snapshot,
     tuples: &mut u64,
     mut trace: Option<&mut SpanCollector>,
 ) -> Result<Vec<Row>> {
@@ -108,7 +132,7 @@ fn run_node(
         PhysPlan::SeqScan { table, filter, .. } => {
             let entry = catalog.table(*table)?;
             let mut out = Vec::new();
-            for item in entry.heap.scan() {
+            for item in entry.scan_visible(snap) {
                 let (_, row) = item?;
                 *tuples += 1;
                 if eval_filter(filter, &row)? {
@@ -142,12 +166,15 @@ fn run_node(
                     idx.probe_range(lo.as_ref(), hi.as_ref())?
                 }
             };
+            // Secondary indexes hold one entry per version: each rid is an
+            // exact physical version, filtered for visibility with no walk.
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {
-                let row = entry.heap.get(rid)?;
                 *tuples += 1;
-                if eval_filter(filter, &row)? {
-                    out.push(row);
+                if let Some(row) = entry.version_visible(rid, snap)? {
+                    if eval_filter(filter, &row)? {
+                        out.push(row);
+                    }
                 }
             }
             Ok(out)
@@ -164,12 +191,15 @@ fn run_node(
             } else {
                 entry.pk_prefix_probe(&key)?
             };
+            // The clustered tree points at chain heads; resolve each to the
+            // version visible under the snapshot.
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {
-                let row = entry.heap.get(rid)?;
                 *tuples += 1;
-                if eval_filter(filter, &row)? {
-                    out.push(row);
+                if let Some((_, row)) = entry.fetch_visible(rid, snap)? {
+                    if eval_filter(filter, &row)? {
+                        out.push(row);
+                    }
                 }
             }
             Ok(out)
@@ -183,7 +213,7 @@ fn run_node(
             filter,
             ..
         } => {
-            let outer = run(catalog, left, tuples, trace.as_deref_mut())?;
+            let outer = run(catalog, left, snap, tuples, trace.as_deref_mut())?;
             let entry = catalog.table(*table)?;
             let mut out = Vec::new();
             for lrow in &outer {
@@ -191,20 +221,28 @@ fn run_node(
                 if key.is_null() {
                     continue; // NULL keys never join
                 }
-                let rids = match source {
+                match source {
                     ProbeSource::PrimaryTree => {
-                        entry.pk_prefix_probe(std::slice::from_ref(&key))?
+                        for rid in entry.pk_prefix_probe(std::slice::from_ref(&key))? {
+                            *tuples += 1;
+                            if let Some((_, rrow)) = entry.fetch_visible(rid, snap)? {
+                                let joined = lrow.concat(&rrow);
+                                if eval_filter(filter, &joined)? {
+                                    out.push(joined);
+                                }
+                            }
+                        }
                     }
                     ProbeSource::Index(id, _) => {
-                        catalog.index(*id)?.probe_eq(std::slice::from_ref(&key))?
-                    }
-                };
-                for rid in rids {
-                    let rrow = entry.heap.get(rid)?;
-                    *tuples += 1;
-                    let joined = lrow.concat(&rrow);
-                    if eval_filter(filter, &joined)? {
-                        out.push(joined);
+                        for rid in catalog.index(*id)?.probe_eq(std::slice::from_ref(&key))? {
+                            *tuples += 1;
+                            if let Some(rrow) = entry.version_visible(rid, snap)? {
+                                let joined = lrow.concat(&rrow);
+                                if eval_filter(filter, &joined)? {
+                                    out.push(joined);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -212,8 +250,8 @@ fn run_node(
         }
 
         PhysPlan::NestedLoopJoin { left, right, on } => {
-            let l = run(catalog, left, tuples, trace.as_deref_mut())?;
-            let r = run(catalog, right, tuples, trace.as_deref_mut())?;
+            let l = run(catalog, left, snap, tuples, trace.as_deref_mut())?;
+            let r = run(catalog, right, snap, tuples, trace.as_deref_mut())?;
             let mut out = Vec::new();
             for lr in &l {
                 for rr in &r {
@@ -234,8 +272,8 @@ fn run_node(
             right_keys,
             filter,
         } => {
-            let l = run(catalog, left, tuples, trace.as_deref_mut())?;
-            let r = run(catalog, right, tuples, trace.as_deref_mut())?;
+            let l = run(catalog, left, snap, tuples, trace.as_deref_mut())?;
+            let r = run(catalog, right, snap, tuples, trace.as_deref_mut())?;
             // Build on the left, probe with the right.
             let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(l.len());
             for row in &l {
@@ -273,7 +311,7 @@ fn run_node(
         }
 
         PhysPlan::Filter { input, pred } => {
-            let rows = run(catalog, input, tuples, trace.as_deref_mut())?;
+            let rows = run(catalog, input, snap, tuples, trace.as_deref_mut())?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 *tuples += 1;
@@ -285,7 +323,7 @@ fn run_node(
         }
 
         PhysPlan::Project { input, exprs } => {
-            let rows = run(catalog, input, tuples, trace.as_deref_mut())?;
+            let rows = run(catalog, input, snap, tuples, trace.as_deref_mut())?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 *tuples += 1;
@@ -304,13 +342,13 @@ fn run_node(
             aggs,
             having,
         } => {
-            let rows = run(catalog, input, tuples, trace.as_deref_mut())?;
+            let rows = run(catalog, input, snap, tuples, trace.as_deref_mut())?;
             *tuples += rows.len() as u64;
             run_aggregate(&rows, group_by, aggs, having.as_ref())
         }
 
         PhysPlan::Sort { input, keys } => {
-            let mut rows = run(catalog, input, tuples, trace.as_deref_mut())?;
+            let mut rows = run(catalog, input, snap, tuples, trace.as_deref_mut())?;
             *tuples += rows.len() as u64;
             rows.sort_by(|a, b| {
                 for &(k, desc) in keys {
@@ -328,7 +366,7 @@ fn run_node(
         }
 
         PhysPlan::Distinct { input } => {
-            let rows = run(catalog, input, tuples, trace.as_deref_mut())?;
+            let rows = run(catalog, input, snap, tuples, trace.as_deref_mut())?;
             let mut seen = std::collections::HashSet::with_capacity(rows.len());
             let mut out = Vec::new();
             for row in rows {
@@ -346,7 +384,7 @@ fn run_node(
             limit,
             offset,
         } => {
-            let rows = run(catalog, input, tuples, trace)?;
+            let rows = run(catalog, input, snap, tuples, trace)?;
             let start = (*offset as usize).min(rows.len());
             let end = match limit {
                 Some(l) => (start + *l as usize).min(rows.len()),

@@ -7,15 +7,112 @@
 //! restructured or modified to storage structure B-Tree" — keys directly off
 //! this distinction, so the heap tracks both counts explicitly.
 
+//! ## Version headers (MVCC, PR 8)
+//!
+//! Every record is prefixed by a fixed [`VERSION_HEADER`]-byte header of
+//! five little-endian `u64`s — `begin`, `end`, `prev`, `next`, `root` —
+//! interpreted through `ingot_common::mvcc`: `begin`/`end` delimit the
+//! version's lifetime (commit timestamps or uncommitted-txn markers),
+//! `prev`/`next` link the row's version chain (packed [`RowId`]s, newest at
+//! the head), and `root` names the chain's first version — the stable
+//! row-lock key that survives versions moving across pages. The fixed size
+//! means a header rewrite ([`HeapFile::set_meta`]) is always an in-place
+//! same-length page update, so commit stamping never moves a record.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use ingot_common::mvcc::{is_txn_mark, TS_INF};
 use ingot_common::{Error, PageId, Result, Row};
 use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
 use crate::codec::{decode_row, encode_row_into};
 use crate::disk::FileId;
+
+/// Size of the per-record version header, in bytes.
+pub const VERSION_HEADER: usize = 40;
+
+/// The decoded version header of one heap record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionMeta {
+    /// Commit timestamp (or txn marker) at which this version became
+    /// visible.
+    pub begin: u64,
+    /// Commit timestamp (or txn marker) at which it stopped being the
+    /// current version; [`TS_INF`] while alive.
+    pub end: u64,
+    /// Packed [`RowId`] of the next-older version; [`TS_INF`] when none.
+    pub prev: u64,
+    /// Packed [`RowId`] of the next-newer version; [`TS_INF`] when none.
+    pub next: u64,
+    /// Packed [`RowId`] of the chain's first version (the row-lock key);
+    /// [`TS_INF`] means "this version is its own root".
+    pub root: u64,
+}
+
+impl VersionMeta {
+    /// A standalone committed-at-`begin` version: alive, no neighbours,
+    /// its own root.
+    pub fn base(begin: u64) -> VersionMeta {
+        VersionMeta {
+            begin,
+            end: TS_INF,
+            prev: TS_INF,
+            next: TS_INF,
+            root: TS_INF,
+        }
+    }
+
+    /// The chain root (row-lock key) of the version stored at `own`.
+    pub fn root_for(&self, own: RowId) -> u64 {
+        if self.root == TS_INF {
+            own.pack()
+        } else {
+            self.root
+        }
+    }
+
+    /// Is this version the newest of its chain?
+    pub fn is_head(&self) -> bool {
+        self.next == TS_INF
+    }
+
+    /// Committed and superseded/deleted at or below `watermark` — i.e.
+    /// invisible to every present and future snapshot, reclaimable by GC.
+    pub fn dead_below(&self, watermark: u64) -> bool {
+        self.end != TS_INF && !is_txn_mark(self.end) && self.end <= watermark
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [self.begin, self.end, self.prev, self.next, self.root] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(rec: &[u8]) -> Result<VersionMeta> {
+        if rec.len() < VERSION_HEADER {
+            return Err(Error::storage(format!(
+                "record too short for a version header: {} bytes",
+                rec.len()
+            )));
+        }
+        let mut f = [0u64; 5];
+        for (v, chunk) in f.iter_mut().zip(rec.chunks_exact(8)) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            *v = u64::from_le_bytes(b);
+        }
+        let [begin, end, prev, next, root] = f;
+        Ok(VersionMeta {
+            begin,
+            end,
+            prev,
+            next,
+            root,
+        })
+    }
+}
 
 /// Physical address of a row: page number + slot within the page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,8 +157,10 @@ pub struct HeapStats {
     pub main_pages: u64,
     /// Pages beyond the main extent (the overflow chain).
     pub overflow_pages: u64,
-    /// Live rows.
+    /// Live (logical) rows.
     pub rows: u64,
+    /// Physical row versions, including superseded ones awaiting GC.
+    pub versions: u64,
 }
 
 impl HeapStats {
@@ -88,7 +187,14 @@ pub struct HeapFile {
     main_pages: u64,
     /// Page currently targeted by inserts (fill front-to-back).
     insert_cursor: Mutex<u64>,
+    /// Physical record (version) count.
+    versions: AtomicU64,
+    /// Logical live-row count, maintained by the catalog layer's MVCC
+    /// mutators (and by the plain insert/delete pair).
     rows: AtomicU64,
+    /// Highest committed timestamp seen in any header at `open` time; the
+    /// engine restores its commit sequence above this after recovery.
+    max_commit_ts: AtomicU64,
 }
 
 impl HeapFile {
@@ -111,26 +217,44 @@ impl HeapFile {
             file,
             main_pages,
             insert_cursor: Mutex::new(0),
+            versions: AtomicU64::new(0),
             rows: AtomicU64::new(0),
+            max_commit_ts: AtomicU64::new(0),
         })
     }
 
     /// Re-attach a heap file that already exists in the backend (workload-DB
-    /// restart path). Rows are counted by a full scan.
+    /// restart path). Rows are counted by a full scan: records whose `end`
+    /// is still open are live; committed timestamps in any header feed
+    /// [`HeapFile::max_commit_ts`].
     pub fn open(pool: Arc<BufferPool>, file: FileId, main_pages: u64) -> Result<Self> {
         let heap = HeapFile {
             insert_cursor: Mutex::new(pool.file_pages(file).saturating_sub(1)),
             pool,
             file,
             main_pages,
+            versions: AtomicU64::new(0),
             rows: AtomicU64::new(0),
+            max_commit_ts: AtomicU64::new(0),
         };
-        let mut n = 0u64;
-        for item in heap.scan() {
-            item?;
-            n += 1;
+        let mut versions = 0u64;
+        let mut live = 0u64;
+        let mut max_ts = 0u64;
+        for item in heap.scan_versions() {
+            let (_, meta, _) = item?;
+            versions += 1;
+            if meta.end == TS_INF {
+                live += 1;
+            }
+            for ts in [meta.begin, meta.end] {
+                if ts != TS_INF && !is_txn_mark(ts) {
+                    max_ts = max_ts.max(ts);
+                }
+            }
         }
-        heap.rows.store(n, Ordering::Relaxed);
+        heap.versions.store(versions, Ordering::Relaxed);
+        heap.rows.store(live, Ordering::Relaxed);
+        heap.max_commit_ts.store(max_ts, Ordering::Relaxed);
         Ok(heap)
     }
 
@@ -146,13 +270,33 @@ impl HeapFile {
             main_pages: self.main_pages,
             overflow_pages: total.saturating_sub(self.main_pages),
             rows: self.rows.load(Ordering::Relaxed),
+            versions: self.versions.load(Ordering::Relaxed),
         }
     }
 
-    /// Insert a row, returning its address.
+    /// Highest committed header timestamp observed when this file was
+    /// opened (0 for a fresh file).
+    pub fn max_commit_ts(&self) -> u64 {
+        self.max_commit_ts.load(Ordering::Relaxed)
+    }
+
+    /// Insert a row as a standalone committed version (bulk loads, DDL
+    /// rebuilds, replay-free paths), returning its address.
     pub fn insert(&self, row: &Row) -> Result<RowId> {
-        let mut buf = Vec::new();
-        encode_row_into(row, &mut buf);
+        let id = self.insert_version(row, VersionMeta::base(0))?;
+        self.rows.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Insert a row with an explicit version header. Adjusts only the
+    /// physical version count — the caller owns the logical live count
+    /// ([`HeapFile::adjust_rows`]).
+    pub fn insert_version(&self, row: &Row, meta: VersionMeta) -> Result<RowId> {
+        let mut buf = Vec::with_capacity(VERSION_HEADER + 64);
+        meta.encode_into(&mut buf);
+        let mut body = Vec::new();
+        encode_row_into(row, &mut body);
+        buf.extend_from_slice(&body);
         let mut cursor = self.insert_cursor.lock();
         loop {
             let page_no = *cursor;
@@ -160,7 +304,7 @@ impl HeapFile {
             let slot = page.write().insert_record(&buf);
             if let Some(slot) = slot {
                 self.pool.mark_dirty(self.file, page_no);
-                self.rows.fetch_add(1, Ordering::Relaxed);
+                self.versions.fetch_add(1, Ordering::Relaxed);
                 return Ok(RowId::new(page_no, slot));
             }
             // Current page is full: move to the next main page, or grow the
@@ -178,22 +322,75 @@ impl HeapFile {
         }
     }
 
-    /// Read the row at `id`.
+    /// Read the row at `id` (header skipped).
     pub fn get(&self, id: RowId) -> Result<Row> {
+        Ok(self.get_version(id)?.1)
+    }
+
+    /// Read the version header and row at `id`.
+    pub fn get_version(&self, id: RowId) -> Result<(VersionMeta, Row)> {
         self.pool.check_page(self.file, id.page_no)?;
         let page = self.pool.fetch(self.file, id.page_no)?;
         let guard = page.read();
         let rec = guard
             .record(id.slot)
             .ok_or_else(|| Error::storage(format!("no row at {id}")))?;
-        decode_row(rec)
+        let meta = VersionMeta::decode(rec)?;
+        // `decode` has already verified `rec.len() >= VERSION_HEADER`.
+        Ok((meta, decode_row(rec.get(VERSION_HEADER..).unwrap_or(&[]))?))
     }
 
-    /// Replace the row at `id`. Returns the row's (possibly new) address:
-    /// when the new encoding does not fit its page, the row moves.
+    /// Read only the version header at `id`.
+    pub fn meta(&self, id: RowId) -> Result<VersionMeta> {
+        self.pool.check_page(self.file, id.page_no)?;
+        let page = self.pool.fetch(self.file, id.page_no)?;
+        let guard = page.read();
+        let rec = guard
+            .record(id.slot)
+            .ok_or_else(|| Error::storage(format!("no row at {id}")))?;
+        VersionMeta::decode(rec)
+    }
+
+    /// Rewrite the version header at `id` in place. The header is
+    /// fixed-size, so this never moves the record.
+    pub fn set_meta(&self, id: RowId, meta: VersionMeta) -> Result<()> {
+        self.pool.check_page(self.file, id.page_no)?;
+        let page = self.pool.fetch(self.file, id.page_no)?;
+        let mut guard = page.write();
+        let tail = guard
+            .record(id.slot)
+            .map(|rec| rec.get(VERSION_HEADER..).unwrap_or(&[]).to_vec())
+            .ok_or_else(|| Error::storage(format!("no row at {id}")))?;
+        let mut buf = Vec::with_capacity(VERSION_HEADER + tail.len());
+        meta.encode_into(&mut buf);
+        buf.extend_from_slice(&tail);
+        let updated = guard.update_record(id.slot, &buf)?;
+        drop(guard);
+        debug_assert!(updated, "same-length header rewrite cannot move");
+        self.pool.mark_dirty(self.file, id.page_no);
+        Ok(())
+    }
+
+    /// Adjust the logical live-row count (MVCC mutators in the catalog
+    /// layer call this as rows logically appear and disappear).
+    pub fn adjust_rows(&self, delta: i64) {
+        if delta >= 0 {
+            self.rows.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.rows.fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+        }
+    }
+
+    /// Replace the row at `id`, preserving its version header. Returns the
+    /// row's (possibly new) address: when the new encoding does not fit its
+    /// page, the row moves.
     pub fn update(&self, id: RowId, row: &Row) -> Result<RowId> {
-        let mut buf = Vec::new();
-        encode_row_into(row, &mut buf);
+        let meta = self.meta(id)?;
+        let mut buf = Vec::with_capacity(VERSION_HEADER + 64);
+        meta.encode_into(&mut buf);
+        let mut body = Vec::new();
+        encode_row_into(row, &mut body);
+        buf.extend_from_slice(&body);
         self.pool.check_page(self.file, id.page_no)?;
         let page = self.pool.fetch(self.file, id.page_no)?;
         let updated = page.write().update_record(id.slot, &buf)?;
@@ -202,24 +399,44 @@ impl HeapFile {
             return Ok(id);
         }
         drop(page);
-        self.delete(id)?;
-        self.insert(row)
+        self.remove_version(id)?;
+        let new_id = self.insert_version(row, meta)?;
+        Ok(new_id)
     }
 
-    /// Delete the row at `id`.
+    /// Delete the (logical) row at `id`: physical removal plus live-count
+    /// decrement. MVCC deletes instead stamp `end` via
+    /// [`HeapFile::set_meta`] and leave removal to GC.
     pub fn delete(&self, id: RowId) -> Result<()> {
+        self.remove_version(id)?;
+        self.rows.fetch_sub(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Physically remove the record at `id` without touching the logical
+    /// live count (GC of superseded versions, undo of uncommitted ones).
+    pub fn remove_version(&self, id: RowId) -> Result<()> {
         self.pool.check_page(self.file, id.page_no)?;
         let page = self.pool.fetch(self.file, id.page_no)?;
         page.write().delete_record(id.slot)?;
         self.pool.mark_dirty(self.file, id.page_no);
-        self.rows.fetch_sub(1, Ordering::Relaxed);
+        self.versions.fetch_sub(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Full scan in physical order (main pages, then overflow pages — which
     /// is also sequential file order, so the disk model sees a sequential
-    /// read pattern exactly like a real table scan).
-    pub fn scan(&self) -> HeapScan<'_> {
+    /// read pattern exactly like a real table scan). Yields every physical
+    /// version; MVCC readers use [`HeapFile::scan_versions`] and filter by
+    /// snapshot instead.
+    pub fn scan(&self) -> impl Iterator<Item = Result<(RowId, Row)>> + '_ {
+        self.scan_versions()
+            .map(|item| item.map(|(id, _, row)| (id, row)))
+    }
+
+    /// Full scan yielding `(RowId, VersionMeta, Row)` for every physical
+    /// version.
+    pub fn scan_versions(&self) -> HeapScan<'_> {
         HeapScan {
             heap: self,
             page_no: 0,
@@ -232,9 +449,14 @@ impl HeapFile {
     pub fn row_count(&self) -> u64 {
         self.rows.load(Ordering::Relaxed)
     }
+
+    /// Physical version count (maintained incrementally).
+    pub fn version_count(&self) -> u64 {
+        self.versions.load(Ordering::Relaxed)
+    }
 }
 
-/// Iterator over `(RowId, Row)` pairs of a heap file.
+/// Iterator over `(RowId, VersionMeta, Row)` triples of a heap file.
 pub struct HeapScan<'a> {
     heap: &'a HeapFile,
     page_no: u64,
@@ -243,7 +465,7 @@ pub struct HeapScan<'a> {
 }
 
 impl Iterator for HeapScan<'_> {
-    type Item = Result<(RowId, Row)>;
+    type Item = Result<(RowId, VersionMeta, Row)>;
 
     fn next(&mut self) -> Option<Self::Item> {
         while self.page_no < self.total_pages {
@@ -258,7 +480,13 @@ impl Iterator for HeapScan<'_> {
                 self.slot += 1;
                 if let Some(rec) = guard.record(slot) {
                     let id = RowId::new(self.page_no, slot);
-                    return Some(decode_row(rec).map(|r| (id, r)));
+                    let meta = match VersionMeta::decode(rec) {
+                        Ok(m) => m,
+                        Err(e) => return Some(Err(e)),
+                    };
+                    return Some(
+                        decode_row(rec.get(VERSION_HEADER..).unwrap_or(&[])).map(|r| (id, meta, r)),
+                    );
                 }
             }
             self.page_no += 1;
@@ -352,6 +580,64 @@ mod tests {
         let id3 = h.update(id2, &fat).unwrap();
         assert_ne!(id2, id3);
         assert_eq!(h.get(id3).unwrap(), fat);
+    }
+
+    #[test]
+    fn version_headers_roundtrip_and_rewrite_in_place() {
+        use ingot_common::mvcc::txn_mark;
+        use ingot_common::TxnId;
+        let h = HeapFile::create(pool(), 1).unwrap();
+        let old = h.insert(&row(1)).unwrap();
+        let meta = VersionMeta {
+            begin: txn_mark(TxnId(5)),
+            end: TS_INF,
+            prev: old.pack(),
+            next: TS_INF,
+            root: old.pack(),
+        };
+        let id = h.insert_version(&row(2), meta).unwrap();
+        let (m, r) = h.get_version(id).unwrap();
+        assert_eq!(m, meta);
+        assert_eq!(r, row(2));
+        // Stamp the commit: header rewrite must not move the record.
+        let stamped = VersionMeta { begin: 9, ..meta };
+        h.set_meta(id, stamped).unwrap();
+        assert_eq!(h.meta(id).unwrap(), stamped);
+        assert_eq!(h.get(id).unwrap(), row(2));
+        assert_eq!(h.version_count(), 2);
+        assert_eq!(h.row_count(), 1, "insert_version leaves live alone");
+        h.adjust_rows(1);
+        assert_eq!(h.row_count(), 2);
+    }
+
+    #[test]
+    fn open_counts_live_rows_and_max_commit_ts() {
+        let p = pool();
+        let h = HeapFile::create(Arc::clone(&p), 1).unwrap();
+        let a = h.insert(&row(1)).unwrap(); // begin 0, alive
+        let mut dead = VersionMeta::base(3);
+        dead.end = 7; // committed-dead version
+        h.insert_version(&row(2), dead).unwrap();
+        h.insert_version(&row(3), VersionMeta::base(7)).unwrap();
+        h.adjust_rows(1);
+        let _ = a;
+        let file = h.file_id();
+        drop(h);
+        let reopened = HeapFile::open(p, file, 1).unwrap();
+        assert_eq!(reopened.version_count(), 3);
+        assert_eq!(reopened.row_count(), 2, "only end=INF records are live");
+        assert_eq!(reopened.max_commit_ts(), 7);
+    }
+
+    #[test]
+    fn remove_version_leaves_live_count_alone() {
+        let h = HeapFile::create(pool(), 1).unwrap();
+        let id = h.insert_version(&row(1), VersionMeta::base(1)).unwrap();
+        assert_eq!(h.version_count(), 1);
+        h.remove_version(id).unwrap();
+        assert_eq!(h.version_count(), 0);
+        assert_eq!(h.row_count(), 0);
+        assert!(h.get(id).is_err());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use buffer::{BufferPool, BufferStats};
 pub use codec::{decode_row, encode_key, encode_row};
 pub use disk::{DiskBackend, FileBackend, FileId, MemoryBackend};
 pub use fault::{FaultEffect, FaultInjectingBackend, FaultOp, FaultPlan, FaultRule, FaultStats};
-pub use heap::{HeapFile, HeapStats, RowId};
+pub use heap::{HeapFile, HeapStats, RowId, VersionMeta, VERSION_HEADER};
 pub use model::{DiskModel, IoStats};
 pub use page::{Page, PAGE_SIZE};
 pub use recovery::{recover, RecoveryReport};

@@ -125,6 +125,10 @@ pub enum WalRecord {
     Commit {
         /// The committing transaction.
         txn: TxnId,
+        /// The MVCC commit timestamp its versions were stamped with; replay
+        /// reconstructs version chains with the same timestamps so
+        /// post-recovery snapshots agree with pre-crash ones.
+        commit_ts: u64,
     },
     /// `txn` aborted: its records are discarded by replay.
     Abort {
@@ -207,10 +211,11 @@ impl WalRecord {
                 put_bytes(&mut payload, old);
                 put_bytes(&mut payload, new);
             }
-            WalRecord::Commit { txn } => {
+            WalRecord::Commit { txn, commit_ts } => {
                 payload.push(KIND_COMMIT);
                 payload.extend_from_slice(&lsn.to_le_bytes());
                 payload.extend_from_slice(&txn.raw().to_le_bytes());
+                payload.extend_from_slice(&commit_ts.to_le_bytes());
             }
             WalRecord::Abort { txn } => {
                 payload.push(KIND_ABORT);
@@ -285,6 +290,7 @@ impl WalRecord {
             },
             KIND_COMMIT => WalRecord::Commit {
                 txn: TxnId(take_u64(&mut pos)?),
+                commit_ts: take_u64(&mut pos)?,
             },
             KIND_ABORT => WalRecord::Abort {
                 txn: TxnId(take_u64(&mut pos)?),
@@ -1072,7 +1078,10 @@ mod tests {
                 old: vec![6],
                 new: vec![7, 8],
             },
-            WalRecord::Commit { txn: TxnId(7) },
+            WalRecord::Commit {
+                txn: TxnId(7),
+                commit_ts: 7,
+            },
             WalRecord::Abort { txn: TxnId(8) },
             WalRecord::Checkpoint { epoch: 3 },
             WalRecord::Ddl {
@@ -1097,7 +1106,11 @@ mod tests {
     fn decode_rejects_garbage_and_trailing_bytes() {
         assert!(WalRecord::decode_payload(&[]).is_err());
         assert!(WalRecord::decode_payload(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
-        let mut frame = WalRecord::Commit { txn: TxnId(1) }.encode_frame(1);
+        let mut frame = WalRecord::Commit {
+            txn: TxnId(1),
+            commit_ts: 0,
+        }
+        .encode_frame(1);
         frame.push(0xAB); // trailing garbage after the payload
         assert!(WalRecord::decode_payload(&frame[FRAME_HEADER..]).is_err());
     }
@@ -1107,7 +1120,12 @@ mod tests {
         let wal = Wal::in_memory(&cfg());
         assert_eq!(wal.current_lsn(), 0);
         let l1 = wal.append(&WalRecord::Begin { txn: TxnId(1) }).unwrap();
-        let l2 = wal.append(&WalRecord::Commit { txn: TxnId(1) }).unwrap();
+        let l2 = wal
+            .append(&WalRecord::Commit {
+                txn: TxnId(1),
+                commit_ts: 0,
+            })
+            .unwrap();
         assert_eq!((l1, l2), (1, 2));
         assert_eq!(wal.durable_lsn(), 0);
         assert_eq!(wal.sync_to(l2).unwrap(), 2);
@@ -1124,7 +1142,12 @@ mod tests {
         {
             let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
             wal.append(&WalRecord::Begin { txn: TxnId(1) }).unwrap();
-            let l = wal.append(&WalRecord::Commit { txn: TxnId(1) }).unwrap();
+            let l = wal
+                .append(&WalRecord::Commit {
+                    txn: TxnId(1),
+                    commit_ts: 0,
+                })
+                .unwrap();
             wal.sync_to(l).unwrap();
             // Unsynced append, then a scripted power cut on the next one.
             wal.append(&WalRecord::Begin { txn: TxnId(2) }).unwrap();
@@ -1135,7 +1158,10 @@ mod tests {
                 FaultEffect::Crash,
             ));
             let err = wal
-                .append(&WalRecord::Commit { txn: TxnId(2) })
+                .append(&WalRecord::Commit {
+                    txn: TxnId(2),
+                    commit_ts: 0,
+                })
                 .unwrap_err();
             assert!(!err.is_transient());
             assert!(wal.is_crashed());
@@ -1152,7 +1178,13 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![
                 (1, WalRecord::Begin { txn: TxnId(1) }),
-                (2, WalRecord::Commit { txn: TxnId(1) }),
+                (
+                    2,
+                    WalRecord::Commit {
+                        txn: TxnId(1),
+                        commit_ts: 0
+                    }
+                ),
             ],
             "unsynced records must be gone, synced ones intact"
         );
@@ -1176,7 +1208,12 @@ mod tests {
                 2,
                 FaultEffect::Torn(5),
             ));
-            assert!(wal.append(&WalRecord::Commit { txn: TxnId(1) }).is_err());
+            assert!(wal
+                .append(&WalRecord::Commit {
+                    txn: TxnId(1),
+                    commit_ts: 0
+                })
+                .is_err());
             assert!(wal.is_crashed());
         }
         let wal = Wal::open_in_dir(&dir, &cfg()).unwrap();
@@ -1200,7 +1237,12 @@ mod tests {
         wal.set_fault_plan(FaultPlan::new().with_rule(FaultOp::WalFsync, 1, 1, FaultEffect::Crash));
         assert!(wal.sync_all().is_err());
         assert!(wal.is_crashed());
-        assert!(wal.append(&WalRecord::Commit { txn: TxnId(1) }).is_err());
+        assert!(wal
+            .append(&WalRecord::Commit {
+                txn: TxnId(1),
+                commit_ts: 0
+            })
+            .is_err());
         // The unsynced record was eaten by the power cut.
         assert_eq!(wal.durable_lsn(), 0);
     }
@@ -1276,7 +1318,12 @@ mod tests {
     #[test]
     fn group_commit_single_committer_syncs_immediately() {
         let wal = Wal::in_memory(&cfg());
-        let l = wal.append(&WalRecord::Commit { txn: TxnId(1) }).unwrap();
+        let l = wal
+            .append(&WalRecord::Commit {
+                txn: TxnId(1),
+                commit_ts: 0,
+            })
+            .unwrap();
         assert_eq!(wal.commit_barrier(l).unwrap(), l);
         let s = wal.stats();
         assert_eq!(s.groups, 1);
@@ -1302,7 +1349,9 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..commits_each {
                         let txn = TxnId((t * 1_000 + i) as u64);
-                        let lsn = wal.append(&WalRecord::Commit { txn }).unwrap();
+                        let lsn = wal
+                            .append(&WalRecord::Commit { txn, commit_ts: 0 })
+                            .unwrap();
                         match wal.commit_barrier(lsn) {
                             Ok(d) => assert!(d >= lsn, "ack before durable"),
                             Err(_) => {
@@ -1329,7 +1378,12 @@ mod tests {
     #[test]
     fn off_mode_skips_the_barrier() {
         let wal = Wal::in_memory(&cfg().with_wal_fsync_mode(WalFsyncMode::Off));
-        let l = wal.append(&WalRecord::Commit { txn: TxnId(1) }).unwrap();
+        let l = wal
+            .append(&WalRecord::Commit {
+                txn: TxnId(1),
+                commit_ts: 0,
+            })
+            .unwrap();
         assert_eq!(wal.commit_barrier(l).unwrap(), l);
         // Nothing actually became durable — that is the documented gap.
         assert_eq!(wal.durable_lsn(), 0);
@@ -1340,7 +1394,12 @@ mod tests {
     fn always_mode_syncs_every_commit() {
         let wal = Wal::in_memory(&cfg().with_wal_fsync_mode(WalFsyncMode::Always));
         for i in 1..=3u64 {
-            let l = wal.append(&WalRecord::Commit { txn: TxnId(i) }).unwrap();
+            let l = wal
+                .append(&WalRecord::Commit {
+                    txn: TxnId(i),
+                    commit_ts: 0,
+                })
+                .unwrap();
             assert_eq!(wal.commit_barrier(l).unwrap(), l);
         }
         assert_eq!(wal.stats().fsyncs, 3);
@@ -1356,7 +1415,13 @@ mod tests {
         // Two frames with non-increasing LSNs: the second terminates the
         // valid prefix even though its checksum is fine.
         let mut bytes = WalRecord::Begin { txn: TxnId(1) }.encode_frame(5);
-        bytes.extend_from_slice(&WalRecord::Commit { txn: TxnId(1) }.encode_frame(5));
+        bytes.extend_from_slice(
+            &WalRecord::Commit {
+                txn: TxnId(1),
+                commit_ts: 0,
+            }
+            .encode_frame(5),
+        );
         let (entries, valid) = Wal::scan_valid_prefix(&bytes);
         assert_eq!(entries.len(), 1);
         assert!(valid < bytes.len());

@@ -1,0 +1,163 @@
+#![cfg(loom)]
+//! Model tests for the MVCC commit protocol: snapshot isolation of the
+//! [`CommitTicket`] publish step and first-committer-wins validation.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p ingot-txn --test
+//! loom_mvcc`. Each body executes under `loom::model`, which re-runs it
+//! across many seeded interleavings (see the loom-shim crate).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use ingot_common::mvcc::{txn_mark, TS_INF};
+use ingot_txn::{AbortCause, TxnManager};
+use loom::sync::Arc;
+use loom::thread;
+
+/// A snapshot taken at any point around a two-row commit sees either both
+/// of the transaction's versions or neither — never a torn prefix. The
+/// writer stamps both `begin` cells with its reserved timestamp *before*
+/// publishing; the reader resolves visibility with `Snapshot::sees` against
+/// whatever it observes. Publish-order (release on `commit_seq`, acquire in
+/// `snapshot`) is what makes the stamped values visible to any snapshot
+/// whose `ts` covers them.
+#[test]
+fn snapshot_never_observes_a_torn_commit() {
+    loom::model(|| {
+        let m = Arc::new(TxnManager::new());
+        let writer = m.begin();
+        // Two uncommitted versions of one transaction, begin = txn marker.
+        let row_a = Arc::new(AtomicU64::new(txn_mark(writer)));
+        let row_b = Arc::new(AtomicU64::new(txn_mark(writer)));
+
+        let w = {
+            let m = Arc::clone(&m);
+            let row_a = Arc::clone(&row_a);
+            let row_b = Arc::clone(&row_b);
+            thread::spawn(move || {
+                let ticket = m.start_commit();
+                row_a.store(ticket.ts(), Ordering::Release);
+                thread::yield_now();
+                row_b.store(ticket.ts(), Ordering::Release);
+                let ts = ticket.ts();
+                ticket.publish();
+                m.commit(writer);
+                ts
+            })
+        };
+
+        let r = {
+            let m = Arc::clone(&m);
+            let row_a = Arc::clone(&row_a);
+            let row_b = Arc::clone(&row_b);
+            thread::spawn(move || {
+                let reader = m.begin();
+                let snap = m.snapshot(reader);
+                let sees_a = snap.sees(row_a.load(Ordering::Acquire), TS_INF);
+                let sees_b = snap.sees(row_b.load(Ordering::Acquire), TS_INF);
+                m.commit_read_only(reader);
+                (snap.ts, sees_a, sees_b)
+            })
+        };
+
+        let commit_ts = w.join().unwrap();
+        let (snap_ts, sees_a, sees_b) = r.join().unwrap();
+        assert_eq!(
+            sees_a, sees_b,
+            "torn commit: snapshot ts {snap_ts} saw one of the two versions \
+             of commit {commit_ts}"
+        );
+        if snap_ts >= commit_ts {
+            assert!(
+                sees_a && sees_b,
+                "snapshot ts {snap_ts} covers commit {commit_ts} but missed \
+                 its stamps"
+            );
+        }
+    });
+}
+
+/// Two transactions race to supersede the same version chain head; the
+/// write-time conflict check (a CAS on the head's `end` marker) plus
+/// first-committer-wins validation lets exactly one of them commit, under
+/// any interleaving. The loser records a `WriteConflict` abort and never
+/// publishes a timestamp.
+#[test]
+fn first_committer_wins_never_double_commits() {
+    loom::model(|| {
+        let m = Arc::new(TxnManager::new());
+        // The hot chain head: `end == TS_INF` means "not superseded yet".
+        let head_end = Arc::new(AtomicU64::new(TS_INF));
+        let committed = Arc::new(AtomicUsize::new(0));
+
+        let contender = |m: &Arc<TxnManager>| {
+            let m = Arc::clone(m);
+            let head_end = Arc::clone(&head_end);
+            let committed = Arc::clone(&committed);
+            thread::spawn(move || {
+                let txn = m.begin();
+                let _snap = m.snapshot(txn);
+                // Write-time conflict check: claim the head or lose.
+                let claimed = head_end
+                    .compare_exchange(TS_INF, txn_mark(txn), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+                thread::yield_now();
+                let conflict = (!claimed).then(|| "the hot row".to_string());
+                match m.validate_write_set(txn, conflict) {
+                    Ok(()) => {
+                        let ticket = m.start_commit();
+                        head_end.store(ticket.ts(), Ordering::Release);
+                        ticket.publish();
+                        m.commit(txn);
+                        committed.fetch_add(1, Ordering::SeqCst);
+                        true
+                    }
+                    Err(_) => {
+                        m.abort_with(txn, AbortCause::WriteConflict);
+                        false
+                    }
+                }
+            })
+        };
+
+        let a = contender(&m);
+        let b = contender(&m);
+        let wins = [a.join().unwrap(), b.join().unwrap()]
+            .iter()
+            .filter(|&&w| w)
+            .count();
+        assert_eq!(wins, 1, "exactly one contender must commit");
+        assert_eq!(committed.load(Ordering::SeqCst), 1);
+        assert_eq!(m.committed_count(), 1);
+        assert_eq!(m.aborts_by_cause(AbortCause::WriteConflict), 1);
+        assert_eq!(m.validation_failures(), 1);
+        let end = head_end.load(Ordering::Acquire);
+        assert!(
+            end != TS_INF && end <= m.read_ts(),
+            "the surviving stamp must be a published commit timestamp"
+        );
+    });
+}
+
+/// Quiesce-based GC can never run concurrently with an open transaction:
+/// either the sweep waits the transaction out or it times out — it never
+/// observes a half-open state. (Regression guard for the daemon's
+/// poll-cadence sweep racing session commits.)
+#[test]
+fn quiesce_excludes_active_transactions() {
+    loom::model(|| {
+        let m = Arc::new(TxnManager::new());
+        let h = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                let t = m.begin();
+                thread::yield_now();
+                m.commit_read_only(t);
+            })
+        };
+        if let Ok(_guard) = m.quiesce(Duration::from_millis(100)) {
+            assert_eq!(m.active_count(), 0, "quiesce admitted an active txn");
+        }
+        h.join().unwrap();
+    });
+}

@@ -1,0 +1,28 @@
+//! Golden fixture: MVCC locking discipline.
+
+pub fn execute_inner(&self, name: &str) {
+    self.with_table_lock_by_name(name, LockMode::Exclusive, |eng| eng.drop(name));
+}
+
+pub fn eager_update(&self, txn: TxnId, id: TableId) {
+    self.locks.lock(txn, Resource::Table(id), LockMode::Exclusive);
+}
+
+pub fn fenced_update(&self, txn: TxnId, id: TableId, root: u64) {
+    self.locks.lock(txn, Resource::Table(id), LockMode::Shared);
+    self.locks.lock(txn, Resource::Row(id, root), LockMode::Exclusive);
+}
+
+pub fn commit_txn(&self, txn: TxnId) {
+    let lsn = self.wal.append(&WalRecord::Commit { txn, commit_ts });
+    self.wal.commit_barrier(lsn);
+    self.txns.commit(txn);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_exclude_tables() {
+        locks.lock(txn, Resource::Table(id), LockMode::Exclusive);
+    }
+}

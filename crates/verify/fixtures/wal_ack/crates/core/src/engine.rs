@@ -1,14 +1,23 @@
 //! Golden fixture: commit-acknowledgement discipline.
 
 pub fn commit_txn(&self, txn: TxnId) {
+    self.txns.validate_write_set(txn, None)?;
+    if read_only {
+        self.txns.commit_read_only(txn);
+        return Ok(());
+    }
     self.txns.commit(txn);
-    let lsn = self.wal.append(&WalRecord::Commit { txn });
+    let lsn = self.wal.append(&WalRecord::Commit { txn, commit_ts });
     self.wal.commit_barrier(lsn);
     self.txns.commit(txn);
 }
 
 pub fn sneaky_ack(&self, txn: TxnId) {
     self.txns.commit(txn);
+}
+
+pub fn sneaky_read_only_ack(&self, txn: TxnId) {
+    self.txns.commit_read_only(txn);
 }
 
 #[cfg(test)]

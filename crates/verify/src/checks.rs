@@ -598,7 +598,11 @@ pub fn check_wal_ack(files: &[SourceFile]) -> Vec<Violation> {
             }
             let direct = seq(file, i, &["txns", ".", "commit", "("]);
             let via_accessor = seq(file, i, &["txns", "(", ")", ".", "commit", "("]);
-            if !direct && !via_accessor {
+            // The read-only acknowledgement owes no barrier (empty write set)
+            // but is still restricted to the engine commit path.
+            let read_only = seq(file, i, &["txns", ".", "commit_read_only", "("])
+                || seq(file, i, &["txns", "(", ")", ".", "commit_read_only", "("]);
+            if !direct && !via_accessor && !read_only {
                 continue;
             }
             let func = func_of(file, i);
@@ -621,6 +625,9 @@ pub fn check_wal_ack(files: &[SourceFile]) -> Vec<Violation> {
                 });
                 continue;
             }
+            if read_only {
+                continue; // empty write set: no barrier owed
+            }
             let barrier_before = (0..i)
                 .rev()
                 .take_while(|&j| func_of(file, j) == func)
@@ -639,6 +646,105 @@ pub fn check_wal_ack(files: &[SourceFile]) -> Vec<Violation> {
                          acknowledging"
                     ),
                 });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 8: MVCC locking discipline.
+// ---------------------------------------------------------------------------
+
+/// Does any of the `n` tokens starting at `i` equal `text`?
+fn window_has(file: &SourceFile, i: usize, n: usize, text: &str) -> bool {
+    file.tokens[i..file.tokens.len().min(i + n)]
+        .iter()
+        .any(|t| t.text == text)
+}
+
+/// Row-level MVCC discipline (PR 8), two invariants:
+///
+/// * **table-x-outside-ddl** — a table-exclusive lock (a literal
+///   `LockMode::Exclusive` paired with `Resource::Table`, or an exclusive
+///   `with_table_lock_by_name`) may be taken only by the DDL handlers in
+///   [`policy::TABLE_X_LOCK_FNS`]. DML must use the shared DDL fence plus
+///   row-exclusive chain-root locks; a table-X on a write path would revive
+///   the pre-MVCC readers-block-writers behaviour.
+/// * **commit-without-validation** — inside the sanctioned commit path
+///   ([`policy::WAL_COMMIT_FNS`]), every `txns.commit(…)` acknowledgement
+///   must be lexically preceded by `validate_write_set` (first-committer-
+///   wins): no transaction may become visible without conflict validation.
+pub fn check_mvcc_locks(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in files {
+        let scanned = file
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| policy::MVCC_LOCK_CRATES.contains(&c))
+            && !file.in_tests_dir;
+        if !scanned {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.in_test {
+                continue;
+            }
+            let table_x = (seq(file, i, &["Resource", ":", ":", "Table"])
+                || (t.text == "with_table_lock_by_name" && seq(file, i + 1, &["("])))
+                && window_has(file, i, 12, "Exclusive");
+            if table_x {
+                let func = func_of(file, i);
+                let allowed = policy::TABLE_X_LOCK_FNS
+                    .iter()
+                    .any(|(f, fun)| file.rel_path.ends_with(f) && func == *fun);
+                if !allowed {
+                    out.push(Violation {
+                        check: "mvcc-locks",
+                        category: "table-x-outside-ddl".into(),
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        func: func.clone(),
+                        ordinal: 0,
+                        message: format!(
+                            "table-exclusive lock in `{func}` — only DDL may exclude a \
+                             table (see verify policy); DML takes the shared fence plus \
+                             row-exclusive chain-root locks"
+                        ),
+                    });
+                }
+            }
+            if t.text == "txns"
+                && (seq(file, i, &["txns", ".", "commit", "("])
+                    || seq(file, i, &["txns", "(", ")", ".", "commit", "("]))
+            {
+                let func = func_of(file, i);
+                let in_commit_path = policy::WAL_COMMIT_FNS
+                    .iter()
+                    .any(|(f, fun)| file.rel_path.ends_with(f) && func == *fun);
+                if !in_commit_path {
+                    continue; // rogue acks are already wal-ack violations
+                }
+                let validated_before = (0..i)
+                    .rev()
+                    .take_while(|&j| func_of(file, j) == func)
+                    .any(|j| file.tokens[j].text == "validate_write_set");
+                if !validated_before {
+                    out.push(Violation {
+                        check: "mvcc-locks",
+                        category: "commit-without-validation".into(),
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        func: func.clone(),
+                        ordinal: 0,
+                        message: format!(
+                            "txns.commit() in `{func}` without a preceding \
+                             validate_write_set — first-committer-wins validation must \
+                             run before a commit becomes visible"
+                        ),
+                    });
+                }
             }
         }
     }

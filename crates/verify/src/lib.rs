@@ -25,6 +25,10 @@
 //!    DESIGN.md and referenced by a test, and wait guards are constructed
 //!    only inside the instrumented modules (lock queue, WAL, buffer pool,
 //!    retry, daemon catch-up).
+//! 8. **mvcc-locks** — table-exclusive locks only from the DDL allowlist
+//!    (row-level MVCC: DML takes the shared fence plus row locks, queries
+//!    take none), and the engine commit path never acknowledges a commit
+//!    without first-committer-wins validation (`validate_write_set`).
 //!
 //! `syn` is deliberately not used: the checks operate on a comment- and
 //! literal-stripped token stream (see [`lexer`]), which keeps the tool
@@ -67,6 +71,7 @@ pub fn run(root: &Path, allowlist_path: Option<&Path>) -> std::io::Result<Report
     violations.extend(checks::check_error_discipline(&files));
     violations.extend(checks::check_wal_ack(&files));
     violations.extend(checks::check_wait_events(root, &files));
+    violations.extend(checks::check_mvcc_locks(&files));
 
     let panic_violations = checks::check_panic_freedom(&files);
     let (fresh, allowlisted, stale) = match allowlist_path {

@@ -61,6 +61,21 @@ pub const WAL_ACK_CRATES: &[&str] = &["core", "executor", "txn", "daemon", "anal
 /// `txns.commit`.
 pub const WAL_COMMIT_FNS: &[(&str, &str)] = &[("crates/core/src/engine.rs", "commit_txn")];
 
+/// Crates scanned for MVCC locking discipline (check 8): table-exclusive
+/// locks only from DDL, and no commit acknowledgement without
+/// first-committer-wins validation.
+pub const MVCC_LOCK_CRATES: &[&str] = &["core", "executor", "txn", "daemon", "analyzer"];
+
+/// `(file suffix, function)` pairs allowed to take a **table-exclusive**
+/// lock (a literal `LockMode::Exclusive` on a `Resource::Table`, or an
+/// exclusive `with_table_lock_by_name`). Row-level MVCC (PR 8) reserves
+/// table-X for DDL: queries take no table locks and DML takes only the
+/// shared DDL fence plus row-exclusive chain-root locks.
+pub const TABLE_X_LOCK_FNS: &[(&str, &str)] = &[
+    ("crates/core/src/engine.rs", "execute_inner"),
+    ("crates/core/src/engine.rs", "run_create_index"),
+];
+
 /// The file declaring the closed wait-event taxonomy (`enum WaitEvent`).
 /// Every variant must be documented in DESIGN.md and referenced from a test.
 pub const WAIT_EVENTS_FILE: &str = "crates/common/src/waits.rs";
@@ -77,6 +92,7 @@ pub const WAIT_GUARD_FILES: &[&str] = &[
     "crates/txn/src/lock.rs",
     "crates/storage/src/wal.rs",
     "crates/storage/src/buffer.rs",
+    "crates/catalog/src/table.rs",
     "crates/daemon/src/lib.rs",
 ];
 

@@ -177,19 +177,54 @@ fn wal_ack_fixture_diagnostics() {
                 s("wal-ack"),
                 s("ack-before-barrier"),
                 s("crates/core/src/engine.rs"),
-                4,
+                9,
                 s("commit_txn"),
             ),
             (
                 s("wal-ack"),
                 s("ack-outside-commit-path"),
                 s("crates/core/src/engine.rs"),
-                11,
+                16,
                 s("sneaky_ack"),
             ),
+            (
+                s("wal-ack"),
+                s("ack-outside-commit-path"),
+                s("crates/core/src/engine.rs"),
+                20,
+                s("sneaky_read_only_ack"),
+            ),
         ],
-        "the post-barrier ack in `commit_txn` and the #[cfg(test)] ack must \
-         not be flagged; the pre-barrier ack and `sneaky_ack` must be"
+        "the post-barrier ack, the read-only ack in `commit_txn` and the \
+         #[cfg(test)] ack must not be flagged; the pre-barrier ack and both \
+         sneaky acks must be"
+    );
+}
+
+#[test]
+fn mvcc_locks_fixture_diagnostics() {
+    let r = run("mvcc_locks");
+    assert_eq!(
+        summarize(&r),
+        vec![
+            (
+                s("mvcc-locks"),
+                s("table-x-outside-ddl"),
+                s("crates/core/src/engine.rs"),
+                8,
+                s("eager_update"),
+            ),
+            (
+                s("mvcc-locks"),
+                s("commit-without-validation"),
+                s("crates/core/src/engine.rs"),
+                19,
+                s("commit_txn"),
+            ),
+        ],
+        "the allowlisted DDL table-X, the shared fence + row-X shape, and \
+         the #[cfg(test)] table-X must not be flagged; the DML table-X and \
+         the unvalidated ack must be"
     );
 }
 
@@ -273,6 +308,7 @@ fn cli_exits_nonzero_on_every_fixture() {
         "ima",
         "error_type",
         "wal_ack",
+        "mvcc_locks",
         "waits",
     ] {
         let out = Command::new(bin)

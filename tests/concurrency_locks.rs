@@ -285,26 +285,58 @@ fn ima_locks_and_sessions_expose_contention() {
         std::thread::sleep(Duration::from_millis(5));
     }
 
-    // ima$locks: columns are (txn, table_id, row_id, mode, state). One
-    // granted X and one waiting X on the same table, different txns.
+    // ima$locks: columns are (txn, table_id, row_id, mode, state). Under
+    // row-level MVCC the first writer holds row-exclusive locks (the chain
+    // root plus the primary-key value) and a *shared* table fence — never a
+    // table-exclusive lock — and the second writer queues on the row.
     let s3 = e.open_session();
     let locks = s3.execute("select * from ima$locks").unwrap();
-    let granted: Vec<_> = locks
+    let granted_x: Vec<_> = locks
         .rows
         .iter()
-        .filter(|r| r.get(4) == &Value::Str("granted".into()))
+        .filter(|r| {
+            r.get(4) == &Value::Str("granted".into()) && r.get(3) == &Value::Str("X".into())
+        })
         .collect();
     let waiting: Vec<_> = locks
         .rows
         .iter()
         .filter(|r| r.get(4) == &Value::Str("waiting".into()))
         .collect();
-    assert_eq!(granted.len(), 1, "{locks:?}");
+    assert!(!granted_x.is_empty(), "{locks:?}");
+    assert!(
+        granted_x.iter().all(|r| r.get(2) != &Value::Null),
+        "writer X locks are row-level, never table-level: {locks:?}"
+    );
     assert_eq!(waiting.len(), 1, "{locks:?}");
-    assert_eq!(granted[0].get(3), &Value::Str("X".into()));
     assert_eq!(waiting[0].get(3), &Value::Str("X".into()));
-    assert_eq!(granted[0].get(1), waiting[0].get(1), "same table");
-    assert_ne!(granted[0].get(0), waiting[0].get(0), "different txns");
+    assert_ne!(
+        waiting[0].get(2),
+        &Value::Null,
+        "the waiter queues on a row, not the table: {locks:?}"
+    );
+    assert!(
+        granted_x
+            .iter()
+            .any(|g| g.get(1) == waiting[0].get(1) && g.get(2) == waiting[0].get(2)),
+        "waiter queues on a row the first writer holds: {locks:?}"
+    );
+    assert!(
+        granted_x.iter().all(|g| g.get(0) != waiting[0].get(0)),
+        "different txns: {locks:?}"
+    );
+    // Both writers hold the shared table fence concurrently (that is what
+    // lets them write the same table at once while still excluding DDL).
+    let table_s = locks
+        .rows
+        .iter()
+        .filter(|r| {
+            r.get(4) == &Value::Str("granted".into())
+                && r.get(3) == &Value::Str("S".into())
+                && r.get(2) == &Value::Null
+        })
+        .count();
+    assert_eq!(table_s, 2, "both writers share the table fence: {locks:?}");
 
     // ima$sessions: (current_sessions, peak_sessions, active_txns,
     // locks_held, lock_waiting, lock_waits_total, deadlocks_total,
@@ -330,15 +362,32 @@ fn ddl_takes_exclusive_lock() {
     let s1 = e.open_session();
     s1.execute("create table t (a int)").unwrap();
     s1.execute("insert into t values (1)").unwrap();
+
+    // Snapshot reads take no table locks, so an open reader transaction
+    // must NOT block DDL under MVCC.
     s1.begin().unwrap();
-    s1.execute("select * from t").unwrap(); // S lock held by the txn
+    s1.execute("select * from t").unwrap();
+    {
+        let s2 = e.open_session();
+        s2.execute("modify t to heap").unwrap();
+    }
+    s1.commit().unwrap();
+
+    // A writer's shared table fence is what excludes DDL: MODIFY needs the
+    // table-exclusive lock and must wait for the writer to commit.
+    s1.begin().unwrap();
+    s1.execute("update t set a = 2").unwrap(); // table-S fence + row-X
     let e2 = Arc::clone(&e);
     let h = std::thread::spawn(move || {
         let s2 = e2.open_session();
-        // MODIFY needs X: it must wait for the reader to commit.
         s2.execute("modify t to heap")
     });
-    std::thread::sleep(Duration::from_millis(50));
+    for _ in 0..100 {
+        if e.locks().stats().waiting == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
     assert_eq!(e.locks().stats().waiting, 1, "DDL must be blocked");
     s1.commit().unwrap();
     h.join().unwrap().unwrap();

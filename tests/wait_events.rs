@@ -109,7 +109,7 @@ fn contended_sessions_populate_wait_tables() {
     let r = seed
         .execute("select event, count, total_ns from ima$wait_events")
         .unwrap();
-    assert_eq!(r.rows.len(), 8, "one row per WaitEvent variant");
+    assert_eq!(r.rows.len(), 9, "one row per WaitEvent variant");
     let wal_row = r
         .rows
         .iter()

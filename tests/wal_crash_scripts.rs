@@ -236,6 +236,62 @@ fn durable_loser_records_are_discarded_by_replay() {
     );
 }
 
+/// Power cut mid-commit with an open version chain: a committed winner and
+/// an in-flight loser both stack versions on the *same row*. The loser's
+/// Begin/Update records are durable but its Commit fsync dies, so the
+/// statement is never acknowledged. Recovery must rebuild the chain with
+/// the winner's version visible and the loser's version discarded — and
+/// the reopened chain must stay writable and GC-able (no stale uncommitted
+/// marker wedging the head).
+#[test]
+fn mid_commit_crash_discards_the_losers_version_chain_entry() {
+    let dir = scratch_dir("mvcc-chain");
+    {
+        let e = open(&dir, WalFsyncMode::Always);
+        let s1 = e.open_session();
+        s1.execute("create table t (a int not null, b text)")
+            .unwrap();
+        s1.execute("insert into t values (1, 'v0')").unwrap();
+        // The winner supersedes v0 and is acknowledged durable.
+        s1.execute("update t set b = 'winner' where a = 1").unwrap();
+        // The loser stacks a third version on the same chain inside an
+        // explicit transaction; its Begin/Update records reach the log...
+        let s2 = e.open_session();
+        s2.begin().unwrap();
+        s2.execute("update t set b = 'loser' where a = 1").unwrap();
+        // ...but the power cut lands on the Commit record's fsync, so the
+        // commit is never acknowledged.
+        e.wal().set_fault_plan(FaultPlan::new().with_rule(
+            FaultOp::WalFsync,
+            1,
+            u64::MAX,
+            FaultEffect::Crash,
+        ));
+        let err = s2.commit().unwrap_err();
+        assert!(err.to_string().contains("power cut"), "{err}");
+        assert!(e.wal().is_crashed(), "the power cut must kill the log");
+    }
+    let e = open(&dir, WalFsyncMode::Always);
+    let s = e.open_session();
+    let r = s.execute("select b from t where a = 1").unwrap();
+    assert_eq!(r.rows.len(), 1, "exactly one visible version of the row");
+    assert_eq!(
+        r.rows[0].get(0).as_str(),
+        Some("winner"),
+        "recovery must keep the winner's version and discard the loser's"
+    );
+    // The rebuilt chain is not wedged: it accepts new versions and the
+    // sweep reclaims the superseded ones.
+    s.execute("update t set b = 'after recovery' where a = 1")
+        .unwrap();
+    let r = s.execute("select b from t where a = 1").unwrap();
+    assert_eq!(r.rows[0].get(0).as_str(), Some("after recovery"));
+    assert!(
+        e.mvcc_gc().unwrap() >= 1,
+        "the sweep must reclaim the superseded winner version"
+    );
+}
+
 /// The full crash-point × fsync-mode matrix over the shared workload mix:
 /// whatever the scripted cut, the statement in flight fails and recovery
 /// reproduces exactly the acknowledged state.
