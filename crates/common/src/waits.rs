@@ -40,7 +40,7 @@ use crate::clock::MonotonicClock;
 use crate::ring::RingBuffer;
 
 /// Number of wait-event kinds (array sizing for [`WaitCounters`]).
-pub const WAIT_EVENT_COUNT: usize = 9;
+pub const WAIT_EVENT_COUNT: usize = 11;
 
 /// The closed taxonomy of places a session can lose time.
 ///
@@ -71,6 +71,13 @@ pub enum WaitEvent {
     /// find the version visible to an older snapshot. Long walks mean the
     /// GC watermark is lagging (a long-running snapshot pins old versions).
     VersionChainWalk,
+    /// Parked on the transaction gate: a `begin` blocked while a checkpoint
+    /// quiesce holds the gate closed, or the quiescer itself draining
+    /// active transactions.
+    TxnQuiesce,
+    /// A committer waiting in the publish queue for every earlier commit
+    /// timestamp to publish, so `commit_seq` advances without gaps.
+    CommitPublish,
 }
 
 impl WaitEvent {
@@ -85,6 +92,8 @@ impl WaitEvent {
         WaitEvent::RetryBackoff,
         WaitEvent::DaemonCatchup,
         WaitEvent::VersionChainWalk,
+        WaitEvent::TxnQuiesce,
+        WaitEvent::CommitPublish,
     ];
 
     /// Stable dense index (counter-array slot).
@@ -99,6 +108,8 @@ impl WaitEvent {
             WaitEvent::RetryBackoff => 6,
             WaitEvent::DaemonCatchup => 7,
             WaitEvent::VersionChainWalk => 8,
+            WaitEvent::TxnQuiesce => 9,
+            WaitEvent::CommitPublish => 10,
         }
     }
 
@@ -120,6 +131,8 @@ impl WaitEvent {
             WaitEvent::RetryBackoff => "RetryBackoff",
             WaitEvent::DaemonCatchup => "DaemonCatchup",
             WaitEvent::VersionChainWalk => "VersionChainWalk",
+            WaitEvent::TxnQuiesce => "TxnQuiesce",
+            WaitEvent::CommitPublish => "CommitPublish",
         }
     }
 
@@ -596,6 +609,8 @@ mod tests {
                 "RetryBackoff",
                 "DaemonCatchup",
                 "VersionChainWalk",
+                "TxnQuiesce",
+                "CommitPublish",
             ]
         );
     }

@@ -398,6 +398,7 @@ impl Engine {
             locks.set_wait_registry(Arc::clone(&registry));
             wal.set_wait_registry(Arc::clone(&registry));
             storage.pool().set_wait_registry(Arc::clone(&registry));
+            txns.set_wait_registry(Arc::clone(&registry));
             let sampler = Arc::new(AshSampler::new(
                 wall,
                 config.ash_sample_interval_ms.saturating_mul(1_000_000),
@@ -1191,7 +1192,11 @@ impl Engine {
             return Ok(());
         };
         let ticket = self.txns.start_commit();
-        if undo.began && !self.wal.is_replaying() {
+        // A non-empty write set implies `began`: `note_mutation` pushes the
+        // first op and appends the Begin record under the same undo-map
+        // lock, so there is no path here with ops but no Begin.
+        debug_assert!(undo.began, "write set without a Begin record");
+        if !self.wal.is_replaying() {
             let durable = self
                 .wal
                 .append(&WalRecord::Commit {
@@ -1247,7 +1252,12 @@ impl Engine {
         if let Some(undo) = self.undo.lock().remove(&txn) {
             let catalog = self.catalog.read();
             for op in undo.ops.iter().rev() {
-                let _ = catalog.apply_version_undo(op);
+                if catalog.apply_version_undo(op).is_err() {
+                    // The WAL (no Commit record) stays the recovery
+                    // authority; surface the inconsistency instead of
+                    // swallowing it.
+                    self.txns.note_undo_failure();
+                }
             }
             if undo.began && !self.wal.is_replaying() {
                 let _ = self.wal.append(&WalRecord::Abort { txn });
@@ -1491,7 +1501,7 @@ impl Session {
             .lock(txn, Resource::Table(id), LockMode::Shared)
         {
             if auto {
-                let _ = self.finish_auto_txn(txn, Some(&e));
+                self.abort_auto_txn(txn, &e);
             }
             return Err(e);
         }
@@ -1884,7 +1894,7 @@ impl Session {
             let locked = self.engine.locks.lock(txn, Resource::Table(id), mode);
             if let Err(e) = locked {
                 if auto {
-                    let _ = self.finish_auto_txn(txn, Some(&e));
+                    self.abort_auto_txn(txn, &e);
                 }
                 return Err(e);
             }
@@ -1917,6 +1927,13 @@ impl Session {
                 Ok(())
             }
         }
+    }
+
+    /// Abort an auto-commit transaction after a statement error.
+    /// Infallible, so error paths cannot accidentally discard a commit
+    /// failure the way `let _ = finish_auto_txn(…)` used to.
+    fn abort_auto_txn(&self, txn: TxnId, e: &Error) {
+        self.engine.abort_txn_with(txn, AbortCause::from_error(e));
     }
 
     /// The snapshot a statement of `txn` reads under: auto-commit statements
@@ -2026,7 +2043,7 @@ impl Session {
         let (txn, auto) = self.current_txn();
         if let Err(e) = self.acquire_locks(txn, &lock_spec) {
             if auto {
-                let _ = self.finish_auto_txn(txn, Some(&e));
+                self.abort_auto_txn(txn, &e);
             }
             return Err(e);
         }
@@ -2078,7 +2095,7 @@ impl Session {
         let (txn, auto) = self.current_txn();
         if let Err(e) = self.acquire_locks(txn, &cached.lock_spec) {
             if auto {
-                let _ = self.finish_auto_txn(txn, Some(&e));
+                self.abort_auto_txn(txn, &e);
             }
             return Err(e);
         }
@@ -2223,7 +2240,7 @@ impl Session {
         let (txn, auto) = self.current_txn();
         if let Err(e) = self.acquire_locks(txn, &lock_spec(&bound)) {
             if auto {
-                let _ = self.finish_auto_txn(txn, Some(&e));
+                self.abort_auto_txn(txn, &e);
             }
             return Err(e);
         }

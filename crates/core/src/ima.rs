@@ -580,6 +580,7 @@ pub fn register_concurrency_tables(
                 );
             }
             push("validation_failures", t.validation_failures());
+            push("undo_failures", t.undo_failures());
             push("gc_runs", t.gc_runs());
             push("gc_versions_removed", t.gc_versions_removed());
             push("gc_last_watermark", t.gc_last_watermark());

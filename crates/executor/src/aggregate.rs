@@ -158,22 +158,24 @@ pub fn run_aggregate(
             .map(|e| e.eval(row).map(|v| normalize_key(&v)))
             .collect::<Result<_>>()?;
         let group = groups.entry(key).or_insert_with(|| new_group(aggs));
-        for (i, spec) in aggs.iter().enumerate() {
+        let slots = group.states.iter_mut().zip(group.distinct_seen.iter_mut());
+        for (spec, (state, seen)) in aggs.iter().zip(slots) {
             let input = spec.input.as_ref().map(|e| e.eval(row)).transpose()?;
             if spec.distinct {
                 if let Some(v) = &input {
                     if v.is_null() {
                         continue;
                     }
-                    let seen = group.distinct_seen[i]
-                        .as_mut()
-                        .expect("distinct set allocated");
-                    if !seen.insert(normalize_key(v)) {
-                        continue;
+                    // `new_group` allocates the set iff the spec is distinct,
+                    // so the slot is always `Some` on this branch.
+                    if let Some(set) = seen.as_mut() {
+                        if !set.insert(normalize_key(v)) {
+                            continue;
+                        }
                     }
                 }
             }
-            group.states[i].update(input.as_ref())?;
+            state.update(input.as_ref())?;
         }
     }
     let mut out = Vec::with_capacity(groups.len());

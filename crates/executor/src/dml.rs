@@ -501,7 +501,10 @@ fn target_rows(
             if idx.meta.is_virtual {
                 continue;
             }
-            if let Some((_, v)) = eqs.iter().find(|(c, _)| *c == idx.meta.columns[0]) {
+            let Some(lead) = idx.meta.columns.first() else {
+                continue;
+            };
+            if let Some((_, v)) = eqs.iter().find(|(c, _)| c == lead) {
                 let rids = idx.probe_eq(std::slice::from_ref(v))?;
                 let mut out = Vec::new();
                 for rid in rids {

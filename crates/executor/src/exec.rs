@@ -426,7 +426,7 @@ pub fn format_rows(names: &[String], rows: &[Row]) -> String {
     let header: Vec<String> = names
         .iter()
         .enumerate()
-        .map(|(i, n)| format!("{n:<w$}", w = widths[i]))
+        .map(|(i, n)| format!("{n:<w$}", w = widths.get(i).copied().unwrap_or(0)))
         .collect();
     out.push_str(&header.join(" | "));
     out.push('\n');

@@ -382,7 +382,9 @@ impl FaultInjectingBackend {
         let mut rng = SplitMix64::new(seed ^ n.rotate_left(17));
         for chunk in buf.chunks_mut(8) {
             let bytes = rng.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&bytes[..chunk.len()]);
+            for (dst, src) in chunk.iter_mut().zip(bytes) {
+                *dst = src;
+            }
         }
     }
 
@@ -414,7 +416,9 @@ impl DiskBackend for FaultInjectingBackend {
                 let bytes = page.bytes_mut();
                 let mut garbage = [0u8; PAGE_SIZE / 2];
                 self.garbage(n, &mut garbage);
-                bytes[PAGE_SIZE / 2..].copy_from_slice(&garbage);
+                if let Some(tail) = bytes.get_mut(PAGE_SIZE / 2..) {
+                    tail.copy_from_slice(&garbage);
+                }
                 Ok(page)
             }
         }
@@ -431,7 +435,9 @@ impl DiskBackend for FaultInjectingBackend {
             Some(FaultEffect::Torn(valid)) => {
                 let valid = valid.min(PAGE_SIZE);
                 let mut torn = Page::from_bytes(*page.bytes());
-                self.garbage(n, &mut torn.bytes_mut()[valid..]);
+                if let Some(tail) = torn.bytes_mut().get_mut(valid..) {
+                    self.garbage(n, tail);
+                }
                 // Reports success: torn writes are only caught by recovery.
                 self.inner.write_page(file, page_no, &torn)
             }

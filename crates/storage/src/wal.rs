@@ -885,6 +885,9 @@ impl Wal {
             }
         }
         let frame = WalRecord::Checkpoint { epoch }.encode_frame(checkpoint_lsn);
+        // The rewrite's fsync is device wait like any barrier: charge it,
+        // so checkpoint cost shows up in the wait-event pipeline.
+        let _wait = WaitGuard::begin(self.waits.get(), WaitEvent::WalFsync);
         st.truncate(0)?;
         st.write_at_end(&frame)?;
         st.sync_file()?;

@@ -15,6 +15,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use std::sync::Arc;
+
+use ingot_common::waits::{WaitEvent, WaitGuard, WaitRegistry, WaitRegistryHandle};
 use ingot_common::{Error, Result, Snapshot, TxnId};
 use parking_lot::{Condvar, Mutex};
 
@@ -131,6 +134,13 @@ pub struct TxnManager {
     chain_versions: AtomicU64,
     chain_count: AtomicU64,
     chain_longest: AtomicU64,
+    /// Abort-path undo applications that failed (storage-level
+    /// inconsistency: the WAL stays the recovery authority, but each one is
+    /// surfaced through `ima$transactions` instead of vanishing).
+    undo_failures: AtomicU64,
+    /// Wait-event registry for the gate/publish parks (unset ⇒ no-op
+    /// guards, e.g. unit tests without an engine).
+    waits: WaitRegistryHandle,
 }
 
 /// Holds the quiesce gate closed. New transactions resume when dropped.
@@ -162,6 +172,7 @@ impl TxnManager {
     pub fn begin(&self) -> TxnId {
         let mut g = self.gate.lock();
         while g.quiescing {
+            let _gate = WaitGuard::begin(self.waits.get(), WaitEvent::TxnQuiesce);
             self.cv.wait(&mut g);
         }
         g.active += 1;
@@ -224,6 +235,7 @@ impl TxnManager {
         let mut g = self.gate.lock();
         while g.quiescing {
             // Another quiescer is draining; take over once it reopens.
+            let _gate = WaitGuard::begin(self.waits.get(), WaitEvent::TxnQuiesce);
             if self.cv.wait_for(&mut g, timeout).timed_out() && g.quiescing {
                 return Err(Error::execution(
                     "quiesce: another checkpoint is in progress",
@@ -232,6 +244,7 @@ impl TxnManager {
         }
         g.quiescing = true;
         while g.active > 0 {
+            let _drain = WaitGuard::begin(self.waits.get(), WaitEvent::TxnQuiesce);
             if self.cv.wait_for(&mut g, timeout).timed_out() && g.active > 0 {
                 g.quiescing = false;
                 drop(g);
@@ -381,6 +394,22 @@ impl TxnManager {
         self.validation_failures.load(Ordering::Relaxed)
     }
 
+    /// Record one failed abort-path undo application.
+    pub fn note_undo_failure(&self) {
+        self.undo_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Abort-path undo applications that failed so far.
+    pub fn undo_failures(&self) -> u64 {
+        self.undo_failures.load(Ordering::Relaxed)
+    }
+
+    /// Install the wait-event registry; gate and publish parks then charge
+    /// [`WaitEvent::TxnQuiesce`] / [`WaitEvent::CommitPublish`].
+    pub fn set_wait_registry(&self, registry: Arc<WaitRegistry>) {
+        self.waits.set(registry);
+    }
+
     /// Currently active transactions.
     pub fn active_count(&self) -> u64 {
         self.gate.lock().active
@@ -431,6 +460,7 @@ impl CommitTicket<'_> {
         self.done = true;
         let mut gate = self.mgr.publish_gate.lock();
         while self.mgr.commit_seq.load(Ordering::Relaxed) != self.ts - 1 {
+            let _turn = WaitGuard::begin(self.mgr.waits.get(), WaitEvent::CommitPublish);
             self.mgr.publish_cv.wait(&mut gate);
         }
         self.mgr.commit_seq.store(self.ts, Ordering::Release);
@@ -574,5 +604,59 @@ mod tests {
         assert_eq!(m.active_count(), 0);
         assert_eq!(m.committed_count(), 1);
         assert_eq!(m.aborted_count(), 1);
+    }
+
+    #[test]
+    fn undo_failures_are_counted() {
+        let m = TxnManager::new();
+        assert_eq!(m.undo_failures(), 0);
+        m.note_undo_failure();
+        m.note_undo_failure();
+        assert_eq!(m.undo_failures(), 2);
+    }
+
+    #[test]
+    fn timed_out_quiesce_charges_txn_quiesce() {
+        let m = TxnManager::new();
+        let registry = Arc::new(WaitRegistry::new(8));
+        m.set_wait_registry(Arc::clone(&registry));
+        let active = m.begin();
+        // The drain parks on the gate for the (tiny) timeout, charging
+        // TxnQuiesce, then gives up because `active` never retires.
+        let err = m.quiesce(Duration::from_millis(1)).expect_err("times out");
+        assert!(err.to_string().contains("still active"));
+        assert!(registry.counters().count(WaitEvent::TxnQuiesce) >= 1);
+        m.commit(active);
+        // Gate reopened: a fresh quiesce with nothing active is immediate.
+        drop(m.quiesce(Duration::from_millis(1)).expect("empty system"));
+    }
+
+    #[test]
+    fn out_of_order_publish_charges_commit_publish() {
+        let m = TxnManager::new();
+        let registry = Arc::new(WaitRegistry::new(8));
+        m.set_wait_registry(Arc::clone(&registry));
+        let first = m.start_commit();
+        let second = m.start_commit();
+        let parked = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                parked.store(true, Ordering::SeqCst);
+                // Blocks (charging CommitPublish) until `first` publishes.
+                second.publish();
+            });
+            while !parked.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // Give the publisher time to reach the publish queue before
+            // unblocking it, so the out-of-order park actually happens
+            // (test scheduling slack, not synchronisation — ordering stays
+            // correct either way, the charge assertion just needs the park).
+            #[allow(clippy::disallowed_methods)]
+            std::thread::sleep(Duration::from_millis(50));
+            first.publish();
+        });
+        assert_eq!(m.read_ts(), 2);
+        assert!(registry.counters().count(WaitEvent::CommitPublish) >= 1);
     }
 }

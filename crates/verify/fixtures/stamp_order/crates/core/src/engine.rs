@@ -1,0 +1,32 @@
+//! Golden fixture: MVCC stamp ordering (check 12).
+
+pub fn commit_txn(&self, txn: TxnId) {
+    let ticket = self.txns.start_commit(txn);
+    let lsn = self.wal.append(&WalRecord::Commit { txn, commit_ts });
+    self.wal.commit_barrier(lsn);
+    catalog.apply_version_commit(txn, commit_ts);
+    ticket.publish();
+}
+
+pub fn unreserved_stamp(&self, txn: TxnId) {
+    let lsn = self.wal.append(&WalRecord::Commit { txn, commit_ts });
+    self.wal.commit_barrier(lsn);
+    catalog.apply_version_commit(txn, commit_ts);
+}
+
+pub fn late_stamp(&self, txn: TxnId) {
+    let ticket = self.txns.start_commit(txn);
+    let lsn = self.wal.append(&WalRecord::Commit { txn, commit_ts });
+    self.wal.commit_barrier(lsn);
+    ticket.publish();
+    catalog.apply_version_commit(txn, commit_ts);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_stamp_late() {
+        ticket.publish();
+        catalog.apply_version_commit(txn, commit_ts);
+    }
+}

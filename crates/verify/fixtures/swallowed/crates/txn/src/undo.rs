@@ -1,0 +1,26 @@
+//! Golden fixture: swallowed Results (check 11).
+
+pub fn apply(&self, log: &UndoLog) {
+    let _ = log.flush();
+    log.advance().ok();
+}
+
+pub fn apply_counted(&self, log: &UndoLog) {
+    if log.flush().is_err() {
+        self.note_undo_failure();
+    }
+    let advanced = log.advance().ok();
+    drop(advanced);
+}
+
+pub fn wait_helper(&self, cv: &Condvar, slot: Slot) {
+    let _ = cv.wait_timeout(slot, dur);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_discard() {
+        let _ = log.flush();
+    }
+}

@@ -1,0 +1,33 @@
+//! Golden fixture: wait-coverage (check 10).
+
+pub fn pin_blocking(&self, key: PageKey) {
+    let mut slot = self.lru.lock();
+    while slot.pinned {
+        slot = self.cv.wait(slot);
+    }
+}
+
+pub fn pin_guarded(&self, key: PageKey) {
+    let _wait = WaitGuard::begin(self.waits.get(), WaitEvent::BufferPin);
+    let mut slot = self.lru.lock();
+    while slot.pinned {
+        slot = self.cv.wait(slot);
+    }
+}
+
+fn park_raw(&self, slot: Slot) {
+    self.cv.wait(slot);
+}
+
+pub fn outer(&self, slot: Slot) {
+    let _wait = WaitGuard::begin(self.waits.get(), WaitEvent::BufferPin);
+    self.park_raw(slot);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_block_bare() {
+        cv.wait(slot);
+    }
+}

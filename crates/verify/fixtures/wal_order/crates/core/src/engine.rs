@@ -1,0 +1,22 @@
+//! Golden fixture: WAL-before-stamp ordering (check 9).
+
+pub fn commit_txn(&self, txn: TxnId) {
+    let ticket = self.txns.start_commit(txn);
+    let lsn = self.wal.append(&WalRecord::Commit { txn, commit_ts });
+    self.wal.commit_barrier(lsn);
+    catalog.apply_version_commit(txn, commit_ts);
+}
+
+pub fn hasty_stamp(&self, txn: TxnId) {
+    let ticket = self.txns.start_commit(txn);
+    let lsn = self.wal.append(&WalRecord::Commit { txn, commit_ts });
+    catalog.apply_version_commit(txn, commit_ts);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_stamp_eagerly() {
+        catalog.apply_version_commit(txn, commit_ts);
+    }
+}

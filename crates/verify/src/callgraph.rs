@@ -1,0 +1,120 @@
+//! Workspace-wide function index with one-level interprocedural summaries.
+//!
+//! Every non-test function of every crate `src/` file is parsed and analyzed
+//! twice: a first intraprocedural pass computes, per function, the facts it
+//! provides on every normal exit; those summaries (keyed by same-crate
+//! callee name) are then fed back into a second pass, so a caller of an
+//! extracted helper (`self.barrier(txn)?`) sees the helper's guarantees at
+//! the call site. One level is deliberate: summaries are computed from the
+//! no-summary pass, so helper-of-helper chains do not propagate — deep
+//! enough for the engine's commit-path shape, shallow enough to stay cheap
+//! and predictable.
+//!
+//! Name resolution is heuristic (token `name(` within the same crate). Two
+//! same-crate functions sharing a name have their summaries intersected,
+//! which can only *weaken* what call sites assume — never invent a fact.
+
+use std::collections::HashMap;
+
+use crate::dataflow::{self, Facts, FnAnalysis};
+use crate::scan::SourceFile;
+use crate::syntax::{self, FnDef};
+
+/// One analyzed function.
+pub struct ProgramFn {
+    /// Index into the scanned file slice.
+    pub file: usize,
+    pub def: FnDef,
+    pub analysis: FnAnalysis,
+}
+
+/// All analyzed functions of the workspace.
+pub struct Program {
+    pub fns: Vec<ProgramFn>,
+    /// fn indices per (crate, name).
+    by_name: HashMap<(String, String), Vec<usize>>,
+}
+
+impl Program {
+    /// Parse and analyze every non-test function of every crate source file.
+    pub fn build(files: &[SourceFile]) -> Program {
+        let mut parsed: Vec<(usize, FnDef)> = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            if file.crate_name.is_none() || file.in_tests_dir {
+                continue;
+            }
+            for def in syntax::parse_file(&file.tokens) {
+                if !def.in_test {
+                    parsed.push((fi, def));
+                }
+            }
+        }
+
+        // Pass 1: intraprocedural, to harvest per-crate summaries.
+        let empty = HashMap::new();
+        let mut crate_summaries: HashMap<String, HashMap<String, Facts>> = HashMap::new();
+        for (fi, def) in &parsed {
+            let provides = dataflow::analyze(&files[*fi].tokens, def, &empty).provides;
+            if provides == 0 {
+                continue;
+            }
+            let krate = files[*fi].crate_name.clone().unwrap_or_default();
+            let by_fn = crate_summaries.entry(krate).or_default();
+            by_fn
+                .entry(def.name.clone())
+                .and_modify(|f| *f &= provides)
+                .or_insert(provides);
+        }
+
+        // Pass 2: with summaries.
+        let mut fns = Vec::new();
+        let mut by_name: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        for (fi, def) in parsed {
+            let krate = files[fi].crate_name.clone().unwrap_or_default();
+            let summaries = crate_summaries.get(&krate).unwrap_or(&empty);
+            let analysis = dataflow::analyze(&files[fi].tokens, &def, summaries);
+            by_name
+                .entry((krate, def.name.clone()))
+                .or_default()
+                .push(fns.len());
+            fns.push(ProgramFn {
+                file: fi,
+                def,
+                analysis,
+            });
+        }
+        Program { fns, by_name }
+    }
+
+    /// Call sites of `(crate, name)`: `(caller fn index, CFG node)` pairs for
+    /// every span invoking the function within the same crate.
+    pub fn callsites(&self, files: &[SourceFile], krate: &str, name: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (idx, pf) in self.fns.iter().enumerate() {
+            if files[pf.file].crate_name.as_deref() != Some(krate) || pf.def.name == name {
+                continue;
+            }
+            let tokens = &files[pf.file].tokens;
+            for (node, lo, hi) in pf.analysis.spans() {
+                let called = (lo..hi.min(tokens.len())).any(|i| {
+                    tokens[i].text == name
+                        && dataflow::tseq(tokens, i + 1, &["("])
+                        && !(i > 0 && tokens[i - 1].text == "fn")
+                });
+                if called {
+                    out.push((idx, node));
+                }
+            }
+        }
+        // Only meaningful when the name is defined once in the crate;
+        // ambiguous names return no call sites (callers cannot vouch).
+        let defs = self
+            .by_name
+            .get(&(krate.to_owned(), name.to_owned()))
+            .map_or(0, |v| v.len());
+        if defs > 1 {
+            return Vec::new();
+        }
+        out
+    }
+}

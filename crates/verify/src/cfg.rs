@@ -1,0 +1,406 @@
+//! Per-function control-flow graphs over the [`crate::syntax`] tree.
+//!
+//! Nodes are statement/condition token spans plus synthetic entry, exit and
+//! scope-end nodes. Scope-end nodes mark where a block's RAII bindings drop,
+//! so the dataflow pass can kill guard-like facts at the right place. Edges
+//! out of a condition node record which branch they take, letting the
+//! dataflow pass derive facts from the condition itself (e.g. the false
+//! branch of `if !self.wal.is_replaying()` is the replay path).
+
+use crate::syntax::{Block, FnDef, Stmt};
+
+/// One CFG edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    pub to: usize,
+    /// `Some(true)` / `Some(false)`: the true/false branch out of a
+    /// condition node. `None`: unconditional.
+    pub branch: Option<bool>,
+    /// Synthetic error edge from a `?` operator: excluded when computing
+    /// what a callee provides on *normal* exit.
+    pub is_err: bool,
+}
+
+/// CFG node payload.
+#[derive(Debug, Clone, Copy)]
+pub enum NodeKind {
+    Entry,
+    Exit,
+    /// A statement or condition token span `[lo, hi)`, with the lexical
+    /// block it belongs to (for RAII binding resolution).
+    Span {
+        lo: usize,
+        hi: usize,
+        block: usize,
+    },
+    /// End of lexical block `block`: `let`-bound guards declared in it drop.
+    ScopeEnd {
+        block: usize,
+    },
+}
+
+pub struct Node {
+    pub kind: NodeKind,
+    pub succs: Vec<Edge>,
+    pub preds: Vec<usize>,
+}
+
+/// A function CFG. Node 0 is the entry, node 1 the exit.
+pub struct Cfg {
+    pub nodes: Vec<Node>,
+    /// Parent lexical block of each block id (`None` for the body block).
+    pub block_parent: Vec<Option<usize>>,
+}
+
+pub const ENTRY: usize = 0;
+pub const EXIT: usize = 1;
+
+/// A dangling out-edge waiting to be wired to the next node.
+#[derive(Clone, Copy)]
+struct Pending {
+    from: usize,
+    branch: Option<bool>,
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    block_parent: Vec<Option<usize>>,
+    /// (continue target, pending break edges) per active loop.
+    loops: Vec<(usize, Vec<Pending>)>,
+}
+
+impl Builder {
+    fn node(&mut self, kind: NodeKind) -> usize {
+        self.nodes.push(Node {
+            kind,
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize, branch: Option<bool>, is_err: bool) {
+        self.nodes[from].succs.push(Edge { to, branch, is_err });
+    }
+
+    fn connect(&mut self, frontier: &[Pending], to: usize) {
+        for p in frontier {
+            self.edge(p.from, to, p.branch, false);
+        }
+    }
+
+    fn lower_block(
+        &mut self,
+        block: &Block,
+        frontier: Vec<Pending>,
+        parent: Option<usize>,
+    ) -> Vec<Pending> {
+        let bid = self.block_parent.len();
+        self.block_parent.push(parent);
+        let mut frontier = frontier;
+        for stmt in &block.stmts {
+            frontier = self.lower_stmt(stmt, frontier, bid);
+        }
+        let end = self.node(NodeKind::ScopeEnd { block: bid });
+        self.connect(&frontier, end);
+        vec![Pending {
+            from: end,
+            branch: None,
+        }]
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, frontier: Vec<Pending>, bid: usize) -> Vec<Pending> {
+        match stmt {
+            Stmt::Simple {
+                lo,
+                hi,
+                has_question,
+                has_return,
+                ..
+            } => {
+                let n = self.node(NodeKind::Span {
+                    lo: *lo,
+                    hi: *hi,
+                    block: bid,
+                });
+                self.connect(&frontier, n);
+                if *has_question {
+                    self.edge(n, EXIT, None, true);
+                }
+                if *has_return {
+                    self.edge(n, EXIT, None, false);
+                }
+                vec![Pending {
+                    from: n,
+                    branch: None,
+                }]
+            }
+            Stmt::LetElse {
+                lo,
+                hi,
+                has_question,
+                else_b,
+            } => {
+                let n = self.node(NodeKind::Span {
+                    lo: *lo,
+                    hi: *hi,
+                    block: bid,
+                });
+                self.connect(&frontier, n);
+                if *has_question {
+                    self.edge(n, EXIT, None, true);
+                }
+                // The else block diverges; anything that still falls out of
+                // it (malformed input) is wired to the exit, never back to
+                // the main path.
+                let else_f = self.lower_block(
+                    else_b,
+                    vec![Pending {
+                        from: n,
+                        branch: None,
+                    }],
+                    Some(bid),
+                );
+                self.connect(&else_f, EXIT);
+                vec![Pending {
+                    from: n,
+                    branch: None,
+                }]
+            }
+            Stmt::Return { lo, hi } => {
+                let n = self.node(NodeKind::Span {
+                    lo: *lo,
+                    hi: *hi,
+                    block: bid,
+                });
+                self.connect(&frontier, n);
+                self.edge(n, EXIT, None, false);
+                Vec::new()
+            }
+            Stmt::Break { lo, hi } => {
+                let n = self.node(NodeKind::Span {
+                    lo: *lo,
+                    hi: *hi,
+                    block: bid,
+                });
+                self.connect(&frontier, n);
+                if let Some((_, breaks)) = self.loops.last_mut() {
+                    breaks.push(Pending {
+                        from: n,
+                        branch: None,
+                    });
+                } else {
+                    self.edge(n, EXIT, None, false);
+                }
+                Vec::new()
+            }
+            Stmt::Continue { lo, hi } => {
+                let n = self.node(NodeKind::Span {
+                    lo: *lo,
+                    hi: *hi,
+                    block: bid,
+                });
+                self.connect(&frontier, n);
+                if let Some(&(head, _)) = self.loops.last() {
+                    self.edge(n, head, None, false);
+                } else {
+                    self.edge(n, EXIT, None, false);
+                }
+                Vec::new()
+            }
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let c = self.node(NodeKind::Span {
+                    lo: cond.0,
+                    hi: cond.1,
+                    block: bid,
+                });
+                self.connect(&frontier, c);
+                let mut out = self.lower_block(
+                    then_b,
+                    vec![Pending {
+                        from: c,
+                        branch: Some(true),
+                    }],
+                    Some(bid),
+                );
+                match else_b {
+                    Some(e) => out.extend(self.lower_block(
+                        e,
+                        vec![Pending {
+                            from: c,
+                            branch: Some(false),
+                        }],
+                        Some(bid),
+                    )),
+                    None => out.push(Pending {
+                        from: c,
+                        branch: Some(false),
+                    }),
+                }
+                out
+            }
+            Stmt::Loop {
+                head,
+                body,
+                conditional,
+            } => {
+                let h = self.node(NodeKind::Span {
+                    lo: head.0,
+                    hi: head.1,
+                    block: bid,
+                });
+                self.connect(&frontier, h);
+                self.loops.push((h, Vec::new()));
+                let body_f = self.lower_block(
+                    body,
+                    vec![Pending {
+                        from: h,
+                        branch: if *conditional { Some(true) } else { None },
+                    }],
+                    Some(bid),
+                );
+                self.connect(&body_f, h); // back edge
+                let (_, breaks) = self.loops.pop().expect("loop stack");
+                let mut out = breaks;
+                if *conditional {
+                    out.push(Pending {
+                        from: h,
+                        branch: Some(false),
+                    });
+                }
+                out
+            }
+            Stmt::Match { head, arms } => {
+                let h = self.node(NodeKind::Span {
+                    lo: head.0,
+                    hi: head.1,
+                    block: bid,
+                });
+                self.connect(&frontier, h);
+                if arms.is_empty() {
+                    return vec![Pending {
+                        from: h,
+                        branch: None,
+                    }];
+                }
+                let mut out = Vec::new();
+                for arm in arms {
+                    out.extend(self.lower_block(
+                        arm,
+                        vec![Pending {
+                            from: h,
+                            branch: None,
+                        }],
+                        Some(bid),
+                    ));
+                }
+                out
+            }
+            Stmt::Sub { body } => self.lower_block(body, frontier, Some(bid)),
+        }
+    }
+}
+
+/// Build the CFG for one function.
+pub fn build(f: &FnDef) -> Cfg {
+    let mut b = Builder {
+        nodes: Vec::new(),
+        block_parent: Vec::new(),
+        loops: Vec::new(),
+    };
+    let entry = b.node(NodeKind::Entry);
+    debug_assert_eq!(entry, ENTRY);
+    let exit = b.node(NodeKind::Exit);
+    debug_assert_eq!(exit, EXIT);
+    let out = b.lower_block(
+        &f.body,
+        vec![Pending {
+            from: entry,
+            branch: None,
+        }],
+        None,
+    );
+    b.connect(&out, exit);
+    let mut cfg = Cfg {
+        nodes: b.nodes,
+        block_parent: b.block_parent,
+    };
+    for i in 0..cfg.nodes.len() {
+        for e in cfg.nodes[i].succs.clone() {
+            cfg.nodes[e.to].preds.push(i);
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{clean, tokenize};
+    use crate::syntax::parse_file;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let tokens = tokenize(&clean(src).text);
+        let fns = parse_file(&tokens);
+        build(&fns[0])
+    }
+
+    #[test]
+    fn straight_line_chains_to_exit() {
+        let c = cfg_of("fn a() { f(); g(); }");
+        // entry -> f -> g -> scope-end -> exit
+        assert!(c.nodes[EXIT].preds.len() == 1);
+        assert!(matches!(
+            c.nodes[c.nodes[EXIT].preds[0]].kind,
+            NodeKind::ScopeEnd { .. }
+        ));
+    }
+
+    #[test]
+    fn question_mark_adds_error_edge_to_exit() {
+        let c = cfg_of("fn a() { f()?; g(); }");
+        let err_edges: usize = c
+            .nodes
+            .iter()
+            .flat_map(|n| &n.succs)
+            .filter(|e| e.is_err)
+            .count();
+        assert_eq!(err_edges, 1);
+    }
+
+    #[test]
+    fn if_branches_rejoin() {
+        let c = cfg_of("fn a() { if x { f(); } g(); }");
+        // The condition node has a true and a false successor.
+        let cond = c
+            .nodes
+            .iter()
+            .find(|n| n.succs.iter().any(|e| e.branch == Some(true)))
+            .expect("cond node");
+        assert!(cond.succs.iter().any(|e| e.branch == Some(false)));
+    }
+
+    #[test]
+    fn bare_loop_exits_only_via_break() {
+        let c = cfg_of("fn a() { loop { if done { break; } } after(); }");
+        // `after()` must be reachable (the break edge feeds it).
+        let reachable = {
+            let mut seen = vec![false; c.nodes.len()];
+            let mut stack = vec![ENTRY];
+            while let Some(n) = stack.pop() {
+                if std::mem::replace(&mut seen[n], true) {
+                    continue;
+                }
+                for e in &c.nodes[n].succs {
+                    stack.push(e.to);
+                }
+            }
+            seen
+        };
+        assert!(reachable[EXIT]);
+    }
+}

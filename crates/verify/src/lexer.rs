@@ -288,7 +288,11 @@ pub fn tokenize(cleaned: &str) -> Vec<Token> {
             if raw.get(a).map(|t| t.0.as_str()) == Some("[") {
                 let mut depth = 0usize;
                 let mut has_test = false;
-                let mut has_not = false;
+                // A `test` token counts only outside `not(…)` groups, so
+                // `#[cfg(not(test))]` stays live while
+                // `#[cfg(all(test, not(loom)))]` is a test region.
+                let mut paren_depth = 0usize;
+                let mut not_depths: Vec<usize> = Vec::new();
                 let end = {
                     let mut e = a;
                     while e < raw.len() {
@@ -300,15 +304,24 @@ pub fn tokenize(cleaned: &str) -> Vec<Token> {
                                     break;
                                 }
                             }
-                            "test" => has_test = true,
-                            "not" => has_not = true,
+                            "(" => paren_depth += 1,
+                            ")" => {
+                                if not_depths.last() == Some(&paren_depth) {
+                                    not_depths.pop();
+                                }
+                                paren_depth = paren_depth.saturating_sub(1);
+                            }
+                            "not" if raw.get(e + 1).map(|t| t.0.as_str()) == Some("(") => {
+                                not_depths.push(paren_depth + 1);
+                            }
+                            "test" if not_depths.is_empty() => has_test = true,
                             _ => {}
                         }
                         e += 1;
                     }
                     e
                 };
-                if has_test && !has_not {
+                if has_test {
                     pending_test = true;
                 }
                 // Attribute tokens themselves carry the enclosing scope.
@@ -425,5 +438,13 @@ mod tests {
         let toks = tokenize(&clean(src).text);
         let z = toks.iter().find(|t| t.text == "z").unwrap();
         assert!(!z.in_test);
+    }
+
+    #[test]
+    fn cfg_all_test_not_loom_is_a_test_region() {
+        let src = "#[cfg(all(test, not(loom)))]\nmod tests { fn t() { y.unwrap(); } }";
+        let toks = tokenize(&clean(src).text);
+        let y = toks.iter().find(|t| t.text == "y").unwrap();
+        assert!(y.in_test);
     }
 }

@@ -7,10 +7,11 @@
 //! applies to workloads:
 //!
 //! 1. **lock-order** — `catalog.write()` (the DDL guard) only from
-//!    allowlisted DDL handlers; no table-lock acquisition while a write
-//!    guard is lexically live.
+//!    allowlisted DDL handlers; no table-lock acquisition on any CFG path
+//!    where a write guard may still be live.
 //! 2. **panic** — `.unwrap()` / `.expect()` / direct indexing budgeted in
-//!    hot-path modules via a checked-in ratchet allowlist.
+//!    hot-path modules via a checked-in ratchet allowlist; indexing sites
+//!    dominated by their own bounds check are discharged by the prover.
 //! 3. **clock** — raw `Instant::now` / `SystemTime::now` only in
 //!    trace/daemon/bench, so `monitor_ns` keeps meaning what Fig 5 says.
 //! 4. **ima** — every registered `ima$…` virtual table is documented and
@@ -19,8 +20,9 @@
 //!    never return `Result<_, String>`; errors cross the API boundary as
 //!    `ingot_common::Error` so callers can match on kinds.
 //! 6. **wal-ack** — `txns.commit(…)` (the commit acknowledgement) only in
-//!    the engine commit path, and only after the WAL durability barrier, so
-//!    no path reports success for a commit that cannot survive a crash.
+//!    the engine commit path, and only when the WAL durability barrier
+//!    dominates it on every CFG path, so no path reports success for a
+//!    commit that cannot survive a crash.
 //! 7. **waits** — every `WaitEvent` taxonomy variant is documented in
 //!    DESIGN.md and referenced by a test, and wait guards are constructed
 //!    only inside the instrumented modules (lock queue, WAL, buffer pool,
@@ -28,21 +30,57 @@
 //! 8. **mvcc-locks** — table-exclusive locks only from the DDL allowlist
 //!    (row-level MVCC: DML takes the shared fence plus row locks, queries
 //!    take none), and the engine commit path never acknowledges a commit
-//!    without first-committer-wins validation (`validate_write_set`).
+//!    unless first-committer-wins validation (`validate_write_set`)
+//!    dominates the acknowledgement.
+//! 9. **wal-order** — version stamping (`apply_version_commit`) is
+//!    dominated by the WAL durability barrier: no path may expose committed
+//!    versions whose Commit record could still be lost.
+//! 10. **wait-coverage** — known blocking calls in the instrumented modules
+//!     are dominated by a live `WaitGuard`, directly or at every call site
+//!     of the enclosing helper, so no wait time escapes the ASH pipeline.
+//! 11. **swallowed-results** — `let _ = …` and trailing `.ok();` may not
+//!     discard a `Result` in storage/txn/core::engine outside the reviewed
+//!     policy allowlist.
+//! 12. **mvcc-stamp-order** — stamping never precedes the commit-ticket
+//!     reservation and never follows publish/watermark release on any path.
+//!
+//! Checks 1, 6 and 8 run on a per-function control-flow graph with a
+//! forward dataflow pass (see [`syntax`], [`cfg`], [`dataflow`],
+//! [`callgraph`], [`flow`]); `--lexical` selects the original
+//! token-proximity implementations as a fallback. Checks 9–12 exist only in
+//! the flow engine.
 //!
 //! `syn` is deliberately not used: the checks operate on a comment- and
 //! literal-stripped token stream (see [`lexer`]), which keeps the tool
 //! dependency-free and buildable offline.
 
 pub mod allowlist;
+pub mod callgraph;
+pub mod cfg;
 pub mod checks;
+pub mod dataflow;
+pub mod flow;
 pub mod lexer;
 pub mod policy;
 pub mod scan;
+pub mod syntax;
 
 use std::path::Path;
 
 pub use checks::Violation;
+
+/// Which engine runs the flow-portable checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mode {
+    /// CFG + dataflow engine: checks 1/6/8 flow-sensitively, plus 9–12 and
+    /// the guarded-index prover for the panic ratchet.
+    #[default]
+    Flow,
+    /// Original token-proximity implementations of checks 1/6/8 only; no
+    /// flow-only checks, no prover. Kept as a fallback and as the baseline
+    /// for the differential fixture tests.
+    Lexical,
+}
 
 /// Aggregate result of a verification run.
 pub struct Report {
@@ -63,17 +101,28 @@ impl Report {
 
 /// Run every check over the workspace at `root`. The panic-freedom check is
 /// filtered through the allowlist at `allowlist_path` when given.
-pub fn run(root: &Path, allowlist_path: Option<&Path>) -> std::io::Result<Report> {
+pub fn run(root: &Path, allowlist_path: Option<&Path>, mode: Mode) -> std::io::Result<Report> {
     let files = scan::scan_workspace(root)?;
-    let mut violations = checks::check_lock_order(&files);
-    violations.extend(checks::check_clock_hygiene(&files));
+
+    // Checks with no flow component run identically in both modes.
+    let mut violations = checks::check_clock_hygiene(&files);
     violations.extend(checks::check_ima_completeness(root, &files));
     violations.extend(checks::check_error_discipline(&files));
-    violations.extend(checks::check_wal_ack(&files));
     violations.extend(checks::check_wait_events(root, &files));
-    violations.extend(checks::check_mvcc_locks(&files));
 
-    let panic_violations = checks::check_panic_freedom(&files);
+    let panic_violations = match mode {
+        Mode::Flow => {
+            violations.extend(flow::run_flow_checks(&files));
+            let proven = flow::guarded_index_filter(&files);
+            checks::check_panic_freedom_filtered(&files, &proven)
+        }
+        Mode::Lexical => {
+            violations.extend(checks::check_lock_order(&files));
+            violations.extend(checks::check_wal_ack(&files));
+            violations.extend(checks::check_mvcc_locks(&files));
+            checks::check_panic_freedom(&files)
+        }
+    };
     let (fresh, allowlisted, stale) = match allowlist_path {
         Some(p) if p.is_file() => {
             let allow = allowlist::load(p)?;
@@ -90,8 +139,15 @@ pub fn run(root: &Path, allowlist_path: Option<&Path>) -> std::io::Result<Report
     })
 }
 
-/// Raw panic-freedom scan (no allowlist) — used by `--bless`.
-pub fn panic_scan(root: &Path) -> std::io::Result<Vec<Violation>> {
+/// Raw panic-freedom scan (no allowlist) — used by `--bless`. Runs the
+/// guarded-index prover in flow mode so blessed ordinals match [`run`].
+pub fn panic_scan(root: &Path, mode: Mode) -> std::io::Result<Vec<Violation>> {
     let files = scan::scan_workspace(root)?;
-    Ok(checks::check_panic_freedom(&files))
+    Ok(match mode {
+        Mode::Flow => {
+            let proven = flow::guarded_index_filter(&files);
+            checks::check_panic_freedom_filtered(&files, &proven)
+        }
+        Mode::Lexical => checks::check_panic_freedom(&files),
+    })
 }

@@ -1,5 +1,5 @@
 #![forbid(unsafe_code)]
-//! CLI: `cargo run -p ingot-verify [-- --root PATH] [--bless]`.
+//! CLI: `cargo run -p ingot-verify [-- --root PATH] [--bless] [--lexical] [--github]`.
 //!
 //! Exit status 0 when the workspace satisfies every invariant (modulo the
 //! checked-in allowlist), 1 otherwise, 2 on usage/IO errors.
@@ -7,22 +7,32 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ingot_verify::Mode;
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut bless = false;
+    let mut github = false;
+    let mut mode = Mode::Flow;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--bless" => bless = true,
+            "--lexical" => mode = Mode::Lexical,
+            "--github" => github = true,
             "--help" | "-h" => {
                 eprintln!(
                     "ingot-verify: Ingot invariant checks\n\
                      \n\
-                     USAGE: cargo run -p ingot-verify [-- --root PATH] [--bless]\n\
+                     USAGE: cargo run -p ingot-verify [-- --root PATH] [--bless] [--lexical] \
+                     [--github]\n\
                      \n\
                      --root PATH   workspace root (default: nearest ancestor with crates/)\n\
-                     --bless       rewrite crates/verify/allowlist.txt from the current scan"
+                     --bless       rewrite crates/verify/allowlist.txt from the current scan\n\
+                     --lexical     run the token-proximity fallback engine (checks 1/6/8 \
+                     only; no flow checks 9-12, no guarded-index prover)\n\
+                     --github      emit violations as GitHub workflow annotations"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -47,7 +57,7 @@ fn main() -> ExitCode {
     let allowlist_path = root.join("crates/verify/allowlist.txt");
 
     if bless {
-        let scan = match ingot_verify::panic_scan(&root) {
+        let scan = match ingot_verify::panic_scan(&root, mode) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("ingot-verify: scan failed: {e}");
@@ -70,7 +80,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let report = match ingot_verify::run(&root, Some(&allowlist_path)) {
+    let report = match ingot_verify::run(&root, Some(&allowlist_path), mode) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ingot-verify: scan failed: {e}");
@@ -79,7 +89,20 @@ fn main() -> ExitCode {
     };
 
     for v in &report.violations {
-        println!("{v}");
+        if github {
+            // GitHub workflow-command annotation: shows inline on the PR
+            // diff. The message must stay single-line.
+            println!(
+                "::error file={},line={}::[{}/{}] {}",
+                v.file,
+                v.line,
+                v.check,
+                v.category,
+                v.message.replace('\n', " ")
+            );
+        } else {
+            println!("{v}");
+        }
     }
     for s in &report.stale {
         println!(

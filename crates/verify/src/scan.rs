@@ -27,6 +27,26 @@ impl SourceFile {
     pub fn line_in_test(&self, line: usize) -> bool {
         self.in_tests_dir || self.test_lines.binary_search(&line).is_ok()
     }
+
+    /// Build an in-memory file for unit tests (no filesystem involved).
+    pub fn for_tests(rel_path: &str, crate_name: &str, src: &str) -> SourceFile {
+        let cleaned = lexer::clean(src);
+        let tokens = lexer::tokenize(&cleaned.text);
+        let mut test_lines: Vec<usize> = tokens
+            .iter()
+            .filter(|t| t.in_test)
+            .map(|t| t.line)
+            .collect();
+        test_lines.dedup();
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            crate_name: Some(crate_name.to_owned()),
+            in_tests_dir: false,
+            tokens,
+            strings: cleaned.strings,
+            test_lines,
+        }
+    }
 }
 
 /// Read and lex every Rust file of the workspace rooted at `root`.

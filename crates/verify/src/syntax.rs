@@ -1,0 +1,686 @@
+//! A lightweight syntax layer over the [`crate::lexer`] token stream.
+//!
+//! `ingot-verify` stays std-only (no `syn`), so this module recovers just
+//! enough structure for flow-sensitive checks: `fn` items, statements,
+//! `if`/`else` branches, loops, `match` arms, `let … else` divergence and
+//! `?`/`return` early exits. Everything it cannot classify (closures,
+//! `let x = if …`, macro bodies) is swallowed into a `Simple` statement,
+//! which keeps the tree an *over*-approximation: facts generated inside a
+//! swallowed expression apply to the whole statement, never to a narrower
+//! scope than the real program.
+//!
+//! Statement spans are `[lo, hi)` index ranges into the file's token vector,
+//! so checks can pattern-match tokens and recover exact line numbers.
+
+use crate::lexer::Token;
+
+/// One parsed function body.
+pub struct FnDef {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Body is test-gated (`#[test]` / `#[cfg(test)]`).
+    pub in_test: bool,
+    /// The body block.
+    pub body: Block,
+}
+
+/// A `{ … }` block: a statement sequence.
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement. Token spans are `[lo, hi)` into the file token stream.
+pub enum Stmt {
+    /// Anything without recovered control flow: `let`, expression
+    /// statements, macro calls, trailing expressions.
+    Simple {
+        lo: usize,
+        hi: usize,
+        /// Contains a `?` operator: adds an error-exit edge.
+        has_question: bool,
+        /// Contains a `return` token (e.g. inside a swallowed closure or
+        /// `let … else`-free diverging sub-expression): adds an exit edge
+        /// while keeping the fall-through.
+        has_return: bool,
+        /// Terminated by `;` (a trailing expression is a return value).
+        terminated: bool,
+    },
+    /// `let PAT = expr else { … };` — the else block diverges and its
+    /// effects must not leak onto the fall-through path.
+    LetElse {
+        lo: usize,
+        /// End of the `let PAT = expr` part (start of `else`).
+        hi: usize,
+        has_question: bool,
+        else_b: Block,
+    },
+    /// `return …;` — exits the function.
+    Return { lo: usize, hi: usize },
+    /// `break …;` — exits the innermost loop.
+    Break { lo: usize, hi: usize },
+    /// `continue …;` — jumps to the innermost loop head.
+    Continue { lo: usize, hi: usize },
+    /// `if cond { … } [else if … ] [else { … }]`.
+    If {
+        /// Condition token span.
+        cond: (usize, usize),
+        then_b: Block,
+        else_b: Option<Block>,
+    },
+    /// `while cond { … }` / `for pat in iter { … }` / `loop { … }`.
+    Loop {
+        /// Condition / iterator head span (empty for bare `loop`).
+        head: (usize, usize),
+        body: Block,
+        /// `false` for bare `loop`: the only way past it is `break`.
+        conditional: bool,
+    },
+    /// `match scrutinee { arms… }`. Each arm block starts with a `Simple`
+    /// statement covering its pattern (and guard) tokens.
+    Match {
+        head: (usize, usize),
+        arms: Vec<Block>,
+    },
+    /// A bare `{ … }` (or `unsafe { … }`) block.
+    Sub { body: Block },
+}
+
+/// Parse every function body in a file's token stream (nested functions are
+/// returned as their own `FnDef`, not as statements of the enclosing body).
+pub fn parse_file(tokens: &[Token]) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "fn" && tokens.get(i + 1).is_some_and(|t| is_ident(&t.text)) {
+            i = parse_fn(tokens, i, &mut fns);
+        } else {
+            i += 1;
+        }
+    }
+    fns
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+}
+
+/// Parse `fn name …` starting at the `fn` token; returns the index after the
+/// item (past the body `}` or the declaration `;`).
+fn parse_fn(tokens: &[Token], at: usize, fns: &mut Vec<FnDef>) -> usize {
+    let name = tokens[at + 1].text.clone();
+    let line = tokens[at].line;
+    // Walk the signature to the body `{` (or a bodyless decl's `;`).
+    let mut j = at + 2;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            ";" if paren == 0 && bracket == 0 => return j + 1, // trait decl: no body
+            "{" if paren == 0 && bracket == 0 => {
+                let in_test = tokens
+                    .get(j + 1)
+                    .map(|t| t.in_test)
+                    .unwrap_or(tokens[at].in_test);
+                let (body, next) = parse_block(tokens, j, fns);
+                fns.push(FnDef {
+                    name,
+                    line,
+                    in_test,
+                    body,
+                });
+                return next;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parse a `{ … }` block starting at the `{`; returns (block, index past `}`).
+fn parse_block(tokens: &[Token], at: usize, fns: &mut Vec<FnDef>) -> (Block, usize) {
+    debug_assert_eq!(tokens[at].text, "{");
+    let mut stmts = Vec::new();
+    let mut k = at + 1;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "}" => return (Block { stmts }, k + 1),
+            ";" => k += 1,
+            "#" => k = skip_attribute(tokens, k),
+            "'" if tokens.get(k + 1).is_some_and(|t| is_ident(&t.text))
+                && tokens.get(k + 2).is_some_and(|t| t.text == ":") =>
+            {
+                k += 3; // loop label
+            }
+            "fn" if tokens.get(k + 1).is_some_and(|t| is_ident(&t.text)) => {
+                k = parse_fn(tokens, k, fns);
+            }
+            "if" => {
+                let (s, next) = parse_if(tokens, k, fns);
+                stmts.push(s);
+                k = next;
+            }
+            "while" | "for" => {
+                let head_lo = k + 1;
+                let body_at = find_body_brace(tokens, head_lo, tokens[k].text == "for");
+                let (body, next) = parse_block(tokens, body_at, fns);
+                stmts.push(Stmt::Loop {
+                    head: (head_lo, body_at),
+                    body,
+                    conditional: true,
+                });
+                k = next;
+            }
+            "loop" => {
+                let body_at = find_body_brace(tokens, k + 1, false);
+                let (body, next) = parse_block(tokens, body_at, fns);
+                stmts.push(Stmt::Loop {
+                    head: (k + 1, k + 1),
+                    body,
+                    conditional: false,
+                });
+                k = next;
+            }
+            "match" => {
+                let (s, next) = parse_match(tokens, k, fns);
+                stmts.push(s);
+                k = next;
+            }
+            "return" => {
+                let hi = scan_to_semi(tokens, k + 1);
+                stmts.push(Stmt::Return { lo: k, hi });
+                k = hi;
+            }
+            "break" => {
+                let hi = scan_to_semi(tokens, k + 1);
+                stmts.push(Stmt::Break { lo: k, hi });
+                k = hi;
+            }
+            "continue" => {
+                let hi = scan_to_semi(tokens, k + 1);
+                stmts.push(Stmt::Continue { lo: k, hi });
+                k = hi;
+            }
+            "unsafe" | "async" if tokens.get(k + 1).is_some_and(|t| t.text == "{") => {
+                let (body, next) = parse_block(tokens, k + 1, fns);
+                stmts.push(Stmt::Sub { body });
+                k = next;
+            }
+            "{" => {
+                let (body, next) = parse_block(tokens, k, fns);
+                stmts.push(Stmt::Sub { body });
+                k = next;
+            }
+            ")" | "]" => k += 1, // parse confusion: skip defensively
+            _ => {
+                let (s, next) = parse_simple(tokens, k, fns);
+                stmts.push(s);
+                k = next;
+            }
+        }
+    }
+    (Block { stmts }, k)
+}
+
+/// Skip an attribute `#[…]` / `#![…]`; returns the index past the `]`.
+fn skip_attribute(tokens: &[Token], at: usize) -> usize {
+    let mut a = at + 1;
+    if tokens.get(a).is_some_and(|t| t.text == "!") {
+        a += 1;
+    }
+    if tokens.get(a).is_none_or(|t| t.text != "[") {
+        return at + 1;
+    }
+    let mut depth = 0i32;
+    while a < tokens.len() {
+        match tokens[a].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return a + 1;
+                }
+            }
+            _ => {}
+        }
+        a += 1;
+    }
+    a
+}
+
+/// Find the body `{` of an `if`/`while`/`for`/`loop`/`match` head starting
+/// at `from`. Struct literals are forbidden in condition/scrutinee position,
+/// so the first depth-0 `{` is the body — except pattern braces in
+/// `if let Struct { .. } = …` (before the `=`) and `for Struct { .. } in …`
+/// (before the `in`), which are consumed as balanced groups.
+fn find_body_brace(tokens: &[Token], from: usize, is_for: bool) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = from;
+    let saw_let = tokens.get(from).is_some_and(|t| t.text == "let");
+    let mut in_pattern = saw_let || is_for;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "=" if paren == 0 && bracket == 0 && saw_let => in_pattern = false,
+            "in" if paren == 0 && bracket == 0 && is_for => in_pattern = false,
+            "{" if paren == 0 && bracket == 0 => {
+                if in_pattern {
+                    j = skip_braces(tokens, j);
+                    continue;
+                }
+                return j;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skip a balanced `{ … }` group; returns the index past the closing `}`.
+fn skip_braces(tokens: &[Token], at: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = at;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Scan from `from` to the terminating `;` at depth 0 (or stop before an
+/// enclosing `}`); returns the index of the terminator.
+fn scan_to_semi(tokens: &[Token], from: usize) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut j = from;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => {
+                if paren == 0 {
+                    return j;
+                }
+                paren -= 1;
+            }
+            "[" => bracket += 1,
+            "]" => {
+                if bracket == 0 {
+                    return j;
+                }
+                bracket -= 1;
+            }
+            "{" => brace += 1,
+            "}" => {
+                if brace == 0 {
+                    return j;
+                }
+                brace -= 1;
+            }
+            ";" if paren == 0 && bracket == 0 && brace == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+fn parse_if(tokens: &[Token], at: usize, fns: &mut Vec<FnDef>) -> (Stmt, usize) {
+    let cond_lo = at + 1;
+    let body_at = find_body_brace(tokens, cond_lo, false);
+    let (then_b, mut next) = parse_block(tokens, body_at, fns);
+    let mut else_b = None;
+    if tokens.get(next).is_some_and(|t| t.text == "else") {
+        match tokens.get(next + 1).map(|t| t.text.as_str()) {
+            Some("if") => {
+                let (nested, n2) = parse_if(tokens, next + 1, fns);
+                else_b = Some(Block {
+                    stmts: vec![nested],
+                });
+                next = n2;
+            }
+            Some("{") => {
+                let (b, n2) = parse_block(tokens, next + 1, fns);
+                else_b = Some(b);
+                next = n2;
+            }
+            _ => {}
+        }
+    }
+    (
+        Stmt::If {
+            cond: (cond_lo, body_at),
+            then_b,
+            else_b,
+        },
+        next,
+    )
+}
+
+fn parse_match(tokens: &[Token], at: usize, fns: &mut Vec<FnDef>) -> (Stmt, usize) {
+    let head_lo = at + 1;
+    let body_at = find_body_brace(tokens, head_lo, false);
+    let mut arms = Vec::new();
+    let mut k = body_at + 1;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "}" => {
+                return (
+                    Stmt::Match {
+                        head: (head_lo, body_at),
+                        arms,
+                    },
+                    k + 1,
+                );
+            }
+            "," | ";" => k += 1,
+            "#" => k = skip_attribute(tokens, k),
+            _ => {
+                let (arm, next) = parse_arm(tokens, k, fns);
+                arms.push(arm);
+                k = next;
+            }
+        }
+    }
+    (
+        Stmt::Match {
+            head: (head_lo, body_at),
+            arms,
+        },
+        k,
+    )
+}
+
+/// Parse one match arm (`pattern [if guard] => body`). The pattern/guard
+/// span becomes a leading `Simple` statement of the arm block so facts
+/// generated by guard expressions are not lost.
+fn parse_arm(tokens: &[Token], at: usize, fns: &mut Vec<FnDef>) -> (Block, usize) {
+    // Pattern + guard: scan to `=>` at depth 0.
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut j = at;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" => brace += 1,
+            "}" => {
+                if brace == 0 {
+                    break; // malformed arm: ran into the match close
+                }
+                brace -= 1;
+            }
+            "=" if paren == 0
+                && bracket == 0
+                && brace == 0
+                && tokens.get(j + 1).is_some_and(|t| t.text == ">") =>
+            {
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let pattern = Stmt::Simple {
+        lo: at,
+        hi: j,
+        has_question: false,
+        has_return: false,
+        terminated: true,
+    };
+    if tokens.get(j).is_none_or(|t| t.text != "=") {
+        // No arrow found: consume what we scanned as a degenerate arm.
+        return (
+            Block {
+                stmts: vec![pattern],
+            },
+            j,
+        );
+    }
+    let body_at = j + 2;
+    if tokens.get(body_at).is_some_and(|t| t.text == "{") {
+        let (mut body, next) = parse_block(tokens, body_at, fns);
+        body.stmts.insert(0, pattern);
+        return (body, next);
+    }
+    // Expression arm: scan to `,` at depth 0 or the match's closing `}`.
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut e = body_at;
+    let mut has_question = false;
+    let mut has_return = false;
+    while e < tokens.len() {
+        match tokens[e].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" => brace += 1,
+            "}" => {
+                if brace == 0 {
+                    break;
+                }
+                brace -= 1;
+            }
+            "," if paren == 0 && bracket == 0 && brace == 0 => break,
+            "?" => has_question = true,
+            "return" => has_return = true,
+            _ => {}
+        }
+        e += 1;
+    }
+    let body = Stmt::Simple {
+        lo: body_at,
+        hi: e,
+        has_question,
+        has_return,
+        terminated: true,
+    };
+    (
+        Block {
+            stmts: vec![pattern, body],
+        },
+        e,
+    )
+}
+
+/// Parse a statement with no recovered control flow, detecting
+/// `let … else { … };` so the diverging block does not leak onto the
+/// fall-through path.
+fn parse_simple(tokens: &[Token], at: usize, fns: &mut Vec<FnDef>) -> (Stmt, usize) {
+    let is_let = tokens[at].text == "let";
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut j = at;
+    let mut has_question = false;
+    let mut has_return = false;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => paren += 1,
+            ")" => {
+                if paren == 0 {
+                    return (simple(at, j, has_question, has_return, false), j);
+                }
+                paren -= 1;
+            }
+            "[" => bracket += 1,
+            "]" => {
+                if bracket == 0 {
+                    return (simple(at, j, has_question, has_return, false), j);
+                }
+                bracket -= 1;
+            }
+            "{" => brace += 1,
+            "}" => {
+                if brace == 0 {
+                    // Enclosing block close: this was a trailing expression.
+                    return (simple(at, j, has_question, has_return, false), j);
+                }
+                brace -= 1;
+            }
+            ";" if paren == 0 && bracket == 0 && brace == 0 => {
+                return (simple(at, j, has_question, has_return, true), j + 1);
+            }
+            // `let PAT = expr else {`: the RHS of let-else cannot end in `}`
+            // (Rust grammar), so an `else` not preceded by `}` is let-else.
+            "else"
+                if is_let
+                    && paren == 0
+                    && bracket == 0
+                    && brace == 0
+                    && j > at
+                    && tokens[j - 1].text != "}"
+                    && tokens.get(j + 1).is_some_and(|t| t.text == "{") =>
+            {
+                let (else_b, next) = parse_block(tokens, j + 1, fns);
+                let end = if tokens.get(next).is_some_and(|t| t.text == ";") {
+                    next + 1
+                } else {
+                    next
+                };
+                return (
+                    Stmt::LetElse {
+                        lo: at,
+                        hi: j,
+                        has_question,
+                        else_b,
+                    },
+                    end,
+                );
+            }
+            "?" => has_question = true,
+            "return" => has_return = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (simple(at, j, has_question, has_return, false), j)
+}
+
+fn simple(lo: usize, hi: usize, has_question: bool, has_return: bool, terminated: bool) -> Stmt {
+    Stmt::Simple {
+        lo,
+        hi,
+        has_question,
+        has_return,
+        terminated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{clean, tokenize};
+
+    fn parse(src: &str) -> Vec<FnDef> {
+        parse_file(&tokenize(&clean(src).text))
+    }
+
+    #[test]
+    fn recovers_functions_and_statements() {
+        let fns = parse("fn a() { let x = 1; if x > 0 { f(x); } else { g(); } }\nfn b() {}");
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[0].body.stmts.len(), 2);
+        assert!(matches!(fns[0].body.stmts[1], Stmt::If { .. }));
+        assert_eq!(fns[1].name, "b");
+    }
+
+    #[test]
+    fn let_else_splits_the_diverging_block() {
+        let fns = parse("fn a() { let Some(x) = opt else { cleanup(); return; }; use_it(x); }");
+        assert_eq!(fns[0].body.stmts.len(), 2);
+        match &fns[0].body.stmts[0] {
+            Stmt::LetElse { else_b, .. } => {
+                assert!(else_b
+                    .stmts
+                    .iter()
+                    .any(|s| matches!(s, Stmt::Return { .. })));
+            }
+            _ => panic!("expected let-else"),
+        }
+    }
+
+    #[test]
+    fn let_if_else_is_one_simple_statement() {
+        let fns = parse("fn a() { let x = if c { f() } else { g() }; h(x); }");
+        assert_eq!(fns[0].body.stmts.len(), 2);
+        assert!(matches!(fns[0].body.stmts[0], Stmt::Simple { .. }));
+    }
+
+    #[test]
+    fn match_arms_with_struct_patterns() {
+        let fns = parse(
+            "fn a(r: R) { match r { R::Commit { txn, .. } => stamp(txn), R::Abort { .. } => { \
+             undo(); } } }",
+        );
+        match &fns[0].body.stmts[0] {
+            Stmt::Match { arms, .. } => assert_eq!(arms.len(), 2),
+            _ => panic!("expected match"),
+        }
+    }
+
+    #[test]
+    fn loops_and_breaks() {
+        let fns = parse("fn a() { loop { if done() { break; } step()?; } tail(); }");
+        match &fns[0].body.stmts[0] {
+            Stmt::Loop {
+                conditional, body, ..
+            } => {
+                assert!(!conditional);
+                assert!(body.stmts.iter().any(|s| matches!(
+                    s,
+                    Stmt::Simple {
+                        has_question: true,
+                        ..
+                    }
+                )));
+            }
+            _ => panic!("expected loop"),
+        }
+    }
+
+    #[test]
+    fn nested_fns_are_separate_defs() {
+        let fns = parse("fn outer() { fn inner() { x(); } inner(); }");
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"inner") && names.contains(&"outer"));
+        // The outer body holds only the call, not inner's statements.
+        let outer = fns.iter().find(|f| f.name == "outer").unwrap();
+        assert_eq!(outer.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn if_let_struct_pattern_finds_the_body() {
+        let fns = parse("fn a() { if let P { x, .. } = p { f(x); } g(); }");
+        assert_eq!(fns[0].body.stmts.len(), 2);
+        assert!(matches!(fns[0].body.stmts[0], Stmt::If { .. }));
+    }
+}

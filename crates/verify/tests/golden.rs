@@ -1,7 +1,9 @@
 //! Golden tests: each fixture tree under `fixtures/` produces exactly the
-//! expected diagnostics, the CLI exits non-zero on every fixture, and the
+//! expected diagnostics, the CLI exits non-zero on every fixture, the flow
+//! engine reports a superset of the lexical fallback's findings, and the
 //! real workspace passes clean (modulo the checked-in allowlist).
 
+use ingot_verify::Mode;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -32,8 +34,13 @@ fn summarize(report: &ingot_verify::Report) -> Vec<(String, String, String, usiz
         .collect()
 }
 
+fn run_mode(name: &str, mode: Mode) -> ingot_verify::Report {
+    ingot_verify::run(&fixture(name), None, mode).expect("fixture scan")
+}
+
+/// Default engine (flow-sensitive CFG + dataflow).
 fn run(name: &str) -> ingot_verify::Report {
-    ingot_verify::run(&fixture(name), None).expect("fixture scan")
+    run_mode(name, Mode::Flow)
 }
 
 fn s(x: &str) -> String {
@@ -199,6 +206,12 @@ fn wal_ack_fixture_diagnostics() {
          #[cfg(test)] ack must not be flagged; the pre-barrier ack and both \
          sneaky acks must be"
     );
+    // The flow engine names the unprotected CFG path in its diagnostic.
+    assert!(
+        r.violations[0].message.contains("unprotected path"),
+        "{}",
+        r.violations[0].message
+    );
 }
 
 #[test]
@@ -265,6 +278,121 @@ fn waits_fixture_diagnostics() {
 }
 
 #[test]
+fn wal_order_fixture_diagnostics() {
+    let r = run("wal_order");
+    assert_eq!(
+        summarize(&r),
+        vec![(
+            s("wal-order"),
+            s("stamp-before-durable"),
+            s("crates/core/src/engine.rs"),
+            13,
+            s("hasty_stamp"),
+        )],
+        "the barrier-dominated stamp in `commit_txn` and the #[cfg(test)] \
+         stamp must not be flagged; the stamp that skips the barrier must be"
+    );
+    assert!(
+        r.violations[0].message.contains("unprotected path"),
+        "{}",
+        r.violations[0].message
+    );
+}
+
+#[test]
+fn wait_coverage_fixture_diagnostics() {
+    let r = run("wait_coverage");
+    assert_eq!(
+        summarize(&r),
+        vec![(
+            s("wait-coverage"),
+            s("unguarded-blocking"),
+            s("crates/storage/src/buffer.rs"),
+            6,
+            s("pin_blocking"),
+        )],
+        "the guarded wait, the helper whose every call site holds a guard, \
+         and the #[cfg(test)] wait must not be flagged; the bare wait must be"
+    );
+}
+
+#[test]
+fn swallowed_fixture_diagnostics() {
+    let r = run("swallowed");
+    assert_eq!(
+        summarize(&r),
+        vec![
+            (
+                s("swallowed-results"),
+                s("let-underscore"),
+                s("crates/txn/src/undo.rs"),
+                4,
+                s("apply"),
+            ),
+            (
+                s("swallowed-results"),
+                s("ok-discard"),
+                s("crates/txn/src/undo.rs"),
+                5,
+                s("apply"),
+            ),
+        ],
+        "the counted error, the bound `.ok()`, the exempt condvar-wait \
+         discard and the #[cfg(test)] discard must not be flagged"
+    );
+}
+
+#[test]
+fn stamp_order_fixture_diagnostics() {
+    let r = run("stamp_order");
+    assert_eq!(
+        summarize(&r),
+        vec![
+            (
+                s("mvcc-stamp-order"),
+                s("stamp-before-reserve"),
+                s("crates/core/src/engine.rs"),
+                14,
+                s("unreserved_stamp"),
+            ),
+            (
+                s("mvcc-stamp-order"),
+                s("stamp-after-release"),
+                s("crates/core/src/engine.rs"),
+                22,
+                s("late_stamp"),
+            ),
+        ],
+        "the reserve → barrier → stamp → publish shape in `commit_txn` and \
+         the #[cfg(test)] stamp must not be flagged; the unreserved stamp \
+         and the post-publish stamp must be"
+    );
+}
+
+/// The CFG engine must find everything the lexical fallback finds on the
+/// fixtures for the ported checks (1, 6, 7, 8) — flow-sensitivity may only
+/// *add* precision (fewer false positives on the real tree, extra checks),
+/// never lose a lexical finding.
+#[test]
+fn flow_findings_are_a_superset_of_lexical() {
+    for case in ["lock_order", "wal_ack", "mvcc_locks", "waits"] {
+        let flow: std::collections::BTreeSet<_> =
+            summarize(&run_mode(case, Mode::Flow)).into_iter().collect();
+        let lexical = summarize(&run_mode(case, Mode::Lexical));
+        assert!(
+            !lexical.is_empty(),
+            "fixture {case} must produce lexical findings"
+        );
+        for finding in lexical {
+            assert!(
+                flow.contains(&finding),
+                "fixture {case}: lexical finding {finding:?} missing from flow report"
+            );
+        }
+    }
+}
+
+#[test]
 fn display_format_is_stable() {
     let r = run("clock");
     let line = r.violations[0].to_string();
@@ -287,7 +415,7 @@ fn allowlist_grandfathers_and_ratchets() {
          unwrap\tcrates/storage/src/hot.rs\tgone_fn\t1\n",
     )
     .unwrap();
-    let r = ingot_verify::run(&fixture("panic"), Some(&allow)).expect("scan");
+    let r = ingot_verify::run(&fixture("panic"), Some(&allow), Mode::Flow).expect("scan");
     assert_eq!(r.allowlisted, 1);
     assert_eq!(r.violations.len(), 2);
     assert_eq!(
@@ -298,26 +426,85 @@ fn allowlist_grandfathers_and_ratchets() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Fixtures with findings in both engines.
+const SHARED_FIXTURES: &[&str] = &[
+    "lock_order",
+    "panic",
+    "clock",
+    "ima",
+    "error_type",
+    "wal_ack",
+    "mvcc_locks",
+    "waits",
+];
+
+/// Fixtures exercising the flow-only checks (9–12): the lexical fallback
+/// has no corresponding pass and must report them clean.
+const FLOW_ONLY_FIXTURES: &[&str] = &["wal_order", "wait_coverage", "swallowed", "stamp_order"];
+
 #[test]
 fn cli_exits_nonzero_on_every_fixture() {
     let bin = env!("CARGO_BIN_EXE_ingot-verify");
-    for case in [
-        "lock_order",
-        "panic",
-        "clock",
-        "ima",
-        "error_type",
-        "wal_ack",
-        "mvcc_locks",
-        "waits",
-    ] {
+    for case in SHARED_FIXTURES {
+        for extra in [None, Some("--lexical")] {
+            let mut cmd = Command::new(bin);
+            if let Some(flag) = extra {
+                cmd.arg(flag);
+            }
+            let out = cmd
+                .args(["--root"])
+                .arg(fixture(case))
+                .output()
+                .expect("spawn ingot-verify");
+            assert_eq!(
+                out.status.code(),
+                Some(1),
+                "fixture {case} must fail ({})",
+                extra.unwrap_or("flow")
+            );
+        }
+    }
+    for case in FLOW_ONLY_FIXTURES {
         let out = Command::new(bin)
             .args(["--root"])
             .arg(fixture(case))
             .output()
             .expect("spawn ingot-verify");
         assert_eq!(out.status.code(), Some(1), "fixture {case} must fail");
+        // The lexical fallback has no flow checks: these trees pass it.
+        let out = Command::new(bin)
+            .args(["--lexical", "--root"])
+            .arg(fixture(case))
+            .output()
+            .expect("spawn ingot-verify");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "fixture {case} must pass the lexical fallback"
+        );
     }
+}
+
+#[test]
+fn github_annotation_mode_is_parseable() {
+    let bin = env!("CARGO_BIN_EXE_ingot-verify");
+    let out = Command::new(bin)
+        .args(["--github", "--root"])
+        .arg(fixture("wal_order"))
+        .output()
+        .expect("spawn ingot-verify");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let ann: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("::error "))
+        .collect();
+    assert_eq!(ann.len(), 1, "{stdout}");
+    assert!(
+        ann[0].starts_with("::error file=crates/core/src/engine.rs,line=13::[wal-order/"),
+        "{}",
+        ann[0]
+    );
 }
 
 #[test]

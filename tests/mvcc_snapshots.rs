@@ -173,6 +173,9 @@ fn ima_transactions_is_queryable_under_load() {
         "every auto-commit update published a timestamp: {r:?}"
     );
     assert!(metric(&r.rows, "committed_total") as u64 >= committed);
+    // Undo failures are surfaced as their own counter (and none occurred:
+    // every abort here replayed its undo chain cleanly).
+    assert_eq!(metric(&r.rows, "undo_failures"), 0, "{r:?}");
 
     // An open snapshot appears as a per-transaction row...
     s.begin().unwrap();

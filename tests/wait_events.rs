@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use ingot::analyzer::Recommendation;
-use ingot::common::waits::WaitEvent;
+use ingot::common::waits::{WaitEvent, WAIT_EVENT_COUNT};
 use ingot::common::{MonotonicClock, StmtHash, WalFsyncMode};
 use ingot::core::AshSampler;
 use ingot::prelude::*;
@@ -109,7 +109,7 @@ fn contended_sessions_populate_wait_tables() {
     let r = seed
         .execute("select event, count, total_ns from ima$wait_events")
         .unwrap();
-    assert_eq!(r.rows.len(), 9, "one row per WaitEvent variant");
+    assert_eq!(r.rows.len(), WAIT_EVENT_COUNT, "one row per WaitEvent variant");
     let wal_row = r
         .rows
         .iter()
