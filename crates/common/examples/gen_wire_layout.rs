@@ -1,0 +1,21 @@
+//! Regenerate the frames section of `crates/common/wire_layout.txt`.
+//!
+//! Usage after a deliberate frame-layout change (with PROTOCOL_VERSION
+//! already bumped): run this, replace everything after the `---` line with
+//! the printed section, and append the printed `version N hash H` header
+//! line *below* the existing ones (the ledger is append-only history).
+//!
+//! ```text
+//! cargo run -p ingot-common --example gen_wire_layout
+//! ```
+
+use ingot_common::hash::fnv1a64;
+use ingot_common::wire::{layout_descriptor, PROTOCOL_VERSION};
+
+fn main() {
+    let section = layout_descriptor();
+    let hash = fnv1a64(section.as_bytes());
+    println!("version {PROTOCOL_VERSION} hash {hash:016x}");
+    println!("---");
+    print!("{section}");
+}

@@ -1,0 +1,131 @@
+//! The unified client surface: [`Connection`] / [`PreparedStatement`].
+//!
+//! Ingot runs either embedded (an in-process `Session` on an `Engine`) or
+//! client/server (a wire client talking to `ingot-server` over a socket).
+//! Both transports implement the same two traits, so shells, examples and
+//! bench harnesses are written once against `&dyn Connection` and run
+//! unmodified over either. The traits are deliberately dyn-compatible: no
+//! generics, no associated types, prepared handles come back boxed and
+//! borrow the connection they were prepared on.
+//!
+//! [`StatementResult`] lives here (not in `ingot-core`) because it is the
+//! vocabulary of the surface itself — the wire protocol serialises it
+//! losslessly, so a remote caller sees the same costs, wall-clock and wait
+//! attribution an embedded caller does.
+
+use crate::cost::Cost;
+use crate::error::Result;
+use crate::row::Row;
+use crate::value::Value;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatementResult {
+    /// Result rows (queries / EXPLAIN).
+    pub rows: Vec<Row>,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows affected (DML).
+    pub affected: u64,
+    /// The optimizer's estimated cost.
+    pub est_cost: Cost,
+    /// Actual cost: CPU = tuples processed, IO = physical page accesses.
+    pub actual_cost: Cost,
+    /// Wall-clock of the whole statement, nanoseconds.
+    pub wallclock_ns: u64,
+    /// Nanoseconds of `wallclock_ns` lost inside wait events (lock queues,
+    /// WAL barriers, buffer I/O, retry backoff). Zero when the wait
+    /// subsystem is off.
+    pub wait_ns: u64,
+}
+
+/// A reusable validated statement bound to the connection that prepared it.
+///
+/// Embedded, this is a thin wrapper over `ingot_core::Prepared` (template in
+/// the shared plan cache); remote, it is a server-side handle — the
+/// statement is parsed and cached in the server process and only parameter
+/// values cross the wire per execution.
+pub trait PreparedStatement {
+    /// Number of parameter markers the statement declares.
+    fn param_count(&self) -> usize;
+    /// Execute with `params` bound positionally (`$1` ↔ `params[0]`). The
+    /// value count must match [`param_count`](Self::param_count) exactly.
+    fn execute(&self, params: &[Value]) -> Result<StatementResult>;
+}
+
+/// One SQL endpoint: the verbs shared by the embedded session and the wire
+/// client (`prepare` / `execute` / `query` / `set`, plus explicit
+/// transaction control).
+pub trait Connection {
+    /// Execute one SQL statement (DDL, DML or query).
+    fn execute(&self, sql: &str) -> Result<StatementResult>;
+
+    /// Execute a statement expected to return rows. Embedded this is
+    /// identical to [`execute`](Self::execute); the wire client sends the
+    /// dedicated `query` verb so read-only intent is visible to the server.
+    fn query(&self, sql: &str) -> Result<StatementResult> {
+        self.execute(sql)
+    }
+
+    /// Validate `sql` once and return a reusable handle that executes it
+    /// with bound parameter values (`$1`… or `?` markers).
+    fn prepare(&self, sql: &str) -> Result<Box<dyn PreparedStatement + '_>>;
+
+    /// `SET name = value` as a first-class verb (runtime knobs: `trace`…).
+    fn set(&self, name: &str, value: &Value) -> Result<()>;
+
+    /// Open an explicit transaction (locks held until commit/rollback).
+    fn begin(&self) -> Result<()>;
+
+    /// Commit the open transaction. Returns only after the commit is
+    /// durable per the engine's WAL configuration — an acknowledged commit
+    /// survives a crash, embedded or remote.
+    fn commit(&self) -> Result<()>;
+
+    /// Roll back the open transaction.
+    fn rollback(&self) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The traits must stay dyn-compatible: the whole point of the redesign
+    /// is writing tools against `&dyn Connection`.
+    #[test]
+    fn traits_are_dyn_compatible() {
+        struct Null;
+        impl PreparedStatement for Null {
+            fn param_count(&self) -> usize {
+                0
+            }
+            fn execute(&self, _params: &[Value]) -> Result<StatementResult> {
+                Ok(StatementResult::default())
+            }
+        }
+        impl Connection for Null {
+            fn execute(&self, _sql: &str) -> Result<StatementResult> {
+                Ok(StatementResult::default())
+            }
+            fn prepare(&self, _sql: &str) -> Result<Box<dyn PreparedStatement + '_>> {
+                Ok(Box::new(Null))
+            }
+            fn set(&self, _name: &str, _value: &Value) -> Result<()> {
+                Ok(())
+            }
+            fn begin(&self) -> Result<()> {
+                Ok(())
+            }
+            fn commit(&self) -> Result<()> {
+                Ok(())
+            }
+            fn rollback(&self) -> Result<()> {
+                Ok(())
+            }
+        }
+        let conn: &dyn Connection = &Null;
+        assert!(conn.query("select 1").unwrap().rows.is_empty());
+        let stmt = conn.prepare("select 1").unwrap();
+        assert_eq!(stmt.param_count(), 0);
+    }
+}

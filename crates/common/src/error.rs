@@ -56,6 +56,9 @@ pub enum Error {
     },
     /// Feature parsed but not supported by this engine build.
     Unsupported(String),
+    /// Wire-protocol violation (malformed frame, version mismatch, unknown
+    /// opcode, handshake out of order). Always fatal for the connection.
+    Protocol(String),
 }
 
 impl Error {
@@ -119,6 +122,10 @@ impl Error {
     pub fn unsupported(msg: impl Into<String>) -> Self {
         Error::Unsupported(msg.into())
     }
+    /// Shorthand constructor for [`Error::Protocol`].
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        Error::Protocol(msg.into())
+    }
 
     /// Retryability classification: `true` for failures that a capped
     /// backoff-and-retry loop is expected to clear (brief I/O outages, lock
@@ -164,6 +171,7 @@ impl fmt::Display for Error {
                  value(s) bound"
             ),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
@@ -203,6 +211,7 @@ mod tests {
         assert!(!Error::storage("bad page").is_transient());
         assert!(!Error::parse("syntax").is_transient());
         assert!(!Error::param_arity(2, 1).is_transient());
+        assert!(!Error::protocol("bad frame").is_transient());
     }
 
     #[test]

@@ -14,24 +14,29 @@
 
 pub mod clock;
 pub mod config;
+pub mod conn;
 pub mod cost;
 pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod mvcc;
+pub mod net;
 pub mod retry;
 pub mod ring;
 pub mod row;
 pub mod value;
 pub mod waits;
+pub mod wire;
 
 pub use clock::{MonotonicClock, SimClock};
 pub use config::{EngineConfig, WalFsyncMode};
+pub use conn::{Connection, PreparedStatement, StatementResult};
 pub use cost::Cost;
 pub use error::{Error, Result};
 pub use hash::{fnv1a64, StmtHash};
 pub use ids::{AttrId, DatabaseId, IndexId, PageId, SessionId, TableId, TxnId};
 pub use mvcc::Snapshot;
+pub use net::{SocketSpec, Stream};
 pub use retry::{RetryPolicy, SplitMix64};
 pub use ring::RingBuffer;
 pub use row::{Column, Row, Schema};
@@ -39,4 +44,7 @@ pub use value::{DataType, Value};
 pub use waits::{
     bind_session, charge_ambient, SessionBinding, SessionWaits, WaitCounters, WaitEvent, WaitGuard,
     WaitRecord, WaitRegistry, WaitRegistryHandle, WaitTotal, WAIT_EVENT_COUNT,
+};
+pub use wire::{
+    Request, Response, WireCodeEntry, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION, WIRE_CODE_TABLE,
 };

@@ -1,0 +1,141 @@
+//! Client/server transport vocabulary: socket specs and connected streams.
+//!
+//! Shared by `ingot-server` (which adds listening and bind-race-safe stale
+//! socket recovery on top) and `ingot-client` (which adds handshake and
+//! auto-spawn). Only connected-stream plumbing lives here.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::error::Result;
+
+/// Where a server listens / a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketSpec {
+    /// Unix-domain socket at this filesystem path.
+    Unix(PathBuf),
+    /// TCP listen/connect address, e.g. `127.0.0.1:4871`.
+    Tcp(String),
+}
+
+impl SocketSpec {
+    /// Parse a spec string: `tcp:HOST:PORT` is TCP, `unix:PATH` or any
+    /// plain path is a Unix socket.
+    pub fn parse(s: &str) -> SocketSpec {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            SocketSpec::Tcp(addr.to_string())
+        } else if let Some(path) = s.strip_prefix("unix:") {
+            SocketSpec::Unix(PathBuf::from(path))
+        } else {
+            SocketSpec::Unix(PathBuf::from(s))
+        }
+    }
+}
+
+impl std::fmt::Display for SocketSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SocketSpec::Unix(p) => write!(f, "unix:{}", p.display()),
+            SocketSpec::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// A connected byte stream over either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix-domain connection.
+    Unix(UnixStream),
+    /// TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Clone the OS handle (out-of-band shutdown, split read/write).
+    pub fn try_clone(&self) -> Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Bound the blocking time of reads so poll flags get checked.
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(d)?,
+            Stream::Tcp(s) => s.set_read_timeout(d)?,
+        }
+        Ok(())
+    }
+
+    /// Tear the connection down in both directions; a peer blocked in
+    /// `read` observes EOF/error immediately.
+    pub fn shutdown(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Connect to `spec` (client side; the server also uses this as its
+/// liveness probe during stale-socket recovery).
+pub fn connect(spec: &SocketSpec) -> Result<Stream> {
+    Ok(match spec {
+        SocketSpec::Unix(p) => Stream::Unix(UnixStream::connect(p)?),
+        SocketSpec::Tcp(a) => {
+            let s = TcpStream::connect(a.as_str())?;
+            s.set_nodelay(true).ok();
+            Stream::Tcp(s)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            SocketSpec::parse("tcp:127.0.0.1:4871"),
+            SocketSpec::Tcp("127.0.0.1:4871".into())
+        );
+        assert_eq!(
+            SocketSpec::parse("unix:/tmp/x.sock"),
+            SocketSpec::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            SocketSpec::parse("/tmp/y.sock"),
+            SocketSpec::Unix(PathBuf::from("/tmp/y.sock"))
+        );
+        assert_eq!(SocketSpec::parse("tcp:[::1]:9").to_string(), "tcp:[::1]:9");
+    }
+}

@@ -1,0 +1,1181 @@
+//! The Ingot wire protocol: length-prefixed binary frames.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! frame  = len:u32  opcode:u8  body          (len = 1 + body length)
+//! string = len:u32  utf8-bytes
+//! value  = tag:u8   payload                  (0=null, 1=int i64, 2=float
+//!                                             f64-bits, 3=str string,
+//!                                             4=bool u8)
+//! ```
+//!
+//! Requests carry opcodes `0x01`‥`0x0d`, responses `0x81`‥`0x87`. The very
+//! first frame on a connection must be [`Request::Hello`]; the server
+//! answers [`Response::HelloOk`] with its own [`PROTOCOL_VERSION`] so a
+//! mismatched client can report both sides. Every [`crate::Error`] variant
+//! maps to a stable numeric code (see [`WIRE_CODE_TABLE`]) with a
+//! `retryable` flag mirroring [`crate::Error::is_transient`], and the
+//! mapping round-trips losslessly — a remote caller can match on error
+//! kinds exactly like an embedded one.
+//!
+//! **Compatibility discipline.** The frame layout is pinned by the ledger
+//! file `crates/common/wire_layout.txt`: its frames section (everything
+//! after the `---` line) must equal [`layout_descriptor`] byte-for-byte,
+//! and each ledger header line records `version N hash <fnv1a64>` of that
+//! section. Changing any encoding changes the descriptor, which forces a
+//! new ledger entry *and* a [`PROTOCOL_VERSION`] bump — enforced by the
+//! `wire_layout_ledger_is_current` test here and by ingot-verify check 13
+//! (`wire-compat`).
+
+use std::io::{Read, Write};
+
+use crate::conn::StatementResult;
+use crate::cost::Cost;
+use crate::error::{Error, Result};
+use crate::row::Row;
+use crate::value::Value;
+
+/// Version sent in `Hello` / `HelloOk`. Bump on **any** frame-layout or
+/// opcode change, together with a new `wire_layout.txt` ledger entry.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard ceiling on one frame's length prefix; larger prefixes are treated
+/// as stream corruption rather than honoured with an allocation.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Error <-> wire code mapping.
+// ---------------------------------------------------------------------------
+
+/// One row of the error-code mapping: `variant` is the `Error` variant
+/// name, `code` its stable wire code (append-only: codes are never reused
+/// or renumbered), `retryable` the transported
+/// [`is_transient`](Error::is_transient) classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireCodeEntry {
+    /// `Error` variant name, e.g. `"WriteConflict"`.
+    pub variant: &'static str,
+    /// Stable numeric code carried in `Response::Err`.
+    pub code: u16,
+    /// Whether a capped backoff-and-retry loop is expected to clear it.
+    pub retryable: bool,
+}
+
+/// The closed error-code table. Append new variants at the end with fresh
+/// codes; ingot-verify check 13 cross-checks this table against the `Error`
+/// enum (every variant mapped, no code claimed twice).
+pub const WIRE_CODE_TABLE: &[WireCodeEntry] = &[
+    WireCodeEntry {
+        variant: "Parse",
+        code: 1,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Binder",
+        code: 2,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Type",
+        code: 3,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Catalog",
+        code: 4,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Storage",
+        code: 5,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Plan",
+        code: 6,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Execution",
+        code: 7,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Deadlock",
+        code: 8,
+        retryable: true,
+    },
+    WireCodeEntry {
+        variant: "LockTimeout",
+        code: 9,
+        retryable: true,
+    },
+    WireCodeEntry {
+        variant: "Constraint",
+        code: 10,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "WriteConflict",
+        code: 11,
+        retryable: true,
+    },
+    WireCodeEntry {
+        variant: "Monitor",
+        code: 12,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Daemon",
+        code: 13,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Io",
+        code: 14,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "TransientIo",
+        code: 15,
+        retryable: true,
+    },
+    WireCodeEntry {
+        variant: "PlanCacheInvalidated",
+        code: 16,
+        retryable: true,
+    },
+    WireCodeEntry {
+        variant: "ParamArity",
+        code: 17,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Unsupported",
+        code: 18,
+        retryable: false,
+    },
+    WireCodeEntry {
+        variant: "Protocol",
+        code: 19,
+        retryable: false,
+    },
+];
+
+/// The variant name of `e` — the key into [`WIRE_CODE_TABLE`].
+pub fn variant_name(e: &Error) -> &'static str {
+    match e {
+        Error::Parse(_) => "Parse",
+        Error::Binder(_) => "Binder",
+        Error::Type(_) => "Type",
+        Error::Catalog(_) => "Catalog",
+        Error::Storage(_) => "Storage",
+        Error::Plan(_) => "Plan",
+        Error::Execution(_) => "Execution",
+        Error::Deadlock { .. } => "Deadlock",
+        Error::LockTimeout(_) => "LockTimeout",
+        Error::Constraint(_) => "Constraint",
+        Error::WriteConflict(_) => "WriteConflict",
+        Error::Monitor(_) => "Monitor",
+        Error::Daemon(_) => "Daemon",
+        Error::Io(_) => "Io",
+        Error::TransientIo(_) => "TransientIo",
+        Error::PlanCacheInvalidated(_) => "PlanCacheInvalidated",
+        Error::ParamArity { .. } => "ParamArity",
+        Error::Unsupported(_) => "Unsupported",
+        Error::Protocol(_) => "Protocol",
+    }
+}
+
+fn entry_for(e: &Error) -> &'static WireCodeEntry {
+    let name = variant_name(e);
+    WIRE_CODE_TABLE
+        .iter()
+        .find(|entry| entry.variant == name)
+        .unwrap_or(&WIRE_CODE_TABLE[0]) // unreachable: table_covers_every_variant pins coverage
+}
+
+/// An [`Error`] in transport form: stable code + retryability + the
+/// variant's payload (`aux1`/`aux2` carry `Deadlock::victim` and the
+/// `ParamArity` counts; `message` carries the string payload of every
+/// other variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Code from [`WIRE_CODE_TABLE`].
+    pub code: u16,
+    /// Transported [`Error::is_transient`] classification.
+    pub retryable: bool,
+    /// First numeric payload (`Deadlock.victim`, `ParamArity.expected`).
+    pub aux1: u64,
+    /// Second numeric payload (`ParamArity.got`).
+    pub aux2: u64,
+    /// String payload of message-bearing variants.
+    pub message: String,
+}
+
+impl WireError {
+    /// Encode `e` for transport. Lossless: [`Self::into_error`] restores
+    /// the exact variant and payload.
+    pub fn from_error(e: &Error) -> WireError {
+        let entry = entry_for(e);
+        let (aux1, aux2, message) = match e {
+            Error::Deadlock { victim } => (*victim, 0, String::new()),
+            Error::ParamArity { expected, got } => (*expected as u64, *got as u64, String::new()),
+            Error::Parse(m)
+            | Error::Binder(m)
+            | Error::Type(m)
+            | Error::Catalog(m)
+            | Error::Storage(m)
+            | Error::Plan(m)
+            | Error::Execution(m)
+            | Error::LockTimeout(m)
+            | Error::Constraint(m)
+            | Error::WriteConflict(m)
+            | Error::Monitor(m)
+            | Error::Daemon(m)
+            | Error::Io(m)
+            | Error::TransientIo(m)
+            | Error::PlanCacheInvalidated(m)
+            | Error::Unsupported(m)
+            | Error::Protocol(m) => (0, 0, m.clone()),
+        };
+        WireError {
+            code: entry.code,
+            retryable: entry.retryable,
+            aux1,
+            aux2,
+            message,
+        }
+    }
+
+    /// Decode back into the exact [`Error`] that was encoded. An unknown
+    /// code (newer peer) degrades to [`Error::Protocol`] naming the code.
+    pub fn into_error(self) -> Error {
+        let WireError {
+            code,
+            aux1,
+            aux2,
+            message,
+            ..
+        } = self;
+        match code {
+            1 => Error::Parse(message),
+            2 => Error::Binder(message),
+            3 => Error::Type(message),
+            4 => Error::Catalog(message),
+            5 => Error::Storage(message),
+            6 => Error::Plan(message),
+            7 => Error::Execution(message),
+            8 => Error::Deadlock { victim: aux1 },
+            9 => Error::LockTimeout(message),
+            10 => Error::Constraint(message),
+            11 => Error::WriteConflict(message),
+            12 => Error::Monitor(message),
+            13 => Error::Daemon(message),
+            14 => Error::Io(message),
+            15 => Error::TransientIo(message),
+            16 => Error::PlanCacheInvalidated(message),
+            17 => Error::ParamArity {
+                expected: aux1 as usize,
+                got: aux2 as usize,
+            },
+            18 => Error::Unsupported(message),
+            19 => Error::Protocol(message),
+            other => Error::Protocol(format!("unknown wire error code {other}: {message}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body encoding primitives.
+// ---------------------------------------------------------------------------
+
+/// Growable body writer (helpers keep encode arms flat).
+#[derive(Default)]
+struct Body(Vec<u8>);
+
+impl Body {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Int(i) => {
+                self.u8(1);
+                self.i64(*i);
+            }
+            Value::Float(f) => {
+                self.u8(2);
+                self.f64(*f);
+            }
+            Value::Str(s) => {
+                self.u8(3);
+                self.string(s);
+            }
+            Value::Bool(b) => {
+                self.u8(4);
+                self.u8(u8::from(*b));
+            }
+        }
+    }
+    fn values(&mut self, vs: &[Value]) {
+        self.u32(vs.len() as u32);
+        for v in vs {
+            self.value(v);
+        }
+    }
+    fn result(&mut self, r: &StatementResult) {
+        self.u32(r.columns.len() as u32);
+        for c in &r.columns {
+            self.string(c);
+        }
+        self.u32(r.rows.len() as u32);
+        for row in &r.rows {
+            self.values(row.values());
+        }
+        self.u64(r.affected);
+        self.f64(r.est_cost.cpu);
+        self.f64(r.est_cost.io);
+        self.f64(r.actual_cost.cpu);
+        self.f64(r.actual_cost.io);
+        self.u64(r.wallclock_ns);
+        self.u64(r.wait_ns);
+    }
+    fn error(&mut self, e: &WireError) {
+        self.u16(e.code);
+        self.u8(u8::from(e.retryable));
+        self.u64(e.aux1);
+        self.u64(e.aux2);
+        self.string(&e.message);
+    }
+}
+
+/// Bounds-checked body reader; truncation surfaces as [`Error::Protocol`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Error::protocol("truncated frame body"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::protocol("non-UTF-8 string"))
+    }
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.i64()?),
+            2 => Value::Float(self.f64()?),
+            3 => Value::Str(self.string()?),
+            4 => Value::Bool(self.u8()? != 0),
+            tag => return Err(Error::protocol(format!("unknown value tag {tag}"))),
+        })
+    }
+    fn values(&mut self) -> Result<Vec<Value>> {
+        let n = self.u32()? as usize;
+        // Guard length against the remaining bytes (1 byte/value minimum)
+        // so a corrupt count cannot drive a huge allocation.
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(Error::protocol("value count exceeds frame"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.value()?);
+        }
+        Ok(out)
+    }
+    fn result(&mut self) -> Result<StatementResult> {
+        let ncols = self.u32()? as usize;
+        if ncols > self.buf.len().saturating_sub(self.pos) {
+            return Err(Error::protocol("column count exceeds frame"));
+        }
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            columns.push(self.string()?);
+        }
+        let nrows = self.u32()? as usize;
+        if nrows > self.buf.len().saturating_sub(self.pos) {
+            return Err(Error::protocol("row count exceeds frame"));
+        }
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            rows.push(Row::new(self.values()?));
+        }
+        Ok(StatementResult {
+            rows,
+            columns,
+            affected: self.u64()?,
+            est_cost: Cost {
+                cpu: self.f64()?,
+                io: self.f64()?,
+            },
+            actual_cost: Cost {
+                cpu: self.f64()?,
+                io: self.f64()?,
+            },
+            wallclock_ns: self.u64()?,
+            wait_ns: self.u64()?,
+        })
+    }
+    fn error(&mut self) -> Result<WireError> {
+        Ok(WireError {
+            code: self.u16()?,
+            retryable: self.u8()? != 0,
+            aux1: self.u64()?,
+            aux2: self.u64()?,
+            message: self.string()?,
+        })
+    }
+    fn finish(self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Error::protocol("trailing bytes after frame body"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frames.
+// ---------------------------------------------------------------------------
+
+/// Client → server verbs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: must be the first frame on a connection.
+    Hello {
+        /// Client's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Free-form client identification (shown in `ima$connections`).
+        client: String,
+    },
+    /// Validate `sql` and create a server-side prepared handle.
+    Prepare {
+        /// Statement text with `$1`…/`?` markers.
+        sql: String,
+    },
+    /// Execute prepared handle `id` with bound `params`.
+    ExecutePrepared {
+        /// Handle from `Response::PreparedOk`.
+        id: u64,
+        /// Positional parameter values.
+        params: Vec<Value>,
+    },
+    /// One-shot execute (DDL, DML or query), optionally parameterised.
+    Execute {
+        /// Statement text.
+        sql: String,
+        /// Positional parameter values (empty for plain statements).
+        params: Vec<Value>,
+    },
+    /// One-shot read-intent execute.
+    Query {
+        /// Statement text.
+        sql: String,
+    },
+    /// `SET name = value`.
+    Set {
+        /// Knob name.
+        name: String,
+        /// Knob value.
+        value: Value,
+    },
+    /// Open an explicit transaction.
+    Begin,
+    /// Commit the open transaction (acknowledged only after durability).
+    Commit,
+    /// Roll back the open transaction.
+    Rollback,
+    /// Drop prepared handle `id`.
+    ClosePrepared {
+        /// Handle from `Response::PreparedOk`.
+        id: u64,
+    },
+    /// Liveness ping; resets the server's orphan-reaper deadline.
+    Heartbeat,
+    /// Orderly connection close.
+    Close,
+    /// Ask the server process to drain and exit (admin verb).
+    Shutdown,
+}
+
+/// Server → client answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// Server's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Engine session id serving this connection.
+        session_id: u64,
+    },
+    /// Prepared handle created.
+    PreparedOk {
+        /// Handle for `Request::ExecutePrepared`.
+        id: u64,
+        /// Parameter markers the statement declares.
+        param_count: u64,
+    },
+    /// Statement finished; full [`StatementResult`].
+    Rows(StatementResult),
+    /// Verb finished with no result payload.
+    Ok,
+    /// Heartbeat answer.
+    Pong,
+    /// Statement or verb failed.
+    Err(WireError),
+    /// Server is closing this connection (drain, close ack, shutdown ack).
+    Goodbye,
+}
+
+impl Request {
+    /// Encode as `(opcode, body)`.
+    pub fn to_frame(&self) -> (u8, Vec<u8>) {
+        let mut b = Body::default();
+        let op = match self {
+            Request::Hello { version, client } => {
+                b.u16(*version);
+                b.string(client);
+                0x01
+            }
+            Request::Prepare { sql } => {
+                b.string(sql);
+                0x02
+            }
+            Request::ExecutePrepared { id, params } => {
+                b.u64(*id);
+                b.values(params);
+                0x03
+            }
+            Request::Execute { sql, params } => {
+                b.string(sql);
+                b.values(params);
+                0x04
+            }
+            Request::Query { sql } => {
+                b.string(sql);
+                0x05
+            }
+            Request::Set { name, value } => {
+                b.string(name);
+                b.value(value);
+                0x06
+            }
+            Request::Begin => 0x07,
+            Request::Commit => 0x08,
+            Request::Rollback => 0x09,
+            Request::ClosePrepared { id } => {
+                b.u64(*id);
+                0x0a
+            }
+            Request::Heartbeat => 0x0b,
+            Request::Close => 0x0c,
+            Request::Shutdown => 0x0d,
+        };
+        (op, b.0)
+    }
+
+    /// Decode from `(opcode, body)`.
+    pub fn decode(opcode: u8, body: &[u8]) -> Result<Request> {
+        let mut c = Cursor::new(body);
+        let req = match opcode {
+            0x01 => Request::Hello {
+                version: c.u16()?,
+                client: c.string()?,
+            },
+            0x02 => Request::Prepare { sql: c.string()? },
+            0x03 => Request::ExecutePrepared {
+                id: c.u64()?,
+                params: c.values()?,
+            },
+            0x04 => Request::Execute {
+                sql: c.string()?,
+                params: c.values()?,
+            },
+            0x05 => Request::Query { sql: c.string()? },
+            0x06 => Request::Set {
+                name: c.string()?,
+                value: c.value()?,
+            },
+            0x07 => Request::Begin,
+            0x08 => Request::Commit,
+            0x09 => Request::Rollback,
+            0x0a => Request::ClosePrepared { id: c.u64()? },
+            0x0b => Request::Heartbeat,
+            0x0c => Request::Close,
+            0x0d => Request::Shutdown,
+            other => {
+                return Err(Error::protocol(format!(
+                    "unknown request opcode {other:#04x}"
+                )))
+            }
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode as `(opcode, body)`.
+    pub fn to_frame(&self) -> (u8, Vec<u8>) {
+        let mut b = Body::default();
+        let op = match self {
+            Response::HelloOk {
+                version,
+                session_id,
+            } => {
+                b.u16(*version);
+                b.u64(*session_id);
+                0x81
+            }
+            Response::PreparedOk { id, param_count } => {
+                b.u64(*id);
+                b.u64(*param_count);
+                0x82
+            }
+            Response::Rows(r) => {
+                b.result(r);
+                0x83
+            }
+            Response::Ok => 0x84,
+            Response::Pong => 0x85,
+            Response::Err(e) => {
+                b.error(e);
+                0x86
+            }
+            Response::Goodbye => 0x87,
+        };
+        (op, b.0)
+    }
+
+    /// Decode from `(opcode, body)`.
+    pub fn decode(opcode: u8, body: &[u8]) -> Result<Response> {
+        let mut c = Cursor::new(body);
+        let resp = match opcode {
+            0x81 => Response::HelloOk {
+                version: c.u16()?,
+                session_id: c.u64()?,
+            },
+            0x82 => Response::PreparedOk {
+                id: c.u64()?,
+                param_count: c.u64()?,
+            },
+            0x83 => Response::Rows(c.result()?),
+            0x84 => Response::Ok,
+            0x85 => Response::Pong,
+            0x86 => Response::Err(c.error()?),
+            0x87 => Response::Goodbye,
+            other => {
+                return Err(Error::protocol(format!(
+                    "unknown response opcode {other:#04x}"
+                )))
+            }
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream I/O.
+// ---------------------------------------------------------------------------
+
+fn io_err(e: std::io::Error) -> Error {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            Error::transient_io(format!("socket timeout: {e}"))
+        }
+        _ => Error::Io(e.to_string()),
+    }
+}
+
+/// Write one `(opcode, body)` frame.
+pub fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> Result<()> {
+    let len = 1u32 + body.len() as u32;
+    let mut frame = Vec::with_capacity(5 + body.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.push(opcode);
+    frame.extend_from_slice(body);
+    w.write_all(&frame).map_err(io_err)?;
+    w.flush().map_err(io_err)
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (the peer closed at
+/// a frame boundary); a timeout surfaces as retryable [`Error::TransientIo`]
+/// and mid-frame truncation or an oversized prefix as [`Error::Protocol`].
+pub fn read_frame(r: &mut impl Read, max_bytes: u32) -> Result<Option<(u8, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(Error::protocol("connection closed mid frame")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // A timeout with partial length bytes still surfaces as
+            // transient; the buffered prefix is lost, so callers treat a
+            // transient error mid-frame as fatal and only retry timeouts
+            // that arrive with got == 0 (see ingot-server's read loop).
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > max_bytes {
+        return Err(Error::protocol(format!("invalid frame length {len}")));
+    }
+    let mut frame = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < frame.len() {
+        match r.read(&mut frame[filled..]) {
+            Ok(0) => return Err(Error::protocol("connection closed mid frame")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    let opcode = frame[0];
+    frame.remove(0);
+    Ok(Some((opcode, frame)))
+}
+
+/// Convenience: encode and write `req`.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<()> {
+    let (op, body) = req.to_frame();
+    write_frame(w, op, &body)
+}
+
+/// Convenience: encode and write `resp`.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
+    let (op, body) = resp.to_frame();
+    write_frame(w, op, &body)
+}
+
+// ---------------------------------------------------------------------------
+// Layout ledger.
+// ---------------------------------------------------------------------------
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn frame_hex(opcode: u8, body: &[u8]) -> String {
+    let len = 1u32 + body.len() as u32;
+    let mut all = Vec::with_capacity(5 + body.len());
+    all.extend_from_slice(&len.to_le_bytes());
+    all.push(opcode);
+    all.extend_from_slice(body);
+    hex(&all)
+}
+
+/// The canonical frame-layout descriptor: the grammar plus golden hex dumps
+/// of representative frames, rendered from the **live** encoder. This text
+/// is what `crates/common/wire_layout.txt` pins — any encoding change
+/// changes it, forcing a ledger entry + version bump.
+pub fn layout_descriptor() -> String {
+    let mut out = String::new();
+    out.push_str("frame  = len:u32le opcode:u8 body (len = 1 + body)\n");
+    out.push_str("string = len:u32le utf8\n");
+    out.push_str(
+        "value  = tag:u8 [0=null 1=int:i64le 2=float:f64bits-le 3=str:string 4=bool:u8]\n",
+    );
+    out.push_str(
+        "result = ncols:u32le col:string* nrows:u32le row:(values)* affected:u64le \
+                  est_cpu:f64 est_io:f64 act_cpu:f64 act_io:f64 wallclock_ns:u64le wait_ns:u64le\n",
+    );
+    out.push_str("error  = code:u16le retryable:u8 aux1:u64le aux2:u64le message:string\n");
+    let golden: Vec<(&str, u8, Vec<u8>)> = {
+        let reqs: Vec<(&str, Request)> = vec![
+            (
+                "hello",
+                Request::Hello {
+                    version: PROTOCOL_VERSION,
+                    client: "golden".into(),
+                },
+            ),
+            (
+                "prepare",
+                Request::Prepare {
+                    sql: "select v from t where id = $1".into(),
+                },
+            ),
+            (
+                "execute_prepared",
+                Request::ExecutePrepared {
+                    id: 7,
+                    params: vec![Value::Int(42)],
+                },
+            ),
+            (
+                "set",
+                Request::Set {
+                    name: "trace".into(),
+                    value: Value::Bool(true),
+                },
+            ),
+            ("commit", Request::Commit),
+        ];
+        let resps: Vec<(&str, Response)> = vec![
+            (
+                "hello_ok",
+                Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                    session_id: 3,
+                },
+            ),
+            (
+                "rows",
+                Response::Rows(StatementResult {
+                    rows: vec![Row::new(vec![
+                        Value::Int(1),
+                        Value::Str("a".into()),
+                        Value::Null,
+                    ])],
+                    columns: vec!["id".into(), "name".into(), "x".into()],
+                    affected: 0,
+                    est_cost: Cost { cpu: 1.5, io: 2.0 },
+                    actual_cost: Cost { cpu: 3.0, io: 1.0 },
+                    wallclock_ns: 1000,
+                    wait_ns: 10,
+                }),
+            ),
+            (
+                "err_deadlock",
+                Response::Err(WireError::from_error(&Error::Deadlock { victim: 7 })),
+            ),
+        ];
+        reqs.iter()
+            .map(|(n, r)| {
+                let (op, body) = r.to_frame();
+                (*n, op, body)
+            })
+            .chain(resps.iter().map(|(n, r)| {
+                let (op, body) = r.to_frame();
+                (*n, op, body)
+            }))
+            .collect()
+    };
+    for (name, op, body) in golden {
+        out.push_str(&format!("{name} = {}\n", frame_hex(op, &body)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::fnv1a64;
+    use proptest::prelude::*;
+
+    fn roundtrip_req(req: Request) {
+        let (op, body) = req.to_frame();
+        assert_eq!(Request::decode(op, &body).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let (op, body) = resp.to_frame();
+        assert_eq!(Response::decode(op, &body).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        roundtrip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: "t".into(),
+        });
+        roundtrip_req(Request::Prepare {
+            sql: "select 1".into(),
+        });
+        roundtrip_req(Request::ExecutePrepared {
+            id: 9,
+            params: vec![Value::Null, Value::Bool(false), Value::Float(2.5)],
+        });
+        roundtrip_req(Request::Execute {
+            sql: "insert into t values ($1)".into(),
+            params: vec![Value::Int(-3)],
+        });
+        roundtrip_req(Request::Query {
+            sql: "select * from ima$connections".into(),
+        });
+        roundtrip_req(Request::Set {
+            name: "trace".into(),
+            value: Value::Str("on".into()),
+        });
+        for r in [
+            Request::Begin,
+            Request::Commit,
+            Request::Rollback,
+            Request::ClosePrepared { id: 1 },
+            Request::Heartbeat,
+            Request::Close,
+            Request::Shutdown,
+        ] {
+            roundtrip_req(r);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        roundtrip_resp(Response::HelloOk {
+            version: 1,
+            session_id: 77,
+        });
+        roundtrip_resp(Response::PreparedOk {
+            id: 2,
+            param_count: 3,
+        });
+        roundtrip_resp(Response::Rows(StatementResult {
+            rows: vec![Row::new(vec![Value::Int(5)])],
+            columns: vec!["c".into()],
+            affected: 1,
+            est_cost: Cost { cpu: 0.5, io: 0.0 },
+            actual_cost: Cost { cpu: 1.0, io: 2.0 },
+            wallclock_ns: 42,
+            wait_ns: 7,
+        }));
+        for r in [Response::Ok, Response::Pong, Response::Goodbye] {
+            roundtrip_resp(r);
+        }
+        roundtrip_resp(Response::Err(WireError::from_error(&Error::param_arity(
+            3, 1,
+        ))));
+    }
+
+    #[test]
+    fn stream_io_round_trips_and_reports_eof() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Heartbeat).unwrap();
+        write_response(&mut buf, &Response::Pong).unwrap();
+        let mut r = &buf[..];
+        let (op, body) = read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(Request::decode(op, &body).unwrap(), Request::Heartbeat);
+        let (op, body) = read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(Response::decode(op, &body).unwrap(), Response::Pong);
+        assert!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().is_none());
+        // Mid-frame truncation is corruption, not EOF.
+        let mut cut = &buf[..3];
+        assert!(matches!(
+            read_frame(&mut cut, MAX_FRAME_BYTES),
+            Err(Error::Protocol(_))
+        ));
+        // Oversized length prefix is rejected before allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.push(0x01);
+        let mut r = &huge[..];
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME_BYTES),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn table_covers_every_variant_with_unique_codes() {
+        let every: Vec<Error> = vec![
+            Error::parse("m"),
+            Error::binder("m"),
+            Error::type_error("m"),
+            Error::catalog("m"),
+            Error::storage("m"),
+            Error::plan("m"),
+            Error::execution("m"),
+            Error::Deadlock { victim: 1 },
+            Error::LockTimeout("m".into()),
+            Error::constraint("m"),
+            Error::write_conflict("m"),
+            Error::monitor("m"),
+            Error::daemon("m"),
+            Error::Io("m".into()),
+            Error::transient_io("m"),
+            Error::plan_cache_invalidated("m"),
+            Error::param_arity(2, 1),
+            Error::unsupported("m"),
+            Error::protocol("m"),
+        ];
+        assert_eq!(every.len(), WIRE_CODE_TABLE.len());
+        let mut codes: Vec<u16> = Vec::new();
+        for e in &every {
+            let entry = entry_for(e);
+            assert_eq!(entry.variant, variant_name(e));
+            assert_eq!(
+                entry.retryable,
+                e.is_transient(),
+                "{:?}: table retryable flag must mirror is_transient()",
+                e
+            );
+            codes.push(entry.code);
+        }
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), every.len(), "codes must be unique");
+    }
+
+    #[test]
+    fn unknown_code_degrades_to_protocol_error() {
+        let e = WireError {
+            code: 9999,
+            retryable: false,
+            aux1: 0,
+            aux2: 0,
+            message: "future variant".into(),
+        };
+        assert!(matches!(e.into_error(), Error::Protocol(_)));
+    }
+
+    proptest! {
+        /// Lossless error round-trip, with the retryable flag mirroring
+        /// `is_transient` for every payload.
+        #[test]
+        fn error_round_trip(case in 0usize..19, msg in ".{0,40}", a in 0u64..1_000_000, b in 0u64..64) {
+            let m = msg.clone();
+            let e = match case {
+                0 => Error::Parse(m),
+                1 => Error::Binder(m),
+                2 => Error::Type(m),
+                3 => Error::Catalog(m),
+                4 => Error::Storage(m),
+                5 => Error::Plan(m),
+                6 => Error::Execution(m),
+                7 => Error::Deadlock { victim: a },
+                8 => Error::LockTimeout(m),
+                9 => Error::Constraint(m),
+                10 => Error::WriteConflict(m),
+                11 => Error::Monitor(m),
+                12 => Error::Daemon(m),
+                13 => Error::Io(m),
+                14 => Error::TransientIo(m),
+                15 => Error::PlanCacheInvalidated(m),
+                16 => Error::ParamArity { expected: a as usize, got: b as usize },
+                17 => Error::Unsupported(m),
+                _ => Error::Protocol(m),
+            };
+            let wire = WireError::from_error(&e);
+            prop_assert_eq!(wire.retryable, e.is_transient());
+            // Through the byte codec as well, not just the struct.
+            let resp = Response::Err(wire);
+            let (op, body) = resp.to_frame();
+            let decoded = match Response::decode(op, &body).unwrap() {
+                Response::Err(w) => w.into_error(),
+                other => panic!("expected Err, got {other:?}"),
+            };
+            prop_assert_eq!(decoded, e);
+        }
+
+        /// Value / params codec round-trip over arbitrary payloads.
+        #[test]
+        fn params_round_trip(ints in proptest::collection::vec(-1_000_000i64..1_000_000, 0..8), s in ".{0,24}", f in -1e12f64..1e12) {
+            let mut params: Vec<Value> = ints.into_iter().map(Value::Int).collect();
+            params.push(Value::Str(s));
+            params.push(Value::Float(f));
+            params.push(Value::Null);
+            params.push(Value::Bool(true));
+            let req = Request::Execute { sql: "select $1".into(), params };
+            let (op, body) = req.to_frame();
+            prop_assert_eq!(Request::decode(op, &body).unwrap(), req);
+        }
+    }
+
+    /// The checked-in ledger must pin the live encoder: its frames section
+    /// equals `layout_descriptor()` and its newest header line records that
+    /// section's fnv1a64 at the current PROTOCOL_VERSION. On a deliberate
+    /// layout change: bump PROTOCOL_VERSION, regenerate the section, append
+    /// `version N hash H` — this test prints both on mismatch.
+    #[test]
+    fn wire_layout_ledger_is_current() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("wire_layout.txt");
+        let text = std::fs::read_to_string(&path).expect("wire_layout.txt must exist");
+        let (header, section) = text
+            .split_once("---\n")
+            .expect("ledger needs a `---` separator");
+        let descriptor = layout_descriptor();
+        let hash = fnv1a64(descriptor.as_bytes());
+        assert_eq!(
+            section, descriptor,
+            "wire_layout.txt frames section is stale; regenerate it from \
+             layout_descriptor() and append `version {} hash {:016x}`",
+            PROTOCOL_VERSION, hash
+        );
+        let last = header
+            .lines()
+            .rfind(|l| l.starts_with("version "))
+            .expect("ledger needs at least one `version N hash H` line");
+        let mut parts = last.split_whitespace();
+        let (_, version, _, recorded) = (
+            parts.next(),
+            parts.next().and_then(|v| v.parse::<u16>().ok()),
+            parts.next(),
+            parts.next(),
+        );
+        assert_eq!(
+            version,
+            Some(PROTOCOL_VERSION),
+            "newest ledger entry must match PROTOCOL_VERSION"
+        );
+        assert_eq!(
+            recorded,
+            Some(format!("{hash:016x}").as_str()),
+            "newest ledger entry must record the section hash {hash:016x}"
+        );
+    }
+}

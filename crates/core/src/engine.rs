@@ -9,8 +9,9 @@ use std::time::Duration;
 use ingot_catalog::{Catalog, SharedCatalog, StorageStructure, VersionChange, WriteAs};
 use ingot_common::waits::{bind_session, WaitRegistry, WaitTotal};
 use ingot_common::{
-    Column, Cost, EngineConfig, Error, IndexId, MonotonicClock, Result, Row, Schema, SessionId,
-    SimClock, Snapshot, StmtHash, TableId, TxnId, Value, WalFsyncMode,
+    Column, Connection, Cost, EngineConfig, Error, IndexId, MonotonicClock, PreparedStatement,
+    Result, Row, Schema, SessionId, SimClock, Snapshot, StmtHash, TableId, TxnId, Value,
+    WalFsyncMode,
 };
 use ingot_executor::{
     dml::insert_one, execute_plan_snapshot, execute_plan_traced_snapshot, execute_statement_ctx,
@@ -76,26 +77,7 @@ impl SessionCounters {
     }
 }
 
-/// The result of executing one statement.
-#[derive(Debug, Clone, Default)]
-pub struct StatementResult {
-    /// Result rows (queries / EXPLAIN).
-    pub rows: Vec<Row>,
-    /// Output column names.
-    pub columns: Vec<String>,
-    /// Rows affected (DML).
-    pub affected: u64,
-    /// The optimizer's estimated cost.
-    pub est_cost: Cost,
-    /// Actual cost: CPU = tuples processed, IO = physical page accesses.
-    pub actual_cost: Cost,
-    /// Wall-clock of the whole statement, nanoseconds.
-    pub wallclock_ns: u64,
-    /// Nanoseconds of `wallclock_ns` lost inside wait events (lock queues,
-    /// WAL barriers, buffer I/O, retry backoff). Zero when the wait
-    /// subsystem is off.
-    pub wait_ns: u64,
-}
+pub use ingot_common::conn::StatementResult;
 
 /// Result of a what-if estimation (no execution, no monitoring).
 #[derive(Debug, Clone)]
@@ -149,6 +131,11 @@ pub struct Engine {
     waits: Option<Arc<WaitRegistry>>,
     /// The ASH sampler; present exactly when `waits` is.
     ash: Option<Arc<AshSampler>>,
+    /// Swappable row source behind `ima$connections`. The virtual table is
+    /// registered once (first [`Engine::attach_connections_provider`]) with a
+    /// closure reading this slot, so a restarted in-process server re-attaches
+    /// its fresh registry instead of leaving the table serving stale rows.
+    conn_provider: Arc<Mutex<Option<ingot_catalog::VirtualProvider>>>,
 }
 
 /// Configures and builds an [`Engine`]. Obtained via [`Engine::builder`].
@@ -302,58 +289,6 @@ impl Engine {
         }
     }
 
-    /// Create an engine with a fresh simulated clock.
-    #[deprecated(note = "use `Engine::builder().config(config).build()`")]
-    pub fn new(config: EngineConfig) -> Arc<Engine> {
-        Engine::builder()
-            .config(config)
-            .build()
-            .expect("in-memory engine construction is infallible")
-    }
-
-    /// Create an engine sharing an external simulated clock.
-    #[deprecated(note = "use `Engine::builder().config(config).clock(sim_clock).build()`")]
-    pub fn with_clock(config: EngineConfig, sim_clock: SimClock) -> Arc<Engine> {
-        Engine::builder()
-            .config(config)
-            .clock(sim_clock)
-            .build()
-            .expect("in-memory engine construction is infallible")
-    }
-
-    /// Create an engine whose pages live in real files under `dir`.
-    #[deprecated(
-        note = "use `Engine::builder().config(config).clock(sim_clock).path(dir).build()`"
-    )]
-    pub fn file_backed(
-        config: EngineConfig,
-        sim_clock: SimClock,
-        dir: impl Into<std::path::PathBuf>,
-    ) -> Result<Arc<Engine>> {
-        Engine::builder()
-            .config(config)
-            .clock(sim_clock)
-            .path(dir)
-            .build()
-    }
-
-    /// Create an engine over an arbitrary disk backend.
-    #[deprecated(
-        note = "use `Engine::builder().config(config).clock(sim_clock).backend(backend).build()`"
-    )]
-    pub fn with_backend(
-        config: EngineConfig,
-        sim_clock: SimClock,
-        backend: Box<dyn ingot_storage::DiskBackend>,
-    ) -> Arc<Engine> {
-        Engine::builder()
-            .config(config)
-            .clock(sim_clock)
-            .backend(backend)
-            .build()
-            .expect("backend-provided engine construction is infallible")
-    }
-
     fn with_storage(
         config: EngineConfig,
         sim_clock: SimClock,
@@ -439,6 +374,7 @@ impl Engine {
             checkpoint_serial: Mutex::new(()),
             waits,
             ash,
+            conn_provider: Arc::new(Mutex::new(None)),
         }))
     }
 
@@ -612,6 +548,40 @@ impl Engine {
     /// otherwise-idle engine still gets its timeline sampled.
     pub fn ash_sampler(&self) -> Option<&Arc<AshSampler>> {
         self.ash.as_ref()
+    }
+
+    /// Attach (or replace) the row source behind the `ima$connections`
+    /// virtual table. Called by a server embedding this engine when it
+    /// starts accepting connections; the table itself is registered on the
+    /// first attach and thereafter reads through a swappable slot, so a
+    /// server restarted on the same engine serves fresh rows rather than a
+    /// stale captured registry. No-op registration on an unmonitored engine
+    /// (`ima$…` tables need the monitor's catalog surface).
+    pub fn attach_connections_provider(
+        &self,
+        provider: ingot_catalog::VirtualProvider,
+    ) -> Result<()> {
+        let mut slot = self.conn_provider.lock();
+        let first = slot.is_none();
+        *slot = Some(provider);
+        drop(slot);
+        if first && self.monitor.is_some() {
+            let hook = Arc::clone(&self.conn_provider);
+            let mut catalog = self.catalog.write();
+            // A previous attach/detach cycle may have left the table
+            // registered; the duplicate error is the expected signal then.
+            let _ = crate::ima::register_connections_table(
+                &mut catalog,
+                Arc::new(move || hook.lock().as_ref().map(|p| p()).unwrap_or_default()),
+            );
+        }
+        Ok(())
+    }
+
+    /// Detach the `ima$connections` row source: the table stays registered
+    /// but reports an empty fleet until the next attach.
+    pub fn detach_connections_provider(&self) {
+        *self.conn_provider.lock() = None;
     }
 
     /// The shared simulated clock.
@@ -1428,6 +1398,19 @@ impl Session {
             .unwrap_or_default()
     }
 
+    /// This session's ASH slot (wait sink + current-statement cell), `None`
+    /// when the wait subsystem is off. The server publishes each wire
+    /// connection's slot into `ima$connections` so the fleet view shows the
+    /// live wait event per peer.
+    pub fn ash_slot(&self) -> Option<&Arc<ActiveSession>> {
+        self.ash.as_ref()
+    }
+
+    /// Is an explicit transaction currently open on this session?
+    pub fn in_transaction(&self) -> bool {
+        self.txn.lock().is_some()
+    }
+
     /// Open an explicit transaction (locks held until commit/rollback).
     pub fn begin(&self) -> Result<()> {
         let mut txn = self.txn.lock();
@@ -1734,7 +1717,7 @@ impl Session {
                     result
                 }
             }
-            Statement::Set { name, value } => self.run_set(&name, &value),
+            Statement::Set { name, value } => self.set_option(&name, &value),
             dml => self.run_dml(sql, &dml, params, sensor, trace),
         };
         if invalidates_plans && result.is_ok() {
@@ -1754,8 +1737,10 @@ impl Session {
     }
 
     /// `SET name = value`. `trace`/`tracing` flips runtime tracing; other
-    /// knobs are accepted and ignored (compatibility with scripts).
-    fn run_set(&self, name: &str, value: &Value) -> Result<StatementResult> {
+    /// knobs are accepted and ignored (compatibility with scripts). This is
+    /// the target of both the SQL `SET` statement and the [`Connection`]
+    /// trait's `set` verb, embedded or over the wire.
+    pub fn set_option(&self, name: &str, value: &Value) -> Result<StatementResult> {
         if matches!(name.to_ascii_lowercase().as_str(), "trace" | "tracing") {
             let on = match value {
                 Value::Bool(b) => *b,
@@ -2418,6 +2403,46 @@ impl Prepared<'_> {
     }
 }
 
+// The embedded half of the unified surface: a `Session` *is* a
+// `Connection`, so shells, examples and bench harnesses written against
+// `&dyn Connection` run in-process without an adapter. (The remote half is
+// `ingot_client::ClientConnection`.)
+impl Connection for Session {
+    fn execute(&self, sql: &str) -> Result<StatementResult> {
+        Session::execute(self, sql)
+    }
+
+    fn prepare(&self, sql: &str) -> Result<Box<dyn PreparedStatement + '_>> {
+        Ok(Box::new(Session::prepare(self, sql)?))
+    }
+
+    fn set(&self, name: &str, value: &Value) -> Result<()> {
+        self.set_option(name, value).map(|_| ())
+    }
+
+    fn begin(&self) -> Result<()> {
+        Session::begin(self)
+    }
+
+    fn commit(&self) -> Result<()> {
+        Session::commit(self)
+    }
+
+    fn rollback(&self) -> Result<()> {
+        Session::rollback(self)
+    }
+}
+
+impl PreparedStatement for Prepared<'_> {
+    fn param_count(&self) -> usize {
+        Prepared::param_count(self)
+    }
+
+    fn execute(&self, params: &[Value]) -> Result<StatementResult> {
+        Prepared::execute(self, params)
+    }
+}
+
 /// Snapshot the bind artifacts into monitor detail records. All data comes
 /// from the already-held catalog guard ("no further access to the catalogs
 /// is required for the monitoring").
@@ -2973,28 +2998,6 @@ mod tests {
             .backend(Box::new(ingot_storage::MemoryBackend::new()))
             .build();
         assert!(err.is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shims_still_work() {
-        // The pre-builder constructors stay as thin shims over the builder;
-        // this test pins that they compile and produce working engines.
-        let e = Engine::new(EngineConfig::monitoring());
-        let s = e.open_session();
-        s.execute("create table t (a int)").unwrap();
-        s.execute("insert into t values (1)").unwrap();
-        assert_eq!(s.execute("select * from t").unwrap().rows.len(), 1);
-        let clock = SimClock::new();
-        let e2 = Engine::with_clock(EngineConfig::original(), clock.clone());
-        assert!(e2.monitor().is_none());
-        let e3 = Engine::with_backend(
-            EngineConfig::default(),
-            clock,
-            Box::new(ingot_storage::MemoryBackend::new()),
-        );
-        let s3 = e3.open_session();
-        s3.execute("create table u (a int)").unwrap();
     }
 
     #[test]

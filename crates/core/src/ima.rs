@@ -707,13 +707,48 @@ pub fn daemon_health_schema() -> Schema {
     ])
 }
 
+/// Name of the wire-connection fleet table (registered on the first
+/// [`Engine::attach_connections_provider`][crate::Engine::attach_connections_provider]
+/// — i.e. only once a server starts serving this engine over a socket).
+pub const IMA_CONNECTIONS: &str = "ima$connections";
+
+/// Register `ima$connections` backed by `provider` (one row per live wire
+/// connection). The schema is defined here so all IMA shapes live in one
+/// place; `ingot-server` supplies the provider because the registry is its
+/// own. Provider rows must match: `session` (int), `peer` (text), `client`
+/// (text), `state` (text: `idle` / `active` / `idle_in_txn` / `draining`),
+/// `statement` (text, null when idle), `wait_event` (text, null when not
+/// waiting), `idle_ms` (int), `txn_age_ms` (int, -1 outside a transaction).
+pub fn register_connections_table(
+    catalog: &mut Catalog,
+    provider: ingot_catalog::VirtualProvider,
+) -> Result<()> {
+    catalog.register_virtual_table(IMA_CONNECTIONS, connections_schema(), provider)?;
+    Ok(())
+}
+
+/// The `ima$connections` row shape.
+pub fn connections_schema() -> Schema {
+    Schema::new(vec![
+        Column::not_null("session", DataType::Int),
+        Column::not_null("peer", DataType::Str),
+        Column::new("client", DataType::Str),
+        Column::not_null("state", DataType::Str),
+        Column::new("statement", DataType::Str),
+        Column::new("wait_event", DataType::Str),
+        Column::new("idle_ms", DataType::Int),
+        Column::new("txn_age_ms", DataType::Int),
+    ])
+}
+
 /// The names of all IMA virtual tables, in registration order, under the
 /// *full* monitoring configuration (`monitor_enabled` plus
 /// `wait_events_enabled`). This is the superset used for documentation and
 /// completeness checks; an engine with waits disabled skips the three wait
 /// tables — use [`ima_table_names`] for the set a given configuration
 /// actually registers. (`ima$daemon_health` is registered separately, only
-/// while a storage daemon is attached.)
+/// while a storage daemon is attached, and `ima$connections` only once a
+/// server attaches a fleet provider.)
 pub const IMA_TABLE_NAMES: &[&str] = &[
     "ima$statements",
     "ima$workload",

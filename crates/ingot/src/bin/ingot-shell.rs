@@ -1,35 +1,126 @@
 #![forbid(unsafe_code)]
-//! `ingot-shell` — a minimal interactive SQL shell over an in-memory Ingot
-//! engine with integrated monitoring.
+//! `ingot-shell` — a minimal interactive SQL shell speaking the unified
+//! [`Connection`] API, so the same loop runs embedded or over the wire.
 //!
 //! ```text
-//! cargo run -p ingot --bin ingot-shell
+//! cargo run -p ingot --bin ingot-shell                      # embedded engine
+//! cargo run -p ingot --bin ingot-shell -- --connect /tmp/ingot.sock
 //! ingot> create table t (a int);
 //! ingot> insert into t values (1), (2);
 //! ingot> select * from t;
-//! ingot> \monitor      -- summary of what the sensors recorded
-//! ingot> \report       -- run the analyzer on the recorded workload
-//! ingot> \nref 0.2     -- load a scaled NREF-like demo database
+//! ingot> \monitor      -- summary of what the sensors recorded (embedded)
+//! ingot> \report       -- run the analyzer on the recorded workload (embedded)
+//! ingot> \connections  -- who is on this server (select * from ima$connections)
 //! ingot> \q
 //! ```
+//!
+//! SQL always goes through `&dyn Connection`; only the meta commands that
+//! need direct engine access (`\monitor`, `\metrics`, `\trace`, `\report`,
+//! `\apply`, `\nref`) are embedded-only and say so in remote mode.
 
 use std::io::{BufRead, Write};
+use std::process::ExitCode;
 
 use ingot::analyzer::{Analyzer, WorkloadView};
+use ingot::client::{connect_or_spawn, ClientConnection, SpawnOptions};
 use ingot::executor::exec::format_rows;
 use ingot::prelude::*;
 use ingot::workload::NrefConfig;
 
-fn main() {
-    let engine = Engine::builder()
-        .config(EngineConfig::monitoring())
-        .build()
-        .unwrap();
-    let session = engine.open_session();
+/// What the shell is talking to. SQL runs through [`Connection`] either
+/// way; `Embedded` additionally exposes the engine to meta commands.
+enum Backend {
+    Embedded {
+        engine: std::sync::Arc<Engine>,
+        session: Session,
+    },
+    Remote(ClientConnection),
+}
+
+impl Backend {
+    fn conn(&self) -> &dyn Connection {
+        match self {
+            Backend::Embedded { session, .. } => session,
+            Backend::Remote(c) => c,
+        }
+    }
+
+    fn engine(&self) -> Option<&std::sync::Arc<Engine>> {
+        match self {
+            Backend::Embedded { engine, .. } => Some(engine),
+            Backend::Remote(_) => None,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ingot-shell [--connect SOCKET] [--spawn] [--data DIR]");
+    eprintln!("  --connect SOCKET  talk to an ingot-server (unix:PATH, tcp:HOST:PORT, or a path)");
+    eprintln!("  --spawn           with --connect: auto-spawn a server if none is listening");
+    eprintln!("  --data DIR        data directory for a --spawn'ed server");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut connect: Option<String> = None;
+    let mut spawn = false;
+    let mut data: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => match args.next() {
+                Some(v) => connect = Some(v),
+                None => return usage(),
+            },
+            "--spawn" => spawn = true,
+            "--data" => match args.next() {
+                Some(v) => data = Some(v.into()),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => return usage(),
+        }
+    }
+
+    let backend = match connect {
+        None => {
+            let engine = Engine::builder()
+                .config(EngineConfig::monitoring())
+                .build()
+                .unwrap();
+            let session = engine.open_session();
+            Backend::Embedded { engine, session }
+        }
+        Some(spec_str) => {
+            let spec = SocketSpec::parse(&spec_str);
+            let conn = if spawn {
+                let opts = SpawnOptions {
+                    data_dir: data,
+                    ..SpawnOptions::default()
+                };
+                connect_or_spawn(&spec, &opts)
+            } else {
+                ClientConnection::connect(&spec)
+            };
+            match conn {
+                Ok(c) => Backend::Remote(c),
+                Err(e) => {
+                    eprintln!("connect to {spec} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
 
-    println!("Ingot shell — integrated performance monitoring for autonomous tuning");
+    match &backend {
+        Backend::Embedded { .. } => {
+            println!("Ingot shell — embedded engine with integrated monitoring")
+        }
+        Backend::Remote(c) => println!("Ingot shell — connected (session {})", c.session_id()),
+    }
     println!("type SQL terminated by ';', or \\help");
 
     let mut buffer = String::new();
@@ -51,7 +142,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            match run_meta(trimmed, &engine, &session) {
+            match run_meta(trimmed, &backend) {
                 MetaOutcome::Quit => break,
                 MetaOutcome::Continue => continue,
             }
@@ -62,12 +153,13 @@ fn main() {
         }
         let sql = std::mem::take(&mut buffer);
         for stmt in split_statements(&sql) {
-            match session.execute(&stmt) {
-                Ok(r) => print_result(&stmt, &r),
+            match backend.conn().execute(&stmt) {
+                Ok(r) => print_result(&r),
                 Err(e) => eprintln!("error: {e}"),
             }
         }
     }
+    ExitCode::SUCCESS
 }
 
 enum MetaOutcome {
@@ -75,90 +167,124 @@ enum MetaOutcome {
     Continue,
 }
 
-fn run_meta(cmd: &str, engine: &std::sync::Arc<Engine>, session: &Session) -> MetaOutcome {
+/// Run a query through the connection and print it as a table.
+fn print_query(backend: &Backend, sql: &str) {
+    match backend.conn().query(sql) {
+        Ok(r) => {
+            let names = if r.columns.is_empty() && !r.rows.is_empty() {
+                (0..r.rows[0].len()).map(|i| format!("c{i}")).collect()
+            } else {
+                r.columns.clone()
+            };
+            print!("{}", format_rows(&names, &r.rows));
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn embedded_only(what: &str) -> MetaOutcome {
+    println!("{what} needs an embedded engine; this shell is connected over the wire");
+    MetaOutcome::Continue
+}
+
+fn run_meta(cmd: &str, backend: &Backend) -> MetaOutcome {
     let mut parts = cmd.split_whitespace();
     match parts.next().unwrap_or("") {
         "\\q" | "\\quit" | "\\exit" => return MetaOutcome::Quit,
         "\\help" | "\\h" => {
             println!("  SQL statements end with ';'");
-            println!("  \\monitor        monitor summary (statements, workload, self-time)");
-            println!("  \\metrics        dump engine metrics in Prometheus text format");
-            println!("  \\trace [on|off] toggle structured statement tracing");
-            println!("  \\waits          wait-event totals and ASH sampler status");
-            println!("  \\report         analyze the recorded workload and print the report");
-            println!("  \\apply          analyze and apply the recommendations");
-            println!("  \\nref [scale]   load the NREF-like demo database (default 0.1)");
+            println!("  \\connections    sessions on this server (from ima$connections)");
+            println!("  \\waits          wait-event totals (and ASH status when embedded)");
+            println!("  \\monitor        monitor summary (embedded only)");
+            println!("  \\metrics        engine metrics in Prometheus text format (embedded only)");
+            println!("  \\trace [on|off] toggle structured statement tracing (embedded only)");
+            println!("  \\report         analyze the recorded workload (embedded only)");
+            println!("  \\apply          analyze and apply the recommendations (embedded only)");
+            println!("  \\nref [scale]   load the NREF-like demo database (embedded only)");
             println!("  \\q              quit");
         }
-        "\\monitor" => match engine.monitor() {
-            Some(m) => {
-                println!(
-                    "statements recorded: {} ({} distinct in buffer)",
-                    m.statements_recorded(),
-                    m.statements().len()
-                );
-                println!(
-                    "sensor calls: {}, total monitoring time: {:.2} ms",
-                    m.sensor_calls(),
-                    m.self_time_ns() as f64 / 1e6
-                );
-                let buf = engine.buffer_stats();
-                println!(
-                    "buffer: {} hits / {} misses (ratio {:.2})",
-                    buf.hits,
-                    buf.misses,
-                    buf.hit_ratio()
-                );
-                let locks = engine.locks().stats();
-                println!(
-                    "locks: {} granted total, {} waits, {} deadlocks",
-                    locks.granted_total, locks.waits_total, locks.deadlocks_total
-                );
-            }
-            None => println!("monitoring is disabled on this instance"),
-        },
-        "\\metrics" => {
-            print!("{}", engine.metrics_snapshot().render_prometheus());
+        "\\connections" => {
+            print_query(
+                backend,
+                "select session, peer, client, state, statement, wait_event, idle_ms, txn_age_ms \
+                 from ima$connections order by session",
+            );
         }
         "\\waits" => {
-            if engine.wait_registry().is_none() {
-                println!("wait events are disabled on this instance");
-                return MetaOutcome::Continue;
-            }
-            match session.execute(
+            print_query(
+                backend,
                 "select event, count, total_ns from ima$wait_events order by total_ns desc",
-            ) {
-                Ok(r) => {
-                    let names: Vec<String> = ["event", "count", "total_ns"]
-                        .iter()
-                        .map(|s| (*s).to_owned())
-                        .collect();
-                    print!("{}", format_rows(&names, &r.rows));
+            );
+            if let Some(engine) = backend.engine() {
+                if let Some(sampler) = engine.ash_sampler() {
+                    println!(
+                        "ash: {} samples taken, {} rows in ring (cap {}), interval {} ms",
+                        sampler.samples_taken(),
+                        sampler.history().len(),
+                        sampler.ring_capacity(),
+                        sampler.interval_ns() / 1_000_000
+                    );
                 }
-                Err(e) => eprintln!("error: {e}"),
-            }
-            if let Some(sampler) = engine.ash_sampler() {
-                println!(
-                    "ash: {} samples taken, {} rows in ring (cap {}), interval {} ms",
-                    sampler.samples_taken(),
-                    sampler.history().len(),
-                    sampler.ring_capacity(),
-                    sampler.interval_ns() / 1_000_000
-                );
             }
         }
-        "\\trace" => match parts.next() {
-            Some("on") | None => {
-                engine.set_tracing(true);
-                println!("tracing enabled (EXPLAIN ANALYZE and ima$operator_stats fill up)");
+        "\\monitor" => {
+            let Some(engine) = backend.engine() else {
+                return embedded_only("\\monitor");
+            };
+            match engine.monitor() {
+                Some(m) => {
+                    println!(
+                        "statements recorded: {} ({} distinct in buffer)",
+                        m.statements_recorded(),
+                        m.statements().len()
+                    );
+                    println!(
+                        "sensor calls: {}, total monitoring time: {:.2} ms",
+                        m.sensor_calls(),
+                        m.self_time_ns() as f64 / 1e6
+                    );
+                    let buf = engine.buffer_stats();
+                    println!(
+                        "buffer: {} hits / {} misses (ratio {:.2})",
+                        buf.hits,
+                        buf.misses,
+                        buf.hit_ratio()
+                    );
+                    let locks = engine.locks().stats();
+                    println!(
+                        "locks: {} granted total, {} waits, {} deadlocks",
+                        locks.granted_total, locks.waits_total, locks.deadlocks_total
+                    );
+                }
+                None => println!("monitoring is disabled on this instance"),
             }
-            Some("off") => {
-                engine.set_tracing(false);
-                println!("tracing disabled");
+        }
+        "\\metrics" => {
+            let Some(engine) = backend.engine() else {
+                return embedded_only("\\metrics");
+            };
+            print!("{}", engine.metrics_snapshot().render_prometheus());
+        }
+        "\\trace" => {
+            let Some(engine) = backend.engine() else {
+                return embedded_only("\\trace");
+            };
+            match parts.next() {
+                Some("on") | None => {
+                    engine.set_tracing(true);
+                    println!("tracing enabled (EXPLAIN ANALYZE and ima$operator_stats fill up)");
+                }
+                Some("off") => {
+                    engine.set_tracing(false);
+                    println!("tracing disabled");
+                }
+                Some(other) => eprintln!("expected on/off, got {other}"),
             }
-            Some(other) => eprintln!("expected on/off, got {other}"),
-        },
+        }
         "\\report" | "\\apply" => {
+            let Backend::Embedded { engine, session } = backend else {
+                return embedded_only(cmd);
+            };
             if engine.monitor().is_none() {
                 println!("monitoring is disabled on this instance");
                 return MetaOutcome::Continue;
@@ -185,6 +311,9 @@ fn run_meta(cmd: &str, engine: &std::sync::Arc<Engine>, session: &Session) -> Me
             }
         }
         "\\nref" => {
+            let Some(engine) = backend.engine() else {
+                return embedded_only("\\nref");
+            };
             let scale: f64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
             let cfg = NrefConfig::scaled(scale);
             println!("loading NREF-like database ({} proteins)…", cfg.proteins);
@@ -198,7 +327,7 @@ fn run_meta(cmd: &str, engine: &std::sync::Arc<Engine>, session: &Session) -> Me
     MetaOutcome::Continue
 }
 
-fn print_result(stmt: &str, r: &StatementResult) {
+fn print_result(r: &StatementResult) {
     if !r.rows.is_empty() {
         let names = if r.columns.is_empty() {
             (0..r.rows[0].len()).map(|i| format!("c{i}")).collect()
@@ -207,7 +336,6 @@ fn print_result(stmt: &str, r: &StatementResult) {
         };
         print!("{}", format_rows(&names, &r.rows));
     }
-    let verb = stmt.split_whitespace().next().unwrap_or("").to_lowercase();
     println!(
         "({} rows{}; {:.2} ms; est {}, actual {})",
         r.rows.len(),
@@ -220,7 +348,6 @@ fn print_result(stmt: &str, r: &StatementResult) {
         r.est_cost,
         r.actual_cost
     );
-    let _ = verb;
 }
 
 /// Split a buffer on top-level semicolons (quotes respected).

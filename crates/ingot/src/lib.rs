@@ -23,11 +23,13 @@
 
 pub use ingot_analyzer as analyzer;
 pub use ingot_catalog as catalog;
+pub use ingot_client as client;
 pub use ingot_common as common;
 pub use ingot_core as core;
 pub use ingot_daemon as daemon;
 pub use ingot_executor as executor;
 pub use ingot_planner as planner;
+pub use ingot_server as server;
 pub use ingot_sql as sql;
 pub use ingot_storage as storage;
 pub use ingot_trace as trace;
@@ -37,7 +39,11 @@ pub use ingot_workload as workload;
 /// The types most applications need.
 pub mod prelude {
     pub use ingot_analyzer::{Analyzer, AnalyzerConfig, Recommendation, WorkloadView};
-    pub use ingot_common::{Cost, EngineConfig, Error, Result, RetryPolicy, Row, SimClock, Value};
+    pub use ingot_client::{connect_or_spawn, ClientConnection, SpawnOptions};
+    pub use ingot_common::{
+        Connection, Cost, EngineConfig, Error, PreparedStatement, Result, RetryPolicy, Row,
+        SimClock, SocketSpec, Value,
+    };
     pub use ingot_core::{
         Engine, EngineBuilder, MetricsSnapshot, Monitor, PlanCacheStats, Prepared, Session,
         StatementResult, Tracer,
@@ -45,6 +51,7 @@ pub mod prelude {
     pub use ingot_daemon::{
         Alert, AlertRule, DaemonConfig, DaemonHealth, HealthState, StorageDaemon, WorkloadDb,
     };
+    pub use ingot_server::{Server, ServerConfig};
     pub use ingot_storage::{FaultInjectingBackend, FaultPlan, MemoryBackend, RecoveryReport};
     pub use ingot_workload::{analytic_queries, load_nref, NrefConfig};
 }

@@ -1,0 +1,558 @@
+#![deny(unsafe_code)]
+//! `ingot-server`: the engine served over a Unix/TCP socket.
+//!
+//! The paper's integrated-monitoring loop assumes a long-lived server that
+//! many clients share; this crate is that daemon. One process embeds one
+//! [`Engine`], accepts wire connections (length-prefixed binary frames, see
+//! `ingot_common::wire`), and multiplexes each connection onto its own
+//! engine [`Session`] — so every wire client rides the shared plan cache,
+//! the MVCC snapshots, the WAL group commit and the full `ima$…` monitoring
+//! surface exactly as an embedded caller would.
+//!
+//! Lifecycle:
+//!
+//! * **Bind** ([`Server::bind`]) — stale-socket recovery is bind-race safe:
+//!   connect-probe before unlink, re-probe instead of re-unlink on a
+//!   post-unlink `AddrInUse` (see [`socket::bind`]).
+//! * **Serve** ([`Server::run`]) — per-connection handler threads; a reaper
+//!   thread drives ASH sampling, heartbeat expiry (orphaned connections are
+//!   killed and their open transaction aborts, charged to
+//!   `ima$transactions`), and the idle auto-shutdown clock.
+//! * **Drain** — on SIGTERM ([`signal`]) or [`StopHandle::request_stop`]:
+//!   stop accepting, let in-flight statements and open transactions finish
+//!   up to [`ServerConfig::drain_deadline_ms`], then abort idle-in-txn
+//!   stragglers. Acknowledged commits are durable before the ack leaves the
+//!   server, so a drain never loses one.
+//!
+//! The fleet is observable as the `ima$connections` virtual table (peer,
+//! state, current statement, wait event, idle time, transaction age),
+//! attached through the engine's swappable provider slot so an in-process
+//! restart serves fresh rows.
+
+pub mod registry;
+pub mod signal;
+pub mod socket;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ingot_common::wire::{self, Request, Response, WireError, PROTOCOL_VERSION};
+use ingot_common::{Error, Result, StatementResult};
+use ingot_core::{Engine, Prepared};
+use ingot_trace::{MetricsSnapshot, ServerStats};
+use parking_lot::{Condvar, Mutex};
+
+use registry::{ConnRegistry, ConnShared, ConnState};
+use socket::{Listener, SocketSpec, Stream};
+
+/// Handler read-timeout: how often a blocked connection checks its kill /
+/// drain flags.
+const READ_POLL_MS: u64 = 200;
+
+/// Accept-loop and reaper tick.
+const TICK_MS: u64 = 20;
+
+/// Extra grace after the drain deadline for killed handlers to unwind.
+const KILL_GRACE_MS: u64 = 2_000;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub socket: SocketSpec,
+    /// A connection with no traffic for this long (and no statement in
+    /// flight) is treated as orphaned and reaped. Clients idle longer than
+    /// this must send `Heartbeat` frames.
+    pub heartbeat_timeout_ms: u64,
+    /// Exit after the fleet has been empty this long; 0 disables.
+    pub idle_shutdown_ms: u64,
+    /// Graceful-drain budget: how long open transactions may keep running
+    /// after a stop request before they are aborted.
+    pub drain_deadline_ms: u64,
+    /// Per-frame size ceiling.
+    pub max_frame_bytes: u32,
+}
+
+impl ServerConfig {
+    /// Defaults for `socket`: 5 s heartbeat timeout, no idle shutdown,
+    /// 1 s drain deadline.
+    pub fn new(socket: SocketSpec) -> Self {
+        ServerConfig {
+            socket,
+            heartbeat_timeout_ms: 5_000,
+            idle_shutdown_ms: 0,
+            drain_deadline_ms: 1_000,
+            max_frame_bytes: wire::MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Why [`Server::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// A stop was requested (signal, `Shutdown` verb or [`StopHandle`]) and
+    /// the fleet drained.
+    Drained,
+    /// The fleet stayed empty past [`ServerConfig::idle_shutdown_ms`].
+    IdleShutdown,
+}
+
+/// Condvar-based pacing (the workspace bans `std::thread::sleep`): waits
+/// are interruptible, so a stop request shortens every pending pause.
+struct Pacer {
+    m: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Pacer {
+    fn new() -> Self {
+        Pacer {
+            m: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn pause(&self, ms: u64) {
+        let mut g = self.m.lock();
+        let _ = self.cv.wait_for(&mut g, Duration::from_millis(ms));
+    }
+
+    fn notify(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// Everything the handler and reaper threads share.
+struct ServerCtx {
+    engine: Arc<Engine>,
+    registry: Arc<ConnRegistry>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    pacer: Arc<Pacer>,
+    max_frame: u32,
+}
+
+/// Requests a running server to drain and exit; cloneable, cheap, safe to
+/// use from any thread (tests stand in for SIGTERM with this).
+#[derive(Clone)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    pacer: Arc<Pacer>,
+}
+
+impl StopHandle {
+    /// Trigger the same graceful drain a SIGTERM would.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.pacer.notify();
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    config: ServerConfig,
+    listener: Listener,
+    ctx: Arc<ServerCtx>,
+}
+
+impl Server {
+    /// Bind `config.socket` (with stale-socket recovery) and attach the
+    /// `ima$connections` provider to `engine`. The server does not accept
+    /// until [`run`](Self::run).
+    pub fn bind(engine: Arc<Engine>, config: ServerConfig) -> Result<Server> {
+        let listener = socket::bind(&config.socket)?;
+        let registry = Arc::new(ConnRegistry::new(*engine.wall_clock()));
+        let rows_src = Arc::clone(&registry);
+        engine.attach_connections_provider(Arc::new(move || rows_src.rows()))?;
+        let ctx = Arc::new(ServerCtx {
+            engine,
+            registry,
+            stats: Arc::new(ServerStats::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            draining: Arc::new(AtomicBool::new(false)),
+            pacer: Arc::new(Pacer::new()),
+            max_frame: config.max_frame_bytes,
+        });
+        Ok(Server {
+            config,
+            listener,
+            ctx,
+        })
+    }
+
+    /// The wire-traffic counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.ctx.stats
+    }
+
+    /// The embedded engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.ctx.engine
+    }
+
+    /// A handle that triggers graceful drain from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stop: Arc::clone(&self.ctx.stop),
+            pacer: Arc::clone(&self.ctx.pacer),
+        }
+    }
+
+    /// Engine metrics merged with this server's wire counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.ctx.engine.metrics_snapshot();
+        self.ctx.stats.contribute(&mut snap);
+        snap
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.ctx.stop.load(Ordering::Relaxed) || signal::term_requested()
+    }
+
+    /// Accept and serve until a stop request or idle shutdown, then drain.
+    ///
+    /// Drain sequence: close the listener (new connects are refused and the
+    /// Unix socket file unlinked — a later starter's connect-probe gets
+    /// "refused" and recovers), mark the fleet draining (handlers say
+    /// `Goodbye` to idle connections and let in-flight statements and open
+    /// transactions finish), and after
+    /// [`drain_deadline_ms`](ServerConfig::drain_deadline_ms) abort
+    /// idle-in-txn stragglers by force-closing them — Session teardown rolls
+    /// the transaction back, charged to `ima$transactions`. A best-effort
+    /// checkpoint then shrinks the restart's WAL replay.
+    pub fn run(self) -> Result<RunOutcome> {
+        self.listener.set_nonblocking()?;
+        let handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let reaper_done = Arc::new(AtomicBool::new(false));
+        let reaper = {
+            let ctx = Arc::clone(&self.ctx);
+            let done = Arc::clone(&reaper_done);
+            let heartbeat_ns = self.config.heartbeat_timeout_ms.saturating_mul(1_000_000);
+            std::thread::spawn(move || reaper_loop(&ctx, &done, heartbeat_ns))
+        };
+
+        let outcome = loop {
+            if self.stop_requested() {
+                break RunOutcome::Drained;
+            }
+            if self.config.idle_shutdown_ms > 0
+                && self.ctx.registry.idle_ns()
+                    >= self.config.idle_shutdown_ms.saturating_mul(1_000_000)
+            {
+                break RunOutcome::IdleShutdown;
+            }
+            match self.listener.accept() {
+                Ok(Some((stream, peer))) => {
+                    self.ctx
+                        .stats
+                        .connections_opened
+                        .fetch_add(1, Ordering::Relaxed);
+                    match stream.try_clone() {
+                        Ok(clone) => {
+                            let shared = self.ctx.registry.register(peer, clone);
+                            let ctx = Arc::clone(&self.ctx);
+                            handles.lock().push(std::thread::spawn(move || {
+                                serve_conn(&ctx, &shared, stream);
+                            }));
+                        }
+                        Err(_) => drop(stream),
+                    }
+                }
+                Ok(None) => self.ctx.pacer.pause(TICK_MS),
+                // Transient accept failures (EMFILE pressure, aborted
+                // connects) must not take the whole server down.
+                Err(_) => self.ctx.pacer.pause(TICK_MS),
+            }
+        };
+
+        // --- drain ---
+        self.ctx.draining.store(true, Ordering::Relaxed);
+        self.listener.close();
+        self.ctx.pacer.notify();
+        let clock = *self.ctx.registry.clock();
+        let deadline = clock.now_nanos() + self.config.drain_deadline_ms.saturating_mul(1_000_000);
+        while !self.ctx.registry.is_empty() && clock.now_nanos() < deadline {
+            self.ctx.pacer.pause(10);
+        }
+        for conn in self.ctx.registry.snapshot() {
+            conn.kill_now();
+        }
+        let grace = deadline + KILL_GRACE_MS * 1_000_000;
+        while !self.ctx.registry.is_empty() && clock.now_nanos() < grace {
+            self.ctx.pacer.pause(10);
+        }
+        reaper_done.store(true, Ordering::Relaxed);
+        self.ctx.pacer.notify();
+        let _ = reaper.join();
+        for h in handles.lock().drain(..) {
+            let _ = h.join();
+        }
+        let _ = self.ctx.engine.checkpoint();
+        self.ctx.engine.detach_connections_provider();
+        Ok(outcome)
+    }
+}
+
+/// ASH sampling, heartbeat expiry and nothing else — the reaper never
+/// touches the statement path.
+fn reaper_loop(ctx: &ServerCtx, done: &AtomicBool, heartbeat_ns: u64) {
+    while !done.load(Ordering::Relaxed) {
+        ctx.pacer.pause(TICK_MS);
+        let now = ctx.registry.clock().now_nanos();
+        if let Some(sampler) = ctx.engine.ash_sampler() {
+            sampler.sample_if_due(now);
+        }
+        for conn in ctx.registry.snapshot() {
+            // A connection mid-statement is alive even when silent: the
+            // client is waiting for our response, not heartbeating.
+            if *conn.state.lock() == ConnState::Active {
+                continue;
+            }
+            let last = conn.last_activity_ns.load(Ordering::Relaxed);
+            if now.saturating_sub(last) > heartbeat_ns && !conn.kill.load(Ordering::Relaxed) {
+                conn.kill_now();
+                ctx.stats.connections_reaped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Full connection lifecycle: handshake, serve, teardown. Teardown always
+/// runs — dropping the engine [`Session`] aborts an open transaction
+/// (charged to `ima$transactions`) and releases its locks, which is exactly
+/// the orphan-reap path.
+fn serve_conn(ctx: &Arc<ServerCtx>, shared: &Arc<ConnShared>, mut stream: Stream) {
+    let _ = handshake_and_serve(ctx, shared, &mut stream);
+    shared.stream.lock().take();
+    ctx.registry.deregister(shared.conn_id);
+    ctx.stats.connections_closed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Read one frame, treating poll timeouts as flag-check ticks. `Ok(None)`
+/// means the connection is over (EOF, kill, or drain while idle).
+fn read_or_tick(
+    ctx: &ServerCtx,
+    shared: &ConnShared,
+    stream: &mut Stream,
+    in_txn: impl Fn() -> bool,
+) -> Result<Option<(u8, Vec<u8>)>> {
+    loop {
+        if shared.kill.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        if ctx.draining.load(Ordering::Relaxed) || ctx.stop.load(Ordering::Relaxed) {
+            *shared.state.lock() = ConnState::Draining;
+            if !in_txn() {
+                // Idle and not mid-transaction: say goodbye and leave. A
+                // connection inside a transaction keeps serving until it
+                // commits/rolls back or the drain deadline kills it.
+                let _ = wire::write_response(stream, &Response::Goodbye);
+                return Ok(None);
+            }
+        }
+        match wire::read_frame(stream, ctx.max_frame) {
+            Ok(frame) => return Ok(frame),
+            // Read timeout: no bytes in READ_POLL_MS. Loop to re-check
+            // flags. (A timeout *mid-frame* would lose sync, but the next
+            // decode then fails and closes the connection — acceptable for
+            // a peer that stalls mid-frame for 200 ms.)
+            Err(Error::TransientIo(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn send(ctx: &ServerCtx, stream: &mut Stream, resp: &Response) -> Result<()> {
+    if matches!(resp, Response::Err(_)) {
+        ctx.stats.errors_sent.fetch_add(1, Ordering::Relaxed);
+    }
+    let (op, body) = resp.to_frame();
+    ctx.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+    ctx.stats
+        .bytes_out
+        .fetch_add(body.len() as u64, Ordering::Relaxed);
+    wire::write_frame(stream, op, &body)
+}
+
+/// Execute one statement on behalf of the wire client, with the fleet-view
+/// bookkeeping (state `active`, current statement text) around it.
+fn run_statement(
+    ctx: &ServerCtx,
+    shared: &ConnShared,
+    sql: &str,
+    exec: impl FnOnce() -> Result<StatementResult>,
+) -> Response {
+    *shared.state.lock() = ConnState::Active;
+    *shared.current_sql.lock() = Some(sql.to_string());
+    ctx.stats.statements_served.fetch_add(1, Ordering::Relaxed);
+    let result = exec();
+    *shared.current_sql.lock() = None;
+    match result {
+        Ok(r) => Response::Rows(r),
+        Err(e) => Response::Err(WireError::from_error(&e)),
+    }
+}
+
+fn ok_or_err(result: Result<()>) -> Response {
+    match result {
+        Ok(()) => Response::Ok,
+        Err(e) => Response::Err(WireError::from_error(&e)),
+    }
+}
+
+fn handshake_and_serve(
+    ctx: &Arc<ServerCtx>,
+    shared: &Arc<ConnShared>,
+    stream: &mut Stream,
+) -> Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(READ_POLL_MS)))?;
+
+    // --- handshake: the first frame must be Hello with our exact version.
+    let Some((op, body)) = read_or_tick(ctx, shared, stream, || false)? else {
+        return Ok(());
+    };
+    ctx.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+    ctx.stats
+        .bytes_in
+        .fetch_add(body.len() as u64, Ordering::Relaxed);
+    let hello = Request::decode(op, &body)?;
+    let Request::Hello { version, client } = hello else {
+        let e = Error::protocol("first frame must be hello");
+        let _ = send(ctx, stream, &Response::Err(WireError::from_error(&e)));
+        return Err(e);
+    };
+    if version != PROTOCOL_VERSION {
+        let e = Error::protocol(format!(
+            "protocol version mismatch: client speaks {version}, server speaks \
+             {PROTOCOL_VERSION}"
+        ));
+        let _ = send(ctx, stream, &Response::Err(WireError::from_error(&e)));
+        return Err(e);
+    }
+    *shared.client.lock() = client;
+
+    let session = ctx.engine.open_session();
+    shared
+        .session_id
+        .store(session.id().raw(), Ordering::Relaxed);
+    *shared.ash.lock() = session.ash_slot().cloned();
+    *shared.state.lock() = ConnState::Idle;
+    shared.touch(ctx.registry.clock().now_nanos());
+    send(
+        ctx,
+        stream,
+        &Response::HelloOk {
+            version: PROTOCOL_VERSION,
+            session_id: session.id().raw(),
+        },
+    )?;
+
+    // --- serve. Prepared handles borrow `session`, so the map lives in
+    // this same frame (declared after the session: dropped first).
+    let mut prepared: HashMap<u64, Prepared<'_>> = HashMap::new();
+    let mut next_handle: u64 = 1;
+
+    loop {
+        let Some((op, body)) = read_or_tick(ctx, shared, stream, || session.in_transaction())?
+        else {
+            return Ok(());
+        };
+        ctx.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+        ctx.stats
+            .bytes_in
+            .fetch_add(body.len() as u64, Ordering::Relaxed);
+        let now = ctx.registry.clock().now_nanos();
+        shared.touch(now);
+        let req = match Request::decode(op, &body) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = send(ctx, stream, &Response::Err(WireError::from_error(&e)));
+                return Err(e);
+            }
+        };
+        let resp = match req {
+            Request::Hello { .. } => {
+                Response::Err(WireError::from_error(&Error::protocol("duplicate hello")))
+            }
+            Request::Prepare { sql } => match session.prepare(&sql) {
+                Ok(p) => {
+                    let id = next_handle;
+                    next_handle += 1;
+                    let param_count = p.param_count() as u64;
+                    prepared.insert(id, p);
+                    Response::PreparedOk { id, param_count }
+                }
+                Err(e) => Response::Err(WireError::from_error(&e)),
+            },
+            Request::ExecutePrepared { id, params } => match prepared.get(&id) {
+                Some(p) => run_statement(ctx, shared, p.text(), || p.execute(&params)),
+                None => Response::Err(WireError::from_error(&Error::execution(format!(
+                    "unknown prepared handle {id}"
+                )))),
+            },
+            Request::Execute { sql, params } => {
+                if params.is_empty() {
+                    run_statement(ctx, shared, &sql, || session.execute(&sql))
+                } else {
+                    run_statement(ctx, shared, &sql, || {
+                        session.prepare(&sql)?.execute(&params)
+                    })
+                }
+            }
+            Request::Query { sql } => run_statement(ctx, shared, &sql, || session.execute(&sql)),
+            Request::Set { name, value } => {
+                ok_or_err(session.set_option(&name, &value).map(|_| ()))
+            }
+            Request::Begin => ok_or_err(session.begin()),
+            Request::Commit => ok_or_err(session.commit()),
+            Request::Rollback => ok_or_err(session.rollback()),
+            Request::ClosePrepared { id } => {
+                prepared.remove(&id);
+                Response::Ok
+            }
+            Request::Heartbeat => {
+                ctx.stats.heartbeats.fetch_add(1, Ordering::Relaxed);
+                Response::Pong
+            }
+            Request::Close => {
+                let _ = send(ctx, stream, &Response::Goodbye);
+                return Ok(());
+            }
+            Request::Shutdown => {
+                let _ = send(ctx, stream, &Response::Goodbye);
+                ctx.stop.store(true, Ordering::Relaxed);
+                ctx.pacer.notify();
+                return Ok(());
+            }
+        };
+        // Fleet-view bookkeeping: transaction age + idle state.
+        let in_txn = session.in_transaction();
+        if in_txn {
+            let _ =
+                shared
+                    .txn_since_ns
+                    .compare_exchange(0, now, Ordering::Relaxed, Ordering::Relaxed);
+        } else {
+            shared.txn_since_ns.store(0, Ordering::Relaxed);
+        }
+        *shared.state.lock() = if ctx.draining.load(Ordering::Relaxed) {
+            ConnState::Draining
+        } else if in_txn {
+            ConnState::IdleInTxn
+        } else {
+            ConnState::Idle
+        };
+        send(ctx, stream, &resp)?;
+    }
+}
+
+/// One-call convenience used by the daemon binary and tests: build an
+/// engine per `opts`, bind, install nothing (signals are the binary's
+/// concern), and return the bound server.
+pub fn serve_engine(engine: Arc<Engine>, config: ServerConfig) -> Result<Server> {
+    Server::bind(engine, config)
+}

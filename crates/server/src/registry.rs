@@ -1,0 +1,221 @@
+//! The wire-connection fleet registry behind `ima$connections`.
+//!
+//! One [`ConnShared`] per live connection, written by the handler thread and
+//! read by the reaper (heartbeat expiry) and the `ima$connections` provider.
+//! Everything the provider reads is either atomic or behind its own short
+//! mutex — a fleet snapshot never blocks the statement path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ingot_common::{MonotonicClock, Row, Value};
+use ingot_core::ActiveSession;
+use parking_lot::Mutex;
+
+use crate::socket::Stream;
+
+/// Lifecycle state reported in `ima$connections.state`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Accepted, `hello` not yet completed.
+    Handshake,
+    /// Between statements, no open transaction.
+    Idle,
+    /// A statement is executing right now.
+    Active,
+    /// Between statements inside an explicit transaction.
+    IdleInTxn,
+    /// Server is draining; the connection is finishing up.
+    Draining,
+}
+
+impl ConnState {
+    /// The SQL-visible state label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConnState::Handshake => "handshake",
+            ConnState::Idle => "idle",
+            ConnState::Active => "active",
+            ConnState::IdleInTxn => "idle_in_txn",
+            ConnState::Draining => "draining",
+        }
+    }
+}
+
+/// Per-connection record shared between handler, reaper and IMA provider.
+#[derive(Debug)]
+pub struct ConnShared {
+    /// Registry key (not the engine session id).
+    pub conn_id: u64,
+    /// Transport peer label (`unix` or the TCP peer address).
+    pub peer: String,
+    /// Client self-identification from `hello`.
+    pub client: Mutex<String>,
+    /// Engine session id (0 until the handshake opens the session).
+    pub session_id: AtomicU64,
+    /// Current lifecycle state.
+    pub state: Mutex<ConnState>,
+    /// Statement currently executing (raw text), `None` when idle.
+    pub current_sql: Mutex<Option<String>>,
+    /// Last frame observed from the peer, wall-clock nanoseconds.
+    pub last_activity_ns: AtomicU64,
+    /// When the open explicit transaction began; 0 = no transaction.
+    pub txn_since_ns: AtomicU64,
+    /// Raised by the reaper (heartbeat expiry) or the drain deadline; the
+    /// handler abandons the connection at the next flag check.
+    pub kill: AtomicBool,
+    /// OS-handle clone used to shutdown a handler blocked in `read`.
+    pub stream: Mutex<Option<Stream>>,
+    /// The engine session's ASH slot (wait sink); fills `wait_event`.
+    pub ash: Mutex<Option<Arc<ActiveSession>>>,
+}
+
+impl ConnShared {
+    /// Mark peer traffic now (any frame counts as a heartbeat).
+    pub fn touch(&self, now_ns: u64) {
+        self.last_activity_ns.store(now_ns, Ordering::Relaxed);
+    }
+
+    /// Request an out-of-band close: flag + socket shutdown so a blocked
+    /// `read` returns immediately.
+    pub fn kill_now(&self) {
+        self.kill.store(true, Ordering::Relaxed);
+        if let Some(s) = self.stream.lock().as_ref() {
+            s.shutdown();
+        }
+    }
+}
+
+/// All live connections of one server.
+pub struct ConnRegistry {
+    clock: MonotonicClock,
+    conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
+    next_id: AtomicU64,
+    /// Last instant the fleet was non-empty (or the server started); the
+    /// idle auto-shutdown clock measures from here.
+    last_nonempty_ns: AtomicU64,
+}
+
+impl ConnRegistry {
+    /// Empty registry reading `clock`.
+    pub fn new(clock: MonotonicClock) -> Self {
+        let now = clock.now_nanos();
+        ConnRegistry {
+            clock,
+            conns: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            last_nonempty_ns: AtomicU64::new(now),
+        }
+    }
+
+    /// The registry's wall clock (shared with the engine).
+    pub fn clock(&self) -> &MonotonicClock {
+        &self.clock
+    }
+
+    /// Admit a freshly accepted connection.
+    pub fn register(&self, peer: String, stream: Stream) -> Arc<ConnShared> {
+        let now = self.clock.now_nanos();
+        let shared = Arc::new(ConnShared {
+            conn_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            peer,
+            client: Mutex::new(String::new()),
+            session_id: AtomicU64::new(0),
+            state: Mutex::new(ConnState::Handshake),
+            current_sql: Mutex::new(None),
+            last_activity_ns: AtomicU64::new(now),
+            txn_since_ns: AtomicU64::new(0),
+            kill: AtomicBool::new(false),
+            stream: Mutex::new(Some(stream)),
+            ash: Mutex::new(None),
+        });
+        self.conns
+            .lock()
+            .insert(shared.conn_id, Arc::clone(&shared));
+        self.last_nonempty_ns.store(now, Ordering::Relaxed);
+        shared
+    }
+
+    /// Remove a fully torn-down connection. The fleet was non-empty until
+    /// this very moment, so the idle clock restarts here either way.
+    pub fn deregister(&self, conn_id: u64) {
+        let mut conns = self.conns.lock();
+        conns.remove(&conn_id);
+        self.last_nonempty_ns
+            .store(self.clock.now_nanos(), Ordering::Relaxed);
+    }
+
+    /// Live connection count.
+    pub fn len(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// Is the fleet empty?
+    pub fn is_empty(&self) -> bool {
+        self.conns.lock().is_empty()
+    }
+
+    /// Snapshot of every live connection (reaper, drain sweep).
+    pub fn snapshot(&self) -> Vec<Arc<ConnShared>> {
+        self.conns.lock().values().cloned().collect()
+    }
+
+    /// Nanoseconds the fleet has been continuously empty (0 when occupied).
+    pub fn idle_ns(&self) -> u64 {
+        if !self.is_empty() {
+            return 0;
+        }
+        self.clock
+            .now_nanos()
+            .saturating_sub(self.last_nonempty_ns.load(Ordering::Relaxed))
+    }
+
+    /// The `ima$connections` rows: `session, peer, client, state,
+    /// statement, wait_event, idle_ms, txn_age_ms` (see
+    /// `ingot_core::connections_schema`).
+    pub fn rows(&self) -> Vec<Row> {
+        let now = self.clock.now_nanos();
+        let mut out: Vec<(u64, Row)> = self
+            .conns
+            .lock()
+            .values()
+            .map(|c| {
+                let wait = c
+                    .ash
+                    .lock()
+                    .as_ref()
+                    .and_then(|slot| slot.waits().current_wait())
+                    .map(|(e, _)| Value::Str(e.name().to_string()))
+                    .unwrap_or(Value::Null);
+                let stmt = c
+                    .current_sql
+                    .lock()
+                    .as_ref()
+                    .map(|s| Value::Str(s.clone()))
+                    .unwrap_or(Value::Null);
+                let idle_ms =
+                    now.saturating_sub(c.last_activity_ns.load(Ordering::Relaxed)) / 1_000_000;
+                let txn_since = c.txn_since_ns.load(Ordering::Relaxed);
+                let txn_age_ms = if txn_since == 0 {
+                    -1
+                } else {
+                    (now.saturating_sub(txn_since) / 1_000_000) as i64
+                };
+                let row = Row::new(vec![
+                    Value::Int(c.session_id.load(Ordering::Relaxed) as i64),
+                    Value::Str(c.peer.clone()),
+                    Value::Str(c.client.lock().clone()),
+                    Value::Str(c.state.lock().as_str().to_string()),
+                    stmt,
+                    wait,
+                    Value::Int(idle_ms as i64),
+                    Value::Int(txn_age_ms),
+                ]);
+                (c.conn_id, row)
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out.into_iter().map(|(_, row)| row).collect()
+    }
+}

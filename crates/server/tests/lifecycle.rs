@@ -1,0 +1,199 @@
+//! Lifecycle tests against the real `ingot-server` binary: auto-spawn,
+//! idle auto-shutdown, respawn-on-reconnect, and (behind `--ignored`, run
+//! by the CI `server-smoke` job) a SIGTERM mid-load drain that must lose
+//! no acknowledged commit.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ingot_client::{connect_or_spawn, ClientConnection, SpawnOptions};
+use ingot_common::{Connection, SocketSpec, Value};
+use parking_lot::{Condvar, Mutex};
+
+const SERVER_BIN: &str = env!("CARGO_BIN_EXE_ingot-server");
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ingot-lifecycle-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Interruptible pause (the workspace bans `std::thread::sleep`).
+fn pace(ms: u64) {
+    let m = Mutex::new(());
+    let cv = Condvar::new();
+    let mut g = m.lock();
+    let _ = cv.wait_for(&mut g, Duration::from_millis(ms));
+}
+
+fn spawn_opts(data: &std::path::Path) -> SpawnOptions {
+    SpawnOptions {
+        server_bin: Some(SERVER_BIN.into()),
+        data_dir: Some(data.to_path_buf()),
+        idle_shutdown_ms: Some(250),
+        extra_args: Vec::new(),
+        connect_timeout_ms: Some(30_000),
+    }
+}
+
+#[test]
+fn idle_shutdown_then_reconnect_respawns_cleanly() {
+    let data = temp_dir("data");
+    let sock = temp_dir("sock").join("srv.sock");
+    let spec = SocketSpec::Unix(sock.clone());
+    let opts = spawn_opts(&data);
+
+    // Nothing is listening: connect_or_spawn launches the daemon.
+    let conn = connect_or_spawn(&spec, &opts).expect("auto-spawn");
+    conn.execute("create table t (id int not null primary key)")
+        .unwrap();
+    conn.execute("insert into t values (1)").unwrap();
+    conn.close().unwrap();
+
+    // The fleet is empty; the server must exit by itself within the idle
+    // budget (250 ms) and unlink its socket on the way out. Watch the
+    // socket file rather than connect-probing — a probe is a real
+    // connection and would keep resetting the idle clock.
+    let mut gone = false;
+    for _ in 0..400 {
+        if !sock.exists() {
+            gone = true;
+            break;
+        }
+        pace(25);
+    }
+    assert!(gone, "server never idle-shut down");
+
+    // Reconnecting respawns a fresh daemon on the same socket and data
+    // directory; the acknowledged insert must still be there.
+    let conn = connect_or_spawn(&spec, &opts).expect("auto-respawn");
+    let r = conn.query("select count(*) from t").unwrap();
+    assert_eq!(r.rows[0].get(0).as_int(), Some(1));
+    conn.shutdown_server().expect("orderly shutdown");
+}
+
+/// The CI `server-smoke` scenario: a closed-loop client fleet hammers the
+/// daemon, SIGTERM lands mid-load, and after a restart every acknowledged
+/// commit is present. `INGOT_SMOKE_CONNS` / `INGOT_SMOKE_SECS` scale it
+/// (CI uses 64 connections for 10 s).
+#[test]
+#[ignore = "spawns a daemon and runs a timed fleet; CI server-smoke runs it"]
+fn sigterm_mid_load_loses_no_acked_commit() {
+    let conns: usize = std::env::var("INGOT_SMOKE_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let secs: u64 = std::env::var("INGOT_SMOKE_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    let data = temp_dir("smoke-data");
+    let sock = temp_dir("smoke-sock").join("srv.sock");
+    let spec = SocketSpec::Unix(sock);
+
+    let spawn_server = || {
+        Command::new(SERVER_BIN)
+            .arg("--socket")
+            .arg(spec.to_string())
+            .arg("--data")
+            .arg(&data)
+            .arg("--drain-deadline-ms")
+            .arg("5000")
+            .spawn()
+            .expect("spawn ingot-server")
+    };
+    let mut child = spawn_server();
+
+    let admin = connect_with_retry(&spec);
+    admin
+        .execute("create table t (id int not null primary key)")
+        .unwrap();
+    drop(admin);
+
+    // Closed loop: each client inserts unique ids as fast as acks come
+    // back, until the drain cuts it off.
+    let next_id = Arc::new(AtomicU64::new(0));
+    let acked: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for _ in 0..conns {
+        let spec = spec.clone();
+        let next_id = Arc::clone(&next_id);
+        let acked = Arc::clone(&acked);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            let conn = connect_with_retry(&spec);
+            let ins = match conn.prepare("insert into t values ($1)") {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            while !stop.load(Ordering::Relaxed) {
+                let id = next_id.fetch_add(1, Ordering::Relaxed) as i64;
+                match ins.execute(&[Value::Int(id)]) {
+                    Ok(_) => acked.lock().push(id),
+                    // Drain (or the kill) reached us; acks stop here.
+                    Err(_) => break,
+                }
+            }
+        }));
+    }
+
+    pace(secs * 1_000);
+    // SIGTERM, not SIGKILL: the server must drain — finish in-flight
+    // statements, never un-ack anything.
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        let _ = t.join();
+    }
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "drain exit must be clean: {status:?}");
+
+    // Restart on the same directory: recovery must surface every ack.
+    let mut child = spawn_server();
+    let conn = connect_with_retry(&spec);
+    let acked = acked.lock();
+    let r = conn.query("select count(*) from t").unwrap();
+    let count = r.rows[0].get(0).as_int().unwrap();
+    assert!(
+        count >= acked.len() as i64,
+        "{} acked commits but only {count} rows after restart",
+        acked.len()
+    );
+    // Spot-check actual ids, not just the count.
+    let r = conn.query("select id from t order by id").unwrap();
+    let present: std::collections::HashSet<i64> = r
+        .rows
+        .iter()
+        .filter_map(|row| row.get(0).as_int())
+        .collect();
+    for id in acked.iter() {
+        assert!(present.contains(id), "acked id {id} lost across SIGTERM");
+    }
+    conn.shutdown_server().expect("orderly shutdown");
+    let _ = child.wait();
+}
+
+fn connect_with_retry(spec: &SocketSpec) -> ClientConnection {
+    for _ in 0..5_000 {
+        match ClientConnection::connect(spec) {
+            Ok(c) => return c,
+            Err(_) => pace(5),
+        }
+    }
+    panic!("server never came up on {spec}");
+}

@@ -35,11 +35,13 @@
 
 pub mod histogram;
 pub mod metrics;
+pub mod server_stats;
 pub mod span;
 pub mod tracer;
 
 pub use histogram::{bucket_bounds, bucket_index, LatencyHistogram};
 pub use metrics::{MetricFamily, MetricKind, MetricsSnapshot, Sample};
+pub use server_stats::ServerStats;
 pub use span::{
     render_operator_tree, OperatorSpan, SpanCollector, SpanFrame, Stage, StageSpan, StatementTrace,
 };

@@ -1,0 +1,8 @@
+//! Fixture: Error enum for the wire-compat check.
+
+pub enum Error {
+    Parse(String),
+    Deadlock { victim: u64 },
+    Io(String),
+    Protocol(String),
+}

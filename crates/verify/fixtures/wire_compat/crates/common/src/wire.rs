@@ -1,0 +1,17 @@
+//! Fixture: wire table with a duplicate code, a ghost entry, and a
+//! version the ledger does not know about.
+
+pub const PROTOCOL_VERSION: u16 = 2;
+
+pub struct WireCodeEntry {
+    pub variant: &'static str,
+    pub code: u16,
+    pub retryable: bool,
+}
+
+pub const WIRE_CODE_TABLE: &[WireCodeEntry] = &[
+    WireCodeEntry { variant: "Parse", code: 1, retryable: false },
+    WireCodeEntry { variant: "Deadlock", code: 2, retryable: true },
+    WireCodeEntry { variant: "Io", code: 2, retryable: false },
+    WireCodeEntry { variant: "Vanished", code: 4, retryable: false },
+];

@@ -1,0 +1,6 @@
+//! Fixture: consistent Error enum / wire table pair (must verify clean).
+
+pub enum Error {
+    Parse(String),
+    Io(String),
+}

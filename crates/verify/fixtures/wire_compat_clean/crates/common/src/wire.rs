@@ -1,0 +1,14 @@
+//! Fixture: a wire table in sync with its Error enum and ledger.
+
+pub const PROTOCOL_VERSION: u16 = 1;
+
+pub struct WireCodeEntry {
+    pub variant: &'static str,
+    pub code: u16,
+    pub retryable: bool,
+}
+
+pub const WIRE_CODE_TABLE: &[WireCodeEntry] = &[
+    WireCodeEntry { variant: "Parse", code: 1, retryable: false },
+    WireCodeEntry { variant: "Io", code: 2, retryable: false },
+];

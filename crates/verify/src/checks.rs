@@ -667,6 +667,300 @@ pub fn check_wal_ack(files: &[SourceFile]) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// Check 13: wire compatibility.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a (64-bit), duplicated from `ingot_common::hash` so the verifier
+/// stays dependency-free. The ledger test in `wire.rs` uses the original;
+/// both must agree byte-for-byte on the descriptor hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Top-level variants of `enum <name>` in `file`, with their lines. Payload
+/// fields and types never match: a variant is an UpperCamel identifier at
+/// brace depth 1 / paren depth 0 followed by `,`, `(`, `{` or `}`.
+fn enum_variants(file: &SourceFile, enum_name: &str) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    for i in 0..file.tokens.len() {
+        if !seq(file, i, &["enum", enum_name, "{"]) {
+            continue;
+        }
+        let mut brace = 1i32;
+        let mut paren = 0i32;
+        let mut k = i + 3;
+        while k < file.tokens.len() && brace > 0 {
+            let text = file.tokens[k].text.as_str();
+            match text {
+                "{" => brace += 1,
+                "}" => brace -= 1,
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                _ => {
+                    let upper = text.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                    let delim = file
+                        .tokens
+                        .get(k + 1)
+                        .is_some_and(|n| matches!(n.text.as_str(), "," | "(" | "{" | "}"));
+                    if brace == 1 && paren == 0 && upper && delim {
+                        variants.push((text.to_owned(), file.tokens[k].line));
+                    }
+                }
+            }
+            k += 1;
+        }
+        break;
+    }
+    variants
+}
+
+/// One parsed `WireCodeEntry { variant: "…", code: N, … }` row.
+struct WireTableEntry {
+    variant: String,
+    code: u64,
+    line: usize,
+}
+
+/// Parse `WIRE_CODE_TABLE` from the protocol file: inside the table's
+/// `[…]`, each `variant :` pairs with the string literal starting on its
+/// line and the following `code : <N>` tokens.
+fn wire_table_entries(file: &SourceFile) -> Vec<WireTableEntry> {
+    let mut out = Vec::new();
+    let Some(start) = file.tokens.iter().position(|t| t.text == "WIRE_CODE_TABLE") else {
+        return out;
+    };
+    // Skip the `: &[WireCodeEntry]` type annotation: the table body is the
+    // first `[` after the `=`.
+    let Some(eq) = (start..file.tokens.len()).find(|&i| file.tokens[i].text == "=") else {
+        return out;
+    };
+    let Some(open) = (eq..file.tokens.len()).find(|&i| file.tokens[i].text == "[") else {
+        return out;
+    };
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < file.tokens.len() {
+        match file.tokens[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if seq(file, i, &["variant", ":"]) {
+            let line = file.tokens[i].line;
+            let variant = file
+                .strings
+                .iter()
+                .find(|(l, _)| *l >= line)
+                .map(|(_, s)| s.clone());
+            let code = (i..file.tokens.len())
+                .find(|&j| seq(file, j, &["code", ":"]))
+                .and_then(|j| file.tokens.get(j + 2))
+                .and_then(|t| t.text.parse::<u64>().ok());
+            if let (Some(variant), Some(code)) = (variant, code) {
+                out.push(WireTableEntry {
+                    variant,
+                    code,
+                    line,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The integer assigned to `const PROTOCOL_VERSION`, if declared.
+fn protocol_version(file: &SourceFile) -> Option<(u64, usize)> {
+    for i in 0..file.tokens.len() {
+        if seq(file, i, &["PROTOCOL_VERSION", ":", "u16", "="]) {
+            return file
+                .tokens
+                .get(i + 4)
+                .and_then(|t| t.text.parse::<u64>().ok().map(|v| (v, file.tokens[i].line)));
+        }
+    }
+    None
+}
+
+/// Wire compatibility: the `Error` enum and `WIRE_CODE_TABLE` describe the
+/// same closed set (every variant mapped, no code claimed twice, no entry
+/// naming a variant that no longer exists), and the wire-layout ledger is
+/// current — its header versions are strictly increasing, the newest one
+/// matches `PROTOCOL_VERSION`, and its recorded hash matches the frames
+/// section. Together these force the discipline "change the frame layout ⇒
+/// bump the version and append a ledger entry".
+pub fn check_wire_compat(root: &Path, files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(error_file) = files.iter().find(|f| f.rel_path == policy::WIRE_ERROR_FILE) else {
+        return out;
+    };
+    let Some(wire_file) = files
+        .iter()
+        .find(|f| f.rel_path == policy::WIRE_PROTOCOL_FILE)
+    else {
+        return out;
+    };
+    let variants = enum_variants(error_file, "Error");
+    let table = wire_table_entries(wire_file);
+    if variants.is_empty() || table.is_empty() {
+        return out;
+    }
+
+    let mk = |category: &str, file: &str, line: usize, message: String| Violation {
+        check: "wire-compat",
+        category: category.into(),
+        file: file.into(),
+        line,
+        func: "<wire>".into(),
+        ordinal: 0,
+        message,
+    };
+
+    for (name, line) in &variants {
+        if !table.iter().any(|e| e.variant == *name) {
+            out.push(mk(
+                "missing-code",
+                policy::WIRE_ERROR_FILE,
+                *line,
+                format!(
+                    "Error::{name} has no WIRE_CODE_TABLE entry — every variant needs a \
+                     stable wire code so it round-trips client↔server"
+                ),
+            ));
+        }
+    }
+    for (idx, e) in table.iter().enumerate() {
+        if !variants.iter().any(|(n, _)| *n == e.variant) {
+            out.push(mk(
+                "unknown-variant",
+                policy::WIRE_PROTOCOL_FILE,
+                e.line,
+                format!(
+                    "WIRE_CODE_TABLE names `{}` which is not an Error variant — codes are \
+                     never reused, so retire the entry instead of renaming it",
+                    e.variant
+                ),
+            ));
+        }
+        if table[..idx].iter().any(|p| p.code == e.code) {
+            out.push(mk(
+                "duplicate-code",
+                policy::WIRE_PROTOCOL_FILE,
+                e.line,
+                format!(
+                    "wire code {} claimed twice (second claim by `{}`) — codes identify \
+                     variants uniquely on the wire",
+                    e.code, e.variant
+                ),
+            ));
+        }
+    }
+
+    let Some((version, version_line)) = protocol_version(wire_file) else {
+        out.push(mk(
+            "version-missing",
+            policy::WIRE_PROTOCOL_FILE,
+            0,
+            "no `PROTOCOL_VERSION: u16 = N` constant found".into(),
+        ));
+        return out;
+    };
+    let ledger_path = root.join(policy::WIRE_LEDGER_FILE);
+    let Ok(ledger) = std::fs::read_to_string(&ledger_path) else {
+        out.push(mk(
+            "ledger-missing",
+            policy::WIRE_LEDGER_FILE,
+            0,
+            format!(
+                "{} not found — the frame layout must be pinned by a ledger entry",
+                policy::WIRE_LEDGER_FILE
+            ),
+        ));
+        return out;
+    };
+    let Some((header, section)) = ledger.split_once("---\n") else {
+        out.push(mk(
+            "ledger-malformed",
+            policy::WIRE_LEDGER_FILE,
+            0,
+            "ledger has no `---` separator between headers and the frames section".into(),
+        ));
+        return out;
+    };
+    let mut entries: Vec<(u64, u64)> = Vec::new(); // (version, hash)
+    for (lineno, line) in header.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let parsed = match fields.as_slice() {
+            ["version", v, "hash", h] => v.parse::<u64>().ok().zip(u64::from_str_radix(h, 16).ok()),
+            _ => None,
+        };
+        match parsed {
+            Some(pair) => entries.push(pair),
+            None => out.push(mk(
+                "ledger-malformed",
+                policy::WIRE_LEDGER_FILE,
+                lineno + 1,
+                format!("unparseable ledger header line `{line}` (want `version N hash <hex>`)"),
+            )),
+        }
+    }
+    let Some(&(last_version, last_hash)) = entries.last() else {
+        out.push(mk(
+            "ledger-malformed",
+            policy::WIRE_LEDGER_FILE,
+            0,
+            "ledger has no `version N hash <hex>` header line".into(),
+        ));
+        return out;
+    };
+    if entries.windows(2).any(|w| w[1].0 <= w[0].0) {
+        out.push(mk(
+            "version-order",
+            policy::WIRE_LEDGER_FILE,
+            0,
+            "ledger versions must be strictly increasing — the ledger is append-only".into(),
+        ));
+    }
+    if last_version != version {
+        out.push(mk(
+            "version-mismatch",
+            policy::WIRE_PROTOCOL_FILE,
+            version_line,
+            format!(
+                "PROTOCOL_VERSION is {version} but the newest ledger entry is version \
+                 {last_version} — a layout change needs both a version bump and a ledger \
+                 entry"
+            ),
+        ));
+    }
+    if fnv1a64(section.as_bytes()) != last_hash {
+        out.push(mk(
+            "ledger-stale",
+            policy::WIRE_LEDGER_FILE,
+            0,
+            "frames section does not hash to the newest ledger entry — the layout changed \
+             without appending a `version N hash <fnv1a64>` line"
+                .into(),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Check 8: MVCC locking discipline.
 // ---------------------------------------------------------------------------
 

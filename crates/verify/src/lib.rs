@@ -43,12 +43,18 @@
 //!     policy allowlist.
 //! 12. **mvcc-stamp-order** — stamping never precedes the commit-ticket
 //!     reservation and never follows publish/watermark release on any path.
+//! 13. **wire-compat** — the `Error` enum and the wire `WIRE_CODE_TABLE`
+//!     describe the same closed set (every variant mapped, no numeric code
+//!     claimed twice), and the frame-layout ledger is current: versions
+//!     strictly increasing, newest entry matching `PROTOCOL_VERSION`, and
+//!     its hash matching the frames section — so any layout change forces
+//!     a version bump plus a ledger entry.
 //!
 //! Checks 1, 6 and 8 run on a per-function control-flow graph with a
 //! forward dataflow pass (see [`syntax`], [`cfg`], [`dataflow`],
 //! [`callgraph`], [`flow`]); `--lexical` selects the original
 //! token-proximity implementations as a fallback. Checks 9–12 exist only in
-//! the flow engine.
+//! the flow engine; check 13 has no flow component and runs in both modes.
 //!
 //! `syn` is deliberately not used: the checks operate on a comment- and
 //! literal-stripped token stream (see [`lexer`]), which keeps the tool
@@ -109,6 +115,7 @@ pub fn run(root: &Path, allowlist_path: Option<&Path>, mode: Mode) -> std::io::R
     violations.extend(checks::check_ima_completeness(root, &files));
     violations.extend(checks::check_error_discipline(&files));
     violations.extend(checks::check_wait_events(root, &files));
+    violations.extend(checks::check_wire_compat(root, &files));
 
     let panic_violations = match mode {
         Mode::Flow => {

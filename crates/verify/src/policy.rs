@@ -25,6 +25,9 @@ pub const DDL_WRITERS: &[(&str, &str)] = &[
     ("crates/core/src/engine.rs", "run_create_index"),
     ("crates/core/src/engine.rs", "add_virtual_index"),
     ("crates/core/src/engine.rs", "clear_virtual_indexes"),
+    // Server attach: registers ima$connections once, before the server
+    // accepts any connection; holds the DDL guard but never table locks.
+    ("crates/core/src/engine.rs", "attach_connections_provider"),
     // Daemon bootstrap: registers ima$daemon_health before any session runs.
     ("crates/daemon/src/lib.rs", "new"),
     // Analyzer maintenance window: freshens/restores statistics around the
@@ -179,12 +182,29 @@ pub const SWALLOW_EXEMPT_CALLEES: &[&str] = &[
 /// * `engine.rs abort_txn_with` appends the Abort WAL record best-effort:
 ///   the abort must complete even when the log device is gone, and recovery
 ///   treats a missing Abort record identically.
+/// * `engine.rs attach_connections_provider` registers `ima$connections`
+///   once per engine; an attach after a detach finds the table already
+///   registered, and that duplicate error is the expected signal (the
+///   registration closure reads the swapped provider slot either way).
 pub const SWALLOW_ALLOW: &[(&str, &str)] = &[
     ("crates/storage/src/wal.rs", "append"),
     ("crates/storage/src/wal.rs", "power_cut"),
     ("crates/storage/src/recovery.rs", "write_manifest"),
     ("crates/core/src/engine.rs", "abort_txn_with"),
+    ("crates/core/src/engine.rs", "attach_connections_provider"),
 ];
+
+/// The file declaring the workspace `enum Error` (check 13 cross-checks
+/// its variants against the wire code table).
+pub const WIRE_ERROR_FILE: &str = "crates/common/src/error.rs";
+
+/// The file declaring `WIRE_CODE_TABLE` and `PROTOCOL_VERSION`.
+pub const WIRE_PROTOCOL_FILE: &str = "crates/common/src/wire.rs";
+
+/// The append-only wire-layout ledger: `version N hash <fnv1a64>` header
+/// lines, a `---` separator, then the frame-layout descriptor section the
+/// last header line must hash.
+pub const WIRE_LEDGER_FILE: &str = "crates/common/wire_layout.txt";
 
 /// Rust keywords that cannot be an indexed expression head; a `[` following
 /// one of these is an array literal, type, or pattern — not indexing.

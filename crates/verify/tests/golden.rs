@@ -403,6 +403,78 @@ fn display_format_is_stable() {
 }
 
 #[test]
+fn wire_compat_fixture_diagnostics() {
+    // The check is mode-independent: both engines must report the same six
+    // findings — an unmapped Error variant, a PROTOCOL_VERSION the ledger
+    // has no entry for, a duplicated code, a table entry naming a vanished
+    // variant, a stale section hash, and non-increasing ledger versions.
+    for mode in [Mode::Flow, Mode::Lexical] {
+        let r = run_mode("wire_compat", mode);
+        assert_eq!(
+            summarize(&r),
+            vec![
+                (
+                    s("wire-compat"),
+                    s("missing-code"),
+                    s("crates/common/src/error.rs"),
+                    7,
+                    s("<wire>"),
+                ),
+                (
+                    s("wire-compat"),
+                    s("version-mismatch"),
+                    s("crates/common/src/wire.rs"),
+                    4,
+                    s("<wire>"),
+                ),
+                (
+                    s("wire-compat"),
+                    s("duplicate-code"),
+                    s("crates/common/src/wire.rs"),
+                    15,
+                    s("<wire>"),
+                ),
+                (
+                    s("wire-compat"),
+                    s("unknown-variant"),
+                    s("crates/common/src/wire.rs"),
+                    16,
+                    s("<wire>"),
+                ),
+                (
+                    s("wire-compat"),
+                    s("ledger-stale"),
+                    s("crates/common/wire_layout.txt"),
+                    0,
+                    s("<wire>"),
+                ),
+                (
+                    s("wire-compat"),
+                    s("version-order"),
+                    s("crates/common/wire_layout.txt"),
+                    0,
+                    s("<wire>"),
+                ),
+            ],
+            "mode {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn wire_compat_clean_fixture_passes() {
+    // A consistent enum/table/ledger triple produces no findings; the
+    // satellite discipline is "touch the layout ⇒ bump version + ledger",
+    // not "never touch the layout".
+    let r = run("wire_compat_clean");
+    assert_eq!(
+        summarize(&r),
+        vec![],
+        "clean wire fixture must verify clean"
+    );
+}
+
+#[test]
 fn allowlist_grandfathers_and_ratchets() {
     // Allowlist exactly one of the panic fixture's three sites: two fresh
     // violations remain. A bogus entry is reported stale.
@@ -436,6 +508,7 @@ const SHARED_FIXTURES: &[&str] = &[
     "wal_ack",
     "mvcc_locks",
     "waits",
+    "wire_compat",
 ];
 
 /// Fixtures exercising the flow-only checks (9–12): the lexical fallback

@@ -109,7 +109,11 @@ fn contended_sessions_populate_wait_tables() {
     let r = seed
         .execute("select event, count, total_ns from ima$wait_events")
         .unwrap();
-    assert_eq!(r.rows.len(), WAIT_EVENT_COUNT, "one row per WaitEvent variant");
+    assert_eq!(
+        r.rows.len(),
+        WAIT_EVENT_COUNT,
+        "one row per WaitEvent variant"
+    );
     let wal_row = r
         .rows
         .iter()
