@@ -11,13 +11,21 @@
 //! [`ingot_common::Error::WriteConflict`] with `is_transient()` intact, so
 //! client-side retry loops behave exactly as embedded ones.
 //!
+//! The server reaps connections silent for longer than its heartbeat
+//! budget (5 s by default), so every `ClientConnection` runs a background
+//! heartbeat thread that pings whenever the connection has been idle for
+//! [`HEARTBEAT_INTERVAL_MS`] — a user pausing at a shell prompt, or an app
+//! holding a pooled connection, never gets reaped while the process is
+//! alive. [`ClientConnection::connect_with`] can tune or disable it.
+//!
 //! [`connect_or_spawn`] adds the auto-spawn convenience: if nothing is
 //! accepting on the socket, it launches the `ingot-server` binary and
 //! retries with backoff — combined with the server's idle auto-shutdown,
 //! the daemon becomes an on-demand resident process.
 
 use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use ingot_common::net::{connect as net_connect, SocketSpec, Stream};
@@ -25,18 +33,100 @@ use ingot_common::wire::{self, Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERS
 use ingot_common::{
     Connection, Error, MonotonicClock, PreparedStatement, Result, StatementResult, Value,
 };
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+
+/// Default automatic heartbeat cadence: ping after this much idle time.
+/// Well under the server's default 5 s `heartbeat_timeout_ms`; a server
+/// configured tighter than this needs [`ClientConnection::connect_with`].
+pub const HEARTBEAT_INTERVAL_MS: u64 = 1_000;
+
+/// Heartbeat-thread park granularity: short ticks keep `Drop`'s join
+/// prompt without busy-waiting.
+const HEARTBEAT_TICK_MS: u64 = 200;
+
+/// State shared between the caller and the background heartbeat thread.
+struct ConnInner {
+    stream: Mutex<Stream>,
+    /// OS-handle clone for out-of-band shutdown: lets `Drop` unblock a
+    /// heartbeat round-trip stuck on a dead server without needing the
+    /// stream mutex that round-trip is holding.
+    oob: Option<Stream>,
+    closed: AtomicBool,
+    /// When the last round-trip completed, nanoseconds on `clock`; the
+    /// heartbeat thread only pings a connection idle past its interval.
+    last_traffic_ns: AtomicU64,
+    clock: MonotonicClock,
+    hb_mutex: Mutex<()>,
+    hb_cv: Condvar,
+}
+
+impl ConnInner {
+    fn touch(&self) {
+        self.last_traffic_ns
+            .store(self.clock.now_nanos(), Ordering::Relaxed);
+    }
+
+    /// One request/response exchange. The mutex spans the whole exchange,
+    /// so caller and heartbeat round-trips never interleave on the stream.
+    fn roundtrip(&self, req: &Request) -> Result<Response> {
+        let mut stream = self.stream.lock();
+        wire::write_request(&mut *stream, req)?;
+        let resp = read_response(&mut stream)?;
+        self.touch();
+        Ok(resp)
+    }
+}
+
+/// Keeps an idle connection alive: pings once the connection has been
+/// quiet for a full interval, exits on close or on the first wire error
+/// (a dead server is the next caller's error to surface, not ours).
+fn heartbeat_loop(inner: &ConnInner, interval_ns: u64) {
+    loop {
+        if inner.closed.load(Ordering::Relaxed) {
+            return;
+        }
+        let idle = inner
+            .clock
+            .now_nanos()
+            .saturating_sub(inner.last_traffic_ns.load(Ordering::Relaxed));
+        if idle < interval_ns {
+            let wait_ms = ((interval_ns - idle) / 1_000_000 + 1).min(HEARTBEAT_TICK_MS);
+            let mut g = inner.hb_mutex.lock();
+            let _ = inner.hb_cv.wait_for(&mut g, Duration::from_millis(wait_ms));
+            continue;
+        }
+        let ping = || -> Result<()> {
+            let mut stream = inner.stream.lock();
+            // Closed while we waited for the stream: nothing to do.
+            if inner.closed.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            wire::write_request(&mut *stream, &Request::Heartbeat)?;
+            match read_response(&mut stream)? {
+                Response::Pong => Ok(()),
+                Response::Err(w) => Err(w.into_error()),
+                other => Err(Error::protocol(format!("expected pong, got {other:?}"))),
+            }
+        };
+        match ping() {
+            Ok(()) => inner.touch(),
+            Err(_) => return,
+        }
+    }
+}
 
 /// A live wire connection to an `ingot-server`.
 ///
 /// Thread-safe: the single underlying stream is serialized by a mutex, so
 /// one `ClientConnection` is one server session with one outstanding
 /// request at a time (open more connections for parallelism — that is what
-/// the fleet bench does).
+/// the fleet bench does). A background thread heartbeats the connection
+/// whenever it sits idle, so the server's orphan reaper only ever fires on
+/// clients whose *process* vanished.
 pub struct ClientConnection {
-    stream: Mutex<Stream>,
+    inner: Arc<ConnInner>,
     session_id: u64,
-    closed: AtomicBool,
+    heartbeater: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ClientConnection {
@@ -47,6 +137,19 @@ impl ClientConnection {
 
     /// Connect and handshake, identifying as `name` in `ima$connections`.
     pub fn connect_with_name(spec: &SocketSpec, name: &str) -> Result<ClientConnection> {
+        Self::connect_with(spec, name, HEARTBEAT_INTERVAL_MS)
+    }
+
+    /// Connect with an explicit automatic-heartbeat interval in
+    /// milliseconds. Pass a value comfortably under the server's
+    /// `heartbeat_timeout_ms`; `0` disables automatic heartbeats entirely —
+    /// the caller then owns liveness via [`heartbeat`](Self::heartbeat)
+    /// (tests use this to impersonate a vanished client).
+    pub fn connect_with(
+        spec: &SocketSpec,
+        name: &str,
+        heartbeat_interval_ms: u64,
+    ) -> Result<ClientConnection> {
         let mut stream = net_connect(spec)?;
         wire::write_request(
             &mut stream,
@@ -56,11 +159,29 @@ impl ClientConnection {
             },
         )?;
         match read_response(&mut stream)? {
-            Response::HelloOk { session_id, .. } => Ok(ClientConnection {
-                stream: Mutex::new(stream),
-                session_id,
-                closed: AtomicBool::new(false),
-            }),
+            Response::HelloOk { session_id, .. } => {
+                let oob = stream.try_clone().ok();
+                let clock = MonotonicClock::new();
+                let inner = Arc::new(ConnInner {
+                    stream: Mutex::new(stream),
+                    oob,
+                    closed: AtomicBool::new(false),
+                    last_traffic_ns: AtomicU64::new(clock.now_nanos()),
+                    clock,
+                    hb_mutex: Mutex::new(()),
+                    hb_cv: Condvar::new(),
+                });
+                let heartbeater = (heartbeat_interval_ms > 0).then(|| {
+                    let inner = Arc::clone(&inner);
+                    let interval_ns = heartbeat_interval_ms.saturating_mul(1_000_000);
+                    std::thread::spawn(move || heartbeat_loop(&inner, interval_ns))
+                });
+                Ok(ClientConnection {
+                    inner,
+                    session_id,
+                    heartbeater,
+                })
+            }
             Response::Err(w) => Err(w.into_error()),
             other => Err(Error::protocol(format!("expected hello_ok, got {other:?}"))),
         }
@@ -72,21 +193,28 @@ impl ClientConnection {
         self.session_id
     }
 
-    /// Liveness ping; resets the server's orphan-reaper deadline. Clients
-    /// idle longer than the server's heartbeat timeout must call this.
+    /// Explicit liveness ping; resets the server's orphan-reaper deadline.
+    /// The background heartbeat thread already does this for idle
+    /// connections — call it yourself only with heartbeats disabled.
     pub fn heartbeat(&self) -> Result<()> {
-        match self.roundtrip(&Request::Heartbeat)? {
+        match self.inner.roundtrip(&Request::Heartbeat)? {
             Response::Pong => Ok(()),
             Response::Err(w) => Err(w.into_error()),
             other => Err(Error::protocol(format!("expected pong, got {other:?}"))),
         }
     }
 
-    /// Ask the server process to drain and exit (admin verb).
+    /// Ask the server process to drain and exit (admin verb). Unix-socket
+    /// peers are always honoured; over TCP the server refuses unless it was
+    /// started with `--allow-remote-shutdown`, and this connection stays
+    /// usable after the refusal.
     pub fn shutdown_server(&self) -> Result<()> {
-        self.closed.store(true, Ordering::Relaxed);
-        match self.roundtrip(&Request::Shutdown)? {
-            Response::Goodbye => Ok(()),
+        match self.inner.roundtrip(&Request::Shutdown)? {
+            Response::Goodbye => {
+                self.inner.closed.store(true, Ordering::Relaxed);
+                self.inner.hb_cv.notify_all();
+                Ok(())
+            }
             Response::Err(w) => Err(w.into_error()),
             other => Err(Error::protocol(format!("expected goodbye, got {other:?}"))),
         }
@@ -94,22 +222,17 @@ impl ClientConnection {
 
     /// Orderly close. Dropping the connection does this best-effort.
     pub fn close(self) -> Result<()> {
-        self.closed.store(true, Ordering::Relaxed);
-        match self.roundtrip(&Request::Close)? {
+        self.inner.closed.store(true, Ordering::Relaxed);
+        self.inner.hb_cv.notify_all();
+        match self.inner.roundtrip(&Request::Close)? {
             Response::Goodbye => Ok(()),
             Response::Err(w) => Err(w.into_error()),
             other => Err(Error::protocol(format!("expected goodbye, got {other:?}"))),
         }
     }
 
-    fn roundtrip(&self, req: &Request) -> Result<Response> {
-        let mut stream = self.stream.lock();
-        wire::write_request(&mut *stream, req)?;
-        read_response(&mut stream)
-    }
-
     fn statement(&self, req: &Request) -> Result<StatementResult> {
-        match self.roundtrip(req)? {
+        match self.inner.roundtrip(req)? {
             Response::Rows(r) => Ok(r),
             Response::Ok => Ok(StatementResult::default()),
             Response::Err(w) => Err(w.into_error()),
@@ -119,7 +242,7 @@ impl ClientConnection {
     }
 
     fn unit(&self, req: &Request) -> Result<()> {
-        match self.roundtrip(req)? {
+        match self.inner.roundtrip(req)? {
             Response::Ok => Ok(()),
             Response::Err(w) => Err(w.into_error()),
             Response::Goodbye => Err(Error::protocol("server is draining")),
@@ -130,12 +253,26 @@ impl ClientConnection {
 
 impl Drop for ClientConnection {
     fn drop(&mut self) {
-        if !self.closed.swap(true, Ordering::Relaxed) {
+        if !self.inner.closed.swap(true, Ordering::Relaxed) {
             // Best-effort orderly close; the server also copes with a bare
-            // EOF (and its reaper with neither).
-            let mut stream = self.stream.lock();
-            let _ = wire::write_request(&mut *stream, &Request::Close);
-            stream.shutdown();
+            // EOF (and its reaper with neither). Never wait behind a
+            // heartbeat round-trip that may itself be stuck on a dead
+            // server — fall back to an out-of-band shutdown instead.
+            match self.inner.stream.try_lock() {
+                Some(mut stream) => {
+                    let _ = wire::write_request(&mut *stream, &Request::Close);
+                    stream.shutdown();
+                }
+                None => {
+                    if let Some(s) = &self.inner.oob {
+                        s.shutdown();
+                    }
+                }
+            }
+        }
+        self.inner.hb_cv.notify_all();
+        if let Some(t) = self.heartbeater.take() {
+            let _ = t.join();
         }
     }
 }
@@ -170,8 +307,11 @@ impl PreparedStatement for ClientPrepared<'_> {
 
 impl Drop for ClientPrepared<'_> {
     fn drop(&mut self) {
-        if !self.conn.closed.load(Ordering::Relaxed) {
-            let _ = self.conn.roundtrip(&Request::ClosePrepared { id: self.id });
+        if !self.conn.inner.closed.load(Ordering::Relaxed) {
+            let _ = self
+                .conn
+                .inner
+                .roundtrip(&Request::ClosePrepared { id: self.id });
         }
     }
 }
@@ -191,7 +331,7 @@ impl Connection for ClientConnection {
     }
 
     fn prepare(&self, sql: &str) -> Result<Box<dyn PreparedStatement + '_>> {
-        match self.roundtrip(&Request::Prepare {
+        match self.inner.roundtrip(&Request::Prepare {
             sql: sql.to_string(),
         })? {
             Response::PreparedOk { id, param_count } => Ok(Box::new(ClientPrepared {

@@ -748,8 +748,21 @@ fn io_err(e: std::io::Error) -> Error {
 }
 
 /// Write one `(opcode, body)` frame.
+///
+/// A body that would not fit under [`MAX_FRAME_BYTES`] is refused *here*,
+/// before any byte hits the stream: the peer's `read_frame` would reject
+/// the oversized length prefix as corruption and kill the connection, and
+/// a body of 4 GiB or more would silently truncate the `u32` prefix and
+/// desync the stream. Refusing keeps the connection alive for the caller
+/// to report a clean error instead.
 pub fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> Result<()> {
-    let len = 1u32 + body.len() as u32;
+    let len = 1u64 + body.len() as u64;
+    if len > u64::from(MAX_FRAME_BYTES) {
+        return Err(Error::protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let len = len as u32;
     let mut frame = Vec::with_capacity(5 + body.len());
     frame.extend_from_slice(&len.to_le_bytes());
     frame.push(opcode);
@@ -1028,6 +1041,24 @@ mod tests {
             read_frame(&mut r, MAX_FRAME_BYTES),
             Err(Error::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn oversized_body_is_refused_before_any_byte_is_written() {
+        let body = vec![0u8; MAX_FRAME_BYTES as usize];
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, 0x83, &body),
+            Err(Error::Protocol(_))
+        ));
+        assert!(sink.is_empty(), "nothing may hit the stream on refusal");
+        // One byte under the cap (body + opcode == cap) still goes out.
+        let body = vec![0u8; MAX_FRAME_BYTES as usize - 1];
+        write_frame(&mut sink, 0x83, &body).unwrap();
+        let mut r = &sink[..];
+        let (op, read_back) = read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(op, 0x83);
+        assert_eq!(read_back.len(), body.len());
     }
 
     #[test]

@@ -569,11 +569,16 @@ impl Engine {
             let hook = Arc::clone(&self.conn_provider);
             let mut catalog = self.catalog.write();
             // A previous attach/detach cycle may have left the table
-            // registered; the duplicate error is the expected signal then.
-            let _ = crate::ima::register_connections_table(
+            // registered; only that duplicate is expected — anything else
+            // would silently lose ima$connections.
+            match crate::ima::register_connections_table(
                 &mut catalog,
                 Arc::new(move || hook.lock().as_ref().map(|p| p()).unwrap_or_default()),
-            );
+            ) {
+                Ok(()) => {}
+                Err(ingot_common::Error::Catalog(msg)) if msg.contains("already exists") => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! ingot-server --socket unix:/tmp/ingot.sock [--data DIR]
 //!              [--heartbeat-timeout-ms N] [--idle-shutdown-ms N]
-//!              [--drain-deadline-ms N] [--original]
+//!              [--drain-deadline-ms N] [--allow-remote-shutdown] [--original]
 //! ```
 //!
 //! `--data DIR` makes the engine file-backed under `DIR` (pages + WAL), so
@@ -27,6 +27,7 @@ struct Args {
     heartbeat_timeout_ms: u64,
     idle_shutdown_ms: u64,
     drain_deadline_ms: u64,
+    allow_remote_shutdown: bool,
     original: bool,
 }
 
@@ -36,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
     let mut heartbeat_timeout_ms = 5_000;
     let mut idle_shutdown_ms = 0;
     let mut drain_deadline_ms = 1_000;
+    let mut allow_remote_shutdown = false;
     let mut original = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -58,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--drain-deadline-ms: {e}"))?
             }
+            "--allow-remote-shutdown" => allow_remote_shutdown = true,
             "--original" => original = true,
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -68,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         heartbeat_timeout_ms,
         idle_shutdown_ms,
         drain_deadline_ms,
+        allow_remote_shutdown,
         original,
     })
 }
@@ -101,6 +105,7 @@ fn main() -> ExitCode {
     server_config.heartbeat_timeout_ms = args.heartbeat_timeout_ms;
     server_config.idle_shutdown_ms = args.idle_shutdown_ms;
     server_config.drain_deadline_ms = args.drain_deadline_ms;
+    server_config.allow_remote_shutdown = args.allow_remote_shutdown;
     let server = match Server::bind(engine, server_config) {
         Ok(s) => s,
         Err(e) => {

@@ -73,6 +73,11 @@ pub struct ServerConfig {
     pub drain_deadline_ms: u64,
     /// Per-frame size ceiling.
     pub max_frame_bytes: u32,
+    /// Honour the `Shutdown` verb from TCP peers. Unix-socket peers may
+    /// always stop the server (filesystem permissions already gate them);
+    /// over TCP the verb is refused unless this opts in — otherwise any
+    /// client that can reach the port could terminate the shared process.
+    pub allow_remote_shutdown: bool,
 }
 
 impl ServerConfig {
@@ -85,6 +90,7 @@ impl ServerConfig {
             idle_shutdown_ms: 0,
             drain_deadline_ms: 1_000,
             max_frame_bytes: wire::MAX_FRAME_BYTES,
+            allow_remote_shutdown: false,
         }
     }
 }
@@ -133,6 +139,7 @@ struct ServerCtx {
     draining: Arc<AtomicBool>,
     pacer: Arc<Pacer>,
     max_frame: u32,
+    allow_remote_shutdown: bool,
 }
 
 /// Requests a running server to drain and exit; cloneable, cheap, safe to
@@ -175,6 +182,7 @@ impl Server {
             draining: Arc::new(AtomicBool::new(false)),
             pacer: Arc::new(Pacer::new()),
             max_frame: config.max_frame_bytes,
+            allow_remote_shutdown: config.allow_remote_shutdown,
         });
         Ok(Server {
             config,
@@ -191,6 +199,12 @@ impl Server {
     /// The embedded engine.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.ctx.engine
+    }
+
+    /// The spec actually bound (a `tcp:…:0` request resolves to the
+    /// kernel-assigned port).
+    pub fn local_spec(&self) -> SocketSpec {
+        self.listener.local_spec()
     }
 
     /// A handle that triggers graceful drain from another thread.
@@ -235,6 +249,7 @@ impl Server {
             std::thread::spawn(move || reaper_loop(&ctx, &done, heartbeat_ns))
         };
 
+        let via_unix = matches!(self.listener, Listener::Unix(..));
         let outcome = loop {
             if self.stop_requested() {
                 break RunOutcome::Drained;
@@ -253,7 +268,7 @@ impl Server {
                         .fetch_add(1, Ordering::Relaxed);
                     match stream.try_clone() {
                         Ok(clone) => {
-                            let shared = self.ctx.registry.register(peer, clone);
+                            let shared = self.ctx.registry.register(peer, via_unix, clone);
                             let ctx = Arc::clone(&self.ctx);
                             handles.lock().push(std::thread::spawn(move || {
                                 serve_conn(&ctx, &shared, stream);
@@ -367,10 +382,25 @@ fn read_or_tick(
 }
 
 fn send(ctx: &ServerCtx, stream: &mut Stream, resp: &Response) -> Result<()> {
-    if matches!(resp, Response::Err(_)) {
+    let (mut op, mut body) = resp.to_frame();
+    let mut is_err = matches!(resp, Response::Err(_));
+    // A response that does not fit under the frame cap (a giant result set,
+    // typically) must not reach the wire: the peer would reject the length
+    // prefix as stream corruption and the connection would die. Replace it
+    // with a clean, small error frame instead.
+    if 1 + body.len() as u64 > u64::from(ctx.max_frame.min(wire::MAX_FRAME_BYTES)) {
+        let e = Error::execution(format!(
+            "response of {} bytes exceeds the {}-byte frame cap; narrow the \
+             result set (e.g. with LIMIT)",
+            1 + body.len(),
+            ctx.max_frame.min(wire::MAX_FRAME_BYTES),
+        ));
+        (op, body) = Response::Err(WireError::from_error(&e)).to_frame();
+        is_err = true;
+    }
+    if is_err {
         ctx.stats.errors_sent.fetch_add(1, Ordering::Relaxed);
     }
-    let (op, body) = resp.to_frame();
     ctx.stats.frames_out.fetch_add(1, Ordering::Relaxed);
     ctx.stats
         .bytes_out
@@ -465,8 +495,7 @@ fn handshake_and_serve(
         ctx.stats
             .bytes_in
             .fetch_add(body.len() as u64, Ordering::Relaxed);
-        let now = ctx.registry.clock().now_nanos();
-        shared.touch(now);
+        shared.touch(ctx.registry.clock().now_nanos());
         let req = match Request::decode(op, &body) {
             Ok(r) => r,
             Err(e) => {
@@ -474,6 +503,10 @@ fn handshake_and_serve(
                 return Err(e);
             }
         };
+        // Every verb — not just statements — runs as `active`, so the reaper
+        // never mistakes a commit (or begin/rollback/set) stalled past the
+        // heartbeat timeout for an orphan and kills it mid-verb.
+        *shared.state.lock() = ConnState::Active;
         let resp = match req {
             Request::Hello { .. } => {
                 Response::Err(WireError::from_error(&Error::protocol("duplicate hello")))
@@ -523,13 +556,27 @@ fn handshake_and_serve(
                 return Ok(());
             }
             Request::Shutdown => {
-                let _ = send(ctx, stream, &Response::Goodbye);
-                ctx.stop.store(true, Ordering::Relaxed);
-                ctx.pacer.notify();
-                return Ok(());
+                if shared.via_unix || ctx.allow_remote_shutdown {
+                    let _ = send(ctx, stream, &Response::Goodbye);
+                    ctx.stop.store(true, Ordering::Relaxed);
+                    ctx.pacer.notify();
+                    return Ok(());
+                }
+                // Any client that can reach a TCP port must not be able to
+                // terminate the shared server; refuse but keep serving.
+                Response::Err(WireError::from_error(&Error::execution(
+                    "shutdown refused: only unix-socket peers may stop this \
+                     server (start it with --allow-remote-shutdown to permit \
+                     tcp clients)",
+                )))
             }
         };
-        // Fleet-view bookkeeping: transaction age + idle state.
+        // Fleet-view bookkeeping: transaction age + idle state. The verb may
+        // have run longer than the heartbeat budget, so re-stamp activity
+        // *after* it finishes — the flip back to idle below must never expose
+        // a pre-execution timestamp to the reaper.
+        let now = ctx.registry.clock().now_nanos();
+        shared.touch(now);
         let in_txn = session.in_transaction();
         if in_txn {
             let _ =

@@ -50,6 +50,9 @@ pub struct ConnShared {
     pub conn_id: u64,
     /// Transport peer label (`unix` or the TCP peer address).
     pub peer: String,
+    /// Arrived over the Unix-domain listener (filesystem permissions gate
+    /// those peers; admin verbs like `Shutdown` trust them by default).
+    pub via_unix: bool,
     /// Client self-identification from `hello`.
     pub client: Mutex<String>,
     /// Engine session id (0 until the handshake opens the session).
@@ -115,11 +118,12 @@ impl ConnRegistry {
     }
 
     /// Admit a freshly accepted connection.
-    pub fn register(&self, peer: String, stream: Stream) -> Arc<ConnShared> {
+    pub fn register(&self, peer: String, via_unix: bool, stream: Stream) -> Arc<ConnShared> {
         let now = self.clock.now_nanos();
         let shared = Arc::new(ConnShared {
             conn_id: self.next_id.fetch_add(1, Ordering::Relaxed),
             peer,
+            via_unix,
             client: Mutex::new(String::new()),
             session_id: AtomicU64::new(0),
             state: Mutex::new(ConnState::Handshake),

@@ -40,6 +40,18 @@ impl Listener {
         }
     }
 
+    /// The spec actually bound — resolves a `tcp:…:0` request to the
+    /// kernel-assigned port, so tests and spawners can connect back.
+    pub fn local_spec(&self) -> SocketSpec {
+        match self {
+            Listener::Unix(_, path) => SocketSpec::Unix(path.clone()),
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(addr) => SocketSpec::Tcp(addr.to_string()),
+                Err(_) => SocketSpec::Tcp(String::new()),
+            },
+        }
+    }
+
     /// Switch the listener to nonblocking accepts.
     pub fn set_nonblocking(&self) -> Result<()> {
         match self {

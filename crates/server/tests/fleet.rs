@@ -182,9 +182,9 @@ fn orphan_is_reaped_its_txn_aborted_and_its_locks_released() {
     let aborted_before = aborted_total(&admin);
 
     // The victim opens a transaction, takes the row lock… and goes silent
-    // (mem::forget skips the Drop close — from the server's side this is a
-    // vanished client, not an orderly disconnect).
-    let victim = connect_retry(&spec, "victim");
+    // (heartbeats disabled + mem::forget skips the Drop close — from the
+    // server's side this is a vanished client, not an orderly disconnect).
+    let victim = ClientConnection::connect_with(&spec, "victim", 0).expect("victim connects");
     victim.begin().unwrap();
     victim.execute("update kv set v = 20 where id = 1").unwrap();
     std::mem::forget(victim);
@@ -284,6 +284,161 @@ fn shutdown_verb_drains_the_server() {
     conn.execute("create table t (id int not null primary key)")
         .unwrap();
     conn.shutdown_server().expect("shutdown verb");
+    assert_eq!(running.join.join().unwrap().unwrap(), RunOutcome::Drained);
+}
+
+#[test]
+fn idle_client_outlives_the_heartbeat_timeout_via_auto_heartbeats() {
+    let sock = temp_dir("hb").join("srv.sock");
+    let spec = SocketSpec::Unix(sock);
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
+    let mut cfg = ServerConfig::new(spec.clone());
+    cfg.heartbeat_timeout_ms = 300;
+    let running = start(&engine, cfg);
+
+    // Pings every 100 ms while idle: pausing well past the 300 ms server
+    // budget (a user thinking at a shell prompt) must not get us reaped.
+    let chatty = ClientConnection::connect_with(&spec, "chatty", 100).expect("connect");
+    chatty
+        .execute("create table t (id int not null primary key)")
+        .unwrap();
+    // A muted twin really does get reaped — proving the pause below is
+    // long enough that only the heartbeats keep `chatty` alive.
+    let muted = ClientConnection::connect_with(&spec, "muted", 0).expect("connect");
+    muted.execute("insert into t values (1)").unwrap();
+
+    pace(1_000);
+    chatty
+        .execute("insert into t values (2)")
+        .expect("an idle-but-heartbeating client must survive the reaper");
+    assert!(
+        muted.execute("insert into t values (3)").is_err(),
+        "a silent client must still be reaped"
+    );
+
+    drop(muted);
+    running.stop.request_stop();
+    assert_eq!(running.join.join().unwrap().unwrap(), RunOutcome::Drained);
+    drop(chatty);
+}
+
+#[test]
+fn verb_running_past_the_heartbeat_budget_is_not_reaped() {
+    let sock = temp_dir("slow").join("srv.sock");
+    let spec = SocketSpec::Unix(sock);
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
+    let mut cfg = ServerConfig::new(spec.clone());
+    cfg.heartbeat_timeout_ms = 300;
+    let running = start(&engine, cfg);
+
+    // The holder idles in-txn for 600 ms while it pins the row lock, so it
+    // heartbeats every 100 ms to stay clear of the 300 ms reaper budget.
+    let holder = ClientConnection::connect_with(&spec, "holder", 100).expect("connect");
+    holder
+        .execute("create table kv (id int not null primary key, v int)")
+        .unwrap();
+    holder.execute("insert into kv values (1, 10)").unwrap();
+    holder.begin().unwrap();
+    holder.execute("update kv set v = 20 where id = 1").unwrap();
+
+    // With heartbeats off, `blocked` stays alive across the 600 ms lock
+    // wait only because (a) the verb runs as `active` and (b) its activity
+    // stamp is refreshed when the verb *finishes* — a stale pre-execution
+    // timestamp would get it reaped the moment it flipped back to idle.
+    let blocked = ClientConnection::connect_with(&spec, "blocked", 0).expect("connect");
+    let waiter = std::thread::spawn(move || {
+        // Outcome (write-conflict vs success) is irrelevant; only that the
+        // connection survives a verb stalled far past the budget matters.
+        let _ = blocked.execute("update kv set v = 30 where id = 1");
+        blocked
+    });
+    pace(600);
+    holder.commit().unwrap();
+    let blocked = waiter.join().unwrap();
+    // Less than the 300 ms budget since the verb completed: still alive.
+    pace(150);
+    blocked
+        .query("select count(*) from kv")
+        .expect("connection reaped although its long verb just finished");
+
+    running.stop.request_stop();
+    assert_eq!(running.join.join().unwrap().unwrap(), RunOutcome::Drained);
+}
+
+#[test]
+fn shutdown_over_tcp_is_refused_unless_opted_in() {
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
+    let cfg = ServerConfig::new(SocketSpec::Tcp("127.0.0.1:0".into()));
+    let server = Server::bind(Arc::clone(&engine), cfg).expect("bind tcp");
+    let spec = server.local_spec();
+    let stop = server.stop_handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let conn = connect_retry(&spec, "tcp-peer");
+    let err = conn
+        .shutdown_server()
+        .expect_err("tcp peers must not stop the server by default");
+    assert!(err.to_string().contains("refused"), "{err}");
+    // The refusal is an error response, not a connection kill.
+    conn.execute("create table t (id int not null primary key)")
+        .expect("connection stays usable after a refused shutdown");
+    drop(conn);
+    stop.request_stop();
+    assert_eq!(join.join().unwrap().unwrap(), RunOutcome::Drained);
+    engine.detach_connections_provider();
+
+    // Opting in restores the old behaviour for trusted networks.
+    let mut cfg = ServerConfig::new(SocketSpec::Tcp("127.0.0.1:0".into()));
+    cfg.allow_remote_shutdown = true;
+    let server = Server::bind(Arc::clone(&engine), cfg).expect("bind tcp");
+    let spec = server.local_spec();
+    let join = std::thread::spawn(move || server.run());
+    let conn = connect_retry(&spec, "tcp-admin");
+    conn.shutdown_server().expect("opted-in shutdown works");
+    assert_eq!(join.join().unwrap().unwrap(), RunOutcome::Drained);
+}
+
+#[test]
+fn oversized_result_set_yields_a_clean_error_not_a_dead_connection() {
+    let sock = temp_dir("cap").join("srv.sock");
+    let spec = SocketSpec::Unix(sock);
+    let engine = Engine::builder()
+        .config(EngineConfig::monitoring())
+        .build()
+        .unwrap();
+    let mut cfg = ServerConfig::new(spec.clone());
+    cfg.max_frame_bytes = 4_096;
+    let running = start(&engine, cfg);
+
+    let conn = connect_retry(&spec, "bulk");
+    conn.execute("create table big (id int not null primary key, pad text)")
+        .unwrap();
+    let pad = "x".repeat(200);
+    for i in 0..40 {
+        conn.execute(&format!("insert into big values ({i}, '{pad}')"))
+            .unwrap();
+    }
+    // ~8 KiB of rows against a 4 KiB frame cap: the server must answer
+    // with a clean error frame, never emit the oversized one.
+    let err = conn
+        .query("select * from big")
+        .expect_err("result set larger than the frame cap must error");
+    assert!(err.to_string().contains("frame cap"), "{err}");
+    // …and the stream is still in sync afterwards.
+    let r = conn.query("select count(*) from big").unwrap();
+    assert_eq!(r.rows[0].get(0).as_int(), Some(40));
+
+    drop(conn);
+    running.stop.request_stop();
     assert_eq!(running.join.join().unwrap().unwrap(), RunOutcome::Drained);
 }
 
